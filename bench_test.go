@@ -1,0 +1,344 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md §4), plus ablation benches for the design
+// choices. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics: ns/elem is the per-sample DPD cost (Table 3's
+// TimexElem column), pct_overhead the Table 3 Percentage column.
+package dpd_test
+
+import (
+	"testing"
+	"time"
+
+	"dpd/internal/apps"
+	"dpd/internal/core"
+	"dpd/internal/ditools"
+	"dpd/internal/dsp"
+	"dpd/internal/experiments"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+	"dpd/internal/selfanalyzer"
+	"dpd/internal/series"
+)
+
+// BenchmarkFig3FTTrace regenerates Figure 3: the simulated MPI/OpenMP FT
+// run with 1 ms CPU sampling.
+func BenchmarkFig3FTTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := apps.FTCPUTrace(50, 20010513)
+		if tr.Len() < 2000 {
+			b.Fatal("trace too short")
+		}
+	}
+}
+
+// BenchmarkFig4DistanceCurve regenerates Figure 4: the eq. (1) distance
+// curve over the FT trace, minimum at m = 44.
+func BenchmarkFig4DistanceCurve(b *testing.B) {
+	tr := apps.FTCPUTrace(50, 20010513)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det := core.MustMagnitudeDetector(core.Config{Window: 100, Confirm: 3})
+		var last core.Result
+		for _, v := range tr.Samples {
+			last = det.Feed(v)
+		}
+		if last.Period < 43 || last.Period > 45 {
+			b.Fatalf("period=%d, want ≈44", last.Period)
+		}
+	}
+}
+
+// BenchmarkFig7Segmentation regenerates Figure 7: segmentation of the
+// five SPECfp95 address streams.
+func BenchmarkFig7Segmentation(b *testing.B) {
+	traces := make(map[string][]int64)
+	for _, app := range apps.SPECfp95() {
+		traces[app.Name] = app.Trace().Values
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for name, vals := range traces {
+			ms := core.MustMultiScaleDetector(nil, core.Config{})
+			starts := 0
+			for _, v := range vals {
+				if mr := ms.Feed(v); mr.Primary.Start {
+					starts++
+				}
+			}
+			if starts == 0 {
+				b.Fatalf("%s: no segmentation", name)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2Detection regenerates Table 2: detected periodicities of
+// every application, one sub-benchmark per app.
+func BenchmarkTable2Detection(b *testing.B) {
+	for _, app := range apps.SPECfp95() {
+		app := app
+		vals := app.Trace().Values
+		b.Run(app.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ms := core.MustMultiScaleDetector(nil, core.Config{})
+				pt := core.NewPeriodTracker()
+				for _, v := range vals {
+					pt.ObserveMulti(ms.Feed(v), ms)
+				}
+				got := pt.SignificantPeriods(8)
+				if len(got) != len(app.ExpectPeriods) {
+					b.Fatalf("periods %v, want %v", got, app.ExpectPeriods)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
+		})
+	}
+}
+
+// BenchmarkTable3Overhead regenerates Table 3: per-element DPD processing
+// cost on each application trace, with the detector sized to the app's
+// periodicity structure (flat apps: small window; nested: full ladder).
+func BenchmarkTable3Overhead(b *testing.B) {
+	ladder := func(app *apps.App) []int {
+		maxP := 0
+		for _, p := range app.ExpectPeriods {
+			if p > maxP {
+				maxP = p
+			}
+		}
+		switch {
+		case maxP <= 8:
+			return []int{16}
+		case maxP <= 100:
+			return []int{8, 128}
+		default:
+			return core.DefaultLadder
+		}
+	}
+	for _, app := range apps.SPECfp95() {
+		app := app
+		vals := app.Trace().Values
+		apex := app.SequentialTime()
+		b.Run(app.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			ms := core.MustMultiScaleDetector(ladder(app), core.Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, v := range vals {
+					ms.Feed(v)
+				}
+			}
+			perElem := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(len(vals))
+			b.ReportMetric(perElem, "ns/elem")
+			// Percentage column: whole-trace processing time vs ApExTime.
+			procNs := perElem * float64(len(vals))
+			b.ReportMetric(100*procNs/float64(apex.Nanoseconds()), "pct_overhead")
+		})
+	}
+}
+
+// BenchmarkSelfAnalyzer reproduces the §5 case study: dynamic region
+// identification and speedup measurement under interposition.
+func BenchmarkSelfAnalyzer(b *testing.B) {
+	app := apps.Tomcatv()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := machine.New(16)
+		reg := ditools.NewRegistry()
+		rt := nanos.MustNew(m, machine.DefaultCostModel(), 16, reg)
+		sa := selfanalyzer.MustAttach(rt, reg, selfanalyzer.Config{})
+		app.RunIterations(rt, 60)
+		if _, ok := sa.Speedup(); !ok {
+			b.Fatal("no speedup measured")
+		}
+	}
+}
+
+// BenchmarkSchedulerPolicies reproduces the [Corbalan2000] consumer:
+// equipartition vs performance-driven allocation on the SPECfp95-derived
+// workload, reporting the CPU-time saving as a custom metric.
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	b.ReportAllocs()
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		sr, err := experiments.Scheduler(16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = sr.CPUSaving
+	}
+	b.ReportMetric(saving, "cpu_saving_x")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md §5) ---
+
+// BenchmarkWindowSweep: per-sample cost as a function of window size N —
+// the reason Table 3's hydro2d/turb3d rows cost ~30× more per element.
+func BenchmarkWindowSweep(b *testing.B) {
+	for _, n := range []int{8, 32, 128, 512, 1024} {
+		n := n
+		b.Run(benchName("N", n), func(b *testing.B) {
+			det := core.MustEventDetector(core.Config{Window: n})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				det.Feed(int64(i % 5))
+			}
+		})
+	}
+}
+
+// BenchmarkMetrics: eq. (1) magnitude metric vs eq. (2) event metric at
+// the same window size.
+func BenchmarkMetrics(b *testing.B) {
+	const n = 256
+	b.Run("eq2-event", func(b *testing.B) {
+		det := core.MustEventDetector(core.Config{Window: n})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Feed(int64(i % 7))
+		}
+	})
+	b.Run("eq1-magnitude", func(b *testing.B) {
+		det := core.MustMagnitudeDetector(core.Config{Window: n})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Feed(float64(i % 7))
+		}
+	})
+}
+
+// BenchmarkBaselines: the online DPD against offline autocorrelation and
+// periodogram estimators over the same frame.
+func BenchmarkBaselines(b *testing.B) {
+	g := series.NewPatternGenerator([]float64{0, 1, 2, 3, 4, 3, 2, 1})
+	frame := series.Take(g, 1024)
+	ints := make([]int64, len(frame))
+	for i, v := range frame {
+		ints[i] = int64(v)
+	}
+	b.Run("dpd-online", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det := core.MustEventDetector(core.Config{Window: 64})
+			var last core.Result
+			for _, v := range ints {
+				last = det.Feed(v)
+			}
+			if last.Period != 8 {
+				b.Fatalf("period=%d", last.Period)
+			}
+		}
+	})
+	b.Run("acf-online", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			a := dsp.MustOnlineACF(64, 0.01)
+			for _, v := range frame {
+				a.Feed(v)
+			}
+			if p := a.EstimatePeriod(0.5); p != 8 {
+				b.Fatalf("period=%d", p)
+			}
+		}
+	})
+	b.Run("autocorr-fft", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if p := dsp.EstimatePeriodACF(frame, 100, 0.5); p != 8 {
+				b.Fatalf("period=%d", p)
+			}
+		}
+	})
+	b.Run("periodogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if p := dsp.EstimatePeriodSpectral(frame); p != 8 {
+				b.Fatalf("period=%d", p)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalVsNaive: the O(M) incremental curve update against
+// recomputing the distance from scratch each sample (O(N·M)). Uses the
+// eq. (1) magnitude metric, whose naive form cannot early-out on the
+// first mismatch — the case the incremental design exists for.
+func BenchmarkIncrementalVsNaive(b *testing.B) {
+	const n = 128
+	pat := []float64{1, 2, 3, 4, 5, 6}
+	b.Run("incremental", func(b *testing.B) {
+		det := core.MustMagnitudeDetector(core.Config{Window: n})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Feed(pat[i%len(pat)])
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		// Pre-fill so every lag is valid from the first measured sample.
+		hist := make([]float64, 0, b.N+2*n)
+		for i := 0; i < 2*n; i++ {
+			hist = append(hist, pat[i%len(pat)])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			hist = append(hist, pat[i%len(pat)])
+			core.NaiveCurveL1(hist, n, n-1)
+		}
+	})
+}
+
+// BenchmarkAdaptiveWindow: fixed large window vs the adaptive policy that
+// shrinks after lock (paper §3.1/§4) on a short-period stream.
+func BenchmarkAdaptiveWindow(b *testing.B) {
+	b.Run("fixed-1024", func(b *testing.B) {
+		det := core.MustEventDetector(core.Config{Window: 1024})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Feed(int64(i % 5))
+		}
+	})
+	b.Run("adaptive", func(b *testing.B) {
+		det := core.MustAdaptiveDetector(core.DefaultAdaptivePolicy(), core.Config{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			det.Feed(int64(i % 5))
+		}
+	})
+}
+
+// BenchmarkInterposition: cost of the DITools dispatch path per loop call.
+func BenchmarkInterposition(b *testing.B) {
+	reg := ditools.NewRegistry()
+	det := core.MustEventDetector(core.Config{Window: 32})
+	reg.OnCall(func(e ditools.Event) { det.Feed(e.Addr) })
+	body := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.Call(time.Duration(i), int64(0x100+(i%5)*0x40), body)
+	}
+}
+
+func benchName(prefix string, n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return prefix + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return prefix + "=" + string(buf[i:])
+}

@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [fig3|fig4|fig7|table2|table3|casestudy|sched|all]
+//
+// With no argument, everything is printed in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpd/internal/experiments"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 16, "machine size for the case study and scheduler experiments")
+	iters := flag.Int("ft-iterations", 50, "FT iterations for figures 3/4")
+	seed := flag.Uint64("seed", 20010513, "jitter seed for the FT trace (0 = exactly periodic)")
+	flag.Parse()
+
+	what := "all"
+	if flag.NArg() > 0 {
+		what = flag.Arg(0)
+	}
+
+	run := func(name string, f func() error) {
+		if what != "all" && what != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var fig3 experiments.Fig3Result
+	fig3Ready := false
+	ensureFig3 := func() {
+		if !fig3Ready {
+			fig3 = experiments.Figure3(*iters, *seed)
+			fig3Ready = true
+		}
+	}
+
+	run("fig3", func() error {
+		ensureFig3()
+		fmt.Println(fig3.Plot)
+		return nil
+	})
+	run("fig4", func() error {
+		ensureFig3()
+		r := experiments.Figure4(fig3)
+		fmt.Println(r.Plot)
+		fmt.Printf("detected periodicity m=%d (confidence %.2f)\n\n", r.BestLag, r.Confidence)
+		return nil
+	})
+	run("fig7", func() error {
+		for _, p := range experiments.Figure7() {
+			fmt.Println(p.Plot)
+		}
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Println(experiments.FormatTable2(experiments.Table2()))
+		return nil
+	})
+	run("table3", func() error {
+		fmt.Println(experiments.FormatTable3(experiments.Table3()))
+		return nil
+	})
+	run("casestudy", func() error {
+		fmt.Println(experiments.FormatCaseStudy(experiments.CaseStudy(*cpus)))
+		return nil
+	})
+	run("sched", func() error {
+		sr, err := experiments.Scheduler(*cpus)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatScheduler(sr))
+		return nil
+	})
+
+	switch what {
+	case "all", "fig3", "fig4", "fig7", "table2", "table3", "casestudy", "sched":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", what)
+		fmt.Fprintln(os.Stderr, "usage: experiments [fig3|fig4|fig7|table2|table3|casestudy|sched|all]")
+		os.Exit(2)
+	}
+}

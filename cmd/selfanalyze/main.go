@@ -1,0 +1,85 @@
+// Command selfanalyze runs one of the evaluation applications on the
+// simulated machine under the SelfAnalyzer (paper §5) and reports the
+// dynamically identified region, measured speedup, and execution-time
+// estimate against the actual run.
+//
+// Usage:
+//
+//	selfanalyze -app tomcatv -cpus 16
+//	selfanalyze -app turb3d -cpus 8 -baseline 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dpd/internal/apps"
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+	"dpd/internal/selfanalyzer"
+)
+
+func main() {
+	appName := flag.String("app", "tomcatv", "application: tomcatv|swim|apsi|hydro2d|turb3d")
+	cpus := flag.Int("cpus", 16, "machine size")
+	alloc := flag.Int("alloc", 0, "processors allocated to the application (default: all)")
+	baseline := flag.Int("baseline", 1, "baseline processor count for the speedup reference")
+	probe := flag.Int("probe", 40, "iterations to run before printing the mid-run estimate")
+	flag.Parse()
+
+	app, err := apps.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	if *alloc == 0 {
+		*alloc = *cpus
+	}
+
+	m := machine.New(*cpus)
+	reg := ditools.NewRegistry()
+	rt, err := nanos.New(m, machine.DefaultCostModel(), *alloc, reg)
+	if err != nil {
+		fatal(err)
+	}
+	sa, err := selfanalyzer.Attach(rt, reg, selfanalyzer.Config{Baseline: *baseline})
+	if err != nil {
+		fatal(err)
+	}
+
+	n := *probe
+	if n > app.Iterations {
+		n = app.Iterations
+	}
+	app.RunIterations(rt, n)
+
+	fmt.Printf("application %s on %d CPUs (allocated %d, baseline %d)\n", app.Name, *cpus, *alloc, *baseline)
+	r := sa.Region()
+	if r == nil {
+		fmt.Println("no iterative structure identified yet")
+		os.Exit(0)
+	}
+	fmt.Printf("parallel region: start address %#x, period %d loop calls (identified at %v)\n",
+		r.StartAddr, r.Period, r.IdentifiedAt)
+	if s, ok := sa.Speedup(); ok {
+		fmt.Printf("iteration time: %v on %d CPUs, %v on %d CPUs → speedup %.2f (efficiency %.2f)\n",
+			r.CurrentTime, r.CurrentProcs, r.BaselineTime, r.BaselineProcs, s, r.Efficiency())
+	} else {
+		fmt.Println("speedup measurement still in progress")
+	}
+	if est, ok := sa.EstimateTotal(app.Iterations); ok {
+		fmt.Printf("estimated total execution time (%d iterations): %v\n", app.Iterations, est)
+		for i := n; i < app.Iterations; i++ {
+			rt.RunIteration(app.Body)
+		}
+		actual := rt.Now()
+		fmt.Printf("actual total execution time:                     %v (estimate off by %+.2f%%)\n",
+			actual, 100*(float64(est)-float64(actual))/float64(actual))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "selfanalyze: %v\n", err)
+	os.Exit(1)
+}

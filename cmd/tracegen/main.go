@@ -1,0 +1,83 @@
+// Command tracegen produces the evaluation traces: the loop-address
+// streams of the SPECfp95 skeletons and the FT CPU-usage trace.
+//
+// Usage:
+//
+//	tracegen -app tomcatv                  # event trace, text, stdout
+//	tracegen -app ft -kind cpu -o ft.trc   # FT CPU trace to a file
+//	tracegen -app hydro2d -format binary -o hydro2d.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dpd/internal/apps"
+	"dpd/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "tomcatv", "application: tomcatv|swim|apsi|hydro2d|turb3d|ft")
+	kind := flag.String("kind", "event", "trace kind: event (loop addresses) or cpu (FT usage)")
+	format := flag.String("format", "text", "output format: text or binary")
+	out := flag.String("o", "", "output file (default stdout)")
+	iters := flag.Int("ft-iterations", 50, "FT iterations for -kind cpu")
+	seed := flag.Uint64("seed", 20010513, "jitter seed for -kind cpu (0 = exactly periodic)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	switch *kind {
+	case "event":
+		app, err := apps.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		tr := app.Trace()
+		if *format == "binary" {
+			err = trace.WriteEventBinary(w, tr)
+		} else {
+			err = trace.WriteEventText(w, tr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %s, %d events\n", tr.Name, tr.Len())
+	case "cpu":
+		if *appName != "ft" {
+			fatal(fmt.Errorf("cpu traces are produced by the ft model only"))
+		}
+		tr := apps.FTCPUTrace(*iters, *seed)
+		var err error
+		if *format == "binary" {
+			err = trace.WriteCPUBinary(w, tr)
+		} else {
+			err = trace.WriteCPUText(w, tr)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "tracegen: %s, %d samples at %v\n", tr.Name, tr.Len(), tr.Interval)
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

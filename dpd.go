@@ -1,0 +1,106 @@
+// Package dpd is a Go implementation of the Dynamic Periodicity Detector
+// of Freitag, Corbalán and Labarta, "A Dynamic Periodicity Detector:
+// Application to Speedup Computation" (IPDPS 2001): an online detector
+// that estimates the periodicity of data series produced by executing
+// applications, segments the stream into periods, predicts future values,
+// and feeds run-time speedup computation.
+//
+// The package exposes three layers:
+//
+//   - The paper's Table 1 interface, ported faithfully: a stateful DPD
+//     whose Feed method mirrors `int DPD(long sample, int *period)` and
+//     whose WindowSize method mirrors `void DPDWindowSize(int size)`.
+//
+//   - The detector toolkit: event-stream (eq. 2) and magnitude-stream
+//     (eq. 1) detectors, multi-scale ladders for nested periodicities,
+//     adaptive window management, period trackers and predictors.
+//
+//   - The systems around it (simulated SMP machine, NANOS-like runtime,
+//     DITools interposition, SelfAnalyzer, allocation policies) live in
+//     internal packages and are exercised by the example programs and the
+//     experiment harness (cmd/experiments) that regenerates every table
+//     and figure of the paper.
+package dpd
+
+import (
+	"dpd/internal/core"
+)
+
+// Re-exported detector toolkit types. These aliases are the public names
+// of the core implementation; see the core package for full documentation.
+type (
+	// Config parameterizes a detector (window size N, max lag M,
+	// confirmation count, grace, magnitude threshold).
+	Config = core.Config
+	// Result is the per-sample detection outcome.
+	Result = core.Result
+	// Curve is a snapshot of the distance function d(m).
+	Curve = core.Curve
+	// EventDetector detects exact periodicity in event streams (eq. 2).
+	EventDetector = core.EventDetector
+	// MagnitudeDetector detects periodicity in magnitude streams (eq. 1).
+	MagnitudeDetector = core.MagnitudeDetector
+	// MultiScaleDetector runs a ladder of event detectors for nested
+	// periodicities.
+	MultiScaleDetector = core.MultiScaleDetector
+	// MultiResult aggregates per-ladder-level results.
+	MultiResult = core.MultiResult
+	// AdaptiveDetector resizes its window automatically.
+	AdaptiveDetector = core.AdaptiveDetector
+	// AdaptivePolicy parameterizes adaptive window management.
+	AdaptivePolicy = core.AdaptivePolicy
+	// PeriodTracker aggregates the distinct periodicities of a stream.
+	PeriodTracker = core.PeriodTracker
+	// PeriodStat describes one tracked periodicity.
+	PeriodStat = core.PeriodStat
+	// EventPredictor forecasts future events from a locked periodicity.
+	EventPredictor = core.EventPredictor
+	// MagnitudePredictor forecasts future magnitudes.
+	MagnitudePredictor = core.MagnitudePredictor
+	// Segmenter turns detector output into explicit stream segments.
+	Segmenter = core.Segmenter
+	// Segment is one periodicity-governed stretch of a stream.
+	Segment = core.Segment
+)
+
+// DefaultLadder is the default multi-scale window ladder.
+var DefaultLadder = core.DefaultLadder
+
+// NewEventDetector returns a detector for event streams (loop addresses,
+// message tags): paper eq. (2).
+func NewEventDetector(cfg Config) (*EventDetector, error) { return core.NewEventDetector(cfg) }
+
+// NewMagnitudeDetector returns a detector for magnitude streams (CPU
+// counts, hardware counters): paper eq. (1).
+func NewMagnitudeDetector(cfg Config) (*MagnitudeDetector, error) {
+	return core.NewMagnitudeDetector(cfg)
+}
+
+// NewMultiScaleDetector returns a ladder of event detectors; windows nil
+// selects DefaultLadder.
+func NewMultiScaleDetector(windows []int, cfg Config) (*MultiScaleDetector, error) {
+	return core.NewMultiScaleDetector(windows, cfg)
+}
+
+// NewAdaptiveDetector returns an event detector with automatic window
+// management (paper §3.1/§4).
+func NewAdaptiveDetector(policy AdaptivePolicy, cfg Config) (*AdaptiveDetector, error) {
+	return core.NewAdaptiveDetector(policy, cfg)
+}
+
+// NewEventPredictor returns an event forecaster over a detector.
+func NewEventPredictor(cfg Config) (*EventPredictor, error) { return core.NewEventPredictor(cfg) }
+
+// NewMagnitudePredictor returns a magnitude forecaster over a detector.
+func NewMagnitudePredictor(cfg Config) (*MagnitudePredictor, error) {
+	return core.NewMagnitudePredictor(cfg)
+}
+
+// NewPeriodTracker returns an empty periodicity tracker.
+func NewPeriodTracker() *PeriodTracker { return core.NewPeriodTracker() }
+
+// NewSegmenter returns a stream segmenter over an event detector.
+func NewSegmenter(cfg Config) (*Segmenter, error) { return core.NewSegmenter(cfg) }
+
+// DefaultAdaptivePolicy returns the paper-calibrated adaptive policy.
+func DefaultAdaptivePolicy() AdaptivePolicy { return core.DefaultAdaptivePolicy() }

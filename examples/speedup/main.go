@@ -1,0 +1,84 @@
+// Speedup computation: the paper's full §5 pipeline on the simulated
+// system — DITools interposition feeds loop addresses to the DPD, the
+// SelfAnalyzer identifies the iterative parallel region, measures one
+// iteration at a baseline allocation and one at the current allocation,
+// computes the speedup, and predicts the total execution time. The
+// measured speedups then drive the performance-driven processor
+// allocation policy of [Corbalan2000].
+//
+// Run with: go run ./examples/speedup
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"dpd/internal/apps"
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+	"dpd/internal/sched"
+	"dpd/internal/selfanalyzer"
+)
+
+func main() {
+	const cpus = 16
+
+	fmt.Printf("=== SelfAnalyzer on a %d-CPU simulated machine ===\n\n", cpus)
+	speedups := map[string]float64{}
+	for _, app := range apps.SPECfp95() {
+		m := machine.New(cpus)
+		reg := ditools.NewRegistry()
+		rt := nanos.MustNew(m, machine.DefaultCostModel(), cpus, reg)
+		sa := selfanalyzer.MustAttach(rt, reg, selfanalyzer.Config{})
+
+		probe := 40
+		if probe > app.Iterations {
+			probe = app.Iterations
+		}
+		app.RunIterations(rt, probe)
+
+		r := sa.Region()
+		if r == nil {
+			fmt.Printf("%-8s no iterative structure found\n", app.Name)
+			continue
+		}
+		s, _ := sa.Speedup()
+		est, _ := sa.EstimateTotal(app.Iterations)
+		fmt.Printf("%-8s region period %3d  speedup %5.2f on %2d CPUs  estimated total %8.1fs\n",
+			app.Name, r.Period, s, r.CurrentProcs, est.Seconds())
+		speedups[app.Name] = s
+	}
+
+	fmt.Printf("\n=== Feeding measured speedups into processor allocation ===\n\n")
+	// Build a workload whose speedup curves interpolate the SelfAnalyzer
+	// measurements (measured point at `cpus`, S(1)=1, Amdahl in between).
+	var jobs []sched.Job
+	for _, app := range apps.SPECfp95() {
+		s := speedups[app.Name]
+		if s == 0 {
+			continue
+		}
+		// Solve Amdahl's serial fraction from the measured S(cpus):
+		// S(p) = 1/(f + (1−f)/p) → f = (cpus/S − 1)/(cpus − 1).
+		f := (float64(cpus)/s - 1) / float64(cpus-1)
+		jobs = append(jobs, sched.Job{
+			Name: app.Name,
+			Work: app.SequentialTime(),
+			Speedup: func(p int) float64 {
+				if p <= 0 {
+					return 0
+				}
+				return 1 / (f + (1-f)/float64(p))
+			},
+		})
+	}
+	for _, pol := range []sched.Policy{sched.Equipartition{}, sched.PerformanceDriven{}} {
+		r, err := sched.Simulate(jobs, cpus, 100*time.Millisecond, pol)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-20s makespan %6.1fs  avg turnaround %6.1fs  cpu time %7.1fs\n",
+			pol.Name(), r.Makespan.Seconds(), r.AvgTurnaround.Seconds(), r.CPUTime.Seconds())
+	}
+}

@@ -1,0 +1,69 @@
+package dpd
+
+import (
+	"dpd/internal/core"
+)
+
+// DPD is the paper's Table 1 interface, ported to Go:
+//
+//	int DPD(long sample, int *period)   → Feed(sample) (start, period)
+//	void DPDWindowSize(int size)        → WindowSize(size)
+//
+// Feed processes one sample of the data series and returns a non-zero
+// start flag exactly when the sample begins a new period, together with
+// the detected period length — the segmentation contract the
+// SelfAnalyzer consumes in the paper's Figure 6:
+//
+//	start, period := d.Feed(address)
+//	if start != 0 {
+//	        InitParallelRegion(address, period)
+//	}
+//
+// The zero value is not usable; construct with NewDPD.
+type DPD struct {
+	det *core.EventDetector
+}
+
+// NewDPD returns a detector with the paper's default setting: a window of
+// 1024 samples, large enough to capture periodicities of up to 1023
+// samples; call WindowSize to shrink it once a satisfying periodicity is
+// detected (paper §3.1).
+func NewDPD() *DPD {
+	return &DPD{det: core.MustEventDetector(core.Config{Window: 1024})}
+}
+
+// NewDPDWithWindow returns a detector with an explicit window size.
+func NewDPDWithWindow(size int) (*DPD, error) {
+	det, err := core.NewEventDetector(core.Config{Window: size})
+	if err != nil {
+		return nil, err
+	}
+	return &DPD{det: det}, nil
+}
+
+// Feed processes one sample. start is 1 when the sample begins a new
+// period (the paper's non-zero return), else 0; period is the detected
+// periodicity in samples (0 while no periodicity is established).
+func (d *DPD) Feed(sample int64) (start, period int) {
+	r := d.det.Feed(sample)
+	if !r.Locked {
+		return 0, 0
+	}
+	if r.Start {
+		start = 1
+	}
+	return start, r.Period
+}
+
+// WindowSize adjusts the data window size during execution
+// (paper Table 1: DPDWindowSize). Invalid sizes are rejected.
+func (d *DPD) WindowSize(size int) error { return d.det.Resize(size) }
+
+// Window returns the current window size.
+func (d *DPD) Window() int { return d.det.Window() }
+
+// Period returns the currently locked periodicity (0 if none).
+func (d *DPD) Period() int { return d.det.Locked() }
+
+// Reset clears all detector state.
+func (d *DPD) Reset() { d.det.Reset() }

@@ -1,0 +1,315 @@
+// Package apps provides the evaluation workloads: loop-structure
+// skeletons of the five hand-parallelized SPECFp95 applications used in
+// the paper's Table 2/3 and Figure 7 (tomcatv, swim, apsi, hydro2d,
+// turb3d) plus the MPI/OpenMP NAS FT model behind Figures 3/4.
+//
+// Substitution note (see DESIGN.md §3): the real benchmarks' numerics are
+// irrelevant to the DPD — it only observes the *sequence of encapsulated
+// parallel-loop addresses* (Table 2, Figure 7) and the *CPU-usage signal*
+// (Figures 3/4). Each skeleton reproduces, exactly, the paper's stream
+// length and nesting structure:
+//
+//	tomcatv  3750 events  = 750 iterations × 5 loops          period 5
+//	swim     5402 events  = 2 + 900 × 6                       period 6
+//	apsi     5762 events  = 2 + 960 × 6                       period 6
+//	hydro2d  53814 events = 14 + 200 × 269                    periods 1, 24, 269
+//	         269 = 10 header + 30× one loop + 9 × 24 + 13 footer
+//	turb3d   1580 events  = 18 + 11 × 142                     periods 12, 142
+//	         142 = 10 header + 10 × 12 + 12 footer
+//
+// Per-iteration work is calibrated so the simulated sequential execution
+// times land near the paper's Table 3 ApExTime column (136.33 s, 135.17 s,
+// 95.9 s, 183.92 s, 266.44 s).
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+	"dpd/internal/series"
+	"dpd/internal/trace"
+)
+
+// App is an iterative parallel application: a prologue followed by a main
+// sequential loop whose body is a fixed segment list.
+type App struct {
+	// Name is the benchmark name (lower case, as in the paper's tables).
+	Name string
+	// Prologue runs once before the main loop.
+	Prologue []nanos.Segment
+	// Body is one iteration of the main sequential loop.
+	Body []nanos.Segment
+	// Iterations is the trip count of the main loop.
+	Iterations int
+	// ExpectPeriods is the ground-truth periodicity set (paper Table 2).
+	ExpectPeriods []int
+}
+
+// segEvents returns how many loop-call events a segment emits.
+func segEvents(s nanos.Segment) int {
+	if s.Loop.ID == 0 {
+		return 0
+	}
+	if s.Loop.Repeat > 1 {
+		return s.Loop.Repeat
+	}
+	return 1
+}
+
+// EventsPerIteration returns the number of loop-call events per main-loop
+// iteration (the outer periodicity of the address stream).
+func (a *App) EventsPerIteration() int {
+	n := 0
+	for _, s := range a.Body {
+		n += segEvents(s)
+	}
+	return n
+}
+
+// EventCount returns the total length of the address stream.
+func (a *App) EventCount() int {
+	n := 0
+	for _, s := range a.Prologue {
+		n += segEvents(s)
+	}
+	return n + a.Iterations*a.EventsPerIteration()
+}
+
+// Run executes the application to completion on the given runtime.
+func (a *App) Run(rt *nanos.Runtime) {
+	for _, s := range a.Prologue {
+		rt.RunSegment(s)
+	}
+	for i := 0; i < a.Iterations; i++ {
+		rt.RunIteration(a.Body)
+	}
+}
+
+// RunIterations executes the prologue and the first n iterations only.
+func (a *App) RunIterations(rt *nanos.Runtime, n int) {
+	if n > a.Iterations {
+		n = a.Iterations
+	}
+	for _, s := range a.Prologue {
+		rt.RunSegment(s)
+	}
+	for i := 0; i < n; i++ {
+		rt.RunIteration(a.Body)
+	}
+}
+
+// Trace runs the application on a fresh single-CPU machine with DITools
+// interposition and returns the loop-address stream — the exact data
+// series of the paper's Figure 7 / Table 2.
+func (a *App) Trace() *trace.EventTrace {
+	m := machine.New(1)
+	reg := ditools.NewRegistry()
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), 1, reg)
+	out := &trace.EventTrace{Name: a.Name}
+	reg.OnCall(func(e ditools.Event) { out.Append(e.Addr) })
+	a.Run(rt)
+	if out.Len() != a.EventCount() {
+		panic(fmt.Sprintf("apps: %s produced %d events, expected %d", a.Name, out.Len(), a.EventCount()))
+	}
+	return out
+}
+
+// SequentialTime returns the simulated execution time on one processor
+// (Table 3's ApExTime column).
+func (a *App) SequentialTime() time.Duration {
+	m := machine.New(1)
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), 1, nil)
+	a.Run(rt)
+	return m.Now()
+}
+
+// loop is shorthand for a single-call loop segment.
+func loop(id nanos.LoopID, trip int, perIter time.Duration) nanos.Segment {
+	return nanos.Segment{Loop: nanos.Loop{ID: id, Trip: trip, PerIter: perIter}}
+}
+
+// loopN is shorthand for a loop called `repeat` times consecutively.
+func loopN(id nanos.LoopID, trip int, perIter time.Duration, repeat int) nanos.Segment {
+	return nanos.Segment{Loop: nanos.Loop{ID: id, Trip: trip, PerIter: perIter, Repeat: repeat}}
+}
+
+// distinctLoops builds n consecutive single-call loop segments with
+// addresses base, base+0x40, ... — the compiler lays encapsulated loop
+// functions out consecutively in the text section.
+func distinctLoops(base nanos.LoopID, n, trip int, perIter time.Duration) []nanos.Segment {
+	out := make([]nanos.Segment, n)
+	for i := range out {
+		out[i] = loop(base+nanos.LoopID(i*0x40), trip, perIter)
+	}
+	return out
+}
+
+// Tomcatv returns the tomcatv skeleton: one flat periodicity of 5.
+func Tomcatv() *App {
+	return &App{
+		Name:          "tomcatv",
+		Body:          distinctLoops(0x401000, 5, 101, 360*time.Microsecond),
+		Iterations:    750,
+		ExpectPeriods: []int{5},
+	}
+}
+
+// Swim returns the swim skeleton: one flat periodicity of 6.
+func Swim() *App {
+	return &App{
+		Name:          "swim",
+		Prologue:      distinctLoops(0x4F1000, 2, 50, 100*time.Microsecond),
+		Body:          distinctLoops(0x402000, 6, 125, 200*time.Microsecond),
+		Iterations:    900,
+		ExpectPeriods: []int{6},
+	}
+}
+
+// Apsi returns the apsi skeleton: one flat periodicity of 6.
+func Apsi() *App {
+	return &App{
+		Name:          "apsi",
+		Prologue:      distinctLoops(0x4F2000, 2, 50, 100*time.Microsecond),
+		Body:          distinctLoops(0x403000, 6, 111, 150*time.Microsecond),
+		Iterations:    960,
+		ExpectPeriods: []int{6},
+	}
+}
+
+// Hydro2d returns the hydro2d skeleton: nested iterative structure with
+// periodicities 1 (a loop called 30× consecutively), 24 (an inner group
+// of 24 loops repeated 9×), and 269 (the whole outer iteration).
+func Hydro2d() *App {
+	var body []nanos.Segment
+	body = append(body, distinctLoops(0x404000, 10, 100, 34*time.Microsecond)...) // header
+	body = append(body, loopN(0x404800, 50, 68*time.Microsecond, 30))             // 30× same loop → period 1
+	inner := distinctLoops(0x405000, 24, 100, 34*time.Microsecond)
+	for r := 0; r < 9; r++ { // 9 × 24 → period 24
+		body = append(body, inner...)
+	}
+	body = append(body, distinctLoops(0x406000, 13, 100, 34*time.Microsecond)...) // footer
+	return &App{
+		Name:          "hydro2d",
+		Prologue:      distinctLoops(0x4F3000, 14, 50, 40*time.Microsecond),
+		Body:          body,
+		Iterations:    200,
+		ExpectPeriods: []int{1, 24, 269},
+	}
+}
+
+// Turb3d returns the turb3d skeleton: nested iterative structure with
+// periodicities 12 (inner group repeated 10×) and 142 (outer iteration).
+func Turb3d() *App {
+	var body []nanos.Segment
+	body = append(body, distinctLoops(0x407000, 10, 200, 853*time.Microsecond)...) // header
+	inner := distinctLoops(0x408000, 12, 200, 853*time.Microsecond)
+	for r := 0; r < 10; r++ { // 10 × 12 → period 12
+		body = append(body, inner...)
+	}
+	body = append(body, distinctLoops(0x409000, 12, 200, 853*time.Microsecond)...) // footer
+	return &App{
+		Name:          "turb3d",
+		Prologue:      distinctLoops(0x4F4000, 18, 50, 40*time.Microsecond),
+		Body:          body,
+		Iterations:    11,
+		ExpectPeriods: []int{12, 142},
+	}
+}
+
+// SPECfp95 returns the five evaluation applications in the paper's
+// Table 2 order.
+func SPECfp95() []*App {
+	return []*App{Apsi(), Hydro2d(), Swim(), Tomcatv(), Turb3d()}
+}
+
+// ByName returns the named application (SPECfp95 set + "ft") or an error.
+func ByName(name string) (*App, error) {
+	switch name {
+	case "tomcatv":
+		return Tomcatv(), nil
+	case "swim":
+		return Swim(), nil
+	case "apsi":
+		return Apsi(), nil
+	case "hydro2d":
+		return Hydro2d(), nil
+	case "turb3d":
+		return Turb3d(), nil
+	case "ft":
+		return FT(), nil
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}
+
+// FT returns the NAS FT model: an MPI/OpenMP application on 16 CPUs
+// (4 processes × 4 threads). Each iteration of its main loop opens and
+// closes parallelism a few times and exchanges messages between
+// processes; at the paper's 1 ms sampling this yields a CPU-usage
+// pattern with periodicity 44 samples (Figure 3/4).
+func FT() *App {
+	body := []nanos.Segment{
+		{Serial: 3 * time.Millisecond},                 // 1 CPU:  3 ms (transpose setup)
+		loop(0x40A000, 1600, 100*time.Microsecond),     // 16 CPU: 10 ms (FFT dimension 1)
+		{CommProcs: 4, CommTime: 4 * time.Millisecond}, // 4 CPU:  4 ms (MPI all-to-all)
+		loop(0x40A040, 1920, 100*time.Microsecond),     // 16 CPU: 12 ms (FFT dimension 2)
+		{Serial: 2 * time.Millisecond},                 // 1 CPU:  2 ms (checksum)
+		loop(0x40A080, 1600, 100*time.Microsecond),     // 16 CPU: 10 ms (FFT dimension 3)
+		{CommProcs: 4, CommTime: 3 * time.Millisecond}, // 4 CPU:  3 ms (MPI exchange)
+	}
+	return &App{
+		Name:          "ft",
+		Prologue:      []nanos.Segment{{Serial: 5 * time.Millisecond}},
+		Body:          body,
+		Iterations:    60,
+		ExpectPeriods: []int{44}, // in 1 ms CPU samples, not events
+	}
+}
+
+// ftCostModel has no fork/join overhead or contention so that the FT
+// iteration takes exactly 44 ms on 16 CPUs (3+10+4+12+2+10+3); the
+// communication cost that dominates FT is modeled explicitly by the
+// Communicate segments instead.
+func ftCostModel() machine.CostModel { return machine.CostModel{} }
+
+// FTCPUTrace runs the FT model on a 16-CPU machine with a 1 ms sampler
+// and returns the CPU-usage trace of the paper's Figure 3. jitterSeed
+// perturbs per-iteration loop trip counts by up to ±3% so that successive
+// iterations are similar but not identical ("it can be noted that the
+// pattern of CPU use is not exactly the same"); seed 0 disables jitter.
+func FTCPUTrace(iterations int, jitterSeed uint64) *trace.CPUTrace {
+	if iterations <= 0 {
+		iterations = 60
+	}
+	app := FT()
+	m := machine.New(16)
+	rt := nanos.MustNew(m, ftCostModel(), 16, nil)
+	sampler := trace.NewSampler("ft", time.Millisecond)
+	m.Observe(func(now time.Duration, active int) {
+		sampler.Observe(now, float64(active))
+	})
+
+	var rng *series.RNG
+	if jitterSeed != 0 {
+		rng = series.NewRNG(jitterSeed)
+	}
+	for _, s := range app.Prologue {
+		rt.RunSegment(s)
+	}
+	for i := 0; i < iterations; i++ {
+		for _, s := range app.Body {
+			if rng != nil && s.Loop.ID != 0 {
+				j := s.Loop
+				// ±3% trip jitter: similar but not identical iterations.
+				delta := int(float64(j.Trip) * 0.03 * (2*rng.Float64() - 1))
+				j.Trip += delta
+				rt.RunSegment(nanos.Segment{Loop: j})
+				continue
+			}
+			rt.RunSegment(s)
+		}
+	}
+	return sampler.Finish(m.Now())
+}

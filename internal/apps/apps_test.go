@@ -1,0 +1,248 @@
+package apps
+
+import (
+	"testing"
+	"time"
+
+	"dpd/internal/core"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+	"dpd/internal/series"
+)
+
+// Table 2 ground truth: stream lengths.
+func TestStreamLengthsMatchTable2(t *testing.T) {
+	want := map[string]int{
+		"apsi":    5762,
+		"hydro2d": 53814,
+		"swim":    5402,
+		"tomcatv": 3750,
+		"turb3d":  1580,
+	}
+	for _, app := range SPECfp95() {
+		if got := app.EventCount(); got != want[app.Name] {
+			t.Errorf("%s: EventCount=%d, want %d", app.Name, got, want[app.Name])
+		}
+		tr := app.Trace()
+		if tr.Len() != want[app.Name] {
+			t.Errorf("%s: trace len=%d, want %d", app.Name, tr.Len(), want[app.Name])
+		}
+	}
+}
+
+func TestEventsPerIterationIsOuterPeriod(t *testing.T) {
+	want := map[string]int{
+		"tomcatv": 5, "swim": 6, "apsi": 6, "hydro2d": 269, "turb3d": 142,
+	}
+	for _, app := range SPECfp95() {
+		if got := app.EventsPerIteration(); got != want[app.Name] {
+			t.Errorf("%s: EventsPerIteration=%d, want %d", app.Name, got, want[app.Name])
+		}
+	}
+}
+
+func TestTracesAreExactlyOuterPeriodic(t *testing.T) {
+	for _, app := range SPECfp95() {
+		tr := app.Trace()
+		p := app.EventsPerIteration()
+		// Skip the prologue; the iterative part must be exactly p-periodic.
+		pro := tr.Len() - app.Iterations*p
+		body := tr.Values[pro:]
+		if !series.IsPeriodicInt(body, p) {
+			t.Errorf("%s: body not %d-periodic", app.Name, p)
+		}
+		if f := series.FundamentalPeriodInt(body[:min(len(body), 10*p)], p); f != p {
+			t.Errorf("%s: fundamental=%d, want %d (no shorter global period)", app.Name, f, p)
+		}
+	}
+}
+
+func TestHydro2dNestedStructure(t *testing.T) {
+	tr := Hydro2d().Trace()
+	body := tr.Values[14 : 14+269] // first outer iteration
+	// Header: 10 distinct, then 30× one address.
+	run := body[10:40]
+	for i, v := range run {
+		if v != run[0] {
+			t.Fatalf("run position %d: %#x != %#x", i, v, run[0])
+		}
+	}
+	// Inner: 9 repetitions of a 24-address group.
+	inner := body[40 : 40+216]
+	if !series.IsPeriodicInt(inner, 24) {
+		t.Fatal("inner region not 24-periodic")
+	}
+	if series.FundamentalPeriodInt(inner, 24) != 24 {
+		t.Fatal("inner region has a shorter period than 24")
+	}
+}
+
+func TestTurb3dNestedStructure(t *testing.T) {
+	tr := Turb3d().Trace()
+	body := tr.Values[18 : 18+142]
+	inner := body[10 : 10+120]
+	if !series.IsPeriodicInt(inner, 12) {
+		t.Fatal("inner region not 12-periodic")
+	}
+	if series.FundamentalPeriodInt(inner, 12) != 12 {
+		t.Fatal("inner region has a shorter period than 12")
+	}
+}
+
+// The headline reproduction: the multi-scale DPD must detect exactly the
+// paper's Table 2 periodicities on every application.
+func TestTable2DetectedPeriodicities(t *testing.T) {
+	for _, app := range SPECfp95() {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			tr := app.Trace()
+			ms := core.MustMultiScaleDetector(nil, core.Config{})
+			pt := core.NewPeriodTracker()
+			for _, v := range tr.Values {
+				pt.ObserveMulti(ms.Feed(v), ms)
+			}
+			got := pt.SignificantPeriods(8)
+			want := app.ExpectPeriods
+			if len(got) != len(want) {
+				t.Fatalf("periods=%v, want %v", got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("periods=%v, want %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSequentialTimesNearPaper(t *testing.T) {
+	// Table 3 ApExTime: simulated sequential times must land within 5% of
+	// the paper's seconds (the skeletons are calibrated for this).
+	want := map[string]float64{
+		"tomcatv": 136.33,
+		"swim":    135.17,
+		"apsi":    95.9,
+		"hydro2d": 183.92,
+		"turb3d":  266.44,
+	}
+	for _, app := range SPECfp95() {
+		got := app.SequentialTime().Seconds()
+		w := want[app.Name]
+		if got < w*0.95 || got > w*1.05 {
+			t.Errorf("%s: sequential time %.2fs, want within 5%% of %.2fs", app.Name, got, w)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, n := range []string{"tomcatv", "swim", "apsi", "hydro2d", "turb3d", "ft"} {
+		app, err := ByName(n)
+		if err != nil || app.Name != n {
+			t.Errorf("ByName(%q)=%v,%v", n, app, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestFTIterationIs44ms(t *testing.T) {
+	app := FT()
+	m := machine.New(16)
+	rt := nanos.MustNew(m, ftCostModel(), 16, nil)
+	for _, s := range app.Prologue {
+		rt.RunSegment(s)
+	}
+	start := m.Now()
+	rt.RunIteration(app.Body)
+	if d := m.Now() - start; d != 44*time.Millisecond {
+		t.Fatalf("FT iteration=%v, want exactly 44ms", d)
+	}
+}
+
+func TestFTCPUTraceShape(t *testing.T) {
+	tr := FTCPUTrace(50, 0) // no jitter: exactly periodic
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Interval != time.Millisecond {
+		t.Fatalf("interval=%v", tr.Interval)
+	}
+	lo, hi := series.MinMax(tr.Samples)
+	if hi != 16 {
+		t.Fatalf("peak CPUs=%v, want 16", hi)
+	}
+	if lo < 0 {
+		t.Fatalf("min CPUs=%v", lo)
+	}
+	// After the 5ms prologue the sampled stream is exactly 44-periodic.
+	body := tr.Samples[6:]
+	if !series.IsPeriodic(body[:len(body)-50], 44) {
+		t.Fatal("jitter-free FT CPU trace not 44-periodic")
+	}
+}
+
+func TestFTCPUTraceFigure4Periodicity(t *testing.T) {
+	// With jitter (the realistic Figure 3 trace), eq. (1) must still find
+	// the periodicity at m = 44.
+	tr := FTCPUTrace(50, 12345)
+	d := core.MustMagnitudeDetector(core.Config{Window: 100, Confirm: 3})
+	var last core.Result
+	for _, v := range tr.Samples {
+		last = d.Feed(v)
+	}
+	if !last.Locked || last.Period < 43 || last.Period > 45 {
+		t.Fatalf("FT jittered trace: %+v, want period ≈44", last)
+	}
+}
+
+func TestFTCPUTraceJitterChangesIterations(t *testing.T) {
+	a := FTCPUTrace(30, 7)
+	b := FTCPUTrace(30, 0)
+	if len(a.Samples) == len(b.Samples) {
+		// Same length is possible but the contents must differ.
+		same := true
+		for i := range a.Samples {
+			if a.Samples[i] != b.Samples[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("jittered trace identical to jitter-free trace")
+		}
+	}
+}
+
+func TestTracesAreDeterministic(t *testing.T) {
+	a := Tomcatv().Trace()
+	b := Tomcatv().Trace()
+	if a.Len() != b.Len() {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			t.Fatalf("nondeterministic value at %d", i)
+		}
+	}
+}
+
+func TestAppsHaveDisjointAddressSpaces(t *testing.T) {
+	seen := map[int64]string{}
+	for _, app := range SPECfp95() {
+		tr := app.Trace()
+		for _, v := range tr.Values {
+			if owner, ok := seen[v]; ok && owner != app.Name {
+				t.Fatalf("address %#x used by both %s and %s", v, owner, app.Name)
+			}
+			seen[v] = app.Name
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

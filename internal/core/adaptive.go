@@ -1,0 +1,146 @@
+package core
+
+import "fmt"
+
+// AdaptivePolicy implements the paper's §3.1/§4 window-management advice:
+// start with a large window so that large periodicities can be captured,
+// then shrink once a satisfying periodicity is detected (saving per-sample
+// cost), and grow back if the lock is lost.
+type AdaptivePolicy struct {
+	// MinWindow and MaxWindow bound the window size.
+	MinWindow, MaxWindow int
+	// ShrinkAfter is the number of consecutive locked samples after which
+	// the window shrinks to Headroom×period (clamped to the bounds).
+	ShrinkAfter int
+	// Headroom is the window-to-period ratio kept after shrinking; must be
+	// > 1 so the shrunken window can still confirm the period.
+	Headroom float64
+	// GrowAfter is the number of consecutive unlocked samples after which
+	// the window doubles (up to MaxWindow).
+	GrowAfter int
+}
+
+// DefaultAdaptivePolicy mirrors the paper's settings: initial/maximum
+// window 1024 (captures periods up to 1023), minimum 8 (short periods
+// need windows below 10), shrink promptly after a stable lock.
+func DefaultAdaptivePolicy() AdaptivePolicy {
+	return AdaptivePolicy{
+		MinWindow:   8,
+		MaxWindow:   1024,
+		ShrinkAfter: 32,
+		Headroom:    2.5,
+		GrowAfter:   64,
+	}
+}
+
+func (p AdaptivePolicy) validate() error {
+	if p.MinWindow < 2 || p.MaxWindow < p.MinWindow {
+		return fmt.Errorf("core: adaptive bounds [%d,%d] invalid", p.MinWindow, p.MaxWindow)
+	}
+	if p.ShrinkAfter < 1 || p.GrowAfter < 1 {
+		return fmt.Errorf("core: adaptive ShrinkAfter/GrowAfter must be >= 1")
+	}
+	if p.Headroom <= 1 {
+		return fmt.Errorf("core: adaptive headroom %g must be > 1", p.Headroom)
+	}
+	return nil
+}
+
+// target returns the shrunken window for a locked period.
+func (p AdaptivePolicy) target(period int) int {
+	w := int(p.Headroom*float64(period)) + 1
+	if w < p.MinWindow {
+		w = p.MinWindow
+	}
+	if w > p.MaxWindow {
+		w = p.MaxWindow
+	}
+	return w
+}
+
+// AdaptiveDetector wraps an EventDetector with the adaptive window policy.
+type AdaptiveDetector struct {
+	det    *EventDetector
+	policy AdaptivePolicy
+
+	lockedRun   int
+	unlockedRun int
+	resizes     int
+}
+
+// NewAdaptiveDetector builds an adaptive detector starting at MaxWindow.
+func NewAdaptiveDetector(policy AdaptivePolicy, cfg Config) (*AdaptiveDetector, error) {
+	if err := policy.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Window = policy.MaxWindow
+	cfg.MaxLag = 0
+	det, err := NewEventDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveDetector{det: det, policy: policy}, nil
+}
+
+// MustAdaptiveDetector panics on config errors.
+func MustAdaptiveDetector(policy AdaptivePolicy, cfg Config) *AdaptiveDetector {
+	a, err := NewAdaptiveDetector(policy, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Window returns the current window size.
+func (a *AdaptiveDetector) Window() int { return a.det.Window() }
+
+// Resizes returns how many automatic resizes have happened (diagnostics
+// and the adaptive-window ablation bench).
+func (a *AdaptiveDetector) Resizes() int { return a.resizes }
+
+// Locked returns the currently locked period (0 if none).
+func (a *AdaptiveDetector) Locked() int { return a.det.Locked() }
+
+// Detector exposes the wrapped event detector.
+func (a *AdaptiveDetector) Detector() *EventDetector { return a.det }
+
+// Feed processes one event, applying the window policy.
+func (a *AdaptiveDetector) Feed(v int64) Result {
+	r := a.det.Feed(v)
+	if r.Locked {
+		a.lockedRun++
+		a.unlockedRun = 0
+		if a.lockedRun == a.policy.ShrinkAfter {
+			if w := a.policy.target(r.Period); w < a.det.Window() {
+				// Shrink: cheaper per-sample cost while the lock holds.
+				if err := a.det.Resize(w); err == nil {
+					a.resizes++
+				}
+			}
+		}
+	} else {
+		a.unlockedRun++
+		a.lockedRun = 0
+		if a.unlockedRun >= a.policy.GrowAfter && a.det.Window() < a.policy.MaxWindow {
+			w := a.det.Window() * 2
+			if w > a.policy.MaxWindow {
+				w = a.policy.MaxWindow
+			}
+			// Grow: a periodicity larger than the current window may exist.
+			if err := a.det.Resize(w); err == nil {
+				a.resizes++
+			}
+			a.unlockedRun = 0
+		}
+	}
+	return r
+}
+
+// Reset clears the wrapped detector and restores the maximum window.
+func (a *AdaptiveDetector) Reset() {
+	a.det.Reset()
+	if a.det.Window() != a.policy.MaxWindow {
+		_ = a.det.Resize(a.policy.MaxWindow)
+	}
+	a.lockedRun, a.unlockedRun, a.resizes = 0, 0, 0
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"dpd/internal/series"
+)
+
+func TestAdaptiveShrinksAfterStableLock(t *testing.T) {
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 256, ShrinkAfter: 20, Headroom: 2.5, GrowAfter: 50}
+	a := MustAdaptiveDetector(p, Config{})
+	if a.Window() != 256 {
+		t.Fatalf("initial window=%d, want max 256", a.Window())
+	}
+	for i := 0; i < 600; i++ {
+		a.Feed(int64(i % 5))
+	}
+	if a.Locked() != 5 {
+		t.Fatalf("lock=%d, want 5", a.Locked())
+	}
+	// Shrunk to ~Headroom·period, clamped at MinWindow.
+	if a.Window() != 13 {
+		t.Fatalf("window=%d, want int(2.5*5)+1=13", a.Window())
+	}
+	if a.Resizes() != 1 {
+		t.Fatalf("resizes=%d, want 1", a.Resizes())
+	}
+}
+
+func TestAdaptiveShrinkKeepsLockAndSegmentation(t *testing.T) {
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 128, ShrinkAfter: 10, Headroom: 3, GrowAfter: 50}
+	a := MustAdaptiveDetector(p, Config{})
+	var starts []uint64
+	for i := 0; i < 500; i++ {
+		if r := a.Feed(int64(i % 4)); r.Start {
+			starts = append(starts, r.T)
+		}
+	}
+	if len(starts) < 50 {
+		t.Fatalf("only %d starts", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] != 4 {
+			t.Fatalf("starts not spaced by 4 around resize: %v", starts[max(0, i-3):i+1])
+		}
+	}
+}
+
+func TestAdaptiveGrowsOnLockLoss(t *testing.T) {
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 10, Headroom: 2.5, GrowAfter: 15}
+	a := MustAdaptiveDetector(p, Config{})
+	// Lock on period 2 and shrink.
+	for i := 0; i < 100; i++ {
+		a.Feed(int64(i % 2))
+	}
+	small := a.Window()
+	if small >= 64 {
+		t.Fatalf("window did not shrink: %d", small)
+	}
+	// Switch to a period too large for the small window: 20-periodic.
+	rng := series.NewRNG(1)
+	pat := make([]int64, 20)
+	for i := range pat {
+		pat[i] = int64(1000 + rng.Intn(1<<20)*0 + i) // distinct
+	}
+	for i := 0; i < 400; i++ {
+		a.Feed(pat[i%20])
+	}
+	// The window must have grown enough to certify lag 20 (then possibly
+	// shrunk again to Headroom·20 = 41 once re-locked).
+	if a.Locked() != 20 {
+		t.Fatalf("lock=%d, want 20 after growth", a.Locked())
+	}
+	if w := a.Window(); w <= 20 {
+		t.Fatalf("window=%d cannot certify period 20", w)
+	}
+	if a.Resizes() < 2 {
+		t.Fatalf("resizes=%d, want shrink+grow cycles", a.Resizes())
+	}
+}
+
+func TestAdaptiveWindowNeverExceedsBounds(t *testing.T) {
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 32, ShrinkAfter: 5, Headroom: 2, GrowAfter: 5}
+	a := MustAdaptiveDetector(p, Config{})
+	rng := series.NewRNG(77)
+	for i := 0; i < 2000; i++ {
+		var v int64
+		if i/200%2 == 0 {
+			v = int64(i % 3) // periodic phase
+		} else {
+			v = int64(rng.Intn(1000)) // noise phase
+		}
+		a.Feed(v)
+		if w := a.Window(); w < 8 || w > 32 {
+			t.Fatalf("window %d escaped bounds at step %d", w, i)
+		}
+	}
+}
+
+func TestAdaptivePolicyValidation(t *testing.T) {
+	bad := []AdaptivePolicy{
+		{MinWindow: 1, MaxWindow: 64, ShrinkAfter: 1, Headroom: 2, GrowAfter: 1},
+		{MinWindow: 16, MaxWindow: 8, ShrinkAfter: 1, Headroom: 2, GrowAfter: 1},
+		{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 0, Headroom: 2, GrowAfter: 1},
+		{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 1, Headroom: 1, GrowAfter: 1},
+		{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 1, Headroom: 2, GrowAfter: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewAdaptiveDetector(p, Config{}); err == nil {
+			t.Errorf("policy %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestAdaptiveDefaultPolicyIsValid(t *testing.T) {
+	if _, err := NewAdaptiveDetector(DefaultAdaptivePolicy(), Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveReset(t *testing.T) {
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 5, Headroom: 2, GrowAfter: 10}
+	a := MustAdaptiveDetector(p, Config{})
+	for i := 0; i < 200; i++ {
+		a.Feed(int64(i % 2))
+	}
+	a.Reset()
+	if a.Window() != 64 || a.Locked() != 0 || a.Resizes() != 0 {
+		t.Fatalf("after reset window=%d lock=%d resizes=%d", a.Window(), a.Locked(), a.Resizes())
+	}
+}
+
+func TestAdaptiveCheaperAfterShrink(t *testing.T) {
+	// The point of shrinking: fewer lag updates per sample. Verify the
+	// wrapped detector's MaxLag dropped.
+	p := AdaptivePolicy{MinWindow: 8, MaxWindow: 512, ShrinkAfter: 10, Headroom: 2, GrowAfter: 50}
+	a := MustAdaptiveDetector(p, Config{})
+	for i := 0; i < 600; i++ {
+		a.Feed(int64(i % 3))
+	}
+	if got := a.Detector().MaxLag(); got >= 511 {
+		t.Fatalf("MaxLag=%d after shrink, want small", got)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+package core
+
+import "fmt"
+
+// Default configuration values. The paper reports N = 100 as sufficient
+// for most streams, windows down to below 10 for very short periodicities,
+// and up to N = 1024 to capture periods of up to 1023 samples (§3.1).
+const (
+	DefaultWindow       = 100
+	DefaultConfirm      = 1
+	DefaultGrace        = 0
+	DefaultRelThreshold = 0.5
+	MaxWindow           = 1 << 16
+
+	// harmonicTol is the depth slack (as a fraction of the curve mean)
+	// within which a smaller lag is preferred over a marginally deeper
+	// multiple; see Curve.BestFundamentalMinimum.
+	harmonicTol = 0.15
+)
+
+// Config parameterizes a detector.
+type Config struct {
+	// Window is the frame size N. Periods up to MaxLag can be detected.
+	Window int
+	// MaxLag is M in the paper, the largest lag probed; 0 means Window−1.
+	// Must satisfy MaxLag ≤ Window (paper: M ≤ N) and MaxLag ≥ 1.
+	MaxLag int
+	// Confirm is the number of consecutive steps a candidate period must
+	// hold before the detector locks. 1 locks immediately on a zero /
+	// significant minimum.
+	Confirm int
+	// Grace is the number of consecutive violating steps tolerated before
+	// a locked period is dropped. 0 drops the lock on the first violation.
+	Grace int
+	// RelThreshold (magnitude metric only) is the fraction of the curve
+	// mean a local minimum must stay below to count as a periodicity.
+	RelThreshold float64
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Window < 2 || c.Window > MaxWindow {
+		return c, fmt.Errorf("core: window %d outside [2,%d]", c.Window, MaxWindow)
+	}
+	if c.MaxLag == 0 {
+		c.MaxLag = c.Window - 1
+	}
+	if c.MaxLag < 1 || c.MaxLag > c.Window {
+		return c, fmt.Errorf("core: max lag %d outside [1,window=%d]", c.MaxLag, c.Window)
+	}
+	if c.Confirm == 0 {
+		c.Confirm = DefaultConfirm
+	}
+	if c.Confirm < 1 {
+		return c, fmt.Errorf("core: confirm %d must be >= 1", c.Confirm)
+	}
+	if c.Grace < 0 {
+		return c, fmt.Errorf("core: grace %d must be >= 0", c.Grace)
+	}
+	if c.RelThreshold == 0 {
+		c.RelThreshold = DefaultRelThreshold
+	}
+	if c.RelThreshold < 0 || c.RelThreshold > 1 {
+		return c, fmt.Errorf("core: relative threshold %g outside [0,1]", c.RelThreshold)
+	}
+	return c, nil
+}
+
+// Result is the per-sample output of a detector, mirroring the paper's
+// int DPD(long sample, int *period) interface: Start corresponds to the
+// non-zero return value and Period to the reported length.
+type Result struct {
+	// Locked reports whether a periodicity is currently established.
+	Locked bool
+	// Period is the locked period in samples (0 when not locked).
+	Period int
+	// Start is true exactly when the current sample begins a new period,
+	// the paper's segmentation signal.
+	Start bool
+	// Confidence is 1 for exact (event) locks; for magnitude locks it is
+	// the prominence of the minimum in [0,1].
+	Confidence float64
+	// T is the zero-based index of the sample that produced this result.
+	T uint64
+}

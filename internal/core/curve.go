@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dpd/internal/series"
+)
+
+// Curve is a snapshot of the DPD distance function d(m) for lags
+// m = 1..len(D). D[i] holds d(i+1). Lags whose window has not yet filled
+// are marked invalid (NaN for magnitude curves, -1 for event curves are
+// normalized to NaN here).
+type Curve struct {
+	// D holds d(m) for m = i+1. NaN marks a lag without a full window yet.
+	D []float64
+}
+
+// Valid reports whether lag m (1-based) has a fully evaluated distance.
+func (c Curve) Valid(m int) bool {
+	return m >= 1 && m <= len(c.D) && !math.IsNaN(c.D[m-1])
+}
+
+// At returns d(m). It panics if m is out of range.
+func (c Curve) At(m int) float64 {
+	if m < 1 || m > len(c.D) {
+		panic(fmt.Sprintf("core: curve lag %d out of range [1,%d]", m, len(c.D)))
+	}
+	return c.D[m-1]
+}
+
+// MaxLag returns the largest lag the curve covers.
+func (c Curve) MaxLag() int { return len(c.D) }
+
+// ZeroLags returns all valid lags with d(m) <= eps, in increasing order.
+// For event curves eps is 0; for magnitude curves a small absolute
+// tolerance absorbs float drift.
+func (c Curve) ZeroLags(eps float64) []int {
+	var out []int
+	for m := 1; m <= len(c.D); m++ {
+		if c.Valid(m) && c.D[m-1] <= eps {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Fundamental returns the smallest zero lag, or 0 if none.
+func (c Curve) Fundamental(eps float64) int {
+	for m := 1; m <= len(c.D); m++ {
+		if c.Valid(m) && c.D[m-1] <= eps {
+			return m
+		}
+	}
+	return 0
+}
+
+// Mean returns the mean of all valid distances (0 if none are valid).
+func (c Curve) Mean() float64 {
+	var s float64
+	n := 0
+	for m := 1; m <= len(c.D); m++ {
+		if c.Valid(m) {
+			s += c.D[m-1]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// ValidCount returns the number of lags with a full window.
+func (c Curve) ValidCount() int {
+	n := 0
+	for m := 1; m <= len(c.D); m++ {
+		if c.Valid(m) {
+			n++
+		}
+	}
+	return n
+}
+
+// LocalMinima returns the valid lags that are strict local minima of d:
+// d(m) < d(m−1) and d(m) <= d(m+1). A lag without a valid left neighbor
+// never qualifies — on a slowly drifting aperiodic stream d is increasing
+// from lag 1, and treating the left boundary as a minimum would lock a
+// bogus period 1 (exactly zero lags, including genuine period-1 constant
+// runs, are detected separately via ZeroLags/Fundamental). The right
+// boundary qualifies when strictly below its left neighbor.
+func (c Curve) LocalMinima() []int {
+	var out []int
+	for m := 2; m <= len(c.D); m++ {
+		if !c.Valid(m) || !c.Valid(m-1) {
+			continue
+		}
+		v := c.D[m-1]
+		if v >= c.D[m-2] {
+			continue
+		}
+		if m < len(c.D) && c.Valid(m+1) && v > c.D[m] {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// BestMinimum returns the deepest local minimum (smallest d; ties resolve
+// to the smallest lag, preferring the fundamental over its multiples) and
+// whether one exists.
+func (c Curve) BestMinimum() (lag int, ok bool) {
+	minima := c.LocalMinima()
+	if len(minima) == 0 {
+		return 0, false
+	}
+	best := minima[0]
+	for _, m := range minima[1:] {
+		if c.D[m-1] < c.D[best-1] {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// BestFundamentalMinimum is BestMinimum with harmonic suppression: on a
+// noisy p-periodic stream the minima at p, 2p, 3p… have the same expected
+// depth, and sampling noise can make a multiple marginally deeper than the
+// fundamental. Among minima whose depth is within tol·mean of the deepest
+// one, the smallest lag wins.
+func (c Curve) BestFundamentalMinimum(tol float64) (lag int, ok bool) {
+	minima := c.LocalMinima()
+	if len(minima) == 0 {
+		return 0, false
+	}
+	deepest := minima[0]
+	for _, m := range minima[1:] {
+		if c.D[m-1] < c.D[deepest-1] {
+			deepest = m
+		}
+	}
+	slack := tol * c.Mean()
+	best := deepest
+	for _, m := range minima {
+		if m < best && c.D[m-1] <= c.D[deepest-1]+slack {
+			best = m
+		}
+	}
+	return best, true
+}
+
+// NaiveCurveL1 computes the paper's eq. (1) distance curve directly from a
+// history slice: the window is the last n samples of hist, and for each
+// lag m = 1..maxLag, d(m) = (1/n)·Σ_{i} |x[i] − x[i−m]| over the window.
+// Lags whose shifted frame would reach before the start of hist are
+// marked NaN. This is the O(N·M) reference the incremental detector is
+// differential-tested against.
+func NaiveCurveL1(hist []float64, n, maxLag int) Curve {
+	if n <= 0 || maxLag <= 0 {
+		panic(fmt.Sprintf("core: NaiveCurveL1 needs positive n=%d maxLag=%d", n, maxLag))
+	}
+	d := make([]float64, maxLag)
+	end := len(hist)
+	start := end - n
+	for m := 1; m <= maxLag; m++ {
+		if start-m < 0 || start < 0 {
+			d[m-1] = math.NaN()
+			continue
+		}
+		var s float64
+		for i := start; i < end; i++ {
+			s += math.Abs(hist[i] - hist[i-m])
+		}
+		d[m-1] = s / float64(n)
+	}
+	return Curve{D: d}
+}
+
+// NaiveCurveSign computes the paper's eq. (2) distance curve directly:
+// d(m) = 0 if the last n events repeat exactly with lag m, else 1.
+// Unavailable lags are NaN.
+func NaiveCurveSign(hist []int64, n, maxLag int) Curve {
+	if n <= 0 || maxLag <= 0 {
+		panic(fmt.Sprintf("core: NaiveCurveSign needs positive n=%d maxLag=%d", n, maxLag))
+	}
+	d := make([]float64, maxLag)
+	end := len(hist)
+	start := end - n
+	for m := 1; m <= maxLag; m++ {
+		if start-m < 0 || start < 0 {
+			d[m-1] = math.NaN()
+			continue
+		}
+		v := 0.0
+		for i := start; i < end; i++ {
+			if hist[i] != hist[i-m] {
+				v = 1.0
+				break
+			}
+		}
+		d[m-1] = v
+	}
+	return Curve{D: d}
+}
+
+// CurveFromSeries is a convenience for offline analysis (Figure 4): it
+// computes the magnitude curve over the final window of a full series.
+func CurveFromSeries(xs []float64, window, maxLag int) Curve {
+	return NaiveCurveL1(xs, window, maxLag)
+}
+
+// Prominence returns how deep lag m's distance sits below the curve mean,
+// normalized to [0,1]: 1 − d(m)/mean. Zero or negative means the lag is
+// not below average and should not be trusted as a periodicity. Returns 0
+// when the mean is 0 (flat curve).
+func (c Curve) Prominence(m int) float64 {
+	if !c.Valid(m) {
+		return 0
+	}
+	mean := c.Mean()
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 - c.At(m)/mean
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// OracleFundamental returns the ground-truth fundamental period of the
+// last n samples of hist (0 if aperiodic within maxLag). Test helper.
+func OracleFundamental(hist []float64, n, maxLag int) int {
+	if len(hist) < n {
+		n = len(hist)
+	}
+	return series.FundamentalPeriod(hist[len(hist)-n:], maxLag)
+}

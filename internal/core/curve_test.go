@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpd/internal/series"
+)
+
+func TestNaiveCurveL1ExactPeriodic(t *testing.T) {
+	// 4-periodic stream: d(4), d(8) must be zero, others positive.
+	hist := series.Repeat([]float64{1, 5, 2, 7}, 8) // 32 samples
+	c := NaiveCurveL1(hist, 16, 12)
+	for m := 1; m <= 12; m++ {
+		v := c.At(m)
+		if m%4 == 0 {
+			if v != 0 {
+				t.Errorf("d(%d)=%v, want 0", m, v)
+			}
+		} else if !(v > 0) {
+			t.Errorf("d(%d)=%v, want > 0", m, v)
+		}
+	}
+}
+
+func TestNaiveCurveL1UnavailableLagsAreNaN(t *testing.T) {
+	hist := []float64{1, 2, 3, 4, 5, 6}
+	c := NaiveCurveL1(hist, 4, 5)
+	// window = last 4, start index 2; lag m needs start-m >= 0 → m <= 2.
+	for m := 1; m <= 2; m++ {
+		if !c.Valid(m) {
+			t.Errorf("lag %d should be valid", m)
+		}
+	}
+	for m := 3; m <= 5; m++ {
+		if c.Valid(m) {
+			t.Errorf("lag %d should be NaN", m)
+		}
+	}
+}
+
+func TestNaiveCurveL1Values(t *testing.T) {
+	hist := []float64{0, 0, 0, 3, 0, 3} // window [0,3,0,3]
+	c := NaiveCurveL1(hist, 4, 2)
+	// lag 1: |0-0|+|3-0|+|0-3|+|3-0| = 9 → 9/4
+	if got := c.At(1); math.Abs(got-2.25) > 1e-12 {
+		t.Errorf("d(1)=%v, want 2.25", got)
+	}
+	// lag 2: |0-0|+|3-0|+|0-0|+|3-3| = 3 → 0.75
+	if got := c.At(2); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("d(2)=%v, want 0.75", got)
+	}
+}
+
+func TestNaiveCurveSignZeroAndOne(t *testing.T) {
+	hist := series.RepeatInt([]int64{10, 20, 30}, 6) // 18 samples, 3-periodic
+	c := NaiveCurveSign(hist, 9, 9)
+	for m := 1; m <= 9; m++ {
+		v := c.At(m)
+		if m%3 == 0 {
+			if v != 0 {
+				t.Errorf("d(%d)=%v, want 0", m, v)
+			}
+		} else if v != 1 {
+			t.Errorf("d(%d)=%v, want 1", m, v)
+		}
+	}
+}
+
+func TestCurveZeroLagsAndFundamental(t *testing.T) {
+	c := Curve{D: []float64{1, 0, 1, 0, math.NaN()}}
+	zs := c.ZeroLags(0)
+	if len(zs) != 2 || zs[0] != 2 || zs[1] != 4 {
+		t.Fatalf("ZeroLags=%v, want [2 4]", zs)
+	}
+	if c.Fundamental(0) != 2 {
+		t.Fatalf("Fundamental=%d, want 2", c.Fundamental(0))
+	}
+}
+
+func TestCurveFundamentalNoneIsZero(t *testing.T) {
+	c := Curve{D: []float64{1, 0.5, 0.2}}
+	if c.Fundamental(0) != 0 {
+		t.Fatal("aperiodic curve must have fundamental 0")
+	}
+}
+
+func TestCurveMeanSkipsNaN(t *testing.T) {
+	c := Curve{D: []float64{2, math.NaN(), 4}}
+	if got := c.Mean(); got != 3 {
+		t.Fatalf("Mean=%v, want 3", got)
+	}
+	if c.ValidCount() != 2 {
+		t.Fatalf("ValidCount=%d, want 2", c.ValidCount())
+	}
+	empty := Curve{D: []float64{math.NaN()}}
+	if empty.Mean() != 0 {
+		t.Fatal("all-NaN mean must be 0")
+	}
+}
+
+func TestCurveLocalMinimaInterior(t *testing.T) {
+	// Clear V shape at lag 3.
+	c := Curve{D: []float64{5, 4, 1, 4, 5}}
+	ms := c.LocalMinima()
+	found := false
+	for _, m := range ms {
+		if m == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("LocalMinima=%v, want to contain 3", ms)
+	}
+}
+
+func TestCurveLocalMinimaExcludesBoundaryLagOne(t *testing.T) {
+	// Lag 1 has no left neighbor and must never qualify as a local
+	// minimum: increasing curves (drifting aperiodic streams) would
+	// otherwise lock a bogus period 1. Flat-zero curves are handled by
+	// the Fundamental/ZeroLags exact path instead.
+	increasing := Curve{D: []float64{1, 2, 3, 4}}
+	if ms := increasing.LocalMinima(); len(ms) != 0 {
+		t.Fatalf("LocalMinima on increasing curve=%v, want none", ms)
+	}
+	flat := Curve{D: []float64{0, 0, 0, 0}}
+	if ms := flat.LocalMinima(); len(ms) != 0 {
+		t.Fatalf("LocalMinima on flat curve=%v, want none (use Fundamental)", ms)
+	}
+	if flat.Fundamental(0) != 1 {
+		t.Fatal("flat-zero curve fundamental must be 1")
+	}
+}
+
+func TestCurveBestFundamentalMinimumSuppressesHarmonics(t *testing.T) {
+	// Minimum at lag 3 (depth 1.0) and a noise-deepened harmonic at lag 6
+	// (depth 0.9): the fundamental must win within tolerance.
+	c := Curve{D: []float64{5, 5, 1.0, 5, 5, 0.9, 5, 5}}
+	lag, ok := c.BestFundamentalMinimum(0.15)
+	if !ok || lag != 3 {
+		t.Fatalf("BestFundamentalMinimum=(%d,%v), want (3,true)", lag, ok)
+	}
+	// With zero tolerance the raw deepest wins.
+	lag, _ = c.BestFundamentalMinimum(0)
+	if lag != 6 {
+		t.Fatalf("tol=0 gave %d, want 6", lag)
+	}
+}
+
+func TestCurveBestMinimumPicksDeepest(t *testing.T) {
+	c := Curve{D: []float64{5, 2, 5, 1, 5}}
+	lag, ok := c.BestMinimum()
+	if !ok || lag != 4 {
+		t.Fatalf("BestMinimum=(%d,%v), want (4,true)", lag, ok)
+	}
+}
+
+func TestCurveBestMinimumTieBreaksToSmallestLag(t *testing.T) {
+	// Equal minima at lags 2 and 4: fundamental (smaller) must win.
+	c := Curve{D: []float64{5, 1, 5, 1, 5}}
+	lag, ok := c.BestMinimum()
+	if !ok || lag != 2 {
+		t.Fatalf("BestMinimum=(%d,%v), want (2,true)", lag, ok)
+	}
+}
+
+func TestCurveProminence(t *testing.T) {
+	c := Curve{D: []float64{4, 0, 4, 4}} // mean 3, d(2)=0 → prominence 1
+	if got := c.Prominence(2); got != 1 {
+		t.Errorf("Prominence(2)=%v, want 1", got)
+	}
+	if got := c.Prominence(1); got != 0 { // above mean → clamped to 0
+		t.Errorf("Prominence(1)=%v, want 0", got)
+	}
+	flat := Curve{D: []float64{0, 0}}
+	if flat.Prominence(1) != 0 {
+		t.Error("flat curve prominence must be 0")
+	}
+}
+
+func TestCurveAtPanicsOutOfRange(t *testing.T) {
+	c := Curve{D: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(2) did not panic")
+		}
+	}()
+	c.At(2)
+}
+
+func TestNaiveCurvePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaiveCurveL1 with n=0 did not panic")
+		}
+	}()
+	NaiveCurveL1([]float64{1, 2}, 0, 1)
+}
+
+func TestOracleFundamental(t *testing.T) {
+	hist := series.Repeat([]float64{1, 2, 3}, 10)
+	if got := OracleFundamental(hist, 12, 6); got != 3 {
+		t.Fatalf("oracle=%d, want 3", got)
+	}
+}
+
+func TestCurveFromSeriesFigure4Shape(t *testing.T) {
+	// A 44-periodic CPU-usage-like wave: the curve must dip at 44 and 88.
+	gen := series.Square(16, 1, 30, 14)
+	xs := series.Take(gen, 400)
+	c := CurveFromSeries(xs, 100, 99)
+	if c.At(44) != 0 {
+		t.Fatalf("d(44)=%v, want 0", c.At(44))
+	}
+	if c.At(88) != 0 {
+		t.Fatalf("d(88)=%v, want 0", c.At(88))
+	}
+	if !(c.At(22) > 0) {
+		t.Fatalf("d(22)=%v, want > 0", c.At(22))
+	}
+	lag, ok := c.BestMinimum()
+	if !ok || lag != 44 {
+		t.Fatalf("best minimum=%d, want 44 (the paper's Figure 4)", lag)
+	}
+}

@@ -1,0 +1,33 @@
+// Package core implements the Dynamic Periodicity Detector (DPD) of
+// Freitag, Corbalán and Labarta (IPDPS 2001): an online, frame-based
+// detector that estimates the periodicity of a data stream while the
+// stream is being produced, segments the stream into periods, and supports
+// dynamic window resizing.
+//
+// Two distance metrics are provided, matching the paper's equations:
+//
+//   - eq. (1), magnitude streams (MagnitudeDetector):
+//     d(m) = (1/N) * Σ_{n=0}^{N-1} |x[n] − x[n−m]|
+//     The periodicity is the lag m at which d(m) has a significant local
+//     minimum. Used for sampled quantities such as the number of active
+//     CPUs (paper Figures 3 and 4).
+//
+//   - eq. (2), event streams (EventDetector):
+//     d(m) = sign(Σ_{i=0}^{N-1} |x[i] − x[i−m]|)
+//     The periodicity is any lag with d(m) == 0, i.e. the last N events
+//     repeat exactly with lag m. Used for streams of code addresses
+//     (paper Figure 7, Table 2).
+//
+// Both detectors maintain, for every lag m in 1..M (M ≤ N), an
+// incrementally updated window accumulator, so the per-sample cost is
+// O(M) with O(N·M) worst-case memory for the event detector's mismatch
+// windows — the memory/compute trade-off the paper attributes to
+// [Freitag00]. A naive reference implementation (NaiveCurve*) is kept for
+// differential testing and for the incremental-vs-naive ablation bench.
+//
+// MultiScaleDetector runs a ladder of event detectors with geometrically
+// spaced window sizes so that short inner periodicities and long outer
+// ones (hydro2d's {1, 24, 269}, turb3d's {12, 142} in Table 2) are
+// captured concurrently, and PeriodTracker aggregates the distinct
+// periodicities observed over a stream's lifetime.
+package core

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dpd/internal/series"
+)
+
+// EventDetector implements the paper's eq. (2) metric for event streams
+// (e.g. parallel-loop addresses): d(m) = sign(Σ |x[i] − x[i−m]|), which is
+// zero exactly when the last N events repeat with lag m.
+//
+// Per lag m it keeps a sliding window of N mismatch bits updated in O(1),
+// so feeding one sample costs O(M) comparisons. History of the last
+// N + M samples is retained to support window resizing by replay.
+type EventDetector struct {
+	cfg  Config
+	hist *series.IntRing // last Window+MaxLag samples
+	// counts[m-1] tracks mismatches of x[t] vs x[t−m] over the last Window
+	// comparisons; d(m) == 0 ⟺ counts[m-1].Zero().
+	counts  []*series.SlidingCount
+	zeroRun []int // consecutive steps each lag has been zero
+
+	locked    bool
+	period    int
+	anchor    uint64 // sample index where the current period phase starts
+	graceLeft int
+
+	t uint64 // samples fed so far
+}
+
+// NewEventDetector returns a detector for event streams.
+func NewEventDetector(cfg Config) (*EventDetector, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &EventDetector{cfg: c}
+	d.alloc()
+	return d, nil
+}
+
+// MustEventDetector is NewEventDetector that panics on config errors; for
+// use with static configurations in examples and tools.
+func MustEventDetector(cfg Config) *EventDetector {
+	d, err := NewEventDetector(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d *EventDetector) alloc() {
+	d.hist = series.NewIntRing(d.cfg.Window + d.cfg.MaxLag)
+	d.counts = make([]*series.SlidingCount, d.cfg.MaxLag)
+	d.zeroRun = make([]int, d.cfg.MaxLag)
+	for i := range d.counts {
+		d.counts[i] = series.NewSlidingCount(d.cfg.Window)
+	}
+}
+
+// Window returns the current window size N.
+func (d *EventDetector) Window() int { return d.cfg.Window }
+
+// MaxLag returns the largest probed lag M.
+func (d *EventDetector) MaxLag() int { return d.cfg.MaxLag }
+
+// Samples returns the number of samples fed so far.
+func (d *EventDetector) Samples() uint64 { return d.t }
+
+// Locked returns the currently locked period (0 if none).
+func (d *EventDetector) Locked() int {
+	if !d.locked {
+		return 0
+	}
+	return d.period
+}
+
+// Feed processes one event sample and returns the detection result.
+func (d *EventDetector) Feed(v int64) Result {
+	// Update every lag's mismatch window against the retained history.
+	avail := d.hist.Len()
+	for m := 1; m <= d.cfg.MaxLag; m++ {
+		if m > avail {
+			break // no sample x[t−m] yet; deeper lags are unavailable too
+		}
+		mismatch := v != d.hist.Last(m-1)
+		c := d.counts[m-1]
+		c.Push(mismatch)
+		if c.Zero() {
+			d.zeroRun[m-1]++
+		} else {
+			d.zeroRun[m-1] = 0
+		}
+	}
+	d.hist.Push(v)
+	res := d.decide()
+	d.t++
+	return res
+}
+
+// decide applies the lock/segmentation policy after counters are updated.
+func (d *EventDetector) decide() Result {
+	res := Result{T: d.t}
+
+	// Candidate: smallest lag whose zero run reached the confirm count.
+	cand := 0
+	for m := 1; m <= d.cfg.MaxLag; m++ {
+		if d.zeroRun[m-1] >= d.cfg.Confirm {
+			cand = m
+			break
+		}
+	}
+
+	switch {
+	case !d.locked && cand > 0:
+		// New lock: the current sample is defined as a period start
+		// (paper Figure 6: the detection point identifies the region).
+		d.locked = true
+		d.period = cand
+		d.anchor = d.t
+		d.graceLeft = d.cfg.Grace
+		res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, 1
+
+	case d.locked && cand > 0 && cand < d.period:
+		// A shorter (more fundamental) periodicity emerged; re-lock.
+		d.period = cand
+		d.anchor = d.t
+		d.graceLeft = d.cfg.Grace
+		res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, 1
+
+	case d.locked && d.counts[d.period-1].Zero():
+		// Lock holds.
+		d.graceLeft = d.cfg.Grace
+		res.Locked, res.Period, res.Confidence = true, d.period, 1
+		res.Start = (d.t-d.anchor)%uint64(d.period) == 0
+
+	case d.locked && d.graceLeft > 0:
+		// Violation inside the grace budget: keep the lock provisionally.
+		d.graceLeft--
+		res.Locked, res.Period, res.Confidence = true, d.period, 1
+		res.Start = (d.t-d.anchor)%uint64(d.period) == 0
+
+	case d.locked:
+		// Lock lost. If another confirmed lag exists, switch immediately.
+		d.locked = false
+		d.period = 0
+		if cand > 0 {
+			d.locked = true
+			d.period = cand
+			d.anchor = d.t
+			d.graceLeft = d.cfg.Grace
+			res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, 1
+		}
+	}
+	return res
+}
+
+// Curve returns the current event distance curve: d(m) ∈ {0,1}, NaN for
+// lags whose comparison window has not filled.
+func (d *EventDetector) Curve() Curve {
+	out := make([]float64, d.cfg.MaxLag)
+	for m := 1; m <= d.cfg.MaxLag; m++ {
+		c := d.counts[m-1]
+		switch {
+		case !c.Full():
+			out[m-1] = math.NaN()
+		case c.Ones() == 0:
+			out[m-1] = 0
+		default:
+			out[m-1] = 1
+		}
+	}
+	return Curve{D: out}
+}
+
+// MismatchCount returns the raw mismatch count for lag m (diagnostics).
+// It returns −1 when the lag's window has not filled yet.
+func (d *EventDetector) MismatchCount(m int) int {
+	if m < 1 || m > d.cfg.MaxLag {
+		return -1
+	}
+	c := d.counts[m-1]
+	if !c.Full() {
+		return -1
+	}
+	return c.Ones()
+}
+
+// History returns the retained samples, oldest first (test/diagnostic aid).
+func (d *EventDetector) History() []int64 { return d.hist.Snapshot(nil) }
+
+// Reset clears all state but keeps the configuration.
+func (d *EventDetector) Reset() {
+	d.hist.Reset()
+	for i := range d.counts {
+		d.counts[i].Reset()
+		d.zeroRun[i] = 0
+	}
+	d.locked = false
+	d.period = 0
+	d.anchor = 0
+	d.graceLeft = 0
+	d.t = 0
+}
+
+// Resize changes the window size N (paper interface DPDWindowSize) and
+// sets MaxLag to newWindow−1. Retained history is replayed so that the
+// detector warms up as far as the kept samples allow. The absolute sample
+// clock and any compatible lock survive the resize.
+func (d *EventDetector) Resize(newWindow int) error {
+	if newWindow < 2 {
+		return fmt.Errorf("core: window %d outside [2,%d]", newWindow, MaxWindow)
+	}
+	nc := d.cfg
+	nc.Window = newWindow
+	nc.MaxLag = 0 // recompute as newWindow−1
+	nc, err := nc.withDefaults()
+	if err != nil {
+		return err
+	}
+	old := d.hist.Snapshot(nil)
+	wasLocked, oldPeriod, oldAnchor := d.locked, d.period, d.anchor
+	d.cfg = nc
+	d.alloc()
+
+	// Replay retained history through the new lag bank. The absolute time
+	// base d.t is preserved; replay only rebuilds window state.
+	keep := len(old)
+	max := nc.Window + nc.MaxLag
+	if keep > max {
+		old = old[keep-max:]
+	}
+	for i, v := range old {
+		for m := 1; m <= nc.MaxLag && m <= i; m++ {
+			c := d.counts[m-1]
+			c.Push(v != old[i-m])
+			if c.Zero() {
+				d.zeroRun[m-1]++
+			} else {
+				d.zeroRun[m-1] = 0
+			}
+		}
+		d.hist.Push(v)
+	}
+
+	// Preserve the lock only if the new window still confirms it.
+	if wasLocked && oldPeriod <= nc.MaxLag && d.counts[oldPeriod-1].Zero() {
+		d.locked = true
+		d.period = oldPeriod
+		d.anchor = oldAnchor
+		d.graceLeft = nc.Grace
+	} else {
+		d.locked = false
+		d.period = 0
+	}
+	return nil
+}

@@ -1,0 +1,405 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpd/internal/series"
+)
+
+// feedAll feeds every sample and returns all results.
+func feedAll(d *EventDetector, xs []int64) []Result {
+	out := make([]Result, len(xs))
+	for i, v := range xs {
+		out[i] = d.Feed(v)
+	}
+	return out
+}
+
+func TestEventDetectorLocksFundamental(t *testing.T) {
+	d := MustEventDetector(Config{Window: 20})
+	xs := series.RepeatInt([]int64{0x100, 0x200, 0x300, 0x400, 0x500}, 20)
+	rs := feedAll(d, xs)
+	last := rs[len(rs)-1]
+	if !last.Locked || last.Period != 5 {
+		t.Fatalf("final result=%+v, want lock on period 5", last)
+	}
+}
+
+func TestEventDetectorLockTime(t *testing.T) {
+	// Lag p's comparison window (size N) starts filling at sample p, so the
+	// earliest possible lock is at sample index p+N−1.
+	n, p := 12, 3
+	d := MustEventDetector(Config{Window: n})
+	xs := series.RepeatInt([]int64{7, 8, 9}, 20)
+	rs := feedAll(d, xs)
+	for i, r := range rs {
+		if r.Locked {
+			if i != p+n-1 {
+				t.Fatalf("locked at sample %d, want %d", i, p+n-1)
+			}
+			if !r.Start {
+				t.Fatal("first locked sample must be a period start")
+			}
+			return
+		}
+	}
+	t.Fatal("never locked")
+}
+
+func TestEventDetectorRejectsAperiodic(t *testing.T) {
+	d := MustEventDetector(Config{Window: 16})
+	for i := int64(0); i < 200; i++ {
+		r := d.Feed(i * 31) // strictly increasing: never periodic
+		if r.Locked {
+			t.Fatalf("locked on aperiodic stream at %d", i)
+		}
+	}
+}
+
+func TestEventDetectorStartSpacing(t *testing.T) {
+	d := MustEventDetector(Config{Window: 24})
+	xs := series.RepeatInt([]int64{1, 2, 3, 4, 5, 6, 7}, 30)
+	var starts []int
+	for i, v := range xs {
+		if r := d.Feed(v); r.Start {
+			starts = append(starts, i)
+		}
+	}
+	if len(starts) < 10 {
+		t.Fatalf("only %d starts", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] != 7 {
+			t.Fatalf("starts %v not spaced by period 7", starts)
+		}
+	}
+}
+
+func TestEventDetectorUnlocksOnPhaseChange(t *testing.T) {
+	d := MustEventDetector(Config{Window: 10})
+	xs := append(series.RepeatInt([]int64{1, 2}, 20), series.RepeatInt([]int64{9, 9, 9, 8, 7}, 2)...)
+	var lastLocked int
+	for i, v := range xs {
+		if r := d.Feed(v); r.Locked {
+			lastLocked = i
+		}
+	}
+	if lastLocked >= len(xs)-1 {
+		t.Fatal("lock survived a phase change with grace 0")
+	}
+}
+
+func TestEventDetectorGraceRidesThroughGlitch(t *testing.T) {
+	// One corrupted sample inside an otherwise periodic stream: with grace,
+	// the lock must survive; without it must drop.
+	mk := func(grace int) bool {
+		d := MustEventDetector(Config{Window: 8, Grace: grace})
+		lockedAtEnd := false
+		for i := 0; i < 200; i++ {
+			v := int64(i % 4)
+			if i == 100 {
+				v = 99
+			}
+			r := d.Feed(v)
+			lockedAtEnd = r.Locked
+			if i == 101 && grace > 0 && !r.Locked {
+				return false
+			}
+		}
+		return lockedAtEnd
+	}
+	if !mk(16) {
+		t.Error("grace=16 should ride through a single glitch")
+	}
+	// With grace 0 the lock must drop at the glitch and re-acquire later —
+	// also ending locked, but dropping in between.
+	d := MustEventDetector(Config{Window: 8, Grace: 0})
+	droppedAt := -1
+	for i := 0; i < 200; i++ {
+		v := int64(i % 4)
+		if i == 100 {
+			v = 99
+		}
+		r := d.Feed(v)
+		if i >= 100 && i <= 110 && !r.Locked && droppedAt < 0 {
+			droppedAt = i
+		}
+	}
+	if droppedAt < 0 {
+		t.Error("grace=0 lock must drop on a glitch")
+	}
+}
+
+func TestEventDetectorSwitchesToShorterPeriod(t *testing.T) {
+	d := MustEventDetector(Config{Window: 8})
+	// 4-periodic phase, then a long constant run: period must become 1.
+	for i := 0; i < 40; i++ {
+		d.Feed(int64(i % 4))
+	}
+	if d.Locked() != 4 {
+		t.Fatalf("phase 1 lock=%d, want 4", d.Locked())
+	}
+	var last Result
+	for i := 0; i < 40; i++ {
+		last = d.Feed(42)
+	}
+	if !last.Locked || last.Period != 1 {
+		t.Fatalf("after constant run: %+v, want period 1", last)
+	}
+}
+
+func TestEventDetectorCurveMatchesNaive(t *testing.T) {
+	// Differential test: the incremental curve must equal the naive eq. (2)
+	// computation at every step, on a stream with phase changes.
+	n := 10
+	d := MustEventDetector(Config{Window: n})
+	rng := series.NewRNG(5)
+	var hist []int64
+	for i := 0; i < 300; i++ {
+		var v int64
+		switch {
+		case i < 100:
+			v = int64(i % 4)
+		case i < 200:
+			v = int64(rng.Intn(3))
+		default:
+			v = int64(i % 7)
+		}
+		hist = append(hist, v)
+		d.Feed(v)
+		got := d.Curve()
+		want := NaiveCurveSign(hist, n, n-1)
+		for m := 1; m <= n-1; m++ {
+			gv, wv := got.Valid(m), want.Valid(m)
+			if gv != wv {
+				t.Fatalf("step %d lag %d: validity %v vs naive %v", i, m, gv, wv)
+			}
+			if gv && got.At(m) != want.At(m) {
+				t.Fatalf("step %d lag %d: d=%v naive=%v", i, m, got.At(m), want.At(m))
+			}
+		}
+	}
+}
+
+func TestEventDetectorMismatchCount(t *testing.T) {
+	d := MustEventDetector(Config{Window: 6})
+	for i := 0; i < 30; i++ {
+		d.Feed(int64(i % 3))
+	}
+	if got := d.MismatchCount(3); got != 0 {
+		t.Errorf("MismatchCount(3)=%d, want 0", got)
+	}
+	if got := d.MismatchCount(2); got != 6 {
+		t.Errorf("MismatchCount(2)=%d, want 6 (every comparison differs)", got)
+	}
+	if got := d.MismatchCount(0); got != -1 {
+		t.Errorf("MismatchCount(0)=%d, want -1", got)
+	}
+	if got := d.MismatchCount(99); got != -1 {
+		t.Errorf("MismatchCount(99)=%d, want -1", got)
+	}
+}
+
+func TestEventDetectorResizePreservesLock(t *testing.T) {
+	d := MustEventDetector(Config{Window: 64})
+	for i := 0; i < 200; i++ {
+		d.Feed(int64(i % 5))
+	}
+	if d.Locked() != 5 {
+		t.Fatalf("pre-resize lock=%d", d.Locked())
+	}
+	if err := d.Resize(16); err != nil {
+		t.Fatal(err)
+	}
+	if d.Window() != 16 || d.MaxLag() != 15 {
+		t.Fatalf("post-resize window=%d maxLag=%d", d.Window(), d.MaxLag())
+	}
+	if d.Locked() != 5 {
+		t.Fatalf("post-resize lock=%d, want 5 preserved", d.Locked())
+	}
+	// Segmentation must stay phase-aligned across the resize.
+	var starts []uint64
+	for i := 0; i < 50; i++ {
+		if r := d.Feed(int64((200 + i) % 5)); r.Start {
+			starts = append(starts, r.T)
+		}
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] != 5 {
+			t.Fatalf("post-resize starts %v not spaced by 5", starts)
+		}
+	}
+}
+
+func TestEventDetectorResizeGrowDetectsLargerPeriod(t *testing.T) {
+	d := MustEventDetector(Config{Window: 8}) // max lag 7 < 12
+	pat := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	for i := 0; i < 60; i++ {
+		if r := d.Feed(pat[i%12]); r.Locked {
+			t.Fatalf("window 8 cannot certify period 12, but locked at %d", i)
+		}
+	}
+	if err := d.Resize(32); err != nil {
+		t.Fatal(err)
+	}
+	var locked Result
+	for i := 60; i < 150; i++ {
+		locked = d.Feed(pat[i%12])
+	}
+	if !locked.Locked || locked.Period != 12 {
+		t.Fatalf("after growth: %+v, want period 12", locked)
+	}
+}
+
+func TestEventDetectorResizeRejectsBadWindow(t *testing.T) {
+	d := MustEventDetector(Config{Window: 8})
+	if err := d.Resize(1); err == nil {
+		t.Fatal("Resize(1) must fail")
+	}
+	if err := d.Resize(MaxWindow + 1); err == nil {
+		t.Fatal("Resize beyond MaxWindow must fail")
+	}
+	// Failed resize must leave the detector usable.
+	for i := 0; i < 30; i++ {
+		d.Feed(int64(i % 2))
+	}
+	if d.Locked() != 2 {
+		t.Fatalf("detector broken after failed resize: lock=%d", d.Locked())
+	}
+}
+
+func TestEventDetectorReset(t *testing.T) {
+	d := MustEventDetector(Config{Window: 8})
+	for i := 0; i < 50; i++ {
+		d.Feed(int64(i % 2))
+	}
+	d.Reset()
+	if d.Locked() != 0 || d.Samples() != 0 {
+		t.Fatalf("after reset lock=%d samples=%d", d.Locked(), d.Samples())
+	}
+	for i := 0; i < 50; i++ {
+		d.Feed(int64(i % 3))
+	}
+	if d.Locked() != 3 {
+		t.Fatalf("detector unusable after reset: lock=%d", d.Locked())
+	}
+}
+
+func TestEventDetectorConfirmDelaysLock(t *testing.T) {
+	d1 := MustEventDetector(Config{Window: 10, Confirm: 1})
+	d5 := MustEventDetector(Config{Window: 10, Confirm: 5})
+	lockAt := func(d *EventDetector) int {
+		d.Reset()
+		for i := 0; i < 100; i++ {
+			if r := d.Feed(int64(i % 2)); r.Locked {
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := lockAt(d1), lockAt(d5)
+	if a < 0 || b < 0 {
+		t.Fatalf("lock times %d,%d", a, b)
+	}
+	if b != a+4 {
+		t.Fatalf("confirm=5 locked at %d, confirm=1 at %d; want +4 delay", b, a)
+	}
+}
+
+func TestEventDetectorConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Window: 1},
+		{Window: MaxWindow * 2},
+		{Window: 10, MaxLag: 11},
+		{Window: 10, Confirm: -1},
+		{Window: 10, Grace: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := NewEventDetector(cfg); err == nil {
+			t.Errorf("config %+v accepted, want error", cfg)
+		}
+	}
+}
+
+func TestEventDetectorHistoryDepth(t *testing.T) {
+	d := MustEventDetector(Config{Window: 6})
+	for i := 0; i < 100; i++ {
+		d.Feed(int64(i))
+	}
+	h := d.History()
+	if len(h) != 6+5 {
+		t.Fatalf("history len=%d, want window+maxLag=11", len(h))
+	}
+	if h[len(h)-1] != 99 {
+		t.Fatalf("history newest=%d, want 99", h[len(h)-1])
+	}
+}
+
+// Property: for a randomly chosen pattern of distinct values cycled long
+// enough, the detector locks exactly on the pattern's fundamental period.
+func TestEventDetectorPropertyLocksFundamental(t *testing.T) {
+	f := func(seed uint64, lenRaw uint8) bool {
+		pl := int(lenRaw%9) + 2 // pattern length 2..10
+		rng := series.NewRNG(seed)
+		// Distinct values ⇒ fundamental = pattern length.
+		pat := make([]int64, pl)
+		perm := rng.Intn(1000)
+		for i := range pat {
+			pat[i] = int64(perm*100 + i)
+		}
+		d := MustEventDetector(Config{Window: 24})
+		var last Result
+		for i := 0; i < 24*4+pl; i++ {
+			last = d.Feed(pat[i%pl])
+		}
+		return last.Locked && last.Period == pl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every zero lag reported by the curve on a p-periodic stream is
+// a multiple of p.
+func TestEventDetectorPropertyZeroLagsAreMultiples(t *testing.T) {
+	f := func(seed uint64, lenRaw uint8) bool {
+		pl := int(lenRaw%6) + 2
+		pat := make([]int64, pl)
+		for i := range pat {
+			pat[i] = int64(i) // distinct
+		}
+		d := MustEventDetector(Config{Window: 32})
+		for i := 0; i < 200; i++ {
+			d.Feed(pat[i%pl])
+		}
+		for _, z := range d.Curve().ZeroLags(0) {
+			if z%pl != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: detection is shift-invariant — rotating the pattern changes
+// the phase anchor but never the locked period.
+func TestEventDetectorPropertyShiftInvariant(t *testing.T) {
+	f := func(rot uint8) bool {
+		pat := []int64{10, 20, 30, 40, 50, 60}
+		r := int(rot) % 6
+		rotated := append(append([]int64{}, pat[r:]...), pat[:r]...)
+		d := MustEventDetector(Config{Window: 18})
+		var last Result
+		for i := 0; i < 120; i++ {
+			last = d.Feed(rotated[i%6])
+		}
+		return last.Locked && last.Period == 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dpd/internal/series"
+)
+
+// MagnitudeDetector implements the paper's eq. (1) metric for streams
+// whose sample values are meaningful magnitudes (e.g. the number of active
+// CPUs): d(m) = (1/N)·Σ |x[n] − x[n−m]|. The detected periodicity is the
+// lag of a significant local minimum of d.
+//
+// Per lag m a sliding sum of |x[t] − x[t−m]| over the last N comparisons
+// is maintained in O(1), so feeding one sample costs O(M).
+type MagnitudeDetector struct {
+	cfg  Config
+	hist *series.Ring
+	sums []*series.SlidingSum
+
+	scale *series.EWMA // running scale of |x|, for the zero tolerance
+
+	lastCand int // candidate lag seen on the previous step
+	candRun  int // consecutive steps the candidate has persisted
+
+	locked    bool
+	period    int
+	anchor    uint64
+	graceLeft int
+	conf      float64
+
+	t uint64
+
+	curveBuf []float64 // reused scratch for Curve / decide
+}
+
+// NewMagnitudeDetector returns a detector for magnitude streams.
+func NewMagnitudeDetector(cfg Config) (*MagnitudeDetector, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	d := &MagnitudeDetector{cfg: c, scale: series.NewEWMA(0.05)}
+	d.alloc()
+	return d, nil
+}
+
+// MustMagnitudeDetector panics on config errors.
+func MustMagnitudeDetector(cfg Config) *MagnitudeDetector {
+	d, err := NewMagnitudeDetector(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d *MagnitudeDetector) alloc() {
+	d.hist = series.NewRing(d.cfg.Window + d.cfg.MaxLag)
+	d.sums = make([]*series.SlidingSum, d.cfg.MaxLag)
+	for i := range d.sums {
+		d.sums[i] = series.NewSlidingSum(d.cfg.Window)
+	}
+	d.curveBuf = make([]float64, d.cfg.MaxLag)
+}
+
+// Window returns the current window size N.
+func (d *MagnitudeDetector) Window() int { return d.cfg.Window }
+
+// MaxLag returns the largest probed lag M.
+func (d *MagnitudeDetector) MaxLag() int { return d.cfg.MaxLag }
+
+// Samples returns the number of samples fed so far.
+func (d *MagnitudeDetector) Samples() uint64 { return d.t }
+
+// Locked returns the currently locked period (0 if none).
+func (d *MagnitudeDetector) Locked() int {
+	if !d.locked {
+		return 0
+	}
+	return d.period
+}
+
+// zeroEps is the absolute tolerance under which a distance counts as zero,
+// scaled to the stream's own magnitude so that float accumulation noise on
+// large-valued streams does not mask exact periodicity.
+func (d *MagnitudeDetector) zeroEps() float64 {
+	return 1e-9 * (1 + d.scale.Value())
+}
+
+// Feed processes one sample and returns the detection result.
+func (d *MagnitudeDetector) Feed(v float64) Result {
+	d.scale.Push(math.Abs(v))
+	avail := d.hist.Len()
+	for m := 1; m <= d.cfg.MaxLag; m++ {
+		if m > avail {
+			break
+		}
+		d.sums[m-1].Push(math.Abs(v - d.hist.Last(m-1)))
+	}
+	d.hist.Push(v)
+	res := d.decide()
+	d.t++
+	return res
+}
+
+// candidate evaluates the current curve and returns the most plausible
+// periodicity lag (0 if none) together with its prominence.
+func (d *MagnitudeDetector) candidate() (int, float64) {
+	c := d.curve()
+	eps := d.zeroEps()
+
+	// Exact (or numerically exact) repetition: smallest zero lag wins;
+	// this covers constant streams where every distance is zero.
+	if f := c.Fundamental(eps); f > 0 {
+		return f, 1
+	}
+
+	lag, ok := c.BestFundamentalMinimum(harmonicTol)
+	if !ok {
+		return 0, 0
+	}
+	mean := c.Mean()
+	if mean <= eps {
+		return 0, 0
+	}
+	if c.At(lag) > d.cfg.RelThreshold*mean {
+		return 0, 0 // minimum not deep enough to be a periodicity
+	}
+	return lag, c.Prominence(lag)
+}
+
+func (d *MagnitudeDetector) decide() Result {
+	res := Result{T: d.t}
+
+	cand, prom := d.candidate()
+	if cand > 0 && cand == d.lastCand {
+		d.candRun++
+	} else if cand > 0 {
+		d.candRun = 1
+	} else {
+		d.candRun = 0
+	}
+	d.lastCand = cand
+	confirmed := cand > 0 && d.candRun >= d.cfg.Confirm
+
+	switch {
+	case !d.locked && confirmed:
+		d.locked = true
+		d.period = cand
+		d.anchor = d.t
+		d.graceLeft = d.cfg.Grace
+		d.conf = prom
+		res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, prom
+
+	case d.locked && confirmed && cand != d.period:
+		// The dominant minimum moved: re-lock and re-anchor.
+		d.period = cand
+		d.anchor = d.t
+		d.graceLeft = d.cfg.Grace
+		d.conf = prom
+		res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, prom
+
+	case d.locked && cand == d.period:
+		d.graceLeft = d.cfg.Grace
+		d.conf = prom
+		res.Locked, res.Period, res.Confidence = true, d.period, prom
+		res.Start = (d.t-d.anchor)%uint64(d.period) == 0
+
+	case d.locked && d.graceLeft > 0:
+		d.graceLeft--
+		res.Locked, res.Period, res.Confidence = true, d.period, d.conf
+		res.Start = (d.t-d.anchor)%uint64(d.period) == 0
+
+	case d.locked:
+		d.locked = false
+		d.period = 0
+	}
+	return res
+}
+
+// curve fills the scratch buffer with the current d(m) values.
+func (d *MagnitudeDetector) curve() Curve {
+	for m := 1; m <= d.cfg.MaxLag; m++ {
+		s := d.sums[m-1]
+		if !s.Full() {
+			d.curveBuf[m-1] = math.NaN()
+		} else {
+			d.curveBuf[m-1] = s.Sum() / float64(d.cfg.Window)
+		}
+	}
+	return Curve{D: d.curveBuf}
+}
+
+// Curve returns a copy of the current distance curve (paper Figure 4).
+func (d *MagnitudeDetector) Curve() Curve {
+	c := d.curve()
+	out := make([]float64, len(c.D))
+	copy(out, c.D)
+	return Curve{D: out}
+}
+
+// History returns the retained samples, oldest first.
+func (d *MagnitudeDetector) History() []float64 { return d.hist.Snapshot(nil) }
+
+// Reset clears all state but keeps the configuration.
+func (d *MagnitudeDetector) Reset() {
+	d.hist.Reset()
+	for i := range d.sums {
+		d.sums[i].Reset()
+	}
+	d.scale.Reset()
+	d.lastCand, d.candRun = 0, 0
+	d.locked, d.period, d.anchor, d.graceLeft, d.conf = false, 0, 0, 0, 0
+	d.t = 0
+}
+
+// Recompute refreshes every lag's sliding sum from its retained window,
+// clearing accumulated floating-point drift on very long streams.
+func (d *MagnitudeDetector) Recompute() {
+	for _, s := range d.sums {
+		s.Recompute()
+	}
+}
+
+// Resize changes the window size (DPDWindowSize), replaying retained
+// history. MaxLag becomes newWindow−1.
+func (d *MagnitudeDetector) Resize(newWindow int) error {
+	if newWindow < 2 {
+		return fmt.Errorf("core: window %d outside [2,%d]", newWindow, MaxWindow)
+	}
+	nc := d.cfg
+	nc.Window = newWindow
+	nc.MaxLag = 0
+	nc, err := nc.withDefaults()
+	if err != nil {
+		return err
+	}
+	old := d.hist.Snapshot(nil)
+	wasLocked, oldPeriod, oldAnchor := d.locked, d.period, d.anchor
+	d.cfg = nc
+	d.alloc()
+
+	keep := len(old)
+	max := nc.Window + nc.MaxLag
+	if keep > max {
+		old = old[keep-max:]
+	}
+	for i, v := range old {
+		for m := 1; m <= nc.MaxLag && m <= i; m++ {
+			d.sums[m-1].Push(math.Abs(v - old[i-m]))
+		}
+		d.hist.Push(v)
+	}
+
+	// Keep the lock only if the replayed curve still supports it.
+	d.locked = false
+	d.lastCand, d.candRun = 0, 0
+	if wasLocked && oldPeriod <= nc.MaxLag {
+		if cand, prom := d.candidate(); cand == oldPeriod {
+			d.locked = true
+			d.period = oldPeriod
+			d.anchor = oldAnchor
+			d.graceLeft = nc.Grace
+			d.conf = prom
+			d.lastCand, d.candRun = cand, d.cfg.Confirm
+		}
+	}
+	if !d.locked {
+		d.period = 0
+	}
+	return nil
+}

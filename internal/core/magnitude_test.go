@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpd/internal/series"
+)
+
+func TestMagnitudeDetectorExactPeriodic(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 30})
+	g := series.NewPatternGenerator([]float64{1, 4, 2, 8, 5, 7})
+	var last Result
+	for i := 0; i < 200; i++ {
+		last = d.Feed(g.Next())
+	}
+	if !last.Locked || last.Period != 6 {
+		t.Fatalf("final=%+v, want period 6", last)
+	}
+	if last.Confidence != 1 {
+		t.Fatalf("exact lock confidence=%v, want 1", last.Confidence)
+	}
+}
+
+func TestMagnitudeDetectorConstantStreamIsPeriodOne(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 16})
+	var last Result
+	for i := 0; i < 100; i++ {
+		last = d.Feed(42)
+	}
+	if !last.Locked || last.Period != 1 {
+		t.Fatalf("constant stream: %+v, want period 1", last)
+	}
+}
+
+func TestMagnitudeDetectorSinePeriod(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 100})
+	g := series.Sine(8, 25)
+	var last Result
+	for i := 0; i < 500; i++ {
+		last = d.Feed(g.Next())
+	}
+	if !last.Locked || last.Period != 25 {
+		t.Fatalf("sine: %+v, want period 25", last)
+	}
+}
+
+func TestMagnitudeDetectorNoisySquareWaveFigure4(t *testing.T) {
+	// The paper's Figure 3/4 scenario: a CPU-usage-like wave with period 44
+	// whose repetitions are similar but not identical. Eq. (1) must find the
+	// local minimum at m = 44.
+	d := MustMagnitudeDetector(Config{Window: 100, Confirm: 3})
+	rng := series.NewRNG(99)
+	g := series.WithNoise(series.Square(16, 1, 30, 14), 0.4, rng)
+	var last Result
+	for i := 0; i < 600; i++ {
+		last = d.Feed(g.Next())
+	}
+	if !last.Locked || last.Period != 44 {
+		t.Fatalf("noisy square: %+v, want period 44", last)
+	}
+	if last.Confidence <= 0.5 {
+		t.Fatalf("confidence=%v, want > 0.5 for a deep minimum", last.Confidence)
+	}
+}
+
+func TestMagnitudeDetectorRejectsNoise(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 64, Confirm: 4})
+	rng := series.NewRNG(3)
+	locks := 0
+	for i := 0; i < 2000; i++ {
+		if r := d.Feed(rng.Float64() * 100); r.Locked {
+			locks++
+		}
+	}
+	// Pure noise: spurious locks must be rare (< 2% of samples).
+	if locks > 40 {
+		t.Fatalf("%d locked samples on white noise", locks)
+	}
+}
+
+func TestMagnitudeDetectorRejectsMonotonicRamp(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 32})
+	for i := 0; i < 500; i++ {
+		if r := d.Feed(float64(i)); r.Locked {
+			t.Fatalf("locked on a monotonic ramp at %d (period %d)", i, r.Period)
+		}
+	}
+}
+
+func TestMagnitudeDetectorCurveMatchesNaive(t *testing.T) {
+	n := 12
+	d := MustMagnitudeDetector(Config{Window: n})
+	rng := series.NewRNG(17)
+	var hist []float64
+	for i := 0; i < 250; i++ {
+		v := math.Floor(rng.Float64()*8) + math.Sin(float64(i)/5)
+		hist = append(hist, v)
+		d.Feed(v)
+		got := d.Curve()
+		want := NaiveCurveL1(hist, n, n-1)
+		for m := 1; m < n; m++ {
+			gv, wv := got.Valid(m), want.Valid(m)
+			if gv != wv {
+				t.Fatalf("step %d lag %d: validity %v vs %v", i, m, gv, wv)
+			}
+			if gv && math.Abs(got.At(m)-want.At(m)) > 1e-9 {
+				t.Fatalf("step %d lag %d: d=%v naive=%v", i, m, got.At(m), want.At(m))
+			}
+		}
+	}
+}
+
+func TestMagnitudeDetectorStartSpacing(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 40})
+	g := series.NewPatternGenerator([]float64{5, 1, 3, 9, 2, 6, 8, 4})
+	var starts []uint64
+	for i := 0; i < 400; i++ {
+		if r := d.Feed(g.Next()); r.Start {
+			starts = append(starts, r.T)
+		}
+	}
+	if len(starts) < 5 {
+		t.Fatalf("only %d starts", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if starts[i]-starts[i-1] != 8 {
+			t.Fatalf("starts %v not spaced by 8", starts)
+		}
+	}
+}
+
+func TestMagnitudeDetectorAmplitudeScaleInvariance(t *testing.T) {
+	// Scaling the signal must not change the detected period (eq. (1) is
+	// homogeneous in the amplitude).
+	for _, amp := range []float64{0.001, 1, 1000} {
+		d := MustMagnitudeDetector(Config{Window: 50})
+		g := series.Sine(amp, 10)
+		var last Result
+		for i := 0; i < 300; i++ {
+			last = d.Feed(g.Next())
+		}
+		if !last.Locked || last.Period != 10 {
+			t.Fatalf("amp=%v: %+v, want period 10", amp, last)
+		}
+	}
+}
+
+func TestMagnitudeDetectorResizePreservesLock(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 64})
+	g := series.NewPatternGenerator([]float64{2, 7, 4})
+	for i := 0; i < 300; i++ {
+		d.Feed(g.Next())
+	}
+	if d.Locked() != 3 {
+		t.Fatalf("pre-resize lock=%d", d.Locked())
+	}
+	if err := d.Resize(12); err != nil {
+		t.Fatal(err)
+	}
+	if d.Locked() != 3 {
+		t.Fatalf("post-resize lock=%d, want 3", d.Locked())
+	}
+	var last Result
+	for i := 0; i < 50; i++ {
+		last = d.Feed(g.Next())
+	}
+	if !last.Locked || last.Period != 3 {
+		t.Fatalf("post-resize feed: %+v", last)
+	}
+}
+
+func TestMagnitudeDetectorResizeRejectsBad(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 16})
+	if err := d.Resize(0); err == nil {
+		t.Fatal("Resize(0) must fail")
+	}
+}
+
+func TestMagnitudeDetectorRecomputeIdempotentWhenClean(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 20})
+	g := series.Sine(3, 7)
+	for i := 0; i < 100; i++ {
+		d.Feed(g.Next())
+	}
+	before := d.Curve()
+	d.Recompute()
+	after := d.Curve()
+	for m := 1; m <= before.MaxLag(); m++ {
+		if before.Valid(m) != after.Valid(m) {
+			t.Fatalf("validity changed at lag %d", m)
+		}
+		if before.Valid(m) && math.Abs(before.At(m)-after.At(m)) > 1e-9 {
+			t.Fatalf("lag %d: %v → %v after recompute", m, before.At(m), after.At(m))
+		}
+	}
+}
+
+func TestMagnitudeDetectorReset(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 16})
+	for i := 0; i < 100; i++ {
+		d.Feed(float64(i % 4))
+	}
+	d.Reset()
+	if d.Locked() != 0 || d.Samples() != 0 {
+		t.Fatalf("after reset lock=%d samples=%d", d.Locked(), d.Samples())
+	}
+	var last Result
+	for i := 0; i < 100; i++ {
+		last = d.Feed(float64(i % 5))
+	}
+	if !last.Locked || last.Period != 5 {
+		t.Fatalf("unusable after reset: %+v", last)
+	}
+}
+
+func TestMagnitudeDetectorPhaseChangeRelocks(t *testing.T) {
+	d := MustMagnitudeDetector(Config{Window: 32, Grace: 4})
+	g1 := series.NewPatternGenerator([]float64{1, 2, 3, 4})
+	for i := 0; i < 150; i++ {
+		d.Feed(g1.Next())
+	}
+	if d.Locked() != 4 {
+		t.Fatalf("phase 1 lock=%d", d.Locked())
+	}
+	g2 := series.NewPatternGenerator([]float64{10, 20, 30, 40, 50, 60, 70})
+	var last Result
+	for i := 0; i < 300; i++ {
+		last = d.Feed(g2.Next())
+	}
+	if !last.Locked || last.Period != 7 {
+		t.Fatalf("phase 2: %+v, want period 7", last)
+	}
+}
+
+func TestMagnitudeConfigRelThresholdValidation(t *testing.T) {
+	if _, err := NewMagnitudeDetector(Config{Window: 16, RelThreshold: 2}); err == nil {
+		t.Fatal("RelThreshold > 1 accepted")
+	}
+	if _, err := NewMagnitudeDetector(Config{Window: 16, RelThreshold: -0.5}); err == nil {
+		t.Fatal("negative RelThreshold accepted")
+	}
+}
+
+func TestMagnitudeDetectorTightThresholdRejectsShallowMinima(t *testing.T) {
+	// A weakly periodic signal: small periodic component buried in noise.
+	// A strict threshold must refuse to lock where a lax one accepts.
+	run := func(th float64) int {
+		d := MustMagnitudeDetector(Config{Window: 60, RelThreshold: th, Confirm: 2})
+		rng := series.NewRNG(8)
+		locks := 0
+		for i := 0; i < 1200; i++ {
+			v := 0.4*math.Sin(2*math.Pi*float64(i)/15) + 3*rng.Norm()
+			if r := d.Feed(v); r.Locked {
+				locks++
+			}
+		}
+		return locks
+	}
+	strict, lax := run(0.05), run(0.95)
+	if strict >= lax {
+		t.Fatalf("strict threshold locked %d >= lax %d", strict, lax)
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultLadder is the window ladder used when none is given: small
+// windows lock onto short inner periodicities quickly (the paper notes
+// windows below 10 for very short periods), large ones capture outer
+// iteration structure up to 1023 samples.
+var DefaultLadder = []int{8, 32, 256, 1024}
+
+// MultiScaleDetector runs a ladder of event detectors with increasing
+// window sizes over the same stream. Nested iterative applications
+// (hydro2d, turb3d in Table 2) expose different periodicities at different
+// scales and phases of execution; no single window captures all of them.
+type MultiScaleDetector struct {
+	levels []*EventDetector
+	t      uint64
+}
+
+// NewMultiScaleDetector builds a ladder detector. windows must be strictly
+// increasing and each ≥ 2; nil selects DefaultLadder. The remaining Config
+// fields (Confirm, Grace) apply to every level.
+func NewMultiScaleDetector(windows []int, cfg Config) (*MultiScaleDetector, error) {
+	if windows == nil {
+		windows = DefaultLadder
+	}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("core: empty window ladder")
+	}
+	ms := &MultiScaleDetector{}
+	prev := 1
+	for _, w := range windows {
+		if w <= prev {
+			return nil, fmt.Errorf("core: ladder windows must be strictly increasing, got %v", windows)
+		}
+		prev = w
+		c := cfg
+		c.Window = w
+		c.MaxLag = 0
+		det, err := NewEventDetector(c)
+		if err != nil {
+			return nil, err
+		}
+		ms.levels = append(ms.levels, det)
+	}
+	return ms, nil
+}
+
+// MustMultiScaleDetector panics on config errors.
+func MustMultiScaleDetector(windows []int, cfg Config) *MultiScaleDetector {
+	ms, err := NewMultiScaleDetector(windows, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ms
+}
+
+// Levels returns the number of ladder levels.
+func (ms *MultiScaleDetector) Levels() int { return len(ms.levels) }
+
+// Level returns the i-th underlying detector (0 = smallest window).
+func (ms *MultiScaleDetector) Level(i int) *EventDetector { return ms.levels[i] }
+
+// MultiResult aggregates the per-level results of one sample.
+type MultiResult struct {
+	// PerLevel holds each ladder level's result, smallest window first.
+	PerLevel []Result
+	// Primary is the result of the largest-window level that is locked —
+	// the outermost iterative structure, which is what the SelfAnalyzer
+	// times (one outer iteration contains the whole parallel region).
+	Primary Result
+	// Shortest is the result of the smallest-window locked level, i.e.
+	// the most fine-grained repetition currently active.
+	Shortest Result
+	// T is the sample index.
+	T uint64
+}
+
+// Feed processes one event through every ladder level.
+func (ms *MultiScaleDetector) Feed(v int64) MultiResult {
+	out := MultiResult{PerLevel: make([]Result, len(ms.levels)), T: ms.t}
+	out.Primary = Result{T: ms.t}
+	out.Shortest = Result{T: ms.t}
+	for i, det := range ms.levels {
+		r := det.Feed(v)
+		out.PerLevel[i] = r
+		if r.Locked {
+			out.Primary = r // later levels have larger windows
+			if !out.Shortest.Locked {
+				out.Shortest = r
+			}
+		}
+	}
+	ms.t++
+	return out
+}
+
+// LockedPeriods returns the currently locked period of each level
+// (0 entries for unlocked levels), smallest window first.
+func (ms *MultiScaleDetector) LockedPeriods() []int {
+	out := make([]int, len(ms.levels))
+	for i, det := range ms.levels {
+		out[i] = det.Locked()
+	}
+	return out
+}
+
+// Reset clears every level.
+func (ms *MultiScaleDetector) Reset() {
+	for _, det := range ms.levels {
+		det.Reset()
+	}
+	ms.t = 0
+}
+
+// PeriodStat describes one distinct periodicity observed during a stream's
+// lifetime, as reported in the paper's Table 2.
+type PeriodStat struct {
+	// Period is the periodicity in samples.
+	Period int
+	// FirstAt is the sample index of the first confirmation.
+	FirstAt uint64
+	// LastAt is the sample index of the latest confirmation.
+	LastAt uint64
+	// Samples is the number of samples for which this period was locked.
+	Samples uint64
+	// Starts is the number of period-start segmentation marks emitted.
+	Starts uint64
+	// Window is the smallest detector window that confirmed the period.
+	Window int
+}
+
+// PeriodTracker aggregates detector results into the set of distinct
+// periodicities seen over a whole stream (Table 2's "Detected
+// periodicities" column).
+type PeriodTracker struct {
+	stats map[int]*PeriodStat
+}
+
+// NewPeriodTracker returns an empty tracker.
+func NewPeriodTracker() *PeriodTracker {
+	return &PeriodTracker{stats: make(map[int]*PeriodStat)}
+}
+
+// Observe folds in one result produced by a detector with the given window.
+func (pt *PeriodTracker) Observe(r Result, window int) {
+	if !r.Locked || r.Period <= 0 {
+		return
+	}
+	s, ok := pt.stats[r.Period]
+	if !ok {
+		s = &PeriodStat{Period: r.Period, FirstAt: r.T, Window: window}
+		pt.stats[r.Period] = s
+	}
+	s.LastAt = r.T
+	s.Samples++
+	if r.Start {
+		s.Starts++
+	}
+	if window < s.Window {
+		s.Window = window
+	}
+}
+
+// ObserveMulti folds in a multi-scale result.
+func (pt *PeriodTracker) ObserveMulti(mr MultiResult, ms *MultiScaleDetector) {
+	for i, r := range mr.PerLevel {
+		pt.Observe(r, ms.Level(i).Window())
+	}
+}
+
+// Periods returns the distinct periodicities sorted ascending.
+func (pt *PeriodTracker) Periods() []int {
+	out := make([]int, 0, len(pt.stats))
+	for p := range pt.stats {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SignificantPeriods returns periods that stayed locked for at least
+// minSamples samples, filtering out transient flickers.
+func (pt *PeriodTracker) SignificantPeriods(minSamples uint64) []int {
+	out := make([]int, 0, len(pt.stats))
+	for p, s := range pt.stats {
+		if s.Samples >= minSamples {
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Stat returns the statistics for period p (nil if never observed).
+func (pt *PeriodTracker) Stat(p int) *PeriodStat { return pt.stats[p] }
+
+// Stats returns all period statistics sorted by period.
+func (pt *PeriodTracker) Stats() []PeriodStat {
+	ps := pt.Periods()
+	out := make([]PeriodStat, len(ps))
+	for i, p := range ps {
+		out[i] = *pt.stats[p]
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package core
+
+// Failure-injection tests: real applications deviate from perfect
+// periodicity — conditional loops appear sporadically, instrumentation
+// drops events, streams switch phases abruptly. These tests pin down how
+// the exact-match event metric degrades and how grace/window sizing
+// recover, which is what a user integrating the DPD into a dynamic
+// optimization tool needs to know.
+
+import (
+	"testing"
+
+	"dpd/internal/series"
+)
+
+// injectExtra returns a p-periodic stream with one extra (conditional)
+// event inserted every `every` periods.
+func injectExtra(pat []int64, periods, every int) []int64 {
+	var out []int64
+	for i := 0; i < periods; i++ {
+		out = append(out, pat...)
+		if every > 0 && i%every == every-1 {
+			out = append(out, 0x7EEF) // conditional loop address
+		}
+	}
+	return out
+}
+
+func lockedFraction(d *EventDetector, stream []int64) float64 {
+	locked := 0
+	for _, v := range stream {
+		if r := d.Feed(v); r.Locked {
+			locked++
+		}
+	}
+	return float64(locked) / float64(len(stream))
+}
+
+func TestConditionalLoopBreaksExactLockTemporarily(t *testing.T) {
+	pat := []int64{1, 2, 3, 4, 5}
+	stream := injectExtra(pat, 100, 10) // extra event every 10 periods
+
+	// A small window recovers quickly after each anomaly: the anomaly
+	// leaves the comparison windows after ~N+p samples.
+	small := MustEventDetector(Config{Window: 12})
+	fSmall := lockedFraction(small, stream)
+	if fSmall < 0.5 {
+		t.Fatalf("small window locked fraction %.2f, want ≥ 0.5", fSmall)
+	}
+
+	// A large window holds every anomaly for N samples, so with an
+	// anomaly every ~50 samples and N=256 it can effectively never lock.
+	large := MustEventDetector(Config{Window: 256})
+	fLarge := lockedFraction(large, stream)
+	if fLarge >= fSmall {
+		t.Fatalf("large window fraction %.2f not below small %.2f", fLarge, fSmall)
+	}
+}
+
+func TestGraceExtendsLockAcrossAnomaly(t *testing.T) {
+	pat := []int64{1, 2, 3, 4, 5}
+	stream := injectExtra(pat, 60, 20)
+
+	noGrace := MustEventDetector(Config{Window: 12, Grace: 0})
+	withGrace := MustEventDetector(Config{Window: 12, Grace: 20})
+	f0 := lockedFraction(noGrace, stream)
+	f1 := lockedFraction(withGrace, stream)
+	if f1 <= f0 {
+		t.Fatalf("grace did not increase locked fraction: %.2f vs %.2f", f1, f0)
+	}
+}
+
+func TestDroppedEventShiftsPhaseNotPeriod(t *testing.T) {
+	// Instrumentation drops one event: after recovery the period is the
+	// same, only the segmentation anchor moves.
+	d := MustEventDetector(Config{Window: 10})
+	pat := []int64{7, 8, 9, 10}
+	var stream []int64
+	for i := 0; i < 50; i++ {
+		stream = append(stream, pat...)
+	}
+	// Drop one event in the middle.
+	stream = append(stream[:101], stream[102:]...)
+
+	var lastLocked Result
+	for _, v := range stream {
+		if r := d.Feed(v); r.Locked {
+			lastLocked = r
+		}
+	}
+	if lastLocked.Period != 4 {
+		t.Fatalf("period after drop=%d, want 4", lastLocked.Period)
+	}
+}
+
+func TestAlternatingPhasesTrackLocks(t *testing.T) {
+	// A program alternating between two loop nests every 60 events: the
+	// detector must lock each phase's period in turn.
+	d := MustEventDetector(Config{Window: 12})
+	tr := NewPeriodTracker()
+	for phase := 0; phase < 6; phase++ {
+		var pat []int64
+		if phase%2 == 0 {
+			pat = []int64{1, 2, 3}
+		} else {
+			pat = []int64{10, 20, 30, 40, 50, 60}
+		}
+		for i := 0; i < 60; i++ {
+			tr.Observe(d.Feed(pat[i%len(pat)]), d.Window())
+		}
+	}
+	ps := tr.SignificantPeriods(10)
+	if len(ps) != 2 || ps[0] != 3 || ps[1] != 6 {
+		t.Fatalf("phases tracked %v, want [3 6]", ps)
+	}
+}
+
+func TestValueCollisionAcrossPhases(t *testing.T) {
+	// Two phases sharing an address (a common helper loop) must not
+	// confuse the period: only whole-window matches count.
+	d := MustEventDetector(Config{Window: 16})
+	shared := int64(0xAB)
+	p1 := []int64{shared, 2, 3, 4}
+	p2 := []int64{shared, 20, 30}
+	var last Result
+	for i := 0; i < 200; i++ {
+		last = d.Feed(p1[i%4])
+	}
+	if last.Period != 4 {
+		t.Fatalf("phase 1 period=%d", last.Period)
+	}
+	for i := 0; i < 200; i++ {
+		last = d.Feed(p2[i%3])
+	}
+	if last.Period != 3 {
+		t.Fatalf("phase 2 period=%d", last.Period)
+	}
+}
+
+func TestMagnitudeDetectorDriftingBaseline(t *testing.T) {
+	// A periodic signal on a slow linear drift: eq. (1)'s distance at the
+	// true period stays small (drift contributes |slope·p| per element)
+	// while other lags stay large — the lock must hold.
+	d := MustMagnitudeDetector(Config{Window: 60, Confirm: 3})
+	g := series.NewPatternGenerator([]float64{0, 8, 2, 9, 4, 7})
+	var last Result
+	for i := 0; i < 600; i++ {
+		drift := 0.001 * float64(i)
+		last = d.Feed(g.Next() + drift)
+	}
+	if !last.Locked || last.Period != 6 {
+		t.Fatalf("drifting signal: %+v, want period 6", last)
+	}
+}
+
+func TestMagnitudeDetectorOutlierSpike(t *testing.T) {
+	// One huge outlier sample must not permanently destroy the lock: the
+	// spike leaves every lag window after N samples.
+	d := MustMagnitudeDetector(Config{Window: 30, Confirm: 2, Grace: 40})
+	g := series.NewPatternGenerator([]float64{1, 5, 3, 8})
+	var lockedAfter bool
+	for i := 0; i < 500; i++ {
+		v := g.Next()
+		if i == 250 {
+			v = 1e6
+		}
+		r := d.Feed(v)
+		if i > 350 {
+			lockedAfter = r.Locked && r.Period == 4
+		}
+	}
+	if !lockedAfter {
+		t.Fatal("lock not recovered after outlier spike")
+	}
+}
+
+func TestMultiScaleRobustToInterleavedNoiseBursts(t *testing.T) {
+	rng := series.NewRNG(123)
+	ms := MustMultiScaleDetector([]int{8, 32}, Config{})
+	tr := NewPeriodTracker()
+	for burst := 0; burst < 5; burst++ {
+		for i := 0; i < 120; i++ { // periodic stretch
+			tr.ObserveMulti(ms.Feed(int64(i%4)), ms)
+		}
+		for i := 0; i < 40; i++ { // noise burst
+			tr.ObserveMulti(ms.Feed(int64(rng.Intn(1<<30))), ms)
+		}
+	}
+	ps := tr.SignificantPeriods(50)
+	if len(ps) != 1 || ps[0] != 4 {
+		t.Fatalf("periods=%v, want [4] only", ps)
+	}
+}
+
+// TestPropertyLockEqualsNaiveFundamental is the end-to-end differential
+// invariant: with Confirm=1 and Grace=0, after every sample the online
+// detector's locked period equals the fundamental (smallest zero lag) of
+// the naive eq. (2) curve over the same history — on arbitrary streams
+// mixing periodic phases, noise, and value collisions.
+func TestPropertyLockEqualsNaiveFundamental(t *testing.T) {
+	run := func(seed uint64) {
+		rng := series.NewRNG(seed)
+		n := 8 + rng.Intn(12) // window 8..19
+		d := MustEventDetector(Config{Window: n, Confirm: 1, Grace: 0})
+		var hist []int64
+		patLen := 1 + rng.Intn(6)
+		for i := 0; i < 400; i++ {
+			// Occasionally switch regime: new pattern length or noise.
+			if rng.Intn(60) == 0 {
+				patLen = 1 + rng.Intn(6)
+			}
+			var v int64
+			if rng.Intn(10) == 0 {
+				v = int64(rng.Intn(4)) // collision-prone noise
+			} else {
+				v = int64(100 + i%patLen)
+			}
+			hist = append(hist, v)
+			d.Feed(v)
+			want := NaiveCurveSign(hist, n, n-1).Fundamental(0)
+			if got := d.Locked(); got != want {
+				t.Fatalf("seed %d step %d: locked=%d naive fundamental=%d", seed, i, got, want)
+			}
+		}
+	}
+	for seed := uint64(1); seed <= 25; seed++ {
+		run(seed)
+	}
+}

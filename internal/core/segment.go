@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// Segment is one contiguous stretch of a stream governed by a single
+// periodicity — the explicit form of the paper's segmentation use case
+// ("the dynamic segmentation of the data stream in periods. Periods in a
+// data stream or multiples of them may represent reasonable intervals
+// for performance measurement").
+type Segment struct {
+	// Start is the index of the first sample of the segment.
+	Start uint64
+	// End is the index one past the last sample (0 while open).
+	End uint64
+	// Period is the periodicity governing the segment.
+	Period int
+	// Periods is the number of complete periods the segment contains.
+	Periods int
+}
+
+// Len returns the segment length in samples (0 while open).
+func (s Segment) Len() uint64 {
+	if s.End <= s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// Segmenter turns the per-sample results of an event detector into a
+// sequence of closed segments. A segment opens at the first period start
+// of a lock, extends while the same period holds, and closes when the
+// lock is lost or the period changes.
+type Segmenter struct {
+	det *EventDetector
+
+	open    bool
+	current Segment
+	closed  []Segment
+
+	// MinPeriods drops closed segments with fewer complete periods than
+	// this (default 1), filtering transient flickers.
+	MinPeriods int
+}
+
+// NewSegmenter wraps an event detector built from cfg.
+func NewSegmenter(cfg Config) (*Segmenter, error) {
+	det, err := NewEventDetector(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Segmenter{det: det, MinPeriods: 1}, nil
+}
+
+// MustSegmenter panics on config errors.
+func MustSegmenter(cfg Config) *Segmenter {
+	s, err := NewSegmenter(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Feed processes one sample and returns the detector result.
+func (s *Segmenter) Feed(v int64) Result {
+	r := s.det.Feed(v)
+	switch {
+	case r.Locked && r.Start && (!s.open || r.Period != s.current.Period):
+		// New segment (first lock, or a re-lock with another period).
+		if s.open {
+			s.close(r.T)
+		}
+		s.open = true
+		s.current = Segment{Start: r.T, Period: r.Period}
+
+	case r.Locked && r.Start:
+		s.current.Periods++
+
+	case !r.Locked && s.open:
+		s.close(r.T)
+	}
+	return r
+}
+
+// close finalizes the open segment at end index `end`.
+func (s *Segmenter) close(end uint64) {
+	s.open = false
+	s.current.End = end
+	if s.current.Periods >= s.MinPeriods {
+		s.closed = append(s.closed, s.current)
+	}
+}
+
+// Flush closes any open segment at the current stream position and
+// returns all closed segments in order.
+func (s *Segmenter) Flush() []Segment {
+	if s.open {
+		s.close(s.det.Samples())
+	}
+	return s.closed
+}
+
+// Segments returns the closed segments so far (the open one excluded).
+func (s *Segmenter) Segments() []Segment { return s.closed }
+
+// Open returns the currently open segment, if any.
+func (s *Segmenter) Open() (Segment, bool) { return s.current, s.open }
+
+// Detector exposes the wrapped detector.
+func (s *Segmenter) Detector() *EventDetector { return s.det }
+
+// Reset clears all state.
+func (s *Segmenter) Reset() {
+	s.det.Reset()
+	s.open = false
+	s.current = Segment{}
+	s.closed = nil
+}
+
+// String renders a segment for diagnostics.
+func (s Segment) String() string {
+	return fmt.Sprintf("[%d,%d) period %d ×%d", s.Start, s.End, s.Period, s.Periods)
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dpd/internal/series"
+)
+
+func TestSegmenterSinglePhase(t *testing.T) {
+	s := MustSegmenter(Config{Window: 12})
+	for i := 0; i < 120; i++ {
+		s.Feed(int64(i % 4))
+	}
+	segs := s.Flush()
+	if len(segs) != 1 {
+		t.Fatalf("segments=%v, want one", segs)
+	}
+	g := segs[0]
+	if g.Period != 4 {
+		t.Fatalf("period=%d", g.Period)
+	}
+	// Starts every 4 samples from the lock; ~(120 − lockAt)/4 periods.
+	if g.Periods < 20 {
+		t.Fatalf("periods=%d, want ≥ 20", g.Periods)
+	}
+	if g.Len() == 0 {
+		t.Fatal("zero-length segment")
+	}
+}
+
+func TestSegmenterPhaseChangeClosesSegment(t *testing.T) {
+	s := MustSegmenter(Config{Window: 10})
+	stream := append(series.RepeatInt([]int64{1, 2, 3}, 30), series.RepeatInt([]int64{7, 8, 9, 10, 11}, 30)...)
+	for _, v := range stream {
+		s.Feed(v)
+	}
+	segs := s.Flush()
+	if len(segs) != 2 {
+		t.Fatalf("segments=%v, want two", segs)
+	}
+	if segs[0].Period != 3 || segs[1].Period != 5 {
+		t.Fatalf("periods=%d,%d, want 3,5", segs[0].Period, segs[1].Period)
+	}
+	if segs[0].End > segs[1].Start {
+		t.Fatalf("segments overlap: %v then %v", segs[0], segs[1])
+	}
+}
+
+func TestSegmenterAperiodicGapProducesNoSegment(t *testing.T) {
+	s := MustSegmenter(Config{Window: 8})
+	for i := int64(0); i < 100; i++ {
+		s.Feed(i * 13)
+	}
+	if segs := s.Flush(); len(segs) != 0 {
+		t.Fatalf("segments on aperiodic stream: %v", segs)
+	}
+}
+
+func TestSegmenterMinPeriodsFilter(t *testing.T) {
+	s := MustSegmenter(Config{Window: 8})
+	s.MinPeriods = 15
+	// Lock briefly (~10 complete periods), then noise.
+	for i := 0; i < 30; i++ {
+		s.Feed(int64(i % 2))
+	}
+	for i := int64(0); i < 50; i++ {
+		s.Feed(1000 + i*7)
+	}
+	if segs := s.Flush(); len(segs) != 0 {
+		t.Fatalf("short segment not filtered: %v", segs)
+	}
+}
+
+func TestSegmenterOpenSegmentVisible(t *testing.T) {
+	s := MustSegmenter(Config{Window: 8})
+	for i := 0; i < 50; i++ {
+		s.Feed(int64(i % 2))
+	}
+	open, ok := s.Open()
+	if !ok {
+		t.Fatal("no open segment on a locked stream")
+	}
+	if open.Period != 2 {
+		t.Fatalf("open period=%d", open.Period)
+	}
+	if len(s.Segments()) != 0 {
+		t.Fatal("open segment leaked into closed list")
+	}
+}
+
+func TestSegmenterFlushIdempotentAfterClose(t *testing.T) {
+	s := MustSegmenter(Config{Window: 8})
+	for i := 0; i < 50; i++ {
+		s.Feed(int64(i % 2))
+	}
+	a := len(s.Flush())
+	b := len(s.Flush())
+	if a != b {
+		t.Fatalf("flush not idempotent: %d then %d", a, b)
+	}
+}
+
+func TestSegmenterReset(t *testing.T) {
+	s := MustSegmenter(Config{Window: 8})
+	for i := 0; i < 50; i++ {
+		s.Feed(int64(i % 2))
+	}
+	s.Reset()
+	if len(s.Flush()) != 0 {
+		t.Fatal("segments survived reset")
+	}
+	for i := 0; i < 50; i++ {
+		s.Feed(int64(i % 3))
+	}
+	if segs := s.Flush(); len(segs) != 1 || segs[0].Period != 3 {
+		t.Fatalf("unusable after reset: %v", segs)
+	}
+}
+
+func TestSegmenterSegmentsCoverLockedStretch(t *testing.T) {
+	// Segment boundaries must align with period starts: length of a
+	// closed segment ≥ Periods × Period.
+	s := MustSegmenter(Config{Window: 16})
+	for i := 0; i < 200; i++ {
+		s.Feed(int64(i % 5))
+	}
+	segs := s.Flush()
+	if len(segs) != 1 {
+		t.Fatalf("segments=%v", segs)
+	}
+	g := segs[0]
+	if g.Len() < uint64(g.Periods*g.Period) {
+		t.Fatalf("segment %v shorter than its periods", g)
+	}
+}
+
+func TestSegmentString(t *testing.T) {
+	g := Segment{Start: 10, End: 30, Period: 5, Periods: 4}
+	if !strings.Contains(g.String(), "period 5") {
+		t.Fatalf("String=%q", g.String())
+	}
+}
+
+func TestSegmenterValidation(t *testing.T) {
+	if _, err := NewSegmenter(Config{Window: 1}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package ditools reproduces the role DITools [Serra2000] plays in the
+// paper: dynamic interposition on calls to compiler-encapsulated parallel
+// loop functions. Each parallel loop is identified by the address of the
+// function that encapsulates it; interposition fires registered handlers
+// with that address before transferring control to the loop body
+// (paper Figure 6, step (1) → (2)).
+//
+// In this reproduction "addresses" are stable synthetic int64 identifiers
+// assigned to loop functions, and interposition is an explicit dispatch
+// through a Registry rather than binary patching — the observable effect
+// (the exact address sequence reaching the DPD) is identical.
+package ditools
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event describes one intercepted call.
+type Event struct {
+	// Addr is the address of the encapsulated parallel-loop function.
+	Addr int64
+	// Now is the virtual time of the call.
+	Now time.Duration
+	// Seq is the zero-based global call sequence number.
+	Seq uint64
+}
+
+// Handler observes an intercepted call before the loop body runs.
+type Handler func(Event)
+
+// Registry is an interposition table. The zero value is not usable; use
+// NewRegistry.
+type Registry struct {
+	pre  []Handler
+	post []Handler
+	seq  uint64
+
+	perAddr map[int64]uint64 // call counts, for diagnostics
+}
+
+// NewRegistry returns an empty interposition registry.
+func NewRegistry() *Registry {
+	return &Registry{perAddr: make(map[int64]uint64)}
+}
+
+// OnCall registers a handler fired before every intercepted loop body.
+func (r *Registry) OnCall(h Handler) {
+	if h == nil {
+		panic("ditools: nil handler")
+	}
+	r.pre = append(r.pre, h)
+}
+
+// OnReturn registers a handler fired after every intercepted loop body.
+func (r *Registry) OnReturn(h Handler) {
+	if h == nil {
+		panic("ditools: nil handler")
+	}
+	r.post = append(r.post, h)
+}
+
+// Call interposes on one loop invocation: pre-handlers run, then the body
+// (the original encapsulated function), then post-handlers. A nil body is
+// permitted for pure trace replay.
+func (r *Registry) Call(now time.Duration, addr int64, body func()) {
+	ev := Event{Addr: addr, Now: now, Seq: r.seq}
+	r.seq++
+	r.perAddr[addr]++
+	for _, h := range r.pre {
+		h(ev)
+	}
+	if body != nil {
+		body()
+	}
+	for _, h := range r.post {
+		h(ev)
+	}
+}
+
+// Calls returns the total number of intercepted calls.
+func (r *Registry) Calls() uint64 { return r.seq }
+
+// CallsTo returns how many times addr was intercepted.
+func (r *Registry) CallsTo(addr int64) uint64 { return r.perAddr[addr] }
+
+// Addresses returns the number of distinct intercepted addresses.
+func (r *Registry) Addresses() int { return len(r.perAddr) }
+
+// Reset clears counters but keeps registered handlers.
+func (r *Registry) Reset() {
+	r.seq = 0
+	r.perAddr = make(map[int64]uint64)
+}
+
+// String summarizes the registry state.
+func (r *Registry) String() string {
+	return fmt.Sprintf("ditools: %d calls to %d loops, %d pre / %d post handlers",
+		r.seq, len(r.perAddr), len(r.pre), len(r.post))
+}

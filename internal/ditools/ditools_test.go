@@ -1,0 +1,106 @@
+package ditools
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryCallOrder(t *testing.T) {
+	r := NewRegistry()
+	var order []string
+	r.OnCall(func(Event) { order = append(order, "pre1") })
+	r.OnCall(func(Event) { order = append(order, "pre2") })
+	r.OnReturn(func(Event) { order = append(order, "post") })
+	r.Call(0, 0x100, func() { order = append(order, "body") })
+	want := []string{"pre1", "pre2", "body", "post"}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+}
+
+func TestRegistryEventFields(t *testing.T) {
+	r := NewRegistry()
+	var got []Event
+	r.OnCall(func(e Event) { got = append(got, e) })
+	r.Call(5*time.Millisecond, 0xA, nil)
+	r.Call(7*time.Millisecond, 0xB, nil)
+	r.Call(9*time.Millisecond, 0xA, nil)
+	if len(got) != 3 {
+		t.Fatalf("events=%d", len(got))
+	}
+	if got[0].Seq != 0 || got[1].Seq != 1 || got[2].Seq != 2 {
+		t.Fatalf("seq numbers wrong: %+v", got)
+	}
+	if got[1].Addr != 0xB || got[1].Now != 7*time.Millisecond {
+		t.Fatalf("event[1]=%+v", got[1])
+	}
+}
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.Call(0, 0x1, nil)
+	}
+	r.Call(0, 0x2, nil)
+	if r.Calls() != 6 || r.CallsTo(0x1) != 5 || r.CallsTo(0x2) != 1 || r.CallsTo(0x3) != 0 {
+		t.Fatalf("calls=%d to1=%d to2=%d", r.Calls(), r.CallsTo(0x1), r.CallsTo(0x2))
+	}
+	if r.Addresses() != 2 {
+		t.Fatalf("addresses=%d", r.Addresses())
+	}
+}
+
+func TestRegistryNilBodyAllowed(t *testing.T) {
+	r := NewRegistry()
+	fired := false
+	r.OnCall(func(Event) { fired = true })
+	r.Call(0, 0x1, nil)
+	if !fired {
+		t.Fatal("handler not fired with nil body")
+	}
+}
+
+func TestRegistryResetKeepsHandlers(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.OnCall(func(Event) { n++ })
+	r.Call(0, 0x1, nil)
+	r.Reset()
+	if r.Calls() != 0 || r.CallsTo(0x1) != 0 {
+		t.Fatal("counters survived reset")
+	}
+	r.Call(0, 0x1, nil)
+	if n != 2 {
+		t.Fatalf("handler lost across reset: n=%d", n)
+	}
+	// Sequence restarts.
+	var seq uint64 = 99
+	r.OnCall(func(e Event) { seq = e.Seq })
+	r.Call(0, 0x9, nil)
+	if seq != 1 {
+		t.Fatalf("seq=%d after reset+1 call, want 1", seq)
+	}
+}
+
+func TestRegistryNilHandlerPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	r.OnCall(nil)
+}
+
+func TestRegistryString(t *testing.T) {
+	r := NewRegistry()
+	r.Call(0, 1, nil)
+	if s := r.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,84 @@
+package dsp
+
+import "fmt"
+
+// AutocorrDirect computes the biased sample autocorrelation of the
+// mean-removed signal for lags 0..maxLag directly in O(N·M):
+// r(m) = Σ_{i} (x[i]−μ)(x[i+m]−μ) / N. r(0) is the variance.
+func AutocorrDirect(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		panic(fmt.Sprintf("dsp: negative maxLag %d", maxLag))
+	}
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+	out := make([]float64, maxLag+1)
+	for m := 0; m <= maxLag; m++ {
+		var s float64
+		for i := 0; i+m < n; i++ {
+			s += (xs[i] - mean) * (xs[i+m] - mean)
+		}
+		out[m] = s / float64(n)
+	}
+	return out
+}
+
+// AutocorrFFT computes the same biased autocorrelation via the
+// Wiener–Khinchin theorem in O(N log N): ACF = IFFT(|FFT(x)|²).
+// The signal is zero-padded to 2N to avoid circular wrap-around.
+func AutocorrFFT(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		panic(fmt.Sprintf("dsp: negative maxLag %d", maxLag))
+	}
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if n == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(n)
+
+	size := NextPow2(2 * n)
+	buf := make([]complex128, size)
+	for i, v := range xs {
+		buf[i] = complex(v-mean, 0)
+	}
+	FFT(buf)
+	for i := range buf {
+		re, im := real(buf[i]), imag(buf[i])
+		buf[i] = complex(re*re+im*im, 0)
+	}
+	IFFT(buf)
+	out := make([]float64, maxLag+1)
+	for m := 0; m <= maxLag; m++ {
+		out[m] = real(buf[m]) / float64(n)
+	}
+	return out
+}
+
+// NormalizeACF divides r(m) by r(0), yielding correlation coefficients in
+// [−1, 1]. A zero-variance signal returns all zeros (no structure).
+func NormalizeACF(acf []float64) []float64 {
+	out := make([]float64, len(acf))
+	if len(acf) == 0 || acf[0] == 0 {
+		return out
+	}
+	for i, v := range acf {
+		out[i] = v / acf[0]
+	}
+	return out
+}

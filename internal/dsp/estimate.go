@@ -1,0 +1,80 @@
+package dsp
+
+// The offline period estimators below are the baselines for the
+// "DPD vs conventional methods" ablation. Each consumes a buffered frame
+// and returns an estimated fundamental period in samples (0 = aperiodic).
+
+// EstimatePeriodACF estimates the period as the lag of the first
+// significant local maximum of the normalized autocorrelation.
+// minCorr is the correlation threshold (0.5 is a reasonable default).
+func EstimatePeriodACF(xs []float64, maxLag int, minCorr float64) int {
+	if len(xs) < 4 {
+		return 0
+	}
+	acf := NormalizeACF(AutocorrFFT(xs, maxLag))
+	if len(acf) < 3 {
+		return 0
+	}
+	// Skip the zero-lag main lobe: wait until the ACF first drops below
+	// the threshold, then take the first local maximum above it.
+	m := 1
+	for m < len(acf) && acf[m] >= minCorr {
+		m++
+	}
+	best, bestVal := 0, minCorr
+	for ; m < len(acf)-1; m++ {
+		if acf[m] >= acf[m-1] && acf[m] >= acf[m+1] && acf[m] > bestVal {
+			// First qualifying peak is the fundamental; stop at it.
+			best, bestVal = m, acf[m]
+			break
+		}
+	}
+	_ = bestVal
+	return best
+}
+
+// EstimatePeriodSpectral estimates the period from the dominant
+// periodogram bin: period = N / k*, where k* maximizes the power among
+// bins 1..N/2. Frequency-domain resolution is N/k, so long periods are
+// quantized — one reason the paper's time-domain detector is preferable
+// for loop structures.
+func EstimatePeriodSpectral(xs []float64) int {
+	pg := Periodogram(xs)
+	if len(pg) < 2 {
+		return 0
+	}
+	best, bestVal := 0, 0.0
+	for k := 1; k < len(pg); k++ {
+		if pg[k] > bestVal {
+			best, bestVal = k, pg[k]
+		}
+	}
+	if best == 0 || bestVal == 0 {
+		return 0
+	}
+	n := NextPow2(len(xs))
+	period := int(float64(n)/float64(best) + 0.5)
+	if period >= len(xs) {
+		return 0
+	}
+	return period
+}
+
+// EstimatePeriodNaiveScan is the brute-force oracle: the smallest lag p
+// such that the frame repeats exactly with lag p over its whole length.
+// O(N·M); only suitable offline.
+func EstimatePeriodNaiveScan(xs []float64, maxLag int) int {
+	for p := 1; p <= maxLag && p < len(xs); p++ {
+		ok := true
+		for i := p; i < len(xs); i++ {
+			if xs[i] != xs[i-p] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return p
+		}
+	}
+	return 0
+}

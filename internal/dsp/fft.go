@@ -1,0 +1,113 @@
+// Package dsp provides the signal-processing baselines the DPD is
+// compared against in the ablation benchmarks: a radix-2 FFT, direct and
+// FFT-accelerated autocorrelation, and periodogram/ACF period estimators.
+//
+// The paper's detector is an online time-domain method; these offline
+// frequency-domain estimators represent the "conventional" alternative a
+// dynamic optimization tool would otherwise have to run on buffered
+// frames. They are implemented from scratch on the standard library.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two. The transform is
+// unnormalized (IFFT applies the 1/N factor).
+func FFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("dsp: FFT length %d is not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterfly stages.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size) // forward transform
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalization. len(x) must be a power of two.
+func IFFT(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	FFT(x)
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+}
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// FFTReal transforms a real signal, zero-padded to the next power of two,
+// and returns the complex spectrum.
+func FFTReal(xs []float64) []complex128 {
+	n := NextPow2(len(xs))
+	out := make([]complex128, n)
+	for i, v := range xs {
+		out[i] = complex(v, 0)
+	}
+	FFT(out)
+	return out
+}
+
+// Periodogram returns the power spectrum |X(k)|²/N of the (mean-removed,
+// zero-padded) signal for bins k = 0..N/2.
+func Periodogram(xs []float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	mean := 0.0
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	centered := make([]float64, len(xs))
+	for i, v := range xs {
+		centered[i] = v - mean
+	}
+	spec := FFTReal(centered)
+	n := len(spec)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		re, im := real(spec[k]), imag(spec[k])
+		out[k] = (re*re + im*im) / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package dsp
+
+import (
+	"fmt"
+
+	"dpd/internal/series"
+)
+
+// OnlineACF is a streaming autocorrelation estimator: per lag m it keeps
+// an exponentially weighted estimate of E[(x[t]−μ)(x[t−m]−μ)], with μ and
+// the variance tracked the same way. It is the "online conventional
+// alternative" baseline to the DPD: same O(M) per-sample cost, but a
+// soft correlation measure instead of the DPD's exact-repeat test — so
+// it needs many periods to converge and cannot distinguish an exact
+// repeat from a strongly correlated harmonic.
+type OnlineACF struct {
+	alpha  float64
+	maxLag int
+
+	hist *series.Ring
+
+	mean     float64
+	variance float64
+	corr     []float64
+	n        uint64
+}
+
+// NewOnlineACF returns an estimator for lags 1..maxLag with smoothing
+// factor alpha in (0, 1].
+func NewOnlineACF(maxLag int, alpha float64) (*OnlineACF, error) {
+	if maxLag < 1 {
+		return nil, fmt.Errorf("dsp: maxLag %d must be >= 1", maxLag)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dsp: alpha %g outside (0,1]", alpha)
+	}
+	return &OnlineACF{
+		alpha:  alpha,
+		maxLag: maxLag,
+		hist:   series.NewRing(maxLag + 1),
+		corr:   make([]float64, maxLag),
+	}, nil
+}
+
+// MustOnlineACF panics on config errors.
+func MustOnlineACF(maxLag int, alpha float64) *OnlineACF {
+	a, err := NewOnlineACF(maxLag, alpha)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Feed folds in one sample.
+func (a *OnlineACF) Feed(v float64) {
+	a.n++
+	if a.n == 1 {
+		a.mean = v
+	} else {
+		a.mean += a.alpha * (v - a.mean)
+	}
+	dv := v - a.mean
+	a.variance += a.alpha * (dv*dv - a.variance)
+	for m := 1; m <= a.maxLag && m <= a.hist.Len(); m++ {
+		dm := a.hist.Last(m-1) - a.mean
+		a.corr[m-1] += a.alpha * (dv*dm - a.corr[m-1])
+	}
+	a.hist.Push(v)
+}
+
+// Corr returns the normalized correlation estimate at lag m in [−1, 1]
+// (0 if the variance estimate is ~0 or the lag is out of range).
+func (a *OnlineACF) Corr(m int) float64 {
+	if m < 1 || m > a.maxLag || a.variance <= 1e-18 {
+		return 0
+	}
+	c := a.corr[m-1] / a.variance
+	if c > 1 {
+		c = 1
+	}
+	if c < -1 {
+		c = -1
+	}
+	return c
+}
+
+// EstimatePeriod returns the first local maximum of the correlation above
+// minCorr, after the zero-lag main lobe has decayed below it (0 if none).
+func (a *OnlineACF) EstimatePeriod(minCorr float64) int {
+	m := 1
+	for m <= a.maxLag && a.Corr(m) >= minCorr {
+		m++
+	}
+	for ; m < a.maxLag; m++ {
+		c := a.Corr(m)
+		if c >= minCorr && c >= a.Corr(m-1) && c >= a.Corr(m+1) {
+			return m
+		}
+	}
+	return 0
+}
+
+// Samples returns the number of samples fed.
+func (a *OnlineACF) Samples() uint64 { return a.n }
+
+// Reset clears all state.
+func (a *OnlineACF) Reset() {
+	a.hist.Reset()
+	a.mean, a.variance = 0, 0
+	for i := range a.corr {
+		a.corr[i] = 0
+	}
+	a.n = 0
+}

@@ -1,0 +1,113 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"dpd/internal/series"
+)
+
+func TestOnlineACFConvergesOnSine(t *testing.T) {
+	a := MustOnlineACF(60, 0.01)
+	g := series.Sine(4, 20)
+	for i := 0; i < 4000; i++ {
+		a.Feed(g.Next())
+	}
+	if got := a.EstimatePeriod(0.5); got != 20 {
+		t.Fatalf("period=%d, want 20", got)
+	}
+	if c := a.Corr(20); c < 0.9 {
+		t.Fatalf("corr(20)=%v, want ≈1", c)
+	}
+	if c := a.Corr(10); c > -0.5 {
+		t.Fatalf("corr(10)=%v, want ≈−1 (half period)", c)
+	}
+}
+
+func TestOnlineACFOnNoise(t *testing.T) {
+	a := MustOnlineACF(40, 0.02)
+	rng := series.NewRNG(5)
+	for i := 0; i < 5000; i++ {
+		a.Feed(rng.Float64())
+	}
+	if got := a.EstimatePeriod(0.5); got != 0 {
+		t.Fatalf("period on noise=%d, want 0", got)
+	}
+}
+
+func TestOnlineACFConstantSignalNoNaN(t *testing.T) {
+	a := MustOnlineACF(10, 0.1)
+	for i := 0; i < 500; i++ {
+		a.Feed(7)
+	}
+	for m := 1; m <= 10; m++ {
+		if c := a.Corr(m); math.IsNaN(c) || c != 0 {
+			t.Fatalf("corr(%d)=%v on zero-variance signal", m, c)
+		}
+	}
+}
+
+func TestOnlineACFCorrBounds(t *testing.T) {
+	a := MustOnlineACF(20, 0.05)
+	g := series.NewPatternGenerator([]float64{0, 10, 0, 10, 5})
+	for i := 0; i < 2000; i++ {
+		a.Feed(g.Next())
+	}
+	for m := 1; m <= 20; m++ {
+		if c := a.Corr(m); c < -1 || c > 1 {
+			t.Fatalf("corr(%d)=%v outside [-1,1]", m, c)
+		}
+	}
+	if a.Corr(0) != 0 || a.Corr(21) != 0 {
+		t.Fatal("out-of-range lags must return 0")
+	}
+}
+
+func TestOnlineACFNeedsManyPeriodsUnlikeDPD(t *testing.T) {
+	// The baseline's weakness: after only a handful of periods the EWMA
+	// correlation has not converged, while the DPD's exact test locks as
+	// soon as one window matches. Documented behaviorally.
+	a := MustOnlineACF(30, 0.01)
+	g := series.NewPatternGenerator([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	for i := 0; i < 40; i++ { // 5 periods
+		a.Feed(g.Next())
+	}
+	early := a.EstimatePeriod(0.5)
+	for i := 0; i < 4000; i++ {
+		a.Feed(g.Next())
+	}
+	late := a.EstimatePeriod(0.5)
+	if late != 8 {
+		t.Fatalf("converged period=%d, want 8", late)
+	}
+	if early == 8 {
+		t.Log("note: early estimate already correct (acceptable, not typical)")
+	}
+}
+
+func TestOnlineACFReset(t *testing.T) {
+	a := MustOnlineACF(10, 0.05)
+	g := series.Sine(1, 5)
+	for i := 0; i < 1000; i++ {
+		a.Feed(g.Next())
+	}
+	a.Reset()
+	if a.Samples() != 0 {
+		t.Fatal("samples survived reset")
+	}
+	if a.EstimatePeriod(0.5) != 0 {
+		t.Fatal("stale period after reset")
+	}
+}
+
+func TestOnlineACFValidation(t *testing.T) {
+	if _, err := NewOnlineACF(0, 0.5); err == nil {
+		t.Error("maxLag 0 accepted")
+	}
+	if _, err := NewOnlineACF(10, 0); err == nil {
+		t.Error("alpha 0 accepted")
+	}
+	if _, err := NewOnlineACF(10, 1.5); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigure3TraceShape(t *testing.T) {
+	r := Figure3(50, 20010513)
+	if r.Trace.Len() < 2000 {
+		t.Fatalf("trace too short: %d samples", r.Trace.Len())
+	}
+	if err := r.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, v := range r.Trace.Samples {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak != 16 {
+		t.Fatalf("peak CPUs=%v, want 16 (paper: up to 16 CPUs)", peak)
+	}
+	if !strings.Contains(r.Plot, "Figure 3") {
+		t.Fatal("plot missing title")
+	}
+}
+
+func TestFigure4FindsPeriod44(t *testing.T) {
+	fig3 := Figure3(50, 20010513)
+	r := Figure4(fig3)
+	if r.BestLag < 43 || r.BestLag > 45 {
+		t.Fatalf("detected lag=%d, want ≈44 (paper Figure 4)", r.BestLag)
+	}
+	if r.Confidence < 0.5 {
+		t.Fatalf("confidence=%v too low", r.Confidence)
+	}
+	// The curve itself must dip at the lag: d(best) below curve average.
+	var sum float64
+	n := 0
+	for _, v := range r.Curve {
+		if v == v { // skip NaN
+			sum += v
+			n++
+		}
+	}
+	if n == 0 || r.Curve[r.BestLag-1] >= sum/float64(n) {
+		t.Fatalf("d(%d)=%v not below curve mean", r.BestLag, r.Curve[r.BestLag-1])
+	}
+}
+
+func TestFigure4ExactPeriodOnCleanTrace(t *testing.T) {
+	fig3 := Figure3(50, 0) // jitter-free
+	r := Figure4(fig3)
+	if r.BestLag != 44 {
+		t.Fatalf("clean trace lag=%d, want exactly 44", r.BestLag)
+	}
+}
+
+func TestFigure7AllAppsSegmented(t *testing.T) {
+	rs := Figure7()
+	if len(rs) != 5 {
+		t.Fatalf("panels=%d, want 5", len(rs))
+	}
+	for _, r := range rs {
+		if len(r.Starts) == 0 {
+			t.Errorf("%s: no segmentation marks in plotted window", r.App)
+		}
+		if !strings.Contains(r.Plot, "*") {
+			t.Errorf("%s: marks not rendered", r.App)
+		}
+		// Marks must be spaced by the governing period.
+		for i := 1; i < len(r.Starts); i++ {
+			if d := r.Starts[i] - r.Starts[i-1]; d != r.Period {
+				t.Errorf("%s: marks spaced %d, want %d", r.App, d, r.Period)
+			}
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Match() {
+			t.Errorf("%s: detected %v, paper %v", r.App, r.Periods, r.Expected)
+		}
+	}
+	out := FormatTable2(rows)
+	for _, name := range []string{"apsi", "hydro2d", "swim", "tomcatv", "turb3d"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("formatted table missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "1, 24, 269") {
+		t.Error("hydro2d periodicities not rendered")
+	}
+}
+
+func TestTable3OverheadNegligible(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 5 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.App] = r
+		if r.NumElems == 0 || r.TimeProc <= 0 {
+			t.Fatalf("%s: empty measurement %+v", r.App, r)
+		}
+		// The paper's conclusion: overhead is negligible. Even against
+		// simulated app times, percentages must stay below the paper's
+		// worst case (3.27%).
+		if r.Percentage > 3.5 {
+			t.Errorf("%s: overhead %.3f%% not negligible", r.App, r.Percentage)
+		}
+	}
+	// Shape: the nested apps (large windows) must cost more per element
+	// than the flat apps (small windows), as in the paper (0.112 ms and
+	// 0.108 ms vs 0.004 ms).
+	flat := byName["tomcatv"].TimePerElem
+	if byName["hydro2d"].TimePerElem < 4*flat {
+		t.Errorf("hydro2d per-elem %v not ≫ tomcatv %v", byName["hydro2d"].TimePerElem, flat)
+	}
+	if byName["turb3d"].TimePerElem < 4*flat {
+		t.Errorf("turb3d per-elem %v not ≫ tomcatv %v", byName["turb3d"].TimePerElem, flat)
+	}
+	_ = FormatTable3(rows)
+}
+
+func TestCaseStudySpeedups(t *testing.T) {
+	rs := CaseStudy(16)
+	if len(rs) != 5 {
+		t.Fatalf("results=%d", len(rs))
+	}
+	for _, r := range rs {
+		if r.Period == 0 {
+			t.Errorf("%s: no region identified", r.App)
+			continue
+		}
+		if r.Speedup <= 1 || r.Speedup > 16 {
+			t.Errorf("%s: speedup=%v outside (1,16]", r.App, r.Speedup)
+		}
+		if r.Efficiency <= 0 || r.Efficiency > 1 {
+			t.Errorf("%s: efficiency=%v", r.App, r.Efficiency)
+		}
+		if r.EstimatedTotal <= 0 {
+			t.Errorf("%s: no execution-time estimate", r.App)
+			continue
+		}
+		ratio := float64(r.EstimatedTotal) / float64(r.ActualTotal)
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s: estimate %v vs actual %v (ratio %.3f)", r.App, r.EstimatedTotal, r.ActualTotal, ratio)
+		}
+	}
+	out := FormatCaseStudy(rs)
+	if !strings.Contains(out, "speedup") {
+		t.Error("case study formatting broken")
+	}
+}
+
+func TestCaseStudyRegionPeriods(t *testing.T) {
+	rs := CaseStudy(8)
+	want := map[string]int{"tomcatv": 5, "swim": 6, "apsi": 6, "hydro2d": 269, "turb3d": 142}
+	for _, r := range rs {
+		if w := want[r.App]; r.Period != w {
+			t.Errorf("%s: region period=%d, want outer %d", r.App, r.Period, w)
+		}
+	}
+}
+
+func TestSchedulerImprovement(t *testing.T) {
+	sr, err := Scheduler(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 3 {
+		t.Fatalf("results=%d", len(sr.Results))
+	}
+	// The speedup-aware allocator must save substantial CPU time (the
+	// freed processors are the [Corbalan2000] benefit) and finish the
+	// scalable job faster than equipartition.
+	if sr.CPUSaving <= 1.2 {
+		t.Fatalf("cpu saving=%.3f, want > 1.2", sr.CPUSaving)
+	}
+	if sr.ScalableSpeedup <= 1.1 {
+		t.Fatalf("scalable job speedup=%.3f, want > 1.1", sr.ScalableSpeedup)
+	}
+	out := FormatScheduler(sr)
+	if !strings.Contains(out, "performance-driven") || !strings.Contains(out, "equipartition") {
+		t.Error("scheduler formatting broken")
+	}
+}
+
+func TestTable3LadderSelection(t *testing.T) {
+	rows := Table3()
+	for _, r := range rows {
+		switch r.App {
+		case "tomcatv", "swim", "apsi":
+			if len(r.Windows) != 1 || r.Windows[0] != 16 {
+				t.Errorf("%s: ladder=%v, want [16]", r.App, r.Windows)
+			}
+		case "hydro2d", "turb3d":
+			if len(r.Windows) < 3 {
+				t.Errorf("%s: ladder=%v, want full ladder", r.App, r.Windows)
+			}
+		}
+	}
+}
+
+func TestFigure3Deterministic(t *testing.T) {
+	a := Figure3(20, 7)
+	b := Figure3(20, 7)
+	if a.Trace.Len() != b.Trace.Len() {
+		t.Fatal("nondeterministic figure 3")
+	}
+	for i := range a.Trace.Samples {
+		if a.Trace.Samples[i] != b.Trace.Samples[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestFigure3DefaultIterations(t *testing.T) {
+	r := Figure3(0, 0)
+	if r.Trace.Duration() < time.Second {
+		t.Fatalf("default run too short: %v", r.Trace.Duration())
+	}
+}

@@ -1,0 +1,166 @@
+// Package machine simulates the shared-memory multiprocessor the paper's
+// evaluation ran on (an SGI Origin 2000 under the NANOS environment).
+//
+// The simulator is deliberately deterministic and single-stream: one
+// application advances a virtual clock, declares how many CPUs are active
+// at each instant, and the machine keeps the usage ledger that the
+// 1 ms CPU sampler (paper Figure 3) and the work-conservation property
+// tests consume. Parallel execution cost follows an explicit analytic
+// model (fork/join overhead + iteration chunking + a memory-contention
+// term), which preserves the *shape* of real speedup curves — sublinear,
+// saturating — without pretending to reproduce Origin-2000 cycle counts.
+package machine
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine is a simulated multiprocessor with a virtual clock.
+type Machine struct {
+	cpus   int
+	now    time.Duration
+	active int
+
+	busy time.Duration // ∫ active dt, in cpu-time
+
+	observers []Observer
+}
+
+// Observer is notified whenever the active CPU count changes or time
+// advances; `now` is the time at which `active` became the current count.
+type Observer func(now time.Duration, active int)
+
+// New returns a machine with the given CPU count and the clock at zero.
+// One CPU is active initially (the master thread).
+func New(cpus int) *Machine {
+	if cpus < 1 {
+		panic(fmt.Sprintf("machine: cpu count %d must be >= 1", cpus))
+	}
+	return &Machine{cpus: cpus, active: 1}
+}
+
+// CPUs returns the total number of processors.
+func (m *Machine) CPUs() int { return m.cpus }
+
+// Now returns the virtual clock.
+func (m *Machine) Now() time.Duration { return m.now }
+
+// Active returns the number of currently active CPUs.
+func (m *Machine) Active() int { return m.active }
+
+// BusyTime returns the accumulated CPU time (∫ active dt).
+func (m *Machine) BusyTime() time.Duration { return m.busy }
+
+// Utilization returns busy / (cpus · elapsed), in [0, 1].
+func (m *Machine) Utilization() float64 {
+	if m.now == 0 {
+		return 0
+	}
+	return float64(m.busy) / (float64(m.cpus) * float64(m.now))
+}
+
+// Observe registers an observer; it is immediately told the current state.
+func (m *Machine) Observe(o Observer) {
+	m.observers = append(m.observers, o)
+	o(m.now, m.active)
+}
+
+// SetActive declares the number of active CPUs from the current instant.
+// It panics if n is outside [0, CPUs]: the simulated runtime must never
+// oversubscribe the machine it was given.
+func (m *Machine) SetActive(n int) {
+	if n < 0 || n > m.cpus {
+		panic(fmt.Sprintf("machine: active %d outside [0,%d]", n, m.cpus))
+	}
+	if n == m.active {
+		return
+	}
+	m.active = n
+	for _, o := range m.observers {
+		o(m.now, m.active)
+	}
+}
+
+// Advance moves the clock forward by d with the current active count.
+func (m *Machine) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("machine: negative advance %v", d))
+	}
+	m.now += d
+	m.busy += time.Duration(int64(d) * int64(m.active))
+	for _, o := range m.observers {
+		o(m.now, m.active)
+	}
+}
+
+// Run executes a span with n CPUs active for duration d, then returns the
+// active count to its previous value.
+func (m *Machine) Run(n int, d time.Duration) {
+	prev := m.active
+	m.SetActive(n)
+	m.Advance(d)
+	m.SetActive(prev)
+}
+
+// Reset zeroes the clock and ledgers, keeping observers registered.
+func (m *Machine) Reset() {
+	m.now = 0
+	m.busy = 0
+	m.active = 1
+}
+
+// CostModel captures how long a parallel loop takes on p processors.
+// For a loop of `trip` iterations costing PerIter each:
+//
+//	T(p) = Fork + Join + ceil(trip/p)·PerIter·(1 + Contention·(p−1))
+//
+// Fork/Join model the runtime's thread wake-up and barrier; the chunking
+// term is the load-balance floor; Contention adds a per-processor memory
+// interference slope that makes speedup saturate, as on real ccNUMA
+// hardware.
+type CostModel struct {
+	Fork       time.Duration
+	Join       time.Duration
+	Contention float64
+}
+
+// DefaultCostModel has overheads in the range of 1990s-era parallel
+// runtimes (tens of microseconds per fork/join) and mild contention.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Fork:       20 * time.Microsecond,
+		Join:       30 * time.Microsecond,
+		Contention: 0.015,
+	}
+}
+
+// LoopTime returns the execution time of a parallel loop on p processors.
+func (c CostModel) LoopTime(trip int, perIter time.Duration, p int) time.Duration {
+	if trip < 0 {
+		panic(fmt.Sprintf("machine: negative trip count %d", trip))
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("machine: processor count %d must be >= 1", p))
+	}
+	if trip == 0 {
+		return 0
+	}
+	chunks := (trip + p - 1) / p
+	per := float64(perIter) * (1 + c.Contention*float64(p-1))
+	t := time.Duration(float64(chunks) * per)
+	if p > 1 {
+		t += c.Fork + c.Join
+	}
+	return t
+}
+
+// Speedup returns T(1)/T(p) under the model for the given loop shape.
+func (c CostModel) Speedup(trip int, perIter time.Duration, p int) float64 {
+	t1 := c.LoopTime(trip, perIter, 1)
+	tp := c.LoopTime(trip, perIter, p)
+	if tp == 0 {
+		return 1
+	}
+	return float64(t1) / float64(tp)
+}

@@ -1,0 +1,229 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMachineClockMonotone(t *testing.T) {
+	m := New(4)
+	m.Advance(10 * time.Millisecond)
+	m.Advance(0)
+	m.Advance(5 * time.Millisecond)
+	if m.Now() != 15*time.Millisecond {
+		t.Fatalf("Now=%v", m.Now())
+	}
+}
+
+func TestMachineNegativeAdvancePanics(t *testing.T) {
+	m := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	m.Advance(-time.Millisecond)
+}
+
+func TestMachineBusyAccounting(t *testing.T) {
+	m := New(8)
+	m.Advance(10 * time.Millisecond) // 1 cpu × 10ms
+	m.SetActive(8)
+	m.Advance(5 * time.Millisecond) // 8 × 5ms
+	m.SetActive(2)
+	m.Advance(20 * time.Millisecond) // 2 × 20ms
+	want := 10*time.Millisecond + 40*time.Millisecond + 40*time.Millisecond
+	if m.BusyTime() != want {
+		t.Fatalf("BusyTime=%v, want %v", m.BusyTime(), want)
+	}
+}
+
+func TestMachineUtilization(t *testing.T) {
+	m := New(4)
+	if m.Utilization() != 0 {
+		t.Fatal("zero-time utilization must be 0")
+	}
+	m.SetActive(4)
+	m.Advance(time.Second)
+	if u := m.Utilization(); u != 1 {
+		t.Fatalf("full utilization=%v", u)
+	}
+	m.SetActive(0)
+	m.Advance(time.Second)
+	if u := m.Utilization(); u != 0.5 {
+		t.Fatalf("half utilization=%v", u)
+	}
+}
+
+func TestMachineSetActiveBounds(t *testing.T) {
+	m := New(4)
+	for _, bad := range []int{-1, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetActive(%d) did not panic", bad)
+				}
+			}()
+			m.SetActive(bad)
+		}()
+	}
+	m.SetActive(0)
+	m.SetActive(4)
+}
+
+func TestMachineRunRestoresActive(t *testing.T) {
+	m := New(16)
+	m.SetActive(2)
+	m.Run(16, 3*time.Millisecond)
+	if m.Active() != 2 {
+		t.Fatalf("active=%d after Run, want 2 restored", m.Active())
+	}
+	if m.BusyTime() != 48*time.Millisecond {
+		t.Fatalf("busy=%v", m.BusyTime())
+	}
+}
+
+func TestMachineObserverSeesChanges(t *testing.T) {
+	m := New(8)
+	var events []int
+	m.Observe(func(now time.Duration, active int) {
+		events = append(events, active)
+	})
+	m.SetActive(8)
+	m.Advance(time.Millisecond)
+	m.SetActive(1)
+	// Initial callback (1), change to 8, advance (8), change to 1.
+	if len(events) < 4 || events[0] != 1 || events[1] != 8 || events[len(events)-1] != 1 {
+		t.Fatalf("events=%v", events)
+	}
+}
+
+func TestMachineReset(t *testing.T) {
+	m := New(4)
+	m.SetActive(4)
+	m.Advance(time.Second)
+	m.Reset()
+	if m.Now() != 0 || m.BusyTime() != 0 || m.Active() != 1 {
+		t.Fatalf("after reset now=%v busy=%v active=%d", m.Now(), m.BusyTime(), m.Active())
+	}
+}
+
+func TestMachineNewPanicsOnZeroCPUs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestCostModelSerialNoOverhead(t *testing.T) {
+	c := DefaultCostModel()
+	got := c.LoopTime(100, time.Millisecond, 1)
+	if got != 100*time.Millisecond {
+		t.Fatalf("T(1)=%v, want exactly 100ms (no fork/join on 1 cpu)", got)
+	}
+}
+
+func TestCostModelZeroTrip(t *testing.T) {
+	c := DefaultCostModel()
+	if c.LoopTime(0, time.Millisecond, 8) != 0 {
+		t.Fatal("empty loop must cost 0")
+	}
+}
+
+func TestCostModelSpeedupProperties(t *testing.T) {
+	c := DefaultCostModel()
+	trip, per := 1024, 500*time.Microsecond
+	if s := c.Speedup(trip, per, 1); s != 1 {
+		t.Fatalf("S(1)=%v, want 1", s)
+	}
+	prev := 1.0
+	for p := 2; p <= 16; p *= 2 {
+		s := c.Speedup(trip, per, p)
+		if s <= prev*0.9 {
+			t.Fatalf("S(%d)=%v collapsed below S(%d)=%v", p, s, p/2, prev)
+		}
+		if s > float64(p) {
+			t.Fatalf("S(%d)=%v exceeds linear", p, s)
+		}
+		prev = s
+	}
+}
+
+func TestCostModelSublinearWithContention(t *testing.T) {
+	c := CostModel{Fork: 0, Join: 0, Contention: 0.1}
+	s := c.Speedup(1000, time.Millisecond, 10)
+	if s >= 10 {
+		t.Fatalf("S(10)=%v, want sublinear under contention", s)
+	}
+	if s < 4 {
+		t.Fatalf("S(10)=%v, implausibly low", s)
+	}
+}
+
+func TestCostModelChunkingFloor(t *testing.T) {
+	// 10 iterations on 8 CPUs: two chunks — same as on 5 CPUs.
+	c := CostModel{Fork: 0, Join: 0, Contention: 0}
+	t8 := c.LoopTime(10, time.Millisecond, 8)
+	t5 := c.LoopTime(10, time.Millisecond, 5)
+	if t8 != t5 {
+		t.Fatalf("chunk floor broken: T(8)=%v T(5)=%v", t8, t5)
+	}
+}
+
+func TestCostModelPanics(t *testing.T) {
+	c := DefaultCostModel()
+	for name, f := range map[string]func(){
+		"negative trip": func() { c.LoopTime(-1, time.Millisecond, 1) },
+		"zero procs":    func() { c.LoopTime(1, time.Millisecond, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: work conservation — for any sequence of (active, duration)
+// spans, BusyTime equals the sum of active·duration.
+func TestMachinePropertyWorkConservation(t *testing.T) {
+	f := func(spans []struct {
+		Active uint8
+		Ms     uint8
+	}) bool {
+		m := New(16)
+		var want time.Duration
+		for _, s := range spans {
+			a := int(s.Active % 17)
+			d := time.Duration(s.Ms) * time.Millisecond
+			m.SetActive(a)
+			m.Advance(d)
+			want += time.Duration(int64(d) * int64(a))
+		}
+		return m.BusyTime() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: speedup is always within (0, p] and S(1) == 1.
+func TestCostModelPropertySpeedupBounded(t *testing.T) {
+	f := func(tripRaw uint16, perRaw uint16, pRaw uint8) bool {
+		trip := int(tripRaw%2000) + 1
+		per := time.Duration(int(perRaw%1000)+1) * time.Microsecond
+		p := int(pRaw%32) + 1
+		c := DefaultCostModel()
+		s := c.Speedup(trip, per, p)
+		return s > 0 && s <= float64(p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package nanos is the NANOS-like parallel runtime substrate: it executes
+// applications built from sequential spans, OpenMP-style encapsulated
+// parallel loops, and MPI-style communication spans on a simulated
+// machine, with per-application processor allocation that can change at
+// run time (the lever the SelfAnalyzer-driven scheduling policy pulls).
+//
+// Parallel loops are dispatched through a ditools.Registry so that tools
+// (the DPD + SelfAnalyzer) can observe the loop-address stream exactly as
+// the paper's DITools interposition does.
+package nanos
+
+import (
+	"fmt"
+	"time"
+
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+)
+
+// LoopID is the synthetic "address" of an encapsulated parallel loop
+// function (what DITools passes to the DPD).
+type LoopID int64
+
+// Runtime executes one application on a simulated machine.
+type Runtime struct {
+	mach  *machine.Machine
+	cost  machine.CostModel
+	alloc int
+	reg   *ditools.Registry // may be nil: no interposition
+
+	loopsExecuted uint64
+	parallelTime  time.Duration
+	serialTime    time.Duration
+}
+
+// New returns a runtime on mach with `alloc` processors initially
+// allocated. reg may be nil to run without interposition.
+func New(mach *machine.Machine, cost machine.CostModel, alloc int, reg *ditools.Registry) (*Runtime, error) {
+	if alloc < 1 || alloc > mach.CPUs() {
+		return nil, fmt.Errorf("nanos: allocation %d outside [1,%d]", alloc, mach.CPUs())
+	}
+	return &Runtime{mach: mach, cost: cost, alloc: alloc, reg: reg}, nil
+}
+
+// MustNew panics on configuration errors.
+func MustNew(mach *machine.Machine, cost machine.CostModel, alloc int, reg *ditools.Registry) *Runtime {
+	rt, err := New(mach, cost, alloc, reg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Machine returns the underlying machine.
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// Registry returns the interposition registry (nil if none).
+func (rt *Runtime) Registry() *ditools.Registry { return rt.reg }
+
+// Allocation returns the processors currently allocated.
+func (rt *Runtime) Allocation() int { return rt.alloc }
+
+// SetAllocation changes the processor allocation, effective from the next
+// parallel construct — matching runtimes that apply allocation changes at
+// region boundaries.
+func (rt *Runtime) SetAllocation(p int) error {
+	if p < 1 || p > rt.mach.CPUs() {
+		return fmt.Errorf("nanos: allocation %d outside [1,%d]", p, rt.mach.CPUs())
+	}
+	rt.alloc = p
+	return nil
+}
+
+// Now returns the virtual time.
+func (rt *Runtime) Now() time.Duration { return rt.mach.Now() }
+
+// LoopsExecuted returns the number of parallel loops executed.
+func (rt *Runtime) LoopsExecuted() uint64 { return rt.loopsExecuted }
+
+// ParallelTime returns the wall time spent inside parallel loops.
+func (rt *Runtime) ParallelTime() time.Duration { return rt.parallelTime }
+
+// SerialTime returns the wall time spent in sequential spans.
+func (rt *Runtime) SerialTime() time.Duration { return rt.serialTime }
+
+// Sequential executes a serial span on the master thread.
+func (rt *Runtime) Sequential(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("nanos: negative duration %v", d))
+	}
+	rt.mach.SetActive(1)
+	rt.mach.Advance(d)
+	rt.serialTime += d
+}
+
+// ParallelFor executes an encapsulated parallel loop: interposition fires
+// first with the loop's address (paper Figure 6), then the loop body runs
+// on min(allocation, trip) processors under the machine's cost model.
+// It returns the loop's wall-clock duration.
+func (rt *Runtime) ParallelFor(id LoopID, trip int, perIter time.Duration) time.Duration {
+	if trip < 0 {
+		panic(fmt.Sprintf("nanos: negative trip count %d", trip))
+	}
+	var dur time.Duration
+	body := func() {
+		p := rt.alloc
+		if trip < p {
+			p = trip
+		}
+		if p < 1 {
+			p = 1
+		}
+		dur = rt.cost.LoopTime(trip, perIter, p)
+		prev := rt.mach.Active()
+		rt.mach.SetActive(p)
+		rt.mach.Advance(dur)
+		rt.mach.SetActive(prev)
+		rt.loopsExecuted++
+		rt.parallelTime += dur
+	}
+	if rt.reg != nil {
+		rt.reg.Call(rt.mach.Now(), int64(id), body)
+	} else {
+		body()
+	}
+	return dur
+}
+
+// Communicate models an MPI-style exchange: `procs` processes each keep
+// one thread active (polling/copying) for duration d. This is what closes
+// parallelism between computation phases in the paper's FT trace.
+func (rt *Runtime) Communicate(procs int, d time.Duration) {
+	if procs < 1 || procs > rt.mach.CPUs() {
+		panic(fmt.Sprintf("nanos: communicating procs %d outside [1,%d]", procs, rt.mach.CPUs()))
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("nanos: negative duration %v", d))
+	}
+	prev := rt.mach.Active()
+	rt.mach.SetActive(procs)
+	rt.mach.Advance(d)
+	rt.mach.SetActive(prev)
+}
+
+// Idle models a fully idle span (e.g. waiting on an external event).
+func (rt *Runtime) Idle(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("nanos: negative duration %v", d))
+	}
+	prev := rt.mach.Active()
+	rt.mach.SetActive(0)
+	rt.mach.Advance(d)
+	rt.mach.SetActive(prev)
+}
+
+// Loop describes a parallel loop of an application's iterative body.
+type Loop struct {
+	// ID is the encapsulated function's address.
+	ID LoopID
+	// Trip is the iteration count of the loop.
+	Trip int
+	// PerIter is the cost of one iteration.
+	PerIter time.Duration
+	// Repeat executes the loop this many times consecutively (an inner
+	// sequential loop around one parallel loop). 0 means once.
+	Repeat int
+}
+
+// Segment is one element of an application's iteration body.
+type Segment struct {
+	// Exactly one of the following is meaningful.
+	// Loop is a parallel loop when Loop.ID != 0.
+	Loop Loop
+	// Serial is a sequential span when > 0.
+	Serial time.Duration
+	// CommProcs/CommTime model a communication span when CommProcs > 0.
+	CommProcs int
+	CommTime  time.Duration
+}
+
+// RunSegment executes one segment.
+func (rt *Runtime) RunSegment(s Segment) {
+	switch {
+	case s.Loop.ID != 0:
+		n := s.Loop.Repeat
+		if n <= 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			rt.ParallelFor(s.Loop.ID, s.Loop.Trip, s.Loop.PerIter)
+		}
+	case s.Serial > 0:
+		rt.Sequential(s.Serial)
+	case s.CommProcs > 0:
+		rt.Communicate(s.CommProcs, s.CommTime)
+	}
+}
+
+// RunIteration executes one pass over the segments (one iteration of the
+// application's main sequential loop).
+func (rt *Runtime) RunIteration(body []Segment) time.Duration {
+	start := rt.mach.Now()
+	for _, s := range body {
+		rt.RunSegment(s)
+	}
+	return rt.mach.Now() - start
+}

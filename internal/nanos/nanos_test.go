@@ -1,0 +1,241 @@
+package nanos
+
+import (
+	"testing"
+	"time"
+
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+)
+
+func newRT(t *testing.T, cpus, alloc int) (*Runtime, *ditools.Registry) {
+	t.Helper()
+	m := machine.New(cpus)
+	reg := ditools.NewRegistry()
+	rt, err := New(m, machine.DefaultCostModel(), alloc, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, reg
+}
+
+func TestNewValidatesAllocation(t *testing.T) {
+	m := machine.New(4)
+	if _, err := New(m, machine.DefaultCostModel(), 0, nil); err == nil {
+		t.Error("alloc 0 accepted")
+	}
+	if _, err := New(m, machine.DefaultCostModel(), 5, nil); err == nil {
+		t.Error("alloc > cpus accepted")
+	}
+}
+
+func TestSequentialAdvancesClockOneCPU(t *testing.T) {
+	rt, _ := newRT(t, 8, 8)
+	rt.Sequential(10 * time.Millisecond)
+	if rt.Now() != 10*time.Millisecond {
+		t.Fatalf("Now=%v", rt.Now())
+	}
+	if rt.Machine().BusyTime() != 10*time.Millisecond {
+		t.Fatalf("busy=%v, want 1-cpu time", rt.Machine().BusyTime())
+	}
+	if rt.SerialTime() != 10*time.Millisecond {
+		t.Fatalf("serial=%v", rt.SerialTime())
+	}
+}
+
+func TestParallelForUsesAllocation(t *testing.T) {
+	rt, _ := newRT(t, 16, 8)
+	var active []int
+	rt.Machine().Observe(func(_ time.Duration, a int) { active = append(active, a) })
+	rt.ParallelFor(0x100, 800, 100*time.Microsecond)
+	peak := 0
+	for _, a := range active {
+		if a > peak {
+			peak = a
+		}
+	}
+	if peak != 8 {
+		t.Fatalf("peak active=%d, want allocation 8", peak)
+	}
+	if rt.LoopsExecuted() != 1 {
+		t.Fatalf("loops=%d", rt.LoopsExecuted())
+	}
+}
+
+func TestParallelForClampsToTrip(t *testing.T) {
+	rt, _ := newRT(t, 16, 16)
+	var peak int
+	rt.Machine().Observe(func(_ time.Duration, a int) {
+		if a > peak {
+			peak = a
+		}
+	})
+	rt.ParallelFor(0x100, 3, time.Millisecond) // only 3 iterations
+	if peak != 3 {
+		t.Fatalf("peak=%d, want clamp to trip 3", peak)
+	}
+}
+
+func TestParallelForFiresInterposition(t *testing.T) {
+	rt, reg := newRT(t, 4, 4)
+	var addrs []int64
+	reg.OnCall(func(e ditools.Event) { addrs = append(addrs, e.Addr) })
+	rt.ParallelFor(0xAAA, 10, time.Microsecond)
+	rt.ParallelFor(0xBBB, 10, time.Microsecond)
+	rt.ParallelFor(0xAAA, 10, time.Microsecond)
+	want := []int64{0xAAA, 0xBBB, 0xAAA}
+	if len(addrs) != 3 {
+		t.Fatalf("addrs=%v", addrs)
+	}
+	for i := range want {
+		if addrs[i] != want[i] {
+			t.Fatalf("addrs=%v, want %v", addrs, want)
+		}
+	}
+}
+
+func TestParallelForInterpositionSeesPreCallTime(t *testing.T) {
+	rt, reg := newRT(t, 4, 4)
+	var at time.Duration = -1
+	reg.OnCall(func(e ditools.Event) { at = e.Now })
+	rt.Sequential(5 * time.Millisecond)
+	rt.ParallelFor(0x1, 100, time.Millisecond)
+	if at != 5*time.Millisecond {
+		t.Fatalf("interposition time=%v, want 5ms (before loop body)", at)
+	}
+}
+
+func TestParallelForWithoutRegistry(t *testing.T) {
+	m := machine.New(4)
+	rt := MustNew(m, machine.DefaultCostModel(), 4, nil)
+	d := rt.ParallelFor(0x1, 100, time.Millisecond)
+	if d <= 0 {
+		t.Fatal("loop took no time")
+	}
+}
+
+func TestMoreProcessorsRunFaster(t *testing.T) {
+	run := func(alloc int) time.Duration {
+		m := machine.New(16)
+		rt := MustNew(m, machine.DefaultCostModel(), alloc, nil)
+		return rt.ParallelFor(0x1, 1600, 250*time.Microsecond)
+	}
+	t1, t4, t16 := run(1), run(4), run(16)
+	if !(t16 < t4 && t4 < t1) {
+		t.Fatalf("times not decreasing: %v %v %v", t1, t4, t16)
+	}
+	// Speedup must stay sublinear.
+	if s := float64(t1) / float64(t16); s > 16 {
+		t.Fatalf("S(16)=%v superlinear", s)
+	}
+}
+
+func TestSetAllocationTakesEffectNextLoop(t *testing.T) {
+	rt, _ := newRT(t, 16, 16)
+	d16 := rt.ParallelFor(0x1, 1600, 100*time.Microsecond)
+	if err := rt.SetAllocation(2); err != nil {
+		t.Fatal(err)
+	}
+	d2 := rt.ParallelFor(0x1, 1600, 100*time.Microsecond)
+	if d2 <= d16 {
+		t.Fatalf("d2=%v not slower than d16=%v", d2, d16)
+	}
+	if err := rt.SetAllocation(0); err == nil {
+		t.Fatal("alloc 0 accepted")
+	}
+	if err := rt.SetAllocation(17); err == nil {
+		t.Fatal("alloc 17 accepted")
+	}
+}
+
+func TestCommunicateActivatesProcs(t *testing.T) {
+	rt, _ := newRT(t, 16, 16)
+	var seen []int
+	rt.Machine().Observe(func(_ time.Duration, a int) { seen = append(seen, a) })
+	rt.Communicate(4, 2*time.Millisecond)
+	found := false
+	for _, a := range seen {
+		if a == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("active counts %v never showed 4 communicating procs", seen)
+	}
+	if rt.Machine().Active() != 1 {
+		t.Fatal("active not restored after Communicate")
+	}
+}
+
+func TestIdleZeroCPUs(t *testing.T) {
+	rt, _ := newRT(t, 4, 4)
+	busy0 := rt.Machine().BusyTime()
+	rt.Idle(10 * time.Millisecond)
+	if rt.Machine().BusyTime() != busy0 {
+		t.Fatal("idle accumulated busy time")
+	}
+	if rt.Now() != 10*time.Millisecond {
+		t.Fatal("idle did not advance the clock")
+	}
+}
+
+func TestRunIterationSegments(t *testing.T) {
+	rt, reg := newRT(t, 8, 8)
+	body := []Segment{
+		{Serial: 2 * time.Millisecond},
+		{Loop: Loop{ID: 0x10, Trip: 80, PerIter: 100 * time.Microsecond}},
+		{Loop: Loop{ID: 0x20, Trip: 80, PerIter: 100 * time.Microsecond, Repeat: 3}},
+		{CommProcs: 4, CommTime: time.Millisecond},
+	}
+	dur := rt.RunIteration(body)
+	if dur <= 3*time.Millisecond {
+		t.Fatalf("iteration too fast: %v", dur)
+	}
+	if reg.Calls() != 4 { // one + three repeats
+		t.Fatalf("interposed calls=%d, want 4", reg.Calls())
+	}
+	if reg.CallsTo(0x20) != 3 {
+		t.Fatalf("calls to 0x20=%d, want 3", reg.CallsTo(0x20))
+	}
+}
+
+func TestRunIterationDeterministic(t *testing.T) {
+	body := []Segment{
+		{Serial: time.Millisecond},
+		{Loop: Loop{ID: 0x1, Trip: 100, PerIter: 50 * time.Microsecond}},
+	}
+	run := func() time.Duration {
+		m := machine.New(8)
+		rt := MustNew(m, machine.DefaultCostModel(), 8, nil)
+		return rt.RunIteration(body)
+	}
+	if run() != run() {
+		t.Fatal("identical runs differ")
+	}
+}
+
+func TestParallelForPanicsOnNegativeTrip(t *testing.T) {
+	rt, _ := newRT(t, 4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative trip did not panic")
+		}
+	}()
+	rt.ParallelFor(0x1, -1, time.Millisecond)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	rt, _ := newRT(t, 8, 8)
+	rt.Sequential(time.Millisecond)
+	rt.ParallelFor(0x1, 10, time.Millisecond)
+	rt.Sequential(time.Millisecond)
+	if rt.SerialTime() != 2*time.Millisecond {
+		t.Fatalf("serial=%v", rt.SerialTime())
+	}
+	if rt.ParallelTime() <= 0 {
+		t.Fatalf("parallel=%v", rt.ParallelTime())
+	}
+	if rt.Now() != rt.SerialTime()+rt.ParallelTime() {
+		t.Fatalf("now=%v != serial+parallel=%v", rt.Now(), rt.SerialTime()+rt.ParallelTime())
+	}
+}

@@ -1,0 +1,321 @@
+// Package sched implements the consumer that motivates the paper's
+// speedup computation: performance-driven processor allocation
+// [Corbalan2000]. A multiprogrammed workload of parallel applications
+// shares a machine; at every scheduling quantum the allocator
+// redistributes processors using each application's measured speedup
+// curve — exactly the information the SelfAnalyzer extracts at run time
+// via the DPD.
+//
+// Two policies are provided: Equipartition (the classic space-sharing
+// baseline) and PerformanceDriven (greedy marginal-speedup allocation,
+// which gives processors to the applications that convert them into the
+// most progress). The paper's claim ("providing a great benefit as we
+// have shown in [Corbalan2000]") is reproduced as: on workloads with
+// heterogeneous scalability, PerformanceDriven achieves lower makespan
+// and average turnaround than Equipartition.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SpeedupFunc maps a processor count (>= 1) to the application's speedup
+// over serial execution. It must satisfy S(1) == 1 and be non-decreasing.
+type SpeedupFunc func(p int) float64
+
+// Job is one application of the workload.
+type Job struct {
+	// Name identifies the job.
+	Name string
+	// Work is the serial execution time (total work at S = 1).
+	Work time.Duration
+	// Speedup is the job's scalability curve.
+	Speedup SpeedupFunc
+	// Arrival is when the job enters the system.
+	Arrival time.Duration
+	// MaxProcs caps the allocation (0 = unlimited).
+	MaxProcs int
+}
+
+// JobState is the scheduler-visible state of a job during simulation.
+type JobState struct {
+	Job
+	// Remaining is the serial-equivalent work left.
+	Remaining time.Duration
+	// Alloc is the current processor allocation.
+	Alloc int
+	// Finish is the completion time (0 while running).
+	Finish time.Duration
+	// CPUTime is the accumulated processor time consumed.
+	CPUTime time.Duration
+}
+
+// Done reports whether the job completed.
+func (j *JobState) Done() bool { return j.Finish > 0 }
+
+// Turnaround returns Finish − Arrival for a completed job.
+func (j *JobState) Turnaround() time.Duration { return j.Finish - j.Arrival }
+
+// Policy distributes totalCPUs over the runnable jobs. Implementations
+// must return one allocation per job (0 allowed), summing to at most
+// totalCPUs, and must respect MaxProcs caps.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Allocate returns the processor share of each runnable job.
+	Allocate(jobs []*JobState, totalCPUs int) []int
+}
+
+// Equipartition divides processors evenly among runnable jobs, handing
+// leftovers to the earliest-arrived jobs — the classic space-sharing
+// baseline the paper's related work compares against.
+type Equipartition struct{}
+
+// Name implements Policy.
+func (Equipartition) Name() string { return "equipartition" }
+
+// Allocate implements Policy.
+func (Equipartition) Allocate(jobs []*JobState, totalCPUs int) []int {
+	out := make([]int, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	base := totalCPUs / len(jobs)
+	extra := totalCPUs % len(jobs)
+	for i := range jobs {
+		a := base
+		if i < extra {
+			a++
+		}
+		out[i] = capAlloc(jobs[i], a)
+	}
+	redistribute(jobs, out, totalCPUs)
+	return out
+}
+
+// PerformanceDriven allocates greedily by marginal speedup: each
+// processor goes to the job whose speedup curve gains the most from one
+// more processor. With every job holding the measured S(p) the
+// SelfAnalyzer provides, this maximizes aggregate progress per quantum.
+type PerformanceDriven struct {
+	// MinEfficiency, when > 0, stops giving a job further processors once
+	// its marginal gain per processor falls below this threshold,
+	// releasing them to jobs that use them better.
+	MinEfficiency float64
+}
+
+// Name implements Policy.
+func (p PerformanceDriven) Name() string { return "performance-driven" }
+
+// Allocate implements Policy.
+func (p PerformanceDriven) Allocate(jobs []*JobState, totalCPUs int) []int {
+	out := make([]int, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	// Every runnable job gets one processor first (no starvation).
+	remaining := totalCPUs
+	for i := range jobs {
+		if remaining == 0 {
+			break
+		}
+		out[i] = 1
+		remaining--
+	}
+	// Greedy marginal-speedup assignment for the rest.
+	for remaining > 0 {
+		best, bestGain := -1, 0.0
+		for i, j := range jobs {
+			if j.MaxProcs > 0 && out[i] >= j.MaxProcs {
+				continue
+			}
+			if out[i] == 0 {
+				continue // job got no seed processor (more jobs than CPUs)
+			}
+			gain := j.Speedup(out[i]+1) - j.Speedup(out[i])
+			if p.MinEfficiency > 0 && gain < p.MinEfficiency {
+				continue
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break // nobody benefits: leave processors idle
+		}
+		out[best]++
+		remaining--
+	}
+	return out
+}
+
+// capAlloc clamps a to the job's MaxProcs.
+func capAlloc(j *JobState, a int) int {
+	if j.MaxProcs > 0 && a > j.MaxProcs {
+		return j.MaxProcs
+	}
+	return a
+}
+
+// redistribute hands processors freed by MaxProcs caps to uncapped jobs.
+func redistribute(jobs []*JobState, out []int, totalCPUs int) {
+	used := 0
+	for _, a := range out {
+		used += a
+	}
+	for spare := totalCPUs - used; spare > 0; {
+		progressed := false
+		for i := range jobs {
+			if spare == 0 {
+				break
+			}
+			if jobs[i].MaxProcs == 0 || out[i] < jobs[i].MaxProcs {
+				out[i]++
+				spare--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}
+
+// Result summarizes one workload run under one policy.
+type Result struct {
+	// Policy is the policy name.
+	Policy string
+	// Jobs holds the final per-job states, in input order.
+	Jobs []*JobState
+	// Makespan is the completion time of the last job.
+	Makespan time.Duration
+	// AvgTurnaround is the mean job turnaround.
+	AvgTurnaround time.Duration
+	// CPUTime is the total processor time consumed by all jobs.
+	CPUTime time.Duration
+}
+
+// Simulate runs the workload on `cpus` processors under the policy with
+// the given re-allocation quantum, until every job completes.
+func Simulate(jobs []Job, cpus int, quantum time.Duration, policy Policy) (*Result, error) {
+	if cpus < 1 {
+		return nil, fmt.Errorf("sched: cpu count %d must be >= 1", cpus)
+	}
+	if quantum <= 0 {
+		return nil, fmt.Errorf("sched: quantum %v must be positive", quantum)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sched: empty workload")
+	}
+	states := make([]*JobState, len(jobs))
+	for i, j := range jobs {
+		if j.Work <= 0 {
+			return nil, fmt.Errorf("sched: job %q has non-positive work", j.Name)
+		}
+		if j.Speedup == nil {
+			return nil, fmt.Errorf("sched: job %q has no speedup curve", j.Name)
+		}
+		states[i] = &JobState{Job: j, Remaining: j.Work}
+	}
+
+	now := time.Duration(0)
+	for {
+		// Runnable set: arrived, not finished.
+		var run []*JobState
+		for _, s := range states {
+			if !s.Done() && s.Arrival <= now {
+				run = append(run, s)
+			}
+		}
+		if len(run) == 0 {
+			// Jump to the next arrival, or finish.
+			next := time.Duration(-1)
+			for _, s := range states {
+				if !s.Done() && (next < 0 || s.Arrival < next) {
+					next = s.Arrival
+				}
+			}
+			if next < 0 {
+				break // all done
+			}
+			now = next
+			continue
+		}
+
+		alloc := policy.Allocate(run, cpus)
+		if len(alloc) != len(run) {
+			return nil, fmt.Errorf("sched: policy %s returned %d allocations for %d jobs", policy.Name(), len(alloc), len(run))
+		}
+		used := 0
+		for i, a := range alloc {
+			if a < 0 {
+				return nil, fmt.Errorf("sched: negative allocation for %q", run[i].Name)
+			}
+			used += a
+		}
+		if used > cpus {
+			return nil, fmt.Errorf("sched: policy %s oversubscribed %d > %d", policy.Name(), used, cpus)
+		}
+
+		// Advance one quantum (or less, if a job finishes inside it).
+		step := quantum
+		for i, s := range run {
+			if alloc[i] == 0 {
+				continue
+			}
+			rate := s.Speedup(alloc[i]) // serial work per wall second
+			need := time.Duration(float64(s.Remaining) / rate)
+			if need < step {
+				step = need
+			}
+		}
+		if step <= 0 {
+			step = time.Nanosecond // degenerate numeric guard
+		}
+		for i, s := range run {
+			s.Alloc = alloc[i]
+			if alloc[i] == 0 {
+				continue
+			}
+			rate := s.Speedup(alloc[i])
+			done := time.Duration(rate * float64(step))
+			s.CPUTime += time.Duration(int64(step) * int64(alloc[i]))
+			if done >= s.Remaining {
+				s.Remaining = 0
+				s.Finish = now + step
+			} else {
+				s.Remaining -= done
+			}
+		}
+		now += step
+	}
+
+	res := &Result{Policy: policy.Name(), Jobs: states}
+	var sumT time.Duration
+	for _, s := range states {
+		if s.Finish > res.Makespan {
+			res.Makespan = s.Finish
+		}
+		sumT += s.Turnaround()
+		res.CPUTime += s.CPUTime
+	}
+	res.AvgTurnaround = sumT / time.Duration(len(states))
+	return res, nil
+}
+
+// Compare runs the same workload under several policies and returns the
+// results sorted by average turnaround (best first).
+func Compare(jobs []Job, cpus int, quantum time.Duration, policies ...Policy) ([]*Result, error) {
+	var out []*Result
+	for _, p := range policies {
+		r, err := Simulate(jobs, cpus, quantum, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AvgTurnaround < out[j].AvgTurnaround })
+	return out, nil
+}

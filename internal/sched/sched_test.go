@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"dpd/internal/machine"
+)
+
+// linearTo returns a speedup curve linear up to k processors, flat after.
+func linearTo(k int) SpeedupFunc {
+	return func(p int) float64 {
+		if p <= 0 {
+			return 0
+		}
+		if p > k {
+			return float64(k)
+		}
+		return float64(p)
+	}
+}
+
+// amdahl returns a curve with serial fraction f.
+func amdahl(f float64) SpeedupFunc {
+	return func(p int) float64 {
+		if p <= 0 {
+			return 0
+		}
+		return 1 / (f + (1-f)/float64(p))
+	}
+}
+
+func TestSimulateSingleJobLinear(t *testing.T) {
+	jobs := []Job{{Name: "a", Work: 64 * time.Second, Speedup: linearTo(64)}}
+	r, err := Simulate(jobs, 16, time.Second, Equipartition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly parallel 64s of work on 16 cpus → 4s.
+	if r.Makespan != 4*time.Second {
+		t.Fatalf("makespan=%v, want 4s", r.Makespan)
+	}
+	if !r.Jobs[0].Done() {
+		t.Fatal("job not finished")
+	}
+}
+
+func TestSimulateSerialJobIgnoresExtraCPUs(t *testing.T) {
+	jobs := []Job{{Name: "serial", Work: 10 * time.Second, Speedup: linearTo(1)}}
+	r, err := Simulate(jobs, 16, time.Second, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 10*time.Second {
+		t.Fatalf("makespan=%v, want 10s", r.Makespan)
+	}
+}
+
+func TestEquipartitionSplitsEvenly(t *testing.T) {
+	a := &JobState{Job: Job{Name: "a", Speedup: linearTo(99)}}
+	b := &JobState{Job: Job{Name: "b", Speedup: linearTo(99)}}
+	c := &JobState{Job: Job{Name: "c", Speedup: linearTo(99)}}
+	alloc := Equipartition{}.Allocate([]*JobState{a, b, c}, 16)
+	if alloc[0]+alloc[1]+alloc[2] != 16 {
+		t.Fatalf("alloc=%v does not use all cpus", alloc)
+	}
+	for _, x := range alloc {
+		if x < 5 || x > 6 {
+			t.Fatalf("alloc=%v not even", alloc)
+		}
+	}
+}
+
+func TestEquipartitionRespectsMaxProcs(t *testing.T) {
+	a := &JobState{Job: Job{Name: "a", MaxProcs: 2, Speedup: linearTo(2)}}
+	b := &JobState{Job: Job{Name: "b", Speedup: linearTo(99)}}
+	alloc := Equipartition{}.Allocate([]*JobState{a, b}, 16)
+	if alloc[0] != 2 {
+		t.Fatalf("capped job got %d, want 2", alloc[0])
+	}
+	if alloc[1] != 14 {
+		t.Fatalf("uncapped job got %d, want the released 14", alloc[1])
+	}
+}
+
+func TestPerformanceDrivenFavorsScalableJob(t *testing.T) {
+	scalable := &JobState{Job: Job{Name: "s", Speedup: linearTo(64)}}
+	poor := &JobState{Job: Job{Name: "p", Speedup: amdahl(0.5)}}
+	alloc := PerformanceDriven{}.Allocate([]*JobState{scalable, poor}, 16)
+	if alloc[0] <= alloc[1] {
+		t.Fatalf("alloc=%v: scalable job must get more processors", alloc)
+	}
+	if alloc[0]+alloc[1] > 16 {
+		t.Fatalf("oversubscribed: %v", alloc)
+	}
+}
+
+func TestPerformanceDrivenNoStarvation(t *testing.T) {
+	jobs := []*JobState{
+		{Job: Job{Name: "a", Speedup: linearTo(64)}},
+		{Job: Job{Name: "b", Speedup: amdahl(0.9)}},
+		{Job: Job{Name: "c", Speedup: amdahl(0.9)}},
+	}
+	alloc := PerformanceDriven{}.Allocate(jobs, 8)
+	for i, a := range alloc {
+		if a < 1 {
+			t.Fatalf("job %d starved: %v", i, alloc)
+		}
+	}
+}
+
+func TestPerformanceDrivenMinEfficiencyLeavesIdle(t *testing.T) {
+	// A single job with a hard knee: beyond 4 processors, zero gain.
+	jobs := []*JobState{{Job: Job{Name: "knee", Speedup: linearTo(4)}}}
+	alloc := PerformanceDriven{MinEfficiency: 0.1}.Allocate(jobs, 16)
+	if alloc[0] != 4 {
+		t.Fatalf("alloc=%v, want exactly the useful 4", alloc)
+	}
+}
+
+// The paper's claim: performance-driven allocation beats equipartition on
+// workloads with heterogeneous scalability.
+func TestPerformanceDrivenBeatsEquipartition(t *testing.T) {
+	jobs := []Job{
+		{Name: "scalable", Work: 200 * time.Second, Speedup: linearTo(16)},
+		{Name: "medium", Work: 100 * time.Second, Speedup: amdahl(0.2)},
+		{Name: "poor", Work: 50 * time.Second, Speedup: amdahl(0.7)},
+	}
+	rs, err := Compare(jobs, 16, time.Second, Equipartition{}, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].Policy != "performance-driven" {
+		t.Fatalf("best policy=%s, want performance-driven", rs[0].Policy)
+	}
+	var eq, pd *Result
+	for _, r := range rs {
+		switch r.Policy {
+		case "equipartition":
+			eq = r
+		case "performance-driven":
+			pd = r
+		}
+	}
+	// Average turnaround is the headline benefit; makespan and CPU time
+	// can tip either way because the poorly scaling straggler holds few
+	// processors under PD until the scalable jobs drain.
+	if pd.AvgTurnaround >= eq.AvgTurnaround {
+		t.Fatalf("pd turnaround %v >= eq %v", pd.AvgTurnaround, eq.AvgTurnaround)
+	}
+}
+
+func TestMinEfficiencyReducesCPUBurn(t *testing.T) {
+	// With an efficiency floor, the allocator refuses to shower processors
+	// on a job that cannot use them, cutting total CPU consumption.
+	mk := func() []Job {
+		return []Job{
+			{Name: "poor", Work: 50 * time.Second, Speedup: amdahl(0.7)},
+		}
+	}
+	plain, err := Simulate(mk(), 16, time.Second, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := Simulate(mk(), 16, time.Second, PerformanceDriven{MinEfficiency: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor.CPUTime >= plain.CPUTime {
+		t.Fatalf("efficiency floor did not cut CPU time: %v vs %v", floor.CPUTime, plain.CPUTime)
+	}
+	// The job still finishes, only slightly later.
+	if float64(floor.Makespan) > 1.5*float64(plain.Makespan) {
+		t.Fatalf("efficiency floor overly slowed the job: %v vs %v", floor.Makespan, plain.Makespan)
+	}
+}
+
+func TestPoliciesEquivalentOnHomogeneousWorkload(t *testing.T) {
+	mk := func() []Job {
+		return []Job{
+			{Name: "a", Work: 100 * time.Second, Speedup: amdahl(0.1)},
+			{Name: "b", Work: 100 * time.Second, Speedup: amdahl(0.1)},
+		}
+	}
+	eq, err := Simulate(mk(), 16, time.Second, Equipartition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Simulate(mk(), 16, time.Second, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical jobs: both policies split 8/8; results must agree closely.
+	ratio := float64(pd.Makespan) / float64(eq.Makespan)
+	if math.Abs(ratio-1) > 0.02 {
+		t.Fatalf("homogeneous: pd %v vs eq %v", pd.Makespan, eq.Makespan)
+	}
+}
+
+func TestArrivalsRespected(t *testing.T) {
+	jobs := []Job{
+		{Name: "early", Work: 10 * time.Second, Speedup: linearTo(16)},
+		{Name: "late", Work: 10 * time.Second, Speedup: linearTo(16), Arrival: 100 * time.Second},
+	}
+	r, err := Simulate(jobs, 16, time.Second, Equipartition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Jobs[1].Finish < 100*time.Second {
+		t.Fatalf("late job finished at %v before its arrival", r.Jobs[1].Finish)
+	}
+	if r.Jobs[1].Turnaround() > 2*time.Second {
+		t.Fatalf("late job turnaround=%v, want ~10s/16cpus", r.Jobs[1].Turnaround())
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	good := []Job{{Name: "a", Work: time.Second, Speedup: linearTo(1)}}
+	if _, err := Simulate(good, 0, time.Second, Equipartition{}); err == nil {
+		t.Error("cpus=0 accepted")
+	}
+	if _, err := Simulate(good, 4, 0, Equipartition{}); err == nil {
+		t.Error("quantum=0 accepted")
+	}
+	if _, err := Simulate(nil, 4, time.Second, Equipartition{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Simulate([]Job{{Name: "w", Work: 0, Speedup: linearTo(1)}}, 4, time.Second, Equipartition{}); err == nil {
+		t.Error("zero work accepted")
+	}
+	if _, err := Simulate([]Job{{Name: "n", Work: time.Second}}, 4, time.Second, Equipartition{}); err == nil {
+		t.Error("nil speedup accepted")
+	}
+}
+
+func TestCPUTimeAccounting(t *testing.T) {
+	jobs := []Job{{Name: "a", Work: 16 * time.Second, Speedup: linearTo(16)}}
+	r, err := Simulate(jobs, 16, time.Second, Equipartition{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16s serial work, linear: 1s wall on 16 cpus → 16 cpu-seconds.
+	if r.CPUTime != 16*time.Second {
+		t.Fatalf("cpu time=%v, want 16s", r.CPUTime)
+	}
+}
+
+func TestCostModelCurveWorksAsSpeedupFunc(t *testing.T) {
+	cm := machine.DefaultCostModel()
+	f := SpeedupFunc(func(p int) float64 { return cm.Speedup(1000, 100*time.Microsecond, p) })
+	jobs := []Job{{Name: "app", Work: 30 * time.Second, Speedup: f}}
+	r, err := Simulate(jobs, 8, time.Second, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan >= 30*time.Second || r.Makespan <= 30*time.Second/8 {
+		t.Fatalf("makespan=%v outside plausible range", r.Makespan)
+	}
+}
+
+func TestMoreJobsThanCPUs(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, Job{Name: string(rune('a' + i)), Work: time.Second, Speedup: linearTo(4)})
+	}
+	r, err := Simulate(jobs, 4, 100*time.Millisecond, PerformanceDriven{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range r.Jobs {
+		if !j.Done() {
+			t.Fatalf("job %s never finished", j.Name)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package selfanalyzer reproduces the paper's §5 case study: a run-time
+// library that dynamically computes the speedup achieved by the parallel
+// regions of an application and estimates its total execution time,
+// using the DPD to discover the iterative structure when the source code
+// is not available.
+//
+// Wiring (paper Figure 6): DITools intercepts each encapsulated
+// parallel-loop call (1); the loop address is passed to the DPD (2); when
+// the DPD signals the start of a period, the SelfAnalyzer identifies the
+// parallel region by the starting address and the period length and
+// takes over measurement (3).
+//
+// Speedup follows the paper's definition: the execution time of one
+// iteration of the main loop executed with a baseline number of
+// processors, divided by the execution time of one iteration with the
+// currently allocated processors. To obtain the baseline measurement the
+// SelfAnalyzer temporarily lowers the runtime's allocation for exactly
+// one iteration — the address stream is unchanged by allocation, so the
+// DPD lock (which sees events, not time) is undisturbed.
+package selfanalyzer
+
+import (
+	"fmt"
+	"time"
+
+	"dpd/internal/core"
+	"dpd/internal/ditools"
+	"dpd/internal/nanos"
+)
+
+// Phase is the analyzer's measurement state.
+type Phase int
+
+// Analyzer phases, in lifecycle order.
+const (
+	// PhaseSearch: no periodic structure identified yet.
+	PhaseSearch Phase = iota
+	// PhaseMeasureCurrent: timing one iteration at the current allocation.
+	PhaseMeasureCurrent
+	// PhaseMeasureBaseline: timing one iteration at the baseline allocation.
+	PhaseMeasureBaseline
+	// PhaseSteady: speedup known; iteration times tracked continuously.
+	PhaseSteady
+)
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSearch:
+		return "search"
+	case PhaseMeasureCurrent:
+		return "measure-current"
+	case PhaseMeasureBaseline:
+		return "measure-baseline"
+	case PhaseSteady:
+		return "steady"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// Region describes an identified iterative parallel region, keyed as in
+// the paper by the address of the starting function and the period length.
+type Region struct {
+	// StartAddr is the address of the function starting each period.
+	StartAddr int64
+	// Period is the region length in loop-call events.
+	Period int
+	// IdentifiedAt is the virtual time of identification.
+	IdentifiedAt time.Duration
+
+	// CurrentProcs / CurrentTime are the measured iteration at the
+	// application's allocation.
+	CurrentProcs int
+	CurrentTime  time.Duration
+	// BaselineProcs / BaselineTime are the measured baseline iteration.
+	BaselineProcs int
+	BaselineTime  time.Duration
+
+	// Speedup is BaselineTime/CurrentTime once both are measured (0 before).
+	Speedup float64
+	// Iterations is the number of completed iterations observed.
+	Iterations int
+	// MeanIterTime is the running mean iteration time at the current
+	// allocation (excludes the baseline iteration).
+	MeanIterTime time.Duration
+
+	iterTimeSum time.Duration
+	iterTimeN   int
+}
+
+// Efficiency returns Speedup/CurrentProcs in [0,1] (0 if not measured).
+func (r *Region) Efficiency() float64 {
+	if r.CurrentProcs == 0 || r.Speedup == 0 {
+		return 0
+	}
+	return r.Speedup / float64(r.CurrentProcs)
+}
+
+// Config parameterizes the analyzer.
+type Config struct {
+	// Baseline is the processor count of the reference measurement.
+	// Defaults to 1 (speedup against serial execution, as in Amdahl).
+	Baseline int
+	// Windows is the DPD window ladder; nil selects core.DefaultLadder.
+	Windows []int
+	// DPD carries detector options (Confirm, Grace).
+	DPD core.Config
+}
+
+// SelfAnalyzer watches one application through DITools interposition.
+type SelfAnalyzer struct {
+	rt  *nanos.Runtime
+	det *core.MultiScaleDetector
+
+	baseline int
+	phase    Phase
+	region   *Region
+
+	// measurement bookkeeping
+	iterStart    time.Duration
+	restoreProcs int
+
+	events uint64
+}
+
+// Attach builds a SelfAnalyzer on rt and registers its interposition
+// handler with reg. The analyzer starts observing immediately.
+func Attach(rt *nanos.Runtime, reg *ditools.Registry, cfg Config) (*SelfAnalyzer, error) {
+	if cfg.Baseline == 0 {
+		cfg.Baseline = 1
+	}
+	if cfg.Baseline < 1 || cfg.Baseline > rt.Machine().CPUs() {
+		return nil, fmt.Errorf("selfanalyzer: baseline %d outside [1,%d]", cfg.Baseline, rt.Machine().CPUs())
+	}
+	det, err := core.NewMultiScaleDetector(cfg.Windows, cfg.DPD)
+	if err != nil {
+		return nil, err
+	}
+	sa := &SelfAnalyzer{rt: rt, det: det, baseline: cfg.Baseline, phase: PhaseSearch}
+	reg.OnCall(sa.onCall)
+	return sa, nil
+}
+
+// MustAttach panics on configuration errors.
+func MustAttach(rt *nanos.Runtime, reg *ditools.Registry, cfg Config) *SelfAnalyzer {
+	sa, err := Attach(rt, reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return sa
+}
+
+// onCall is the DITools handler: DPD first, then region bookkeeping.
+func (sa *SelfAnalyzer) onCall(e ditools.Event) {
+	sa.events++
+	mr := sa.det.Feed(e.Addr)
+	pr := mr.Primary
+	if !pr.Locked {
+		return
+	}
+
+	// Re-identify when an enclosing (longer) period is discovered: the
+	// outermost structure is the application's main loop.
+	if sa.region == nil || pr.Period > sa.region.Period {
+		if pr.Start {
+			sa.initRegion(e, pr.Period)
+		}
+		return
+	}
+	if pr.Period != sa.region.Period {
+		return // an inner periodicity; the outer region stays authoritative
+	}
+	if !pr.Start {
+		return
+	}
+	sa.onPeriodStart(e)
+}
+
+// initRegion corresponds to the paper's InitParallelRegion(address, length).
+func (sa *SelfAnalyzer) initRegion(e ditools.Event, period int) {
+	sa.region = &Region{
+		StartAddr:    e.Addr,
+		Period:       period,
+		IdentifiedAt: e.Now,
+		CurrentProcs: sa.rt.Allocation(),
+	}
+	sa.phase = PhaseMeasureCurrent
+	sa.iterStart = e.Now
+}
+
+// onPeriodStart advances the measurement state machine at each iteration
+// boundary of the identified region.
+func (sa *SelfAnalyzer) onPeriodStart(e ditools.Event) {
+	r := sa.region
+	iterTime := e.Now - sa.iterStart
+	sa.iterStart = e.Now
+
+	switch sa.phase {
+	case PhaseMeasureCurrent:
+		r.CurrentProcs = sa.rt.Allocation()
+		r.CurrentTime = iterTime
+		r.Iterations++
+		r.iterTimeSum += iterTime
+		r.iterTimeN++
+		// Switch to the baseline allocation for exactly one iteration.
+		sa.restoreProcs = sa.rt.Allocation()
+		if err := sa.rt.SetAllocation(sa.baseline); err == nil {
+			r.BaselineProcs = sa.baseline
+			sa.phase = PhaseMeasureBaseline
+		} else {
+			// Cannot lower allocation (already at baseline): speedup 1.
+			r.BaselineProcs = sa.restoreProcs
+			r.BaselineTime = iterTime
+			r.Speedup = 1
+			sa.phase = PhaseSteady
+		}
+
+	case PhaseMeasureBaseline:
+		r.BaselineTime = iterTime
+		r.Iterations++
+		_ = sa.rt.SetAllocation(sa.restoreProcs)
+		if r.CurrentTime > 0 {
+			r.Speedup = float64(r.BaselineTime) / float64(r.CurrentTime)
+		}
+		sa.phase = PhaseSteady
+
+	case PhaseSteady:
+		r.Iterations++
+		if sa.rt.Allocation() != r.CurrentProcs {
+			// The processor allocation changed (e.g. the scheduler acted
+			// on our speedup): the measured iteration time and speedup no
+			// longer describe the current execution. Re-measure from the
+			// next iteration, keeping the region identity.
+			r.CurrentProcs = sa.rt.Allocation()
+			r.CurrentTime = 0
+			r.BaselineTime = 0
+			r.Speedup = 0
+			r.iterTimeSum = 0
+			r.iterTimeN = 0
+			r.MeanIterTime = 0
+			sa.phase = PhaseMeasureCurrent
+			break
+		}
+		r.iterTimeSum += iterTime
+		r.iterTimeN++
+	}
+
+	if r.iterTimeN > 0 {
+		r.MeanIterTime = r.iterTimeSum / time.Duration(r.iterTimeN)
+	}
+}
+
+// Phase returns the current measurement phase.
+func (sa *SelfAnalyzer) Phase() Phase { return sa.phase }
+
+// Region returns the identified region (nil while searching).
+func (sa *SelfAnalyzer) Region() *Region { return sa.region }
+
+// Events returns the number of loop-call events observed.
+func (sa *SelfAnalyzer) Events() uint64 { return sa.events }
+
+// Detector exposes the underlying multi-scale DPD.
+func (sa *SelfAnalyzer) Detector() *core.MultiScaleDetector { return sa.det }
+
+// Speedup returns the measured speedup and whether it is available yet.
+func (sa *SelfAnalyzer) Speedup() (float64, bool) {
+	if sa.region == nil || sa.region.Speedup == 0 {
+		return 0, false
+	}
+	return sa.region.Speedup, true
+}
+
+// EstimateRemaining predicts the wall time of itersRemaining further
+// iterations from the measured mean iteration time (paper: "measurements
+// for a particular iteration can be used to predict the behavior of the
+// next iterations").
+func (sa *SelfAnalyzer) EstimateRemaining(itersRemaining int) (time.Duration, bool) {
+	if sa.region == nil || sa.region.MeanIterTime == 0 || itersRemaining < 0 {
+		return 0, false
+	}
+	return time.Duration(itersRemaining) * sa.region.MeanIterTime, true
+}
+
+// EstimateTotal predicts the application's total execution time given its
+// main-loop trip count: elapsed time so far plus the remaining iterations.
+// Iterations completed before the region was identified are inferred from
+// the total event count (events/period), since every main-loop iteration
+// emits exactly one period of loop calls.
+func (sa *SelfAnalyzer) EstimateTotal(totalIters int) (time.Duration, bool) {
+	if sa.region == nil || sa.region.MeanIterTime == 0 {
+		return 0, false
+	}
+	done := int(sa.events) / sa.region.Period
+	if done > totalIters {
+		done = totalIters
+	}
+	rem, _ := sa.EstimateRemaining(totalIters - done)
+	return sa.rt.Now() + rem, true
+}

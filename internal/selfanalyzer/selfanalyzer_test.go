@@ -1,0 +1,277 @@
+package selfanalyzer
+
+import (
+	"testing"
+	"time"
+
+	"dpd/internal/apps"
+	"dpd/internal/ditools"
+	"dpd/internal/machine"
+	"dpd/internal/nanos"
+)
+
+// harness runs app on a machine with the analyzer attached.
+func harness(t *testing.T, cpus, alloc int, cfg Config) (*nanos.Runtime, *SelfAnalyzer) {
+	t.Helper()
+	m := machine.New(cpus)
+	reg := ditools.NewRegistry()
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), alloc, reg)
+	sa, err := Attach(rt, reg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, sa
+}
+
+func TestIdentifiesTomcatvRegion(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 60)
+	r := sa.Region()
+	if r == nil {
+		t.Fatal("no region identified")
+	}
+	if r.Period != 5 {
+		t.Fatalf("region period=%d, want 5", r.Period)
+	}
+	if r.Iterations < 20 {
+		t.Fatalf("iterations=%d, want many", r.Iterations)
+	}
+}
+
+func TestSpeedupMeasuredAgainstBaseline(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{Baseline: 1})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 60)
+	s, ok := sa.Speedup()
+	if !ok {
+		t.Fatal("speedup not available")
+	}
+	// 8 processors on tomcatv's loops: substantial but sublinear speedup.
+	if s <= 2 || s > 8 {
+		t.Fatalf("speedup=%v, want in (2,8]", s)
+	}
+	if sa.Phase() != PhaseSteady {
+		t.Fatalf("phase=%v, want steady", sa.Phase())
+	}
+	r := sa.Region()
+	if r.BaselineProcs != 1 || r.CurrentProcs != 8 {
+		t.Fatalf("procs: baseline=%d current=%d", r.BaselineProcs, r.CurrentProcs)
+	}
+	if r.BaselineTime <= r.CurrentTime {
+		t.Fatalf("baseline %v not slower than current %v", r.BaselineTime, r.CurrentTime)
+	}
+}
+
+func TestSpeedupMatchesCostModelPrediction(t *testing.T) {
+	rt, sa := harness(t, 16, 16, Config{Baseline: 1})
+	app := apps.Swim()
+	app.RunIterations(rt, 60)
+	s, ok := sa.Speedup()
+	if !ok {
+		t.Fatal("speedup not available")
+	}
+	// The analytic model for swim's loops (trip 125, 200µs/iter).
+	want := machine.DefaultCostModel().Speedup(125, 200*time.Microsecond, 16)
+	if s < want*0.85 || s > want*1.15 {
+		t.Fatalf("measured speedup %v, analytic %v", s, want)
+	}
+}
+
+func TestAllocationRestoredAfterBaseline(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{Baseline: 1})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 60)
+	if rt.Allocation() != 8 {
+		t.Fatalf("allocation=%d after measurement, want restored 8", rt.Allocation())
+	}
+	if sa.Region().BaselineTime == 0 {
+		t.Fatal("baseline never measured")
+	}
+}
+
+func TestBaselineEqualsAllocationGivesSpeedupOne(t *testing.T) {
+	rt, sa := harness(t, 4, 1, Config{Baseline: 1})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 40)
+	s, ok := sa.Speedup()
+	if !ok {
+		t.Fatal("speedup not available")
+	}
+	if s < 0.99 || s > 1.01 {
+		t.Fatalf("speedup=%v on 1 cpu, want ≈1", s)
+	}
+}
+
+func TestEstimateTotalAccuracy(t *testing.T) {
+	// Run the full app; mid-run estimates must predict the true total.
+	m := machine.New(8)
+	reg := ditools.NewRegistry()
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), 8, reg)
+	sa := MustAttach(rt, reg, Config{})
+	app := apps.Tomcatv()
+
+	app.RunIterations(rt, 100)
+	est, ok := sa.EstimateTotal(app.Iterations)
+	if !ok {
+		t.Fatal("estimate unavailable after 100 iterations")
+	}
+
+	// Execute the remaining iterations and compare.
+	for i := 100; i < app.Iterations; i++ {
+		rt.RunIteration(app.Body)
+	}
+	actual := rt.Now()
+	ratio := float64(est) / float64(actual)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("estimate %v vs actual %v (ratio %v)", est, actual, ratio)
+	}
+}
+
+func TestEstimateRemaining(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 50)
+	rem, ok := sa.EstimateRemaining(10)
+	if !ok || rem <= 0 {
+		t.Fatalf("remaining=(%v,%v)", rem, ok)
+	}
+	r10 := rem
+	rem20, _ := sa.EstimateRemaining(20)
+	if rem20 != 2*r10 {
+		t.Fatalf("estimate not linear: %v vs %v", rem20, r10)
+	}
+	if _, ok := sa.EstimateRemaining(-1); ok {
+		t.Fatal("negative remaining accepted")
+	}
+}
+
+func TestNoRegionOnAperiodicStream(t *testing.T) {
+	m := machine.New(4)
+	reg := ditools.NewRegistry()
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), 4, reg)
+	sa := MustAttach(rt, reg, Config{})
+	// Distinct addresses: never periodic.
+	for i := 0; i < 500; i++ {
+		rt.ParallelFor(nanos.LoopID(0x1000+i*0x40), 10, 10*time.Microsecond)
+	}
+	if sa.Region() != nil {
+		t.Fatalf("region identified on aperiodic stream: %+v", sa.Region())
+	}
+	if _, ok := sa.Speedup(); ok {
+		t.Fatal("speedup on aperiodic stream")
+	}
+	if _, ok := sa.EstimateTotal(100); ok {
+		t.Fatal("estimate on aperiodic stream")
+	}
+}
+
+func TestNestedAppIdentifiesOuterRegion(t *testing.T) {
+	// turb3d has inner period 12 and outer 142; the analyzer must settle
+	// on the outer (main-loop) structure.
+	rt, sa := harness(t, 8, 8, Config{})
+	app := apps.Turb3d()
+	app.RunIterations(rt, app.Iterations)
+	r := sa.Region()
+	if r == nil {
+		t.Fatal("no region identified")
+	}
+	if r.Period != 142 {
+		t.Fatalf("region period=%d, want outer 142", r.Period)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{})
+	app := apps.Swim()
+	app.RunIterations(rt, 60)
+	r := sa.Region()
+	e := r.Efficiency()
+	if e <= 0 || e > 1 {
+		t.Fatalf("efficiency=%v, want in (0,1]", e)
+	}
+}
+
+func TestAttachValidatesBaseline(t *testing.T) {
+	m := machine.New(4)
+	reg := ditools.NewRegistry()
+	rt := nanos.MustNew(m, machine.DefaultCostModel(), 4, reg)
+	if _, err := Attach(rt, reg, Config{Baseline: 5}); err == nil {
+		t.Fatal("baseline > cpus accepted")
+	}
+	if _, err := Attach(rt, reg, Config{Baseline: -1}); err == nil {
+		t.Fatal("negative baseline accepted")
+	}
+}
+
+func TestPhaseStringer(t *testing.T) {
+	for _, p := range []Phase{PhaseSearch, PhaseMeasureCurrent, PhaseMeasureBaseline, PhaseSteady, Phase(99)} {
+		if p.String() == "" {
+			t.Errorf("empty string for phase %d", int(p))
+		}
+	}
+}
+
+func TestEventsCounted(t *testing.T) {
+	rt, sa := harness(t, 4, 4, Config{})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 10)
+	if sa.Events() != 50 {
+		t.Fatalf("events=%d, want 50", sa.Events())
+	}
+}
+
+func TestReMeasureAfterAllocationChange(t *testing.T) {
+	rt, sa := harness(t, 16, 16, Config{})
+	app := apps.Tomcatv()
+	app.RunIterations(rt, 40)
+	s16, ok := sa.Speedup()
+	if !ok {
+		t.Fatal("no initial speedup")
+	}
+
+	// The scheduler halves the allocation mid-run: the analyzer must
+	// notice, drop the stale measurement, and re-measure.
+	if err := rt.SetAllocation(4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		rt.RunIteration(app.Body)
+	}
+	s4, ok := sa.Speedup()
+	if !ok {
+		t.Fatal("no re-measured speedup")
+	}
+	if s4 >= s16 {
+		t.Fatalf("speedup on 4 cpus (%v) not below 16-cpu speedup (%v)", s4, s16)
+	}
+	r := sa.Region()
+	if r.CurrentProcs != 4 {
+		t.Fatalf("CurrentProcs=%d, want 4", r.CurrentProcs)
+	}
+	if r.Period != 5 {
+		t.Fatalf("region identity lost: period=%d", r.Period)
+	}
+}
+
+func TestReMeasureKeepsEstimatesUsable(t *testing.T) {
+	rt, sa := harness(t, 8, 8, Config{})
+	app := apps.Swim()
+	app.RunIterations(rt, 30)
+	if err := rt.SetAllocation(2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		rt.RunIteration(app.Body)
+	}
+	// Mean iteration time must now reflect the 2-CPU execution: estimates
+	// for the remaining iterations use the new allocation.
+	rem, ok := sa.EstimateRemaining(10)
+	if !ok {
+		t.Fatal("estimate unavailable after re-measurement")
+	}
+	iter2 := sa.Region().MeanIterTime
+	if iter2 <= 0 || rem != 10*iter2 {
+		t.Fatalf("remaining=%v mean=%v", rem, iter2)
+	}
+}

@@ -1,0 +1,227 @@
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// RNG is a small deterministic xorshift64* generator. The evaluation must
+// be exactly reproducible across runs and platforms, so nothing in this
+// repository uses math/rand's global state.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator. A zero seed is remapped to a fixed odd constant
+// because xorshift has a zero fixed point.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("series: Intn bound must be positive, got %d", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Norm returns an approximately standard-normal value (Irwin–Hall with 12
+// uniforms; exact enough for synthetic noise injection).
+func (r *RNG) Norm() float64 {
+	var s float64
+	for i := 0; i < 12; i++ {
+		s += r.Float64()
+	}
+	return s - 6
+}
+
+// Generator produces one sample per call. Generators are the synthetic
+// data-stream sources used throughout the tests and benchmarks.
+type Generator interface {
+	// Next returns the next sample in the stream.
+	Next() float64
+}
+
+// GeneratorFunc adapts a function to the Generator interface.
+type GeneratorFunc func() float64
+
+// Next calls the underlying function.
+func (f GeneratorFunc) Next() float64 { return f() }
+
+// Take draws n samples from g into a new slice.
+func Take(g Generator, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// PatternGenerator cycles through a fixed pattern forever, producing an
+// exactly periodic stream whose period is len(pattern) (or a divisor of it
+// if the pattern itself repeats internally).
+type PatternGenerator struct {
+	pattern []float64
+	pos     int
+}
+
+// NewPatternGenerator returns a generator cycling over pattern.
+// It panics on an empty pattern.
+func NewPatternGenerator(pattern []float64) *PatternGenerator {
+	if len(pattern) == 0 {
+		panic("series: empty pattern")
+	}
+	p := make([]float64, len(pattern))
+	copy(p, pattern)
+	return &PatternGenerator{pattern: p}
+}
+
+// Next returns the next sample of the cycle.
+func (g *PatternGenerator) Next() float64 {
+	v := g.pattern[g.pos]
+	g.pos = (g.pos + 1) % len(g.pattern)
+	return v
+}
+
+// Phase returns the current position inside the pattern.
+func (g *PatternGenerator) Phase() int { return g.pos }
+
+// Sine returns a generator for A*sin(2π t/period) sampled at t = 0,1,2,...
+func Sine(amplitude, period float64) Generator {
+	t := 0.0
+	return GeneratorFunc(func() float64 {
+		v := amplitude * math.Sin(2*math.Pi*t/period)
+		t++
+		return v
+	})
+}
+
+// Square returns a generator alternating high for `high` samples then low
+// for `low` samples, forever. Period is high+low. This is the shape of a
+// CPU-usage trace of a fork/join region: parallelism opens (high) and
+// closes (low).
+func Square(highValue, lowValue float64, high, low int) Generator {
+	if high <= 0 || low <= 0 {
+		panic(fmt.Sprintf("series: square wave segments must be positive, got %d/%d", high, low))
+	}
+	pos := 0
+	period := high + low
+	return GeneratorFunc(func() float64 {
+		v := lowValue
+		if pos < high {
+			v = highValue
+		}
+		pos = (pos + 1) % period
+		return v
+	})
+}
+
+// Sawtooth returns a generator ramping 0,1,...,period-1 and repeating.
+func Sawtooth(period int) Generator {
+	if period <= 0 {
+		panic(fmt.Sprintf("series: sawtooth period must be positive, got %d", period))
+	}
+	pos := 0
+	return GeneratorFunc(func() float64 {
+		v := float64(pos)
+		pos = (pos + 1) % period
+		return v
+	})
+}
+
+// Constant returns a generator that always yields v (period 1).
+func Constant(v float64) Generator {
+	return GeneratorFunc(func() float64 { return v })
+}
+
+// WithNoise wraps g, adding zero-mean noise of the given standard deviation
+// drawn from rng. Used to test eq. (1)'s local-minimum detection on
+// imperfectly repeating streams (the paper's Figure 3 trace is of this
+// kind: "the pattern of CPU use is not exactly the same").
+func WithNoise(g Generator, stddev float64, rng *RNG) Generator {
+	return GeneratorFunc(func() float64 {
+		return g.Next() + stddev*rng.Norm()
+	})
+}
+
+// Concat returns a generator that yields counts[i] samples from gens[i] in
+// order, then keeps yielding from the last generator forever. It models
+// program phases: an initialization phase followed by an iterative phase.
+func Concat(gens []Generator, counts []int) Generator {
+	if len(gens) == 0 || len(gens) != len(counts) {
+		panic("series: Concat requires equal non-empty gens and counts")
+	}
+	idx, used := 0, 0
+	return GeneratorFunc(func() float64 {
+		for idx < len(gens)-1 && used >= counts[idx] {
+			idx++
+			used = 0
+		}
+		used++
+		return gens[idx].Next()
+	})
+}
+
+// Nested builds an event pattern with nested iteration structure:
+// the inner pattern repeated `reps` times, prefixed by `header` and
+// suffixed by `footer`. Cycling the result yields a stream with an inner
+// periodicity of len(inner) and an outer periodicity of
+// len(header) + reps*len(inner) + len(footer) — the hydro2d/turb3d shape
+// from Table 2 of the paper.
+func Nested(header, inner, footer []float64, reps int) []float64 {
+	if reps < 0 {
+		panic(fmt.Sprintf("series: negative reps %d", reps))
+	}
+	out := make([]float64, 0, len(header)+reps*len(inner)+len(footer))
+	out = append(out, header...)
+	for i := 0; i < reps; i++ {
+		out = append(out, inner...)
+	}
+	out = append(out, footer...)
+	return out
+}
+
+// IntPattern converts an int64 pattern to float64 for generators that feed
+// the magnitude-metric detector in tests.
+func IntPattern(vals []int64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// Repeat returns the pattern repeated n times into a fresh slice.
+func Repeat(pattern []float64, n int) []float64 {
+	out := make([]float64, 0, len(pattern)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}
+
+// RepeatInt returns the integer pattern repeated n times.
+func RepeatInt(pattern []int64, n int) []int64 {
+	out := make([]int64, 0, len(pattern)*n)
+	for i := 0; i < n; i++ {
+		out = append(out, pattern...)
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64=%v outside [0,1)", v)
+		}
+	}
+}
+
+func TestRNGIntnRangeAndPanic(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13)=%d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGNormRoughMoments(t *testing.T) {
+	r := NewRNG(42)
+	n := 20000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("Norm mean=%v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("Norm variance=%v, want ~1", variance)
+	}
+}
+
+func TestPatternGeneratorCycles(t *testing.T) {
+	g := NewPatternGenerator([]float64{10, 20, 30})
+	got := Take(g, 7)
+	want := []float64{10, 20, 30, 10, 20, 30, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Take[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+	if g.Phase() != 1 {
+		t.Errorf("Phase=%d, want 1", g.Phase())
+	}
+}
+
+func TestPatternGeneratorCopiesInput(t *testing.T) {
+	p := []float64{1, 2}
+	g := NewPatternGenerator(p)
+	p[0] = 99
+	if g.Next() != 1 {
+		t.Fatal("generator aliased caller's slice")
+	}
+}
+
+func TestPatternGeneratorStreamIsPeriodic(t *testing.T) {
+	g := NewPatternGenerator([]float64{3, 1, 4, 1, 5})
+	xs := Take(g, 50)
+	if !IsPeriodic(xs, 5) {
+		t.Fatal("pattern stream not 5-periodic")
+	}
+	if FundamentalPeriod(xs, 10) != 5 {
+		t.Fatalf("fundamental=%d, want 5", FundamentalPeriod(xs, 10))
+	}
+}
+
+func TestSinePeriodicity(t *testing.T) {
+	g := Sine(2, 25)
+	xs := Take(g, 100)
+	// Sampled sine with integer period is exactly periodic up to float noise.
+	for i := 25; i < len(xs); i++ {
+		if math.Abs(xs[i]-xs[i-25]) > 1e-9 {
+			t.Fatalf("sine not 25-periodic at %d: %v vs %v", i, xs[i], xs[i-25])
+		}
+	}
+}
+
+func TestSquareShape(t *testing.T) {
+	g := Square(16, 1, 3, 2)
+	got := Take(g, 10)
+	want := []float64{16, 16, 16, 1, 1, 16, 16, 16, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("square[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSquarePeriodEqualsHighPlusLow(t *testing.T) {
+	g := Square(8, 0, 30, 14)
+	xs := Take(g, 200)
+	if FundamentalPeriod(xs, 100) != 44 {
+		t.Fatalf("square period=%d, want 44", FundamentalPeriod(xs, 100))
+	}
+}
+
+func TestSquarePanicsOnBadSegments(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Square with zero segment did not panic")
+		}
+	}()
+	Square(1, 0, 0, 3)
+}
+
+func TestSawtooth(t *testing.T) {
+	g := Sawtooth(4)
+	got := Take(g, 9)
+	want := []float64{0, 1, 2, 3, 0, 1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("saw[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConstantHasPeriodOne(t *testing.T) {
+	xs := Take(Constant(5), 20)
+	if FundamentalPeriod(xs, 5) != 1 {
+		t.Fatalf("constant fundamental=%d, want 1", FundamentalPeriod(xs, 5))
+	}
+}
+
+func TestWithNoisePreservesMean(t *testing.T) {
+	rng := NewRNG(11)
+	g := WithNoise(Constant(10), 0.5, rng)
+	xs := Take(g, 5000)
+	if m := Mean(xs); math.Abs(m-10) > 0.1 {
+		t.Fatalf("noisy mean=%v, want ~10", m)
+	}
+}
+
+func TestWithNoiseZeroStddevIsIdentity(t *testing.T) {
+	rng := NewRNG(1)
+	g := WithNoise(Sawtooth(3), 0, rng)
+	xs := Take(g, 12)
+	if !IsPeriodic(xs, 3) {
+		t.Fatal("zero-noise wrapper broke periodicity")
+	}
+}
+
+func TestConcatPhases(t *testing.T) {
+	g := Concat(
+		[]Generator{Constant(1), Constant(2), Constant(3)},
+		[]int{2, 3, 1},
+	)
+	got := Take(g, 8)
+	want := []float64{1, 1, 2, 2, 2, 3, 3, 3} // last generator continues
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("concat[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcatPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Concat did not panic")
+		}
+	}()
+	Concat([]Generator{Constant(1)}, []int{1, 2})
+}
+
+func TestNestedShape(t *testing.T) {
+	out := Nested([]float64{9}, []float64{1, 2}, []float64{8, 8}, 3)
+	want := []float64{9, 1, 2, 1, 2, 1, 2, 8, 8}
+	if len(out) != len(want) {
+		t.Fatalf("len=%d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("nested[%d]=%v, want %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestNestedOuterPeriod(t *testing.T) {
+	// Cycling a nested pattern gives outer period = total pattern length.
+	pat := Nested([]float64{100}, []float64{1, 2, 3}, nil, 4) // len 13
+	g := NewPatternGenerator(pat)
+	xs := Take(g, 130)
+	if p := FundamentalPeriodInt(toInt(xs), 20); p != 13 {
+		t.Fatalf("outer period=%d, want 13", p)
+	}
+}
+
+func toInt(xs []float64) []int64 {
+	out := make([]int64, len(xs))
+	for i, v := range xs {
+		out[i] = int64(v)
+	}
+	return out
+}
+
+func TestRepeatAndRepeatInt(t *testing.T) {
+	if got := Repeat([]float64{1, 2}, 3); len(got) != 6 || got[5] != 2 {
+		t.Fatalf("Repeat=%v", got)
+	}
+	if got := RepeatInt([]int64{7}, 4); len(got) != 4 || got[0] != 7 {
+		t.Fatalf("RepeatInt=%v", got)
+	}
+	if got := Repeat([]float64{1}, 0); len(got) != 0 {
+		t.Fatalf("Repeat n=0 gave %v", got)
+	}
+}
+
+func TestIntPattern(t *testing.T) {
+	got := IntPattern([]int64{-1, 0, 5})
+	want := []float64{-1, 0, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IntPattern[%d]=%v", i, got[i])
+		}
+	}
+}
+
+// Property: any pattern cycled long enough has fundamental period dividing
+// the pattern length.
+func TestPatternPropertyFundamentalDividesLength(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 20 {
+			return true
+		}
+		pat := make([]float64, len(raw))
+		for i, v := range raw {
+			pat[i] = float64(v % 4)
+		}
+		g := NewPatternGenerator(pat)
+		xs := Take(g, 6*len(pat))
+		p := FundamentalPeriod(xs, len(pat))
+		return p >= 1 && len(pat)%p == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

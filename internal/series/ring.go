@@ -1,0 +1,222 @@
+// Package series provides the low-level data-series plumbing the DPD is
+// built on: fixed-capacity ring buffers, incrementally maintained sliding
+// window accumulators, deterministic synthetic signal generators, and
+// small-sample statistics.
+//
+// Everything in this package is allocation-free on the hot path: the DPD
+// processes one sample per intercepted runtime event, so per-sample cost
+// must stay O(window) worst case with zero garbage.
+package series
+
+import "fmt"
+
+// Ring is a fixed-capacity FIFO ring buffer of float64 samples.
+// Once full, pushing a new sample evicts the oldest one.
+//
+// Index 0 always refers to the oldest retained sample and Len()-1 to the
+// newest, regardless of where the physical write cursor is.
+type Ring struct {
+	buf   []float64
+	head  int // physical index of the oldest element
+	count int // number of valid elements
+	total uint64
+}
+
+// NewRing returns a ring buffer holding at most capacity samples.
+// It panics if capacity is not positive, since a zero-capacity ring can
+// never hold a sample and indicates a configuration bug.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("series: ring capacity must be positive, got %d", capacity))
+	}
+	return &Ring{buf: make([]float64, capacity)}
+}
+
+// Cap returns the fixed capacity of the ring.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the number of samples currently stored (<= Cap).
+func (r *Ring) Len() int { return r.count }
+
+// Total returns the number of samples ever pushed, including evicted ones.
+func (r *Ring) Total() uint64 { return r.total }
+
+// Full reports whether the ring has reached capacity.
+func (r *Ring) Full() bool { return r.count == len(r.buf) }
+
+// Push appends a sample, evicting the oldest if the ring is full.
+// It returns the evicted sample and whether an eviction happened.
+func (r *Ring) Push(v float64) (evicted float64, wasFull bool) {
+	r.total++
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = v
+		r.count++
+		return 0, false
+	}
+	evicted = r.buf[r.head]
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	return evicted, true
+}
+
+// At returns the sample at logical index i (0 = oldest, Len()-1 = newest).
+// It panics on out-of-range access; the DPD indexes only within bounds it
+// itself maintains, so a violation is a programming error.
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("series: ring index %d out of range [0,%d)", i, r.count))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last returns the sample pushed k steps ago; Last(0) is the newest sample.
+// It panics if fewer than k+1 samples are stored.
+func (r *Ring) Last(k int) float64 {
+	return r.At(r.count - 1 - k)
+}
+
+// Newest returns the most recently pushed sample.
+func (r *Ring) Newest() float64 { return r.Last(0) }
+
+// Oldest returns the oldest retained sample.
+func (r *Ring) Oldest() float64 { return r.At(0) }
+
+// Reset discards all samples but keeps the capacity.
+func (r *Ring) Reset() {
+	r.head = 0
+	r.count = 0
+	r.total = 0
+}
+
+// Resize changes the ring capacity, retaining the newest min(Len, capacity)
+// samples. The Total counter is preserved. It panics if capacity <= 0.
+func (r *Ring) Resize(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("series: ring capacity must be positive, got %d", capacity))
+	}
+	if capacity == len(r.buf) {
+		return
+	}
+	keep := r.count
+	if keep > capacity {
+		keep = capacity
+	}
+	nb := make([]float64, capacity)
+	// Copy the newest `keep` samples in logical order.
+	for i := 0; i < keep; i++ {
+		nb[i] = r.At(r.count - keep + i)
+	}
+	r.buf = nb
+	r.head = 0
+	r.count = keep
+}
+
+// Snapshot copies the logical contents (oldest first) into dst, growing it
+// as needed, and returns the filled slice. A nil dst allocates.
+func (r *Ring) Snapshot(dst []float64) []float64 {
+	if cap(dst) < r.count {
+		dst = make([]float64, r.count)
+	}
+	dst = dst[:r.count]
+	for i := 0; i < r.count; i++ {
+		dst[i] = r.At(i)
+	}
+	return dst
+}
+
+// IntRing is a fixed-capacity FIFO ring buffer of int64 samples, used for
+// event streams (loop addresses, message tags) where exact integer equality
+// matters and float rounding must not.
+type IntRing struct {
+	buf   []int64
+	head  int
+	count int
+	total uint64
+}
+
+// NewIntRing returns an integer ring buffer holding at most capacity samples.
+func NewIntRing(capacity int) *IntRing {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("series: ring capacity must be positive, got %d", capacity))
+	}
+	return &IntRing{buf: make([]int64, capacity)}
+}
+
+// Cap returns the fixed capacity of the ring.
+func (r *IntRing) Cap() int { return len(r.buf) }
+
+// Len returns the number of samples currently stored.
+func (r *IntRing) Len() int { return r.count }
+
+// Total returns the number of samples ever pushed.
+func (r *IntRing) Total() uint64 { return r.total }
+
+// Full reports whether the ring has reached capacity.
+func (r *IntRing) Full() bool { return r.count == len(r.buf) }
+
+// Push appends a sample, evicting the oldest if full.
+func (r *IntRing) Push(v int64) (evicted int64, wasFull bool) {
+	r.total++
+	if r.count < len(r.buf) {
+		r.buf[(r.head+r.count)%len(r.buf)] = v
+		r.count++
+		return 0, false
+	}
+	evicted = r.buf[r.head]
+	r.buf[r.head] = v
+	r.head = (r.head + 1) % len(r.buf)
+	return evicted, true
+}
+
+// At returns the sample at logical index i (0 = oldest).
+func (r *IntRing) At(i int) int64 {
+	if i < 0 || i >= r.count {
+		panic(fmt.Sprintf("series: ring index %d out of range [0,%d)", i, r.count))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// Last returns the sample pushed k steps ago; Last(0) is the newest.
+func (r *IntRing) Last(k int) int64 {
+	return r.At(r.count - 1 - k)
+}
+
+// Reset discards all samples but keeps the capacity.
+func (r *IntRing) Reset() {
+	r.head = 0
+	r.count = 0
+	r.total = 0
+}
+
+// Resize changes capacity, retaining the newest samples.
+func (r *IntRing) Resize(capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("series: ring capacity must be positive, got %d", capacity))
+	}
+	if capacity == len(r.buf) {
+		return
+	}
+	keep := r.count
+	if keep > capacity {
+		keep = capacity
+	}
+	nb := make([]int64, capacity)
+	for i := 0; i < keep; i++ {
+		nb[i] = r.At(r.count - keep + i)
+	}
+	r.buf = nb
+	r.head = 0
+	r.count = keep
+}
+
+// Snapshot copies the logical contents (oldest first) into dst.
+func (r *IntRing) Snapshot(dst []int64) []int64 {
+	if cap(dst) < r.count {
+		dst = make([]int64, r.count)
+	}
+	dst = dst[:r.count]
+	for i := 0; i < r.count; i++ {
+		dst[i] = r.At(i)
+	}
+	return dst
+}

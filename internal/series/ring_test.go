@@ -1,0 +1,325 @@
+package series
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRingPushBelowCapacity(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 3; i++ {
+		_, wasFull := r.Push(float64(i))
+		if wasFull {
+			t.Fatalf("push %d reported eviction before capacity", i)
+		}
+	}
+	if r.Len() != 3 || r.Full() {
+		t.Fatalf("Len=%d Full=%v, want 3,false", r.Len(), r.Full())
+	}
+}
+
+func TestRingEvictionOrder(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 3; i++ {
+		r.Push(float64(i))
+	}
+	evicted, wasFull := r.Push(99)
+	if !wasFull || evicted != 0 {
+		t.Fatalf("got evicted=%v wasFull=%v, want 0,true", evicted, wasFull)
+	}
+	want := []float64{1, 2, 99}
+	for i, w := range want {
+		if got := r.At(i); got != w {
+			t.Errorf("At(%d)=%v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestRingFIFOOrderLong(t *testing.T) {
+	r := NewRing(7)
+	for i := 0; i < 100; i++ {
+		r.Push(float64(i))
+	}
+	// Ring must hold exactly the last 7 values in order.
+	for i := 0; i < 7; i++ {
+		want := float64(100 - 7 + i)
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d)=%v, want %v", i, got, want)
+		}
+	}
+	if r.Newest() != 99 || r.Oldest() != 93 {
+		t.Errorf("Newest=%v Oldest=%v, want 99, 93", r.Newest(), r.Oldest())
+	}
+}
+
+func TestRingLast(t *testing.T) {
+	r := NewRing(5)
+	for i := 0; i < 5; i++ {
+		r.Push(float64(i * 10))
+	}
+	for k := 0; k < 5; k++ {
+		want := float64((4 - k) * 10)
+		if got := r.Last(k); got != want {
+			t.Errorf("Last(%d)=%v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestRingTotalCountsEvicted(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 9; i++ {
+		r.Push(1)
+	}
+	if r.Total() != 9 {
+		t.Fatalf("Total=%d, want 9", r.Total())
+	}
+}
+
+func TestRingReset(t *testing.T) {
+	r := NewRing(3)
+	r.Push(1)
+	r.Push(2)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("after Reset Len=%d Total=%d", r.Len(), r.Total())
+	}
+	r.Push(7)
+	if r.At(0) != 7 {
+		t.Fatalf("push after reset: At(0)=%v", r.At(0))
+	}
+}
+
+func TestRingResizeShrinkKeepsNewest(t *testing.T) {
+	r := NewRing(6)
+	for i := 0; i < 6; i++ {
+		r.Push(float64(i))
+	}
+	r.Resize(3)
+	if r.Cap() != 3 || r.Len() != 3 {
+		t.Fatalf("Cap=%d Len=%d, want 3,3", r.Cap(), r.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if got, want := r.At(i), float64(3+i); got != want {
+			t.Errorf("At(%d)=%v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRingResizeGrowKeepsAll(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ { // wraps
+		r.Push(float64(i))
+	}
+	r.Resize(8)
+	if r.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", r.Len())
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d)=%v, want %v", i, got, want)
+		}
+	}
+	// And it can now fill to the new capacity.
+	for i := 0; i < 5; i++ {
+		r.Push(100 + float64(i))
+	}
+	if !r.Full() || r.Oldest() != 2 {
+		t.Errorf("after growth Full=%v Oldest=%v", r.Full(), r.Oldest())
+	}
+}
+
+func TestRingResizeNoopSameCapacity(t *testing.T) {
+	r := NewRing(4)
+	r.Push(1)
+	r.Resize(4)
+	if r.Len() != 1 || r.At(0) != 1 {
+		t.Fatalf("noop resize lost data: Len=%d", r.Len())
+	}
+}
+
+func TestRingSnapshot(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Push(float64(i))
+	}
+	got := r.Snapshot(nil)
+	want := []float64{2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot len %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("snapshot[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRingSnapshotReusesBuffer(t *testing.T) {
+	r := NewRing(3)
+	r.Push(1)
+	r.Push(2)
+	buf := make([]float64, 0, 8)
+	got := r.Snapshot(buf)
+	if len(got) != 2 || cap(got) != 8 {
+		t.Fatalf("len=%d cap=%d, want len 2 in caller's buffer", len(got), cap(got))
+	}
+}
+
+func TestRingPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+func TestRingPanicsOnBadIndex(t *testing.T) {
+	r := NewRing(2)
+	r.Push(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(1) on 1-element ring did not panic")
+		}
+	}()
+	r.At(1)
+}
+
+// Property: a ring of capacity c fed any sequence retains exactly the last
+// min(len, c) values in order.
+func TestRingPropertyRetainsSuffix(t *testing.T) {
+	f := func(vals []float64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := NewRing(capacity)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		n := len(vals)
+		keep := n
+		if keep > capacity {
+			keep = capacity
+		}
+		if r.Len() != keep {
+			return false
+		}
+		for i := 0; i < keep; i++ {
+			if r.At(i) != vals[n-keep+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Resize never loses the newest min(Len, newCap) elements.
+func TestRingPropertyResizePreservesNewest(t *testing.T) {
+	f := func(vals []float64, c1Raw, c2Raw uint8) bool {
+		c1 := int(c1Raw%16) + 1
+		c2 := int(c2Raw%16) + 1
+		r := NewRing(c1)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		before := r.Snapshot(nil)
+		r.Resize(c2)
+		keep := len(before)
+		if keep > c2 {
+			keep = c2
+		}
+		after := r.Snapshot(nil)
+		if len(after) != keep {
+			return false
+		}
+		for i := 0; i < keep; i++ {
+			if after[i] != before[len(before)-keep+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRingBasics(t *testing.T) {
+	r := NewIntRing(3)
+	for i := int64(0); i < 5; i++ {
+		r.Push(i)
+	}
+	if r.Len() != 3 || !r.Full() {
+		t.Fatalf("Len=%d Full=%v", r.Len(), r.Full())
+	}
+	for i, want := range []int64{2, 3, 4} {
+		if got := r.At(i); got != want {
+			t.Errorf("At(%d)=%d, want %d", i, got, want)
+		}
+	}
+	if r.Last(0) != 4 || r.Last(2) != 2 {
+		t.Errorf("Last(0)=%d Last(2)=%d", r.Last(0), r.Last(2))
+	}
+}
+
+func TestIntRingResizeAndSnapshot(t *testing.T) {
+	r := NewIntRing(5)
+	for i := int64(0); i < 9; i++ {
+		r.Push(i)
+	}
+	r.Resize(2)
+	got := r.Snapshot(nil)
+	if len(got) != 2 || got[0] != 7 || got[1] != 8 {
+		t.Fatalf("snapshot=%v, want [7 8]", got)
+	}
+}
+
+func TestIntRingReset(t *testing.T) {
+	r := NewIntRing(2)
+	r.Push(1)
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("Len=%d Total=%d after reset", r.Len(), r.Total())
+	}
+}
+
+func TestIntRingPropertyMatchesFloatRing(t *testing.T) {
+	f := func(vals []int64, capRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		ir := NewIntRing(capacity)
+		fr := NewRing(capacity)
+		for _, v := range vals {
+			ir.Push(v)
+			fr.Push(float64(v))
+		}
+		if ir.Len() != fr.Len() {
+			return false
+		}
+		for i := 0; i < ir.Len(); i++ {
+			if float64(ir.At(i)) != fr.At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRingPush(b *testing.B) {
+	r := NewRing(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(float64(i))
+	}
+}
+
+func BenchmarkIntRingPush(b *testing.B) {
+	r := NewIntRing(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(int64(i))
+	}
+}

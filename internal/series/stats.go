@@ -1,0 +1,207 @@
+package series
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for len < 2).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation of xs.
+func Stddev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanAbsDev returns the mean absolute deviation around the mean. The DPD
+// uses it as the significance scale for eq. (1) local minima: a minimum is
+// only meaningful if it is deep relative to the stream's own variability.
+func MeanAbsDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		s += math.Abs(x - m)
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	n := len(tmp)
+	if n%2 == 1 {
+		return tmp[n/2]
+	}
+	return (tmp[n/2-1] + tmp[n/2]) / 2
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("series: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// ArgMin returns the index of the smallest element. Ties resolve to the
+// smallest index, which for the DPD means the smallest candidate lag — the
+// fundamental period rather than one of its multiples. It panics on empty
+// input.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		panic("series: ArgMin of empty slice")
+	}
+	best := 0
+	for i, x := range xs {
+		if x < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation.
+// xs is not modified. It panics on empty input or q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("series: Quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("series: quantile %g outside [0,1]", q))
+	}
+	tmp := make([]float64, len(xs))
+	copy(tmp, xs)
+	sort.Float64s(tmp)
+	if len(tmp) == 1 {
+		return tmp[0]
+	}
+	pos := q * float64(len(tmp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return tmp[lo]
+	}
+	frac := pos - float64(lo)
+	return tmp[lo]*(1-frac) + tmp[hi]*frac
+}
+
+// L1Distance returns (1/n)·Σ|a[i]−b[i]|, the paper's eq. (1) distance
+// between two aligned frames. It panics on length mismatch.
+func L1Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: L1Distance length mismatch %d vs %d", len(a), len(b)))
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// HammingDistance returns the number of positions where a and b differ,
+// the integer form underlying the paper's eq. (2). It panics on length
+// mismatch.
+func HammingDistance(a, b []int64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("series: HammingDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// IsPeriodic reports whether xs is exactly p-periodic over its whole
+// length: xs[i] == xs[i-p] for all i >= p. A slice shorter than p+1
+// elements is vacuously periodic.
+func IsPeriodic(xs []float64, p int) bool {
+	if p <= 0 {
+		return false
+	}
+	for i := p; i < len(xs); i++ {
+		if xs[i] != xs[i-p] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPeriodicInt is IsPeriodic for integer event streams.
+func IsPeriodicInt(xs []int64, p int) bool {
+	if p <= 0 {
+		return false
+	}
+	for i := p; i < len(xs); i++ {
+		if xs[i] != xs[i-p] {
+			return false
+		}
+	}
+	return true
+}
+
+// FundamentalPeriod returns the smallest p in [1, maxP] for which xs is
+// exactly p-periodic, or 0 if none is. This is the ground-truth oracle the
+// property tests compare the online detector against.
+func FundamentalPeriod(xs []float64, maxP int) int {
+	for p := 1; p <= maxP && p < len(xs); p++ {
+		if IsPeriodic(xs, p) {
+			return p
+		}
+	}
+	return 0
+}
+
+// FundamentalPeriodInt is FundamentalPeriod for integer event streams.
+func FundamentalPeriodInt(xs []int64, maxP int) int {
+	for p := 1; p <= maxP && p < len(xs); p++ {
+		if IsPeriodicInt(xs, p) {
+			return p
+		}
+	}
+	return 0
+}

@@ -1,0 +1,251 @@
+package series
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); got != c.want {
+			t.Errorf("Mean(%v)=%v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStddev(t *testing.T) {
+	if Variance([]float64{3}) != 0 {
+		t.Error("variance of singleton must be 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance=%v, want 4", got)
+	}
+	if got := Stddev(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Stddev=%v, want 2", got)
+	}
+}
+
+func TestMeanAbsDev(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	if MeanAbsDev(xs) != 0 {
+		t.Error("MAD of constant must be 0")
+	}
+	xs = []float64{0, 10}
+	if got := MeanAbsDev(xs); got != 5 {
+		t.Errorf("MAD=%v, want 5", got)
+	}
+	if MeanAbsDev(nil) != 0 {
+		t.Error("MAD of empty must be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd median=%v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median=%v", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median must be 0")
+	}
+	// Input must not be reordered.
+	xs := []float64{9, 1}
+	Median(xs)
+	if xs[0] != 9 {
+		t.Error("Median mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -2, 8, 0})
+	if lo != -2 || hi != 8 {
+		t.Errorf("MinMax=(%v,%v)", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestArgMinTieBreaksLow(t *testing.T) {
+	// Equal minima: the smaller index must win — this is the rule that makes
+	// the detector prefer the fundamental period over its multiples.
+	xs := []float64{5, 1, 3, 1, 1}
+	if got := ArgMin(xs); got != 1 {
+		t.Fatalf("ArgMin=%d, want 1", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0=%v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1=%v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("q.5=%v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q.25=%v", got)
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton quantile=%v", got)
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, q := range []float64{-0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile q=%v did not panic", q)
+				}
+			}()
+			Quantile([]float64{1}, q)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(empty) did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestL1Distance(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{1, 4, 0}
+	if got := L1Distance(a, b); !almostEqual(got, (0+2+3)/3.0, 1e-12) {
+		t.Errorf("L1=%v", got)
+	}
+	if L1Distance(nil, nil) != 0 {
+		t.Error("L1 of empty must be 0")
+	}
+	if L1Distance(a, a) != 0 {
+		t.Error("L1 self-distance must be 0")
+	}
+}
+
+func TestL1DistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	L1Distance([]float64{1}, []float64{1, 2})
+}
+
+func TestHammingDistance(t *testing.T) {
+	a := []int64{1, 2, 3, 4}
+	b := []int64{1, 0, 3, 0}
+	if got := HammingDistance(a, b); got != 2 {
+		t.Errorf("Hamming=%d, want 2", got)
+	}
+	if HammingDistance(a, a) != 0 {
+		t.Error("self Hamming must be 0")
+	}
+}
+
+func TestIsPeriodic(t *testing.T) {
+	xs := []float64{1, 2, 1, 2, 1, 2}
+	if !IsPeriodic(xs, 2) {
+		t.Error("2-periodic not detected")
+	}
+	if !IsPeriodic(xs, 4) {
+		t.Error("multiples of the period are also periods")
+	}
+	if IsPeriodic(xs, 3) {
+		t.Error("3 is not a period")
+	}
+	if IsPeriodic(xs, 0) || IsPeriodic(xs, -1) {
+		t.Error("non-positive periods must be rejected")
+	}
+	if !IsPeriodic([]float64{1, 2}, 5) {
+		t.Error("short slice is vacuously periodic")
+	}
+}
+
+func TestFundamentalPeriod(t *testing.T) {
+	xs := Repeat([]float64{4, 7, 7}, 10)
+	if got := FundamentalPeriod(xs, 10); got != 3 {
+		t.Fatalf("fundamental=%d, want 3", got)
+	}
+	// Aperiodic stream.
+	ys := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if got := FundamentalPeriod(ys, 3); got != 0 {
+		t.Fatalf("aperiodic fundamental=%d, want 0", got)
+	}
+}
+
+func TestFundamentalPeriodInt(t *testing.T) {
+	xs := RepeatInt([]int64{0x400, 0x500, 0x600, 0x700, 0x800}, 8)
+	if got := FundamentalPeriodInt(xs, 16); got != 5 {
+		t.Fatalf("fundamental=%d, want 5", got)
+	}
+}
+
+// Property: for any non-empty pattern, the cycled stream is periodic with
+// the pattern length, and the fundamental divides it.
+func TestPropertyFundamentalDivides(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		pat := make([]int64, len(raw))
+		for i, v := range raw {
+			pat[i] = int64(v % 3)
+		}
+		xs := RepeatInt(pat, 5)
+		if !IsPeriodicInt(xs, len(pat)) {
+			return false
+		}
+		p := FundamentalPeriodInt(xs, len(pat))
+		return p >= 1 && len(pat)%p == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: L1Distance is a metric on equal-length vectors: non-negative,
+// zero iff equal (for exact values), symmetric, triangle inequality.
+func TestPropertyL1IsAMetric(t *testing.T) {
+	f := func(a, b, c [6]int8) bool {
+		av, bv, cv := make([]float64, 6), make([]float64, 6), make([]float64, 6)
+		for i := 0; i < 6; i++ {
+			av[i], bv[i], cv[i] = float64(a[i]), float64(b[i]), float64(c[i])
+		}
+		dab := L1Distance(av, bv)
+		dba := L1Distance(bv, av)
+		dac := L1Distance(av, cv)
+		dcb := L1Distance(cv, bv)
+		if dab < 0 || dab != dba {
+			return false
+		}
+		if dab > dac+dcb+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

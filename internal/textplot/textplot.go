@@ -1,0 +1,195 @@
+// Package textplot renders data series as ASCII plots so the experiment
+// binaries can reproduce the paper's figures (CPU-usage traces, d(m)
+// distance curves, segmented address streams) directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Options controls plot geometry.
+type Options struct {
+	// Width is the plot width in columns (default 72).
+	Width int
+	// Height is the plot height in rows (default 16).
+	Height int
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// XLabel annotates the horizontal axis.
+	XLabel string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Plot renders xs as a scatter/line plot. Long series are downsampled by
+// taking the mean of each column's bucket; marks (sample indices) are
+// drawn as '*' on a separate bottom row — the DPD segmentation marks of
+// the paper's Figure 7.
+func Plot(xs []float64, marks []int, opt Options) string {
+	opt = opt.withDefaults()
+	if len(xs) == 0 {
+		return "(empty series)\n"
+	}
+	w, h := opt.Width, opt.Height
+
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Column buckets.
+	col := func(i int) int {
+		c := i * w / len(xs)
+		if c >= w {
+			c = w - 1
+		}
+		return c
+	}
+	sums := make([]float64, w)
+	counts := make([]int, w)
+	for i, v := range xs {
+		c := col(i)
+		sums[c] += v
+		counts[c]++
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	prevRow := -1
+	for c := 0; c < w; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		v := sums[c] / float64(counts[c])
+		frac := (v - lo) / (hi - lo)
+		row := h - 1 - int(math.Round(frac*float64(h-1)))
+		grid[row][c] = '#'
+		// Connect vertically to the previous column for readability:
+		// walk from this column's row toward the previous column's row.
+		if prevRow >= 0 && prevRow != row {
+			step := 1
+			if prevRow < row {
+				step = -1
+			}
+			for r := row + step; r != prevRow; r += step {
+				if grid[r][c] == ' ' {
+					grid[r][c] = '|'
+				}
+			}
+		}
+		prevRow = row
+	}
+
+	markRow := []byte(strings.Repeat(" ", w))
+	for _, m := range marks {
+		if m >= 0 && m < len(xs) {
+			markRow[col(m)] = '*'
+		}
+	}
+
+	var b strings.Builder
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opt.YLabel)
+	}
+	for r := 0; r < h; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.2f", hi)
+		case h - 1:
+			label = fmt.Sprintf("%8.2f", lo)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	if len(marks) > 0 {
+		fmt.Fprintf(&b, "%s  %s  (* = DPD period start)\n", strings.Repeat(" ", 8), string(markRow))
+	}
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 8), opt.XLabel)
+	}
+	return b.String()
+}
+
+// Curve renders a DPD distance curve d(m) with the detected minimum
+// highlighted, in the style of the paper's Figure 4.
+func Curve(d []float64, bestLag int, opt Options) string {
+	marks := []int{}
+	if bestLag >= 1 && bestLag <= len(d) {
+		marks = append(marks, bestLag-1)
+	}
+	clean := make([]float64, len(d))
+	var last float64
+	for i, v := range d {
+		if math.IsNaN(v) {
+			clean[i] = last
+			continue
+		}
+		clean[i] = v
+		last = v
+	}
+	return Plot(clean, marks, opt)
+}
+
+// Table renders rows as a column-aligned text table. The first row is the
+// header; a separator line follows it.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(rows[0])
+	for c, w := range widths {
+		if c > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package textplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotEmpty(t *testing.T) {
+	if got := Plot(nil, nil, Options{}); !strings.Contains(got, "empty") {
+		t.Fatalf("empty plot = %q", got)
+	}
+}
+
+func TestPlotGeometry(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	got := Plot(xs, nil, Options{Width: 40, Height: 8})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// 8 data rows + axis row.
+	if len(lines) != 9 {
+		t.Fatalf("lines=%d, want 9:\n%s", len(lines), got)
+	}
+	for i, l := range lines[:8] {
+		if !strings.Contains(l, "|") {
+			t.Fatalf("row %d missing axis: %q", i, l)
+		}
+	}
+}
+
+func TestPlotShowsExtremes(t *testing.T) {
+	xs := []float64{1, 16, 1, 16}
+	got := Plot(xs, nil, Options{Width: 20, Height: 6})
+	if !strings.Contains(got, "16.00") || !strings.Contains(got, "1.00") {
+		t.Fatalf("missing y labels:\n%s", got)
+	}
+	if !strings.Contains(got, "#") {
+		t.Fatal("no data glyphs plotted")
+	}
+}
+
+func TestPlotConstantSeriesNoDivZero(t *testing.T) {
+	xs := []float64{5, 5, 5}
+	got := Plot(xs, nil, Options{Width: 10, Height: 4})
+	if strings.Contains(got, "NaN") {
+		t.Fatalf("NaN leaked:\n%s", got)
+	}
+}
+
+func TestPlotMarksRow(t *testing.T) {
+	xs := make([]float64, 50)
+	got := Plot(xs, []int{0, 25, 49}, Options{Width: 50, Height: 4})
+	if !strings.Contains(got, "*") {
+		t.Fatalf("marks missing:\n%s", got)
+	}
+	if !strings.Contains(got, "period start") {
+		t.Fatal("marks legend missing")
+	}
+	// Out-of-range marks must be ignored, not crash.
+	_ = Plot(xs, []int{-5, 1000}, Options{Width: 50, Height: 4})
+}
+
+func TestPlotLabels(t *testing.T) {
+	got := Plot([]float64{1, 2}, nil, Options{YLabel: "CPUs", XLabel: "time (ms)"})
+	if !strings.Contains(got, "CPUs") || !strings.Contains(got, "time (ms)") {
+		t.Fatalf("labels missing:\n%s", got)
+	}
+}
+
+func TestCurveHandlesNaNPrefix(t *testing.T) {
+	d := []float64{math.NaN(), math.NaN(), 0.5, 0.1, 0.6}
+	got := Curve(d, 4, Options{Width: 20, Height: 4})
+	if strings.Contains(got, "NaN") {
+		t.Fatalf("NaN leaked:\n%s", got)
+	}
+	if !strings.Contains(got, "*") {
+		t.Fatal("best-lag mark missing")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	got := Table([][]string{
+		{"Appl.", "Len", "Periods"},
+		{"apsi", "5762", "6"},
+		{"hydro2d", "53814", "1, 24, 269"},
+	})
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines=%d:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+	// Columns align: "5762" and "53814" start at the same offset.
+	if strings.Index(lines[2], "5762") != strings.Index(lines[3], "53814") {
+		t.Fatalf("columns misaligned:\n%s", got)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if Table(nil) != "" {
+		t.Fatal("empty table must render empty")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	got := Table([][]string{{"a"}, {"b", "c"}})
+	if !strings.Contains(got, "c") {
+		t.Fatalf("ragged row dropped:\n%s", got)
+	}
+}

@@ -1,0 +1,256 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text format:
+//
+//	# dpd-trace v1 event|cpu
+//	# name: tomcatv
+//	# interval_ns: 1000000        (cpu traces only)
+//	<one decimal value per line>
+//
+// Binary format (little endian):
+//
+//	magic "DPDT" | version u8 | kind u8 (0 event, 1 cpu) |
+//	nameLen u16 | name | interval_ns i64 (cpu only) |
+//	count u64 | values (int64 for event, float64 bits for cpu)
+
+const (
+	textHeader  = "# dpd-trace v1"
+	binaryMagic = "DPDT"
+	kindEvent   = 0
+	kindCPU     = 1
+)
+
+// WriteEventText writes an event trace in the text format.
+func WriteEventText(w io.Writer, t *EventTrace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s event\n# name: %s\n", textHeader, t.Name)
+	for _, v := range t.Values {
+		fmt.Fprintf(bw, "%d\n", v)
+	}
+	return bw.Flush()
+}
+
+// WriteCPUText writes a CPU trace in the text format.
+func WriteCPUText(w io.Writer, t *CPUTrace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s cpu\n# name: %s\n# interval_ns: %d\n", textHeader, t.Name, t.Interval.Nanoseconds())
+	for _, v := range t.Samples {
+		fmt.Fprintf(bw, "%g\n", v)
+	}
+	return bw.Flush()
+}
+
+// ReadText reads either trace kind from the text format, returning
+// exactly one non-nil trace.
+func ReadText(r io.Reader) (*EventTrace, *CPUTrace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("trace: empty input")
+	}
+	head := strings.TrimSpace(sc.Text())
+	if !strings.HasPrefix(head, textHeader) {
+		return nil, nil, fmt.Errorf("trace: bad header %q", head)
+	}
+	kind := strings.TrimSpace(strings.TrimPrefix(head, textHeader))
+	name := ""
+	interval := time.Duration(0)
+
+	var ev *EventTrace
+	var cpu *CPUTrace
+	switch kind {
+	case "event":
+		ev = &EventTrace{}
+	case "cpu":
+		cpu = &CPUTrace{}
+	default:
+		return nil, nil, fmt.Errorf("trace: unknown kind %q", kind)
+	}
+
+	line := 1
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		if strings.HasPrefix(s, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(s, "#"))
+			switch {
+			case strings.HasPrefix(meta, "name:"):
+				name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
+			case strings.HasPrefix(meta, "interval_ns:"):
+				ns, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(meta, "interval_ns:")), 10, 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("trace: line %d: bad interval: %v", line, err)
+				}
+				interval = time.Duration(ns)
+			}
+			continue
+		}
+		if ev != nil {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: line %d: bad event value %q", line, s)
+			}
+			ev.Values = append(ev.Values, v)
+		} else {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: line %d: bad cpu value %q", line, s)
+			}
+			cpu.Samples = append(cpu.Samples, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if ev != nil {
+		ev.Name = name
+		return ev, nil, nil
+	}
+	cpu.Name = name
+	cpu.Interval = interval
+	return nil, cpu, nil
+}
+
+// WriteEventBinary writes an event trace in the binary format.
+func WriteEventBinary(w io.Writer, t *EventTrace) error {
+	bw := bufio.NewWriter(w)
+	if err := writeBinaryHeader(bw, kindEvent, t.Name, 0); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Values))); err != nil {
+		return err
+	}
+	for _, v := range t.Values {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCPUBinary writes a CPU trace in the binary format.
+func WriteCPUBinary(w io.Writer, t *CPUTrace) error {
+	bw := bufio.NewWriter(w)
+	if err := writeBinaryHeader(bw, kindCPU, t.Name, t.Interval.Nanoseconds()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Samples))); err != nil {
+		return err
+	}
+	for _, v := range t.Samples {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeBinaryHeader(w io.Writer, kind uint8, name string, intervalNS int64) error {
+	if len(name) > 1<<16-1 {
+		return fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	if _, err := w.Write([]byte(binaryMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint8(1)); err != nil { // version
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, kind); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte(name)); err != nil {
+		return err
+	}
+	if kind == kindCPU {
+		if err := binary.Write(w, binary.LittleEndian, intervalNS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBinary reads either trace kind from the binary format.
+func ReadBinary(r io.Reader) (*EventTrace, *CPUTrace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, nil, fmt.Errorf("trace: magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var version, kind uint8
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, nil, err
+	}
+	if version != 1 {
+		return nil, nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+		return nil, nil, err
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, nil, err
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, nil, err
+	}
+	name := string(nameBuf)
+
+	switch kind {
+	case kindEvent:
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, nil, err
+		}
+		if count > 1<<32 {
+			return nil, nil, fmt.Errorf("trace: implausible event count %d", count)
+		}
+		t := &EventTrace{Name: name, Values: make([]int64, count)}
+		for i := range t.Values {
+			if err := binary.Read(br, binary.LittleEndian, &t.Values[i]); err != nil {
+				return nil, nil, fmt.Errorf("trace: value %d: %w", i, err)
+			}
+		}
+		return t, nil, nil
+	case kindCPU:
+		var intervalNS int64
+		if err := binary.Read(br, binary.LittleEndian, &intervalNS); err != nil {
+			return nil, nil, err
+		}
+		var count uint64
+		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+			return nil, nil, err
+		}
+		if count > 1<<32 {
+			return nil, nil, fmt.Errorf("trace: implausible sample count %d", count)
+		}
+		t := &CPUTrace{Name: name, Interval: time.Duration(intervalNS), Samples: make([]float64, count)}
+		for i := range t.Samples {
+			if err := binary.Read(br, binary.LittleEndian, &t.Samples[i]); err != nil {
+				return nil, nil, fmt.Errorf("trace: sample %d: %w", i, err)
+			}
+		}
+		return nil, t, nil
+	default:
+		return nil, nil, fmt.Errorf("trace: unknown kind %d", kind)
+	}
+}

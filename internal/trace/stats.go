@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CPUStats summarizes a CPU-usage trace — the quantities one reads off
+// the paper's Figure 3 by eye.
+type CPUStats struct {
+	// Samples is the trace length.
+	Samples int
+	// Duration is the covered time span.
+	Duration time.Duration
+	// Mean is the average number of active CPUs.
+	Mean float64
+	// Peak is the maximum observed CPU count.
+	Peak float64
+	// ParallelFraction is the fraction of samples with more than one
+	// active CPU (parallelism open).
+	ParallelFraction float64
+	// IdleFraction is the fraction of samples with zero active CPUs.
+	IdleFraction float64
+}
+
+// Stats computes summary statistics of the trace.
+func (t *CPUTrace) Stats() CPUStats {
+	s := CPUStats{Samples: len(t.Samples), Duration: t.Duration()}
+	if len(t.Samples) == 0 {
+		return s
+	}
+	parallel, idle := 0, 0
+	for _, v := range t.Samples {
+		s.Mean += v
+		if v > s.Peak {
+			s.Peak = v
+		}
+		if v > 1 {
+			parallel++
+		}
+		if v == 0 {
+			idle++
+		}
+	}
+	s.Mean /= float64(len(t.Samples))
+	s.ParallelFraction = float64(parallel) / float64(len(t.Samples))
+	s.IdleFraction = float64(idle) / float64(len(t.Samples))
+	return s
+}
+
+// String renders the statistics.
+func (s CPUStats) String() string {
+	return fmt.Sprintf("%d samples over %v: mean %.2f CPUs, peak %.0f, parallel %.0f%%, idle %.0f%%",
+		s.Samples, s.Duration, s.Mean, s.Peak, 100*s.ParallelFraction, 100*s.IdleFraction)
+}
+
+// AddressFrequency is one entry of an event trace's address histogram.
+type AddressFrequency struct {
+	Addr  int64
+	Count int
+}
+
+// EventStats summarizes an event trace.
+type EventStats struct {
+	// Events is the trace length.
+	Events int
+	// Distinct is the number of distinct addresses.
+	Distinct int
+	// Top holds the most frequent addresses, descending by count (ties
+	// broken by address for determinism).
+	Top []AddressFrequency
+}
+
+// Stats computes summary statistics; topN bounds the returned histogram
+// (0 = all addresses).
+func (t *EventTrace) Stats(topN int) EventStats {
+	counts := make(map[int64]int)
+	for _, v := range t.Values {
+		counts[v]++
+	}
+	top := make([]AddressFrequency, 0, len(counts))
+	for a, c := range counts {
+		top = append(top, AddressFrequency{Addr: a, Count: c})
+	}
+	sort.Slice(top, func(i, j int) bool {
+		if top[i].Count != top[j].Count {
+			return top[i].Count > top[j].Count
+		}
+		return top[i].Addr < top[j].Addr
+	})
+	if topN > 0 && len(top) > topN {
+		top = top[:topN]
+	}
+	return EventStats{Events: len(t.Values), Distinct: len(counts), Top: top}
+}

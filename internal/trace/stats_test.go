@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCPUStats(t *testing.T) {
+	tr := &CPUTrace{Name: "x", Interval: time.Millisecond}
+	for _, v := range []float64{0, 1, 16, 16, 1, 0, 8, 1} {
+		tr.Append(v)
+	}
+	s := tr.Stats()
+	if s.Samples != 8 {
+		t.Fatalf("samples=%d", s.Samples)
+	}
+	if s.Peak != 16 {
+		t.Fatalf("peak=%v", s.Peak)
+	}
+	if s.Mean != 43.0/8 {
+		t.Fatalf("mean=%v", s.Mean)
+	}
+	if s.ParallelFraction != 3.0/8 {
+		t.Fatalf("parallel=%v", s.ParallelFraction)
+	}
+	if s.IdleFraction != 2.0/8 {
+		t.Fatalf("idle=%v", s.IdleFraction)
+	}
+	if s.Duration != 8*time.Millisecond {
+		t.Fatalf("duration=%v", s.Duration)
+	}
+	if !strings.Contains(s.String(), "peak 16") {
+		t.Fatalf("String=%q", s.String())
+	}
+}
+
+func TestCPUStatsEmpty(t *testing.T) {
+	tr := &CPUTrace{Interval: time.Millisecond}
+	s := tr.Stats()
+	if s.Samples != 0 || s.Mean != 0 || s.Peak != 0 {
+		t.Fatalf("empty stats=%+v", s)
+	}
+}
+
+func TestEventStatsHistogram(t *testing.T) {
+	tr := &EventTrace{Values: []int64{5, 5, 5, 7, 7, 9}}
+	s := tr.Stats(0)
+	if s.Events != 6 || s.Distinct != 3 {
+		t.Fatalf("stats=%+v", s)
+	}
+	if s.Top[0].Addr != 5 || s.Top[0].Count != 3 {
+		t.Fatalf("top=%+v", s.Top)
+	}
+	if s.Top[2].Addr != 9 || s.Top[2].Count != 1 {
+		t.Fatalf("top=%+v", s.Top)
+	}
+}
+
+func TestEventStatsTopNAndTies(t *testing.T) {
+	tr := &EventTrace{Values: []int64{3, 1, 2, 1, 3, 2}}
+	s := tr.Stats(2)
+	if len(s.Top) != 2 {
+		t.Fatalf("topN not applied: %+v", s.Top)
+	}
+	// All counts equal: ties break by ascending address.
+	if s.Top[0].Addr != 1 || s.Top[1].Addr != 2 {
+		t.Fatalf("tie break wrong: %+v", s.Top)
+	}
+}
+
+func TestEventStatsDeterministic(t *testing.T) {
+	tr := &EventTrace{Values: []int64{10, 20, 30, 10, 20, 30}}
+	a := tr.Stats(0)
+	b := tr.Stats(0)
+	for i := range a.Top {
+		if a.Top[i] != b.Top[i] {
+			t.Fatal("nondeterministic histogram order")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package trace defines the data-stream containers and codecs of the
+// evaluation: event traces (sequences of parallel-loop addresses, the
+// input of Table 2 / Figure 7), CPU-usage traces (sampled processor
+// counts, the input of Figures 3/4), and a fixed-interval sampler that
+// turns a continuously valued signal into a CPU trace.
+//
+// The on-disk formats are deliberately simple — a line-oriented text
+// format with '#' metadata headers and a length-prefixed binary format —
+// so traces can be produced by the simulator, inspected by hand, and
+// replayed through the overhead benchmark exactly as the paper's
+// synthetic benchmark replays recorded application traces (§6.3).
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventTrace is a sequence of event samples (e.g. encapsulated
+// parallel-loop function addresses in call order).
+type EventTrace struct {
+	// Name identifies the originating application (e.g. "tomcatv").
+	Name string
+	// Values are the event samples in stream order.
+	Values []int64
+}
+
+// Len returns the number of events.
+func (t *EventTrace) Len() int { return len(t.Values) }
+
+// Append adds one event.
+func (t *EventTrace) Append(v int64) { t.Values = append(t.Values, v) }
+
+// Clone returns a deep copy.
+func (t *EventTrace) Clone() *EventTrace {
+	vals := make([]int64, len(t.Values))
+	copy(vals, t.Values)
+	return &EventTrace{Name: t.Name, Values: vals}
+}
+
+// CPUTrace is a fixed-interval sampling of the number of CPUs in use
+// (paper Figure 3: 1 ms sampling of a 16-CPU run).
+type CPUTrace struct {
+	// Name identifies the originating application (e.g. "ft").
+	Name string
+	// Interval is the sampling period.
+	Interval time.Duration
+	// Samples are the CPU counts, one per interval.
+	Samples []float64
+}
+
+// Len returns the number of samples.
+func (t *CPUTrace) Len() int { return len(t.Samples) }
+
+// Duration returns the covered wall-clock span.
+func (t *CPUTrace) Duration() time.Duration {
+	return time.Duration(len(t.Samples)) * t.Interval
+}
+
+// Append adds one sample.
+func (t *CPUTrace) Append(v float64) { t.Samples = append(t.Samples, v) }
+
+// Clone returns a deep copy.
+func (t *CPUTrace) Clone() *CPUTrace {
+	s := make([]float64, len(t.Samples))
+	copy(s, t.Samples)
+	return &CPUTrace{Name: t.Name, Interval: t.Interval, Samples: s}
+}
+
+// Validate checks basic well-formedness.
+func (t *CPUTrace) Validate() error {
+	if t.Interval <= 0 {
+		return fmt.Errorf("trace: non-positive sampling interval %v", t.Interval)
+	}
+	for i, v := range t.Samples {
+		if v < 0 {
+			return fmt.Errorf("trace: negative CPU count %v at sample %d", v, i)
+		}
+	}
+	return nil
+}
+
+// Sampler converts a continuously valued signal into fixed-interval
+// samples. Observe is called with monotonically non-decreasing
+// timestamps; the value in force at each sampling instant is recorded
+// (zero-order hold), exactly like the 1 ms CPU-usage sampling in the
+// paper's NANOS environment.
+type Sampler struct {
+	interval time.Duration
+	next     time.Duration
+	current  float64
+	started  bool
+	out      *CPUTrace
+}
+
+// NewSampler returns a sampler emitting into a fresh CPUTrace.
+func NewSampler(name string, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		panic(fmt.Sprintf("trace: non-positive sampling interval %v", interval))
+	}
+	return &Sampler{
+		interval: interval,
+		out:      &CPUTrace{Name: name, Interval: interval},
+	}
+}
+
+// Observe records that the signal takes value v at time now. Sampling
+// instants in (prev, now] emit the value previously in force. Timestamps
+// must not decrease; a violation panics, because out-of-order observation
+// indicates a simulator bug and would silently corrupt the trace.
+func (s *Sampler) Observe(now time.Duration, v float64) {
+	if s.started && now+s.interval < s.next {
+		panic(fmt.Sprintf("trace: non-monotonic observation at %v (next sample %v)", now, s.next))
+	}
+	for s.next <= now {
+		s.out.Append(s.current)
+		s.next += s.interval
+	}
+	s.current = v
+	s.started = true
+}
+
+// Finish flushes sampling instants up to and including `end` and returns
+// the trace.
+func (s *Sampler) Finish(end time.Duration) *CPUTrace {
+	for s.next <= end {
+		s.out.Append(s.current)
+		s.next += s.interval
+	}
+	return s.out
+}
+
+// Trace returns the trace accumulated so far without flushing.
+func (s *Sampler) Trace() *CPUTrace { return s.out }

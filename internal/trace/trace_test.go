@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventTraceBasics(t *testing.T) {
+	tr := &EventTrace{Name: "x"}
+	tr.Append(10)
+	tr.Append(20)
+	if tr.Len() != 2 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	c := tr.Clone()
+	c.Values[0] = 99
+	if tr.Values[0] != 10 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestCPUTraceDurationAndValidate(t *testing.T) {
+	tr := &CPUTrace{Name: "ft", Interval: time.Millisecond}
+	for i := 0; i < 250; i++ {
+		tr.Append(float64(i % 16))
+	}
+	if tr.Duration() != 250*time.Millisecond {
+		t.Fatalf("Duration=%v", tr.Duration())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Samples[3] = -1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("negative CPU count accepted")
+	}
+	bad := &CPUTrace{Interval: 0}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestSamplerZeroOrderHold(t *testing.T) {
+	s := NewSampler("test", time.Millisecond)
+	// Signal: 4 CPUs during [0,2.5ms), then 16 until 5ms.
+	s.Observe(0, 4)
+	s.Observe(2500*time.Microsecond, 16)
+	tr := s.Finish(5 * time.Millisecond)
+	// t=0 fires before any value is in force (0); t=1,2 ms hold 4; the
+	// change to 16 at 2.5 ms is in force from the t=3 ms instant onward.
+	want := []float64{0, 4, 4, 16, 16, 16}
+	if len(tr.Samples) != len(want) {
+		t.Fatalf("samples=%v, want %v", tr.Samples, want)
+	}
+	for i := range want {
+		if tr.Samples[i] != want[i] {
+			t.Fatalf("sample[%d]=%v, want %v (all=%v)", i, tr.Samples[i], want[i], tr.Samples)
+		}
+	}
+}
+
+func TestSamplerManyObservationsPerSlot(t *testing.T) {
+	s := NewSampler("test", time.Millisecond)
+	// Several value changes inside one slot: the value in force at the
+	// sampling instant is the last one observed before it.
+	s.Observe(100*time.Microsecond, 1)
+	s.Observe(200*time.Microsecond, 2)
+	s.Observe(900*time.Microsecond, 3)
+	tr := s.Finish(time.Millisecond)
+	if len(tr.Samples) != 2 || tr.Samples[1] != 3 {
+		t.Fatalf("samples=%v, want [0 3]", tr.Samples)
+	}
+}
+
+func TestSamplerPanicsOnBadInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero interval did not panic")
+		}
+	}()
+	NewSampler("x", 0)
+}
+
+func TestTextRoundTripEvent(t *testing.T) {
+	in := &EventTrace{Name: "tomcatv", Values: []int64{0x1000, 0x2000, -5, 0}}
+	var buf bytes.Buffer
+	if err := WriteEventText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	ev, cpu, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != nil {
+		t.Fatal("event trace decoded as cpu")
+	}
+	if ev.Name != "tomcatv" || len(ev.Values) != 4 {
+		t.Fatalf("decoded %+v", ev)
+	}
+	for i, v := range in.Values {
+		if ev.Values[i] != v {
+			t.Fatalf("value[%d]=%d, want %d", i, ev.Values[i], v)
+		}
+	}
+}
+
+func TestTextRoundTripCPU(t *testing.T) {
+	in := &CPUTrace{Name: "ft", Interval: time.Millisecond, Samples: []float64{1, 4.5, 16, 0.25}}
+	var buf bytes.Buffer
+	if err := WriteCPUText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	ev, cpu, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev != nil {
+		t.Fatal("cpu trace decoded as event")
+	}
+	if cpu.Name != "ft" || cpu.Interval != time.Millisecond {
+		t.Fatalf("decoded %+v", cpu)
+	}
+	for i, v := range in.Samples {
+		if cpu.Samples[i] != v {
+			t.Fatalf("sample[%d]=%v, want %v", i, cpu.Samples[i], v)
+		}
+	}
+}
+
+func TestTextRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a trace\n1\n2\n",
+		"# dpd-trace v1 bogus\n1\n",
+		"# dpd-trace v1 event\nnotanumber\n",
+		"# dpd-trace v1 cpu\n# interval_ns: abc\n1\n",
+	}
+	for i, c := range cases {
+		if _, _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTextSkipsBlanksAndComments(t *testing.T) {
+	src := "# dpd-trace v1 event\n# name: x\n\n# a comment\n7\n\n8\n"
+	ev, _, err := ReadText(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Values) != 2 || ev.Values[0] != 7 || ev.Values[1] != 8 {
+		t.Fatalf("values=%v", ev.Values)
+	}
+}
+
+func TestBinaryRoundTripEvent(t *testing.T) {
+	in := &EventTrace{Name: "swim", Values: []int64{1 << 40, -(1 << 40), 0, 42}}
+	var buf bytes.Buffer
+	if err := WriteEventBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	ev, cpu, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu != nil || ev.Name != "swim" {
+		t.Fatalf("decoded ev=%v cpu=%v", ev, cpu)
+	}
+	for i, v := range in.Values {
+		if ev.Values[i] != v {
+			t.Fatalf("value[%d]=%d, want %d", i, ev.Values[i], v)
+		}
+	}
+}
+
+func TestBinaryRoundTripCPU(t *testing.T) {
+	in := &CPUTrace{Name: "ft", Interval: 250 * time.Microsecond, Samples: []float64{3.25, 0, 16}}
+	var buf bytes.Buffer
+	if err := WriteCPUBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	_, cpu, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Interval != 250*time.Microsecond || len(cpu.Samples) != 3 {
+		t.Fatalf("decoded %+v", cpu)
+	}
+	for i, v := range in.Samples {
+		if cpu.Samples[i] != v {
+			t.Fatalf("sample[%d]=%v, want %v", i, cpu.Samples[i], v)
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	in := &EventTrace{Name: "x", Values: []int64{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := WriteEventBinary(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte{}, good...)
+	bad[4] = 9
+	if _, _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated payload.
+	if _, _, err := ReadBinary(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Error("truncation accepted")
+	}
+	// Empty.
+	if _, _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty accepted")
+	}
+}
+
+// Property: binary round trip is lossless for arbitrary event values.
+func TestPropertyBinaryEventRoundTrip(t *testing.T) {
+	f := func(name string, vals []int64) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		in := &EventTrace{Name: name, Values: vals}
+		var buf bytes.Buffer
+		if err := WriteEventBinary(&buf, in); err != nil {
+			return false
+		}
+		ev, _, err := ReadBinary(&buf)
+		if err != nil || ev.Name != name || len(ev.Values) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if ev.Values[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text round trip is lossless for event traces (integers encode
+// exactly in decimal).
+func TestPropertyTextEventRoundTrip(t *testing.T) {
+	f := func(vals []int64) bool {
+		in := &EventTrace{Name: "p", Values: vals}
+		var buf bytes.Buffer
+		if err := WriteEventText(&buf, in); err != nil {
+			return false
+		}
+		ev, _, err := ReadText(&buf)
+		if err != nil || len(ev.Values) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if ev.Values[i] != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
