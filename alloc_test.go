@@ -1,0 +1,103 @@
+// Allocation-regression tests: the per-sample hot path of every detector
+// must be zero-allocation in steady state (ISSUE 1 tentpole). A regression
+// here silently reintroduces GC pressure into the paper's "negligible
+// overhead" claim (Table 3), so these are hard assertions, not benchmarks.
+package dpd_test
+
+import (
+	"testing"
+
+	"dpd"
+)
+
+func TestEventDetectorFeedSteadyStateAllocFree(t *testing.T) {
+	det, err := dpd.NewEventDetector(dpd.Config{Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past every lag window so all code paths are steady-state.
+	for i := 0; i < 3*256; i++ {
+		det.Feed(int64(i % 7))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		det.Feed(int64(i % 7))
+		i++
+	}); n != 0 {
+		t.Fatalf("EventDetector.Feed allocates %.1f objects/op in steady state, want 0", n)
+	}
+}
+
+func TestMagnitudeDetectorFeedSteadyStateAllocFree(t *testing.T) {
+	det, err := dpd.NewMagnitudeDetector(dpd.Config{Window: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		det.Feed(float64(i%44) * 0.5)
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		det.Feed(float64(i%44) * 0.5)
+		i++
+	}); n != 0 {
+		t.Fatalf("MagnitudeDetector.Feed allocates %.1f objects/op in steady state, want 0", n)
+	}
+}
+
+func TestMultiScaleDetectorFeedSteadyStateAllocFree(t *testing.T) {
+	ms, err := dpd.NewMultiScaleDetector(nil, dpd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm past the largest ladder window so every level is awake.
+	for i := 0; i < 3*1024; i++ {
+		ms.Feed(int64(i % 12))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		ms.Feed(int64(i % 12))
+		i++
+	}); n != 0 {
+		t.Fatalf("MultiScaleDetector.Feed allocates %.1f objects/op in steady state, want 0", n)
+	}
+}
+
+func TestMultiScaleDetectorBatchPathAllocFree(t *testing.T) {
+	ms, err := dpd.NewMultiScaleDetector(nil, dpd.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]int64, 256)
+	for i := range batch {
+		batch[i] = int64(i % 12)
+	}
+	var dst []dpd.MultiResult
+	// First batches allocate dst and its PerLevel backing; afterwards the
+	// recycled dst must make FeedAll fully allocation-free.
+	for i := 0; i < 16; i++ {
+		dst = ms.FeedAll(batch, dst)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = ms.FeedAll(batch, dst)
+	}); n != 0 {
+		t.Fatalf("MultiScaleDetector.FeedAll allocates %.1f objects/op with recycled dst, want 0", n)
+	}
+}
+
+func TestDPDBatchPathAllocFree(t *testing.T) {
+	d := dpd.NewDPD()
+	batch := make([]int64, 256)
+	for i := range batch {
+		batch[i] = int64(i % 9)
+	}
+	var dst []dpd.Result
+	for i := 0; i < 16; i++ {
+		dst = d.FeedAll(batch, dst)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		dst = d.FeedAll(batch, dst)
+	}); n != 0 {
+		t.Fatalf("DPD.FeedAll allocates %.1f objects/op with recycled dst, want 0", n)
+	}
+}

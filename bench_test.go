@@ -315,6 +315,59 @@ func BenchmarkAdaptiveWindow(b *testing.B) {
 	})
 }
 
+// BenchmarkBatchVsPerSample: the FeedAll batch entry points against the
+// per-sample Feed loop on the same stream — the amortization the batch API
+// exists for (ISSUE 1 layer 4), and the path future sharded multi-stream
+// serving builds on.
+func BenchmarkBatchVsPerSample(b *testing.B) {
+	vals := make([]int64, 4096)
+	for i := range vals {
+		vals[i] = int64(i % 9)
+	}
+	b.Run("event-feed", func(b *testing.B) {
+		det := core.MustEventDetector(core.Config{Window: 128})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				det.Feed(v)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
+	})
+	b.Run("event-feedall", func(b *testing.B) {
+		det := core.MustEventDetector(core.Config{Window: 128})
+		dst := make([]core.Result, len(vals))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = det.FeedAll(vals, dst)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
+	})
+	b.Run("multiscale-feed", func(b *testing.B) {
+		ms := core.MustMultiScaleDetector(nil, core.Config{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, v := range vals {
+				ms.Feed(v)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
+	})
+	b.Run("multiscale-feedall", func(b *testing.B) {
+		ms := core.MustMultiScaleDetector(nil, core.Config{})
+		dst := make([]core.MultiResult, len(vals))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = ms.FeedAll(vals, dst)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
+	})
+}
+
 // BenchmarkInterposition: cost of the DITools dispatch path per loop call.
 func BenchmarkInterposition(b *testing.B) {
 	reg := ditools.NewRegistry()

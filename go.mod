@@ -1,0 +1,3 @@
+module dpd
+
+go 1.24

@@ -55,6 +55,16 @@ func (d *DPD) Feed(sample int64) (start, period int) {
 	return start, r.Period
 }
 
+// FeedAll processes a batch of samples, writing one Result per sample into
+// dst (grown if needed) and returning the filled slice. Result.Start and
+// Result.Period carry the paper's start flag and period for each sample.
+// Passing a dst with sufficient capacity makes the batch path
+// allocation-free; this is the entry point for amortized multi-stream
+// serving where per-call overhead matters.
+func (d *DPD) FeedAll(samples []int64, dst []Result) []Result {
+	return d.det.FeedAll(samples, dst)
+}
+
 // WindowSize adjusts the data window size during execution
 // (paper Table 1: DPDWindowSize). Invalid sizes are rejected.
 func (d *DPD) WindowSize(size int) error { return d.det.Resize(size) }

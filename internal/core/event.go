@@ -11,16 +11,14 @@ import (
 // (e.g. parallel-loop addresses): d(m) = sign(Σ |x[i] − x[i−m]|), which is
 // zero exactly when the last N events repeat with lag m.
 //
-// Per lag m it keeps a sliding window of N mismatch bits updated in O(1),
-// so feeding one sample costs O(M) comparisons. History of the last
-// N + M samples is retained to support window resizing by replay.
+// All per-lag state lives in one flat series.CountBank: feeding one sample
+// is a single compare pass over the contiguous history plus a word-level
+// delta update of the packed mismatch windows, with zero allocation.
+// History of the last N + M samples is retained to support window
+// resizing by replay.
 type EventDetector struct {
 	cfg  Config
-	hist *series.IntRing // last Window+MaxLag samples
-	// counts[m-1] tracks mismatches of x[t] vs x[t−m] over the last Window
-	// comparisons; d(m) == 0 ⟺ counts[m-1].Zero().
-	counts  []*series.SlidingCount
-	zeroRun []int // consecutive steps each lag has been zero
+	bank *series.CountBank
 
 	locked    bool
 	period    int
@@ -52,12 +50,7 @@ func MustEventDetector(cfg Config) *EventDetector {
 }
 
 func (d *EventDetector) alloc() {
-	d.hist = series.NewIntRing(d.cfg.Window + d.cfg.MaxLag)
-	d.counts = make([]*series.SlidingCount, d.cfg.MaxLag)
-	d.zeroRun = make([]int, d.cfg.MaxLag)
-	for i := range d.counts {
-		d.counts[i] = series.NewSlidingCount(d.cfg.Window)
-	}
+	d.bank = series.NewCountBank(d.cfg.Window, d.cfg.MaxLag)
 }
 
 // Window returns the current window size N.
@@ -79,39 +72,32 @@ func (d *EventDetector) Locked() int {
 
 // Feed processes one event sample and returns the detection result.
 func (d *EventDetector) Feed(v int64) Result {
-	// Update every lag's mismatch window against the retained history.
-	avail := d.hist.Len()
-	for m := 1; m <= d.cfg.MaxLag; m++ {
-		if m > avail {
-			break // no sample x[t−m] yet; deeper lags are unavailable too
-		}
-		mismatch := v != d.hist.Last(m-1)
-		c := d.counts[m-1]
-		c.Push(mismatch)
-		if c.Zero() {
-			d.zeroRun[m-1]++
-		} else {
-			d.zeroRun[m-1] = 0
-		}
-	}
-	d.hist.Push(v)
+	d.bank.Push(v)
 	res := d.decide()
 	d.t++
 	return res
 }
 
-// decide applies the lock/segmentation policy after counters are updated.
+// FeedAll processes a batch of samples, writing one Result per sample into
+// dst (grown if needed) and returning the filled slice. Passing a dst with
+// sufficient capacity makes the batch path allocation-free.
+func (d *EventDetector) FeedAll(vs []int64, dst []Result) []Result {
+	if cap(dst) < len(vs) {
+		dst = make([]Result, len(vs))
+	}
+	dst = dst[:len(vs)]
+	for i, v := range vs {
+		dst[i] = d.Feed(v)
+	}
+	return dst
+}
+
+// decide applies the lock/segmentation policy after the bank is updated.
 func (d *EventDetector) decide() Result {
 	res := Result{T: d.t}
 
-	// Candidate: smallest lag whose zero run reached the confirm count.
-	cand := 0
-	for m := 1; m <= d.cfg.MaxLag; m++ {
-		if d.zeroRun[m-1] >= d.cfg.Confirm {
-			cand = m
-			break
-		}
-	}
+	// Candidate: smallest lag that has been zero for Confirm pushes.
+	cand := d.bank.FirstConfirmed(d.cfg.Confirm)
 
 	switch {
 	case !d.locked && cand > 0:
@@ -130,7 +116,7 @@ func (d *EventDetector) decide() Result {
 		d.graceLeft = d.cfg.Grace
 		res.Locked, res.Period, res.Start, res.Confidence = true, cand, true, 1
 
-	case d.locked && d.counts[d.period-1].Zero():
+	case d.locked && d.bank.Zero(d.period):
 		// Lock holds.
 		d.graceLeft = d.cfg.Grace
 		res.Locked, res.Period, res.Confidence = true, d.period, 1
@@ -162,11 +148,10 @@ func (d *EventDetector) decide() Result {
 func (d *EventDetector) Curve() Curve {
 	out := make([]float64, d.cfg.MaxLag)
 	for m := 1; m <= d.cfg.MaxLag; m++ {
-		c := d.counts[m-1]
 		switch {
-		case !c.Full():
+		case !d.bank.Full(m):
 			out[m-1] = math.NaN()
-		case c.Ones() == 0:
+		case d.bank.Ones(m) == 0:
 			out[m-1] = 0
 		default:
 			out[m-1] = 1
@@ -178,26 +163,18 @@ func (d *EventDetector) Curve() Curve {
 // MismatchCount returns the raw mismatch count for lag m (diagnostics).
 // It returns −1 when the lag's window has not filled yet.
 func (d *EventDetector) MismatchCount(m int) int {
-	if m < 1 || m > d.cfg.MaxLag {
+	if m < 1 || m > d.cfg.MaxLag || !d.bank.Full(m) {
 		return -1
 	}
-	c := d.counts[m-1]
-	if !c.Full() {
-		return -1
-	}
-	return c.Ones()
+	return d.bank.Ones(m)
 }
 
 // History returns the retained samples, oldest first (test/diagnostic aid).
-func (d *EventDetector) History() []int64 { return d.hist.Snapshot(nil) }
+func (d *EventDetector) History() []int64 { return d.bank.History(nil) }
 
 // Reset clears all state but keeps the configuration.
 func (d *EventDetector) Reset() {
-	d.hist.Reset()
-	for i := range d.counts {
-		d.counts[i].Reset()
-		d.zeroRun[i] = 0
-	}
+	d.bank.Reset()
 	d.locked = false
 	d.period = 0
 	d.anchor = 0
@@ -220,7 +197,7 @@ func (d *EventDetector) Resize(newWindow int) error {
 	if err != nil {
 		return err
 	}
-	old := d.hist.Snapshot(nil)
+	old := d.bank.History(nil)
 	wasLocked, oldPeriod, oldAnchor := d.locked, d.period, d.anchor
 	d.cfg = nc
 	d.alloc()
@@ -232,21 +209,12 @@ func (d *EventDetector) Resize(newWindow int) error {
 	if keep > max {
 		old = old[keep-max:]
 	}
-	for i, v := range old {
-		for m := 1; m <= nc.MaxLag && m <= i; m++ {
-			c := d.counts[m-1]
-			c.Push(v != old[i-m])
-			if c.Zero() {
-				d.zeroRun[m-1]++
-			} else {
-				d.zeroRun[m-1] = 0
-			}
-		}
-		d.hist.Push(v)
+	for _, v := range old {
+		d.bank.Push(v)
 	}
 
 	// Preserve the lock only if the new window still confirms it.
-	if wasLocked && oldPeriod <= nc.MaxLag && d.counts[oldPeriod-1].Zero() {
+	if wasLocked && oldPeriod <= nc.MaxLag && d.bank.Zero(oldPeriod) {
 		d.locked = true
 		d.period = oldPeriod
 		d.anchor = oldAnchor

@@ -12,12 +12,13 @@ import (
 // CPUs): d(m) = (1/N)·Σ |x[n] − x[n−m]|. The detected periodicity is the
 // lag of a significant local minimum of d.
 //
-// Per lag m a sliding sum of |x[t] − x[t−m]| over the last N comparisons
-// is maintained in O(1), so feeding one sample costs O(M).
+// All per-lag accumulators live in one flat series.SumBank, and the curve
+// analysis (zero lag, mean, local minima, harmonic suppression,
+// prominence) runs as a single fused pass over the contiguous sums with a
+// reusable minima scratch buffer — the whole Feed path is allocation-free.
 type MagnitudeDetector struct {
 	cfg  Config
-	hist *series.Ring
-	sums []*series.SlidingSum
+	bank *series.SumBank
 
 	scale *series.EWMA // running scale of |x|, for the zero tolerance
 
@@ -32,7 +33,8 @@ type MagnitudeDetector struct {
 
 	t uint64
 
-	curveBuf []float64 // reused scratch for Curve / decide
+	curveBuf  []float64 // reused scratch: d(m) values of the current pass
+	minimaBuf []int32   // reused scratch: local-minimum lags
 }
 
 // NewMagnitudeDetector returns a detector for magnitude streams.
@@ -56,12 +58,9 @@ func MustMagnitudeDetector(cfg Config) *MagnitudeDetector {
 }
 
 func (d *MagnitudeDetector) alloc() {
-	d.hist = series.NewRing(d.cfg.Window + d.cfg.MaxLag)
-	d.sums = make([]*series.SlidingSum, d.cfg.MaxLag)
-	for i := range d.sums {
-		d.sums[i] = series.NewSlidingSum(d.cfg.Window)
-	}
+	d.bank = series.NewSumBank(d.cfg.Window, d.cfg.MaxLag)
 	d.curveBuf = make([]float64, d.cfg.MaxLag)
+	d.minimaBuf = make([]int32, 0, d.cfg.MaxLag)
 }
 
 // Window returns the current window size N.
@@ -91,43 +90,116 @@ func (d *MagnitudeDetector) zeroEps() float64 {
 // Feed processes one sample and returns the detection result.
 func (d *MagnitudeDetector) Feed(v float64) Result {
 	d.scale.Push(math.Abs(v))
-	avail := d.hist.Len()
-	for m := 1; m <= d.cfg.MaxLag; m++ {
-		if m > avail {
-			break
-		}
-		d.sums[m-1].Push(math.Abs(v - d.hist.Last(m-1)))
-	}
-	d.hist.Push(v)
+	d.bank.Push(v)
 	res := d.decide()
 	d.t++
 	return res
 }
 
-// candidate evaluates the current curve and returns the most plausible
-// periodicity lag (0 if none) together with its prominence.
-func (d *MagnitudeDetector) candidate() (int, float64) {
-	c := d.curve()
-	eps := d.zeroEps()
-
-	// Exact (or numerically exact) repetition: smallest zero lag wins;
-	// this covers constant streams where every distance is zero.
-	if f := c.Fundamental(eps); f > 0 {
-		return f, 1
+// FeedAll processes a batch of samples, writing one Result per sample into
+// dst (grown if needed) and returning the filled slice. Passing a dst with
+// sufficient capacity makes the batch path allocation-free.
+func (d *MagnitudeDetector) FeedAll(vs []float64, dst []Result) []Result {
+	if cap(dst) < len(vs) {
+		dst = make([]Result, len(vs))
 	}
+	dst = dst[:len(vs)]
+	for i, v := range vs {
+		dst[i] = d.Feed(v)
+	}
+	return dst
+}
 
-	lag, ok := c.BestFundamentalMinimum(harmonicTol)
-	if !ok {
+// candidate evaluates the current curve and returns the most plausible
+// periodicity lag (0 if none) together with its prominence. It is the
+// fused equivalent of the former curve() + Fundamental +
+// BestFundamentalMinimum + Mean + Prominence pipeline: one scan over the
+// contiguous per-lag sums fills the reusable curve scratch, finds the
+// first zero lag and accumulates the mean; a second tiny pass over the
+// collected minima applies harmonic suppression. No allocation.
+func (d *MagnitudeDetector) candidate() (int, float64) {
+	valid := d.bank.ValidLags() // full lags are the prefix 1..valid
+	if valid == 0 {
 		return 0, 0
 	}
-	mean := c.Mean()
+	sums := d.bank.Sums()
+	w := float64(d.cfg.Window)
+	eps := d.zeroEps()
+	dd := d.curveBuf
+
+	// Pass 1: curve values, first zero lag, mean accumulator.
+	firstZero := 0
+	var meanSum float64
+	for i := 0; i < valid; i++ {
+		v := sums[i] / w
+		dd[i] = v
+		meanSum += v
+		if firstZero == 0 && v <= eps {
+			firstZero = i + 1
+		}
+	}
+	// Exact (or numerically exact) repetition: smallest zero lag wins;
+	// this covers constant streams where every distance is zero.
+	if firstZero > 0 {
+		return firstZero, 1
+	}
+
+	// Pass 2: strict local minima of the valid prefix. A lag qualifies if
+	// it is below its left neighbor and not above its right one (a lag at
+	// the valid boundary has no right neighbor and qualifies outright).
+	minima := d.minimaBuf[:0]
+	deepest := 0 // index into dd of the deepest minimum's lag-1
+	for m := 2; m <= valid; m++ {
+		v := dd[m-1]
+		if v >= dd[m-2] {
+			continue
+		}
+		if m < valid && v > dd[m] {
+			continue
+		}
+		minima = append(minima, int32(m))
+		if deepest == 0 || v < dd[deepest-1] {
+			deepest = m
+		}
+	}
+	d.minimaBuf = minima
+	if len(minima) == 0 {
+		return 0, 0
+	}
+	mean := meanSum / float64(valid)
+
+	// Harmonic suppression: on a noisy p-periodic stream the minima at
+	// p, 2p, 3p… have the same expected depth, and sampling noise can make
+	// a multiple marginally deeper than the fundamental. Among minima
+	// whose depth is within harmonicTol·mean of the deepest one, the
+	// smallest lag wins.
+	slack := harmonicTol * mean
+	lag := deepest
+	for _, m := range minima {
+		if int(m) >= lag {
+			break // minima are in increasing lag order
+		}
+		if dd[m-1] <= dd[deepest-1]+slack {
+			lag = int(m)
+			break
+		}
+	}
+
 	if mean <= eps {
 		return 0, 0
 	}
-	if c.At(lag) > d.cfg.RelThreshold*mean {
+	if dd[lag-1] > d.cfg.RelThreshold*mean {
 		return 0, 0 // minimum not deep enough to be a periodicity
 	}
-	return lag, c.Prominence(lag)
+	// Prominence: how deep the lag sits below the curve mean, in [0,1].
+	p := 1 - dd[lag-1]/mean
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return lag, p
 }
 
 func (d *MagnitudeDetector) decide() Result {
@@ -179,36 +251,28 @@ func (d *MagnitudeDetector) decide() Result {
 	return res
 }
 
-// curve fills the scratch buffer with the current d(m) values.
-func (d *MagnitudeDetector) curve() Curve {
-	for m := 1; m <= d.cfg.MaxLag; m++ {
-		s := d.sums[m-1]
-		if !s.Full() {
-			d.curveBuf[m-1] = math.NaN()
-		} else {
-			d.curveBuf[m-1] = s.Sum() / float64(d.cfg.Window)
-		}
-	}
-	return Curve{D: d.curveBuf}
-}
-
 // Curve returns a copy of the current distance curve (paper Figure 4).
 func (d *MagnitudeDetector) Curve() Curve {
-	c := d.curve()
-	out := make([]float64, len(c.D))
-	copy(out, c.D)
+	out := make([]float64, d.cfg.MaxLag)
+	valid := d.bank.ValidLags()
+	sums := d.bank.Sums()
+	w := float64(d.cfg.Window)
+	for i := range out {
+		if i < valid {
+			out[i] = sums[i] / w
+		} else {
+			out[i] = math.NaN()
+		}
+	}
 	return Curve{D: out}
 }
 
 // History returns the retained samples, oldest first.
-func (d *MagnitudeDetector) History() []float64 { return d.hist.Snapshot(nil) }
+func (d *MagnitudeDetector) History() []float64 { return d.bank.History(nil) }
 
 // Reset clears all state but keeps the configuration.
 func (d *MagnitudeDetector) Reset() {
-	d.hist.Reset()
-	for i := range d.sums {
-		d.sums[i].Reset()
-	}
+	d.bank.Reset()
 	d.scale.Reset()
 	d.lastCand, d.candRun = 0, 0
 	d.locked, d.period, d.anchor, d.graceLeft, d.conf = false, 0, 0, 0, 0
@@ -218,9 +282,7 @@ func (d *MagnitudeDetector) Reset() {
 // Recompute refreshes every lag's sliding sum from its retained window,
 // clearing accumulated floating-point drift on very long streams.
 func (d *MagnitudeDetector) Recompute() {
-	for _, s := range d.sums {
-		s.Recompute()
-	}
+	d.bank.Recompute()
 }
 
 // Resize changes the window size (DPDWindowSize), replaying retained
@@ -236,7 +298,7 @@ func (d *MagnitudeDetector) Resize(newWindow int) error {
 	if err != nil {
 		return err
 	}
-	old := d.hist.Snapshot(nil)
+	old := d.bank.History(nil)
 	wasLocked, oldPeriod, oldAnchor := d.locked, d.period, d.anchor
 	d.cfg = nc
 	d.alloc()
@@ -246,11 +308,8 @@ func (d *MagnitudeDetector) Resize(newWindow int) error {
 	if keep > max {
 		old = old[keep-max:]
 	}
-	for i, v := range old {
-		for m := 1; m <= nc.MaxLag && m <= i; m++ {
-			d.sums[m-1].Push(math.Abs(v - old[i-m]))
-		}
-		d.hist.Push(v)
+	for _, v := range old {
+		d.bank.Push(v)
 	}
 
 	// Keep the lock only if the replayed curve still supports it.

@@ -15,9 +15,22 @@ var DefaultLadder = []int{8, 32, 256, 1024}
 // window sizes over the same stream. Nested iterative applications
 // (hydro2d, turb3d in Table 2) expose different periodicities at different
 // scales and phases of execution; no single window captures all of them.
+//
+// Deep ladder levels stay dormant while the stream is still shorter than
+// their window: a level with window N cannot lock before sample N, so its
+// samples are buffered and replayed in bulk the moment it could first
+// matter. Streams that end before a level's window is reachable never pay
+// for that level at all, and the produced results are bit-identical to
+// feeding every level from the start.
 type MultiScaleDetector struct {
 	levels []*EventDetector
-	t      uint64
+	// awake is the number of leading levels fed directly; levels[awake:]
+	// are dormant and will be warmed from pend when ms.t reaches their
+	// window size.
+	awake   int
+	pend    []int64  // samples buffered for dormant levels (cap = largest window)
+	scratch []Result // backing storage for Feed's MultiResult.PerLevel
+	t       uint64
 }
 
 // NewMultiScaleDetector builds a ladder detector. windows must be strictly
@@ -46,6 +59,8 @@ func NewMultiScaleDetector(windows []int, cfg Config) (*MultiScaleDetector, erro
 		}
 		ms.levels = append(ms.levels, det)
 	}
+	ms.pend = make([]int64, 0, prev) // prev == largest window
+	ms.scratch = make([]Result, len(ms.levels))
 	return ms, nil
 }
 
@@ -67,6 +82,10 @@ func (ms *MultiScaleDetector) Level(i int) *EventDetector { return ms.levels[i] 
 // MultiResult aggregates the per-level results of one sample.
 type MultiResult struct {
 	// PerLevel holds each ladder level's result, smallest window first.
+	// For results returned by Feed it aliases a scratch buffer owned by
+	// the detector and is overwritten by the next Feed; callers that
+	// retain results across samples must copy it (or use FeedInto /
+	// FeedAll with their own storage).
 	PerLevel []Result
 	// Primary is the result of the largest-window level that is locked —
 	// the outermost iterative structure, which is what the SelfAnalyzer
@@ -79,14 +98,43 @@ type MultiResult struct {
 	T uint64
 }
 
-// Feed processes one event through every ladder level.
+// Feed processes one event through every ladder level. The returned
+// MultiResult's PerLevel slice aliases an internal scratch buffer (see
+// MultiResult); Feed itself performs no allocation in steady state.
 func (ms *MultiScaleDetector) Feed(v int64) MultiResult {
-	out := MultiResult{PerLevel: make([]Result, len(ms.levels)), T: ms.t}
+	return ms.FeedInto(v, ms.scratch)
+}
+
+// FeedInto is Feed with caller-owned PerLevel storage: per must have
+// length Levels() and receives each level's result. Nothing is retained.
+func (ms *MultiScaleDetector) FeedInto(v int64, per []Result) MultiResult {
+	// Wake dormant levels whose window the stream has now reached: replay
+	// every buffered sample, which reproduces the exact state the level
+	// would have had if fed from the start (it cannot lock before then).
+	for ms.awake < len(ms.levels) && ms.t >= uint64(ms.levels[ms.awake].Window()) {
+		det := ms.levels[ms.awake]
+		for _, s := range ms.pend {
+			det.Feed(s)
+		}
+		ms.awake++
+	}
+	if ms.awake < len(ms.levels) {
+		ms.pend = append(ms.pend, v)
+	} else if len(ms.pend) > 0 {
+		ms.pend = ms.pend[:0]
+	}
+
+	out := MultiResult{PerLevel: per, T: ms.t}
 	out.Primary = Result{T: ms.t}
 	out.Shortest = Result{T: ms.t}
 	for i, det := range ms.levels {
-		r := det.Feed(v)
-		out.PerLevel[i] = r
+		var r Result
+		if i < ms.awake {
+			r = det.Feed(v)
+		} else {
+			r = Result{T: ms.t} // dormant: provably unlocked at this sample
+		}
+		per[i] = r
 		if r.Locked {
 			out.Primary = r // later levels have larger windows
 			if !out.Shortest.Locked {
@@ -96,6 +144,25 @@ func (ms *MultiScaleDetector) Feed(v int64) MultiResult {
 	}
 	ms.t++
 	return out
+}
+
+// FeedAll processes a batch of samples, writing one MultiResult per sample
+// into dst (grown if needed) and returning the filled slice. Each element's
+// PerLevel storage is reused when its capacity suffices, so feeding batches
+// through a recycled dst is allocation-free in steady state.
+func (ms *MultiScaleDetector) FeedAll(vs []int64, dst []MultiResult) []MultiResult {
+	if cap(dst) < len(vs) {
+		dst = make([]MultiResult, len(vs))
+	}
+	dst = dst[:len(vs)]
+	for i, v := range vs {
+		per := dst[i].PerLevel
+		if cap(per) < len(ms.levels) {
+			per = make([]Result, len(ms.levels))
+		}
+		dst[i] = ms.FeedInto(v, per[:len(ms.levels)])
+	}
+	return dst
 }
 
 // LockedPeriods returns the currently locked period of each level
@@ -113,6 +180,8 @@ func (ms *MultiScaleDetector) Reset() {
 	for _, det := range ms.levels {
 		det.Reset()
 	}
+	ms.awake = 0
+	ms.pend = ms.pend[:0]
 	ms.t = 0
 }
 

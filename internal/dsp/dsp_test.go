@@ -31,6 +31,55 @@ func TestFFTKnownValues(t *testing.T) {
 	}
 }
 
+// naiveDFT is the O(n²) textbook transform the hoisted-twiddle FFT is
+// equivalence-tested against: X[k] = Σ_j x[j]·exp(-2πijk/n).
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(j*k)/float64(n)))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// TestFFTMatchesNaiveDFT pins the precomputed-root FFT to the direct DFT
+// over random signals at every power-of-two size the estimators use, so
+// the twiddle-factor hoisting cannot drift the spectrum.
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := series.NewRNG(31)
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 512} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.Float64()*4-2, rng.Float64()*4-2)
+		}
+		want := naiveDFT(x)
+		FFT(x)
+		for k := range x {
+			if cmplx.Abs(x[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: FFT=%v, DFT=%v", n, k, x[k], want[k])
+			}
+		}
+	}
+}
+
+func BenchmarkFFT(b *testing.B) {
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)/7), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
 func TestFFTSingleToneBin(t *testing.T) {
 	// A pure cosine at bin 5 of a 64-point frame concentrates power there.
 	n := 64

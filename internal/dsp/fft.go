@@ -18,6 +18,11 @@ import (
 // FFT computes the in-place radix-2 decimation-in-time fast Fourier
 // transform of x. len(x) must be a power of two. The transform is
 // unnormalized (IFFT applies the 1/N factor).
+//
+// Twiddle factors are hoisted out of the butterfly loops: the n/2 roots of
+// unity for the largest stage are tabulated once per call (one Sincos
+// each), and every smaller stage strides through the same table. The
+// innermost loop is thereby multiplication-only — no trig, no cmplx.Exp.
 func FFT(x []complex128) {
 	n := len(x)
 	if n == 0 {
@@ -34,17 +39,28 @@ func FFT(x []complex128) {
 			x[i], x[j] = x[j], x[i]
 		}
 	}
+	// Per-call root table: roots[k] = exp(-2πik/n) for k < n/2 (forward
+	// transform). Stage `size` uses every (n/size)-th entry.
+	half := n >> 1
+	roots := make([]complex128, half)
+	step := -2 * math.Pi / float64(n)
+	for k := range roots {
+		s, c := math.Sincos(step * float64(k))
+		roots[k] = complex(c, s)
+	}
 	// Butterfly stages.
 	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := -2 * math.Pi / float64(size) // forward transform
+		h := size >> 1
+		stride := n / size
 		for start := 0; start < n; start += size {
-			for k := 0; k < half; k++ {
-				w := cmplx.Exp(complex(0, step*float64(k)))
+			ri := 0
+			for k := 0; k < h; k++ {
+				w := roots[ri]
+				ri += stride
 				a := x[start+k]
-				b := x[start+k+half] * w
+				b := x[start+k+h] * w
 				x[start+k] = a + b
-				x[start+k+half] = a - b
+				x[start+k+h] = a - b
 			}
 		}
 	}

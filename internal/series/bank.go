@@ -1,0 +1,365 @@
+package series
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// nextPow2 returns the smallest power of two >= n (minimum 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << uint(bits.Len(uint(n-1)))
+}
+
+// CountBank is the flat struct-of-arrays replacement for a []*SlidingCount
+// lag ladder: it maintains, for every lag m = 1..lags, the count of
+// mismatches x[t] != x[t-m] over a sliding window of the last `window`
+// comparisons, plus a packed bitset of the lags that are currently zero
+// (full window, no mismatch) — the paper's eq. (2) d(m) == 0 predicate.
+//
+// The mismatch bits of one sample are packed into ceil(lags/64) uint64
+// words and stored row-per-sample; updating a sample therefore costs one
+// XOR per word plus one counter adjustment per *changed* bit. On a locked
+// periodic stream almost no bits change, so the steady-state cost is the
+// single contiguous compare pass that builds the new row.
+//
+// Everything is allocation-free after construction.
+type CountBank struct {
+	window int // N: comparisons per lag window
+	lags   int // M: probed lags 1..M
+	wpl    int // words per row: ceil(lags/64)
+
+	hist   []int64  // power-of-two ring of the last >= window+lags samples
+	rows   []uint64 // window rows of packed mismatch bits; bit j = lag j+1
+	ones   []int32  // per-lag mismatch count inside the window
+	zero   []uint64 // packed: bit j set iff lag j+1 is full and ones == 0
+	zeroAt []uint64 // per-lag sample index when the zero state began
+
+	row int    // physical row for the next push: t mod window
+	t   uint64 // samples pushed so far
+}
+
+// NewCountBank returns a bank of `lags` sliding mismatch windows of size
+// `window`. It panics on non-positive sizes (configuration bug).
+func NewCountBank(window, lags int) *CountBank {
+	if window <= 0 || lags <= 0 {
+		panic(fmt.Sprintf("series: count bank window=%d lags=%d must be positive", window, lags))
+	}
+	wpl := (lags + 63) / 64
+	return &CountBank{
+		window: window,
+		lags:   lags,
+		wpl:    wpl,
+		hist:   make([]int64, nextPow2(window+lags)),
+		rows:   make([]uint64, window*wpl),
+		ones:   make([]int32, lags),
+		zero:   make([]uint64, wpl),
+		zeroAt: make([]uint64, lags),
+	}
+}
+
+// Window returns the comparison window size N.
+func (b *CountBank) Window() int { return b.window }
+
+// Lags returns the number of probed lags M.
+func (b *CountBank) Lags() int { return b.lags }
+
+// Len returns the number of samples pushed so far.
+func (b *CountBank) Len() uint64 { return b.t }
+
+// Push feeds one sample: every available lag m <= min(t, lags) is compared
+// against x[t-m] in one pass over the contiguous history, and the per-lag
+// windows, counts and zero bitset are updated from the changed bits only.
+func (b *CountBank) Push(v int64) {
+	t := b.t
+	h := b.hist
+	mask := uint64(len(h) - 1)
+	L := b.lags
+	if t < uint64(L) {
+		L = int(t)
+	}
+	rowOff := b.row * b.wpl
+	if L > 0 {
+		base := t - 1
+		var w uint64
+		wi := 0
+		for j := 0; j < L; j++ {
+			// Branchless mismatch bit: (diff|-diff)>>63 is 1 iff diff != 0.
+			diff := uint64(v ^ h[(base-uint64(j))&mask])
+			w |= (diff | -diff) >> 63 << uint(j&63)
+			if j&63 == 63 {
+				b.applyWord(rowOff, wi, w, t)
+				w = 0
+				wi++
+			}
+		}
+		if L&63 != 0 {
+			b.applyWord(rowOff, wi, w, t)
+		}
+	}
+	// The lag whose window fills exactly at this push (at most one): its
+	// zero state could not be recorded earlier because Full was false.
+	if t >= uint64(b.window) {
+		if j := t - uint64(b.window); j < uint64(b.lags) {
+			if b.ones[j] == 0 {
+				b.zero[j>>6] |= 1 << (j & 63)
+				b.zeroAt[j] = t
+			}
+		}
+	}
+	h[t&mask] = v
+	b.t++
+	b.row++
+	if b.row == b.window {
+		b.row = 0
+	}
+}
+
+// applyWord replaces word wi of the current row with nw, adjusting the
+// per-lag counters and the zero bitset for every changed bit.
+func (b *CountBank) applyWord(rowOff, wi int, nw uint64, t uint64) {
+	old := b.rows[rowOff+wi]
+	ch := old ^ nw
+	if ch == 0 {
+		return
+	}
+	b.rows[rowOff+wi] = nw
+	for ch != 0 {
+		bit := bits.TrailingZeros64(ch)
+		ch &= ch - 1
+		j := wi<<6 + bit
+		if nw>>uint(bit)&1 != 0 {
+			b.ones[j]++
+			if b.ones[j] == 1 {
+				b.zero[wi] &^= 1 << uint(bit)
+			}
+		} else {
+			b.ones[j]--
+			// Full after this push iff (t+1)-(j+1) >= window.
+			if b.ones[j] == 0 && t >= uint64(j)+uint64(b.window) {
+				b.zero[wi] |= 1 << uint(bit)
+				b.zeroAt[j] = t
+			}
+		}
+	}
+}
+
+// Full reports whether lag m's comparison window has filled at least once.
+func (b *CountBank) Full(m int) bool {
+	return m >= 1 && m <= b.lags && b.t >= uint64(m)+uint64(b.window)
+}
+
+// Ones returns the mismatch count currently inside lag m's window.
+func (b *CountBank) Ones(m int) int { return int(b.ones[m-1]) }
+
+// Zero reports whether lag m's window is full and mismatch-free, i.e.
+// d(m) == 0 in the sense of paper eq. (2).
+func (b *CountBank) Zero(m int) bool {
+	if m < 1 || m > b.lags {
+		return false
+	}
+	j := uint(m - 1)
+	return b.zero[j>>6]>>(j&63)&1 != 0
+}
+
+// ZeroRun returns the number of consecutive pushes for which lag m has
+// been zero (0 if it is not currently zero).
+func (b *CountBank) ZeroRun(m int) int {
+	if !b.Zero(m) {
+		return 0
+	}
+	return int(b.t - b.zeroAt[m-1])
+}
+
+// FirstConfirmed returns the smallest lag that has been zero for at least
+// `confirm` consecutive pushes, or 0 if none. This is the detector's
+// candidate query; with confirm == 1 it is the first set bit of the zero
+// bitset.
+func (b *CountBank) FirstConfirmed(confirm int) int {
+	need := uint64(confirm)
+	for wi, w := range b.zero {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			w &= w - 1
+			j := wi<<6 + bit
+			if b.t-b.zeroAt[j] >= need {
+				return j + 1
+			}
+		}
+	}
+	return 0
+}
+
+// History copies the newest min(Len, window+lags) samples into dst
+// (oldest first), growing it as needed, and returns the filled slice.
+func (b *CountBank) History(dst []int64) []int64 {
+	n := uint64(b.window + b.lags)
+	if b.t < n {
+		n = b.t
+	}
+	if cap(dst) < int(n) {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	mask := uint64(len(b.hist) - 1)
+	start := b.t - n
+	for i := range dst {
+		dst[i] = b.hist[(start+uint64(i))&mask]
+	}
+	return dst
+}
+
+// Reset discards all state but keeps the configuration and storage.
+func (b *CountBank) Reset() {
+	clear(b.rows)
+	clear(b.ones)
+	clear(b.zero)
+	clear(b.zeroAt)
+	b.row = 0
+	b.t = 0
+}
+
+// SumBank is the flat struct-of-arrays replacement for a []*SlidingSum lag
+// ladder: for every lag m = 1..lags it maintains the sum of the absolute
+// differences |x[t] - x[t-m]| over a sliding window of the last `window`
+// comparisons — the paper's eq. (1) numerator. Values live in one
+// contiguous lag-major array, sums in another; one push walks both with a
+// modulo-free wrapping cursor.
+//
+// Everything is allocation-free after construction.
+type SumBank struct {
+	window int
+	lags   int
+
+	hist []float64 // power-of-two ring of the last >= window+lags samples
+	vals []float64 // lags rows x window columns of retained |x-x'| values
+	sums []float64 // per-lag running sum over its window
+
+	t uint64
+}
+
+// NewSumBank returns a bank of `lags` sliding |x[t]-x[t-m]| sums of size
+// `window`. It panics on non-positive sizes.
+func NewSumBank(window, lags int) *SumBank {
+	if window <= 0 || lags <= 0 {
+		panic(fmt.Sprintf("series: sum bank window=%d lags=%d must be positive", window, lags))
+	}
+	return &SumBank{
+		window: window,
+		lags:   lags,
+		hist:   make([]float64, nextPow2(window+lags)),
+		vals:   make([]float64, lags*window),
+		sums:   make([]float64, lags),
+	}
+}
+
+// Window returns the comparison window size N.
+func (b *SumBank) Window() int { return b.window }
+
+// Lags returns the number of probed lags M.
+func (b *SumBank) Lags() int { return b.lags }
+
+// Len returns the number of samples pushed so far.
+func (b *SumBank) Len() uint64 { return b.t }
+
+// Push feeds one sample, updating every available lag's window and sum in
+// one pass over the contiguous bank.
+func (b *SumBank) Push(v float64) {
+	t := b.t
+	h := b.hist
+	mask := uint64(len(h) - 1)
+	L := b.lags
+	if t < uint64(L) {
+		L = int(t)
+	}
+	if L > 0 {
+		n := b.window
+		base := t - 1
+		// Lag m's window has seen t-m pushes, so its write cursor sits at
+		// (t-m) mod n; consecutive lags differ by one slot, so the flat
+		// offset advances by n-1 per lag with a conditional wrap.
+		p := int(base % uint64(n))
+		off := p
+		for j := 0; j < L; j++ {
+			a := math.Abs(v - h[(base-uint64(j))&mask])
+			b.sums[j] += a - b.vals[off]
+			b.vals[off] = a
+			off += n - 1
+			p--
+			if p < 0 {
+				p = n - 1
+				off += n
+			}
+		}
+	}
+	h[t&mask] = v
+	b.t++
+}
+
+// Full reports whether lag m's comparison window has filled at least once.
+func (b *SumBank) Full(m int) bool {
+	return m >= 1 && m <= b.lags && b.t >= uint64(m)+uint64(b.window)
+}
+
+// ValidLags returns the number of lags with a full window; full lags are
+// always the prefix 1..ValidLags since smaller lags warm up first.
+func (b *SumBank) ValidLags() int {
+	if b.t <= uint64(b.window) {
+		return 0
+	}
+	v := b.t - uint64(b.window)
+	if v > uint64(b.lags) {
+		return b.lags
+	}
+	return int(v)
+}
+
+// Sum returns the current sum over lag m's window.
+func (b *SumBank) Sum(m int) float64 { return b.sums[m-1] }
+
+// Sums returns the live per-lag sums (index i = lag i+1). The slice is
+// owned by the bank and mutated by Push; callers must not retain it across
+// pushes or write to it.
+func (b *SumBank) Sums() []float64 { return b.sums }
+
+// Recompute recalculates every lag's sum from its retained window values,
+// discarding accumulated floating-point drift on very long streams.
+func (b *SumBank) Recompute() {
+	for j := 0; j < b.lags; j++ {
+		var s float64
+		row := b.vals[j*b.window : (j+1)*b.window]
+		for _, a := range row {
+			s += a
+		}
+		b.sums[j] = s
+	}
+}
+
+// History copies the newest min(Len, window+lags) samples into dst
+// (oldest first), growing it as needed, and returns the filled slice.
+func (b *SumBank) History(dst []float64) []float64 {
+	n := uint64(b.window + b.lags)
+	if b.t < n {
+		n = b.t
+	}
+	if cap(dst) < int(n) {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	mask := uint64(len(b.hist) - 1)
+	start := b.t - n
+	for i := range dst {
+		dst[i] = b.hist[(start+uint64(i))&mask]
+	}
+	return dst
+}
+
+// Reset discards all state but keeps the configuration and storage.
+func (b *SumBank) Reset() {
+	clear(b.vals)
+	clear(b.sums)
+	b.t = 0
+}

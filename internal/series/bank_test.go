@@ -1,0 +1,286 @@
+package series
+
+import (
+	"math"
+	"testing"
+)
+
+// countBankReference mirrors a CountBank with the legacy per-lag
+// structures: one SlidingCount per lag plus an IntRing history.
+type countBankReference struct {
+	window, lags int
+	hist         *IntRing
+	counts       []*SlidingCount
+	zeroRun      []int
+}
+
+func newCountBankReference(window, lags int) *countBankReference {
+	r := &countBankReference{
+		window:  window,
+		lags:    lags,
+		hist:    NewIntRing(window + lags),
+		counts:  make([]*SlidingCount, lags),
+		zeroRun: make([]int, lags),
+	}
+	for i := range r.counts {
+		r.counts[i] = NewSlidingCount(window)
+	}
+	return r
+}
+
+func (r *countBankReference) push(v int64) {
+	avail := r.hist.Len()
+	for m := 1; m <= r.lags && m <= avail; m++ {
+		c := r.counts[m-1]
+		c.Push(v != r.hist.Last(m-1))
+		if c.Zero() {
+			r.zeroRun[m-1]++
+		} else {
+			r.zeroRun[m-1] = 0
+		}
+	}
+	r.hist.Push(v)
+}
+
+func (r *countBankReference) firstConfirmed(confirm int) int {
+	for m := 1; m <= r.lags; m++ {
+		if r.zeroRun[m-1] >= confirm {
+			return m
+		}
+	}
+	return 0
+}
+
+// TestCountBankMatchesSlidingCounts drives the flat bank and the legacy
+// per-lag ladder through an adversarial stream (periodic phases, noise,
+// phase changes) and requires identical counts, zero states, zero runs and
+// candidate answers at every step.
+func TestCountBankMatchesSlidingCounts(t *testing.T) {
+	const window, lags = 10, 9
+	b := NewCountBank(window, lags)
+	ref := newCountBankReference(window, lags)
+	rng := NewRNG(42)
+	for i := 0; i < 600; i++ {
+		var v int64
+		switch {
+		case i < 150:
+			v = int64(i % 4)
+		case i < 300:
+			v = int64(rng.Intn(3))
+		case i < 450:
+			v = 7 // constant run: period 1
+		default:
+			v = int64(i % 6)
+		}
+		b.Push(v)
+		ref.push(v)
+		for m := 1; m <= lags; m++ {
+			c := ref.counts[m-1]
+			if got, want := b.Full(m), c.Full(); got != want {
+				t.Fatalf("step %d lag %d: Full=%v, reference %v", i, m, got, want)
+			}
+			if got, want := b.Ones(m), c.Ones(); got != want {
+				t.Fatalf("step %d lag %d: Ones=%d, reference %d", i, m, got, want)
+			}
+			if got, want := b.Zero(m), c.Zero(); got != want {
+				t.Fatalf("step %d lag %d: Zero=%v, reference %v", i, m, got, want)
+			}
+			if got, want := b.ZeroRun(m), ref.zeroRun[m-1]; got != want {
+				t.Fatalf("step %d lag %d: ZeroRun=%d, reference %d", i, m, got, want)
+			}
+		}
+		for _, confirm := range []int{1, 2, 5} {
+			if got, want := b.FirstConfirmed(confirm), ref.firstConfirmed(confirm); got != want {
+				t.Fatalf("step %d confirm %d: candidate %d, reference %d", i, confirm, got, want)
+			}
+		}
+	}
+}
+
+func TestCountBankHistory(t *testing.T) {
+	b := NewCountBank(6, 5)
+	for i := int64(0); i < 100; i++ {
+		b.Push(i)
+	}
+	h := b.History(nil)
+	if len(h) != 11 {
+		t.Fatalf("history len=%d, want window+lags=11", len(h))
+	}
+	for i, v := range h {
+		if v != int64(89+i) {
+			t.Fatalf("history[%d]=%d, want %d", i, v, 89+i)
+		}
+	}
+	// Reusing a big-enough dst must not allocate a fresh slice.
+	dst := make([]int64, 0, 16)
+	h2 := b.History(dst)
+	if &h2[0] != &dst[:1][0] {
+		t.Fatal("History did not reuse dst")
+	}
+}
+
+func TestCountBankReset(t *testing.T) {
+	b := NewCountBank(4, 3)
+	for i := 0; i < 50; i++ {
+		b.Push(int64(i % 2))
+	}
+	if b.FirstConfirmed(1) != 2 {
+		t.Fatalf("pre-reset candidate=%d, want 2", b.FirstConfirmed(1))
+	}
+	b.Reset()
+	if b.Len() != 0 || b.FirstConfirmed(1) != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	for i := 0; i < 50; i++ {
+		b.Push(int64(i % 3))
+	}
+	if b.FirstConfirmed(1) != 3 {
+		t.Fatalf("post-reset candidate=%d, want 3", b.FirstConfirmed(1))
+	}
+}
+
+// TestCountBankManyLags exercises the multi-word bitset paths (lags > 64).
+func TestCountBankManyLags(t *testing.T) {
+	const window, lags = 150, 149
+	b := NewCountBank(window, lags)
+	ref := newCountBankReference(window, lags)
+	rng := NewRNG(7)
+	for i := 0; i < 800; i++ {
+		var v int64
+		if i < 400 {
+			v = int64(i % 70) // period beyond the first bitset word
+		} else {
+			v = int64(rng.Intn(2))
+		}
+		b.Push(v)
+		ref.push(v)
+		if got, want := b.FirstConfirmed(1), ref.firstConfirmed(1); got != want {
+			t.Fatalf("step %d: candidate %d, reference %d", i, got, want)
+		}
+	}
+	for m := 1; m <= lags; m++ {
+		if got, want := b.Ones(m), ref.counts[m-1].Ones(); got != want {
+			t.Fatalf("lag %d: Ones=%d, reference %d", m, got, want)
+		}
+	}
+}
+
+// TestSumBankMatchesSlidingSums drives the flat sum bank and the legacy
+// per-lag SlidingSum ladder and requires sums to agree to float tolerance.
+func TestSumBankMatchesSlidingSums(t *testing.T) {
+	const window, lags = 12, 11
+	b := NewSumBank(window, lags)
+	hist := NewRing(window + lags)
+	sums := make([]*SlidingSum, lags)
+	for i := range sums {
+		sums[i] = NewSlidingSum(window)
+	}
+	rng := NewRNG(11)
+	for i := 0; i < 500; i++ {
+		v := math.Floor(rng.Float64()*9) + math.Sin(float64(i)/3)
+		avail := hist.Len()
+		for m := 1; m <= lags && m <= avail; m++ {
+			sums[m-1].Push(math.Abs(v - hist.Last(m-1)))
+		}
+		hist.Push(v)
+		b.Push(v)
+		for m := 1; m <= lags; m++ {
+			if got, want := b.Full(m), sums[m-1].Full(); got != want {
+				t.Fatalf("step %d lag %d: Full=%v, reference %v", i, m, got, want)
+			}
+			if got, want := b.Sum(m), sums[m-1].Sum(); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("step %d lag %d: Sum=%v, reference %v", i, m, got, want)
+			}
+		}
+	}
+	if got, want := b.ValidLags(), lags; got != want {
+		t.Fatalf("ValidLags=%d, want %d", got, want)
+	}
+}
+
+func TestSumBankRecomputeFixesDrift(t *testing.T) {
+	b := NewSumBank(8, 4)
+	for i := 0; i < 200; i++ {
+		b.Push(float64(i%5) * 1e12)
+	}
+	// Corrupt the running sums, then Recompute must restore them exactly
+	// from the retained window values.
+	want := make([]float64, b.Lags())
+	copy(want, b.Sums())
+	b.Sums()[2] += 123
+	b.Recompute()
+	for i, s := range b.Sums() {
+		if math.Abs(s-want[i]) > 1e-3 {
+			t.Fatalf("lag %d: recomputed sum %v, want %v", i+1, s, want[i])
+		}
+	}
+}
+
+func TestSumBankValidLagsWarmup(t *testing.T) {
+	b := NewSumBank(5, 4)
+	for i := 0; i < 20; i++ {
+		wantValid := i - 5
+		if wantValid < 0 {
+			wantValid = 0
+		}
+		if wantValid > 4 {
+			wantValid = 4
+		}
+		if got := b.ValidLags(); got != wantValid {
+			t.Fatalf("after %d pushes: ValidLags=%d, want %d", i, got, wantValid)
+		}
+		b.Push(float64(i))
+	}
+}
+
+func BenchmarkCountBankPush(b *testing.B) {
+	for _, cfg := range []struct{ n, m int }{{32, 31}, {1024, 1023}} {
+		b.Run(benchSize(cfg.n), func(b *testing.B) {
+			bank := NewCountBank(cfg.n, cfg.m)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bank.Push(int64(i % 5))
+			}
+		})
+	}
+}
+
+// BenchmarkCountBankVsSlidingCounts is the before/after ablation for the
+// flat-bank refactor: the same lag ladder maintained by the legacy
+// per-lag SlidingCount objects.
+func BenchmarkCountBankVsSlidingCounts(b *testing.B) {
+	const n, m = 1024, 1023
+	b.Run("flat-bank", func(b *testing.B) {
+		bank := NewCountBank(n, m)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bank.Push(int64(i % 5))
+		}
+	})
+	b.Run("per-lag-legacy", func(b *testing.B) {
+		ref := newCountBankReference(n, m)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ref.push(int64(i % 5))
+		}
+	})
+}
+
+func BenchmarkSumBankPush(b *testing.B) {
+	bank := NewSumBank(100, 99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bank.Push(float64(i % 7))
+	}
+}
+
+func benchSize(n int) string {
+	switch n {
+	case 32:
+		return "N=32"
+	case 1024:
+		return "N=1024"
+	default:
+		return "N=?"
+	}
+}

@@ -46,16 +46,24 @@ func (r *Ring) Full() bool { return r.count == len(r.buf) }
 
 // Push appends a sample, evicting the oldest if the ring is full.
 // It returns the evicted sample and whether an eviction happened.
+// Indexing is modulo-free: cursors advance with a conditional wrap.
 func (r *Ring) Push(v float64) (evicted float64, wasFull bool) {
 	r.total++
 	if r.count < len(r.buf) {
-		r.buf[(r.head+r.count)%len(r.buf)] = v
+		idx := r.head + r.count
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		r.buf[idx] = v
 		r.count++
 		return 0, false
 	}
 	evicted = r.buf[r.head]
 	r.buf[r.head] = v
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	return evicted, true
 }
 
@@ -66,7 +74,11 @@ func (r *Ring) At(i int) float64 {
 	if i < 0 || i >= r.count {
 		panic(fmt.Sprintf("series: ring index %d out of range [0,%d)", i, r.count))
 	}
-	return r.buf[(r.head+i)%len(r.buf)]
+	idx := r.head + i
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	return r.buf[idx]
 }
 
 // Last returns the sample pushed k steps ago; Last(0) is the newest sample.
@@ -155,16 +167,24 @@ func (r *IntRing) Total() uint64 { return r.total }
 func (r *IntRing) Full() bool { return r.count == len(r.buf) }
 
 // Push appends a sample, evicting the oldest if full.
+// Indexing is modulo-free: cursors advance with a conditional wrap.
 func (r *IntRing) Push(v int64) (evicted int64, wasFull bool) {
 	r.total++
 	if r.count < len(r.buf) {
-		r.buf[(r.head+r.count)%len(r.buf)] = v
+		idx := r.head + r.count
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		r.buf[idx] = v
 		r.count++
 		return 0, false
 	}
 	evicted = r.buf[r.head]
 	r.buf[r.head] = v
-	r.head = (r.head + 1) % len(r.buf)
+	r.head++
+	if r.head == len(r.buf) {
+		r.head = 0
+	}
 	return evicted, true
 }
 
@@ -173,7 +193,11 @@ func (r *IntRing) At(i int) int64 {
 	if i < 0 || i >= r.count {
 		panic(fmt.Sprintf("series: ring index %d out of range [0,%d)", i, r.count))
 	}
-	return r.buf[(r.head+i)%len(r.buf)]
+	idx := r.head + i
+	if idx >= len(r.buf) {
+		idx -= len(r.buf)
+	}
+	return r.buf[idx]
 }
 
 // Last returns the sample pushed k steps ago; Last(0) is the newest.

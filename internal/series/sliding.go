@@ -98,14 +98,21 @@ func (s *SlidingCount) Push(mismatch bool) int {
 		b = 1
 	}
 	if s.count < len(s.bits) {
-		s.bits[(s.head+s.count)%len(s.bits)] = b
+		idx := s.head + s.count
+		if idx >= len(s.bits) {
+			idx -= len(s.bits)
+		}
+		s.bits[idx] = b
 		s.count++
 		s.ones += int(b)
 		return s.ones
 	}
 	old := s.bits[s.head]
 	s.bits[s.head] = b
-	s.head = (s.head + 1) % len(s.bits)
+	s.head++
+	if s.head == len(s.bits) {
+		s.head = 0
+	}
 	s.ones += int(b) - int(old)
 	return s.ones
 }

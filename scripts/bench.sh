@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the paper-table benchmarks (Figure 4,
+# Table 2, Table 3) as a JSON snapshot: ns/elem, allocs/op and the other
+# reported metrics per application trace.
+#
+# Usage:  scripts/bench.sh [out.json]
+#         BENCHTIME=10x scripts/bench.sh    # more iterations, stabler numbers
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr1.json}"
+benchtime="${BENCHTIME:-1x}"
+
+raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3' -benchtime "$benchtime" -benchmem .)
+echo "$raw" >&2
+
+echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	rec = sprintf("    {\"bench\": \"%s\", \"iters\": %s", name, $2)
+	for (i = 3; i + 1 <= NF; i += 2)
+		rec = rec sprintf(", \"%s\": %s", $(i+1), $i)
+	rec = rec "}"
+	recs[n++] = rec
+}
+END {
+	printf "{\n  \"date\": \"%s\",\n  \"results\": [\n", date
+	for (i = 0; i < n; i++)
+		printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out" >&2
