@@ -85,6 +85,88 @@ func TestMultiScaleDetectorBatchPathAllocFree(t *testing.T) {
 	}
 }
 
+func TestPoolFeedBatchSteadyStateAllocFree(t *testing.T) {
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: 4, Detector: dpd.Config{Window: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const streams = 512
+	batch := make([]dpd.KeyedSample, streams)
+	for i := range batch {
+		batch[i].Key = uint64(i)
+	}
+	// Warm past window+lag fill so every stream is locked and every
+	// staging buffer, freelist and map bucket has reached steady state.
+	round := 0
+	feed := func() {
+		v := int64(round % 8)
+		for j := range batch {
+			batch[j].Value = v
+		}
+		p.FeedBatch(batch)
+		round++
+	}
+	for round < 3*64 {
+		feed()
+	}
+	if n := testing.AllocsPerRun(100, feed); n != 0 {
+		t.Fatalf("Pool.FeedBatch allocates %.1f objects/op in steady state, want 0", n)
+	}
+}
+
+func TestPoolFeedSteadyStateAllocFree(t *testing.T) {
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 3*64; i++ {
+		p.Feed(7, int64(i%5))
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		p.Feed(7, int64(i%5))
+		i++
+	}); n != 0 {
+		t.Fatalf("Pool.Feed allocates %.1f objects/op in steady state, want 0", n)
+	}
+}
+
+func TestPoolSnapshotRecycledDstAllocFree(t *testing.T) {
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: 4, Detector: dpd.Config{Window: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	batch := make([]dpd.KeyedSample, 128)
+	for i := range batch {
+		batch[i] = dpd.KeyedSample{Key: uint64(i), Value: int64(i % 4)}
+	}
+	p.FeedBatch(batch)
+	var dst []dpd.StreamStat
+	dst = p.Snapshot(dst)
+	if n := testing.AllocsPerRun(100, func() {
+		dst = p.Snapshot(dst)
+	}); n != 0 {
+		t.Fatalf("Pool.Snapshot allocates %.1f objects/op with recycled dst, want 0", n)
+	}
+}
+
+func TestDPDPredictAllocFree(t *testing.T) {
+	d := dpd.NewDPD()
+	for i := 0; i < 1100; i++ {
+		d.Feed(int64(i % 5))
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if _, ok := d.Predict(); !ok {
+			t.Fatal("no prediction despite lock")
+		}
+	}); n != 0 {
+		t.Fatalf("DPD.Predict allocates %.1f objects/op, want 0", n)
+	}
+}
+
 func TestDPDBatchPathAllocFree(t *testing.T) {
 	d := dpd.NewDPD()
 	batch := make([]int64, 256)

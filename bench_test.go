@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"dpd"
 	"dpd/internal/apps"
 	"dpd/internal/core"
 	"dpd/internal/ditools"
@@ -366,6 +367,58 @@ func BenchmarkBatchVsPerSample(b *testing.B) {
 		}
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(vals)), "ns/elem")
 	})
+}
+
+// BenchmarkPoolFeed: aggregate multi-stream throughput of the sharded
+// pool (ISSUE 2 tentpole) across shard counts and stream populations.
+// Every stream cycles a period-8 pattern, so the steady state is the
+// locked, allocation-free hot path; ns/elem is the per-sample cost seen
+// by a runtime system watching the whole workload, elems/s the aggregate
+// ingest rate. Parallel speedup from sharding requires GOMAXPROCS > 1.
+func BenchmarkPoolFeed(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		shards := shards
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			for _, streams := range []int{1000, 100000} {
+				streams := streams
+				b.Run(benchName("streams", streams), func(b *testing.B) {
+					p, err := dpd.NewPool(dpd.PoolConfig{
+						Shards:   shards,
+						Detector: dpd.Config{Window: 32},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer p.Close()
+					batch := make([]dpd.KeyedSample, streams)
+					for i := range batch {
+						batch[i].Key = uint64(i)
+					}
+					feed := func(round int) {
+						v := int64(round % 8)
+						for j := range batch {
+							batch[j].Value = v
+						}
+						p.FeedBatch(batch)
+					}
+					// Warm every lag window so measurement sees only the
+					// locked steady state.
+					for r := 0; r < 48; r++ {
+						feed(r)
+					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						feed(i)
+					}
+					b.StopTimer()
+					elems := float64(b.N) * float64(streams)
+					b.ReportMetric(float64(b.Elapsed().Nanoseconds())/elems, "ns/elem")
+					b.ReportMetric(elems/b.Elapsed().Seconds(), "elems/s")
+				})
+			}
+		})
+	}
 }
 
 // BenchmarkInterposition: cost of the DITools dispatch path per loop call.

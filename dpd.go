@@ -24,6 +24,7 @@ package dpd
 
 import (
 	"dpd/internal/core"
+	"dpd/internal/pool"
 )
 
 // Re-exported detector toolkit types. These aliases are the public names
@@ -61,6 +62,23 @@ type (
 	Segmenter = core.Segmenter
 	// Segment is one periodicity-governed stretch of a stream.
 	Segment = core.Segment
+)
+
+// Re-exported multi-stream pool types; see the pool package for full
+// documentation of the sharded serving model.
+type (
+	// Pool serves many concurrent keyed streams, one detector per
+	// stream, sharded across worker goroutines.
+	Pool = pool.Pool
+	// PoolConfig parameterizes a Pool (shard count, per-stream detector
+	// configuration, idle-TTL eviction, in-flight batch bound).
+	PoolConfig = pool.Config
+	// KeyedSample is one sample of one keyed stream, the unit of work of
+	// Pool.FeedBatch.
+	KeyedSample = pool.KeyedSample
+	// StreamStat is a point-in-time view of one pooled stream (period,
+	// segment boundaries, prediction).
+	StreamStat = pool.StreamStat
 )
 
 // DefaultLadder is the default multi-scale window ladder.
@@ -104,3 +122,8 @@ func NewSegmenter(cfg Config) (*Segmenter, error) { return core.NewSegmenter(cfg
 
 // DefaultAdaptivePolicy returns the paper-calibrated adaptive policy.
 func DefaultAdaptivePolicy() AdaptivePolicy { return core.DefaultAdaptivePolicy() }
+
+// NewPool returns a started multi-stream detector pool. The zero
+// PoolConfig selects GOMAXPROCS shards, the paper-default per-stream
+// detector, and no idle eviction. Call Close when done feeding.
+func NewPool(cfg PoolConfig) (*Pool, error) { return pool.New(cfg) }

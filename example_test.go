@@ -1,0 +1,109 @@
+// Runnable examples for the public API, rendered on pkg.go.dev: the
+// paper's Table 1 interface and the multi-stream pool.
+package dpd_test
+
+import (
+	"fmt"
+	"sort"
+
+	"dpd"
+)
+
+// ExampleDPD_Predict forecasts the next sample from a locked
+// periodicity: x̂[t+1] = x[t+1−p].
+func ExampleDPD_Predict() {
+	d, err := dpd.NewDPDWithWindow(16)
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 40; i++ {
+		d.Feed(int64(i % 3)) // stream 0,1,2,0,1,2,…
+	}
+	next, ok := d.Predict()
+	fmt.Println(next, ok)
+	// Output:
+	// 1 true
+}
+
+// ExampleNewPool serves two independent keyed streams through one pool.
+func ExampleNewPool() {
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:   2,
+		Detector: dpd.Config{Window: 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 64; i++ {
+		p.Feed(1, int64(i%3)) // stream 1: period 3
+		p.Feed(2, int64(i%5)) // stream 2: period 5
+	}
+	a, _ := p.Stat(1)
+	b, _ := p.Stat(2)
+	fmt.Printf("stream 1: period %d\nstream 2: period %d\n", a.Period, b.Period)
+	// Output:
+	// stream 1: period 3
+	// stream 2: period 5
+}
+
+// ExamplePool_FeedBatch is the multi-stream hot path: one batch carries
+// interleaved samples of many streams, and the pool shards them across
+// its workers. Recycling the batch slice keeps the path allocation-free.
+func ExamplePool_FeedBatch() {
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:   4,
+		Detector: dpd.Config{Window: 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+
+	batch := make([]dpd.KeyedSample, 0, 3)
+	for i := 0; i < 64; i++ {
+		batch = batch[:0]
+		batch = append(batch,
+			dpd.KeyedSample{Key: 10, Value: int64(i % 2)},
+			dpd.KeyedSample{Key: 20, Value: int64(i % 4)},
+			dpd.KeyedSample{Key: 30, Value: int64(i % 6)},
+		)
+		p.FeedBatch(batch)
+	}
+	for _, key := range []uint64{10, 20, 30} {
+		st, _ := p.Stat(key)
+		fmt.Printf("stream %d: period %d after %d samples\n", key, st.Period, st.Samples)
+	}
+	// Output:
+	// stream 10: period 2 after 64 samples
+	// stream 20: period 4 after 64 samples
+	// stream 30: period 6 after 64 samples
+}
+
+// ExamplePool_Snapshot reads every stream's current state without
+// stopping ingest; order is unspecified, so sort for stable output.
+func ExamplePool_Snapshot() {
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:   2,
+		Detector: dpd.Config{Window: 16},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 48; i++ {
+		p.Feed(5, int64(i%2))
+		p.Feed(6, int64(i%3))
+	}
+	stats := p.Snapshot(nil)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
+	for _, st := range stats {
+		next, _ := st.Predicted, st.PredictedValid
+		fmt.Printf("stream %d: period %d, starts %d, next %d\n", st.Key, st.Period, st.Starts, next)
+	}
+	// Output:
+	// stream 5: period 2, starts 16, next 0
+	// stream 6: period 3, starts 10, next 0
+}

@@ -1,0 +1,137 @@
+// Command multistream simulates the paper's motivating scenario at
+// workload scale: a runtime system watching every application of a
+// multiprogrammed machine at once. Hundreds of concurrent streams — each
+// an instance of one of the SPECfp95 loop-address traces (Table 2),
+// started at its own phase — are fed through one sharded dpd.Pool by
+// several producer goroutines, and the final snapshot reports what the
+// pool detected per application.
+//
+// Usage:
+//
+//	go run ./examples/multistream
+//	go run ./examples/multistream -streams 500 -shards 8 -events 6000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"dpd"
+	"dpd/internal/apps"
+	"dpd/internal/trace"
+)
+
+func main() {
+	streams := flag.Int("streams", 300, "number of concurrent keyed streams")
+	shards := flag.Int("shards", 0, "pool shards (0 = GOMAXPROCS)")
+	events := flag.Int("events", 4000, "samples fed per stream")
+	feeders := flag.Int("feeders", 4, "producer goroutines")
+	window := flag.Int("window", 512, "detector window (must exceed the largest expected period)")
+	chunk := flag.Int("chunk", 32, "consecutive samples per stream per batch")
+	flag.Parse()
+
+	// One recorded address trace per application (paper Figure 7); each
+	// stream replays one of them from its own starting phase, so the pool
+	// sees hundreds of identical applications at different points of
+	// their execution — the multiprogrammed-workload picture.
+	var traces []*trace.EventTrace
+	for _, app := range apps.SPECfp95() {
+		traces = append(traces, app.Trace())
+	}
+
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:   *shards,
+		Detector: dpd.Config{Window: *window},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "multistream:", err)
+		os.Exit(1)
+	}
+	defer p.Close()
+
+	appOf := func(key uint64) *trace.EventTrace { return traces[key%uint64(len(traces))] }
+	sampleOf := func(key uint64, i int) int64 {
+		tr := appOf(key)
+		phase := int(key/uint64(len(traces))) * 17 % tr.Len()
+		return tr.Values[(phase+i)%tr.Len()]
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for f := 0; f < *feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			// Feeder f owns keys f, feeders+f, 2*feeders+f, … and
+			// interleaves chunks of its streams within every batch.
+			var keys []uint64
+			for k := f; k < *streams; k += *feeders {
+				keys = append(keys, uint64(k))
+			}
+			batch := make([]dpd.KeyedSample, 0, len(keys)**chunk)
+			for i := 0; i < *events; i += *chunk {
+				batch = batch[:0]
+				for _, k := range keys {
+					for j := 0; j < *chunk && i+j < *events; j++ {
+						batch = append(batch, dpd.KeyedSample{Key: k, Value: sampleOf(k, i+j)})
+					}
+				}
+				p.FeedBatch(batch)
+			}
+		}(f)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats := p.Snapshot(nil)
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
+
+	// Aggregate detection state per application.
+	type agg struct {
+		streams, locked int
+		periods         map[int]int
+	}
+	byApp := map[string]*agg{}
+	var total uint64
+	for _, st := range stats {
+		name := appOf(st.Key).Name
+		a := byApp[name]
+		if a == nil {
+			a = &agg{periods: map[int]int{}}
+			byApp[name] = a
+		}
+		a.streams++
+		total += st.Samples
+		if st.Locked {
+			a.locked++
+			a.periods[st.Period]++
+		}
+	}
+
+	fmt.Printf("pool: %d streams over %d shards, %d samples in %v (%.1f Melem/s)\n\n",
+		p.Len(), p.Shards(), total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("%-10s %8s %8s  %s\n", "app", "streams", "locked", "periods (count)")
+	names := make([]string, 0, len(byApp))
+	for name := range byApp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byApp[name]
+		var ps []int
+		for per := range a.periods {
+			ps = append(ps, per)
+		}
+		sort.Ints(ps)
+		desc := ""
+		for _, per := range ps {
+			desc += fmt.Sprintf(" %d(×%d)", per, a.periods[per])
+		}
+		fmt.Printf("%-10s %8d %8d %s\n", name, a.streams, a.locked, desc)
+	}
+}

@@ -75,5 +75,11 @@ func (d *DPD) Window() int { return d.det.Window() }
 // Period returns the currently locked periodicity (0 if none).
 func (d *DPD) Period() int { return d.det.Locked() }
 
+// Predict returns the forecast for the next sample under the locked
+// periodicity, x̂[t+1] = x[t+1−p], and whether a forecast is possible —
+// the paper's prediction-of-future-values use of the DPD without the
+// bookkeeping of a full EventPredictor. It does not allocate.
+func (d *DPD) Predict() (int64, bool) { return d.det.PredictNext() }
+
 // Reset clears all detector state.
 func (d *DPD) Reset() { d.det.Reset() }

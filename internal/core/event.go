@@ -172,6 +172,17 @@ func (d *EventDetector) MismatchCount(m int) int {
 // History returns the retained samples, oldest first (test/diagnostic aid).
 func (d *EventDetector) History() []int64 { return d.bank.History(nil) }
 
+// PredictNext returns the forecast for the next sample under the locked
+// periodicity, x̂[t+1] = x[t+1−p], and whether a forecast is possible (a
+// lock is held and the history is deep enough). It does not allocate, so
+// it is safe on snapshot paths that must not disturb a serving hot path.
+func (d *EventDetector) PredictNext() (int64, bool) {
+	if !d.locked || d.period < 1 {
+		return 0, false
+	}
+	return d.bank.Recent(d.period - 1)
+}
+
 // Reset clears all state but keeps the configuration.
 func (d *EventDetector) Reset() {
 	d.bank.Reset()

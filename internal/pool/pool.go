@@ -1,0 +1,317 @@
+// Package pool serves many concurrent keyed data series through one
+// sharded detector pool — the step from the paper's single-application
+// DPD to a runtime system that watches every application of a
+// multiprogrammed workload at once.
+//
+// Streams are identified by a uint64 key (for the paper's use case, a
+// process or application id). Keys are hashed across a fixed set of
+// shards; each shard owns a map of per-stream detector states and is
+// drained by a dedicated worker goroutine, so the feed path takes no
+// global lock. Batches handed to FeedBatch are partitioned into
+// per-shard runs through recycled batch groups, keeping the steady-state
+// per-sample path allocation-free end to end (the property PR 1
+// established for a single detector). Expired streams are evicted by an
+// idle-TTL sweep and their detector state is recycled through a per-shard
+// freelist rather than released to the garbage collector.
+package pool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dpd/internal/core"
+)
+
+// KeyedSample is one sample of one keyed stream: the unit of work of the
+// multi-stream feed path.
+type KeyedSample struct {
+	// Key identifies the stream (e.g. an application or process id).
+	Key uint64
+	// Value is the event sample (e.g. an encapsulated-loop address).
+	Value int64
+}
+
+// Config parameterizes a Pool. The zero value selects GOMAXPROCS shards,
+// the paper-default detector configuration, and no idle eviction.
+type Config struct {
+	// Shards is the number of independent workers the key space is hashed
+	// across; 0 selects runtime.GOMAXPROCS(0).
+	Shards int
+	// Detector configures the per-stream event detector (paper eq. 2).
+	Detector core.Config
+	// IdleTTL, when non-zero, expires a stream after it has gone more
+	// than IdleTTL shard samples without being fed (a shard sample is one
+	// sample processed by the stream's shard, so the TTL scales with the
+	// shard's own traffic). Evicted detector state is recycled.
+	IdleTTL uint64
+	// SweepEvery is how often (in shard samples) a shard scans for idle
+	// streams; 0 selects DefaultSweepEvery. Only meaningful with IdleTTL.
+	SweepEvery uint64
+	// Inflight bounds the number of FeedBatch calls that can be in flight
+	// at once before callers block (backpressure); 0 selects 2×Shards,
+	// minimum 4.
+	Inflight int
+}
+
+// DefaultSweepEvery is the default idle-sweep cadence in shard samples.
+const DefaultSweepEvery = 1024
+
+// MaxShards bounds Config.Shards; beyond this the per-shard fixed cost
+// dwarfs any conceivable parallelism win.
+const MaxShards = 1 << 12
+
+// StreamStat is a point-in-time, read-only view of one stream: the
+// per-stream results the paper's runtime consumers (SelfAnalyzer,
+// scheduler) need, captured without stalling ingest on other shards.
+type StreamStat struct {
+	// Key identifies the stream.
+	Key uint64
+	// Samples is the number of samples the stream has been fed since it
+	// was created (or last re-created after eviction).
+	Samples uint64
+	// Locked reports whether a periodicity is currently established.
+	Locked bool
+	// Period is the locked periodicity in samples (0 when not locked).
+	Period int
+	// Starts counts the period starts observed so far — the stream's
+	// segment boundaries in the sense of the paper's Figure 6.
+	Starts uint64
+	// LastStart is the stream-local sample index of the most recent
+	// period start (valid when Starts > 0).
+	LastStart uint64
+	// Predicted is the forecast for the stream's next sample,
+	// x̂[t+1] = x[t+1−p]; valid only when PredictedValid.
+	Predicted int64
+	// PredictedValid reports whether Predicted holds a forecast.
+	PredictedValid bool
+}
+
+// Pool owns many keyed streams, one event detector per stream, sharded
+// across worker goroutines. Feed and FeedBatch may be called from any
+// number of goroutines concurrently; Close must not race with them.
+type Pool struct {
+	shards []*shard
+	groups chan *group // freelist of recycled batch groups
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// group is one in-flight FeedBatch: per-shard staging buffers plus the
+// completion countdown. Groups are recycled through Pool.groups so the
+// steady-state batch path performs no allocation.
+type group struct {
+	perShard [][]KeyedSample
+	pending  atomic.Int32
+	done     chan struct{}
+}
+
+// New returns a started pool. The detector configuration is validated
+// eagerly so that stream creation inside the shard workers cannot fail.
+func New(cfg Config) (*Pool, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards < 1 || cfg.Shards > MaxShards {
+		return nil, fmt.Errorf("pool: shards %d outside [1,%d]", cfg.Shards, MaxShards)
+	}
+	if _, err := core.NewEventDetector(cfg.Detector); err != nil {
+		return nil, err
+	}
+	if cfg.SweepEvery == 0 {
+		cfg.SweepEvery = DefaultSweepEvery
+	}
+	if cfg.Inflight == 0 {
+		cfg.Inflight = 2 * cfg.Shards
+	}
+	if cfg.Inflight < 4 {
+		cfg.Inflight = 4
+	}
+
+	p := &Pool{
+		shards: make([]*shard, cfg.Shards),
+		groups: make(chan *group, cfg.Inflight),
+	}
+	for i := range p.shards {
+		p.shards[i] = newShard(cfg)
+		p.wg.Add(1)
+		go p.worker(p.shards[i])
+	}
+	for i := 0; i < cfg.Inflight; i++ {
+		p.groups <- &group{
+			perShard: make([][]KeyedSample, cfg.Shards),
+			done:     make(chan struct{}, 1),
+		}
+	}
+	return p, nil
+}
+
+// Must is New that panics on configuration errors; for static
+// configurations in examples and benchmarks.
+func Must(cfg Config) *Pool {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// shardOf maps a stream key to its shard index: a splitmix64-style
+// finalizer for avalanche, then a multiply-shift range reduction so no
+// modulo sits on the partition path.
+func (p *Pool) shardOf(key uint64) int {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return int(uint64(uint32(key)) * uint64(len(p.shards)) >> 32)
+}
+
+// Feed processes one keyed sample synchronously on the caller's
+// goroutine (bypassing the shard worker queue) and returns the stream's
+// detection result. Per-key ordering with concurrent FeedBatch traffic on
+// the same key is the caller's responsibility.
+func (p *Pool) Feed(key uint64, v int64) core.Result {
+	sh := p.shards[p.shardOf(key)]
+	sh.mu.Lock()
+	r := sh.feedLocked(key, v)
+	sh.maybeSweep()
+	sh.mu.Unlock()
+	return r
+}
+
+// FeedBatch partitions a batch of keyed samples across the shard workers
+// and blocks until every sample has been applied; calling it on a closed
+// pool panics. Samples of the same key are processed in batch order. The
+// batch slice is not retained. The
+// steady-state path (all streams already exist, staging buffers warmed)
+// performs no allocation; at most Config.Inflight batches proceed
+// concurrently before callers block.
+func (p *Pool) FeedBatch(batch []KeyedSample) {
+	if len(batch) == 0 {
+		return
+	}
+	if p.closed.Load() {
+		panic("pool: FeedBatch on a closed Pool")
+	}
+	g := <-p.groups
+	for _, s := range batch {
+		i := p.shardOf(s.Key)
+		g.perShard[i] = append(g.perShard[i], s)
+	}
+	active := int32(0)
+	for _, run := range g.perShard {
+		if len(run) > 0 {
+			active++
+		}
+	}
+	g.pending.Store(active)
+	for i, samples := range g.perShard {
+		if len(samples) > 0 {
+			p.shards[i].in <- shardRun{samples: samples, g: g}
+		}
+	}
+	<-g.done
+	for i := range g.perShard {
+		g.perShard[i] = g.perShard[i][:0]
+	}
+	p.groups <- g
+}
+
+// worker drains one shard's run queue until Close.
+func (p *Pool) worker(sh *shard) {
+	defer p.wg.Done()
+	for r := range sh.in {
+		sh.mu.Lock()
+		for _, ks := range r.samples {
+			sh.feedLocked(ks.Key, ks.Value)
+		}
+		sh.maybeSweep()
+		sh.mu.Unlock()
+		if r.g.pending.Add(-1) == 0 {
+			r.g.done <- struct{}{}
+		}
+	}
+}
+
+// Snapshot appends one StreamStat per live stream to dst (recycled like
+// append) and returns the filled slice. Shards are locked one at a time,
+// so ingest continues on every other shard while one is read; stream
+// order is unspecified — sort by Key if a stable order is needed.
+func (p *Pool) Snapshot(dst []StreamStat) []StreamStat {
+	dst = dst[:0]
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, st := range sh.streams {
+			dst = append(dst, st.stat())
+		}
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
+// Stat returns the current view of one stream and whether it exists.
+func (p *Pool) Stat(key uint64) (StreamStat, bool) {
+	sh := p.shards[p.shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.streams[key]
+	if !ok {
+		return StreamStat{}, false
+	}
+	return st.stat(), true
+}
+
+// Len returns the number of live streams across all shards.
+func (p *Pool) Len() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += len(sh.streams)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Shards returns the number of shards the key space is hashed across.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// Evicted returns the total number of streams expired by idle eviction
+// (automatic sweeps and EvictIdle combined) since the pool was created.
+func (p *Pool) Evicted() uint64 {
+	var n uint64
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.evicted
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// EvictIdle immediately expires every stream that has gone more than ttl
+// shard samples without being fed, regardless of Config.IdleTTL, and
+// returns the number evicted. Detector state is recycled.
+func (p *Pool) EvictIdle(ttl uint64) int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		n += sh.sweep(ttl)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the shard workers and waits for them to drain. It must not
+// be called concurrently with Feed or FeedBatch; calling it twice is a
+// no-op. Snapshot and Stat remain usable after Close.
+func (p *Pool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	for _, sh := range p.shards {
+		close(sh.in)
+	}
+	p.wg.Wait()
+}

@@ -1,0 +1,221 @@
+package pool
+
+import (
+	"testing"
+
+	"dpd/internal/core"
+)
+
+// feedRounds pushes `rounds` samples into every listed key through
+// FeedBatch, one sample per key per round; key k's stream cycles a
+// period-(2+k%5) pattern so different streams lock different periods.
+func feedRounds(p *Pool, keys []uint64, rounds int) {
+	batch := make([]KeyedSample, len(keys))
+	for r := 0; r < rounds; r++ {
+		for i, k := range keys {
+			period := 2 + int(k%5)
+			batch[i] = KeyedSample{Key: k, Value: int64(r % period)}
+		}
+		p.FeedBatch(batch)
+	}
+}
+
+func TestPoolDetectsPerStreamPeriods(t *testing.T) {
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 32}})
+	defer p.Close()
+
+	keys := []uint64{0, 1, 2, 3, 4, 100, 2001, 1 << 40}
+	feedRounds(p, keys, 100)
+
+	if got := p.Len(); got != len(keys) {
+		t.Fatalf("Len() = %d, want %d", got, len(keys))
+	}
+	for _, k := range keys {
+		st, ok := p.Stat(k)
+		if !ok {
+			t.Fatalf("stream %d missing", k)
+		}
+		want := 2 + int(k%5)
+		if !st.Locked || st.Period != want {
+			t.Errorf("stream %d: locked=%v period=%d, want locked period %d", k, st.Locked, st.Period, want)
+		}
+		if st.Samples != 100 {
+			t.Errorf("stream %d: samples=%d, want 100", k, st.Samples)
+		}
+		if st.Starts == 0 {
+			t.Errorf("stream %d: no period starts observed", k)
+		}
+		if !st.PredictedValid {
+			t.Errorf("stream %d: no prediction despite lock", k)
+		}
+	}
+}
+
+func TestPoolSnapshotCoversAllStreams(t *testing.T) {
+	p := Must(Config{Shards: 3, Detector: core.Config{Window: 16}})
+	defer p.Close()
+
+	keys := []uint64{7, 8, 9, 10, 11}
+	feedRounds(p, keys, 50)
+
+	var dst []StreamStat
+	dst = p.Snapshot(dst)
+	if len(dst) != len(keys) {
+		t.Fatalf("snapshot has %d streams, want %d", len(dst), len(keys))
+	}
+	seen := map[uint64]StreamStat{}
+	for _, s := range dst {
+		seen[s.Key] = s
+	}
+	for _, k := range keys {
+		s, ok := seen[k]
+		if !ok {
+			t.Fatalf("snapshot missing stream %d", k)
+		}
+		direct, _ := p.Stat(k)
+		if s != direct {
+			t.Errorf("stream %d: snapshot %+v != Stat %+v", k, s, direct)
+		}
+	}
+	// The recycled destination must be reusable.
+	dst2 := p.Snapshot(dst)
+	if len(dst2) != len(keys) {
+		t.Fatalf("recycled snapshot has %d streams, want %d", len(dst2), len(keys))
+	}
+}
+
+func TestPoolPredictionMatchesStream(t *testing.T) {
+	p := Must(Config{Shards: 1, Detector: core.Config{Window: 16}})
+	defer p.Close()
+
+	// Period-3 stream 0,1,2,0,1,2,... last fed value at round r-1.
+	const key = 42
+	rounds := 40
+	for r := 0; r < rounds; r++ {
+		p.Feed(key, int64(r%3))
+	}
+	st, ok := p.Stat(key)
+	if !ok || !st.PredictedValid {
+		t.Fatalf("no prediction: %+v", st)
+	}
+	if want := int64(rounds % 3); st.Predicted != want {
+		t.Errorf("predicted %d, want %d", st.Predicted, want)
+	}
+}
+
+func TestPoolIdleEvictionRecyclesStreams(t *testing.T) {
+	p := Must(Config{
+		Shards:     1,
+		Detector:   core.Config{Window: 8},
+		IdleTTL:    20,
+		SweepEvery: 10,
+	})
+	defer p.Close()
+
+	p.Feed(1, 0)
+	for i := 0; i < 100; i++ {
+		p.Feed(2, int64(i%3))
+	}
+	if got := p.Len(); got != 1 {
+		t.Fatalf("after idling stream 1: Len() = %d, want 1 (evicted)", got)
+	}
+	if got := p.Evicted(); got != 1 {
+		t.Fatalf("Evicted() = %d, want 1", got)
+	}
+	// Re-feeding the evicted key creates a fresh stream (freelist reuse).
+	p.Feed(1, 7)
+	st, ok := p.Stat(1)
+	if !ok {
+		t.Fatal("stream 1 missing after re-feed")
+	}
+	if st.Samples != 1 || st.Locked || st.Starts != 0 {
+		t.Errorf("recycled stream carries stale state: %+v", st)
+	}
+}
+
+func TestPoolEvictIdleForcedSweep(t *testing.T) {
+	p := Must(Config{Shards: 1, Detector: core.Config{Window: 8}})
+	defer p.Close()
+
+	feedRounds(p, []uint64{1, 2, 3, 4}, 5)
+	if n := p.EvictIdle(1 << 30); n != 0 {
+		t.Fatalf("EvictIdle(huge) evicted %d, want 0", n)
+	}
+	// Idleness is strict (> ttl): key 4 was fed at the shard's current
+	// clock, so EvictIdle(0) expires exactly the other three.
+	if n := p.EvictIdle(0); n != 3 {
+		t.Fatalf("EvictIdle(0) evicted %d, want 3", n)
+	}
+	if got := p.Len(); got != 1 {
+		t.Fatalf("Len() = %d after EvictIdle(0), want 1", got)
+	}
+}
+
+func TestPoolFeedBatchPreservesPerKeyOrder(t *testing.T) {
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 16}})
+	defer p.Close()
+
+	// One batch carrying several consecutive samples of the same key must
+	// apply them in order: a period-2 stream interleaved any other way
+	// would not lock.
+	var batch []KeyedSample
+	for i := 0; i < 60; i++ {
+		batch = append(batch, KeyedSample{Key: 5, Value: int64(i % 2)})
+	}
+	p.FeedBatch(batch)
+	st, _ := p.Stat(5)
+	if !st.Locked || st.Period != 2 {
+		t.Fatalf("in-batch order broken: %+v, want locked period 2", st)
+	}
+}
+
+func TestPoolConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: -1}); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if _, err := New(Config{Shards: MaxShards + 1}); err == nil {
+		t.Error("oversized shards accepted")
+	}
+	if _, err := New(Config{Detector: core.Config{Window: 1}}); err == nil {
+		t.Error("invalid detector config accepted")
+	}
+	p, err := New(Config{})
+	if err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if p.Shards() < 1 {
+		t.Errorf("zero config produced %d shards", p.Shards())
+	}
+	p.Close()
+	p.Close() // idempotent
+}
+
+func TestPoolFeedBatchAfterClosePanics(t *testing.T) {
+	p := Must(Config{Shards: 1, Detector: core.Config{Window: 8}})
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FeedBatch on a closed pool did not panic")
+		}
+	}()
+	p.FeedBatch([]KeyedSample{{Key: 1, Value: 2}})
+}
+
+func TestPoolShardOfCoversAllShards(t *testing.T) {
+	p := Must(Config{Shards: 8, Detector: core.Config{Window: 8}})
+	defer p.Close()
+
+	hit := make([]bool, 8)
+	for k := uint64(0); k < 4096; k++ {
+		i := p.shardOf(k)
+		if i < 0 || i >= 8 {
+			t.Fatalf("shardOf(%d) = %d out of range", k, i)
+		}
+		hit[i] = true
+	}
+	for i, h := range hit {
+		if !h {
+			t.Errorf("shard %d never selected by 4096 sequential keys", i)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package pool
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"dpd/internal/core"
+)
+
+// streamValue is the deterministic sample of stream `key` at local index
+// i: a periodic pattern with a per-stream period and phase, plus an
+// aperiodic prefix so locks are acquired mid-stream, not at startup.
+func streamValue(key uint64, i int) int64 {
+	if i < 17 {
+		return int64(key)*1e6 + int64(i) // aperiodic prefix, unique per key
+	}
+	period := 3 + int(key%7)
+	phase := int(key % 3)
+	return int64((i + phase) % period)
+}
+
+// standaloneStat feeds stream `key` through a fresh standalone detector
+// sequentially and accumulates exactly the stats a pooled stream tracks.
+func standaloneStat(t *testing.T, cfg core.Config, key uint64, n int) StreamStat {
+	t.Helper()
+	det, err := core.NewEventDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := StreamStat{Key: key, Samples: uint64(n)}
+	for i := 0; i < n; i++ {
+		r := det.Feed(streamValue(key, i))
+		if r.Start {
+			st.Starts++
+			st.LastStart = r.T
+		}
+	}
+	if p := det.Locked(); p != 0 {
+		st.Locked = true
+		st.Period = p
+	}
+	if v, ok := det.PredictNext(); ok {
+		st.Predicted, st.PredictedValid = v, true
+	}
+	return st
+}
+
+// TestPoolMatchesStandaloneDetectors is the PR 2 differential: many
+// goroutines concurrently feed interleaved keyed streams through one
+// pool, and every stream's final detection state must be identical to
+// feeding that stream alone through a standalone detector sequentially.
+// Run under -race this also proves the feed/snapshot paths are
+// data-race-free.
+func TestPoolMatchesStandaloneDetectors(t *testing.T) {
+	const (
+		feeders         = 8
+		keysPerFeeder   = 16
+		samplesPerKey   = 400
+		samplesPerBatch = 5 // consecutive samples per key per batch
+	)
+	cfg := core.Config{Window: 48}
+	p := Must(Config{Shards: 4, Detector: cfg})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			// Feeder f owns the disjoint keys f, feeders+f, 2*feeders+f, …
+			// and interleaves them within every batch.
+			keys := make([]uint64, keysPerFeeder)
+			for i := range keys {
+				keys[i] = uint64(i*feeders + f)
+			}
+			var batch []KeyedSample
+			for i := 0; i < samplesPerKey; i += samplesPerBatch {
+				batch = batch[:0]
+				for _, k := range keys {
+					for j := 0; j < samplesPerBatch; j++ {
+						batch = append(batch, KeyedSample{Key: k, Value: streamValue(k, i+j)})
+					}
+				}
+				p.FeedBatch(batch)
+			}
+		}(f)
+	}
+	// Concurrent snapshots while feeding: must not disturb results (and,
+	// under -race, must not race with the shard workers).
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		var dst []StreamStat
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				dst = p.Snapshot(dst)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	if got, want := p.Len(), feeders*keysPerFeeder; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+	for k := uint64(0); k < feeders*keysPerFeeder; k++ {
+		got, ok := p.Stat(k)
+		if !ok {
+			t.Fatalf("stream %d missing from pool", k)
+		}
+		want := standaloneStat(t, cfg, k, samplesPerKey)
+		if got != want {
+			t.Errorf("stream %d diverges from standalone detector:\n  pool:       %+v\n  standalone: %+v", k, got, want)
+		}
+	}
+}
+
+// TestPoolFeedMatchesStandalonePerSample checks the synchronous Feed
+// path result-by-result: concurrent goroutines with disjoint keys each
+// compare every pooled Result against a standalone detector fed the same
+// sequence.
+func TestPoolFeedMatchesStandalonePerSample(t *testing.T) {
+	const (
+		feeders       = 6
+		samplesPerKey = 300
+	)
+	cfg := core.Config{Window: 32}
+	p := Must(Config{Shards: 3, Detector: cfg})
+	defer p.Close()
+
+	errs := make(chan error, feeders)
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(key uint64) {
+			defer wg.Done()
+			ref := core.MustEventDetector(cfg)
+			for i := 0; i < samplesPerKey; i++ {
+				v := streamValue(key, i)
+				got := p.Feed(key, v)
+				want := ref.Feed(v)
+				if got != want {
+					select {
+					case errs <- fmt.Errorf("key %d sample %d: pool %+v != standalone %+v", key, i, got, want):
+					default:
+					}
+					return
+				}
+			}
+		}(uint64(f))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package pool
+
+import (
+	"sync"
+
+	"dpd/internal/core"
+)
+
+// runQueueDepth is the per-shard run queue capacity. It only needs to
+// cover the in-flight batch groups that can target one shard at once;
+// beyond that, senders block, which is the intended backpressure.
+const runQueueDepth = 64
+
+// shardRun is one shard's slice of a FeedBatch: a contiguous run of
+// samples staged in the batch group's per-shard buffer.
+type shardRun struct {
+	samples []KeyedSample
+	g       *group
+}
+
+// stream is the per-key detector state. Evicted streams are recycled
+// through the shard freelist, so the struct and its detector survive and
+// are reset rather than released.
+type stream struct {
+	key     uint64
+	det     *core.EventDetector
+	samples uint64
+	starts  uint64
+	last    uint64 // stream-local index of the most recent period start
+	lastFed uint64 // shard clock at the stream's most recent sample
+}
+
+// stat captures the stream's current StreamStat. Caller holds the shard
+// lock.
+func (st *stream) stat() StreamStat {
+	s := StreamStat{
+		Key:     st.key,
+		Samples: st.samples,
+		Starts:  st.starts,
+	}
+	if p := st.det.Locked(); p != 0 {
+		s.Locked = true
+		s.Period = p
+	}
+	if st.starts > 0 {
+		s.LastStart = st.last
+	}
+	if v, ok := st.det.PredictNext(); ok {
+		s.Predicted, s.PredictedValid = v, true
+	}
+	return s
+}
+
+// shard owns one partition of the key space: a map of streams, a freelist
+// of recycled stream states, and the idle-eviction clock. The mutex
+// serializes the shard worker against Feed, Snapshot and eviction; it is
+// never held across shards, so there is no global lock anywhere on the
+// feed path.
+type shard struct {
+	mu      sync.Mutex
+	in      chan shardRun
+	streams map[uint64]*stream
+	free    []*stream
+
+	detCfg     core.Config
+	ttl        uint64
+	sweepEvery uint64
+
+	clock   uint64 // samples processed by this shard
+	sweepAt uint64 // clock value of the next automatic sweep
+	evicted uint64
+}
+
+func newShard(cfg Config) *shard {
+	return &shard{
+		in:         make(chan shardRun, runQueueDepth),
+		streams:    make(map[uint64]*stream),
+		detCfg:     cfg.Detector,
+		ttl:        cfg.IdleTTL,
+		sweepEvery: cfg.SweepEvery,
+		sweepAt:    cfg.SweepEvery,
+	}
+}
+
+// feedLocked feeds one sample to its stream, creating the stream from the
+// freelist (or fresh) on first sight. Caller holds the shard lock.
+func (sh *shard) feedLocked(key uint64, v int64) core.Result {
+	st, ok := sh.streams[key]
+	if !ok {
+		st = sh.newStream(key)
+		sh.streams[key] = st
+	}
+	r := st.det.Feed(v)
+	st.samples++
+	if r.Start {
+		st.starts++
+		st.last = r.T
+	}
+	sh.clock++
+	st.lastFed = sh.clock
+	return r
+}
+
+// newStream pops a recycled stream state or builds a fresh one. The pool
+// validated the detector configuration at construction, so MustEventDetector
+// cannot panic here.
+func (sh *shard) newStream(key uint64) *stream {
+	if n := len(sh.free); n > 0 {
+		st := sh.free[n-1]
+		sh.free[n-1] = nil
+		sh.free = sh.free[:n-1]
+		st.key = key
+		st.samples = 0
+		st.starts = 0
+		st.last = 0
+		st.lastFed = 0
+		return st
+	}
+	return &stream{key: key, det: core.MustEventDetector(sh.detCfg)}
+}
+
+// maybeSweep runs the idle sweep when the TTL policy is enabled and the
+// cadence has elapsed. Caller holds the shard lock.
+func (sh *shard) maybeSweep() {
+	if sh.ttl == 0 || sh.clock < sh.sweepAt {
+		return
+	}
+	sh.sweepAt = sh.clock + sh.sweepEvery
+	sh.sweep(sh.ttl)
+}
+
+// sweep evicts every stream idle for more than ttl shard samples,
+// recycling detector state through the freelist, and returns the number
+// evicted. Caller holds the shard lock.
+func (sh *shard) sweep(ttl uint64) int {
+	n := 0
+	for key, st := range sh.streams {
+		if sh.clock-st.lastFed > ttl {
+			delete(sh.streams, key)
+			st.det.Reset()
+			sh.free = append(sh.free, st)
+			sh.evicted++
+			n++
+		}
+	}
+	return n
+}

@@ -193,6 +193,17 @@ func (b *CountBank) FirstConfirmed(confirm int) int {
 	return 0
 }
 
+// Recent returns the sample pushed `back` positions ago (0 = the most
+// recent push) without allocating, and whether it is still retained: the
+// ring keeps the newest window+lags samples.
+func (b *CountBank) Recent(back int) (int64, bool) {
+	if back < 0 || uint64(back) >= b.t || back >= b.window+b.lags {
+		return 0, false
+	}
+	mask := uint64(len(b.hist) - 1)
+	return b.hist[(b.t-1-uint64(back))&mask], true
+}
+
 // History copies the newest min(Len, window+lags) samples into dst
 // (oldest first), growing it as needed, and returns the filled slice.
 func (b *CountBank) History(dst []int64) []int64 {

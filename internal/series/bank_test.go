@@ -119,6 +119,34 @@ func TestCountBankHistory(t *testing.T) {
 	}
 }
 
+func TestCountBankRecent(t *testing.T) {
+	b := NewCountBank(6, 5)
+	for i := int64(0); i < 100; i++ {
+		b.Push(i)
+	}
+	for back := 0; back < 11; back++ { // window+lags = 11 retained
+		v, ok := b.Recent(back)
+		if !ok || v != int64(99-back) {
+			t.Fatalf("Recent(%d) = %d,%v, want %d,true", back, v, ok, 99-back)
+		}
+	}
+	if _, ok := b.Recent(11); ok {
+		t.Error("Recent(window+lags) claimed retention beyond the ring")
+	}
+	if _, ok := b.Recent(-1); ok {
+		t.Error("Recent(-1) accepted")
+	}
+	// A bank younger than its retention depth only serves what was pushed.
+	y := NewCountBank(6, 5)
+	y.Push(7)
+	if v, ok := y.Recent(0); !ok || v != 7 {
+		t.Fatalf("young Recent(0) = %d,%v, want 7,true", v, ok)
+	}
+	if _, ok := y.Recent(1); ok {
+		t.Error("young Recent(1) claimed a sample never pushed")
+	}
+}
+
 func TestCountBankReset(t *testing.T) {
 	b := NewCountBank(4, 3)
 	for i := 0; i < 50; i++ {

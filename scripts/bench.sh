@@ -1,17 +1,17 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the paper-table benchmarks (Figure 4,
-# Table 2, Table 3) as a JSON snapshot: ns/elem, allocs/op and the other
-# reported metrics per application trace.
+# Table 2, Table 3) and the multi-stream pool benchmarks as a JSON
+# snapshot: ns/elem, allocs/op, elems/s and the other reported metrics.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         BENCHTIME=10x scripts/bench.sh    # more iterations, stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr1.json}"
+out="${1:-BENCH_pr2.json}"
 benchtime="${BENCHTIME:-1x}"
 
-raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3' -benchtime "$benchtime" -benchmem .)
+raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed' -benchtime "$benchtime" -benchmem .)
 echo "$raw" >&2
 
 echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '

@@ -1,0 +1,158 @@
+// Command docscheck is the CI docs gate: it fails (exit 1, one line per
+// violation) when a package lacks a package comment or an exported
+// top-level symbol lacks a doc comment, so the rendered godoc stays
+// complete as the API grows.
+//
+// Checked: every non-test .go file under the module root. A doc comment
+// on a const/var/type block covers the specs inside it; methods are
+// checked when both the receiver type and the method are exported.
+//
+// Usage (from the repo root):
+//
+//	go run ./scripts/docscheck
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var violations []string
+	fset := token.NewFileSet()
+	pkgDocumented := map[string]bool{} // dir → has a package comment
+
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == ".git" || name == "testdata" || name == "vendor" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		files = append(files, path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(2)
+	}
+
+	for _, path := range files {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			os.Exit(2)
+		}
+		dir := filepath.Dir(path)
+		if f.Doc != nil {
+			pkgDocumented[dir] = true
+		} else if _, seen := pkgDocumented[dir]; !seen {
+			pkgDocumented[dir] = false
+		}
+		violations = append(violations, checkFile(fset, path, f)...)
+	}
+
+	var dirs []string
+	for dir, ok := range pkgDocumented {
+		if !ok {
+			dirs = append(dirs, dir)
+		}
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		violations = append(violations, fmt.Sprintf("%s: package has no package comment", dir))
+	}
+
+	if len(violations) > 0 {
+		sort.Strings(violations)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d undocumented exported symbols/packages\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// checkFile reports every exported, undocumented top-level declaration.
+func checkFile(fset *token.FileSet, path string, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s has no doc comment", path, p.Line, what))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				report(d.Pos(), "func "+d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok != token.CONST && d.Tok != token.VAR && d.Tok != token.TYPE {
+				continue
+			}
+			blockDoc := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !blockDoc && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type "+s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if blockDoc || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(s.Pos(), d.Tok.String()+" "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverExported reports whether a method's receiver type is exported
+// (or the decl is a plain function); methods on unexported types are not
+// part of the rendered API surface.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
