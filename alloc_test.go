@@ -183,3 +183,150 @@ func TestDPDBatchPathAllocFree(t *testing.T) {
 		t.Fatalf("DPD.FeedAll allocates %.1f objects/op with recycled dst, want 0", n)
 	}
 }
+
+// newSurfaceEngines is the alloc matrix for the unified API: every
+// engine constructible through dpd.New, with a steady-state warmup and
+// a sample generator.
+func newSurfaceEngines() []struct {
+	name   string
+	opts   []dpd.Option
+	warm   int
+	sample func(i int) dpd.Sample
+} {
+	return []struct {
+		name   string
+		opts   []dpd.Option
+		warm   int
+		sample func(i int) dpd.Sample
+	}{
+		{"event", []dpd.Option{dpd.WithWindow(256)}, 3 * 256,
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 7)) }},
+		{"magnitude", []dpd.Option{dpd.WithMagnitude(0.5), dpd.WithWindow(100)}, 500,
+			func(i int) dpd.Sample { return dpd.MagnitudeSample(float64(i%44) * 0.5) }},
+		{"multiscale", []dpd.Option{dpd.WithLadder()}, 3 * 1024,
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 12)) }},
+		{"adaptive", []dpd.Option{dpd.WithAdaptive(dpd.DefaultAdaptivePolicy())}, 3 * 1024,
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 9)) }},
+	}
+}
+
+// TestNewDetectorFeedSteadyStateAllocFree: dpd.New(...).Feed is 0
+// allocs/op in steady state for every engine — the unified interface
+// adds no boxing or bookkeeping allocation over the raw detectors.
+func TestNewDetectorFeedSteadyStateAllocFree(t *testing.T) {
+	for _, tc := range newSurfaceEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			det := dpd.Must(tc.opts...)
+			for i := 0; i < tc.warm; i++ {
+				det.Feed(tc.sample(i))
+			}
+			i := tc.warm
+			if n := testing.AllocsPerRun(1000, func() {
+				det.Feed(tc.sample(i))
+				i++
+			}); n != 0 {
+				t.Fatalf("%s engine Feed allocates %.1f objects/op in steady state, want 0", tc.name, n)
+			}
+		})
+	}
+}
+
+// TestObserverDispatchAllocFree: observer dispatch reuses the engine's
+// Event scratch, so a subscribed detector stays 0 allocs/op even while
+// callbacks fire on every sample (period-2 stream: a segment start
+// every other sample).
+func TestObserverDispatchAllocFree(t *testing.T) {
+	var starts, locks, unlocks uint64
+	obs := dpd.ObserverFuncs{
+		Lock:         func(e *dpd.Event) { locks++ },
+		SegmentStart: func(e *dpd.Event) { starts++ },
+		Unlock:       func(e *dpd.Event) { unlocks++ },
+	}
+	for _, tc := range newSurfaceEngines() {
+		t.Run(tc.name, func(t *testing.T) {
+			det := dpd.Must(append(tc.opts, dpd.WithObserver(obs))...)
+			for i := 0; i < tc.warm; i++ {
+				det.Feed(tc.sample(i))
+			}
+			before := starts
+			i := tc.warm
+			if n := testing.AllocsPerRun(1000, func() {
+				det.Feed(tc.sample(i))
+				i++
+			}); n != 0 {
+				t.Fatalf("%s engine with observer allocates %.1f objects/op, want 0", tc.name, n)
+			}
+			if starts == before {
+				t.Fatalf("%s engine: observer saw no segment starts during the alloc run", tc.name)
+			}
+		})
+	}
+}
+
+// TestSnapshotAllocFree: Snapshot is a read-only value copy on every
+// engine, safe on serving paths.
+func TestSnapshotAllocFree(t *testing.T) {
+	for _, tc := range newSurfaceEngines() {
+		det := dpd.Must(tc.opts...)
+		for i := 0; i < tc.warm; i++ {
+			det.Feed(tc.sample(i))
+		}
+		if n := testing.AllocsPerRun(1000, func() {
+			_ = det.Snapshot()
+		}); n != 0 {
+			t.Fatalf("%s engine Snapshot allocates %.1f objects/op, want 0", tc.name, n)
+		}
+	}
+}
+
+// TestPoolInjectedEnginesFeedBatchAllocFree: pooled magnitude and
+// multi-scale streams stay 0 allocs/op through the sharded batch path.
+func TestPoolInjectedEnginesFeedBatchAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		factory func() dpd.Detector
+		sample  func(round int) dpd.Sample
+		warm    int
+	}{
+		{
+			"magnitude",
+			func() dpd.Detector { return dpd.Must(dpd.WithMagnitude(0.5), dpd.WithWindow(64)) },
+			func(r int) dpd.Sample { return dpd.MagnitudeSample(float64(r % 8)) },
+			3 * 64,
+		},
+		{
+			"multiscale",
+			func() dpd.Detector { return dpd.Must(dpd.WithLadder(8, 64)) },
+			func(r int) dpd.Sample { return dpd.EventSample(int64(r % 8)) },
+			3 * 64,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := dpd.NewPool(dpd.PoolConfig{Shards: 4, NewDetector: tc.factory})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			const streams = 256
+			batch := make([]dpd.KeyedSample, streams)
+			for i := range batch {
+				batch[i].Key = uint64(i)
+			}
+			round := 0
+			feed := func() {
+				s := tc.sample(round)
+				for j := range batch {
+					batch[j].Value, batch[j].Magnitude = s.Value, s.Magnitude
+				}
+				p.FeedBatch(batch)
+				round++
+			}
+			for round < tc.warm {
+				feed()
+			}
+			if n := testing.AllocsPerRun(100, feed); n != 0 {
+				t.Fatalf("pooled %s FeedBatch allocates %.1f objects/op in steady state, want 0", tc.name, n)
+			}
+		})
+	}
+}

@@ -1,28 +1,41 @@
-// Command dpdtool runs the DPD over a recorded trace file and reports the
-// detected periodicities, segmentation and (for CPU traces) the distance
-// curve — the offline twin of the paper's synthetic overhead benchmark.
+// Command dpdtool runs a detector over a recorded trace file and reports
+// the detected periodicities, segmentation and (for CPU traces) the
+// distance curve — the offline twin of the paper's synthetic overhead
+// benchmark, rebuilt on the unified dpd.New options surface.
 //
 // Usage:
 //
 //	tracegen -app hydro2d -o h.trc && dpdtool h.trc
 //	tracegen -app ft -kind cpu -o ft.trc && dpdtool -curve ft.trc
+//	dpdtool -engine adaptive -observer h.trc      # print lock/segment events
+//	dpdtool -engine multiscale -json h.trc        # machine-readable output
+//
+// The -engine flag selects any of the four engines (event, magnitude,
+// multiscale, adaptive); the default is multiscale for event traces and
+// magnitude for CPU traces, matching the paper's usage of eq. (2) and
+// eq. (1).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"dpd/internal/core"
+	"dpd"
 	"dpd/internal/textplot"
 	"dpd/internal/trace"
 )
 
 func main() {
-	window := flag.Int("window", 100, "window size N for cpu traces")
+	engine := flag.String("engine", "", "detector engine: event|magnitude|multiscale|adaptive (default: multiscale for event traces, magnitude for cpu traces)")
+	window := flag.Int("window", 0, "window size N (0 = engine default; invalid for multiscale/adaptive)")
+	confirm := flag.Int("confirm", 0, "consecutive confirmations before locking (0 = default; 3 for cpu traces)")
 	minLock := flag.Uint64("min-lock", 8, "samples a periodicity must hold to be reported")
-	showCurve := flag.Bool("curve", false, "plot the final distance curve (cpu traces)")
+	observe := flag.Bool("observer", false, "print lock/period-change/segment/unlock events as they happen")
+	jsonOut := flag.Bool("json", false, "emit the analysis as JSON for scripting")
+	showCurve := flag.Bool("curve", false, "plot the final distance curve (magnitude engine)")
 	binary := flag.Bool("binary", false, "input is in binary trace format")
 	flag.Parse()
 
@@ -47,32 +60,148 @@ func main() {
 		fatal(err)
 	}
 
-	switch {
-	case ev != nil:
-		analyzeEvents(ev, *minLock)
-	case cpu != nil:
-		analyzeCPU(cpu, *window, *showCurve)
+	// Assemble the option list from the flags; dpd.New reports every
+	// invalid combination in one error.
+	isCPU := cpu != nil
+	eng := *engine
+	if eng == "" {
+		if isCPU {
+			eng = "magnitude"
+		} else {
+			eng = "multiscale"
+		}
 	}
-}
+	var opts []dpd.Option
+	switch eng {
+	case "event":
+	case "magnitude":
+		opts = append(opts, dpd.WithMagnitude(0))
+		if *confirm == 0 {
+			*confirm = 3 // the paper's setting for noisy CPU curves
+		}
+	case "multiscale":
+		opts = append(opts, dpd.WithLadder())
+	case "adaptive":
+		opts = append(opts, dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()))
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want event|magnitude|multiscale|adaptive)", eng))
+	}
+	// The engine must match the trace kind: magnitude engines read
+	// Sample.Magnitude, event engines Sample.Value — a mismatch would
+	// confidently analyze a stream of zeros.
+	if isCPU && eng != "magnitude" {
+		fatal(fmt.Errorf("engine %q cannot analyze a cpu trace (magnitude stream); use -engine magnitude", eng))
+	}
+	if !isCPU && eng == "magnitude" {
+		fatal(fmt.Errorf("the magnitude engine cannot analyze an event trace; use -engine event|multiscale|adaptive"))
+	}
+	if *showCurve && eng != "magnitude" {
+		fatal(fmt.Errorf("-curve requires the magnitude engine (got %s)", eng))
+	}
+	if *showCurve && *jsonOut {
+		fatal(fmt.Errorf("-curve and -json are mutually exclusive output modes"))
+	}
+	if *window != 0 {
+		opts = append(opts, dpd.WithWindow(*window))
+	}
+	// No -window: dpd.New's defaults already match the paper (1024 for
+	// the event engine, 100 for the magnitude engine).
+	if *confirm != 0 {
+		opts = append(opts, dpd.WithConfirm(*confirm))
+	}
 
-func analyzeEvents(ev *trace.EventTrace, minLock uint64) {
-	ms := core.MustMultiScaleDetector(nil, core.Config{})
-	pt := core.NewPeriodTracker()
+	// The subscription API replaces per-sample polling for the event log.
+	type obsEvent struct {
+		Kind   string `json:"kind"`
+		T      uint64 `json:"t"`
+		Period int    `json:"period,omitempty"`
+		Prev   int    `json:"prev_period,omitempty"`
+	}
+	var events []obsEvent
+	record := func(e *dpd.Event) {
+		oe := obsEvent{Kind: e.Kind.String(), T: e.T, Period: e.Period, Prev: e.PrevPeriod}
+		if *observe && !*jsonOut {
+			fmt.Printf("t=%-8d %-13s period=%-5d prev=%d\n", oe.T, oe.Kind, oe.Period, oe.Prev)
+		}
+		// Only the JSON output consumes the event log; starts are
+		// summarized there via stat.starts rather than listed.
+		if *jsonOut && e.Kind != dpd.EventSegmentStart {
+			events = append(events, oe)
+		}
+	}
+	if *observe || *jsonOut {
+		opts = append(opts, dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: record, PeriodChange: record, SegmentStart: record, Unlock: record,
+		}))
+	}
+
+	det, err := dpd.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Feed the whole trace through the unified interface.
+	name, n := "", 0
+	pt := dpd.NewPeriodTracker()
 	start := time.Now()
-	segments := 0
-	for _, v := range ev.Values {
-		mr := ms.Feed(v)
-		pt.ObserveMulti(mr, ms)
-		if mr.Primary.Start {
-			segments++
+	if isCPU {
+		name, n = cpu.Name, cpu.Len()
+		for _, v := range cpu.Samples {
+			pt.Observe(det.Feed(dpd.MagnitudeSample(v)), det.Window())
+		}
+	} else {
+		name, n = ev.Name, ev.Len()
+		for _, v := range ev.Values {
+			pt.Observe(det.Feed(dpd.EventSample(v)), det.Window())
 		}
 	}
 	elapsed := time.Since(start)
+	st := det.Snapshot()
 
-	fmt.Printf("trace %q: %d events\n", ev.Name, ev.Len())
-	rows := [][]string{{"period", "first at", "locked samples", "segments", "window"}}
-	for _, s := range pt.Stats() {
-		if s.Samples < minLock {
+	// The tracker observed the unified (primary) result, so for the
+	// multi-scale engine every period's Window was recorded as the
+	// outermost ladder window; restore the documented meaning — the
+	// smallest window that can confirm the period, which is the level
+	// that certifies it first (smaller windows fill sooner).
+	periods := pt.Stats()
+	if ms, ok := det.(*dpd.MultiScaleEngine); ok {
+		for i := range periods {
+			for l := 0; l < ms.Ladder().Levels(); l++ {
+				if w := ms.Ladder().Level(l).Window(); w > periods[i].Period {
+					periods[i].Window = w
+					break
+				}
+			}
+		}
+	}
+
+	if *jsonOut {
+		out := struct {
+			Trace   string           `json:"trace"`
+			Kind    string           `json:"kind"`
+			Engine  string           `json:"engine"`
+			Samples int              `json:"samples"`
+			Stat    dpd.Stat         `json:"stat"`
+			Periods []dpd.PeriodStat `json:"periods"`
+			Events  []obsEvent       `json:"events"`
+			NsPerEl float64          `json:"ns_per_elem"`
+		}{
+			Trace: name, Kind: kindName(isCPU), Engine: eng, Samples: n,
+			Stat: st, Periods: periods, Events: events,
+			NsPerEl: float64(elapsed.Nanoseconds()) / float64(n),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("trace %q (%s): %d samples, engine %s\n", name, kindName(isCPU), n, eng)
+	rows := [][]string{{"period", "first at", "locked samples", "segments"}}
+	for _, s := range periods {
+		if s.Samples < *minLock {
 			continue
 		}
 		rows = append(rows, []string{
@@ -80,42 +209,35 @@ func analyzeEvents(ev *trace.EventTrace, minLock uint64) {
 			fmt.Sprintf("%d", s.FirstAt),
 			fmt.Sprintf("%d", s.Samples),
 			fmt.Sprintf("%d", s.Starts),
-			fmt.Sprintf("%d", s.Window),
 		})
 	}
 	fmt.Print(textplot.Table(rows))
-	fmt.Printf("%d primary segmentation marks; processed in %v (%.3f µs/element)\n",
-		segments, elapsed, float64(elapsed.Microseconds())/float64(ev.Len()))
-}
-
-func analyzeCPU(cpu *trace.CPUTrace, window int, showCurve bool) {
-	det, err := core.NewMagnitudeDetector(core.Config{Window: window, Confirm: 3})
-	if err != nil {
-		fatal(err)
-	}
-	var last core.Result
-	start := time.Now()
-	for _, v := range cpu.Samples {
-		last = det.Feed(v)
-	}
-	elapsed := time.Since(start)
-
-	fmt.Printf("trace %q: %d samples at %v\n", cpu.Name, cpu.Len(), cpu.Interval)
-	if last.Locked {
-		fmt.Printf("periodicity m=%d samples (%v), confidence %.2f\n",
-			last.Period, time.Duration(last.Period)*cpu.Interval, last.Confidence)
+	if st.Locked {
+		fmt.Printf("final lock: period %d (confidence %.2f, window %d)\n", st.Period, st.Confidence, st.Window)
 	} else {
 		fmt.Println("no periodicity established at end of trace")
 	}
-	fmt.Printf("processed in %v (%.3f µs/element)\n", elapsed, float64(elapsed.Microseconds())/float64(cpu.Len()))
-	if showCurve {
-		c := det.Curve()
-		fmt.Print(textplot.Curve(c.D, last.Period, textplot.Options{
+	if ms, ok := det.(*dpd.MultiScaleEngine); ok {
+		fmt.Printf("ladder locks per level: %v\n", ms.Ladder().LockedPeriods())
+	}
+	fmt.Printf("%d segment starts; processed in %v (%.3f µs/element)\n",
+		st.Starts, elapsed, float64(elapsed.Microseconds())/float64(n))
+	if *showCurve {
+		c := det.(*dpd.MagnitudeEngine).Detector().Curve()
+		fmt.Print(textplot.Curve(c.D, st.Period, textplot.Options{
 			Width: 99, Height: 14,
-			YLabel: fmt.Sprintf("distance d(m), window N=%d", window),
+			YLabel: fmt.Sprintf("distance d(m), window N=%d", det.Window()),
 			XLabel: "lag m",
 		}))
 	}
+}
+
+// kindName names the trace kind for output.
+func kindName(isCPU bool) string {
+	if isCPU {
+		return "cpu"
+	}
+	return "event"
 }
 
 func fatal(err error) {

@@ -54,7 +54,8 @@ func main() {
 		ensureFig3()
 		r := experiments.Figure4(fig3)
 		fmt.Println(r.Plot)
-		fmt.Printf("detected periodicity m=%d (confidence %.2f)\n\n", r.BestLag, r.Confidence)
+		fmt.Printf("detected periodicity m=%d (confidence %.2f, locked at sample %d)\n\n",
+			r.BestLag, r.Confidence, r.LockedAt)
 		return nil
 	})
 	run("fig7", func() error {

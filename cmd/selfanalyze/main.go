@@ -62,6 +62,9 @@ func main() {
 	}
 	fmt.Printf("parallel region: start address %#x, period %d loop calls (identified at %v)\n",
 		r.StartAddr, r.Period, r.IdentifiedAt)
+	st := sa.Snapshot()
+	fmt.Printf("detector: %d events fed, outer period %d, %d period starts (window %d)\n",
+		st.Samples, st.Period, st.Starts, st.Window)
 	if s, ok := sa.Speedup(); ok {
 		fmt.Printf("iteration time: %v on %d CPUs, %v on %d CPUs → speedup %.2f (efficiency %.2f)\n",
 			r.CurrentTime, r.CurrentProcs, r.BaselineTime, r.BaselineProcs, s, r.Efficiency())

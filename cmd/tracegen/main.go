@@ -6,6 +6,7 @@
 //	tracegen -app tomcatv                  # event trace, text, stdout
 //	tracegen -app ft -kind cpu -o ft.trc   # FT CPU trace to a file
 //	tracegen -app hydro2d -format binary -o hydro2d.bin
+//	tracegen -app swim -check -o s.trc     # verify the trace locks
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"io"
 	"os"
 
+	"dpd"
 	"dpd/internal/apps"
 	"dpd/internal/trace"
 )
@@ -25,6 +27,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	iters := flag.Int("ft-iterations", 50, "FT iterations for -kind cpu")
 	seed := flag.Uint64("seed", 20010513, "jitter seed for -kind cpu (0 = exactly periodic)")
+	check := flag.Bool("check", false, "feed the produced trace through a detector and report what it locks")
 	flag.Parse()
 
 	var w io.Writer = os.Stdout
@@ -57,6 +60,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: %s, %d events\n", tr.Name, tr.Len())
+		if *check {
+			// Sanity-check the produced trace: the multi-scale ladder
+			// must establish the app's iterative structure.
+			det := dpd.Must(dpd.WithLadder())
+			for _, v := range tr.Values {
+				det.Feed(dpd.EventSample(v))
+			}
+			st := det.Snapshot()
+			if !st.Locked {
+				fatal(fmt.Errorf("check: no periodicity locked over %d events", tr.Len()))
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: check ok — outer period %d, %d segment starts\n", st.Period, st.Starts)
+		}
 	case "cpu":
 		if *appName != "ft" {
 			fatal(fmt.Errorf("cpu traces are produced by the ft model only"))
@@ -72,6 +88,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: %s, %d samples at %v\n", tr.Name, tr.Len(), tr.Interval)
+		if *check {
+			det := dpd.Must(dpd.WithMagnitude(0), dpd.WithWindow(100), dpd.WithConfirm(3))
+			for _, v := range tr.Samples {
+				det.Feed(dpd.MagnitudeSample(v))
+			}
+			st := det.Snapshot()
+			if !st.Locked {
+				fatal(fmt.Errorf("check: no periodicity locked over %d samples", tr.Len()))
+			}
+			fmt.Fprintf(os.Stderr, "tracegen: check ok — period %d samples (confidence %.2f)\n", st.Period, st.Confidence)
+		}
 	default:
 		fatal(fmt.Errorf("unknown kind %q", *kind))
 	}

@@ -5,15 +5,24 @@
 // applications, segments the stream into periods, predicts future values,
 // and feeds run-time speedup computation.
 //
-// The package exposes three layers:
+// The package exposes one unified surface plus legacy shims:
 //
-//   - The paper's Table 1 interface, ported faithfully: a stateful DPD
-//     whose Feed method mirrors `int DPD(long sample, int *period)` and
-//     whose WindowSize method mirrors `void DPDWindowSize(int size)`.
+//   - The Detector interface, constructed through New with functional
+//     options: every engine — event (eq. 2), magnitude (eq. 1),
+//     multi-scale ladder, adaptive window — satisfies Feed / FeedAll /
+//     Snapshot / Reset / Window / Resize, and WithObserver subscribes
+//     callbacks to lock, period-change, segment-start and unlock
+//     transitions instead of polling per-sample results.
 //
-//   - The detector toolkit: event-stream (eq. 2) and magnitude-stream
-//     (eq. 1) detectors, multi-scale ladders for nested periodicities,
-//     adaptive window management, period trackers and predictors.
+//   - The multi-stream Pool, which serves many keyed streams through
+//     sharded workers; PoolConfig.NewDetector injects any Detector
+//     engine per stream.
+//
+//   - The paper's Table 1 interface, ported faithfully as a thin shim:
+//     a stateful DPD whose Feed method mirrors `int DPD(long sample,
+//     int *period)` and whose WindowSize method mirrors
+//     `void DPDWindowSize(int size)`. The engine-specific New*
+//     constructors likewise remain as deprecated shims.
 //
 //   - The systems around it (simulated SMP machine, NANOS-like runtime,
 //     DITools interposition, SelfAnalyzer, allocation policies) live in
@@ -25,6 +34,29 @@ package dpd
 import (
 	"dpd/internal/core"
 	"dpd/internal/pool"
+)
+
+// Re-exported unified-interface types; see the core package for full
+// documentation. New constructs Detectors; Sample is the unit fed to
+// them; Stat is what Snapshot returns.
+type (
+	// Detector is the unified per-stream interface every engine
+	// satisfies: Feed, FeedAll, Snapshot, Reset, Window, Resize.
+	Detector = core.Detector
+	// Sample is one observation: Value for event streams (eq. 2),
+	// Magnitude for magnitude streams (eq. 1).
+	Sample = core.Sample
+	// Stat is a point-in-time snapshot of one stream (samples, lock,
+	// period, confidence, segment starts, prediction, window).
+	Stat = core.Stat
+	// EventEngine is the dynamic type New returns for event streams.
+	EventEngine = core.EventEngine
+	// MagnitudeEngine is the dynamic type New returns for WithMagnitude.
+	MagnitudeEngine = core.MagnitudeEngine
+	// MultiScaleEngine is the dynamic type New returns for WithLadder.
+	MultiScaleEngine = core.MultiScaleEngine
+	// AdaptiveEngine is the dynamic type New returns for WithAdaptive.
+	AdaptiveEngine = core.AdaptiveEngine
 )
 
 // Re-exported detector toolkit types. These aliases are the public names
@@ -86,22 +118,32 @@ var DefaultLadder = core.DefaultLadder
 
 // NewEventDetector returns a detector for event streams (loop addresses,
 // message tags): paper eq. (2).
+//
+// Deprecated: construct through New (e.g. New(WithWindow(n))), which
+// returns the unified Detector interface; this shim remains for
+// existing callers and for direct access to the raw engine.
 func NewEventDetector(cfg Config) (*EventDetector, error) { return core.NewEventDetector(cfg) }
 
 // NewMagnitudeDetector returns a detector for magnitude streams (CPU
 // counts, hardware counters): paper eq. (1).
+//
+// Deprecated: construct through New(WithMagnitude(thresh), ...).
 func NewMagnitudeDetector(cfg Config) (*MagnitudeDetector, error) {
 	return core.NewMagnitudeDetector(cfg)
 }
 
 // NewMultiScaleDetector returns a ladder of event detectors; windows nil
 // selects DefaultLadder.
+//
+// Deprecated: construct through New(WithLadder(windows...)).
 func NewMultiScaleDetector(windows []int, cfg Config) (*MultiScaleDetector, error) {
 	return core.NewMultiScaleDetector(windows, cfg)
 }
 
 // NewAdaptiveDetector returns an event detector with automatic window
 // management (paper §3.1/§4).
+//
+// Deprecated: construct through New(WithAdaptive(policy)).
 func NewAdaptiveDetector(policy AdaptivePolicy, cfg Config) (*AdaptiveDetector, error) {
 	return core.NewAdaptiveDetector(policy, cfg)
 }

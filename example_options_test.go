@@ -1,0 +1,88 @@
+// Runnable examples for the unified Detector surface: functional-option
+// construction through New and the subscription/event API.
+package dpd_test
+
+import (
+	"fmt"
+
+	"dpd"
+)
+
+// ExampleNew builds the paper's default detector (event engine, window
+// 1024) through the unified entry point and reads its state with
+// Snapshot instead of per-sample polling.
+func ExampleNew() {
+	det, err := dpd.New(dpd.WithWindow(16))
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < 40; i++ {
+		det.Feed(dpd.EventSample(int64(i % 3))) // period-3 loop addresses
+	}
+	st := det.Snapshot()
+	fmt.Printf("period %d after %d samples, %d segment starts\n", st.Period, st.Samples, st.Starts)
+	// Output:
+	// period 3 after 40 samples, 8 segment starts
+}
+
+// ExampleNew_magnitude selects the eq. (1) magnitude engine for a
+// CPU-usage-like stream; magnitude samples ride in Sample.Magnitude.
+func ExampleNew_magnitude() {
+	det := dpd.Must(dpd.WithMagnitude(0.5), dpd.WithWindow(100), dpd.WithConfirm(3))
+	for i := 0; i < 400; i++ {
+		v := 1.0
+		if i%44 < 30 { // 30 samples at 16 CPUs, 14 at 1 CPU → period 44
+			v = 16.0
+		}
+		det.Feed(dpd.MagnitudeSample(v))
+	}
+	fmt.Printf("periodicity m=%d\n", det.Snapshot().Period)
+	// Output:
+	// periodicity m=44
+}
+
+// ExampleNew_ladder selects the multi-scale engine: a ladder of event
+// detectors for nested periodicities. The unified Feed reports the
+// outermost locked structure; the full ladder stays reachable by
+// type-asserting to *MultiScaleEngine.
+func ExampleNew_ladder() {
+	det := dpd.Must(dpd.WithLadder(8, 64))
+	value := func(i int) int64 {
+		if i%12 == 0 {
+			return 99 // outer marker every 12 events
+		}
+		return int64(i % 3) // inner period 3
+	}
+	for i := 0; i < 300; i++ {
+		det.Feed(dpd.EventSample(value(i)))
+	}
+	fmt.Printf("outer period %d\n", det.Snapshot().Period)
+	fmt.Printf("per level: %v\n", det.(*dpd.MultiScaleEngine).Ladder().LockedPeriods())
+	// Output:
+	// outer period 12
+	// per level: [3 12]
+}
+
+// ExampleWithObserver subscribes callbacks to the detector's state
+// transitions: the push-style form of the paper's Figure 6 wiring,
+// instead of checking every per-sample Result.
+func ExampleWithObserver() {
+	det := dpd.Must(
+		dpd.WithWindow(16),
+		dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: func(e *dpd.Event) {
+				fmt.Printf("sample %d: locked period %d\n", e.T, e.Period)
+			},
+			Unlock: func(e *dpd.Event) {
+				fmt.Printf("sample %d: lost period %d\n", e.T, e.PrevPeriod)
+			},
+		}),
+	)
+	for i := 0; i < 40; i++ {
+		det.Feed(dpd.EventSample(int64(i % 4))) // period-4 loop addresses
+	}
+	det.Feed(dpd.EventSample(1000)) // aperiodic glitch breaks the lock
+	// Output:
+	// sample 19: locked period 4
+	// sample 40: lost period 4
+}

@@ -35,21 +35,28 @@ func usage(t int) float64 {
 }
 
 func main() {
+	// Detection runs through the unified magnitude engine with an
+	// observer announcing the lock; forecasting runs through the
+	// MagnitudePredictor fed the same signal.
+	det := dpd.Must(
+		dpd.WithMagnitude(0), dpd.WithWindow(100), dpd.WithConfirm(3),
+		dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: func(e *dpd.Event) {
+				fmt.Printf("t=%3d ms: periodicity detected, m=%d ms\n", e.T, e.Period)
+			},
+		}),
+	)
 	pred, err := dpd.NewMagnitudePredictor(dpd.Config{Window: 100, Confirm: 3})
 	if err != nil {
 		panic(err)
 	}
 
-	var lockAt int = -1
-	var res dpd.Result
 	for t := 0; t < 600; t++ {
-		res = pred.Feed(usage(t))
-		if res.Locked && lockAt < 0 {
-			lockAt = t
-			fmt.Printf("t=%3d ms: periodicity detected, m=%d ms\n", t, res.Period)
-		}
+		det.Feed(dpd.MagnitudeSample(usage(t)))
+		pred.Feed(usage(t))
 	}
-	fmt.Printf("final lock: m=%d ms (confidence %.2f)\n\n", res.Period, res.Confidence)
+	st := det.Snapshot()
+	fmt.Printf("final lock: m=%d ms (confidence %.2f)\n\n", st.Period, st.Confidence)
 
 	// Forecast the next 8 ms of load and compare with the true signal.
 	fmt.Println("forecast vs actual:")

@@ -6,10 +6,15 @@
 // several producer goroutines, and the final snapshot reports what the
 // pool detected per application.
 //
+// The pool is generic over the unified Detector interface: -engine
+// selects the per-stream engine (plain event detector, adaptive window,
+// or a multi-scale ladder) injected through PoolConfig.NewDetector.
+//
 // Usage:
 //
 //	go run ./examples/multistream
 //	go run ./examples/multistream -streams 500 -shards 8 -events 6000
+//	go run ./examples/multistream -engine adaptive
 package main
 
 import (
@@ -32,6 +37,7 @@ func main() {
 	feeders := flag.Int("feeders", 4, "producer goroutines")
 	window := flag.Int("window", 512, "detector window (must exceed the largest expected period)")
 	chunk := flag.Int("chunk", 32, "consecutive samples per stream per batch")
+	engine := flag.String("engine", "event", "per-stream engine: event|adaptive|multiscale")
 	flag.Parse()
 
 	// One recorded address trace per application (paper Figure 7); each
@@ -43,9 +49,33 @@ func main() {
 		traces = append(traces, app.Trace())
 	}
 
+	// Each stream gets its own engine from the injected factory; any
+	// Detector works behind the pool. The option set is validated once
+	// up front so flag errors exit cleanly instead of panicking inside
+	// the factory.
+	var opts []dpd.Option
+	switch *engine {
+	case "event":
+		opts = []dpd.Option{dpd.WithWindow(*window)}
+	case "adaptive":
+		policy := dpd.DefaultAdaptivePolicy()
+		policy.MaxWindow = *window
+		opts = []dpd.Option{dpd.WithAdaptive(policy)}
+	case "multiscale":
+		opts = []dpd.Option{dpd.WithLadder(8, 64, *window)}
+	default:
+		fmt.Fprintf(os.Stderr, "multistream: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	if _, err := dpd.New(opts...); err != nil {
+		fmt.Fprintln(os.Stderr, "multistream:", err)
+		os.Exit(2)
+	}
+	factory := func() dpd.Detector { return dpd.Must(opts...) }
+
 	p, err := dpd.NewPool(dpd.PoolConfig{
-		Shards:   *shards,
-		Detector: dpd.Config{Window: *window},
+		Shards:      *shards,
+		NewDetector: factory,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "multistream:", err)

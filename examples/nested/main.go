@@ -5,7 +5,9 @@
 // many times in a row (period 1), an inner group of loops iterated
 // several times (period = group size), and the outer main-loop iteration
 // (period = whole body). No single window captures all three — the
-// multi-scale ladder does (paper Table 2: hydro2d detects 1, 24, 269).
+// multi-scale ladder built with dpd.New(dpd.WithLadder(...)) does
+// (paper Table 2: hydro2d detects 1, 24, 269). The observer reports the
+// outer structure emerging scale by scale as larger windows fill.
 //
 // Run with: go run ./examples/nested
 package main
@@ -36,31 +38,34 @@ func main() {
 	}
 	fmt.Printf("outer iteration length: %d loop calls\n\n", len(body))
 
-	ms, err := dpd.NewMultiScaleDetector([]int{8, 32, 128}, dpd.Config{})
-	if err != nil {
-		panic(err)
-	}
-	tracker := dpd.NewPeriodTracker()
+	// The observer sees the primary (outermost locked) structure refine
+	// itself as deeper ladder levels wake: 1 → 6 → 49.
+	det := dpd.Must(
+		dpd.WithLadder(8, 32, 128),
+		dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: func(e *dpd.Event) {
+				fmt.Printf("  event %4d: outer structure locked, period %d\n", e.T, e.Period)
+			},
+			PeriodChange: func(e *dpd.Event) {
+				fmt.Printf("  event %4d: outer structure refined, period %d → %d\n", e.T, e.PrevPeriod, e.Period)
+			},
+		}),
+	)
 
+	fmt.Println("outer-structure transitions (observer callbacks):")
 	for iter := 0; iter < 10; iter++ {
 		for _, addr := range body {
-			mr := ms.Feed(addr)
-			tracker.ObserveMulti(mr, ms)
+			det.Feed(dpd.EventSample(addr))
 		}
-	}
-
-	fmt.Println("periodicities detected over the run (window = smallest that certified it):")
-	for _, s := range tracker.Stats() {
-		if s.Samples < 8 {
-			continue // transient flickers
-		}
-		fmt.Printf("  period %3d  first seen at event %5d  locked for %5d events  window %d\n",
-			s.Period, s.FirstAt, s.Samples, s.Window)
 	}
 
 	fmt.Println("\ncurrent locks per ladder level:")
-	for i := 0; i < ms.Levels(); i++ {
-		lvl := ms.Level(i)
+	ladder := det.(*dpd.MultiScaleEngine).Ladder()
+	for i := 0; i < ladder.Levels(); i++ {
+		lvl := ladder.Level(i)
 		fmt.Printf("  window %4d: period %d\n", lvl.Window(), lvl.Locked())
 	}
+	st := det.Snapshot()
+	fmt.Printf("\nprimary: period %d over %d samples, %d outer-period starts\n",
+		st.Period, st.Samples, st.Starts)
 }

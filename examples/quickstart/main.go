@@ -1,9 +1,10 @@
-// Quickstart: the paper's Table 1 interface on a loop-address stream.
+// Quickstart: the unified detector surface on a loop-address stream.
 //
 // A parallel application executes the same sequence of encapsulated
 // parallel loops every iteration of its main loop. Feeding the loop
-// "addresses" to the DPD yields the iteration structure: the period
-// length and a flag on the first loop of each iteration.
+// "addresses" to a detector built with dpd.New yields the iteration
+// structure; subscribing an Observer delivers the period starts as
+// callbacks instead of per-sample polling (the paper's Figure 6 wiring).
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -16,37 +17,39 @@ import (
 
 func main() {
 	// The detector starts with a large window so that any periodicity up
-	// to 1023 events can be captured (paper §3.1).
-	det := dpd.NewDPD()
+	// to 1023 events can be captured (paper §3.1); the observer fires on
+	// every lock and period start.
+	det := dpd.Must(
+		dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: func(e *dpd.Event) {
+				fmt.Printf("event %4d: locked period of %d loops\n", e.T, e.Period)
+			},
+			SegmentStart: func(e *dpd.Event) {
+				fmt.Printf("event %4d: starts a period of %d loops\n", e.T, e.Period)
+			},
+		}),
+	)
 
 	// An application iterating over four parallel loops, with a short
 	// aperiodic initialization phase first.
 	init := []int64{0xF00, 0xF40, 0xF80}
 	loops := []int64{0x100, 0x140, 0x180, 0x1C0}
 
-	feed := func(addr int64, i int) {
-		start, period := det.Feed(addr)
-		if start != 0 {
-			fmt.Printf("event %4d: address %#x starts a period of %d loops\n", i, addr, period)
-		}
-	}
-
-	i := 0
 	for _, a := range init {
-		feed(a, i)
-		i++
+		det.Feed(dpd.EventSample(a))
 	}
 	// Once a satisfying periodicity is expected to be small, the window
 	// can be shrunk at run time to cut the per-event cost (DPDWindowSize).
-	if err := det.WindowSize(16); err != nil {
+	if err := det.Resize(16); err != nil {
 		panic(err)
 	}
 	for iter := 0; iter < 8; iter++ {
 		for _, a := range loops {
-			feed(a, i)
-			i++
+			det.Feed(dpd.EventSample(a))
 		}
 	}
 
-	fmt.Printf("\nfinal state: period %d, window %d\n", det.Period(), det.Window())
+	st := det.Snapshot()
+	fmt.Printf("\nfinal state: period %d, window %d, %d samples, %d period starts\n",
+		st.Period, st.Window, st.Samples, st.Starts)
 }

@@ -3,9 +3,10 @@
 // The paper's first use case: "the dynamic segmentation of the data
 // stream in periods. Periods in a data stream or multiples of them may
 // represent reasonable intervals for performance measurement." This
-// example feeds a three-phase stream (initialization, a solver with a
-// 4-loop body, a postprocessing nest with a 7-loop body) through the
-// Segmenter and prints the measurement intervals it derives.
+// example derives the measurement intervals from the subscription API
+// alone — OnLock opens a segment, OnSegmentStart extends it, OnUnlock
+// and OnPeriodChange close it — with no per-sample polling. (The
+// polling-era Segmenter type remains available for batch use.)
 //
 // Run with: go run ./examples/segmentation
 package main
@@ -16,32 +17,67 @@ import (
 	"dpd"
 )
 
+// segment is one periodicity-governed measurement interval.
+type segment struct {
+	start, end uint64
+	period     int
+	periods    int
+}
+
 func main() {
-	seg, err := dpd.NewSegmenter(dpd.Config{Window: 16, Grace: 4})
-	if err != nil {
-		panic(err)
+	var (
+		segments []segment
+		open     *segment
+	)
+	closeAt := func(end uint64) {
+		if open != nil {
+			open.end = end
+			if open.periods >= 3 { // ignore stretches under 3 full periods
+				segments = append(segments, *open)
+			}
+			open = nil
+		}
 	}
-	seg.MinPeriods = 3 // ignore stretches shorter than 3 full periods
+	det := dpd.Must(
+		dpd.WithWindow(16),
+		dpd.WithGrace(4),
+		dpd.WithObserver(dpd.ObserverFuncs{
+			Lock: func(e *dpd.Event) {
+				open = &segment{start: e.T, period: e.Period}
+			},
+			PeriodChange: func(e *dpd.Event) {
+				closeAt(e.T)
+				open = &segment{start: e.T, period: e.Period}
+			},
+			SegmentStart: func(e *dpd.Event) {
+				if open != nil && e.T > open.start {
+					open.periods++
+				}
+			},
+			Unlock: func(e *dpd.Event) { closeAt(e.T) },
+		}),
+	)
 
 	feedPattern := func(pat []int64, reps int) {
 		for i := 0; i < reps*len(pat); i++ {
-			seg.Feed(pat[i%len(pat)])
+			det.Feed(dpd.EventSample(pat[i%len(pat)]))
 		}
 	}
 
 	// Phase 1: aperiodic initialization (distinct addresses).
 	for i := int64(0); i < 25; i++ {
-		seg.Feed(0xE000 + i*0x40)
+		det.Feed(dpd.EventSample(0xE000 + i*0x40))
 	}
 	// Phase 2: solver, 4 parallel loops per iteration, 40 iterations.
 	feedPattern([]int64{0x100, 0x140, 0x180, 0x1C0}, 40)
 	// Phase 3: postprocessing, 7 loops per iteration, 20 iterations.
 	feedPattern([]int64{0x900, 0x940, 0x980, 0x9C0, 0xA00, 0xA40, 0xA80}, 20)
+	closeAt(det.Snapshot().Samples) // flush the segment still open at EOF
 
-	fmt.Println("measurement intervals derived from the stream:")
-	for i, s := range seg.Flush() {
+	fmt.Println("measurement intervals derived from observer events:")
+	for i, s := range segments {
 		fmt.Printf("  segment %d: events [%d, %d) — period %d loops, %d complete periods\n",
-			i+1, s.Start, s.End, s.Period, s.Periods)
+			i+1, s.start, s.end, s.period, s.periods)
 	}
 	fmt.Println("\na performance tool can now measure one period per segment and")
 	fmt.Println("predict the rest, instead of monitoring continuously (paper §1).")

@@ -45,8 +45,9 @@ func main() {
 		}
 		s, _ := sa.Speedup()
 		est, _ := sa.EstimateTotal(app.Iterations)
-		fmt.Printf("%-8s region period %3d  speedup %5.2f on %2d CPUs  estimated total %8.1fs\n",
-			app.Name, r.Period, s, r.CurrentProcs, est.Seconds())
+		st := sa.Snapshot() // unified detector state behind the analyzer
+		fmt.Printf("%-8s region period %3d  speedup %5.2f on %2d CPUs  estimated total %8.1fs  (%d events, %d starts)\n",
+			app.Name, r.Period, s, r.CurrentProcs, est.Seconds(), st.Samples, st.Starts)
 		speedups[app.Name] = s
 	}
 

@@ -1,9 +1,5 @@
 package dpd
 
-import (
-	"dpd/internal/core"
-)
-
 // DPD is the paper's Table 1 interface, ported to Go:
 //
 //	int DPD(long sample, int *period)   → Feed(sample) (start, period)
@@ -19,33 +15,39 @@ import (
 //	        InitParallelRegion(address, period)
 //	}
 //
+// Since the unified-interface redesign, DPD is a thin shim over the
+// event engine returned by New: new code should use New directly (and
+// WithObserver instead of polling the start flag), but this type stays
+// as the faithful paper port.
+//
 // The zero value is not usable; construct with NewDPD.
 type DPD struct {
-	det *core.EventDetector
+	eng *EventEngine
 }
 
 // NewDPD returns a detector with the paper's default setting: a window of
 // 1024 samples, large enough to capture periodicities of up to 1023
 // samples; call WindowSize to shrink it once a satisfying periodicity is
-// detected (paper §3.1).
+// detected (paper §3.1). It is equivalent to New() with no options.
 func NewDPD() *DPD {
-	return &DPD{det: core.MustEventDetector(core.Config{Window: 1024})}
+	return &DPD{eng: Must().(*EventEngine)}
 }
 
-// NewDPDWithWindow returns a detector with an explicit window size.
+// NewDPDWithWindow returns a detector with an explicit window size. It is
+// equivalent to New(WithWindow(size)).
 func NewDPDWithWindow(size int) (*DPD, error) {
-	det, err := core.NewEventDetector(core.Config{Window: size})
+	det, err := New(WithWindow(size))
 	if err != nil {
 		return nil, err
 	}
-	return &DPD{det: det}, nil
+	return &DPD{eng: det.(*EventEngine)}, nil
 }
 
 // Feed processes one sample. start is 1 when the sample begins a new
 // period (the paper's non-zero return), else 0; period is the detected
 // periodicity in samples (0 while no periodicity is established).
 func (d *DPD) Feed(sample int64) (start, period int) {
-	r := d.det.Feed(sample)
+	r := d.eng.Feed(Sample{Value: sample})
 	if !r.Locked {
 		return 0, 0
 	}
@@ -62,24 +64,35 @@ func (d *DPD) Feed(sample int64) (start, period int) {
 // allocation-free; this is the entry point for amortized multi-stream
 // serving where per-call overhead matters.
 func (d *DPD) FeedAll(samples []int64, dst []Result) []Result {
-	return d.det.FeedAll(samples, dst)
+	if cap(dst) < len(samples) {
+		dst = make([]Result, len(samples))
+	}
+	dst = dst[:len(samples)]
+	for i, v := range samples {
+		dst[i] = d.eng.Feed(Sample{Value: v})
+	}
+	return dst
 }
 
 // WindowSize adjusts the data window size during execution
 // (paper Table 1: DPDWindowSize). Invalid sizes are rejected.
-func (d *DPD) WindowSize(size int) error { return d.det.Resize(size) }
+func (d *DPD) WindowSize(size int) error { return d.eng.Resize(size) }
 
 // Window returns the current window size.
-func (d *DPD) Window() int { return d.det.Window() }
+func (d *DPD) Window() int { return d.eng.Window() }
 
 // Period returns the currently locked periodicity (0 if none).
-func (d *DPD) Period() int { return d.det.Locked() }
+func (d *DPD) Period() int { return d.eng.Detector().Locked() }
 
 // Predict returns the forecast for the next sample under the locked
 // periodicity, x̂[t+1] = x[t+1−p], and whether a forecast is possible —
 // the paper's prediction-of-future-values use of the DPD without the
 // bookkeeping of a full EventPredictor. It does not allocate.
-func (d *DPD) Predict() (int64, bool) { return d.det.PredictNext() }
+func (d *DPD) Predict() (int64, bool) { return d.eng.Detector().PredictNext() }
 
 // Reset clears all detector state.
-func (d *DPD) Reset() { d.det.Reset() }
+func (d *DPD) Reset() { d.eng.Reset() }
+
+// AsDetector exposes the shimmed event engine as the unified Detector
+// interface (Snapshot, observer-capable construction lives in New).
+func (d *DPD) AsDetector() Detector { return d.eng }

@@ -33,6 +33,10 @@ func DefaultAdaptivePolicy() AdaptivePolicy {
 	}
 }
 
+// Validate reports whether the policy is well-formed (bounds ordered,
+// counters positive, headroom above 1).
+func (p AdaptivePolicy) Validate() error { return p.validate() }
+
 func (p AdaptivePolicy) validate() error {
 	if p.MinWindow < 2 || p.MaxWindow < p.MinWindow {
 		return fmt.Errorf("core: adaptive bounds [%d,%d] invalid", p.MinWindow, p.MaxWindow)
@@ -134,6 +138,21 @@ func (a *AdaptiveDetector) Feed(v int64) Result {
 		}
 	}
 	return r
+}
+
+// Resize manually overrides the window size (paper DPDWindowSize); the
+// policy resumes automatic shrinking/growing from the new size. Sizes
+// outside the policy bounds are clamped into [MinWindow, MaxWindow].
+// Manual overrides are not counted by Resizes, which tracks only the
+// policy's automatic decisions.
+func (a *AdaptiveDetector) Resize(newWindow int) error {
+	if newWindow < a.policy.MinWindow {
+		newWindow = a.policy.MinWindow
+	}
+	if newWindow > a.policy.MaxWindow {
+		newWindow = a.policy.MaxWindow
+	}
+	return a.det.Resize(newWindow)
 }
 
 // Reset clears the wrapped detector and restores the maximum window.

@@ -71,6 +71,9 @@ func (d *EventDetector) Locked() int {
 }
 
 // Feed processes one event sample and returns the detection result.
+// NOTE: the body is mirrored in EventEngine.Feed (detector.go), which
+// fuses it with the engine's tracking to save a call frame on the
+// pooled serving path — keep the two in sync.
 func (d *EventDetector) Feed(v int64) Result {
 	d.bank.Push(v)
 	res := d.decide()

@@ -80,6 +80,15 @@ func (d *MagnitudeDetector) Locked() int {
 	return d.period
 }
 
+// Confidence returns the prominence of the current lock's minimum in
+// [0,1] (0 if not locked).
+func (d *MagnitudeDetector) Confidence() float64 {
+	if !d.locked {
+		return 0
+	}
+	return d.conf
+}
+
 // zeroEps is the absolute tolerance under which a distance counts as zero,
 // scaled to the stream's own magnitude so that float accumulation noise on
 // large-valued streams does not mask exact periodicity.

@@ -1,0 +1,42 @@
+package core
+
+import "testing"
+
+// Micro benchmarks pinning the cost of the unified-interface adapter
+// over the raw detector hot path: the engine must add only a tracking
+// branch, not a call frame (EventEngine.Feed fuses the detector body),
+// and dispatching through the Detector interface must not add more
+// than the unavoidable indirect call.
+
+func BenchmarkMicroRawEventFeed(b *testing.B) {
+	d := MustEventDetector(Config{Window: 64})
+	for i := 0; i < 200; i++ {
+		d.Feed(int64(i % 8))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Feed(int64(i % 8))
+	}
+}
+
+func BenchmarkMicroEngineFeedConcrete(b *testing.B) {
+	e := NewEventEngine(MustEventDetector(Config{Window: 64}))
+	for i := 0; i < 200; i++ {
+		e.Feed(Sample{Value: int64(i % 8)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Feed(Sample{Value: int64(i % 8)})
+	}
+}
+
+func BenchmarkMicroEngineFeedInterface(b *testing.B) {
+	var e Detector = NewEventEngine(MustEventDetector(Config{Window: 64}))
+	for i := 0; i < 200; i++ {
+		e.Feed(Sample{Value: int64(i % 8)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Feed(Sample{Value: int64(i % 8)})
+	}
+}

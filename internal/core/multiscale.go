@@ -76,6 +76,9 @@ func MustMultiScaleDetector(windows []int, cfg Config) *MultiScaleDetector {
 // Levels returns the number of ladder levels.
 func (ms *MultiScaleDetector) Levels() int { return len(ms.levels) }
 
+// Samples returns the number of samples fed so far.
+func (ms *MultiScaleDetector) Samples() uint64 { return ms.t }
+
 // Level returns the i-th underlying detector (0 = smallest window).
 func (ms *MultiScaleDetector) Level(i int) *EventDetector { return ms.levels[i] }
 
@@ -189,17 +192,17 @@ func (ms *MultiScaleDetector) Reset() {
 // lifetime, as reported in the paper's Table 2.
 type PeriodStat struct {
 	// Period is the periodicity in samples.
-	Period int
+	Period int `json:"period"`
 	// FirstAt is the sample index of the first confirmation.
-	FirstAt uint64
+	FirstAt uint64 `json:"first_at"`
 	// LastAt is the sample index of the latest confirmation.
-	LastAt uint64
+	LastAt uint64 `json:"last_at"`
 	// Samples is the number of samples for which this period was locked.
-	Samples uint64
+	Samples uint64 `json:"samples"`
 	// Starts is the number of period-start segmentation marks emitted.
-	Starts uint64
+	Starts uint64 `json:"starts"`
 	// Window is the smallest detector window that confirmed the period.
-	Window int
+	Window int `json:"window"`
 }
 
 // PeriodTracker aggregates detector results into the set of distinct

@@ -57,20 +57,36 @@ type Fig4Result struct {
 	BestLag int
 	// Confidence is the prominence of the minimum.
 	Confidence float64
+	// LockedAt is the sample index at which the detector first locked
+	// onto BestLag, captured through the observer API; -1 if no lock
+	// was established.
+	LockedAt int
 	// Plot is the rendered figure.
 	Plot string
 }
 
-// Figure4 runs the eq. (1) magnitude detector over the Figure 3 trace and
-// returns the final distance curve.
+// Figure4 runs the eq. (1) magnitude engine over the Figure 3 trace and
+// returns the final distance curve; an Observer subscription records
+// when the final periodicity was established.
 func Figure4(fig3 Fig3Result) Fig4Result {
-	det := core.MustMagnitudeDetector(core.Config{Window: 100, Confirm: 3})
+	eng := core.NewMagnitudeEngine(core.MustMagnitudeDetector(core.Config{Window: 100, Confirm: 3}))
+	firstLock := map[int]int{} // period → sample index of its first lock
+	record := func(e *core.Event) {
+		if _, seen := firstLock[e.Period]; !seen {
+			firstLock[e.Period] = int(e.T)
+		}
+	}
+	eng.SetObserver(core.ObserverFuncs{Lock: record, PeriodChange: record})
 	var last core.Result
 	for _, v := range fig3.Trace.Samples {
-		last = det.Feed(v)
+		last = eng.Feed(core.Sample{Magnitude: v})
 	}
-	curve := det.Curve()
-	res := Fig4Result{Curve: curve.D, BestLag: last.Period, Confidence: last.Confidence}
+	curve := eng.Detector().Curve()
+	lockedAt := -1
+	if at, ok := firstLock[last.Period]; ok {
+		lockedAt = at
+	}
+	res := Fig4Result{Curve: curve.D, BestLag: last.Period, Confidence: last.Confidence, LockedAt: lockedAt}
 	res.Plot = textplot.Curve(curve.D, res.BestLag, textplot.Options{
 		Width:  99, // one column per lag
 		Height: 14,

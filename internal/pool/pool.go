@@ -29,17 +29,37 @@ import (
 type KeyedSample struct {
 	// Key identifies the stream (e.g. an application or process id).
 	Key uint64
-	// Value is the event sample (e.g. an encapsulated-loop address).
+	// Value is the event sample (e.g. an encapsulated-loop address),
+	// consumed by event, multi-scale and adaptive engines.
 	Value int64
+	// Magnitude is the magnitude sample (e.g. a CPU count), consumed by
+	// magnitude engines (pools built with a NewDetector magnitude
+	// factory).
+	Magnitude float64
+}
+
+// sample converts the keyed sample to the unified detector unit.
+func (ks KeyedSample) sample() core.Sample {
+	return core.Sample{Value: ks.Value, Magnitude: ks.Magnitude}
 }
 
 // Config parameterizes a Pool. The zero value selects GOMAXPROCS shards,
-// the paper-default detector configuration, and no idle eviction.
+// the paper-default per-stream event detector, and no idle eviction.
 type Config struct {
 	// Shards is the number of independent workers the key space is hashed
 	// across; 0 selects runtime.GOMAXPROCS(0).
 	Shards int
-	// Detector configures the per-stream event detector (paper eq. 2).
+	// NewDetector, when non-nil, constructs each stream's detector
+	// engine: the pool is generic over the unified core.Detector
+	// interface, so pooled streams can run event, magnitude,
+	// multi-scale or adaptive engines. The factory must return a fresh
+	// independent detector on every call and is invoked from shard
+	// workers (it must be safe for concurrent use; pure constructors
+	// are). When nil, streams run the event engine configured by
+	// Detector.
+	NewDetector func() core.Detector
+	// Detector configures the per-stream event detector (paper eq. 2)
+	// when NewDetector is nil.
 	Detector core.Config
 	// IdleTTL, when non-zero, expires a stream after it has gone more
 	// than IdleTTL shard samples without being fed (a shard sample is one
@@ -63,29 +83,16 @@ const DefaultSweepEvery = 1024
 const MaxShards = 1 << 12
 
 // StreamStat is a point-in-time, read-only view of one stream: the
-// per-stream results the paper's runtime consumers (SelfAnalyzer,
-// scheduler) need, captured without stalling ingest on other shards.
+// unified core.Stat (samples, lock, period, confidence, segment
+// boundaries, prediction) plus the stream's key, captured without
+// stalling ingest on other shards.
 type StreamStat struct {
 	// Key identifies the stream.
 	Key uint64
-	// Samples is the number of samples the stream has been fed since it
-	// was created (or last re-created after eviction).
-	Samples uint64
-	// Locked reports whether a periodicity is currently established.
-	Locked bool
-	// Period is the locked periodicity in samples (0 when not locked).
-	Period int
-	// Starts counts the period starts observed so far — the stream's
-	// segment boundaries in the sense of the paper's Figure 6.
-	Starts uint64
-	// LastStart is the stream-local sample index of the most recent
-	// period start (valid when Starts > 0).
-	LastStart uint64
-	// Predicted is the forecast for the stream's next sample,
-	// x̂[t+1] = x[t+1−p]; valid only when PredictedValid.
-	Predicted int64
-	// PredictedValid reports whether Predicted holds a forecast.
-	PredictedValid bool
+	// Stat is the stream's detector snapshot; its fields (Samples,
+	// Locked, Period, Starts, LastStart, Predicted, PredictedValid, …)
+	// are promoted onto StreamStat.
+	core.Stat
 }
 
 // Pool owns many keyed streams, one event detector per stream, sharded
@@ -107,8 +114,9 @@ type group struct {
 	done     chan struct{}
 }
 
-// New returns a started pool. The detector configuration is validated
-// eagerly so that stream creation inside the shard workers cannot fail.
+// New returns a started pool. The detector configuration (or injected
+// factory) is validated eagerly so that stream creation inside the
+// shard workers cannot fail.
 func New(cfg Config) (*Pool, error) {
 	if cfg.Shards == 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
@@ -116,8 +124,22 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Shards < 1 || cfg.Shards > MaxShards {
 		return nil, fmt.Errorf("pool: shards %d outside [1,%d]", cfg.Shards, MaxShards)
 	}
-	if _, err := core.NewEventDetector(cfg.Detector); err != nil {
-		return nil, err
+	if cfg.NewDetector == nil {
+		// Validate once, then capture the validated event configuration
+		// in the default factory.
+		if _, err := core.NewEventDetector(cfg.Detector); err != nil {
+			return nil, err
+		}
+		detCfg := cfg.Detector
+		cfg.NewDetector = func() core.Detector {
+			eng, err := core.NewEventEngineConfig(detCfg)
+			if err != nil {
+				panic(err) // validated above; cannot happen
+			}
+			return eng
+		}
+	} else if probe := cfg.NewDetector(); probe == nil {
+		return nil, fmt.Errorf("pool: NewDetector factory returned nil")
 	}
 	if cfg.SweepEvery == 0 {
 		cfg.SweepEvery = DefaultSweepEvery
@@ -169,14 +191,22 @@ func (p *Pool) shardOf(key uint64) int {
 	return int(uint64(uint32(key)) * uint64(len(p.shards)) >> 32)
 }
 
-// Feed processes one keyed sample synchronously on the caller's
+// Feed processes one keyed event sample synchronously on the caller's
 // goroutine (bypassing the shard worker queue) and returns the stream's
 // detection result. Per-key ordering with concurrent FeedBatch traffic on
-// the same key is the caller's responsibility.
+// the same key is the caller's responsibility. For magnitude engines use
+// FeedSample.
 func (p *Pool) Feed(key uint64, v int64) core.Result {
+	return p.FeedSample(key, core.Sample{Value: v})
+}
+
+// FeedSample is Feed for the unified sample type: the entry point for
+// pooled magnitude streams (Sample.Magnitude) and generally for any
+// injected engine.
+func (p *Pool) FeedSample(key uint64, s core.Sample) core.Result {
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
-	r := sh.feedLocked(key, v)
+	r := sh.feedLocked(key, s)
 	sh.maybeSweep()
 	sh.mu.Unlock()
 	return r
@@ -226,7 +256,7 @@ func (p *Pool) worker(sh *shard) {
 	for r := range sh.in {
 		sh.mu.Lock()
 		for _, ks := range r.samples {
-			sh.feedLocked(ks.Key, ks.Value)
+			sh.feedLocked(ks.Key, ks.sample())
 		}
 		sh.maybeSweep()
 		sh.mu.Unlock()

@@ -219,3 +219,132 @@ func TestPoolShardOfCoversAllShards(t *testing.T) {
 		}
 	}
 }
+
+// magnitudeWave is a deterministic FT-like CPU-usage sample: period-44
+// square-ish wave, phase-shifted per key.
+func magnitudeWave(key uint64, i int) float64 {
+	if (i+int(key%7))%44 < 30 {
+		return 16
+	}
+	return 1
+}
+
+// TestPoolInjectedMagnitudeEngine proves a pooled stream can run the
+// eq. (1) magnitude engine through Config.NewDetector, with per-stream
+// state identical to a standalone engine fed the same wave.
+func TestPoolInjectedMagnitudeEngine(t *testing.T) {
+	cfg := core.Config{Window: 100, Confirm: 3}
+	p := Must(Config{
+		Shards: 2,
+		NewDetector: func() core.Detector {
+			return core.NewMagnitudeEngine(core.MustMagnitudeDetector(cfg))
+		},
+	})
+	defer p.Close()
+
+	keys := []uint64{3, 11, 40}
+	const n = 400
+	batch := make([]KeyedSample, len(keys))
+	for i := 0; i < n; i++ {
+		for j, k := range keys {
+			batch[j] = KeyedSample{Key: k, Magnitude: magnitudeWave(k, i)}
+		}
+		p.FeedBatch(batch)
+	}
+	for _, k := range keys {
+		eng := core.NewMagnitudeEngine(core.MustMagnitudeDetector(cfg))
+		for i := 0; i < n; i++ {
+			eng.Feed(core.Sample{Magnitude: magnitudeWave(k, i)})
+		}
+		want := eng.Snapshot()
+		got, ok := p.Stat(k)
+		if !ok {
+			t.Fatalf("stream %d missing", k)
+		}
+		if got.Stat != want {
+			t.Errorf("stream %d diverges from standalone magnitude engine:\n  pool:       %+v\n  standalone: %+v", k, got.Stat, want)
+		}
+		if !got.Locked || got.Period != 44 {
+			t.Errorf("stream %d: locked=%v period=%d, want locked period 44", k, got.Locked, got.Period)
+		}
+	}
+}
+
+// TestPoolInjectedMultiScaleEngine proves a pooled stream can run the
+// multi-scale ladder, detecting the outer period of a nested stream.
+func TestPoolInjectedMultiScaleEngine(t *testing.T) {
+	windows := []int{8, 64}
+	p := Must(Config{
+		Shards: 2,
+		NewDetector: func() core.Detector {
+			return core.NewMultiScaleEngine(core.MustMultiScaleDetector(windows, core.Config{}))
+		},
+	})
+	defer p.Close()
+
+	// Nested stream: inner period 3 (0,1,2) with an outer marker every
+	// 12 samples -> outer period 12 once the 64-window fills.
+	value := func(i int) int64 {
+		if i%12 == 0 {
+			return 99
+		}
+		return int64(i % 3)
+	}
+	const key, n = 7, 300
+	eng := core.NewMultiScaleEngine(core.MustMultiScaleDetector(windows, core.Config{}))
+	for i := 0; i < n; i++ {
+		got := p.FeedSample(key, core.Sample{Value: value(i)})
+		want := eng.Feed(core.Sample{Value: value(i)})
+		if got != want {
+			t.Fatalf("sample %d: pool %+v != standalone %+v", i, got, want)
+		}
+	}
+	got, _ := p.Stat(key)
+	if got.Stat != eng.Snapshot() {
+		t.Errorf("snapshot diverges:\n  pool:       %+v\n  standalone: %+v", got.Stat, eng.Snapshot())
+	}
+	if !got.Locked || got.Period != 12 {
+		t.Errorf("pooled ladder: locked=%v period=%d, want outer period 12", got.Locked, got.Period)
+	}
+}
+
+// TestPoolInjectedAdaptiveEngine proves a pooled stream can run the
+// adaptive-window engine, shrinking its window after a stable lock.
+func TestPoolInjectedAdaptiveEngine(t *testing.T) {
+	policy := core.AdaptivePolicy{MinWindow: 8, MaxWindow: 64, ShrinkAfter: 16, Headroom: 2.5, GrowAfter: 32}
+	p := Must(Config{
+		Shards: 1,
+		NewDetector: func() core.Detector {
+			return core.NewAdaptiveEngine(core.MustAdaptiveDetector(policy, core.Config{}))
+		},
+	})
+	defer p.Close()
+
+	const key, n = 9, 300
+	eng := core.NewAdaptiveEngine(core.MustAdaptiveDetector(policy, core.Config{}))
+	for i := 0; i < n; i++ {
+		got := p.Feed(key, int64(i%5))
+		want := eng.Feed(core.Sample{Value: int64(i % 5)})
+		if got != want {
+			t.Fatalf("sample %d: pool %+v != standalone %+v", i, got, want)
+		}
+	}
+	got, _ := p.Stat(key)
+	if got.Stat != eng.Snapshot() {
+		t.Errorf("snapshot diverges:\n  pool:       %+v\n  standalone: %+v", got.Stat, eng.Snapshot())
+	}
+	if !got.Locked || got.Period != 5 {
+		t.Errorf("pooled adaptive: locked=%v period=%d, want locked period 5", got.Locked, got.Period)
+	}
+	if got.Window >= policy.MaxWindow {
+		t.Errorf("window %d did not shrink below MaxWindow %d despite stable lock", got.Window, policy.MaxWindow)
+	}
+}
+
+// TestPoolNilFactoryResultRejected: a NewDetector factory returning nil
+// is a construction-time error, not a worker panic.
+func TestPoolNilFactoryResultRejected(t *testing.T) {
+	if _, err := New(Config{NewDetector: func() core.Detector { return nil }}); err == nil {
+		t.Fatal("nil-returning factory accepted")
+	}
+}

@@ -20,30 +20,20 @@ func streamValue(key uint64, i int) int64 {
 	return int64((i + phase) % period)
 }
 
-// standaloneStat feeds stream `key` through a fresh standalone detector
-// sequentially and accumulates exactly the stats a pooled stream tracks.
+// standaloneStat feeds stream `key` through a fresh standalone engine
+// sequentially; its Snapshot is exactly the stat a pooled stream
+// reports.
 func standaloneStat(t *testing.T, cfg core.Config, key uint64, n int) StreamStat {
 	t.Helper()
 	det, err := core.NewEventDetector(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := StreamStat{Key: key, Samples: uint64(n)}
+	eng := core.NewEventEngine(det)
 	for i := 0; i < n; i++ {
-		r := det.Feed(streamValue(key, i))
-		if r.Start {
-			st.Starts++
-			st.LastStart = r.T
-		}
+		eng.Feed(core.Sample{Value: streamValue(key, i)})
 	}
-	if p := det.Locked(); p != 0 {
-		st.Locked = true
-		st.Period = p
-	}
-	if v, ok := det.PredictNext(); ok {
-		st.Predicted, st.PredictedValid = v, true
-	}
-	return st
+	return StreamStat{Key: key, Stat: eng.Snapshot()}
 }
 
 // TestPoolMatchesStandaloneDetectors is the PR 2 differential: many

@@ -18,37 +18,21 @@ type shardRun struct {
 	g       *group
 }
 
-// stream is the per-key detector state. Evicted streams are recycled
-// through the shard freelist, so the struct and its detector survive and
-// are reset rather than released.
+// stream is the per-key detector state: any engine satisfying the
+// unified core.Detector interface, which itself tracks samples, segment
+// starts and prediction (surfaced through Snapshot). Evicted streams
+// are recycled through the shard freelist, so the struct and its
+// detector survive and are reset rather than released.
 type stream struct {
 	key     uint64
-	det     *core.EventDetector
-	samples uint64
-	starts  uint64
-	last    uint64 // stream-local index of the most recent period start
+	det     core.Detector
 	lastFed uint64 // shard clock at the stream's most recent sample
 }
 
 // stat captures the stream's current StreamStat. Caller holds the shard
 // lock.
 func (st *stream) stat() StreamStat {
-	s := StreamStat{
-		Key:     st.key,
-		Samples: st.samples,
-		Starts:  st.starts,
-	}
-	if p := st.det.Locked(); p != 0 {
-		s.Locked = true
-		s.Period = p
-	}
-	if st.starts > 0 {
-		s.LastStart = st.last
-	}
-	if v, ok := st.det.PredictNext(); ok {
-		s.Predicted, s.PredictedValid = v, true
-	}
-	return s
+	return StreamStat{Key: st.key, Stat: st.det.Snapshot()}
 }
 
 // shard owns one partition of the key space: a map of streams, a freelist
@@ -62,7 +46,7 @@ type shard struct {
 	streams map[uint64]*stream
 	free    []*stream
 
-	detCfg     core.Config
+	newDet     func() core.Detector
 	ttl        uint64
 	sweepEvery uint64
 
@@ -75,7 +59,7 @@ func newShard(cfg Config) *shard {
 	return &shard{
 		in:         make(chan shardRun, runQueueDepth),
 		streams:    make(map[uint64]*stream),
-		detCfg:     cfg.Detector,
+		newDet:     cfg.NewDetector,
 		ttl:        cfg.IdleTTL,
 		sweepEvery: cfg.SweepEvery,
 		sweepAt:    cfg.SweepEvery,
@@ -84,39 +68,31 @@ func newShard(cfg Config) *shard {
 
 // feedLocked feeds one sample to its stream, creating the stream from the
 // freelist (or fresh) on first sight. Caller holds the shard lock.
-func (sh *shard) feedLocked(key uint64, v int64) core.Result {
+func (sh *shard) feedLocked(key uint64, s core.Sample) core.Result {
 	st, ok := sh.streams[key]
 	if !ok {
 		st = sh.newStream(key)
 		sh.streams[key] = st
 	}
-	r := st.det.Feed(v)
-	st.samples++
-	if r.Start {
-		st.starts++
-		st.last = r.T
-	}
+	r := st.det.Feed(s)
 	sh.clock++
 	st.lastFed = sh.clock
 	return r
 }
 
-// newStream pops a recycled stream state or builds a fresh one. The pool
-// validated the detector configuration at construction, so MustEventDetector
-// cannot panic here.
+// newStream pops a recycled stream state or builds a fresh one via the
+// injected detector factory. The pool validated the factory (or the
+// default event configuration) at construction, so this cannot fail.
 func (sh *shard) newStream(key uint64) *stream {
 	if n := len(sh.free); n > 0 {
 		st := sh.free[n-1]
 		sh.free[n-1] = nil
 		sh.free = sh.free[:n-1]
 		st.key = key
-		st.samples = 0
-		st.starts = 0
-		st.last = 0
 		st.lastFed = 0
 		return st
 	}
-	return &stream{key: key, det: core.MustEventDetector(sh.detCfg)}
+	return &stream{key: key, det: sh.newDet()}
 }
 
 // maybeSweep runs the idle sweep when the TTL policy is enabled and the

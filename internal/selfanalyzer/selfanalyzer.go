@@ -108,9 +108,14 @@ type Config struct {
 }
 
 // SelfAnalyzer watches one application through DITools interposition.
+// It consumes the DPD through the unified engine's subscription API:
+// instead of inspecting every per-sample result, it subscribes an
+// Observer and reacts only to segment-start transitions — the literal
+// form of the paper's Figure 6, where the detection point drives
+// InitParallelRegion.
 type SelfAnalyzer struct {
 	rt  *nanos.Runtime
-	det *core.MultiScaleDetector
+	eng *core.MultiScaleEngine
 
 	baseline int
 	phase    Phase
@@ -119,6 +124,10 @@ type SelfAnalyzer struct {
 	// measurement bookkeeping
 	iterStart    time.Duration
 	restoreProcs int
+
+	// cur is the ditools event being fed, stashed for the observer
+	// callback that fires synchronously inside eng.Feed.
+	cur ditools.Event
 
 	events uint64
 }
@@ -136,7 +145,8 @@ func Attach(rt *nanos.Runtime, reg *ditools.Registry, cfg Config) (*SelfAnalyzer
 	if err != nil {
 		return nil, err
 	}
-	sa := &SelfAnalyzer{rt: rt, det: det, baseline: cfg.Baseline, phase: PhaseSearch}
+	sa := &SelfAnalyzer{rt: rt, eng: core.NewMultiScaleEngine(det), baseline: cfg.Baseline, phase: PhaseSearch}
+	sa.eng.SetObserver(core.ObserverFuncs{SegmentStart: sa.onSegmentStart})
 	reg.OnCall(sa.onCall)
 	return sa, nil
 }
@@ -150,28 +160,29 @@ func MustAttach(rt *nanos.Runtime, reg *ditools.Registry, cfg Config) *SelfAnaly
 	return sa
 }
 
-// onCall is the DITools handler: DPD first, then region bookkeeping.
+// onCall is the DITools handler: it stashes the runtime event and feeds
+// the DPD engine; all region bookkeeping happens in onSegmentStart,
+// which the engine calls back synchronously when — and only when — a
+// sample begins a period.
 func (sa *SelfAnalyzer) onCall(e ditools.Event) {
 	sa.events++
-	mr := sa.det.Feed(e.Addr)
-	pr := mr.Primary
-	if !pr.Locked {
-		return
-	}
+	sa.cur = e
+	sa.eng.Feed(core.Sample{Value: e.Addr})
+}
 
+// onSegmentStart is the Observer callback (paper Figure 6 step 3): the
+// detection point identifies the region, period starts advance the
+// measurement state machine.
+func (sa *SelfAnalyzer) onSegmentStart(ev *core.Event) {
+	e := sa.cur
 	// Re-identify when an enclosing (longer) period is discovered: the
 	// outermost structure is the application's main loop.
-	if sa.region == nil || pr.Period > sa.region.Period {
-		if pr.Start {
-			sa.initRegion(e, pr.Period)
-		}
+	if sa.region == nil || ev.Period > sa.region.Period {
+		sa.initRegion(e, ev.Period)
 		return
 	}
-	if pr.Period != sa.region.Period {
+	if ev.Period != sa.region.Period {
 		return // an inner periodicity; the outer region stays authoritative
-	}
-	if !pr.Start {
-		return
 	}
 	sa.onPeriodStart(e)
 }
@@ -259,8 +270,12 @@ func (sa *SelfAnalyzer) Region() *Region { return sa.region }
 // Events returns the number of loop-call events observed.
 func (sa *SelfAnalyzer) Events() uint64 { return sa.events }
 
-// Detector exposes the underlying multi-scale DPD.
-func (sa *SelfAnalyzer) Detector() *core.MultiScaleDetector { return sa.det }
+// Detector exposes the underlying multi-scale DPD ladder.
+func (sa *SelfAnalyzer) Detector() *core.MultiScaleDetector { return sa.eng.Ladder() }
+
+// Snapshot returns the engine's unified detector state (outer lock,
+// segment-start count, window) without disturbing the analysis.
+func (sa *SelfAnalyzer) Snapshot() core.Stat { return sa.eng.Snapshot() }
 
 // Speedup returns the measured speedup and whether it is available yet.
 func (sa *SelfAnalyzer) Speedup() (float64, bool) {

@@ -1,0 +1,38 @@
+// Subscription/event API: instead of polling every per-sample Result
+// for the rare interesting transitions, callers subscribe an Observer
+// at construction time (WithObserver) and are called back exactly when
+// the detector locks, re-locks, starts a period, or loses its lock —
+// the push-style form of the paper's Figure 6 wiring, where the
+// SelfAnalyzer reacts to the DPD's detection point.
+package dpd
+
+import "dpd/internal/core"
+
+// Re-exported observer types; see the core package for full
+// documentation of the dispatch and scratch-reuse contract.
+type (
+	// Observer receives detector state transitions synchronously on the
+	// Feed path; implementations must be cheap and allocation-free.
+	Observer = core.Observer
+	// Event describes one state transition. The pointer passed to
+	// callbacks aliases an engine-owned scratch: copy it to retain it.
+	Event = core.Event
+	// EventKind identifies the transition type of an Event.
+	EventKind = core.EventKind
+	// ObserverFuncs adapts free functions to Observer; nil fields are
+	// no-ops.
+	ObserverFuncs = core.ObserverFuncs
+)
+
+// Observer event kinds, re-exported.
+const (
+	// EventLock: an unlocked detector established a periodicity.
+	EventLock = core.EventLock
+	// EventPeriodChange: a locked detector re-locked onto a different
+	// period.
+	EventPeriodChange = core.EventPeriodChange
+	// EventSegmentStart: the current sample begins a new period.
+	EventSegmentStart = core.EventSegmentStart
+	// EventUnlock: the lock was lost.
+	EventUnlock = core.EventUnlock
+)

@@ -1,0 +1,268 @@
+package dpd
+
+import (
+	"errors"
+	"fmt"
+
+	"dpd/internal/core"
+)
+
+// Option configures New. Options are applied in order; every invalid
+// option is recorded, and New reports all of them in one joined error
+// so a misconfigured call site is fixed in a single round trip.
+type Option func(*builder)
+
+// builder accumulates the configuration selected by the options.
+type builder struct {
+	cfg core.Config
+
+	engine    string // "", "event", "magnitude", "multiscale", "adaptive"
+	windowSet bool
+	maxLagSet bool
+	ladder    []int
+	policy    AdaptivePolicy
+	obs       Observer
+
+	errs []error
+}
+
+// selectEngine records the engine choice, rejecting conflicting options
+// (e.g. WithMagnitude combined with WithLadder).
+func (b *builder) selectEngine(name string) {
+	if b.engine != "" && b.engine != name {
+		b.errs = append(b.errs, fmt.Errorf("engine options conflict: %s already selected, cannot also select %s", b.engine, name))
+		return
+	}
+	b.engine = name
+}
+
+// WithWindow sets the window size N (paper §3.1: up to 1024 to capture
+// periods of up to 1023 samples; below 10 for very short periods). It
+// conflicts with WithLadder (each level has its own window) and
+// WithAdaptive (the policy's MaxWindow is the initial window).
+func WithWindow(n int) Option {
+	return func(b *builder) {
+		if n < 2 || n > core.MaxWindow {
+			b.errs = append(b.errs, fmt.Errorf("window %d outside [2,%d]", n, core.MaxWindow))
+			return
+		}
+		b.cfg.Window = n
+		b.windowSet = true
+	}
+}
+
+// WithMaxLag sets M, the largest probed lag (default: window−1). Must
+// satisfy 1 ≤ M ≤ N (paper: M ≤ N). It conflicts with WithLadder and
+// WithAdaptive, whose engines derive the lag range from their own
+// windows.
+func WithMaxLag(m int) Option {
+	return func(b *builder) {
+		if m < 1 {
+			b.errs = append(b.errs, fmt.Errorf("max lag %d must be >= 1", m))
+			return
+		}
+		b.cfg.MaxLag = m
+		b.maxLagSet = true
+	}
+}
+
+// WithConfirm sets how many consecutive steps a candidate period must
+// hold before the detector locks (default 1: lock immediately).
+func WithConfirm(n int) Option {
+	return func(b *builder) {
+		if n < 1 {
+			b.errs = append(b.errs, fmt.Errorf("confirm %d must be >= 1", n))
+			return
+		}
+		b.cfg.Confirm = n
+	}
+}
+
+// WithGrace sets how many consecutive violating steps a locked period
+// tolerates before the lock drops (default 0: drop on first violation).
+func WithGrace(n int) Option {
+	return func(b *builder) {
+		if n < 0 {
+			b.errs = append(b.errs, fmt.Errorf("grace %d must be >= 0", n))
+			return
+		}
+		b.cfg.Grace = n
+	}
+}
+
+// WithMagnitude selects the magnitude engine (paper eq. 1, for streams
+// whose values are meaningful magnitudes: CPU counts, hardware
+// counters). relThreshold is the fraction of the curve mean a local
+// minimum must stay below to count as a periodicity; 0 selects the
+// default (0.5). Magnitude streams are fed through Sample.Magnitude.
+func WithMagnitude(relThreshold float64) Option {
+	return func(b *builder) {
+		b.selectEngine("magnitude")
+		if relThreshold < 0 || relThreshold > 1 {
+			b.errs = append(b.errs, fmt.Errorf("magnitude threshold %g outside [0,1]", relThreshold))
+			return
+		}
+		b.cfg.RelThreshold = relThreshold
+	}
+}
+
+// WithLadder selects the multi-scale engine: a ladder of event
+// detectors with the given strictly increasing windows, for nested
+// periodicities (paper §4, Table 2). No windows selects DefaultLadder.
+func WithLadder(windows ...int) Option {
+	return func(b *builder) {
+		b.selectEngine("multiscale")
+		if len(windows) == 0 {
+			windows = DefaultLadder
+		}
+		prev := 1
+		for _, w := range windows {
+			if w <= prev {
+				b.errs = append(b.errs, fmt.Errorf("ladder windows must be strictly increasing and >= 2, got %v", windows))
+				break
+			}
+			prev = w
+		}
+		b.ladder = windows
+	}
+}
+
+// WithAdaptive selects the adaptive engine: an event detector whose
+// window shrinks once a satisfying periodicity is detected and grows
+// back when the lock is lost (paper §3.1/§4). The zero policy selects
+// DefaultAdaptivePolicy.
+func WithAdaptive(policy AdaptivePolicy) Option {
+	return func(b *builder) {
+		b.selectEngine("adaptive")
+		if policy == (AdaptivePolicy{}) {
+			policy = DefaultAdaptivePolicy()
+		}
+		if err := policy.Validate(); err != nil {
+			b.errs = append(b.errs, err)
+			return
+		}
+		b.policy = policy
+	}
+}
+
+// WithObserver subscribes obs to the detector's state transitions
+// (OnLock, OnPeriodChange, OnSegmentStart, OnUnlock), so callers stop
+// polling per-sample Results. Dispatch reuses an Event scratch and is
+// allocation-free; callbacks run synchronously on the Feed path.
+func WithObserver(obs Observer) Option {
+	return func(b *builder) {
+		if obs == nil {
+			b.errs = append(b.errs, errors.New("nil Observer"))
+			return
+		}
+		b.obs = obs
+	}
+}
+
+// observable is satisfied by every engine adapter.
+type observable interface {
+	SetObserver(core.Observer)
+}
+
+// New constructs a detector from functional options: the single entry
+// point for every engine. With no options it is the paper's default —
+// an event detector with a 1024-sample window, large enough to capture
+// periodicities of up to 1023 samples (§3.1).
+//
+//	det, err := dpd.New()                                  // Table-1 default
+//	det, err := dpd.New(dpd.WithWindow(100))               // event, N=100
+//	det, err := dpd.New(dpd.WithMagnitude(0.5))            // eq. (1) engine
+//	det, err := dpd.New(dpd.WithLadder(8, 32, 256, 1024))  // nested periods
+//	det, err := dpd.New(dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()))
+//
+// The dynamic type of the returned Detector is *EventEngine,
+// *MagnitudeEngine, *MultiScaleEngine or *AdaptiveEngine; type-assert
+// to reach engine-specific accessors (curves, ladders, resize stats).
+// All invalid options are reported together in one joined error.
+func New(opts ...Option) (Detector, error) {
+	b := builder{}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	if b.engine == "" {
+		b.engine = "event"
+		if !b.windowSet {
+			b.cfg.Window = DefaultDPDWindow
+		}
+	}
+
+	var (
+		det observable
+		err error
+	)
+	if len(b.errs) > 0 {
+		// Option-level errors already describe the problem; building the
+		// engine from the partially applied state would only add
+		// derivative noise to the joined error.
+		return nil, fmt.Errorf("dpd.New: %w", errors.Join(b.errs...))
+	}
+	switch b.engine {
+	case "event":
+		var d *EventDetector
+		if d, err = core.NewEventDetector(b.cfg); err == nil {
+			det = core.NewEventEngine(d)
+		}
+	case "magnitude":
+		var d *MagnitudeDetector
+		if d, err = core.NewMagnitudeDetector(b.cfg); err == nil {
+			det = core.NewMagnitudeEngine(d)
+		}
+	case "multiscale":
+		if b.windowSet {
+			err = errors.New("WithWindow conflicts with WithLadder: ladder windows set each level's size")
+		} else if b.maxLagSet {
+			err = errors.New("WithMaxLag conflicts with WithLadder: each level probes lags up to its own window")
+		} else {
+			var d *MultiScaleDetector
+			if d, err = core.NewMultiScaleDetector(b.ladder, b.cfg); err == nil {
+				det = core.NewMultiScaleEngine(d)
+			}
+		}
+	case "adaptive":
+		if b.windowSet {
+			err = errors.New("WithWindow conflicts with WithAdaptive: the policy's MaxWindow sets the initial window")
+		} else if b.maxLagSet {
+			err = errors.New("WithMaxLag conflicts with WithAdaptive: resizes recompute the lag range")
+		} else {
+			var d *AdaptiveDetector
+			if d, err = core.NewAdaptiveDetector(b.policy, b.cfg); err == nil {
+				det = core.NewAdaptiveEngine(d)
+			}
+		}
+	}
+	if err != nil {
+		b.errs = append(b.errs, err)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("dpd.New: %w", errors.Join(b.errs...))
+	}
+	det.SetObserver(b.obs)
+	return det.(Detector), nil
+}
+
+// Must is New that panics on invalid options; for static
+// configurations in examples, tools and tests.
+func Must(opts ...Option) Detector {
+	det, err := New(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return det
+}
+
+// DefaultDPDWindow is the window New selects when no engine or window
+// option is given: the paper's Table-1 default of 1024 samples.
+const DefaultDPDWindow = 1024
+
+// EventSample wraps an event-stream value (loop address, message tag)
+// as a Sample for the event, multi-scale and adaptive engines.
+func EventSample(v int64) Sample { return Sample{Value: v} }
+
+// MagnitudeSample wraps a magnitude-stream value (CPU count, hardware
+// counter) as a Sample for the magnitude engine.
+func MagnitudeSample(v float64) Sample { return Sample{Magnitude: v} }

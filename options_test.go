@@ -1,0 +1,188 @@
+// Option-validation tests: dpd.New must reject every invalid option
+// with a descriptive error, report multiple invalid options together in
+// one joined error (the satellite fixing the old NewDPD-panics /
+// NewDPDWithWindow-errors inconsistency), and dpd.Must must panic on
+// exactly the inputs New rejects.
+package dpd_test
+
+import (
+	"strings"
+	"testing"
+
+	"dpd"
+)
+
+func TestNewOptionValidationTable(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		opts    []dpd.Option
+		wantErr []string // substrings that must all appear in the error
+	}{
+		{
+			name:    "window too small",
+			opts:    []dpd.Option{dpd.WithWindow(1)},
+			wantErr: []string{"window 1"},
+		},
+		{
+			name:    "window too large",
+			opts:    []dpd.Option{dpd.WithWindow(1 << 20)},
+			wantErr: []string{"window 1048576"},
+		},
+		{
+			name:    "negative max lag",
+			opts:    []dpd.Option{dpd.WithMaxLag(-1)},
+			wantErr: []string{"max lag -1"},
+		},
+		{
+			name:    "max lag above window",
+			opts:    []dpd.Option{dpd.WithWindow(16), dpd.WithMaxLag(17)},
+			wantErr: []string{"max lag 17"},
+		},
+		{
+			name:    "confirm zero",
+			opts:    []dpd.Option{dpd.WithConfirm(0)},
+			wantErr: []string{"confirm 0"},
+		},
+		{
+			name:    "negative grace",
+			opts:    []dpd.Option{dpd.WithGrace(-2)},
+			wantErr: []string{"grace -2"},
+		},
+		{
+			name:    "magnitude threshold out of range",
+			opts:    []dpd.Option{dpd.WithMagnitude(1.5)},
+			wantErr: []string{"threshold 1.5"},
+		},
+		{
+			name:    "ladder not increasing",
+			opts:    []dpd.Option{dpd.WithLadder(32, 8)},
+			wantErr: []string{"strictly increasing"},
+		},
+		{
+			name:    "ladder window below 2",
+			opts:    []dpd.Option{dpd.WithLadder(1, 8)},
+			wantErr: []string{"strictly increasing"},
+		},
+		{
+			name:    "invalid adaptive policy",
+			opts:    []dpd.Option{dpd.WithAdaptive(dpd.AdaptivePolicy{MinWindow: 64, MaxWindow: 8, ShrinkAfter: 1, Headroom: 2, GrowAfter: 1})},
+			wantErr: []string{"bounds"},
+		},
+		{
+			name:    "nil observer",
+			opts:    []dpd.Option{dpd.WithObserver(nil)},
+			wantErr: []string{"nil Observer"},
+		},
+		{
+			name:    "engine conflict magnitude+ladder",
+			opts:    []dpd.Option{dpd.WithMagnitude(0.5), dpd.WithLadder(8, 32)},
+			wantErr: []string{"conflict", "magnitude", "multiscale"},
+		},
+		{
+			name:    "engine conflict ladder+adaptive",
+			opts:    []dpd.Option{dpd.WithLadder(8, 32), dpd.WithAdaptive(dpd.DefaultAdaptivePolicy())},
+			wantErr: []string{"conflict", "multiscale", "adaptive"},
+		},
+		{
+			name:    "window conflicts with ladder",
+			opts:    []dpd.Option{dpd.WithLadder(8, 32), dpd.WithWindow(64)},
+			wantErr: []string{"WithWindow", "WithLadder"},
+		},
+		{
+			name:    "window conflicts with adaptive",
+			opts:    []dpd.Option{dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()), dpd.WithWindow(64)},
+			wantErr: []string{"WithWindow", "WithAdaptive"},
+		},
+		{
+			name:    "max lag conflicts with ladder",
+			opts:    []dpd.Option{dpd.WithLadder(8, 64), dpd.WithMaxLag(4)},
+			wantErr: []string{"WithMaxLag", "WithLadder"},
+		},
+		{
+			name:    "max lag conflicts with adaptive",
+			opts:    []dpd.Option{dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()), dpd.WithMaxLag(4)},
+			wantErr: []string{"WithMaxLag", "WithAdaptive"},
+		},
+		{
+			name: "multiple errors reported together",
+			opts: []dpd.Option{dpd.WithWindow(1), dpd.WithConfirm(0), dpd.WithGrace(-1)},
+			wantErr: []string{
+				"window 1", "confirm 0", "grace -1",
+			},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			det, err := dpd.New(tc.opts...)
+			if err == nil {
+				t.Fatalf("New(%s) accepted, got %T", tc.name, det)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not mention %q", err, want)
+				}
+			}
+			// Must panics on exactly the inputs New rejects.
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Error("Must did not panic")
+					}
+				}()
+				dpd.Must(tc.opts...)
+			}()
+		})
+	}
+}
+
+func TestNewValidConfigurations(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []dpd.Option
+		typ  string
+	}{
+		{"defaults", nil, "event"},
+		{"event window", []dpd.Option{dpd.WithWindow(100)}, "event"},
+		{"event full", []dpd.Option{dpd.WithWindow(64), dpd.WithMaxLag(32), dpd.WithConfirm(2), dpd.WithGrace(4)}, "event"},
+		{"magnitude default threshold", []dpd.Option{dpd.WithMagnitude(0)}, "magnitude"},
+		{"ladder default windows", []dpd.Option{dpd.WithLadder()}, "multiscale"},
+		{"ladder explicit", []dpd.Option{dpd.WithLadder(8, 32, 256)}, "multiscale"},
+		{"adaptive zero policy", []dpd.Option{dpd.WithAdaptive(dpd.AdaptivePolicy{})}, "adaptive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			det, err := dpd.New(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var typ string
+			switch det.(type) {
+			case *dpd.EventEngine:
+				typ = "event"
+			case *dpd.MagnitudeEngine:
+				typ = "magnitude"
+			case *dpd.MultiScaleEngine:
+				typ = "multiscale"
+			case *dpd.AdaptiveEngine:
+				typ = "adaptive"
+			}
+			if typ != tc.typ {
+				t.Errorf("engine type %s, want %s", typ, tc.typ)
+			}
+		})
+	}
+}
+
+// TestErrorContractConsistency is the satellite check: the old surface
+// mixed a panicking NewDPD with an erroring NewDPDWithWindow; the new
+// entry point always returns errors from New and always panics from
+// Must, and the legacy shims inherit the error contract.
+func TestErrorContractConsistency(t *testing.T) {
+	if _, err := dpd.New(dpd.WithWindow(0)); err == nil {
+		t.Error("New(WithWindow(0)) accepted")
+	}
+	if _, err := dpd.NewDPDWithWindow(0); err == nil {
+		t.Error("NewDPDWithWindow(0) accepted")
+	}
+	// The default constructions cannot fail and must not panic.
+	dpd.NewDPD()
+	dpd.Must()
+}
