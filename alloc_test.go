@@ -184,6 +184,84 @@ func TestDPDBatchPathAllocFree(t *testing.T) {
 	}
 }
 
+// TestCheckpointReusedBufferAllocFree: serializing the event engine
+// into a recycled buffer is 0 allocs/op, so a serving loop can
+// checkpoint periodically without disturbing its allocation-free feed
+// path (ISSUE 4: warm restarts must not cost GC pressure while live).
+func TestCheckpointReusedBufferAllocFree(t *testing.T) {
+	det := dpd.Must(dpd.WithWindow(256))
+	for i := 0; i < 3*256; i++ {
+		det.Feed(dpd.EventSample(int64(i % 7)))
+	}
+	buf, err := dpd.AppendCheckpoint(det, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var encErr error
+	if n := testing.AllocsPerRun(1000, func() {
+		buf, encErr = dpd.AppendCheckpoint(det, buf[:0])
+	}); n != 0 {
+		t.Fatalf("AppendCheckpoint into a reused buffer allocates %.1f objects/op, want 0", n)
+	}
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+}
+
+// TestPoolFeedBatchAllocFreeAcrossRebalance: the pool's batch feed path
+// returns to 0 allocs/op immediately after a live Rebalance — migrated
+// streams land pre-inserted in the new shard maps and the batch staging
+// buffers keep their warmed capacities across shard-count changes.
+// (testing.AllocsPerRun reads the global allocation counter, so the
+// Rebalance calls — which legitimately allocate during migration — run
+// between measurements, not inside them; the concurrent-correctness
+// side is covered by TestPoolRebalanceUnderConcurrentFeeders in
+// internal/pool under -race.)
+func TestPoolFeedBatchAllocFreeAcrossRebalance(t *testing.T) {
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: 4, Detector: dpd.Config{Window: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const streams = 256
+	batch := make([]dpd.KeyedSample, streams)
+	for i := range batch {
+		batch[i].Key = uint64(i)
+	}
+	round := 0
+	feed := func() {
+		v := int64(round % 8)
+		for j := range batch {
+			batch[j].Value = v
+		}
+		p.FeedBatch(batch)
+		round++
+	}
+	warm := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			feed()
+		}
+	}
+	warm(3 * 64)
+	// Visit both shard shapes once so each shape's staging buffers have
+	// grown to steady state.
+	for _, n := range []int{6, 4, 6} {
+		if err := p.Rebalance(n); err != nil {
+			t.Fatal(err)
+		}
+		warm(4)
+	}
+	if n := testing.AllocsPerRun(100, feed); n != 0 {
+		t.Fatalf("FeedBatch allocates %.1f objects/op at 6 shards after rebalance, want 0", n)
+	}
+	if err := p.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, feed); n != 0 {
+		t.Fatalf("FeedBatch allocates %.1f objects/op immediately after rebalancing back to 4 shards, want 0", n)
+	}
+}
+
 // newSurfaceEngines is the alloc matrix for the unified API: every
 // engine constructible through dpd.New, with a steady-state warmup and
 // a sample generator.

@@ -10,10 +10,20 @@
 //	dpdtool -engine adaptive -observer h.trc      # print lock/segment events
 //	dpdtool -engine multiscale -json h.trc        # machine-readable output
 //
+//	dpdtool -save warm.dpds first-half.trc        # checkpoint after the trace
+//	dpdtool -load warm.dpds second-half.trc       # resume from the checkpoint
+//
 // The -engine flag selects any of the four engines (event, magnitude,
 // multiscale, adaptive); the default is multiscale for event traces and
 // magnitude for CPU traces, matching the paper's usage of eq. (2) and
 // eq. (1).
+//
+// -save writes the detector's full state after the trace has been fed;
+// -load resumes from such a checkpoint, so a trace can be analyzed in
+// installments without ever cold-starting the lock. With -load the
+// engine and its configuration come from the checkpoint itself; any
+// -engine/-window/-confirm flags given alongside are validated against
+// it and a mismatch is an error, not a silent reconfiguration.
 package main
 
 import (
@@ -37,6 +47,8 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the analysis as JSON for scripting")
 	showCurve := flag.Bool("curve", false, "plot the final distance curve (magnitude engine)")
 	binary := flag.Bool("binary", false, "input is in binary trace format")
+	saveFile := flag.String("save", "", "write a detector checkpoint to this file after the trace")
+	loadFile := flag.String("load", "", "resume from a detector checkpoint instead of cold-starting")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -60,11 +72,12 @@ func main() {
 		fatal(err)
 	}
 
-	// Assemble the option list from the flags; dpd.New reports every
+	// Assemble the option list from the flags; dpd.New (or dpd.Restore,
+	// which validates the options against the checkpoint) reports every
 	// invalid combination in one error.
 	isCPU := cpu != nil
 	eng := *engine
-	if eng == "" {
+	if eng == "" && *loadFile == "" {
 		if isCPU {
 			eng = "magnitude"
 		} else {
@@ -73,30 +86,28 @@ func main() {
 	}
 	var opts []dpd.Option
 	switch eng {
-	case "event":
-	case "magnitude":
-		opts = append(opts, dpd.WithMagnitude(0))
-		if *confirm == 0 {
-			*confirm = 3 // the paper's setting for noisy CPU curves
+	case "", "event":
+	case "magnitude", "multiscale", "adaptive":
+		if *loadFile == "" {
+			// Fresh construction: the named engine brings its default
+			// parameters. With -load, -engine asserts only the KIND
+			// (checked after restore) — appending the default ladder /
+			// policy / threshold here would wrongly reject checkpoints
+			// taken with non-default parameters.
+			switch eng {
+			case "magnitude":
+				opts = append(opts, dpd.WithMagnitude(0))
+				if *confirm == 0 {
+					*confirm = 3 // the paper's setting for noisy CPU curves
+				}
+			case "multiscale":
+				opts = append(opts, dpd.WithLadder())
+			case "adaptive":
+				opts = append(opts, dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()))
+			}
 		}
-	case "multiscale":
-		opts = append(opts, dpd.WithLadder())
-	case "adaptive":
-		opts = append(opts, dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()))
 	default:
 		fatal(fmt.Errorf("unknown engine %q (want event|magnitude|multiscale|adaptive)", eng))
-	}
-	// The engine must match the trace kind: magnitude engines read
-	// Sample.Magnitude, event engines Sample.Value — a mismatch would
-	// confidently analyze a stream of zeros.
-	if isCPU && eng != "magnitude" {
-		fatal(fmt.Errorf("engine %q cannot analyze a cpu trace (magnitude stream); use -engine magnitude", eng))
-	}
-	if !isCPU && eng == "magnitude" {
-		fatal(fmt.Errorf("the magnitude engine cannot analyze an event trace; use -engine event|multiscale|adaptive"))
-	}
-	if *showCurve && eng != "magnitude" {
-		fatal(fmt.Errorf("-curve requires the magnitude engine (got %s)", eng))
 	}
 	if *showCurve && *jsonOut {
 		fatal(fmt.Errorf("-curve and -json are mutually exclusive output modes"))
@@ -135,9 +146,39 @@ func main() {
 		}))
 	}
 
-	det, err := dpd.New(opts...)
-	if err != nil {
-		fatal(err)
+	var det dpd.Detector
+	if *loadFile != "" {
+		blob, rerr := os.ReadFile(*loadFile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		det, err = dpd.Restore(blob, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		got := engineName(det)
+		if eng != "" && got != eng {
+			fatal(fmt.Errorf("checkpoint %s holds %s-engine state but -engine requests %s", *loadFile, got, eng))
+		}
+		eng = got
+	} else {
+		det, err = dpd.New(opts...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// The engine must match the trace kind: magnitude engines read
+	// Sample.Magnitude, event engines Sample.Value — a mismatch would
+	// confidently analyze a stream of zeros. Checked after -load so a
+	// checkpoint's engine is held to the same rule.
+	if isCPU && eng != "magnitude" {
+		fatal(fmt.Errorf("engine %q cannot analyze a cpu trace (magnitude stream); use -engine magnitude", eng))
+	}
+	if !isCPU && eng == "magnitude" {
+		fatal(fmt.Errorf("the magnitude engine cannot analyze an event trace; use -engine event|multiscale|adaptive"))
+	}
+	if *showCurve && eng != "magnitude" {
+		fatal(fmt.Errorf("-curve requires the magnitude engine (got %s)", eng))
 	}
 
 	// Feed the whole trace through the unified interface.
@@ -157,6 +198,19 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	st := det.Snapshot()
+
+	if *saveFile != "" {
+		blob, err := dpd.Checkpoint(det)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*saveFile, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		if !*jsonOut {
+			fmt.Printf("checkpoint: %d bytes (%d samples of accumulated state) -> %s\n", len(blob), st.Samples, *saveFile)
+		}
+	}
 
 	// The tracker observed the unified (primary) result, so for the
 	// multi-scale engine every period's Window was recorded as the
@@ -238,6 +292,22 @@ func kindName(isCPU bool) string {
 		return "cpu"
 	}
 	return "event"
+}
+
+// engineName maps a restored detector's dynamic type back to the
+// -engine flag vocabulary.
+func engineName(det dpd.Detector) string {
+	switch det.(type) {
+	case *dpd.EventEngine:
+		return "event"
+	case *dpd.MagnitudeEngine:
+		return "magnitude"
+	case *dpd.MultiScaleEngine:
+		return "multiscale"
+	case *dpd.AdaptiveEngine:
+		return "adaptive"
+	}
+	return "unknown"
 }
 
 func fatal(err error) {

@@ -1,0 +1,164 @@
+// State portability: Checkpoint serializes a detector's complete
+// run-time state — lag banks, wrap cursors, lock and segmentation
+// fields — into a versioned binary blob, and Restore rebuilds a
+// detector from one that produces byte-identical Result and Stat
+// sequences to a detector that never stopped. The paper's DPD is an
+// online algorithm whose value is the lock it has accumulated over
+// thousands of samples; checkpoints make that accumulated state survive
+// restarts and move between processes (and, inside Pool.Rebalance,
+// between shards).
+package dpd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"dpd/internal/core"
+	"dpd/internal/pool"
+)
+
+// checkpointMagic and checkpointVersion head every detector checkpoint;
+// the engine-level format (type tag, per-engine layout) is versioned
+// separately inside internal/core.
+const (
+	checkpointMagic   = "DPDS"
+	checkpointVersion = 1
+)
+
+// Checkpoint serializes det's complete state into a fresh buffer. Only
+// detectors constructed by this package (the four engines returned by
+// New and the deprecated constructors) are checkpointable; a custom
+// Detector implementation is reported as an error.
+func Checkpoint(det Detector) ([]byte, error) {
+	return AppendCheckpoint(det, nil)
+}
+
+// AppendCheckpoint is Checkpoint into a caller-supplied buffer: the
+// checkpoint is appended to buf and the extended slice returned. With
+// sufficient capacity the append performs no allocation, so a serving
+// loop can checkpoint periodically into one reused buffer without
+// disturbing its 0 allocs/op feed path.
+func AppendCheckpoint(det Detector, buf []byte) ([]byte, error) {
+	buf = append(buf, checkpointMagic...)
+	buf = append(buf, checkpointVersion)
+	buf, err := core.AppendCheckpoint(det, buf)
+	if err != nil {
+		return nil, fmt.Errorf("dpd.Checkpoint: %w", err)
+	}
+	return buf, nil
+}
+
+// Restore rebuilds a detector from a checkpoint produced by Checkpoint.
+// With no options, the detector is reconstructed with exactly the
+// engine and configuration the checkpoint carries. Options may be
+// passed to assert the expected configuration — every option must match
+// the checkpoint (engine kind, window, ladder, policy, …) or Restore
+// returns a descriptive error instead of a silently misconfigured
+// detector. WithObserver is the exception: observers are runtime
+// wiring, not configuration, and are attached to the restored detector.
+//
+// Restore never panics on corrupted, truncated or version-skewed input:
+// it returns an error, and it never allocates more than a small factor
+// of the input length while deciding.
+func Restore(data []byte, opts ...Option) (Detector, error) {
+	if len(data) < len(checkpointMagic)+1 || string(data[:len(checkpointMagic)]) != checkpointMagic {
+		return nil, errors.New("dpd.Restore: not a detector checkpoint (bad magic)")
+	}
+	if v := data[len(checkpointMagic)]; v != checkpointVersion {
+		return nil, fmt.Errorf("dpd.Restore: unsupported checkpoint version %d (this build reads version %d)", v, checkpointVersion)
+	}
+	state := data[len(checkpointMagic)+1:]
+	spec, err := core.DecodeSpec(state)
+	if err != nil {
+		return nil, fmt.Errorf("dpd.Restore: %w", err)
+	}
+
+	b := builder{}
+	for _, opt := range opts {
+		opt(&b)
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("dpd.Restore: %w", errors.Join(b.errs...))
+	}
+	if err := b.matchSpec(spec); err != nil {
+		return nil, fmt.Errorf("dpd.Restore: %w", err)
+	}
+
+	det, err := core.RestoreCheckpoint(state)
+	if err != nil {
+		return nil, fmt.Errorf("dpd.Restore: %w", err)
+	}
+	if b.obs != nil {
+		det.(observable).SetObserver(b.obs)
+	}
+	return det, nil
+}
+
+// matchSpec verifies that every configuration option the caller passed
+// to Restore agrees with the checkpoint's spec. Unset options are
+// unconstrained: the checkpoint's own configuration fills them.
+func (b *builder) matchSpec(spec core.Spec) error {
+	name := spec.EngineName()
+	if b.engine != "" && b.engine != name {
+		return fmt.Errorf("checkpoint holds %s-engine state but the options select the %s engine", name, b.engine)
+	}
+	var errs []error
+	structural := spec.Tag == core.TagMultiScale || spec.Tag == core.TagAdaptive
+	if b.windowSet {
+		if structural {
+			errs = append(errs, fmt.Errorf("WithWindow does not apply to a %s checkpoint", name))
+		} else if b.cfg.Window != spec.Cfg.Window {
+			errs = append(errs, fmt.Errorf("options set window %d but the checkpoint was taken at window %d", b.cfg.Window, spec.Cfg.Window))
+		}
+	}
+	if b.maxLagSet {
+		if structural {
+			errs = append(errs, fmt.Errorf("WithMaxLag does not apply to a %s checkpoint", name))
+		} else if b.cfg.MaxLag != spec.Cfg.MaxLag {
+			errs = append(errs, fmt.Errorf("options set max lag %d but the checkpoint was taken with max lag %d", b.cfg.MaxLag, spec.Cfg.MaxLag))
+		}
+	}
+	if b.cfg.Confirm != 0 && b.cfg.Confirm != spec.Cfg.Confirm {
+		errs = append(errs, fmt.Errorf("options set confirm %d but the checkpoint was taken with confirm %d", b.cfg.Confirm, spec.Cfg.Confirm))
+	}
+	if b.graceSet && b.cfg.Grace != spec.Cfg.Grace {
+		errs = append(errs, fmt.Errorf("options set grace %d but the checkpoint was taken with grace %d", b.cfg.Grace, spec.Cfg.Grace))
+	}
+	if b.engine == "magnitude" {
+		want := b.cfg.RelThreshold
+		if want == 0 {
+			want = core.DefaultRelThreshold
+		}
+		if want != spec.Cfg.RelThreshold {
+			errs = append(errs, fmt.Errorf("options set magnitude threshold %g but the checkpoint was taken with %g", want, spec.Cfg.RelThreshold))
+		}
+	}
+	if b.ladder != nil {
+		if len(b.ladder) != len(spec.Ladder) {
+			errs = append(errs, fmt.Errorf("options set a %d-level ladder but the checkpoint has %d levels", len(b.ladder), len(spec.Ladder)))
+		} else {
+			for i, w := range b.ladder {
+				if w != spec.Ladder[i] {
+					errs = append(errs, fmt.Errorf("options set ladder window %d at level %d but the checkpoint has %d", w, i, spec.Ladder[i]))
+					break
+				}
+			}
+		}
+	}
+	if b.engine == "adaptive" && b.policy != spec.Policy {
+		errs = append(errs, fmt.Errorf("options set adaptive policy %+v but the checkpoint was taken with %+v", b.policy, spec.Policy))
+	}
+	return errors.Join(errs...)
+}
+
+// RestorePool rebuilds a started multi-stream pool from a checkpoint
+// stream written by Pool.Checkpoint. The configuration chooses the new
+// serving topology (shard count, eviction policy) freely — shard count
+// is not part of a checkpoint — but its detector factory must match the
+// engine configuration of the checkpointed streams; a mismatch is a
+// descriptive error. See Pool.Checkpoint and Pool.Rebalance for the
+// shard-by-shard quiesce discipline all three share.
+func RestorePool(r io.Reader, cfg PoolConfig) (*Pool, error) {
+	return pool.Restore(r, cfg)
+}

@@ -1,0 +1,230 @@
+package dpd_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dpd"
+)
+
+// checkpointCases: one per engine, constructed through the public
+// options surface, with a sample stream that locks mid-run.
+func checkpointCases() []struct {
+	name   string
+	opts   []dpd.Option
+	sample func(i int) dpd.Sample
+} {
+	return []struct {
+		name   string
+		opts   []dpd.Option
+		sample func(i int) dpd.Sample
+	}{
+		{"event", []dpd.Option{dpd.WithWindow(64), dpd.WithGrace(1)},
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 7)) }},
+		{"magnitude", []dpd.Option{dpd.WithMagnitude(0.5), dpd.WithWindow(48), dpd.WithConfirm(2)},
+			func(i int) dpd.Sample { return dpd.MagnitudeSample(float64(i%11) * 1.5) }},
+		{"multiscale", []dpd.Option{dpd.WithLadder(8, 32, 128)},
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 4)) }},
+		{"adaptive", []dpd.Option{dpd.WithAdaptive(dpd.DefaultAdaptivePolicy())},
+			func(i int) dpd.Sample { return dpd.EventSample(int64(i % 5)) }},
+	}
+}
+
+// TestCheckpointRestoreDifferential: the public-surface round trip for
+// every engine — restore, with and without re-asserted options, then
+// verify byte-identical continuation against the uninterrupted
+// original.
+func TestCheckpointRestoreDifferential(t *testing.T) {
+	const cut, total = 250, 500
+	for _, tc := range checkpointCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := dpd.Must(tc.opts...)
+			for i := 0; i < cut; i++ {
+				ref.Feed(tc.sample(i))
+			}
+			blob, err := dpd.Checkpoint(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Restore twice: bare, and with the construction options
+			// re-asserted (they match, so both must succeed).
+			bare, err := dpd.Restore(blob)
+			if err != nil {
+				t.Fatalf("bare restore: %v", err)
+			}
+			asserted, err := dpd.Restore(blob, tc.opts...)
+			if err != nil {
+				t.Fatalf("restore with matching options: %v", err)
+			}
+			for i := cut; i < total; i++ {
+				s := tc.sample(i)
+				want := ref.Feed(s)
+				if got := bare.Feed(s); got != want {
+					t.Fatalf("sample %d: bare-restored result %+v != %+v", i, got, want)
+				}
+				if got := asserted.Feed(s); got != want {
+					t.Fatalf("sample %d: option-restored result %+v != %+v", i, got, want)
+				}
+			}
+			if got, want := bare.Snapshot(), ref.Snapshot(); got != want {
+				t.Fatalf("final snapshot %+v != %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsMismatchedOptions: every way an option can disagree
+// with the checkpoint must produce a descriptive error.
+func TestRestoreRejectsMismatchedOptions(t *testing.T) {
+	eventBlob, err := dpd.Checkpoint(dpd.Must(dpd.WithWindow(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ladderBlob, err := dpd.Checkpoint(dpd.Must(dpd.WithLadder(8, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	magBlob, err := dpd.Checkpoint(dpd.Must(dpd.WithMagnitude(0.4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		blob []byte
+		opts []dpd.Option
+		want string
+	}{
+		{"wrong engine", eventBlob, []dpd.Option{dpd.WithMagnitude(0.5)}, "select"},
+		{"wrong window", eventBlob, []dpd.Option{dpd.WithWindow(128)}, "window 128"},
+		{"wrong grace", eventBlob, []dpd.Option{dpd.WithGrace(3)}, "grace 3"},
+		{"wrong confirm", eventBlob, []dpd.Option{dpd.WithConfirm(4)}, "confirm 4"},
+		{"window on ladder", ladderBlob, []dpd.Option{dpd.WithLadder(8, 32), dpd.WithWindow(64)}, "WithWindow"},
+		{"wrong ladder", ladderBlob, []dpd.Option{dpd.WithLadder(8, 64)}, "ladder"},
+		{"wrong threshold", magBlob, []dpd.Option{dpd.WithMagnitude(0.9)}, "threshold"},
+		{"wrong policy", eventBlob, []dpd.Option{dpd.WithAdaptive(dpd.DefaultAdaptivePolicy())}, "select"},
+	} {
+		if _, err := dpd.Restore(tc.blob, tc.opts...); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestRestoreAttachesObserver: WithObserver is runtime wiring, always
+// accepted by Restore, and the observer sees the restored stream's
+// transitions from the restored state onward.
+func TestRestoreAttachesObserver(t *testing.T) {
+	ref := dpd.Must(dpd.WithWindow(32))
+	for i := 0; i < 200; i++ {
+		ref.Feed(dpd.EventSample(int64(i % 5))) // locked, period 5
+	}
+	blob, err := dpd.Checkpoint(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starts int
+	det, err := dpd.Restore(blob, dpd.WithObserver(dpd.ObserverFuncs{
+		SegmentStart: func(*dpd.Event) { starts++ },
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 200; i < 250; i++ {
+		det.Feed(dpd.EventSample(int64(i % 5)))
+	}
+	if starts != 10 { // 50 samples of period 5
+		t.Fatalf("observer saw %d segment starts, want 10", starts)
+	}
+}
+
+// TestRestoreGarbage: magic/version/content corruption errors cleanly.
+func TestRestoreGarbage(t *testing.T) {
+	if _, err := dpd.Restore(nil); err == nil {
+		t.Fatal("nil input accepted")
+	}
+	if _, err := dpd.Restore([]byte("not a checkpoint at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	blob, err := dpd.Checkpoint(dpd.Must(dpd.WithWindow(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew := bytes.Clone(blob)
+	skew[4] = 42 // container version byte
+	if _, err := dpd.Restore(skew); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version skew: err = %v", err)
+	}
+	// Trailing bytes mean corruption or mis-concatenation; the leading
+	// valid state must not be silently accepted.
+	trailing := append(bytes.Clone(blob), 1, 2, 3, 4, 5, 6, 7)
+	if _, err := dpd.Restore(trailing); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("trailing garbage: err = %v", err)
+	}
+}
+
+// TestRestoreNonDefaultStructuralConfig: checkpoints of engines built
+// with non-default ladders/policies restore bare and with the matching
+// options, and reject the defaults.
+func TestRestoreNonDefaultStructuralConfig(t *testing.T) {
+	ladder := dpd.Must(dpd.WithLadder(64, 256))
+	for i := 0; i < 500; i++ {
+		ladder.Feed(dpd.EventSample(int64(i % 9)))
+	}
+	blob, err := dpd.Checkpoint(ladder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dpd.Restore(blob); err != nil {
+		t.Fatalf("bare restore of custom ladder: %v", err)
+	}
+	if _, err := dpd.Restore(blob, dpd.WithLadder(64, 256)); err != nil {
+		t.Fatalf("matching-ladder restore: %v", err)
+	}
+	if _, err := dpd.Restore(blob, dpd.WithLadder()); err == nil {
+		t.Fatal("default-ladder assertion accepted a custom-ladder checkpoint")
+	}
+}
+
+// TestPoolCheckpointRestorePublicSurface: the pool round trip through
+// the public NewPool / Pool.Checkpoint / RestorePool names.
+func TestPoolCheckpointRestorePublicSurface(t *testing.T) {
+	cfg := dpd.PoolConfig{Shards: 3, Detector: dpd.Config{Window: 32}}
+	p, err := dpd.NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 120; i++ {
+		for k := uint64(0); k < 10; k++ {
+			p.Feed(k, int64((i+int(k))%4))
+		}
+	}
+	var sink bytes.Buffer
+	if err := p.Checkpoint(&sink); err != nil {
+		t.Fatal(err)
+	}
+	q, err := dpd.RestorePool(&sink, dpd.PoolConfig{Shards: 5, Detector: dpd.Config{Window: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.Len() != 10 {
+		t.Fatalf("restored pool has %d streams, want 10", q.Len())
+	}
+	for k := uint64(0); k < 10; k++ {
+		got, ok := q.Stat(k)
+		want, _ := p.Stat(k)
+		if !ok || got != want {
+			t.Fatalf("stream %d: restored %+v (ok=%v) != %+v", k, got, ok, want)
+		}
+	}
+	// Shard count is a runtime knob on the restored pool too.
+	if err := q.Rebalance(2); err != nil {
+		t.Fatal(err)
+	}
+	if q.Shards() != 2 || q.Len() != 10 {
+		t.Fatalf("after rebalance: shards=%d len=%d", q.Shards(), q.Len())
+	}
+}

@@ -98,11 +98,26 @@ type StreamStat struct {
 // Pool owns many keyed streams, one event detector per stream, sharded
 // across worker goroutines. Feed and FeedBatch may be called from any
 // number of goroutines concurrently; Close must not race with them.
+//
+// The shard set itself is a runtime knob: Rebalance migrates every
+// stream to a new shard count by serializing its detector state through
+// the checkpoint codec. The gate below is the phase switch that makes
+// that safe — feed and read paths hold it shared (cheap, concurrent),
+// while Rebalance and Close hold it exclusively, which both blocks new
+// batches and waits out in-flight ones before the shard table changes.
 type Pool struct {
+	gate   sync.RWMutex
 	shards []*shard
 	groups chan *group // freelist of recycled batch groups
+	cfg    Config      // normalized construction config (shard factory)
 	wg     sync.WaitGroup
 	closed atomic.Bool
+
+	// evictedBase carries the eviction totals of shard generations
+	// retired by Rebalance, so Evicted stays monotonic across shard-count
+	// changes. Written under the exclusive gate, read under the shared
+	// gate.
+	evictedBase uint64
 }
 
 // group is one in-flight FeedBatch: per-shard staging buffers plus the
@@ -154,6 +169,7 @@ func New(cfg Config) (*Pool, error) {
 	p := &Pool{
 		shards: make([]*shard, cfg.Shards),
 		groups: make(chan *group, cfg.Inflight),
+		cfg:    cfg,
 	}
 	for i := range p.shards {
 		p.shards[i] = newShard(cfg)
@@ -179,17 +195,24 @@ func Must(cfg Config) *Pool {
 	return p
 }
 
-// shardOf maps a stream key to its shard index: a splitmix64-style
-// finalizer for avalanche, then a multiply-shift range reduction so no
-// modulo sits on the partition path.
-func (p *Pool) shardOf(key uint64) int {
+// shardIndex maps a stream key to a shard index among n shards: a
+// splitmix64-style finalizer for avalanche, then a multiply-shift range
+// reduction so no modulo sits on the partition path. It is a pure
+// function of (key, n), which is what lets Rebalance compute the new
+// placement of every stream before the shard table is swapped.
+func shardIndex(key uint64, n int) int {
 	key ^= key >> 33
 	key *= 0xff51afd7ed558ccd
 	key ^= key >> 33
 	key *= 0xc4ceb9fe1a85ec53
 	key ^= key >> 33
-	return int(uint64(uint32(key)) * uint64(len(p.shards)) >> 32)
+	return int(uint64(uint32(key)) * uint64(n) >> 32)
 }
+
+// shardOf maps a stream key to its current shard index. Callers hold
+// the gate (shared or exclusive), so the shard table cannot move
+// underneath the lookup.
+func (p *Pool) shardOf(key uint64) int { return shardIndex(key, len(p.shards)) }
 
 // Feed processes one keyed event sample synchronously on the caller's
 // goroutine (bypassing the shard worker queue) and returns the stream's
@@ -204,11 +227,13 @@ func (p *Pool) Feed(key uint64, v int64) core.Result {
 // pooled magnitude streams (Sample.Magnitude) and generally for any
 // injected engine.
 func (p *Pool) FeedSample(key uint64, s core.Sample) core.Result {
+	p.gate.RLock()
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
 	r := sh.feedLocked(key, s)
 	sh.maybeSweep()
 	sh.mu.Unlock()
+	p.gate.RUnlock()
 	return r
 }
 
@@ -226,6 +251,7 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 	if p.closed.Load() {
 		panic("pool: FeedBatch on a closed Pool")
 	}
+	p.gate.RLock()
 	g := <-p.groups
 	for _, s := range batch {
 		i := p.shardOf(s.Key)
@@ -248,6 +274,7 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 		g.perShard[i] = g.perShard[i][:0]
 	}
 	p.groups <- g
+	p.gate.RUnlock()
 }
 
 // worker drains one shard's run queue until Close.
@@ -271,6 +298,8 @@ func (p *Pool) worker(sh *shard) {
 // so ingest continues on every other shard while one is read; stream
 // order is unspecified — sort by Key if a stable order is needed.
 func (p *Pool) Snapshot(dst []StreamStat) []StreamStat {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
 	dst = dst[:0]
 	for _, sh := range p.shards {
 		sh.mu.Lock()
@@ -284,6 +313,8 @@ func (p *Pool) Snapshot(dst []StreamStat) []StreamStat {
 
 // Stat returns the current view of one stream and whether it exists.
 func (p *Pool) Stat(key uint64) (StreamStat, bool) {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -296,6 +327,8 @@ func (p *Pool) Stat(key uint64) (StreamStat, bool) {
 
 // Len returns the number of live streams across all shards.
 func (p *Pool) Len() int {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
 	n := 0
 	for _, sh := range p.shards {
 		sh.mu.Lock()
@@ -306,12 +339,19 @@ func (p *Pool) Len() int {
 }
 
 // Shards returns the number of shards the key space is hashed across.
-func (p *Pool) Shards() int { return len(p.shards) }
+// It changes only through Rebalance.
+func (p *Pool) Shards() int {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	return len(p.shards)
+}
 
 // Evicted returns the total number of streams expired by idle eviction
 // (automatic sweeps and EvictIdle combined) since the pool was created.
 func (p *Pool) Evicted() uint64 {
-	var n uint64
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	n := p.evictedBase
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		n += sh.evicted
@@ -324,6 +364,8 @@ func (p *Pool) Evicted() uint64 {
 // shard samples without being fed, regardless of Config.IdleTTL, and
 // returns the number evicted. Detector state is recycled.
 func (p *Pool) EvictIdle(ttl uint64) int {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
 	n := 0
 	for _, sh := range p.shards {
 		sh.mu.Lock()
@@ -340,6 +382,8 @@ func (p *Pool) Close() {
 	if p.closed.Swap(true) {
 		return
 	}
+	p.gate.Lock()
+	defer p.gate.Unlock()
 	for _, sh := range p.shards {
 		close(sh.in)
 	}

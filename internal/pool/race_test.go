@@ -112,6 +112,96 @@ func TestPoolMatchesStandaloneDetectors(t *testing.T) {
 	}
 }
 
+// TestPoolRebalanceUnderConcurrentFeeders is the live-rebalancing
+// differential: 8 goroutines feed disjoint keyed streams while another
+// goroutine cycles the shard count up and down through Rebalance (and a
+// fourth kind keeps taking snapshots). No stream may be lost, and every
+// stream's final Stat must be identical to a standalone detector fed
+// the same sequence — rebalancing must be invisible to stream state.
+// Run under -race this also proves the gate/migration paths are
+// data-race-free.
+func TestPoolRebalanceUnderConcurrentFeeders(t *testing.T) {
+	const (
+		feeders         = 8
+		keysPerFeeder   = 12
+		samplesPerKey   = 360
+		samplesPerBatch = 4
+	)
+	cfg := core.Config{Window: 48}
+	p := Must(Config{Shards: 4, Detector: cfg})
+	defer p.Close()
+
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			keys := make([]uint64, keysPerFeeder)
+			for i := range keys {
+				keys[i] = uint64(i*feeders + f)
+			}
+			var batch []KeyedSample
+			for i := 0; i < samplesPerKey; i += samplesPerBatch {
+				batch = batch[:0]
+				for _, k := range keys {
+					for j := 0; j < samplesPerBatch; j++ {
+						batch = append(batch, KeyedSample{Key: k, Value: streamValue(k, i+j)})
+					}
+				}
+				p.FeedBatch(batch)
+			}
+		}(f)
+	}
+
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	bgWG.Add(2)
+	go func() { // shard-count churn while batches are in flight
+		defer bgWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := []int{7, 2, 13, 4}[i%4]
+			if err := p.Rebalance(n); err != nil {
+				t.Errorf("Rebalance(%d): %v", n, err)
+				return
+			}
+		}
+	}()
+	go func() { // concurrent snapshots across rebalances
+		defer bgWG.Done()
+		var dst []StreamStat
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				dst = p.Snapshot(dst)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+
+	if got, want := p.Len(), feeders*keysPerFeeder; got != want {
+		t.Fatalf("Len() = %d, want %d: rebalancing lost streams", got, want)
+	}
+	for k := uint64(0); k < feeders*keysPerFeeder; k++ {
+		got, ok := p.Stat(k)
+		if !ok {
+			t.Fatalf("stream %d missing after rebalances", k)
+		}
+		want := standaloneStat(t, cfg, k, samplesPerKey)
+		if got != want {
+			t.Errorf("stream %d diverged across rebalances:\n  pool:       %+v\n  standalone: %+v", k, got, want)
+		}
+	}
+}
+
 // TestPoolFeedMatchesStandalonePerSample checks the synchronous Feed
 // path result-by-result: concurrent goroutines with disjoint keys each
 // compare every pooled Result against a standalone detector fed the same

@@ -1,0 +1,269 @@
+package pool
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+
+	"dpd/internal/core"
+	"dpd/internal/wire"
+)
+
+// Pool state portability: Checkpoint streams every per-stream detector
+// state out shard by shard, Restore rebuilds a pool from that stream,
+// and Rebalance migrates live streams to a different shard count — all
+// three through the same engine checkpoint codec, so a detector state
+// moves between processes and between shards in exactly one format.
+//
+// On-stream layout (after the engine codec, everything is frames):
+//
+//	magic "DPDP" | version u8 |
+//	frame*        (payload: uvarint key | engine checkpoint)
+//	frame(len=0)  (terminator)
+//
+// Checkpoint quiesces one shard at a time (its mutex), never the whole
+// pool: feeders keep running on every other shard while one shard's
+// streams are serialized into a staging buffer, and the buffer is
+// written out after the shard lock is released. The cross-shard picture
+// is therefore slightly time-skewed — each shard is internally
+// consistent, the pool as a whole is not a single instant. That is the
+// right trade for a serving system: a restored pool resumes every
+// stream from a valid recent state without the checkpoint ever stalling
+// ingest globally.
+
+const (
+	// poolMagic heads a pool checkpoint stream.
+	poolMagic = "DPDP"
+	// poolStateVersion is the pool container format version.
+	poolStateVersion = 1
+	// maxStreamFrame bounds one stream's frame so a corrupted length
+	// prefix cannot demand unbounded memory: comfortably above the
+	// largest legal engine state (a MaxWindow event bank is ~512 MiB on
+	// paper, but real configurations sit in kilobytes; this cap admits
+	// every configuration the constructors accept while still bounding
+	// a hostile 2^60 length claim).
+	maxStreamFrame = 1 << 30
+)
+
+// Checkpoint writes the state of every live stream to w, shard by
+// shard. Feeders may run concurrently: only the shard currently being
+// serialized is quiesced (its mutex held), so ingest never stops
+// globally. Shard-count and eviction configuration are NOT part of the
+// checkpoint — Restore takes a fresh Config, which is how a checkpoint
+// taken on an 8-shard pool restores onto 2 shards or 32.
+//
+// Checkpoint fails if a stream's detector was built by an injected
+// factory whose type is not one of the built-in engines.
+func (p *Pool) Checkpoint(w io.Writer) error {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(poolMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(poolStateVersion); err != nil {
+		return err
+	}
+	var staged, frame []byte
+	for _, sh := range p.shards {
+		staged = staged[:0]
+		var encErr error
+		sh.mu.Lock()
+		for _, st := range sh.streams {
+			frame = wire.AppendUvarint(frame[:0], st.key)
+			frame, encErr = core.AppendCheckpoint(st.det, frame)
+			if encErr != nil {
+				break
+			}
+			staged = wire.AppendFrame(staged, frame)
+		}
+		sh.mu.Unlock()
+		if encErr != nil {
+			return fmt.Errorf("pool: checkpoint: %w", encErr)
+		}
+		if _, err := bw.Write(staged); err != nil {
+			return err
+		}
+	}
+	if err := wire.WriteFrame(bw, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore builds a started pool from a checkpoint stream written by
+// Checkpoint, placing every stream on the shard the new configuration
+// hashes it to. The configuration's detector factory must build the
+// same engine kind and configuration the checkpoint carries: every
+// stream's spec is validated against a factory probe, and a mismatch is
+// a descriptive error, never a silently mixed pool. Idle-TTL clocks
+// restart from zero.
+func Restore(r io.Reader, cfg Config) (*Pool, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			p.Close()
+		}
+	}()
+
+	probe, err := core.AppendCheckpoint(p.cfg.NewDetector(), nil)
+	if err != nil {
+		return nil, fmt.Errorf("pool: restore: factory detector is not checkpointable: %w", err)
+	}
+	probeSpec, err := core.DecodeSpec(probe)
+	if err != nil {
+		return nil, fmt.Errorf("pool: restore: factory probe: %w", err)
+	}
+
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pool: restore header: %w", err)
+	}
+	if string(hdr[:4]) != poolMagic {
+		return nil, fmt.Errorf("pool: restore: bad magic %q", hdr[:4])
+	}
+	if hdr[4] != poolStateVersion {
+		return nil, fmt.Errorf("pool: restore: unsupported pool format version %d (this build reads version %d)", hdr[4], poolStateVersion)
+	}
+
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, maxStreamFrame, buf)
+		if err != nil {
+			return nil, fmt.Errorf("pool: restore: %w", err)
+		}
+		if payload == nil {
+			break // terminator
+		}
+		buf = payload
+		dec := wire.NewDec(payload)
+		key := dec.Uvarint()
+		if dec.Err() != nil {
+			return nil, fmt.Errorf("pool: restore: stream key: %w", dec.Err())
+		}
+		state := payload[dec.Offset():]
+		spec, err := core.DecodeSpec(state)
+		if err != nil {
+			return nil, fmt.Errorf("pool: restore: stream %d: %w", key, err)
+		}
+		if !spec.Equal(probeSpec) {
+			return nil, fmt.Errorf("pool: restore: stream %d is a %s-engine state that does not match the pool's detector factory (%s); pass the configuration the checkpoint was taken with",
+				key, spec.EngineName(), probeSpec.EngineName())
+		}
+		det, err := core.RestoreCheckpoint(state)
+		if err != nil {
+			return nil, fmt.Errorf("pool: restore: stream %d: %w", key, err)
+		}
+		sh := p.shards[p.shardOf(key)]
+		sh.mu.Lock()
+		_, dup := sh.streams[key]
+		if !dup {
+			sh.streams[key] = &stream{key: key, det: det}
+		}
+		sh.mu.Unlock()
+		if dup {
+			return nil, fmt.Errorf("pool: restore: duplicate stream %d in checkpoint", key)
+		}
+	}
+	ok = true
+	return p, nil
+}
+
+// Rebalance changes the number of shards at run time, migrating every
+// live stream to its new shard by serializing its detector through the
+// checkpoint codec and restoring it on the other side — the same
+// phase-aware state movement a cross-process restore uses, so a stream
+// observes no difference between being rebalanced and being
+// checkpoint/restored. newShards 0 selects runtime.GOMAXPROCS(0).
+//
+// Rebalance waits for in-flight batches to complete and blocks new ones
+// for the duration (feeders block, they do not fail), then swaps the
+// shard table atomically with respect to the feed gate. Per-stream
+// detector state — and therefore every subsequent Result and Stat — is
+// preserved exactly; the per-shard idle-TTL clocks restart, since shard
+// sample counts are meaningless across a re-partition.
+func (p *Pool) Rebalance(newShards int) error {
+	if newShards == 0 {
+		newShards = runtime.GOMAXPROCS(0)
+	}
+	if newShards < 1 || newShards > MaxShards {
+		return fmt.Errorf("pool: rebalance shards %d outside [1,%d]", newShards, MaxShards)
+	}
+	p.gate.Lock()
+	defer p.gate.Unlock()
+	if p.closed.Load() {
+		return fmt.Errorf("pool: Rebalance on a closed Pool")
+	}
+	if newShards == len(p.shards) {
+		return nil
+	}
+
+	// Probe once: every stream came from the same factory (or passed the
+	// Restore spec check), so one non-checkpointable probe means the
+	// whole migration is impossible and nothing has been touched yet.
+	if _, err := core.AppendCheckpoint(p.cfg.NewDetector(), nil); err != nil {
+		return fmt.Errorf("pool: rebalance: %w", err)
+	}
+
+	// Build and fill the next shard generation without mutating the
+	// current one, so any migration error aborts with the pool intact.
+	next := make([]*shard, newShards)
+	for i := range next {
+		next[i] = newShard(p.cfg)
+	}
+	var buf []byte
+	for _, sh := range p.shards {
+		for key, st := range sh.streams {
+			var err error
+			buf, err = core.AppendCheckpoint(st.det, buf[:0])
+			if err != nil {
+				return fmt.Errorf("pool: rebalance stream %d: %w", key, err)
+			}
+			det, err := core.RestoreCheckpoint(buf)
+			if err != nil {
+				return fmt.Errorf("pool: rebalance stream %d: %w", key, err)
+			}
+			ns := next[shardIndex(key, newShards)]
+			ns.streams[key] = &stream{key: key, det: det}
+		}
+	}
+
+	// Point of no return: swap the table, start the new workers, retire
+	// the old generation. The exclusive gate guarantees no run is queued
+	// on any old shard and no feeder holds a stale shard pointer.
+	old := p.shards
+	p.shards = next
+	for _, sh := range next {
+		p.wg.Add(1)
+		go p.worker(sh)
+	}
+	for _, sh := range old {
+		p.evictedBase += sh.evicted
+		close(sh.in)
+	}
+
+	// Re-shape the batch staging buffers. Shrinking keeps the backing
+	// array (and the per-shard []KeyedSample capacities hidden beyond
+	// the new length), so growing back to a previously used shard count
+	// re-exposes warmed buffers and the steady-state feed path returns
+	// to 0 allocs/op without re-warming.
+	for i := 0; i < cap(p.groups); i++ {
+		g := <-p.groups
+		if cap(g.perShard) >= newShards {
+			g.perShard = g.perShard[:newShards]
+		} else {
+			g.perShard = append(g.perShard[:cap(g.perShard)], make([][]KeyedSample, newShards-cap(g.perShard))...)
+		}
+		for j := range g.perShard {
+			g.perShard[j] = g.perShard[j][:0]
+		}
+		p.groups <- g
+	}
+	return nil
+}

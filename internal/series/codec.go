@@ -1,0 +1,313 @@
+package series
+
+import (
+	"fmt"
+
+	"dpd/internal/wire"
+)
+
+// State codecs: every windowed structure can append its exact run-time
+// state — wrap cursors, packed bitsets, accumulated sums, the sample
+// clock — to a byte buffer and load it back, so a detector built on
+// these structures can be checkpointed and restored to byte-identical
+// subsequent behavior. The encoding is the wire idiom: uvarint scalars,
+// fixed-width little-endian bulk arrays.
+//
+// AppendState never fails and performs no allocation when the buffer
+// capacity suffices. LoadState returns the number of bytes consumed; it
+// validates geometry against the receiver (the caller chooses the
+// configuration; the codec only restores state), never panics, and
+// never reads past the declared fields, so it is safe on hostile input.
+
+// AppendState appends the bank's state to buf and returns the extended
+// buffer. Only the newest min(Len, window+lags) history samples are
+// encoded: older entries are unreachable through every accessor.
+func (b *CountBank) AppendState(buf []byte) []byte {
+	buf = wire.AppendUint(buf, b.window)
+	buf = wire.AppendUint(buf, b.lags)
+	buf = wire.AppendUvarint(buf, b.t)
+	buf = wire.AppendUint(buf, b.row)
+	n := histKeep(b.t, b.window+b.lags)
+	mask := uint64(len(b.hist) - 1)
+	start := b.t - uint64(n)
+	for i := 0; i < n; i++ {
+		buf = wire.AppendI64(buf, b.hist[(start+uint64(i))&mask])
+	}
+	buf = wire.AppendU64s(buf, b.rows)
+	for _, v := range b.ones {
+		buf = wire.AppendUvarint(buf, uint64(v))
+	}
+	buf = wire.AppendU64s(buf, b.zero)
+	buf = wire.AppendU64s(buf, b.zeroAt)
+	return buf
+}
+
+// LoadState restores the bank from data, returning the bytes consumed.
+// The encoded geometry must match the receiver's window and lags.
+func (b *CountBank) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	w := d.Uint(MaxDim)
+	l := d.Uint(MaxDim)
+	if d.Err() == nil && (w != b.window || l != b.lags) {
+		return 0, fmt.Errorf("series: count bank %dx%d cannot load checkpoint of geometry %dx%d", b.window, b.lags, w, l)
+	}
+	t := d.Uvarint()
+	row := d.Uint(b.window - 1)
+	n := histKeep(t, b.window+b.lags)
+	if !d.Need(8 * (n + len(b.rows) + len(b.zero) + len(b.zeroAt))) {
+		return 0, fmt.Errorf("series: count bank checkpoint: %w", d.Err())
+	}
+	clear(b.hist)
+	mask := uint64(len(b.hist) - 1)
+	start := t - uint64(n)
+	for i := 0; i < n; i++ {
+		b.hist[(start+uint64(i))&mask] = d.I64()
+	}
+	d.U64s(b.rows)
+	for i := range b.ones {
+		b.ones[i] = int32(d.Uint(b.window))
+	}
+	d.U64s(b.zero)
+	d.U64s(b.zeroAt)
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: count bank checkpoint: %w", err)
+	}
+	// Mask the padding bits of the last word of every packed row and of
+	// the zero bitset: legitimate encodes never set them, and a set bit
+	// beyond `lags` would index out of range on the next Push.
+	if pad := b.lags & 63; pad != 0 {
+		m := uint64(1)<<uint(pad) - 1
+		for r := 0; r < b.window; r++ {
+			b.rows[(r+1)*b.wpl-1] &= m
+		}
+		b.zero[b.wpl-1] &= m
+	}
+	b.t = t
+	b.row = row
+	return d.Offset(), nil
+}
+
+// AppendState appends the bank's state to buf and returns the extended
+// buffer; see CountBank.AppendState for the retained-history contract.
+func (b *SumBank) AppendState(buf []byte) []byte {
+	buf = wire.AppendUint(buf, b.window)
+	buf = wire.AppendUint(buf, b.lags)
+	buf = wire.AppendUvarint(buf, b.t)
+	n := histKeep(b.t, b.window+b.lags)
+	mask := uint64(len(b.hist) - 1)
+	start := b.t - uint64(n)
+	for i := 0; i < n; i++ {
+		buf = wire.AppendF64(buf, b.hist[(start+uint64(i))&mask])
+	}
+	buf = wire.AppendF64s(buf, b.vals)
+	buf = wire.AppendF64s(buf, b.sums)
+	return buf
+}
+
+// LoadState restores the bank from data, returning the bytes consumed.
+// Sums are restored bit-exact, so subsequent incremental updates follow
+// the same floating-point trajectory as the checkpointed bank.
+func (b *SumBank) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	w := d.Uint(MaxDim)
+	l := d.Uint(MaxDim)
+	if d.Err() == nil && (w != b.window || l != b.lags) {
+		return 0, fmt.Errorf("series: sum bank %dx%d cannot load checkpoint of geometry %dx%d", b.window, b.lags, w, l)
+	}
+	t := d.Uvarint()
+	n := histKeep(t, b.window+b.lags)
+	if !d.Need(8 * (n + len(b.vals) + len(b.sums))) {
+		return 0, fmt.Errorf("series: sum bank checkpoint: %w", d.Err())
+	}
+	clear(b.hist)
+	mask := uint64(len(b.hist) - 1)
+	start := t - uint64(n)
+	for i := 0; i < n; i++ {
+		b.hist[(start+uint64(i))&mask] = d.F64()
+	}
+	d.F64s(b.vals)
+	d.F64s(b.sums)
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: sum bank checkpoint: %w", err)
+	}
+	b.t = t
+	return d.Offset(), nil
+}
+
+// AppendState appends the ring's state: capacity, cursor, clock, and
+// the live values in logical (oldest-first) order.
+func (r *Ring) AppendState(buf []byte) []byte {
+	buf = wire.AppendUint(buf, len(r.buf))
+	buf = wire.AppendUint(buf, r.head)
+	buf = wire.AppendUint(buf, r.count)
+	buf = wire.AppendUvarint(buf, r.total)
+	for i := 0; i < r.count; i++ {
+		buf = wire.AppendF64(buf, r.At(i))
+	}
+	return buf
+}
+
+// LoadState restores the ring from data, returning the bytes consumed.
+// The encoded capacity must match the receiver's.
+func (r *Ring) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	c := d.Uint(MaxDim)
+	if d.Err() == nil && c != len(r.buf) {
+		return 0, fmt.Errorf("series: ring of capacity %d cannot load checkpoint of capacity %d", len(r.buf), c)
+	}
+	head := d.Uint(len(r.buf) - 1)
+	count := d.Uint(len(r.buf))
+	total := d.Uvarint()
+	if !d.Need(8 * count) {
+		return 0, fmt.Errorf("series: ring checkpoint: %w", d.Err())
+	}
+	clear(r.buf)
+	for i := 0; i < count; i++ {
+		idx := head + i
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		r.buf[idx] = d.F64()
+	}
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: ring checkpoint: %w", err)
+	}
+	r.head = head
+	r.count = count
+	r.total = total
+	return d.Offset(), nil
+}
+
+// AppendState appends the ring's state; see Ring.AppendState.
+func (r *IntRing) AppendState(buf []byte) []byte {
+	buf = wire.AppendUint(buf, len(r.buf))
+	buf = wire.AppendUint(buf, r.head)
+	buf = wire.AppendUint(buf, r.count)
+	buf = wire.AppendUvarint(buf, r.total)
+	for i := 0; i < r.count; i++ {
+		buf = wire.AppendI64(buf, r.At(i))
+	}
+	return buf
+}
+
+// LoadState restores the ring from data; see Ring.LoadState.
+func (r *IntRing) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	c := d.Uint(MaxDim)
+	if d.Err() == nil && c != len(r.buf) {
+		return 0, fmt.Errorf("series: int ring of capacity %d cannot load checkpoint of capacity %d", len(r.buf), c)
+	}
+	head := d.Uint(len(r.buf) - 1)
+	count := d.Uint(len(r.buf))
+	total := d.Uvarint()
+	if !d.Need(8 * count) {
+		return 0, fmt.Errorf("series: int ring checkpoint: %w", d.Err())
+	}
+	clear(r.buf)
+	for i := 0; i < count; i++ {
+		idx := head + i
+		if idx >= len(r.buf) {
+			idx -= len(r.buf)
+		}
+		r.buf[idx] = d.I64()
+	}
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: int ring checkpoint: %w", err)
+	}
+	r.head = head
+	r.count = count
+	r.total = total
+	return d.Offset(), nil
+}
+
+// AppendState appends the counter's state: window, cursor, and the
+// valid mismatch bits packed 8 per byte in logical order.
+func (s *SlidingCount) AppendState(buf []byte) []byte {
+	buf = wire.AppendUint(buf, len(s.bits))
+	buf = wire.AppendUint(buf, s.head)
+	buf = wire.AppendUint(buf, s.count)
+	var acc uint8
+	for i := 0; i < s.count; i++ {
+		idx := s.head + i
+		if idx >= len(s.bits) {
+			idx -= len(s.bits)
+		}
+		acc |= s.bits[idx] << uint(i&7)
+		if i&7 == 7 {
+			buf = wire.AppendU8(buf, acc)
+			acc = 0
+		}
+	}
+	if s.count&7 != 0 {
+		buf = wire.AppendU8(buf, acc)
+	}
+	return buf
+}
+
+// LoadState restores the counter from data, returning the bytes
+// consumed. The mismatch total is recomputed from the restored bits, so
+// the loaded state is internally consistent by construction.
+func (s *SlidingCount) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	w := d.Uint(MaxDim)
+	if d.Err() == nil && w != len(s.bits) {
+		return 0, fmt.Errorf("series: sliding count of window %d cannot load checkpoint of window %d", len(s.bits), w)
+	}
+	head := d.Uint(len(s.bits) - 1)
+	count := d.Uint(len(s.bits))
+	packed := d.Bytes((count + 7) / 8)
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: sliding count checkpoint: %w", err)
+	}
+	clear(s.bits)
+	ones := 0
+	for i := 0; i < count; i++ {
+		b := packed[i>>3] >> uint(i&7) & 1
+		idx := head + i
+		if idx >= len(s.bits) {
+			idx -= len(s.bits)
+		}
+		s.bits[idx] = b
+		ones += int(b)
+	}
+	s.head = head
+	s.count = count
+	s.ones = ones
+	return d.Offset(), nil
+}
+
+// AppendState appends the average's state: the observation count and
+// the exact bits of the current value (alpha is configuration).
+func (e *EWMA) AppendState(buf []byte) []byte {
+	buf = wire.AppendUvarint(buf, e.n)
+	return wire.AppendF64(buf, e.value)
+}
+
+// LoadState restores the average from data, returning the bytes
+// consumed.
+func (e *EWMA) LoadState(data []byte) (int, error) {
+	d := wire.NewDec(data)
+	n := d.Uvarint()
+	v := d.F64()
+	if err := d.Err(); err != nil {
+		return 0, fmt.Errorf("series: ewma checkpoint: %w", err)
+	}
+	e.n = n
+	e.value = v
+	return d.Offset(), nil
+}
+
+// MaxDim bounds every decoded geometry field (window sizes, lag counts,
+// ring capacities) so a corrupted checkpoint cannot demand an absurd
+// allocation or loop bound; it comfortably exceeds the largest legal
+// detector window.
+const MaxDim = 1 << 20
+
+// histKeep returns how many of the newest history samples are encoded:
+// the retained reach of the ring, capped by the sample clock.
+func histKeep(t uint64, reach int) int {
+	if t < uint64(reach) {
+		return int(t)
+	}
+	return reach
+}

@@ -2,12 +2,13 @@ package trace
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
+
+	"dpd/internal/wire"
 )
 
 // Text format:
@@ -124,130 +125,153 @@ func ReadText(r io.Reader) (*EventTrace, *CPUTrace, error) {
 	return nil, cpu, nil
 }
 
+// codecChunk is how many values are staged per Write / ReadFull on the
+// binary bulk path: big enough to amortize call overhead, small enough
+// that a trace far larger than memory still streams.
+const codecChunk = 8192
+
 // WriteEventBinary writes an event trace in the binary format.
 func WriteEventBinary(w io.Writer, t *EventTrace) error {
-	bw := bufio.NewWriter(w)
-	if err := writeBinaryHeader(bw, kindEvent, t.Name, 0); err != nil {
+	buf, err := appendBinaryHeader(nil, kindEvent, t.Name, 0)
+	if err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Values))); err != nil {
-		return err
-	}
-	for _, v := range t.Values {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+	buf = wire.AppendU64(buf, uint64(len(t.Values)))
+	for vs := t.Values; len(vs) > 0; {
+		n := min(len(vs), codecChunk)
+		buf = wire.AppendI64s(buf, vs[:n])
+		vs = vs[n:]
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
+		buf = buf[:0]
 	}
-	return bw.Flush()
-}
-
-// WriteCPUBinary writes a CPU trace in the binary format.
-func WriteCPUBinary(w io.Writer, t *CPUTrace) error {
-	bw := bufio.NewWriter(w)
-	if err := writeBinaryHeader(bw, kindCPU, t.Name, t.Interval.Nanoseconds()); err != nil {
-		return err
-	}
-	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Samples))); err != nil {
-		return err
-	}
-	for _, v := range t.Samples {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
-}
-
-func writeBinaryHeader(w io.Writer, kind uint8, name string, intervalNS int64) error {
-	if len(name) > 1<<16-1 {
-		return fmt.Errorf("trace: name too long (%d bytes)", len(name))
-	}
-	if _, err := w.Write([]byte(binaryMagic)); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint8(1)); err != nil { // version
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, kind); err != nil {
-		return err
-	}
-	if err := binary.Write(w, binary.LittleEndian, uint16(len(name))); err != nil {
-		return err
-	}
-	if _, err := w.Write([]byte(name)); err != nil {
-		return err
-	}
-	if kind == kindCPU {
-		if err := binary.Write(w, binary.LittleEndian, intervalNS); err != nil {
+	if len(buf) > 0 { // empty trace: header only
+		if _, err := w.Write(buf); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// WriteCPUBinary writes a CPU trace in the binary format.
+func WriteCPUBinary(w io.Writer, t *CPUTrace) error {
+	buf, err := appendBinaryHeader(nil, kindCPU, t.Name, t.Interval.Nanoseconds())
+	if err != nil {
+		return err
+	}
+	buf = wire.AppendU64(buf, uint64(len(t.Samples)))
+	for vs := t.Samples; len(vs) > 0; {
+		n := min(len(vs), codecChunk)
+		buf = wire.AppendF64s(buf, vs[:n])
+		vs = vs[n:]
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendBinaryHeader appends the common binary header using the wire
+// idiom; the layout is fixed-width (not varint) for compatibility with
+// the v1 files already on disk.
+func appendBinaryHeader(buf []byte, kind uint8, name string, intervalNS int64) ([]byte, error) {
+	if len(name) > 1<<16-1 {
+		return nil, fmt.Errorf("trace: name too long (%d bytes)", len(name))
+	}
+	buf = append(buf, binaryMagic...)
+	buf = wire.AppendU8(buf, 1) // version
+	buf = wire.AppendU8(buf, kind)
+	buf = wire.AppendU16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	if kind == kindCPU {
+		buf = wire.AppendI64(buf, intervalNS)
+	}
+	return buf, nil
+}
+
+// readChunk fills scratch[:8*n] from r and returns a wire decoder over
+// it.
+func readChunk(r io.Reader, scratch []byte, n int) (*wire.Dec, []byte, error) {
+	if cap(scratch) < 8*n {
+		scratch = make([]byte, 8*n)
+	}
+	scratch = scratch[:8*n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return nil, nil, err
+	}
+	return wire.NewDec(scratch), scratch, nil
+}
+
 // ReadBinary reads either trace kind from the binary format.
 func ReadBinary(r io.Reader) (*EventTrace, *CPUTrace, error) {
 	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, nil, fmt.Errorf("trace: magic: %w", err)
+	// Fixed prefix: magic, version, kind, name length.
+	var prefix [8]byte
+	if _, err := io.ReadFull(br, prefix[:]); err != nil {
+		return nil, nil, fmt.Errorf("trace: header: %w", err)
 	}
-	if string(magic) != binaryMagic {
-		return nil, nil, fmt.Errorf("trace: bad magic %q", magic)
+	d := wire.NewDec(prefix[:])
+	if string(d.Bytes(4)) != binaryMagic {
+		return nil, nil, fmt.Errorf("trace: bad magic %q", prefix[:4])
 	}
-	var version, kind uint8
-	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
-		return nil, nil, err
-	}
-	if version != 1 {
+	if version := d.U8(); version != 1 {
 		return nil, nil, fmt.Errorf("trace: unsupported version %d", version)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
-		return nil, nil, err
-	}
-	var nameLen uint16
-	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-		return nil, nil, err
-	}
-	nameBuf := make([]byte, nameLen)
+	kind := d.U8()
+	nameBuf := make([]byte, d.U16())
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("trace: name: %w", err)
 	}
 	name := string(nameBuf)
 
+	var scratch []byte
 	switch kind {
 	case kindEvent:
-		var count uint64
-		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return nil, nil, err
+		d, scratch, err := readChunk(br, scratch, 1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: count: %w", err)
 		}
+		count := d.U64()
 		if count > 1<<32 {
 			return nil, nil, fmt.Errorf("trace: implausible event count %d", count)
 		}
 		t := &EventTrace{Name: name, Values: make([]int64, count)}
-		for i := range t.Values {
-			if err := binary.Read(br, binary.LittleEndian, &t.Values[i]); err != nil {
-				return nil, nil, fmt.Errorf("trace: value %d: %w", i, err)
+		for vs := t.Values; len(vs) > 0; {
+			n := min(len(vs), codecChunk)
+			d, scratch, err = readChunk(br, scratch, n)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: value %d: %w", len(t.Values)-len(vs), err)
 			}
+			d.I64s(vs[:n])
+			vs = vs[n:]
 		}
 		return t, nil, nil
 	case kindCPU:
-		var intervalNS int64
-		if err := binary.Read(br, binary.LittleEndian, &intervalNS); err != nil {
-			return nil, nil, err
+		d, scratch, err := readChunk(br, scratch, 2)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trace: interval/count: %w", err)
 		}
-		var count uint64
-		if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
-			return nil, nil, err
-		}
+		intervalNS := d.I64()
+		count := d.U64()
 		if count > 1<<32 {
 			return nil, nil, fmt.Errorf("trace: implausible sample count %d", count)
 		}
 		t := &CPUTrace{Name: name, Interval: time.Duration(intervalNS), Samples: make([]float64, count)}
-		for i := range t.Samples {
-			if err := binary.Read(br, binary.LittleEndian, &t.Samples[i]); err != nil {
-				return nil, nil, fmt.Errorf("trace: sample %d: %w", i, err)
+		for vs := t.Samples; len(vs) > 0; {
+			n := min(len(vs), codecChunk)
+			d, scratch, err = readChunk(br, scratch, n)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trace: sample %d: %w", len(t.Samples)-len(vs), err)
 			}
+			d.F64s(vs[:n])
+			vs = vs[n:]
 		}
 		return nil, t, nil
 	default:

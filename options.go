@@ -19,6 +19,7 @@ type builder struct {
 	engine    string // "", "event", "magnitude", "multiscale", "adaptive"
 	windowSet bool
 	maxLagSet bool
+	graceSet  bool
 	ladder    []int
 	policy    AdaptivePolicy
 	obs       Observer
@@ -87,6 +88,7 @@ func WithGrace(n int) Option {
 			return
 		}
 		b.cfg.Grace = n
+		b.graceSet = true
 	}
 }
 

@@ -43,6 +43,9 @@ var required = []string{
 	"Observer", "Event", "EventKind", "ObserverFuncs",
 	"EventLock", "EventPeriodChange", "EventSegmentStart", "EventUnlock",
 
+	// State portability (checkpoint/restore codec).
+	"Checkpoint", "AppendCheckpoint", "Restore", "RestorePool",
+
 	// Table-1 paper port and deprecated constructor shims.
 	"DPD", "NewDPD", "NewDPDWithWindow",
 	"NewEventDetector", "NewMagnitudeDetector", "NewMultiScaleDetector",
