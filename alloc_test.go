@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"dpd"
+	"dpd/internal/server"
+	"dpd/internal/wire"
 )
 
 func TestEventDetectorFeedSteadyStateAllocFree(t *testing.T) {
@@ -259,6 +261,47 @@ func TestPoolFeedBatchAllocFreeAcrossRebalance(t *testing.T) {
 	}
 	if n := testing.AllocsPerRun(100, feed); n != 0 {
 		t.Fatalf("FeedBatch allocates %.1f objects/op immediately after rebalancing back to 4 shards, want 0", n)
+	}
+}
+
+// TestIngestFrameDecodeAllocFree: the serving layer's frame decode path
+// is 0 allocs/op in steady state (ISSUE 5) — a reused Frame recycles its
+// sample and read buffers, so a connection decoding batch frames adds no
+// GC pressure on top of the pool's allocation-free feed path. Both batch
+// kinds and the small control frames are covered.
+func TestIngestFrameDecodeAllocFree(t *testing.T) {
+	var enc server.Enc
+	strip := func(frame []byte) []byte {
+		var d wire.Dec
+		d.Reset(frame)
+		d.Uvarint()
+		return frame[d.Offset():]
+	}
+	events := make([]int64, 256)
+	mags := make([]float64, 256)
+	for i := range events {
+		events[i] = int64(i % 9)
+		mags[i] = float64(i % 9)
+	}
+	payloads := [][]byte{
+		strip(enc.AppendEventBatch(nil, 42, events)),
+		strip((&server.Enc{}).AppendMagnitudeBatch(nil, 43, mags)),
+		strip((&server.Enc{}).AppendPing(nil, 7)),
+	}
+	var f server.Frame
+	for _, p := range payloads {
+		if err := server.DecodeFrame(p, &f); err != nil { // warm the buffers
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := server.DecodeFrame(payloads[i%len(payloads)], &f); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("ingest frame decode allocates %.1f objects/op with a reused Frame, want 0", n)
 	}
 }
 

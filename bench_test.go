@@ -22,6 +22,8 @@ import (
 	"dpd/internal/nanos"
 	"dpd/internal/selfanalyzer"
 	"dpd/internal/series"
+	"dpd/internal/server"
+	"dpd/internal/wire"
 )
 
 // BenchmarkFig3FTTrace regenerates Figure 3: the simulated MPI/OpenMP FT
@@ -447,4 +449,39 @@ func benchName(prefix string, n int) string {
 		n /= 10
 	}
 	return prefix + "=" + string(buf[i:])
+}
+
+// BenchmarkIngestFrameDecode: the serving layer's per-frame decode cost
+// (ISSUE 5) — one 256-sample event batch frame parsed into a reused
+// Frame, the exact steady-state read path of an ingest connection.
+// ns/elem is the per-sample protocol overhead the network surface adds
+// before Pool.FeedBatch; 0 allocs/op is asserted in alloc_test.go.
+func BenchmarkIngestFrameDecode(b *testing.B) {
+	const batch = 256
+	values := make([]int64, batch)
+	for i := range values {
+		values[i] = int64(i % 9)
+	}
+	var enc server.Enc
+	framed := enc.AppendEventBatch(nil, 42, values)
+	var d wire.Dec
+	d.Reset(framed)
+	d.Uvarint() // skip the length prefix: decode consumes the bare payload
+	payload := framed[d.Offset():]
+	var f server.Frame
+	if err := server.DecodeFrame(payload, &f); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := server.DecodeFrame(payload, &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elems := float64(b.N) * batch
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/elems, "ns/elem")
+	b.ReportMetric(elems/b.Elapsed().Seconds(), "elems/s")
 }

@@ -1,0 +1,53 @@
+// Command dpdload generates ingest traffic against a running dpdserver:
+// N connections × M keyed streams of periodic samples, batched, rate
+// limited, ping-barriered — and reports end-to-end throughput in
+// Melem/s. It is the local stand-in for "heavy traffic from millions of
+// users" and the driver of the serving integration test.
+//
+//	dpdload -addr localhost:7700 -conns 8 -streams 1000 -samples 4096 -period 12
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dpd/internal/loadgen"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7700", "dpdserver ingest address")
+	conns := flag.Int("conns", 4, "concurrent connections")
+	streams := flag.Int("streams", 64, "total keyed streams, partitioned across connections")
+	keyBase := flag.Uint64("key-base", 0, "first stream key")
+	samples := flag.Int("samples", 4096, "samples per stream")
+	batch := flag.Int("batch", 256, "samples per batch frame")
+	period := flag.Int("period", 8, "synthetic pattern period")
+	stride := flag.Int64("stride", 0, "per-stream value offset (0 = shared alphabet)")
+	magnitude := flag.Bool("magnitude", false, "send magnitude batches (float64) instead of event batches")
+	rate := flag.Float64("rate", 0, "aggregate rate limit in samples/second (0 = unlimited)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Addr:             *addr,
+		Conns:            *conns,
+		Streams:          *streams,
+		KeyBase:          *keyBase,
+		SamplesPerStream: *samples,
+		BatchSize:        *batch,
+		Period:           *period,
+		PatternStride:    *stride,
+		Magnitude:        *magnitude,
+		Rate:             *rate,
+	})
+	if err != nil {
+		log.Fatalf("dpdload: %v", err)
+	}
+	fmt.Println(rep)
+}

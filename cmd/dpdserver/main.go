@@ -1,0 +1,124 @@
+// Command dpdserver serves the detector pool over the network: a binary
+// ingest listener (the dpd ingest protocol; see internal/server), an
+// HTTP query/control plane, and a durable checkpoint loop so a restart
+// continues every stream byte-identically.
+//
+// Start a durable server, generate load, query a stream:
+//
+//	dpdserver -ingest :7700 -http :7701 -checkpoint-dir /var/lib/dpd &
+//	dpdload -addr localhost:7700 -conns 8 -streams 1000 -samples 4096
+//	curl localhost:7701/streams/42
+//
+// SIGINT/SIGTERM shut the server down gracefully: ingest drains, the
+// pool quiesces, and a final checkpoint captures the complete state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dpd"
+	"dpd/internal/server"
+)
+
+func main() {
+	ingest := flag.String("ingest", ":7700", "binary ingest plane listen address")
+	httpAddr := flag.String("http", ":7701", "HTTP query/control plane listen address (empty disables)")
+	engine := flag.String("engine", "event", "per-stream detector engine: event|magnitude|multiscale|adaptive")
+	window := flag.Int("window", 0, "window size N (0 = engine default; invalid for multiscale/adaptive)")
+	confirm := flag.Int("confirm", 0, "consecutive confirmations before locking (0 = default)")
+	grace := flag.Int("grace", -1, "violations tolerated before unlocking (-1 = default)")
+	magThresh := flag.Float64("mag-threshold", 0, "magnitude engine relative threshold (0 = default 0.5)")
+	ladder := flag.String("ladder", "", "multiscale ladder windows, comma-separated (empty = default ladder)")
+	shards := flag.Int("shards", 0, "pool shard count (0 = GOMAXPROCS)")
+	idleTTL := flag.Uint64("idle-ttl", 0, "evict a stream after this many shard samples without traffic (0 = never)")
+	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory (empty disables durability)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "interval between durable checkpoints")
+	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files to retain")
+	flag.Parse()
+
+	factory, err := engineFactory(*engine, *window, *confirm, *grace, *magThresh, *ladder)
+	if err != nil {
+		log.Fatalf("dpdserver: %v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		IngestAddr: *ingest,
+		HTTPAddr:   *httpAddr,
+		Pool: dpd.PoolConfig{
+			Shards:      *shards,
+			NewDetector: factory,
+			IdleTTL:     *idleTTL,
+		},
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		CheckpointKeep:  *ckptKeep,
+	})
+	if err != nil {
+		log.Fatalf("dpdserver: %v", err)
+	}
+	srv.Start()
+	log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards",
+		srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+	log.Printf("dpdserver: shutting down (draining ingest, quiescing pool, final checkpoint)")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("dpdserver: shutdown: %v", err)
+	}
+	log.Printf("dpdserver: stopped cleanly")
+}
+
+// engineFactory builds and validates the per-stream detector factory
+// from the engine flags; validation happens once, up front, so shard
+// workers can never hit a construction error.
+func engineFactory(engine string, window, confirm, grace int, magThresh float64, ladder string) (func() dpd.Detector, error) {
+	var opts []dpd.Option
+	switch engine {
+	case "event":
+	case "magnitude":
+		opts = append(opts, dpd.WithMagnitude(magThresh))
+	case "multiscale":
+		var windows []int
+		if ladder != "" {
+			for _, f := range strings.Split(ladder, ",") {
+				w, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					return nil, fmt.Errorf("bad -ladder entry %q: %v", f, err)
+				}
+				windows = append(windows, w)
+			}
+		}
+		opts = append(opts, dpd.WithLadder(windows...))
+	case "adaptive":
+		opts = append(opts, dpd.WithAdaptive(dpd.DefaultAdaptivePolicy()))
+	default:
+		return nil, fmt.Errorf("unknown -engine %q (want event|magnitude|multiscale|adaptive)", engine)
+	}
+	if window != 0 {
+		opts = append(opts, dpd.WithWindow(window))
+	}
+	if confirm != 0 {
+		opts = append(opts, dpd.WithConfirm(confirm))
+	}
+	if grace >= 0 {
+		opts = append(opts, dpd.WithGrace(grace))
+	}
+	if _, err := dpd.New(opts...); err != nil {
+		return nil, err
+	}
+	return func() dpd.Detector { return dpd.Must(opts...) }, nil
+}

@@ -1,0 +1,263 @@
+// Package loadgen drives a dpdserver ingest listener with synthetic
+// periodic traffic: N connections × M keyed streams of period-P
+// samples, batched and optionally rate-limited — the way "heavy
+// traffic from millions of users" is demoed and integration-tested
+// locally without a fleet. The generator speaks the same binary ingest
+// protocol as any real client (internal/server frame codec) and ends
+// every connection with a ping barrier, so when Run returns every
+// generated sample has been applied by the server's pool, not merely
+// buffered in a socket.
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpd/internal/server"
+	"dpd/internal/wire"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the server's ingest address.
+	Addr string
+	// Conns is the number of concurrent TCP connections; 0 selects 1.
+	Conns int
+	// Streams is the total number of keyed streams, partitioned
+	// round-robin across connections (keys 0..Streams-1 offset by
+	// KeyBase); 0 selects Conns.
+	Streams int
+	// KeyBase offsets every stream key, so successive runs can target
+	// fresh or existing streams deliberately.
+	KeyBase uint64
+	// SamplesPerStream is how many samples each stream receives; 0
+	// selects 1024.
+	SamplesPerStream int
+	// BatchSize is the samples per batch frame; 0 selects 256.
+	BatchSize int
+	// Period is the synthetic pattern's period: stream key k at index t
+	// carries value (t % Period) + k·PatternStride; 0 selects 8.
+	Period int
+	// PatternStride offsets each stream's value alphabet so distinct
+	// streams never share values (useful when eyeballing snapshots);
+	// 0 keeps all streams on the same alphabet.
+	PatternStride int64
+	// Magnitude switches the generator to magnitude batch frames
+	// (float64 samples) for pools running the magnitude engine.
+	Magnitude bool
+	// Rate bounds aggregate throughput in samples/second across all
+	// connections; 0 is unlimited.
+	Rate float64
+}
+
+// Report summarizes one completed run.
+type Report struct {
+	// Samples is the total number of samples applied by the server
+	// (ping-barrier confirmed).
+	Samples uint64
+	// Conns and Streams echo the effective run shape.
+	Conns, Streams int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// MelemsPerSec is end-to-end throughput in millions of samples per
+	// second: encode → TCP → decode → pool, barrier included.
+	MelemsPerSec float64
+}
+
+// String renders the report the way cmd/dpdload prints it.
+func (r Report) String() string {
+	return fmt.Sprintf("loadgen: %d samples over %d conns × %d streams in %v → %.2f Melem/s end-to-end",
+		r.Samples, r.Conns, r.Streams, r.Elapsed.Round(time.Millisecond), r.MelemsPerSec)
+}
+
+// Run executes one load run and blocks until every connection has
+// finished and barriered (or ctx is cancelled, which aborts the run
+// with its error). Connections share nothing but the counter, so the
+// generator itself scales with cores.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 1
+	}
+	if cfg.Streams <= 0 {
+		cfg.Streams = cfg.Conns
+	}
+	if cfg.SamplesPerStream <= 0 {
+		cfg.SamplesPerStream = 1024
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 256
+	}
+	if cfg.BatchSize > server.MaxBatch {
+		cfg.BatchSize = server.MaxBatch
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = 8
+	}
+
+	var (
+		sent  atomic.Uint64
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if first == nil {
+			first = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	perConnRate := cfg.Rate / float64(cfg.Conns)
+	for ci := 0; ci < cfg.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			if err := runConn(ctx, cfg, ci, perConnRate, &sent); err != nil {
+				fail(fmt.Errorf("loadgen conn %d: %w", ci, err))
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep := Report{
+		Samples: sent.Load(),
+		Conns:   cfg.Conns,
+		Streams: cfg.Streams,
+		Elapsed: elapsed,
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.MelemsPerSec = float64(rep.Samples) / s / 1e6
+	}
+	return rep, first
+}
+
+// runConn drives one connection: its share of the streams, batch by
+// batch in time order, then the ping barrier and the graceful
+// terminator frame.
+func runConn(ctx context.Context, cfg Config, ci int, rate float64, sent *atomic.Uint64) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	bw := bufio.NewWriterSize(nc, 64<<10)
+	br := bufio.NewReaderSize(nc, 4<<10)
+
+	var enc server.Enc
+	buf := server.AppendPreamble(nil)
+
+	// This connection's streams: keys ci, ci+Conns, ci+2·Conns, …
+	var keys []uint64
+	for k := ci; k < cfg.Streams; k += cfg.Conns {
+		keys = append(keys, cfg.KeyBase+uint64(k))
+	}
+
+	evs := make([]int64, cfg.BatchSize)
+	mags := make([]float64, cfg.BatchSize)
+	connStart := time.Now()
+	var connSent uint64
+	for t := 0; t < cfg.SamplesPerStream; t += cfg.BatchSize {
+		n := cfg.BatchSize
+		if t+n > cfg.SamplesPerStream {
+			n = cfg.SamplesPerStream - t
+		}
+		for _, key := range keys {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			stride := cfg.PatternStride * int64(key-cfg.KeyBase)
+			for i := 0; i < n; i++ {
+				v := int64((t+i)%cfg.Period) + stride
+				evs[i], mags[i] = v, float64(v)
+			}
+			if cfg.Magnitude {
+				buf = enc.AppendMagnitudeBatch(buf, key, mags[:n])
+			} else {
+				buf = enc.AppendEventBatch(buf, key, evs[:n])
+			}
+			if len(buf) >= 48<<10 {
+				if _, err := bw.Write(buf); err != nil {
+					return err
+				}
+				buf = buf[:0]
+			}
+			connSent += uint64(n)
+			if rate > 0 {
+				// Pace against the connection's own clock: sleep until the
+				// sent total is back under rate × elapsed.
+				ahead := time.Duration(float64(connSent)/rate*float64(time.Second)) - time.Since(connStart)
+				if ahead > time.Millisecond {
+					if _, err := bw.Write(buf); err != nil {
+						return err
+					}
+					buf = buf[:0]
+					if err := bw.Flush(); err != nil {
+						return err
+					}
+					select {
+					case <-time.After(ahead):
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				}
+			}
+		}
+	}
+
+	// Barrier: the pong proves every batch above was applied in order.
+	const token = 0xBA44
+	buf = enc.AppendPing(buf, token)
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := awaitPong(br, token); err != nil {
+		return err
+	}
+	sent.Add(connSent)
+
+	// Graceful terminator, then close.
+	if err := wire.WriteFrame(bw, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// awaitPong reads server frames until the barrier pong (skipping any
+// subscribed events), surfacing protocol errors from the server.
+func awaitPong(br *bufio.Reader, token uint64) error {
+	var sf server.ServerFrame
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(br, server.MaxFrame, buf)
+		if err != nil {
+			return fmt.Errorf("awaiting pong: %w", err)
+		}
+		if payload == nil {
+			return errors.New("server closed the stream before the pong")
+		}
+		buf = payload
+		if err := server.DecodeServerFrame(payload, &sf); err != nil {
+			return err
+		}
+		switch sf.Kind {
+		case server.KindPong:
+			if sf.Token != token {
+				return fmt.Errorf("pong token %#x, want %#x", sf.Token, token)
+			}
+			return nil
+		case server.KindError:
+			return fmt.Errorf("server error %s: %s", sf.Code, sf.Msg)
+		}
+	}
+}

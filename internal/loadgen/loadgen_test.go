@@ -1,0 +1,159 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/server"
+)
+
+// startServer boots an in-process dpdserver on loopback for the
+// generator to target.
+func startServer(t *testing.T, poolCfg dpd.PoolConfig) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		IngestAddr: "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Pool:       poolCfg,
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestRunDrivesServer: the generator's ping barrier means that when Run
+// returns, every sample is already applied — checked against the
+// server's own accounting and the resulting per-stream locks.
+func TestRunDrivesServer(t *testing.T) {
+	s := startServer(t, dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}})
+	const (
+		conns   = 3
+		streams = 12
+		samples = 192
+		period  = 5
+	)
+	rep, err := Run(context.Background(), Config{
+		Addr:             s.Addr(),
+		Conns:            conns,
+		Streams:          streams,
+		SamplesPerStream: samples,
+		BatchSize:        64,
+		Period:           period,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != streams*samples {
+		t.Fatalf("report says %d samples, want %d", rep.Samples, streams*samples)
+	}
+	if rep.MelemsPerSec <= 0 {
+		t.Fatalf("report Melem/s = %v, want > 0", rep.MelemsPerSec)
+	}
+
+	pool := s.Pool()
+	if got := pool.Len(); got != streams {
+		t.Fatalf("pool has %d streams, want %d", got, streams)
+	}
+	for k := 0; k < streams; k++ {
+		st, ok := pool.Stat(uint64(k))
+		if !ok {
+			t.Fatalf("stream %d missing", k)
+		}
+		if st.Samples != samples || !st.Locked || st.Period != period {
+			t.Fatalf("stream %d = %+v, want %d samples locked on period %d", k, st.Stat, samples, period)
+		}
+	}
+
+	// The server's own counters agree with the report.
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.SamplesTotal != streams*samples {
+		t.Fatalf("server samples_total = %d, want %d", m.SamplesTotal, streams*samples)
+	}
+	if m.Disconnects.ProtocolError != 0 || m.Disconnects.SlowConsumer != 0 {
+		t.Fatalf("loadgen tripped error paths: %+v", m.Disconnects)
+	}
+}
+
+// TestRunMagnitude: the generator speaks magnitude frames for pools
+// running the magnitude engine.
+func TestRunMagnitude(t *testing.T) {
+	s := startServer(t, dpd.PoolConfig{
+		Shards:      2,
+		NewDetector: func() dpd.Detector { return dpd.Must(dpd.WithMagnitude(0), dpd.WithWindow(32)) },
+	})
+	rep, err := Run(context.Background(), Config{
+		Addr:             s.Addr(),
+		Conns:            2,
+		Streams:          6,
+		SamplesPerStream: 160,
+		BatchSize:        32,
+		Period:           8,
+		Magnitude:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != 6*160 {
+		t.Fatalf("report says %d samples, want %d", rep.Samples, 6*160)
+	}
+	st, ok := s.Pool().Stat(0)
+	if !ok || !st.Locked || st.Period != 8 {
+		t.Fatalf("magnitude stream 0 = %+v ok=%v, want locked on period 8", st, ok)
+	}
+}
+
+// TestRunRateLimited: a rate bound stretches the run to at least the
+// implied duration (coarse: half the ideal time, to stay robust on a
+// loaded CI box).
+func TestRunRateLimited(t *testing.T) {
+	s := startServer(t, dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}})
+	const total = 4000 // samples at 20k/s → ≥200ms ideal
+	start := time.Now()
+	rep, err := Run(context.Background(), Config{
+		Addr:             s.Addr(),
+		Conns:            2,
+		Streams:          4,
+		SamplesPerStream: total / 4,
+		BatchSize:        100,
+		Rate:             20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Samples != total {
+		t.Fatalf("report says %d samples, want %d", rep.Samples, total)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("rate-limited run finished in %v, want >= 100ms", elapsed)
+	}
+}
+
+// TestRunCancel: cancelling the context aborts the run with its error.
+func TestRunCancel(t *testing.T) {
+	s := startServer(t, dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, Config{Addr: s.Addr(), Conns: 1, Streams: 1, SamplesPerStream: 1 << 20}); err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}

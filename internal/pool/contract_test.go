@@ -1,0 +1,339 @@
+package pool
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+	"testing"
+
+	"dpd/internal/core"
+)
+
+// TestCloseIdempotentAndConcurrent: every Close call — first, repeated,
+// concurrent — returns only after the pool is fully stopped, and none
+// panics.
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 32}})
+	for i := 0; i < 200; i++ {
+		p.Feed(uint64(i%8), int64(i%4))
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Close()
+		}()
+	}
+	wg.Wait()
+	p.Close() // and once more, sequentially
+	if got := p.Len(); got != 8 {
+		t.Fatalf("Len after Close = %d, want 8", got)
+	}
+}
+
+// TestClosedPoolContract pins the documented behavior of every method
+// after Close — the exact sequence a serving layer's shutdown path
+// walks, so "unspecified" here would be a latent server bug.
+func TestClosedPoolContract(t *testing.T) {
+	build := func(t *testing.T) *Pool {
+		p := Must(Config{Shards: 2, Detector: core.Config{Window: 32}})
+		for i := 0; i < 3*32; i++ {
+			p.Feed(7, int64(i%4))
+			p.Feed(9, int64(i%4))
+		}
+		p.Close()
+		return p
+	}
+
+	t.Run("feed panics", func(t *testing.T) {
+		p := build(t)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Feed on a closed pool did not panic")
+			}
+		}()
+		p.Feed(7, 1)
+	})
+	t.Run("feedbatch panics", func(t *testing.T) {
+		p := build(t)
+		defer func() {
+			if recover() == nil {
+				t.Fatal("FeedBatch on a closed pool did not panic")
+			}
+		}()
+		p.FeedBatch([]KeyedSample{{Key: 7, Value: 1}})
+	})
+	t.Run("reads stay usable", func(t *testing.T) {
+		p := build(t)
+		if got := p.Len(); got != 2 {
+			t.Fatalf("Len = %d, want 2", got)
+		}
+		if got := len(p.Snapshot(nil)); got != 2 {
+			t.Fatalf("Snapshot returned %d streams, want 2", got)
+		}
+		if page, _, more := p.SnapshotPage(0, 10, nil); len(page) != 2 || more {
+			t.Fatalf("SnapshotPage returned %d streams (more=%v), want 2 final", len(page), more)
+		}
+		st, ok := p.Stat(7)
+		if !ok || st.Samples != 3*32 {
+			t.Fatalf("Stat(7) = %+v ok=%v, want 96 samples", st, ok)
+		}
+		if got := p.Shards(); got != 2 {
+			t.Fatalf("Shards = %d, want 2", got)
+		}
+		if lens := p.ShardLens(nil); len(lens) != 2 {
+			t.Fatalf("ShardLens = %v, want 2 entries", lens)
+		}
+		_ = p.Evicted()
+	})
+	t.Run("checkpoint captures final state", func(t *testing.T) {
+		p := build(t)
+		var closedCkpt bytes.Buffer
+		if err := p.Checkpoint(&closedCkpt); err != nil {
+			t.Fatalf("Checkpoint after Close: %v", err)
+		}
+		restored, err := Restore(&closedCkpt, Config{Shards: 2, Detector: core.Config{Window: 32}})
+		if err != nil {
+			t.Fatalf("Restore of post-Close checkpoint: %v", err)
+		}
+		defer restored.Close()
+		want, _ := p.Stat(7)
+		got, ok := restored.Stat(7)
+		if !ok || got.Stat != want.Stat {
+			t.Fatalf("restored Stat(7) = %+v, want %+v", got, want)
+		}
+	})
+	t.Run("rebalance errors", func(t *testing.T) {
+		p := build(t)
+		if err := p.Rebalance(4); err == nil {
+			t.Fatal("Rebalance on a closed pool returned nil error")
+		}
+	})
+	t.Run("evictidle is a no-op", func(t *testing.T) {
+		p := build(t)
+		if n := p.EvictIdle(0); n != 0 {
+			t.Fatalf("EvictIdle on a closed pool evicted %d streams", n)
+		}
+		if got := p.Len(); got != 2 {
+			t.Fatalf("Len after post-Close EvictIdle = %d, want 2", got)
+		}
+	})
+}
+
+// TestSnapshotPage: pages are sorted by key, disjoint, bounded by
+// limit, and their union is exactly the live stream set.
+func TestSnapshotPage(t *testing.T) {
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 32}})
+	defer p.Close()
+	const streams = 57
+	keys := make(map[uint64]bool, streams)
+	for i := 0; i < streams; i++ {
+		k := uint64(i*13 + 5) // non-contiguous keys
+		p.Feed(k, int64(i%4))
+		keys[k] = true
+	}
+
+	var all []uint64
+	from := uint64(0)
+	var page []StreamStat
+	for {
+		var more bool
+		page, from, more = p.SnapshotPage(from, 10, page)
+		if len(page) > 10 {
+			t.Fatalf("page of %d streams exceeds limit 10", len(page))
+		}
+		if !sort.SliceIsSorted(page, func(i, j int) bool { return page[i].Key < page[j].Key }) {
+			t.Fatalf("page not sorted by key: %v", pageKeys(page))
+		}
+		for _, st := range page {
+			all = append(all, st.Key)
+		}
+		if !more {
+			break
+		}
+	}
+	if len(all) != streams {
+		t.Fatalf("paged enumeration returned %d streams, want %d", len(all), streams)
+	}
+	seen := map[uint64]bool{}
+	for _, k := range all {
+		if seen[k] {
+			t.Fatalf("key %d appeared in two pages", k)
+		}
+		seen[k] = true
+		if !keys[k] {
+			t.Fatalf("key %d was never fed", k)
+		}
+	}
+
+	if got, _, more := p.SnapshotPage(0, 0, nil); len(got) != 0 || more {
+		t.Fatalf("limit 0 returned %d streams (more=%v)", len(got), more)
+	}
+}
+
+func pageKeys(page []StreamStat) []uint64 {
+	ks := make([]uint64, len(page))
+	for i, st := range page {
+		ks[i] = st.Key
+	}
+	return ks
+}
+
+// TestShardLens: occupancy sums to Len and follows the shard count
+// across a rebalance.
+func TestShardLens(t *testing.T) {
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 32}})
+	defer p.Close()
+	for i := 0; i < 64; i++ {
+		p.Feed(uint64(i), 1)
+	}
+	lens := p.ShardLens(nil)
+	if len(lens) != 4 {
+		t.Fatalf("ShardLens has %d entries, want 4", len(lens))
+	}
+	sum := 0
+	for _, n := range lens {
+		sum += n
+	}
+	if sum != 64 {
+		t.Fatalf("occupancy sums to %d, want 64", sum)
+	}
+	if err := p.Rebalance(7); err != nil {
+		t.Fatal(err)
+	}
+	lens = p.ShardLens(lens)
+	if len(lens) != 7 {
+		t.Fatalf("ShardLens after rebalance has %d entries, want 7", len(lens))
+	}
+	sum = 0
+	for _, n := range lens {
+		sum += n
+	}
+	if sum != 64 {
+		t.Fatalf("occupancy after rebalance sums to %d, want 64", sum)
+	}
+}
+
+// TestStreamObserverHook: the per-key observer factory fires on every
+// materialization path — fresh stream, freelist recycle, restore, and
+// rebalance migration — and recycled detectors never keep a previous
+// key's observer.
+func TestStreamObserverHook(t *testing.T) {
+	var mu sync.Mutex
+	events := map[uint64]int{} // key → observer callbacks seen
+	created := map[uint64]int{}
+	cfg := Config{
+		Shards:   1, // one shard: the idle clock below is deterministic
+		Detector: core.Config{Window: 16},
+		StreamObserver: func(key uint64) core.Observer {
+			mu.Lock()
+			created[key]++
+			mu.Unlock()
+			return core.ObserverFuncs{
+				SegmentStart: func(e *core.Event) {
+					mu.Lock()
+					events[key]++
+					mu.Unlock()
+				},
+			}
+		},
+	}
+	p := Must(cfg)
+	defer p.Close()
+
+	// Lock stream 1 on a period-2 pattern: segment starts must flow to
+	// the key-1 observer.
+	for i := 0; i < 64; i++ {
+		p.Feed(1, int64(i%2))
+	}
+	mu.Lock()
+	if created[1] == 0 || events[1] == 0 {
+		mu.Unlock()
+		t.Fatalf("stream 1: created=%d events=%d, want both > 0", created[1], events[1])
+	}
+	ev1 := events[1]
+	mu.Unlock()
+
+	// Let stream 1 idle out while stream 2 drives the shard clock, then
+	// revive it: the recycled detector must get a fresh key-1 observer
+	// (the hook is re-consulted, not inherited from the evicted key).
+	for i := 0; i < 64; i++ {
+		p.Feed(2, int64(i%2))
+	}
+	if n := p.EvictIdle(8); n != 1 {
+		t.Fatalf("EvictIdle evicted %d streams, want 1 (stream 1)", n)
+	}
+	for i := 0; i < 64; i++ {
+		p.Feed(1, int64(i%2))
+	}
+	mu.Lock()
+	if created[1] < 2 {
+		mu.Unlock()
+		t.Fatalf("stream 1 observer created %d times, want >= 2 (recycle must re-consult the hook)", created[1])
+	}
+	if events[1] <= ev1 {
+		mu.Unlock()
+		t.Fatal("revived stream 1 delivered no further events")
+	}
+	// Rebalance: migrated streams keep publishing to their keys.
+	ev2 := events[2]
+	mu.Unlock()
+	if err := p.Rebalance(5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		p.Feed(2, int64(i%2))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events[2] <= ev2 {
+		t.Fatal("stream 2 delivered no events after rebalance migration")
+	}
+	if created[2] < 2 {
+		t.Fatalf("stream 2 observer created %d times, want >= 2 (migration must re-consult the hook)", created[2])
+	}
+}
+
+// TestStreamObserverRestore: streams restored from a checkpoint get
+// observers too.
+func TestStreamObserverRestore(t *testing.T) {
+	src := Must(Config{Shards: 2, Detector: core.Config{Window: 16}})
+	for i := 0; i < 48; i++ {
+		src.Feed(3, int64(i%2))
+	}
+	var ckpt bytes.Buffer
+	if err := src.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	var mu sync.Mutex
+	events := 0
+	p, err := Restore(&ckpt, Config{
+		Shards:   2,
+		Detector: core.Config{Window: 16},
+		StreamObserver: func(key uint64) core.Observer {
+			if key != 3 {
+				t.Errorf("observer hook consulted for key %d, want 3", key)
+			}
+			return core.ObserverFuncs{SegmentStart: func(e *core.Event) {
+				mu.Lock()
+				events++
+				mu.Unlock()
+			}}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 48; i < 64; i++ {
+		p.Feed(3, int64(i%2))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if events == 0 {
+		t.Fatal("restored stream delivered no events to the hook observer")
+	}
+}

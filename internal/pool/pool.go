@@ -18,6 +18,7 @@ package pool
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -61,6 +62,17 @@ type Config struct {
 	// Detector configures the per-stream event detector (paper eq. 2)
 	// when NewDetector is nil.
 	Detector core.Config
+	// StreamObserver, when non-nil, is consulted every time a stream is
+	// materialized — first sample of a new key, checkpoint restore,
+	// rebalance migration, or recycle from the eviction freelist — with
+	// the stream's key, and the Observer it returns (nil for none) is
+	// attached to that stream's detector. This is the hook a serving
+	// layer uses to push per-key lock/period events to subscribers
+	// without polling. Returned observers run on shard workers with the
+	// shard lock held: they must be cheap, allocation-free and must not
+	// call back into the Pool. Detectors that do not implement
+	// SetObserver (custom engines) are served without one.
+	StreamObserver func(key uint64) core.Observer
 	// IdleTTL, when non-zero, expires a stream after it has gone more
 	// than IdleTTL shard samples without being fed (a shard sample is one
 	// sample processed by the stream's shard, so the TTL scales with the
@@ -106,12 +118,13 @@ type StreamStat struct {
 // while Rebalance and Close hold it exclusively, which both blocks new
 // batches and waits out in-flight ones before the shard table changes.
 type Pool struct {
-	gate   sync.RWMutex
-	shards []*shard
-	groups chan *group // freelist of recycled batch groups
-	cfg    Config      // normalized construction config (shard factory)
-	wg     sync.WaitGroup
-	closed atomic.Bool
+	gate     sync.RWMutex
+	shards   []*shard
+	groups   chan *group // freelist of recycled batch groups
+	cfg      Config      // normalized construction config (shard factory)
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	closedCh chan struct{} // closed when Close has fully drained the workers
 
 	// evictedBase carries the eviction totals of shard generations
 	// retired by Rebalance, so Evicted stays monotonic across shard-count
@@ -167,9 +180,10 @@ func New(cfg Config) (*Pool, error) {
 	}
 
 	p := &Pool{
-		shards: make([]*shard, cfg.Shards),
-		groups: make(chan *group, cfg.Inflight),
-		cfg:    cfg,
+		shards:   make([]*shard, cfg.Shards),
+		groups:   make(chan *group, cfg.Inflight),
+		cfg:      cfg,
+		closedCh: make(chan struct{}),
 	}
 	for i := range p.shards {
 		p.shards[i] = newShard(cfg)
@@ -225,8 +239,11 @@ func (p *Pool) Feed(key uint64, v int64) core.Result {
 
 // FeedSample is Feed for the unified sample type: the entry point for
 // pooled magnitude streams (Sample.Magnitude) and generally for any
-// injected engine.
+// injected engine. Like FeedBatch, calling it on a closed pool panics.
 func (p *Pool) FeedSample(key uint64, s core.Sample) core.Result {
+	if p.closed.Load() {
+		panic("pool: Feed on a closed Pool")
+	}
 	p.gate.RLock()
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
@@ -311,6 +328,108 @@ func (p *Pool) Snapshot(dst []StreamStat) []StreamStat {
 	return dst
 }
 
+// SnapshotPage appends to dst (recycled like append) the stats of up to
+// limit live streams whose keys are at least from, in ascending key
+// order — the enumeration hook a query plane pages a large pool with:
+// request (0, limit), then (next, limit) until more comes back false.
+// The (next, more) cursor is computed from the key selection itself, so
+// a stream evicted mid-page shortens that page without silently ending
+// the enumeration — "short page" and "last page" are distinct signals.
+//
+// Selection runs in two passes so shard locks never cover page
+// assembly: first the limit smallest qualifying keys are chosen with a
+// bounded max-heap (O(streams·log limit) on bare keys, shards locked
+// one at a time), then each key's Stat is captured. Like Snapshot, the
+// pool-wide view is slightly time-skewed: a stream created behind the
+// cursor during paging is missed until the next sweep, and one evicted
+// between the passes drops off its page. limit <= 0 returns an empty
+// final page.
+func (p *Pool) SnapshotPage(from uint64, limit int, dst []StreamStat) (page []StreamStat, next uint64, more bool) {
+	dst = dst[:0]
+	if limit <= 0 {
+		return dst, from, false
+	}
+	heap := make([]uint64, 0, limit)
+	p.gate.RLock()
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for key := range sh.streams {
+			if key < from {
+				continue
+			}
+			if len(heap) < limit {
+				heap = append(heap, key)
+				siftUp(heap)
+			} else if key < heap[0] {
+				heap[0] = key
+				siftDown(heap)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	p.gate.RUnlock()
+	sort.Slice(heap, func(i, j int) bool { return heap[i] < heap[j] })
+	for _, key := range heap {
+		if st, ok := p.Stat(key); ok {
+			dst = append(dst, st)
+		}
+	}
+	// A full selection means keys beyond this page may exist; resume
+	// after the largest selected key (unless it is the last possible
+	// key, where the space is exhausted by construction).
+	if len(heap) == limit && heap[limit-1] != ^uint64(0) {
+		return dst, heap[limit-1] + 1, true
+	}
+	return dst, from, false
+}
+
+// siftUp restores the max-heap property after appending to h.
+func siftUp(h []uint64) {
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent] >= h[i] {
+			return
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the max-heap property after replacing h[0].
+func siftDown(h []uint64) {
+	i := 0
+	for {
+		largest := i
+		if l := 2*i + 1; l < len(h) && h[l] > h[largest] {
+			largest = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r] > h[largest] {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h[i], h[largest] = h[largest], h[i]
+		i = largest
+	}
+}
+
+// ShardLens appends the per-shard live-stream counts to dst (recycled
+// like append): the shard-occupancy view a metrics endpoint reports so
+// hash skew across the shard set is observable.
+func (p *Pool) ShardLens(dst []int) []int {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	dst = dst[:0]
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		dst = append(dst, len(sh.streams))
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
 // Stat returns the current view of one stream and whether it exists.
 func (p *Pool) Stat(key uint64) (StreamStat, bool) {
 	p.gate.RLock()
@@ -362,8 +481,13 @@ func (p *Pool) Evicted() uint64 {
 
 // EvictIdle immediately expires every stream that has gone more than ttl
 // shard samples without being fed, regardless of Config.IdleTTL, and
-// returns the number evicted. Detector state is recycled.
+// returns the number evicted. Detector state is recycled. On a closed
+// pool it evicts nothing, so late sweeps cannot erode the final state a
+// post-Close Checkpoint captures.
 func (p *Pool) EvictIdle(ttl uint64) int {
+	if p.closed.Load() {
+		return 0
+	}
 	p.gate.RLock()
 	defer p.gate.RUnlock()
 	n := 0
@@ -375,11 +499,27 @@ func (p *Pool) EvictIdle(ttl uint64) int {
 	return n
 }
 
-// Close stops the shard workers and waits for them to drain. It must not
-// be called concurrently with Feed or FeedBatch; calling it twice is a
-// no-op. Snapshot and Stat remain usable after Close.
+// Close stops the shard workers and waits for them to drain. It must
+// not be called concurrently with Feed or FeedBatch. It is idempotent:
+// every call, first or not, returns only after the pool is fully
+// stopped, so a shutdown path with several owners can Close defensively.
+//
+// The contract after Close — the exact sequence a serving layer's
+// shutdown hits:
+//
+//   - Feed, FeedSample and FeedBatch panic (like a send on a closed
+//     channel, this is a caller ordering bug, not a recoverable state).
+//   - Snapshot, SnapshotPage, Stat, Len, Shards, ShardLens and Evicted
+//     remain usable and observe the final state.
+//   - Checkpoint remains usable and captures the final quiesced state —
+//     close first, checkpoint last is the loss-free shutdown order.
+//   - Rebalance and EvictIdle return an error / evict nothing.
 func (p *Pool) Close() {
 	if p.closed.Swap(true) {
+		// Another Close got there first; wait until its drain has fully
+		// finished. (The gate alone is not a handshake: a second caller
+		// could acquire it before the first Close does.)
+		<-p.closedCh
 		return
 	}
 	p.gate.Lock()
@@ -388,4 +528,5 @@ func (p *Pool) Close() {
 		close(sh.in)
 	}
 	p.wg.Wait()
+	close(p.closedCh)
 }

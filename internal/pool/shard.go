@@ -47,6 +47,7 @@ type shard struct {
 	free    []*stream
 
 	newDet     func() core.Detector
+	streamObs  func(key uint64) core.Observer
 	ttl        uint64
 	sweepEvery uint64
 
@@ -60,9 +61,30 @@ func newShard(cfg Config) *shard {
 		in:         make(chan shardRun, runQueueDepth),
 		streams:    make(map[uint64]*stream),
 		newDet:     cfg.NewDetector,
+		streamObs:  cfg.StreamObserver,
 		ttl:        cfg.IdleTTL,
 		sweepEvery: cfg.SweepEvery,
 		sweepAt:    cfg.SweepEvery,
+	}
+}
+
+// observable is the observer-attachment surface every built-in engine
+// adapter offers; custom engines without it are served unobserved.
+type observable interface {
+	SetObserver(core.Observer)
+}
+
+// attach wires the pool's StreamObserver hook to one stream's detector.
+// It runs on every materialization path — fresh, recycled, restored,
+// rebalanced — so a detector recycled from the freelist never keeps a
+// previous key's observer: the hook is re-consulted with the new key
+// (and a nil return detaches).
+func (sh *shard) attach(st *stream) {
+	if sh.streamObs == nil {
+		return
+	}
+	if o, ok := st.det.(observable); ok {
+		o.SetObserver(sh.streamObs(st.key))
 	}
 }
 
@@ -84,15 +106,18 @@ func (sh *shard) feedLocked(key uint64, s core.Sample) core.Result {
 // injected detector factory. The pool validated the factory (or the
 // default event configuration) at construction, so this cannot fail.
 func (sh *shard) newStream(key uint64) *stream {
+	var st *stream
 	if n := len(sh.free); n > 0 {
-		st := sh.free[n-1]
+		st = sh.free[n-1]
 		sh.free[n-1] = nil
 		sh.free = sh.free[:n-1]
 		st.key = key
 		st.lastFed = 0
-		return st
+	} else {
+		st = &stream{key: key, det: sh.newDet()}
 	}
-	return &stream{key: key, det: sh.newDet()}
+	sh.attach(st)
+	return st
 }
 
 // maybeSweep runs the idle sweep when the TTL policy is enabled and the

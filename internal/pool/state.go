@@ -164,7 +164,9 @@ func Restore(r io.Reader, cfg Config) (*Pool, error) {
 		sh.mu.Lock()
 		_, dup := sh.streams[key]
 		if !dup {
-			sh.streams[key] = &stream{key: key, det: det}
+			st := &stream{key: key, det: det}
+			sh.attach(st)
+			sh.streams[key] = st
 		}
 		sh.mu.Unlock()
 		if dup {
@@ -230,7 +232,9 @@ func (p *Pool) Rebalance(newShards int) error {
 				return fmt.Errorf("pool: rebalance stream %d: %w", key, err)
 			}
 			ns := next[shardIndex(key, newShards)]
-			ns.streams[key] = &stream{key: key, det: det}
+			st := &stream{key: key, det: det}
+			ns.attach(st)
+			ns.streams[key] = st
 		}
 	}
 

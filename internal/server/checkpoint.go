@@ -1,0 +1,241 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"dpd"
+)
+
+// Durability loop: the server periodically streams the pool's complete
+// state to disk so a restart continues every stream byte-identically.
+//
+// The discipline, end to end:
+//
+//   - Writes are atomic: the checkpoint streams into a .tmp file in the
+//     same directory, is fsynced, then renamed into place (and the
+//     directory fsynced), so a crash mid-write can never leave a
+//     half-checkpoint under a valid name.
+//   - Files are sequence-numbered (ckpt-000000000042.dpdp); the server
+//     keeps the newest CheckpointKeep and prunes the rest, so the disk
+//     footprint is bounded and boot always has fallbacks.
+//   - Boot restores from the newest file whose stream decodes and
+//     matches the configured engine; corrupt, truncated or mismatched
+//     files are logged with the reason and skipped (counted in
+//     restore_fallbacks), falling back to older files and finally to a
+//     fresh pool. Durability degrades gracefully instead of refusing to
+//     start.
+//   - At shutdown a final checkpoint runs after Pool.Close, capturing
+//     the fully quiesced state — nothing fed before the drain is lost.
+
+const (
+	// checkpointPrefix and checkpointSuffix frame the sequence number in
+	// a checkpoint file name.
+	checkpointPrefix = "ckpt-"
+	checkpointSuffix = ".dpdp"
+	// checkpointSeqDigits zero-pads sequence numbers so lexical and
+	// numeric order agree for every plausible lifetime.
+	checkpointSeqDigits = 12
+)
+
+// checkpointName renders the file name of sequence seq.
+func checkpointName(seq uint64) string {
+	return fmt.Sprintf("%s%0*d%s", checkpointPrefix, checkpointSeqDigits, seq, checkpointSuffix)
+}
+
+// parseCheckpointName extracts the sequence number, reporting false for
+// names that are not checkpoints (temp files, strangers).
+func parseCheckpointName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, checkpointPrefix) || !strings.HasSuffix(name, checkpointSuffix) {
+		return 0, false
+	}
+	mid := name[len(checkpointPrefix) : len(name)-len(checkpointSuffix)]
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// listCheckpoints returns the sequence numbers present in dir, newest
+// first. A missing directory is an empty list, not an error.
+func listCheckpoints(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseCheckpointName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	return seqs, nil
+}
+
+// WriteCheckpoint streams the pool's current state to a new durable
+// checkpoint file and prunes old ones, returning the path written. It
+// is what the interval loop and the shutdown path call, and is exported
+// so operators (and tests) can force a checkpoint at will. Feeding may
+// continue concurrently: Pool.Checkpoint quiesces one shard at a time.
+func (s *Server) WriteCheckpoint() (string, error) {
+	dir := s.cfg.CheckpointDir
+	if dir == "" {
+		return "", errors.New("server: no checkpoint directory configured")
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		s.metrics.checkpointErrors.Add(1)
+		return "", err
+	}
+	seq := s.metrics.checkpointSeq.Load() + 1
+	final := filepath.Join(dir, checkpointName(seq))
+	tmp := final + ".tmp"
+	if err := s.writeCheckpointFile(tmp); err != nil {
+		s.metrics.checkpointErrors.Add(1)
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		s.metrics.checkpointErrors.Add(1)
+		os.Remove(tmp)
+		return "", err
+	}
+	syncDir(dir)
+	s.metrics.checkpointSeq.Store(seq)
+	s.metrics.checkpointsTotal.Add(1)
+	s.metrics.checkpointLastNs.Store(time.Now().UnixNano())
+	s.pruneCheckpoints(dir, seq)
+	return final, nil
+}
+
+// writeCheckpointFile streams the pool state into path and fsyncs it.
+func (s *Server) writeCheckpointFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.pool.Checkpoint(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed checkpoint survives a
+// crash; best effort (some filesystems refuse directory syncs).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// pruneCheckpoints removes checkpoints older than the newest
+// CheckpointKeep, plus any stale temp files. Best effort: pruning
+// failures never fail the checkpoint that just landed.
+func (s *Server) pruneCheckpoints(dir string, newest uint64) {
+	keep := s.cfg.CheckpointKeep
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, checkpointPrefix) && name != checkpointName(newest)+".tmp" {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if seq, ok := parseCheckpointName(name); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	if len(seqs) <= keep {
+		return
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, seq := range seqs[keep:] {
+		os.Remove(filepath.Join(dir, checkpointName(seq)))
+	}
+}
+
+// restorePool builds the boot pool: the newest checkpoint that decodes
+// and matches cfg's detector factory wins; corrupt or mismatched files
+// are logged and skipped; no usable checkpoint means a fresh pool. The
+// returned seq seeds the checkpoint sequence so a restart never
+// overwrites files it just restored from.
+func restorePool(dir string, cfg dpd.PoolConfig, logf func(string, ...any), m *metrics) (*dpd.Pool, uint64, error) {
+	var newest uint64
+	if dir != "" {
+		seqs, err := listCheckpoints(dir)
+		if err != nil {
+			return nil, 0, fmt.Errorf("server: scanning checkpoint dir: %w", err)
+		}
+		if len(seqs) > 0 {
+			newest = seqs[0]
+		}
+		for _, seq := range seqs {
+			path := filepath.Join(dir, checkpointName(seq))
+			f, err := os.Open(path)
+			if err != nil {
+				logf("server: skipping checkpoint %s: %v", path, err)
+				m.restoreFallbacks.Add(1)
+				continue
+			}
+			p, err := dpd.RestorePool(f, cfg)
+			f.Close()
+			if err != nil {
+				logf("server: skipping corrupt checkpoint %s: %v", path, err)
+				m.restoreFallbacks.Add(1)
+				continue
+			}
+			n := p.Len()
+			logf("server: restored %d streams from %s", n, path)
+			m.restoredStreams.Store(uint64(n))
+			return p, newest, nil
+		}
+		if len(seqs) > 0 {
+			logf("server: no usable checkpoint among %d candidates; starting fresh", len(seqs))
+		}
+	}
+	p, err := dpd.NewPool(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, newest, nil
+}
+
+// checkpointLoop writes a checkpoint every CheckpointEvery until the
+// server shuts down (the final shutdown checkpoint is taken by Shutdown
+// itself, after the pool has quiesced).
+func (s *Server) checkpointLoop() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.cfg.CheckpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if _, err := s.WriteCheckpoint(); err != nil {
+				s.cfg.Logf("server: periodic checkpoint failed: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dpd"
+	"dpd/internal/wire"
+)
+
+// closeReason labels why a connection was torn down; each reason feeds
+// one disconnect counter.
+type closeReason uint8
+
+// Connection teardown reasons.
+const (
+	reasonEOF closeReason = iota + 1
+	reasonReadError
+	reasonProtocol
+	reasonSlowConsumer
+	reasonWriteError
+	reasonShutdown
+)
+
+// outMsg is one server→client frame queued to a connection's writer.
+type outMsg struct {
+	kind  uint8 // KindPong, KindEvent or KindError
+	token uint64
+	key   uint64
+	ev    dpd.Event
+	code  ErrCode
+	msg   string
+	// terminal marks an error frame: the writer flushes it and closes
+	// the connection.
+	terminal bool
+	reason   closeReason
+}
+
+// conn is one ingest connection: a reader that decodes frames into a
+// bounded ring of reusable Frame slots, a feeder that applies them to
+// the pool in order, and a writer that drains the out queue (pongs,
+// subscribed events, errors). The ring is the ingest backpressure: when
+// the pool is behind, the reader blocks on a free slot, the socket
+// fills, and the peer's TCP window closes — no unbounded queue anywhere.
+type conn struct {
+	srv *Server
+	c   net.Conn
+
+	pending chan *Frame // decoded frames awaiting the feeder, in order
+	free    chan *Frame // recycled frame slots
+
+	out chan outMsg // server→client queue; bounded, never closed
+
+	done      chan struct{} // closed exactly once by close()
+	drain     chan struct{} // closed by handle: writer finishes the queue and exits
+	closeOnce sync.Once
+	reason    closeReason
+
+	// subKeys remembers this connection's explicit subscription so
+	// teardown can unsubscribe precisely; guarded by the server's
+	// subscription mutex.
+	subKeys []uint64
+	subAll  bool
+}
+
+// newConn builds the connection state with its frame ring warmed.
+func newConn(srv *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv:     srv,
+		c:       nc,
+		pending: make(chan *Frame, srv.cfg.PendingBatches),
+		free:    make(chan *Frame, srv.cfg.PendingBatches),
+		out:     make(chan outMsg, srv.cfg.EventBuffer),
+		done:    make(chan struct{}),
+		drain:   make(chan struct{}),
+	}
+	for i := 0; i < srv.cfg.PendingBatches; i++ {
+		c.free <- &Frame{}
+	}
+	return c
+}
+
+// close tears the connection down exactly once, recording the reason.
+// It is safe from any goroutine, including the publish path (which must
+// not take registry locks here — registry cleanup happens in handle).
+func (c *conn) close(r closeReason) {
+	c.closeOnce.Do(func() {
+		c.reason = r
+		close(c.done)
+		c.c.Close()
+	})
+}
+
+// send enqueues one message for the writer, giving up when the
+// connection is already closing.
+func (c *conn) send(m outMsg) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	}
+}
+
+// sendEvent enqueues an event frame without ever blocking: a subscriber
+// that cannot drain its queue is a slow consumer and is disconnected
+// (counted) rather than allowed to stall the shard worker publishing
+// the event.
+func (c *conn) sendEvent(key uint64, ev *dpd.Event) bool {
+	select {
+	case c.out <- outMsg{kind: KindEvent, key: key, ev: *ev}:
+		return true
+	default:
+		c.close(reasonSlowConsumer)
+		return false
+	}
+}
+
+// handle runs one connection to completion. It owns the goroutine
+// lifecycle: writer and feeder are started here and joined before the
+// connection is unregistered.
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	c := newConn(s, nc)
+	if !s.addConn(c) {
+		nc.Close() // lost the race with Shutdown: refuse silently
+		return
+	}
+	s.metrics.connsTotal.Add(1)
+	s.metrics.connsActive.Add(1)
+
+	var writerDone, feederDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() { defer writerDone.Done(); c.writeLoop() }()
+	feederDone.Add(1)
+	go func() { defer feederDone.Done(); c.feedLoop() }()
+
+	reason := c.readLoop()
+
+	// Reader is done: no more pending sends. Close the pending channel
+	// so the feeder drains what was already queued and exits; then tell
+	// the writer to finish every queued reply (the feeder's last pong,
+	// or the terminal error frame) BEFORE the socket is closed — the
+	// protocol promises a typed error reply, so teardown must not race
+	// the flush that carries it.
+	close(c.pending)
+	feederDone.Wait()
+	close(c.drain)
+	writerDone.Wait()
+	if reason == 0 {
+		reason = reasonProtocol // terminal reply path: writer recorded it
+	}
+	c.close(reason) // no-op when a reason was already recorded
+
+	s.removeConn(c)
+	s.unsubscribe(c)
+	s.metrics.connsActive.Add(-1)
+	s.metrics.disconnect(c.reason)
+}
+
+// readLoop validates the preamble, then decodes frames into the pending
+// ring until EOF, error, or server shutdown. It returns the teardown
+// reason, or 0 when a terminal error frame was queued instead (the
+// writer records the reason after flushing the reply).
+func (c *conn) readLoop() closeReason {
+	br := bufio.NewReaderSize(c.c, 64<<10)
+
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return reasonEOF
+		}
+		return reasonReadError
+	}
+	if string(pre[:len(PreambleMagic)]) != PreambleMagic || pre[len(PreambleMagic)] != ProtocolVersion {
+		c.protoError(protoErrf(CodeBadPreamble, "expected %q version %d", PreambleMagic, ProtocolVersion))
+		return 0
+	}
+
+	for {
+		var f *Frame
+		select {
+		case f = <-c.free:
+		case <-c.done:
+			return reasonShutdown
+		}
+		payload, err := wire.ReadFrame(br, MaxFrame, f.raw)
+		if err != nil {
+			c.free <- f
+			switch {
+			case errors.Is(err, io.EOF):
+				return reasonEOF
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				c.protoError(protoErrf(CodeFrameTooLarge, "%v", err))
+				return 0
+			case errors.Is(err, wire.ErrTruncated), errors.Is(err, io.ErrUnexpectedEOF):
+				c.protoError(protoErrf(CodeBadFrame, "%v", err))
+				return 0
+			default:
+				return reasonReadError
+			}
+		}
+		if payload == nil {
+			// Zero-length frame: the client's graceful terminator.
+			c.free <- f
+			return reasonEOF
+		}
+		f.raw = payload[:cap(payload)] // keep any growth for the next read
+		if err := DecodeFrame(payload, f); err != nil {
+			c.free <- f
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				pe = protoErrf(CodeBadFrame, "%v", err)
+			}
+			c.protoError(pe)
+			return 0
+		}
+		c.srv.metrics.framesTotal.Add(1)
+		select {
+		case c.pending <- f:
+		case <-c.done:
+			return reasonShutdown
+		}
+	}
+}
+
+// protoError replies with a typed error frame (the writer closes the
+// connection after flushing it) and records the protocol-error reason.
+func (c *conn) protoError(pe *ProtoError) {
+	c.send(outMsg{kind: KindError, code: pe.Code, msg: pe.Msg, terminal: true, reason: reasonProtocol})
+}
+
+// feedLoop applies decoded frames to the pool in arrival order. Pings
+// answer only here, after every earlier frame on the connection has
+// been fed — that ordering is the protocol's barrier guarantee. The
+// loop runs to the end of the ring even during shutdown: Shutdown joins
+// every feeder before closing the pool, so frames already read off the
+// wire are applied (and make the final checkpoint) rather than being
+// dropped behind an already-sent pong.
+func (c *conn) feedLoop() {
+	for f := range c.pending {
+		switch f.Kind {
+		case KindEventBatch, KindMagnitudeBatch:
+			if len(f.Samples) > 0 {
+				c.srv.pool.FeedBatch(f.Samples)
+				c.srv.metrics.batchesTotal.Add(1)
+				c.srv.metrics.samplesTotal.Add(uint64(len(f.Samples)))
+			}
+		case KindPing:
+			c.srv.metrics.pingsTotal.Add(1)
+			c.send(outMsg{kind: KindPong, token: f.Token})
+		case KindSubscribe:
+			c.srv.subscribe(c, f.Keys)
+		}
+		c.free <- f
+	}
+}
+
+// writeLoop drains the out queue, batching frames through one buffered
+// writer and flushing when the queue goes idle. Every flush runs under
+// a write deadline, so a peer that stops reading cannot wedge the
+// writer forever — the deadline expires and the connection is torn
+// down with a write-error reason. When handle signals drain (reader and
+// feeder are finished), the writer flushes what remains and exits —
+// that ordering is what guarantees a terminal error frame or final pong
+// reaches the wire before the socket closes.
+func (c *conn) writeLoop() {
+	bw := bufio.NewWriterSize(c.c, 16<<10)
+	var scratch []byte
+	for {
+		var m outMsg
+		select {
+		case m = <-c.out:
+		default:
+			// Queue idle: flush what's buffered, then block for more.
+			if !c.flush(bw) {
+				return
+			}
+			select {
+			case m = <-c.out:
+			case <-c.done:
+				c.flush(bw)
+				return
+			case <-c.drain:
+				// Finish whatever is still queued, then exit.
+				select {
+				case m = <-c.out:
+				default:
+					c.flush(bw)
+					return
+				}
+			}
+		}
+		switch m.kind {
+		case KindPong:
+			scratch = appendPong(scratch[:0], m.token)
+		case KindEvent:
+			scratch = appendEvent(scratch[:0], m.key, &m.ev)
+			c.srv.metrics.eventsDelivered.Add(1)
+		case KindError:
+			scratch = appendError(scratch[:0], m.code, m.msg)
+		default:
+			continue
+		}
+		// A fresh deadline before every write, not only explicit
+		// flushes: bw.Write flushes implicitly once its buffer fills,
+		// and that hidden write must be bounded too (and must never run
+		// under a stale deadline armed by an idle flush long ago).
+		c.armWriteDeadline()
+		if _, err := bw.Write(scratch); err != nil {
+			c.close(reasonWriteError)
+			return
+		}
+		if m.terminal {
+			c.flush(bw)
+			c.close(m.reason)
+			return
+		}
+	}
+}
+
+// armWriteDeadline starts a fresh write-timeout window.
+func (c *conn) armWriteDeadline() {
+	if t := c.srv.cfg.WriteTimeout; t > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(t))
+	}
+}
+
+// flush writes the buffer under the configured write deadline,
+// reporting false (and closing the connection) on failure.
+func (c *conn) flush(bw *bufio.Writer) bool {
+	if bw.Buffered() == 0 {
+		return true
+	}
+	c.armWriteDeadline()
+	if err := bw.Flush(); err != nil {
+		c.close(reasonWriteError)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dpd"
+)
+
+// HTTP query/control plane. Everything is JSON; nothing here sits on
+// the ingest hot path — snapshots lock one shard at a time, so a
+// dashboard polling /streams does not stall feeders.
+//
+//	GET  /healthz              liveness + stream count
+//	GET  /metrics              counter snapshot (metrics.go)
+//	GET  /streams              paged enumeration: ?after=K&limit=N
+//	GET  /streams/{key}        one stream's unified Stat (incl. prediction)
+//	POST /rebalance?shards=N   live shard-count change (Pool.Rebalance)
+
+// streamJSON is one stream in a query response: the key plus the
+// unified Stat with its existing JSON field names.
+type streamJSON struct {
+	// Key identifies the stream.
+	Key uint64 `json:"key"`
+	dpd.Stat
+}
+
+// streamsPage is the GET /streams response.
+type streamsPage struct {
+	// Streams is the page, in ascending key order.
+	Streams []streamJSON `json:"streams"`
+	// Count is len(Streams).
+	Count int `json:"count"`
+	// NextAfter is the cursor for the next page; present only when the
+	// page was full (more streams may follow).
+	NextAfter *uint64 `json:"next_after,omitempty"`
+}
+
+// defaultPageLimit and maxPageLimit bound GET /streams pages.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// httpHandler builds the query/control mux.
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /streams", s.handleStreams)
+	mux.HandleFunc("GET /streams/{key}", s.handleStream)
+	mux.HandleFunc("POST /rebalance", s.handleRebalance)
+	return mux
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError renders a JSON error body.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"streams":        s.pool.Len(),
+	})
+}
+
+// handleMetrics reports the counter snapshot plus pool-derived gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot(time.Now())
+	snap.Streams = s.pool.Len()
+	snap.Shards = s.pool.Shards()
+	snap.ShardOccupancy = s.pool.ShardLens(nil)
+	snap.Evicted = s.pool.Evicted()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleStreams serves the paged pool enumeration.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from := uint64(0)
+	if v := q.Get("after"); v != "" {
+		after, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "after must be an unsigned integer")
+			return
+		}
+		if after == ^uint64(0) {
+			writeJSON(w, http.StatusOK, streamsPage{Streams: []streamJSON{}})
+			return
+		}
+		from = after + 1
+	}
+	limit := defaultPageLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "limit must be a positive integer")
+			return
+		}
+		if n > maxPageLimit {
+			n = maxPageLimit
+		}
+		limit = n
+	}
+	stats, next, more := s.pool.SnapshotPage(from, limit, nil)
+	page := streamsPage{Streams: make([]streamJSON, len(stats)), Count: len(stats)}
+	for i, st := range stats {
+		page.Streams[i] = streamJSON{Key: st.Key, Stat: st.Stat}
+	}
+	if more {
+		// The cursor comes from the key selection, not the page length,
+		// so an eviction-shortened page still continues the enumeration.
+		after := next - 1
+		page.NextAfter = &after
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleStream serves one stream's unified Stat and prediction.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "stream key must be an unsigned integer")
+		return
+	}
+	st, ok := s.pool.Stat(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such stream")
+		return
+	}
+	writeJSON(w, http.StatusOK, streamJSON{Key: st.Key, Stat: st.Stat})
+}
+
+// handleRebalance drives Pool.Rebalance from the control plane.
+func (s *Server) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.URL.Query().Get("shards"))
+	if err != nil || n < 1 {
+		httpError(w, http.StatusBadRequest, "shards must be a positive integer")
+		return
+	}
+	if err := s.pool.Rebalance(n); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.metrics.rebalancesApplied.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shards":          s.pool.Shards(),
+		"shard_occupancy": s.pool.ShardLens(nil),
+	})
+}

@@ -1,0 +1,409 @@
+// Package server is the network serving layer over the detector pool:
+// the step from library to service. It has three planes:
+//
+//   - The ingest plane: a TCP listener speaking a length-prefixed binary
+//     protocol built on internal/wire (this file). Each connection reads
+//     sample-batch frames into reusable buffers and feeds the shared
+//     Pool, preserving the 0-alloc steady state per connection; lock and
+//     period-change events are written back to connections that opt in
+//     with a subscribe frame. Backpressure is structural: a bounded ring
+//     of pending batches per connection stalls the reader (and therefore
+//     the peer's TCP window) when the pool is behind, and a subscriber
+//     that cannot drain its event queue is disconnected with a counted
+//     reason rather than allowed to wedge a shard worker.
+//
+//   - The query/control plane: an HTTP/JSON endpoint set (http.go) for
+//     per-stream stats and predictions, paged pool enumeration, live
+//     rebalancing, health and metrics.
+//
+//   - The durability loop: a background checkpointer (checkpoint.go)
+//     that streams Pool.Checkpoint to an atomically renamed file on an
+//     interval and at shutdown, and a boot path that restores from the
+//     newest valid checkpoint, falling back past corrupt files, so a
+//     restarted server continues every stream byte-identically.
+//
+// Wire format. A connection opens with a fixed preamble, then carries
+// length-prefixed frames (wire.AppendFrame / wire.ReadFrame: uvarint
+// payload length, then the payload):
+//
+//	preamble: "DPDI" | version u8
+//	frame:    uvarint len | kind u8 | body
+//
+// Client→server bodies:
+//
+//	event batch     (kind 1): key uvarint | count uvarint | count × varint value
+//	magnitude batch (kind 2): key uvarint | count uvarint | count × f64
+//	ping            (kind 3): token uvarint
+//	subscribe       (kind 4): count uvarint | count × uvarint key (count 0 = all streams)
+//
+// Server→client bodies:
+//
+//	pong  (kind 5): token uvarint
+//	event (kind 6): key uvarint | event kind u8 | t uvarint | period uvarint | prev uvarint | confidence f64
+//	error (kind 7): code u8 | message (remaining bytes, UTF-8)
+//
+// A zero-length frame from the client is the graceful end-of-stream
+// terminator. Decoding follows the wire contract: it never panics and
+// never over-reads, every count is range-checked before any dependent
+// allocation, and every violation is reported as a *ProtoError the
+// server echoes back as an error frame before disconnecting.
+package server
+
+import (
+	"fmt"
+
+	"dpd"
+	"dpd/internal/wire"
+)
+
+// Preamble and protocol version, sent once by the client when a
+// connection opens.
+const (
+	// PreambleMagic are the first four bytes of every ingest connection.
+	PreambleMagic = "DPDI"
+	// ProtocolVersion is the ingest protocol version this build speaks; a
+	// mismatched preamble is refused with CodeBadPreamble.
+	ProtocolVersion = 1
+	// preambleLen is the total preamble size: magic plus version byte.
+	preambleLen = len(PreambleMagic) + 1
+)
+
+// Frame size and cardinality bounds. Every bound is checked before any
+// dependent allocation, so a hostile length or count claim costs at most
+// the bytes actually on the wire.
+const (
+	// MaxFrame bounds one frame's payload; a corrupted length prefix
+	// cannot demand more than this from the read buffer.
+	MaxFrame = 1 << 20
+	// MaxBatch bounds the samples in one batch frame.
+	MaxBatch = 1 << 16
+	// MaxSubscribeKeys bounds one subscribe frame's explicit key list.
+	MaxSubscribeKeys = 1 << 16
+)
+
+// Frame kinds. Client→server kinds come first; a client that sends a
+// server→client kind (or an unknown one) is refused with
+// CodeUnknownKind.
+const (
+	// KindEventBatch carries one stream's event samples (Sample.Value).
+	KindEventBatch uint8 = 1
+	// KindMagnitudeBatch carries one stream's magnitude samples
+	// (Sample.Magnitude).
+	KindMagnitudeBatch uint8 = 2
+	// KindPing requests a KindPong after every prior frame on the
+	// connection has been applied to the pool — the client's barrier.
+	KindPing uint8 = 3
+	// KindSubscribe opts the connection into event write-back for the
+	// listed keys (an empty list means every stream). A later subscribe
+	// frame replaces the earlier subscription.
+	KindSubscribe uint8 = 4
+	// KindPong answers a KindPing, echoing its token.
+	KindPong uint8 = 5
+	// KindEvent carries one detector state transition (lock,
+	// period-change, segment-start, unlock) for a subscribed stream.
+	KindEvent uint8 = 6
+	// KindError carries a typed protocol error; the server closes the
+	// connection after sending one.
+	KindError uint8 = 7
+)
+
+// ErrCode classifies one protocol violation; it travels in the error
+// frame so clients can distinguish their bug from the server's state.
+type ErrCode uint8
+
+// Protocol error codes.
+const (
+	// CodeBadPreamble: the connection did not open with the expected
+	// magic and version.
+	CodeBadPreamble ErrCode = 1
+	// CodeBadFrame: a frame body was truncated, had trailing bytes, or
+	// declared an out-of-range count.
+	CodeBadFrame ErrCode = 2
+	// CodeUnknownKind: the frame kind is not a client→server kind this
+	// protocol version defines.
+	CodeUnknownKind ErrCode = 3
+	// CodeFrameTooLarge: the frame length prefix exceeded MaxFrame.
+	CodeFrameTooLarge ErrCode = 4
+)
+
+// String returns the error code name.
+func (c ErrCode) String() string {
+	switch c {
+	case CodeBadPreamble:
+		return "bad-preamble"
+	case CodeBadFrame:
+		return "bad-frame"
+	case CodeUnknownKind:
+		return "unknown-kind"
+	case CodeFrameTooLarge:
+		return "frame-too-large"
+	}
+	return fmt.Sprintf("err-code(%d)", uint8(c))
+}
+
+// ProtoError is one typed protocol violation: what the decoder returns
+// and what the error frame carries. The ingest plane never panics on
+// hostile input — every malformed byte sequence becomes one of these.
+type ProtoError struct {
+	// Code classifies the violation.
+	Code ErrCode
+	// Msg is the human-readable detail echoed to the client.
+	Msg string
+}
+
+// Error implements error.
+func (e *ProtoError) Error() string { return fmt.Sprintf("server: %s: %s", e.Code, e.Msg) }
+
+// protoErrf builds a *ProtoError with a formatted message.
+func protoErrf(code ErrCode, format string, args ...any) *ProtoError {
+	return &ProtoError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Frame is one decoded client→server frame. A Frame is a reusable
+// decode target: DecodeFrame fills it in place, recycling the Samples
+// and Keys backing arrays, so a connection's steady-state decode path
+// performs no allocation.
+type Frame struct {
+	// Kind is the frame kind (KindEventBatch, …).
+	Kind uint8
+	// Key is the stream key of a batch frame.
+	Key uint64
+	// Token is the ping token of a KindPing frame.
+	Token uint64
+	// Samples are the decoded samples of a batch frame, each stamped
+	// with Key — ready to hand to Pool.FeedBatch unchanged.
+	Samples []dpd.KeyedSample
+	// Keys is the explicit key list of a subscribe frame (empty = all).
+	Keys []uint64
+
+	// raw is the connection's reusable frame-read buffer; it rides on
+	// the Frame so a ring of pending frames recycles its read storage
+	// along with its decode storage.
+	raw []byte
+}
+
+// DecodeFrame parses one client→server frame payload into f, reusing
+// f's backing storage. It never panics and never over-reads: every
+// failure is a *ProtoError, counts are range-checked against the bytes
+// actually present before Samples or Keys grow, and trailing bytes are
+// a violation (the encoding is canonical).
+func DecodeFrame(payload []byte, f *Frame) error {
+	f.Kind, f.Key, f.Token = 0, 0, 0
+	f.Samples = f.Samples[:0]
+	f.Keys = f.Keys[:0]
+	var d wire.Dec
+	d.Reset(payload)
+	kind := d.U8()
+	if d.Err() != nil {
+		return protoErrf(CodeBadFrame, "empty frame payload")
+	}
+	switch kind {
+	case KindEventBatch, KindMagnitudeBatch:
+		key := d.Uvarint()
+		n := d.Uint(MaxBatch)
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "batch header: %v", d.Err())
+		}
+		if kind == KindEventBatch {
+			// Every varint value is at least one byte, so a count beyond
+			// the remaining payload is corrupt — checked before Samples
+			// grows toward it.
+			if n > d.Remaining() {
+				return protoErrf(CodeBadFrame, "event batch declares %d samples but only %d bytes remain", n, d.Remaining())
+			}
+		} else if !d.Need(8 * n) {
+			return protoErrf(CodeBadFrame, "magnitude batch declares %d samples but only %d bytes remain", n, d.Remaining())
+		}
+		if cap(f.Samples) < n {
+			f.Samples = make([]dpd.KeyedSample, n)
+		}
+		f.Samples = f.Samples[:n]
+		for i := range f.Samples {
+			s := &f.Samples[i]
+			s.Key = key
+			if kind == KindEventBatch {
+				s.Value, s.Magnitude = d.Varint(), 0
+			} else {
+				s.Value, s.Magnitude = 0, d.F64()
+			}
+		}
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "batch body: %v", d.Err())
+		}
+		f.Kind, f.Key = kind, key
+	case KindPing:
+		f.Token = d.Uvarint()
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "ping token: %v", d.Err())
+		}
+		f.Kind = kind
+	case KindSubscribe:
+		n := d.Uint(MaxSubscribeKeys)
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "subscribe count: %v", d.Err())
+		}
+		if n > d.Remaining() {
+			return protoErrf(CodeBadFrame, "subscribe declares %d keys but only %d bytes remain", n, d.Remaining())
+		}
+		if cap(f.Keys) < n {
+			f.Keys = make([]uint64, n)
+		}
+		f.Keys = f.Keys[:n]
+		for i := range f.Keys {
+			f.Keys[i] = d.Uvarint()
+		}
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "subscribe keys: %v", d.Err())
+		}
+		f.Kind = kind
+	default:
+		return protoErrf(CodeUnknownKind, "frame kind %d is not a client frame of protocol version %d", kind, ProtocolVersion)
+	}
+	if d.Remaining() != 0 {
+		f.Kind = 0
+		return protoErrf(CodeBadFrame, "%d trailing bytes after frame body", d.Remaining())
+	}
+	return nil
+}
+
+// Enc stages client→server frames. Frames are length-prefixed, so the
+// body must be sized before the prefix is written; Enc keeps the one
+// staging buffer that makes that re-encoding allocation-free once warm.
+// The zero value is ready to use. It is not safe for concurrent use;
+// give each connection its own.
+type Enc struct {
+	payload []byte
+}
+
+// AppendEventBatch appends one event batch frame (length prefix
+// included) for key to dst and returns the extended slice.
+func (e *Enc) AppendEventBatch(dst []byte, key uint64, values []int64) []byte {
+	p := e.payload[:0]
+	p = wire.AppendU8(p, KindEventBatch)
+	p = wire.AppendUvarint(p, key)
+	p = wire.AppendUint(p, len(values))
+	p = wire.AppendVarints(p, values)
+	e.payload = p
+	return wire.AppendFrame(dst, p)
+}
+
+// AppendMagnitudeBatch appends one magnitude batch frame for key.
+func (e *Enc) AppendMagnitudeBatch(dst []byte, key uint64, values []float64) []byte {
+	p := e.payload[:0]
+	p = wire.AppendU8(p, KindMagnitudeBatch)
+	p = wire.AppendUvarint(p, key)
+	p = wire.AppendUint(p, len(values))
+	p = wire.AppendF64s(p, values)
+	e.payload = p
+	return wire.AppendFrame(dst, p)
+}
+
+// AppendPing appends a ping frame carrying token.
+func (e *Enc) AppendPing(dst []byte, token uint64) []byte {
+	p := e.payload[:0]
+	p = wire.AppendU8(p, KindPing)
+	p = wire.AppendUvarint(p, token)
+	e.payload = p
+	return wire.AppendFrame(dst, p)
+}
+
+// AppendSubscribe appends a subscribe frame; an empty key list
+// subscribes to every stream.
+func (e *Enc) AppendSubscribe(dst []byte, keys []uint64) []byte {
+	p := e.payload[:0]
+	p = wire.AppendU8(p, KindSubscribe)
+	p = wire.AppendUint(p, len(keys))
+	for _, k := range keys {
+		p = wire.AppendUvarint(p, k)
+	}
+	e.payload = p
+	return wire.AppendFrame(dst, p)
+}
+
+// AppendPreamble appends the connection preamble.
+func AppendPreamble(dst []byte) []byte {
+	dst = append(dst, PreambleMagic...)
+	return append(dst, ProtocolVersion)
+}
+
+// appendPong appends a pong frame (server side; no staging needed —
+// the body is a fixed-size scratch).
+func appendPong(dst []byte, token uint64) []byte {
+	var body [1 + 10]byte
+	p := wire.AppendU8(body[:0], KindPong)
+	p = wire.AppendUvarint(p, token)
+	return wire.AppendFrame(dst, p)
+}
+
+// appendEvent appends a server event frame for one stream transition.
+func appendEvent(dst []byte, key uint64, ev *dpd.Event) []byte {
+	var body [1 + 10 + 1 + 10 + 10 + 10 + 8]byte
+	p := wire.AppendU8(body[:0], KindEvent)
+	p = wire.AppendUvarint(p, key)
+	p = wire.AppendU8(p, uint8(ev.Kind))
+	p = wire.AppendUvarint(p, ev.T)
+	p = wire.AppendUint(p, ev.Period)
+	p = wire.AppendUint(p, ev.PrevPeriod)
+	p = wire.AppendF64(p, ev.Confidence)
+	return wire.AppendFrame(dst, p)
+}
+
+// appendError appends a typed protocol error frame.
+func appendError(dst []byte, code ErrCode, msg string) []byte {
+	body := make([]byte, 0, 1+1+len(msg))
+	p := wire.AppendU8(body, KindError)
+	p = wire.AppendU8(p, uint8(code))
+	p = append(p, msg...)
+	return wire.AppendFrame(dst, p)
+}
+
+// ServerFrame is one decoded server→client frame: what loadgen and
+// tests read back (pongs, events, errors).
+type ServerFrame struct {
+	// Kind is the frame kind (KindPong, KindEvent or KindError).
+	Kind uint8
+	// Token echoes the ping token of a pong.
+	Token uint64
+	// Key is the stream key of an event frame.
+	Key uint64
+	// Event is the decoded transition of an event frame.
+	Event dpd.Event
+	// Code is the error code of an error frame.
+	Code ErrCode
+	// Msg is the error message of an error frame.
+	Msg string
+}
+
+// DecodeServerFrame parses one server→client frame payload. Like
+// DecodeFrame it never panics; failures are *ProtoError.
+func DecodeServerFrame(payload []byte, f *ServerFrame) error {
+	*f = ServerFrame{}
+	var d wire.Dec
+	d.Reset(payload)
+	kind := d.U8()
+	switch kind {
+	case KindPong:
+		f.Token = d.Uvarint()
+	case KindEvent:
+		f.Key = d.Uvarint()
+		f.Event.Kind = dpd.EventKind(d.U8())
+		f.Event.T = d.Uvarint()
+		f.Event.Period = d.Uint(1 << 30)
+		f.Event.PrevPeriod = d.Uint(1 << 30)
+		f.Event.Confidence = d.F64()
+	case KindError:
+		f.Code = ErrCode(d.U8())
+		f.Msg = string(payload[d.Offset():])
+		d.Bytes(d.Remaining())
+	default:
+		return protoErrf(CodeUnknownKind, "frame kind %d is not a server frame", kind)
+	}
+	if d.Err() != nil {
+		return protoErrf(CodeBadFrame, "server frame: %v", d.Err())
+	}
+	if d.Remaining() != 0 {
+		return protoErrf(CodeBadFrame, "%d trailing bytes after server frame", d.Remaining())
+	}
+	f.Kind = kind
+	return nil
+}

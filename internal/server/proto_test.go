@@ -1,0 +1,287 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"dpd"
+	"dpd/internal/wire"
+)
+
+// stripLen removes the uvarint length prefix Enc's Append* helpers
+// emit, yielding the bare payload DecodeFrame consumes.
+func stripLen(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	var d wire.Dec
+	d.Reset(frame)
+	n := d.Uvarint()
+	if d.Err() != nil || int(n) != d.Remaining() {
+		t.Fatalf("bad frame length prefix: n=%d remaining=%d err=%v", n, d.Remaining(), d.Err())
+	}
+	return frame[d.Offset():]
+}
+
+func TestDecodeFrameRoundTrip(t *testing.T) {
+	var enc Enc
+	var f Frame
+
+	t.Run("event batch", func(t *testing.T) {
+		values := []int64{0, -5, 1 << 40, 7, math.MaxInt64, math.MinInt64}
+		payload := stripLen(t, enc.AppendEventBatch(nil, 42, values))
+		if err := DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindEventBatch || f.Key != 42 || len(f.Samples) != len(values) {
+			t.Fatalf("decoded kind=%d key=%d n=%d", f.Kind, f.Key, len(f.Samples))
+		}
+		for i, v := range values {
+			if s := f.Samples[i]; s.Key != 42 || s.Value != v || s.Magnitude != 0 {
+				t.Fatalf("sample %d = %+v, want key 42 value %d", i, s, v)
+			}
+		}
+	})
+	t.Run("magnitude batch", func(t *testing.T) {
+		values := []float64{0, 1.5, -2.25, math.Inf(1)}
+		payload := stripLen(t, enc.AppendMagnitudeBatch(nil, 7, values))
+		if err := DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindMagnitudeBatch || f.Key != 7 || len(f.Samples) != len(values) {
+			t.Fatalf("decoded kind=%d key=%d n=%d", f.Kind, f.Key, len(f.Samples))
+		}
+		for i, v := range values {
+			if s := f.Samples[i]; s.Key != 7 || s.Magnitude != v || s.Value != 0 {
+				t.Fatalf("sample %d = %+v, want key 7 magnitude %g", i, s, v)
+			}
+		}
+	})
+	t.Run("ping", func(t *testing.T) {
+		payload := stripLen(t, enc.AppendPing(nil, 0xDEAD))
+		if err := DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindPing || f.Token != 0xDEAD {
+			t.Fatalf("decoded kind=%d token=%#x", f.Kind, f.Token)
+		}
+	})
+	t.Run("subscribe", func(t *testing.T) {
+		payload := stripLen(t, enc.AppendSubscribe(nil, []uint64{1, 9, 1 << 50}))
+		if err := DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindSubscribe || len(f.Keys) != 3 || f.Keys[2] != 1<<50 {
+			t.Fatalf("decoded kind=%d keys=%v", f.Kind, f.Keys)
+		}
+	})
+	t.Run("subscribe all", func(t *testing.T) {
+		payload := stripLen(t, enc.AppendSubscribe(nil, nil))
+		if err := DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if f.Kind != KindSubscribe || len(f.Keys) != 0 {
+			t.Fatalf("decoded kind=%d keys=%v", f.Kind, f.Keys)
+		}
+	})
+}
+
+// TestDecodeFrameHostileInput: every malformed payload yields a typed
+// *ProtoError with the right code — never a panic, never a silent
+// success.
+func TestDecodeFrameHostileInput(t *testing.T) {
+	var enc Enc
+	valid := stripLen(t, enc.AppendEventBatch(nil, 3, []int64{1, 2, 3}))
+	cases := []struct {
+		name    string
+		payload []byte
+		code    ErrCode
+	}{
+		{"empty", nil, CodeBadFrame},
+		{"unknown kind", []byte{99, 1, 2}, CodeUnknownKind},
+		{"server kind from client", []byte{KindPong, 1}, CodeUnknownKind},
+		{"truncated batch header", valid[:2], CodeBadFrame},
+		{"truncated batch body", valid[:len(valid)-1], CodeBadFrame},
+		{"trailing bytes", append(append([]byte{}, valid...), 0), CodeBadFrame},
+		{"count beyond payload", []byte{KindEventBatch, 3, 200, 100, 1, 2}, CodeBadFrame},
+		{"magnitude count beyond payload", []byte{KindMagnitudeBatch, 3, 4, 0, 0}, CodeBadFrame},
+		{"subscribe count beyond payload", []byte{KindSubscribe, 50, 1}, CodeBadFrame},
+		{"ping missing token", []byte{KindPing}, CodeBadFrame},
+		{"count over MaxBatch", append([]byte{KindEventBatch, 3}, wire.AppendUvarint(nil, MaxBatch+1)...), CodeBadFrame},
+	}
+	var f Frame
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := DecodeFrame(tc.payload, &f)
+			if err == nil {
+				t.Fatalf("decode succeeded on %q", tc.name)
+			}
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %v is not a *ProtoError", err)
+			}
+			if pe.Code != tc.code {
+				t.Fatalf("code = %s, want %s (%v)", pe.Code, tc.code, err)
+			}
+		})
+	}
+}
+
+// TestDecodeFrameReuse: a Frame recycled across decodes of different
+// kinds never leaks state from the previous frame.
+func TestDecodeFrameReuse(t *testing.T) {
+	var enc Enc
+	var f Frame
+	if err := DecodeFrame(stripLen(t, enc.AppendEventBatch(nil, 1, []int64{9, 9, 9})), &f); err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeFrame(stripLen(t, enc.AppendSubscribe(nil, []uint64{5})), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Samples) != 0 || len(f.Keys) != 1 {
+		t.Fatalf("reused frame leaked: samples=%d keys=%d", len(f.Samples), len(f.Keys))
+	}
+	if err := DecodeFrame(stripLen(t, enc.AppendPing(nil, 2)), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Keys) != 0 || f.Token != 2 {
+		t.Fatalf("reused frame leaked: keys=%v token=%d", f.Keys, f.Token)
+	}
+}
+
+func TestServerFrameRoundTrip(t *testing.T) {
+	var sf ServerFrame
+	t.Run("pong", func(t *testing.T) {
+		payload := stripLen(t, appendPong(nil, 77))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindPong || sf.Token != 77 {
+			t.Fatalf("decoded %+v", sf)
+		}
+	})
+	t.Run("event", func(t *testing.T) {
+		ev := dpd.Event{Kind: dpd.EventLock, T: 1027, Period: 12, PrevPeriod: 0, Confidence: 1}
+		payload := stripLen(t, appendEvent(nil, 42, &ev))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindEvent || sf.Key != 42 || sf.Event != ev {
+			t.Fatalf("decoded %+v, want key 42 event %+v", sf, ev)
+		}
+	})
+	t.Run("error", func(t *testing.T) {
+		payload := stripLen(t, appendError(nil, CodeBadFrame, "trailing bytes"))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindError || sf.Code != CodeBadFrame || sf.Msg != "trailing bytes" {
+			t.Fatalf("decoded %+v", sf)
+		}
+	})
+}
+
+// FuzzIngestFrame is the protocol-level fuzz target (ISSUE 5): the
+// ingest decoder must never panic on arbitrary payloads, must classify
+// every failure as a typed *ProtoError, and — when a payload does
+// decode — must survive canonical re-encoding to the same frame. The
+// seed corpus mirrors FuzzRestore's philosophy: valid frames of every
+// kind, truncations at field boundaries, bit flips, version/kind skew
+// and hostile counts.
+func FuzzIngestFrame(f *testing.F) {
+	var enc Enc
+	valids := [][]byte{
+		enc.AppendEventBatch(nil, 42, []int64{1, -2, 3, 1 << 33}),
+		enc.AppendMagnitudeBatch(nil, 9, []float64{0.5, -1.25, 44}),
+		enc.AppendPing(nil, 1234),
+		enc.AppendSubscribe(nil, []uint64{7, 8, 9}),
+		enc.AppendSubscribe(nil, nil),
+	}
+	for _, frame := range valids {
+		// Strip the length prefix: the target consumes bare payloads.
+		var d wire.Dec
+		d.Reset(frame)
+		d.Uvarint()
+		payload := frame[d.Offset():]
+		f.Add(append([]byte{}, payload...))
+		// Truncations at every byte boundary of the first valid frame.
+		for i := 0; i < len(payload); i++ {
+			f.Add(append([]byte{}, payload[:i]...))
+		}
+		// Bit flips in the header region.
+		for i := 0; i < len(payload) && i < 4; i++ {
+			mut := append([]byte{}, payload...)
+			mut[i] ^= 0x80
+			f.Add(mut)
+		}
+	}
+	// Kind skew and hostile counts.
+	f.Add([]byte{0})
+	f.Add([]byte{255, 1, 2, 3})
+	f.Add(append([]byte{KindEventBatch, 1}, wire.AppendUvarint(nil, 1<<40)...))
+	f.Add(append([]byte{KindMagnitudeBatch, 1}, wire.AppendUvarint(nil, MaxBatch)...))
+	f.Add(append([]byte{KindSubscribe}, wire.AppendUvarint(nil, MaxSubscribeKeys)...))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var fr Frame
+		err := DecodeFrame(payload, &fr)
+		if err != nil {
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("decode error %v is not a *ProtoError", err)
+			}
+			if pe.Code == 0 {
+				t.Fatalf("ProtoError with zero code: %v", err)
+			}
+			return
+		}
+		// Round trip: re-encode the decoded frame and decode it again —
+		// the two decodes must agree on every field. (Byte equality is
+		// not required: LEB128 admits non-canonical encodings that the
+		// decoder accepts but the encoder never emits.)
+		var enc Enc
+		var re []byte
+		switch fr.Kind {
+		case KindEventBatch:
+			vs := make([]int64, len(fr.Samples))
+			for i, s := range fr.Samples {
+				vs[i] = s.Value
+			}
+			re = enc.AppendEventBatch(nil, fr.Key, vs)
+		case KindMagnitudeBatch:
+			vs := make([]float64, len(fr.Samples))
+			for i, s := range fr.Samples {
+				vs[i] = s.Magnitude
+			}
+			re = enc.AppendMagnitudeBatch(nil, fr.Key, vs)
+		case KindPing:
+			re = enc.AppendPing(nil, fr.Token)
+		case KindSubscribe:
+			re = enc.AppendSubscribe(nil, append([]uint64{}, fr.Keys...))
+		default:
+			t.Fatalf("decode succeeded with unknown kind %d", fr.Kind)
+		}
+		var d wire.Dec
+		d.Reset(re)
+		d.Uvarint()
+		var fr2 Frame
+		if err := DecodeFrame(re[d.Offset():], &fr2); err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if fr2.Kind != fr.Kind || fr2.Key != fr.Key || fr2.Token != fr.Token ||
+			len(fr2.Samples) != len(fr.Samples) || len(fr2.Keys) != len(fr.Keys) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", fr, fr2)
+		}
+		for i := range fr.Samples {
+			a, b := fr.Samples[i], fr2.Samples[i]
+			if a.Key != b.Key || a.Value != b.Value ||
+				math.Float64bits(a.Magnitude) != math.Float64bits(b.Magnitude) {
+				t.Fatalf("sample %d mismatch: %+v vs %+v", i, a, b)
+			}
+		}
+		for i := range fr.Keys {
+			if fr.Keys[i] != fr2.Keys[i] {
+				t.Fatalf("key %d mismatch: %d vs %d", i, fr.Keys[i], fr2.Keys[i])
+			}
+		}
+	})
+}

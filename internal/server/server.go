@@ -1,0 +1,347 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpd"
+)
+
+// Config parameterizes a Server. IngestAddr is required; everything
+// else has serving defaults.
+type Config struct {
+	// IngestAddr is the TCP listen address of the binary ingest plane
+	// (use "127.0.0.1:0" in tests and read Server.Addr back).
+	IngestAddr string
+	// HTTPAddr is the listen address of the HTTP query/control plane;
+	// empty disables it.
+	HTTPAddr string
+	// Pool configures the shared detector pool (shard count, per-stream
+	// engine factory, eviction). Config.Pool.StreamObserver is reserved
+	// for the server's event write-back wiring; setting it is an error.
+	Pool dpd.PoolConfig
+	// CheckpointDir is where the durability loop writes pool
+	// checkpoints; empty disables durability (no interval loop, no
+	// restore-on-boot, no final checkpoint).
+	CheckpointDir string
+	// CheckpointEvery is the interval between durable checkpoints;
+	// 0 selects 30s.
+	CheckpointEvery time.Duration
+	// CheckpointKeep is how many checkpoint files to retain; 0 selects 3.
+	CheckpointKeep int
+	// PendingBatches bounds each connection's ring of decoded-but-unfed
+	// frames — the ingest backpressure depth; 0 selects 4.
+	PendingBatches int
+	// EventBuffer bounds each connection's outgoing frame queue (pongs,
+	// subscribed events); a subscriber that lets it fill is disconnected
+	// as a slow consumer. 0 selects 256.
+	EventBuffer int
+	// WriteTimeout bounds every flush to a client; 0 selects 10s.
+	WriteTimeout time.Duration
+	// Logf receives operational log lines; nil selects log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is the serving layer: one shared pool behind a binary ingest
+// listener, an HTTP query/control listener and a durability loop.
+// Construct with New, start with Start, stop with Shutdown.
+type Server struct {
+	cfg     Config
+	pool    *dpd.Pool
+	metrics metrics
+
+	ln     net.Listener
+	httpLn net.Listener
+	httpSv *http.Server
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	subMu    sync.RWMutex
+	subAll   map[*conn]struct{}
+	subByKey map[uint64]map[*conn]struct{}
+	subCount atomic.Int64
+
+	wg      sync.WaitGroup // ingest connection handlers
+	bg      sync.WaitGroup // accept loop, http serve, checkpoint loop
+	stop    chan struct{}  // closed by Shutdown: background loops exit
+	started atomic.Bool
+	stopped atomic.Bool
+
+	ckptMu sync.Mutex // serializes WriteCheckpoint against itself
+}
+
+// New builds a server: it restores the pool from the newest valid
+// checkpoint in CheckpointDir (falling back past corrupt files, finally
+// to a fresh pool) and binds both listeners, so a nil error means the
+// addresses are owned and Addr/HTTPAddr are answerable. Nothing serves
+// until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.IngestAddr == "" {
+		return nil, errors.New("server: Config.IngestAddr is required")
+	}
+	if cfg.Pool.StreamObserver != nil {
+		return nil, errors.New("server: Config.Pool.StreamObserver is owned by the server's event write-back; use ingest subscriptions instead")
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 30 * time.Second
+	}
+	if cfg.CheckpointKeep <= 0 {
+		cfg.CheckpointKeep = 3
+	}
+	if cfg.PendingBatches <= 0 {
+		cfg.PendingBatches = 4
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 256
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		conns:    make(map[*conn]struct{}),
+		subAll:   make(map[*conn]struct{}),
+		subByKey: make(map[uint64]map[*conn]struct{}),
+		stop:     make(chan struct{}),
+	}
+	s.metrics.start = time.Now()
+
+	// Every pooled stream gets an observer that publishes its
+	// transitions to subscribed connections. The hook fires per stream
+	// materialization (not per sample) and the publish path takes a
+	// lock-free fast exit while nobody is subscribed.
+	poolCfg := cfg.Pool
+	poolCfg.StreamObserver = s.streamObserver
+
+	pool, seq, err := restorePool(cfg.CheckpointDir, poolCfg, cfg.Logf, &s.metrics)
+	if err != nil {
+		return nil, err
+	}
+	s.pool = pool
+	s.metrics.checkpointSeq.Store(seq)
+
+	ln, err := net.Listen("tcp", cfg.IngestAddr)
+	if err != nil {
+		pool.Close()
+		return nil, fmt.Errorf("server: ingest listen: %w", err)
+	}
+	s.ln = ln
+	if cfg.HTTPAddr != "" {
+		httpLn, err := net.Listen("tcp", cfg.HTTPAddr)
+		if err != nil {
+			ln.Close()
+			pool.Close()
+			return nil, fmt.Errorf("server: http listen: %w", err)
+		}
+		s.httpLn = httpLn
+		s.httpSv = &http.Server{Handler: s.httpHandler()}
+	}
+	return s, nil
+}
+
+// Pool exposes the shared detector pool for embedders and differential
+// tests; treat it as read-mostly — the ingest plane owns the feed path.
+func (s *Server) Pool() *dpd.Pool { return s.pool }
+
+// Addr returns the bound ingest address (resolves ":0" binds).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// HTTPAddr returns the bound query-plane address, or "" when disabled.
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Start launches the accept loop, the HTTP plane and the durability
+// loop. It returns immediately; use Shutdown to stop.
+func (s *Server) Start() {
+	if s.started.Swap(true) {
+		return
+	}
+	s.bg.Add(1)
+	go s.acceptLoop()
+	if s.httpSv != nil {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			if err := s.httpSv.Serve(s.httpLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.cfg.Logf("server: http: %v", err)
+			}
+		}()
+	}
+	if s.cfg.CheckpointDir != "" {
+		s.bg.Add(1)
+		go s.checkpointLoop()
+	}
+}
+
+// acceptLoop admits ingest connections until the listener closes.
+func (s *Server) acceptLoop() {
+	defer s.bg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// Shutdown stops the server in the loss-free order: stop admitting,
+// drain the control plane, tear down ingest connections and join their
+// feeders — frames already read off the wire are applied, never dropped
+// behind a pong — quiesce the pool, then take the final durable
+// checkpoint of the quiesced state. A SIGTERM handled this way loses
+// nothing that was acknowledged (a ping barrier) before the signal. The
+// context bounds the HTTP drain; ingest teardown is prompt (sockets are
+// closed, only already-decoded frames are waited out).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stopped.Swap(true) {
+		return errors.New("server: Shutdown called twice")
+	}
+	close(s.stop)
+	s.ln.Close()
+
+	var firstErr error
+	if s.httpSv != nil {
+		if err := s.httpSv.Shutdown(ctx); err != nil {
+			firstErr = err
+		}
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.close(reasonShutdown)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.pool.Close()
+	s.bg.Wait()
+
+	if s.cfg.CheckpointDir != "" {
+		if _, err := s.WriteCheckpoint(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: final checkpoint: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// addConn registers a live connection for shutdown teardown. It
+// refuses (returning false) once Shutdown has begun, closing the race
+// where a connection accepted just before the listener closed would
+// register after the teardown sweep and never be torn down.
+func (s *Server) addConn(c *conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped.Load() {
+		return false
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+// removeConn forgets a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// subscribe replaces c's subscription with keys (empty = all streams).
+func (s *Server) subscribe(c *conn, keys []uint64) {
+	s.subMu.Lock()
+	s.dropSubsLocked(c)
+	if len(keys) == 0 {
+		s.subAll[c] = struct{}{}
+		c.subAll = true
+	} else {
+		c.subKeys = append(c.subKeys[:0], keys...)
+		for _, k := range c.subKeys {
+			m := s.subByKey[k]
+			if m == nil {
+				m = make(map[*conn]struct{})
+				s.subByKey[k] = m
+			}
+			m[c] = struct{}{}
+		}
+	}
+	s.subCount.Add(1)
+	s.subMu.Unlock()
+}
+
+// unsubscribe removes c's subscription at teardown.
+func (s *Server) unsubscribe(c *conn) {
+	s.subMu.Lock()
+	s.dropSubsLocked(c)
+	s.subMu.Unlock()
+}
+
+// dropSubsLocked removes c from every subscription index; caller holds
+// subMu exclusively.
+func (s *Server) dropSubsLocked(c *conn) {
+	had := c.subAll || len(c.subKeys) > 0
+	if c.subAll {
+		delete(s.subAll, c)
+		c.subAll = false
+	}
+	for _, k := range c.subKeys {
+		if m := s.subByKey[k]; m != nil {
+			delete(m, c)
+			if len(m) == 0 {
+				delete(s.subByKey, k)
+			}
+		}
+	}
+	c.subKeys = c.subKeys[:0]
+	if had {
+		s.subCount.Add(-1)
+	}
+}
+
+// streamObserver is the pool's per-stream observer factory: every
+// transition of stream key is published to subscribed connections.
+func (s *Server) streamObserver(key uint64) dpd.Observer {
+	return dpd.ObserverFuncs{
+		Lock:         func(e *dpd.Event) { s.publish(key, e) },
+		PeriodChange: func(e *dpd.Event) { s.publish(key, e) },
+		SegmentStart: func(e *dpd.Event) { s.publish(key, e) },
+		Unlock:       func(e *dpd.Event) { s.publish(key, e) },
+	}
+}
+
+// publish fans one stream transition out to subscribers. It runs on a
+// shard worker with the shard lock held, so it must stay cheap and must
+// never block: the no-subscriber fast path is one atomic load, and
+// enqueueing to a full subscriber disconnects that subscriber (slow
+// consumer) instead of waiting.
+func (s *Server) publish(key uint64, e *dpd.Event) {
+	if s.subCount.Load() == 0 {
+		return
+	}
+	s.subMu.RLock()
+	for c := range s.subAll {
+		c.sendEvent(key, e)
+	}
+	if m := s.subByKey[key]; m != nil {
+		for c := range m {
+			c.sendEvent(key, e)
+		}
+	}
+	s.subMu.RUnlock()
+}

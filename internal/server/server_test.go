@@ -1,0 +1,745 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/wire"
+)
+
+// newTestServer builds and starts a server on loopback ephemeral ports,
+// wiring cleanup-safe logging.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.IngestAddr == "" {
+		cfg.IngestAddr = "127.0.0.1:0"
+	}
+	if cfg.HTTPAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {} // tests assert behavior, not log text
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = time.Hour // deterministic: only explicit/final checkpoints
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return s
+}
+
+// shutdown stops a test server within a bounded context.
+func shutdown(t *testing.T, s *Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// client is a test-side ingest connection.
+type client struct {
+	t   *testing.T
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	enc Enc
+	buf []byte
+}
+
+// dialClient connects and sends the preamble.
+func dialClient(t *testing.T, s *Server) *client {
+	t.Helper()
+	nc, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &client{t: t, nc: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	if _, err := c.bw.Write(AppendPreamble(nil)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (c *client) close() { c.nc.Close() }
+
+// sendEvents stages one event batch frame.
+func (c *client) sendEvents(key uint64, vs []int64) {
+	c.t.Helper()
+	c.buf = c.enc.AppendEventBatch(c.buf[:0], key, vs)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// sendMagnitudes stages one magnitude batch frame.
+func (c *client) sendMagnitudes(key uint64, vs []float64) {
+	c.t.Helper()
+	c.buf = c.enc.AppendMagnitudeBatch(c.buf[:0], key, vs)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// subscribe stages a subscription frame and flushes it.
+func (c *client) subscribe(keys ...uint64) {
+	c.t.Helper()
+	c.buf = c.enc.AppendSubscribe(c.buf[:0], keys)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+// barrier flushes and pings, then reads frames until the matching pong,
+// returning any event frames that arrived before it.
+func (c *client) barrier(token uint64) []ServerFrame {
+	c.t.Helper()
+	c.buf = c.enc.AppendPing(c.buf[:0], token)
+	if _, err := c.bw.Write(c.buf); err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.t.Fatal(err)
+	}
+	var evs []ServerFrame
+	for {
+		sf := c.readFrame()
+		switch sf.Kind {
+		case KindPong:
+			if sf.Token != token {
+				c.t.Fatalf("pong token %d, want %d", sf.Token, token)
+			}
+			return evs
+		case KindEvent:
+			evs = append(evs, sf)
+		case KindError:
+			c.t.Fatalf("server error %s: %s", sf.Code, sf.Msg)
+		}
+	}
+}
+
+// readFrame reads one server→client frame.
+func (c *client) readFrame() ServerFrame {
+	c.t.Helper()
+	c.nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	payload, err := wire.ReadFrame(c.br, MaxFrame, nil)
+	if err != nil {
+		c.t.Fatalf("reading server frame: %v", err)
+	}
+	var sf ServerFrame
+	if err := DecodeServerFrame(payload, &sf); err != nil {
+		c.t.Fatal(err)
+	}
+	return sf
+}
+
+// httpGet fetches a query-plane URL and decodes the JSON body into out.
+func httpGet(t *testing.T, s *Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get("http://" + s.HTTPAddr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestServerIngestAndQuery drives the full surface once: binary ingest
+// with a ping barrier, then every query/control endpoint against the
+// resulting pool state, including a live rebalance mid-traffic.
+func TestServerIngestAndQuery(t *testing.T) {
+	s := newTestServer(t, Config{
+		Pool: dpd.PoolConfig{Shards: 3, Detector: dpd.Config{Window: 64}},
+	})
+	defer shutdown(t, s)
+
+	const (
+		streams = 10
+		samples = 256
+		period  = 4
+	)
+	c := dialClient(t, s)
+	defer c.close()
+	vs := make([]int64, 64)
+	for t0 := 0; t0 < samples; t0 += len(vs) {
+		for k := 0; k < streams; k++ {
+			for i := range vs {
+				vs[i] = int64((t0 + i) % period)
+			}
+			c.sendEvents(uint64(k), vs)
+		}
+	}
+	c.barrier(1)
+
+	// healthz
+	var hz struct {
+		Status  string `json:"status"`
+		Streams int    `json:"streams"`
+	}
+	if code := httpGet(t, s, "/healthz", &hz); code != 200 || hz.Status != "ok" || hz.Streams != streams {
+		t.Fatalf("healthz = %d %+v", code, hz)
+	}
+
+	// one stream: locked on the pattern, predicting
+	var st streamJSON
+	if code := httpGet(t, s, "/streams/3", &st); code != 200 {
+		t.Fatalf("GET /streams/3 = %d", code)
+	}
+	if st.Key != 3 || st.Samples != samples || !st.Locked || st.Period != period || !st.PredictedValid {
+		t.Fatalf("stream 3 = %+v, want locked period %d over %d samples", st, period, samples)
+	}
+	if code := httpGet(t, s, "/streams/999", nil); code != 404 {
+		t.Fatalf("GET /streams/999 = %d, want 404", code)
+	}
+	if code := httpGet(t, s, "/streams/notakey", nil); code != 400 {
+		t.Fatalf("GET /streams/notakey = %d, want 400", code)
+	}
+
+	// paged enumeration: 4 sorted, disjoint pages of ≤3
+	var got []uint64
+	after := ""
+	for {
+		var page streamsPage
+		url := "/streams?limit=3" + after
+		if code := httpGet(t, s, url, &page); code != 200 {
+			t.Fatalf("GET %s = %d", url, code)
+		}
+		for _, st := range page.Streams {
+			got = append(got, st.Key)
+		}
+		if page.NextAfter == nil {
+			break
+		}
+		after = fmt.Sprintf("&after=%d", *page.NextAfter)
+	}
+	if len(got) != streams {
+		t.Fatalf("paged enumeration returned %d streams: %v", len(got), got)
+	}
+	for i, k := range got {
+		if k != uint64(i) {
+			t.Fatalf("page order wrong at %d: %v", i, got)
+		}
+	}
+
+	// metrics
+	var m MetricsSnapshot
+	if code := httpGet(t, s, "/metrics", &m); code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if m.SamplesTotal != streams*samples || m.BatchesTotal != streams*samples/64 {
+		t.Fatalf("metrics samples=%d batches=%d, want %d/%d", m.SamplesTotal, m.BatchesTotal, streams*samples, streams*samples/64)
+	}
+	if m.ConnsActive != 1 || m.PingsTotal != 1 || m.Streams != streams || m.Shards != 3 || len(m.ShardOccupancy) != 3 {
+		t.Fatalf("metrics = %+v", m)
+	}
+
+	// live rebalance, then traffic continues and state is intact
+	resp, err := http.Post("http://"+s.HTTPAddr()+"/rebalance?shards=5", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /rebalance = %d", resp.StatusCode)
+	}
+	for k := 0; k < streams; k++ {
+		for i := range vs {
+			vs[i] = int64((samples + i) % period)
+		}
+		c.sendEvents(uint64(k), vs)
+	}
+	c.barrier(2)
+	if code := httpGet(t, s, "/streams/3", &st); code != 200 {
+		t.Fatalf("GET /streams/3 after rebalance = %d", code)
+	}
+	if st.Samples != samples+64 || !st.Locked || st.Period != period {
+		t.Fatalf("stream 3 after rebalance = %+v", st)
+	}
+	if code := httpGet(t, s, "/metrics", &m); code != 200 || m.Shards != 5 || len(m.ShardOccupancy) != 5 {
+		t.Fatalf("metrics after rebalance: code=%d %+v", code, m)
+	}
+	resp, err = http.Post("http://"+s.HTTPAddr()+"/rebalance?shards=0", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("POST /rebalance?shards=0 = %d, want 400", resp.StatusCode)
+	}
+}
+
+// engineConfigs is the four-engine matrix of the differential test.
+func engineConfigs() map[string]func() dpd.Detector {
+	return map[string]func() dpd.Detector{
+		"event":      func() dpd.Detector { return dpd.Must(dpd.WithWindow(64)) },
+		"magnitude":  func() dpd.Detector { return dpd.Must(dpd.WithMagnitude(0), dpd.WithWindow(64)) },
+		"multiscale": func() dpd.Detector { return dpd.Must(dpd.WithLadder(8, 64)) },
+		"adaptive":   func() dpd.Detector { return dpd.Must(dpd.WithAdaptive(dpd.DefaultAdaptivePolicy())) },
+	}
+}
+
+// traceValue is the synthetic trace: per-stream periodic values with
+// per-key period and phase so streams are not interchangeable.
+func traceValue(key uint64, t int) int64 {
+	p := 4 + int(key%5)
+	return int64((t+int(key))%p) + int64(key)*100
+}
+
+// parsePoolCheckpoint splits a pool checkpoint stream into per-stream
+// engine-state bytes, keyed by stream key.
+func parsePoolCheckpoint(t *testing.T, data []byte) map[uint64][]byte {
+	t.Helper()
+	br := bufio.NewReader(bytes.NewReader(data))
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if string(hdr[:4]) != "DPDP" {
+		t.Fatalf("bad pool checkpoint magic %q", hdr[:4])
+	}
+	states := map[uint64][]byte{}
+	for {
+		payload, err := wire.ReadFrame(br, 1<<30, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload == nil {
+			return states
+		}
+		var d wire.Dec
+		d.Reset(payload)
+		key := d.Uvarint()
+		if d.Err() != nil {
+			t.Fatal(d.Err())
+		}
+		states[key] = append([]byte{}, payload[d.Offset():]...)
+	}
+}
+
+// TestKillRestartDifferential is the acceptance differential (ISSUE 5):
+// for every engine, a server killed mid-trace (graceful SIGTERM path:
+// drain, quiesce, final checkpoint) and restarted from its checkpoint
+// must continue every stream byte-identically — the restarted server's
+// final per-stream engine state equals that of an uninterrupted
+// reference pool fed the same trace, byte for byte.
+func TestKillRestartDifferential(t *testing.T) {
+	const (
+		streams = 12
+		samples = 512
+		batch   = 64
+		shards  = 3
+	)
+	for name, factory := range engineConfigs() {
+		t.Run(name, func(t *testing.T) {
+			poolCfg := dpd.PoolConfig{Shards: shards, NewDetector: factory}
+
+			// Uninterrupted reference: the same per-stream sample order.
+			ref, err := dpd.NewPool(poolCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refBatch := make([]dpd.KeyedSample, 0, batch)
+			for t0 := 0; t0 < samples; t0 += batch {
+				for k := 0; k < streams; k++ {
+					refBatch = refBatch[:0]
+					for i := 0; i < batch; i++ {
+						v := traceValue(uint64(k), t0+i)
+						refBatch = append(refBatch, dpd.KeyedSample{Key: uint64(k), Value: v, Magnitude: float64(v)})
+					}
+					ref.FeedBatch(refBatch)
+				}
+			}
+			ref.Close()
+			var refCkpt bytes.Buffer
+			if err := ref.Checkpoint(&refCkpt); err != nil {
+				t.Fatal(err)
+			}
+			refStates := parsePoolCheckpoint(t, refCkpt.Bytes())
+
+			dir := t.TempDir()
+			feed := func(s *Server, from, to int) {
+				c := dialClient(t, s)
+				defer c.close()
+				evs := make([]int64, batch)
+				mags := make([]float64, batch)
+				for t0 := from; t0 < to; t0 += batch {
+					for k := 0; k < streams; k++ {
+						for i := range evs {
+							v := traceValue(uint64(k), t0+i)
+							evs[i], mags[i] = v, float64(v)
+						}
+						if name == "magnitude" {
+							c.sendMagnitudes(uint64(k), mags)
+						} else {
+							c.sendEvents(uint64(k), evs)
+						}
+					}
+				}
+				c.barrier(uint64(to))
+			}
+
+			// First run: half the trace, then the SIGTERM path.
+			s1 := newTestServer(t, Config{Pool: poolCfg, CheckpointDir: dir})
+			feed(s1, 0, samples/2)
+			shutdown(t, s1)
+
+			// Restart: restore from the checkpoint, finish the trace.
+			s2 := newTestServer(t, Config{Pool: poolCfg, CheckpointDir: dir})
+			var m MetricsSnapshot
+			if code := httpGet(t, s2, "/metrics", &m); code != 200 {
+				t.Fatalf("GET /metrics = %d", code)
+			}
+			if m.RestoredStreams != streams {
+				t.Fatalf("restored %d streams, want %d", m.RestoredStreams, streams)
+			}
+			feed(s2, samples/2, samples)
+
+			// Per-stream Stat must match the uninterrupted pool exactly.
+			for k := 0; k < streams; k++ {
+				want, ok := ref.Stat(uint64(k))
+				if !ok {
+					t.Fatalf("reference lost stream %d", k)
+				}
+				got, ok := s2.Pool().Stat(uint64(k))
+				if !ok {
+					t.Fatalf("restarted server lost stream %d", k)
+				}
+				if got.Stat != want.Stat {
+					t.Fatalf("stream %d diverged after restart:\n got %+v\nwant %+v", k, got.Stat, want.Stat)
+				}
+			}
+
+			// And the serialized engine state must be byte-identical.
+			shutdown(t, s2)
+			seqs, err := listCheckpoints(dir)
+			if err != nil || len(seqs) == 0 {
+				t.Fatalf("no final checkpoint: %v", err)
+			}
+			data, err := os.ReadFile(filepath.Join(dir, checkpointName(seqs[0])))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotStates := parsePoolCheckpoint(t, data)
+			if len(gotStates) != len(refStates) {
+				t.Fatalf("restarted checkpoint has %d streams, reference %d", len(gotStates), len(refStates))
+			}
+			for k, want := range refStates {
+				if !bytes.Equal(gotStates[k], want) {
+					t.Fatalf("engine %s stream %d: restarted state differs from uninterrupted state (%d vs %d bytes)",
+						name, k, len(gotStates[k]), len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestRestoreFallsBackPastCorrupt: boot skips a corrupt newest
+// checkpoint (counting the fallback) and restores the older valid one.
+func TestRestoreFallsBackPastCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	poolCfg := dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}}
+
+	s1 := newTestServer(t, Config{Pool: poolCfg, CheckpointDir: dir})
+	c := dialClient(t, s1)
+	vs := make([]int64, 96)
+	for i := range vs {
+		vs[i] = int64(i % 3)
+	}
+	c.sendEvents(11, vs)
+	c.barrier(1)
+	c.close()
+	shutdown(t, s1)
+
+	// A "newer" checkpoint that is garbage, and one that is truncated.
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(900)), []byte("DPDPgarbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, checkpointName(901)), []byte("not even magic"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := newTestServer(t, Config{Pool: poolCfg, CheckpointDir: dir})
+	defer shutdown(t, s2)
+	var m MetricsSnapshot
+	if code := httpGet(t, s2, "/metrics", &m); code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if m.RestoreFallbacks != 2 {
+		t.Fatalf("restore fallbacks = %d, want 2", m.RestoreFallbacks)
+	}
+	if m.RestoredStreams != 1 {
+		t.Fatalf("restored streams = %d, want 1", m.RestoredStreams)
+	}
+	var st streamJSON
+	if code := httpGet(t, s2, "/streams/11", &st); code != 200 || st.Samples != uint64(len(vs)) {
+		t.Fatalf("stream 11 after fallback restore: code=%d %+v", code, st)
+	}
+	// The next checkpoint must not collide with the garbage sequence.
+	if path, err := s2.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	} else if want := checkpointName(902); filepath.Base(path) != want {
+		t.Fatalf("next checkpoint = %s, want %s", filepath.Base(path), want)
+	}
+}
+
+// TestProtocolErrorReply: hostile bytes get a typed error frame back,
+// then the connection closes — the server never just drops the socket.
+func TestProtocolErrorReply(t *testing.T) {
+	s := newTestServer(t, Config{Pool: dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}}})
+	defer shutdown(t, s)
+
+	send := func(t *testing.T, raw []byte) ServerFrame {
+		t.Helper()
+		nc, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+		if _, err := nc.Write(raw); err != nil {
+			t.Fatal(err)
+		}
+		// Half-close: "that is all the bytes there will be" — which is
+		// what turns a short frame into a detectable truncation rather
+		// than a stalled read.
+		nc.(*net.TCPConn).CloseWrite()
+		br := bufio.NewReader(nc)
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		payload, err := wire.ReadFrame(br, MaxFrame, nil)
+		if err != nil {
+			t.Fatalf("expected an error frame, got %v", err)
+		}
+		var sf ServerFrame
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindError {
+			t.Fatalf("expected error frame, got kind %d", sf.Kind)
+		}
+		// After the error frame the server closes: EOF, not silence.
+		if _, err := br.ReadByte(); err != io.EOF {
+			t.Fatalf("after error frame: %v, want EOF", err)
+		}
+		return sf
+	}
+
+	t.Run("bad preamble", func(t *testing.T) {
+		sf := send(t, []byte("NOPE\x01"))
+		if sf.Code != CodeBadPreamble {
+			t.Fatalf("code = %s, want %s", sf.Code, CodeBadPreamble)
+		}
+	})
+	t.Run("version skew", func(t *testing.T) {
+		sf := send(t, []byte("DPDI\x63"))
+		if sf.Code != CodeBadPreamble {
+			t.Fatalf("code = %s, want %s", sf.Code, CodeBadPreamble)
+		}
+	})
+	t.Run("unknown kind", func(t *testing.T) {
+		raw := AppendPreamble(nil)
+		raw = wire.AppendFrame(raw, []byte{0x7F, 1, 2, 3})
+		sf := send(t, raw)
+		if sf.Code != CodeUnknownKind {
+			t.Fatalf("code = %s, want %s", sf.Code, CodeUnknownKind)
+		}
+	})
+	t.Run("truncated batch", func(t *testing.T) {
+		var enc Enc
+		frame := enc.AppendEventBatch(nil, 5, []int64{1, 2, 3, 4})
+		raw := AppendPreamble(nil)
+		raw = append(raw, frame[:len(frame)-2]...) // cut the frame body short
+		sf := send(t, raw)
+		if sf.Code != CodeBadFrame {
+			t.Fatalf("code = %s, want %s", sf.Code, CodeBadFrame)
+		}
+	})
+	t.Run("frame too large", func(t *testing.T) {
+		raw := AppendPreamble(nil)
+		raw = wire.AppendUvarint(raw, MaxFrame+1)
+		sf := send(t, raw)
+		if sf.Code != CodeFrameTooLarge {
+			t.Fatalf("code = %s, want %s", sf.Code, CodeFrameTooLarge)
+		}
+	})
+
+	// The hostile connections above never corrupted server state.
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if code := httpGet(t, s, "/healthz", &hz); code != 200 || hz.Status != "ok" {
+		t.Fatalf("healthz after hostile traffic = %d %+v", code, hz)
+	}
+}
+
+// TestSubscribeEvents: a subscribed connection receives exactly the
+// transitions a local observer sees for its keys, and nothing for
+// other keys.
+func TestSubscribeEvents(t *testing.T) {
+	s := newTestServer(t, Config{Pool: dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 16}}})
+	defer shutdown(t, s)
+
+	sub := dialClient(t, s)
+	defer sub.close()
+	sub.subscribe(5)
+	// The subscription frame is applied by the feeder in order, so a
+	// barrier guarantees it is active before traffic starts.
+	sub.barrier(1)
+
+	// Reference: a local detector with an observer, fed the same values.
+	type obsEvent struct {
+		kind   dpd.EventKind
+		T      uint64
+		period int
+	}
+	var want []obsEvent
+	ref := dpd.Must(dpd.WithWindow(16), dpd.WithObserver(dpd.ObserverFuncs{
+		Lock:         func(e *dpd.Event) { want = append(want, obsEvent{e.Kind, e.T, e.Period}) },
+		PeriodChange: func(e *dpd.Event) { want = append(want, obsEvent{e.Kind, e.T, e.Period}) },
+		SegmentStart: func(e *dpd.Event) { want = append(want, obsEvent{e.Kind, e.T, e.Period}) },
+		Unlock:       func(e *dpd.Event) { want = append(want, obsEvent{e.Kind, e.T, e.Period}) },
+	}))
+
+	feeder := dialClient(t, s)
+	defer feeder.close()
+	vs := make([]int64, 64)
+	for i := range vs {
+		vs[i] = int64(i % 3)
+		ref.Feed(dpd.EventSample(vs[i]))
+	}
+	feeder.sendEvents(5, vs)
+	feeder.sendEvents(6, vs) // not subscribed: must produce no frames for sub
+	feeder.barrier(2)
+
+	if len(want) == 0 {
+		t.Fatal("reference observer saw no events; bad trace")
+	}
+	// Collect the subscriber's frames: everything queued before our own
+	// barrier pong.
+	var got []obsEvent
+	evs := sub.barrier(3)
+	for _, sf := range evs {
+		if sf.Key != 5 {
+			t.Fatalf("received event for unsubscribed key %d: %+v", sf.Key, sf)
+		}
+		got = append(got, obsEvent{sf.Event.Kind, sf.Event.T, sf.Event.Period})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("subscriber saw %d events, reference observer %d:\n got %v\nwant %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSlowConsumerDisconnect: a subscriber that never drains its event
+// stream is disconnected with the slow-consumer reason instead of
+// stalling ingest; the feeder keeps running.
+func TestSlowConsumerDisconnect(t *testing.T) {
+	s := newTestServer(t, Config{
+		Pool:         dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 16}},
+		EventBuffer:  8,
+		WriteTimeout: 200 * time.Millisecond,
+	})
+	defer shutdown(t, s)
+
+	sub := dialClient(t, s)
+	defer sub.close()
+	sub.subscribe() // all streams
+	sub.barrier(1)
+	// From here on the subscriber never reads again.
+
+	feeder := dialClient(t, s)
+	defer feeder.close()
+	vs := make([]int64, 512)
+	deadline := time.Now().Add(20 * time.Second)
+	var m MetricsSnapshot
+	for round := 0; ; round++ {
+		// Period-2 streams: a segment start (= one event frame) every
+		// other sample, across 8 streams — the event volume overwhelms
+		// the unread subscriber quickly.
+		for k := 0; k < 8; k++ {
+			for i := range vs {
+				vs[i] = int64(i % 2)
+			}
+			feeder.sendEvents(uint64(k), vs)
+		}
+		feeder.barrier(uint64(round + 10))
+		if code := httpGet(t, s, "/metrics", &m); code != 200 {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		if m.Disconnects.SlowConsumer >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-consumer disconnect after %d rounds; metrics %+v", round+1, m)
+		}
+	}
+	// Ingest survived the subscriber's demise.
+	var st streamJSON
+	if code := httpGet(t, s, "/streams/0", &st); code != 200 || !st.Locked || st.Period != 2 {
+		t.Fatalf("feeder stream after slow-consumer disconnect: code=%d %+v", code, st)
+	}
+}
+
+// TestGracefulTerminator: the zero-length frame ends a connection as a
+// clean EOF, counted as such.
+func TestGracefulTerminator(t *testing.T) {
+	s := newTestServer(t, Config{Pool: dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}}})
+	defer shutdown(t, s)
+	c := dialClient(t, s)
+	c.sendEvents(1, []int64{1, 2, 3})
+	c.barrier(1)
+	if err := wire.WriteFrame(c.bw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes its side after the terminator.
+	c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.br.ReadByte(); err != io.EOF {
+		t.Fatalf("after terminator: %v, want EOF", err)
+	}
+	c.close()
+	var m MetricsSnapshot
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if code := httpGet(t, s, "/metrics", &m); code != 200 {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		if m.Disconnects.EOF >= 1 && m.ConnsActive == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clean EOF not recorded: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if m.SamplesTotal != 3 {
+		t.Fatalf("samples_total = %d, want 3", m.SamplesTotal)
+	}
+}

@@ -29,6 +29,12 @@ import (
 // short input from structural corruption.
 var ErrTruncated = errors.New("wire: truncated input")
 
+// ErrFrameTooLarge is wrapped by ReadFrame when a frame's length prefix
+// exceeds the caller's limit — a distinct condition from truncation
+// (the bytes may all be on the wire; the claim itself is hostile), so
+// protocol layers can report it with its own error code.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds limit")
+
 // AppendU8 appends one byte.
 func AppendU8(b []byte, v uint8) []byte { return append(b, v) }
 
@@ -238,6 +244,17 @@ func (d *Dec) F64s(dst []float64) {
 	}
 }
 
+// AppendVarints appends each value zigzag-encoded in LEB128: the bulk
+// form the ingest frame codec uses for event sample batches, where
+// values are loop addresses or small tags and the variable encoding
+// keeps a batch frame a fraction of its fixed-width size.
+func AppendVarints(b []byte, vs []int64) []byte {
+	for _, v := range vs {
+		b = AppendVarint(b, v)
+	}
+	return b
+}
+
 // AppendU64s appends each value as 8 little-endian bytes.
 func AppendU64s(b []byte, vs []uint64) []byte {
 	for _, v := range vs {
@@ -307,7 +324,7 @@ func ReadFrame(r FrameReader, max int, buf []byte) ([]byte, error) {
 		return nil, nil
 	}
 	if max >= 0 && n > uint64(max) {
-		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, max)
+		return nil, fmt.Errorf("%w: frame of %d bytes, limit %d", ErrFrameTooLarge, n, max)
 	}
 	if uint64(cap(buf)) < n {
 		buf = make([]byte, n)

@@ -160,8 +160,22 @@ func TestFrameSizeLimit(t *testing.T) {
 	if err := WriteFrame(&sink, make([]byte, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadFrame(bufio.NewReader(&sink), 10, nil); err == nil {
-		t.Fatal("oversized frame accepted")
+	if _, err := ReadFrame(bufio.NewReader(&sink), 10, nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestAppendVarintsRoundTrip(t *testing.T) {
+	vs := []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63}
+	buf := AppendVarints(nil, vs)
+	d := NewDec(buf)
+	for i, want := range vs {
+		if got := d.Varint(); got != want {
+			t.Fatalf("value %d = %d, want %d", i, got, want)
+		}
+	}
+	if d.Err() != nil || d.Remaining() != 0 {
+		t.Fatalf("after decode: err=%v remaining=%d", d.Err(), d.Remaining())
 	}
 }
 

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the paper-table benchmarks (Figure 4,
-# Table 2, Table 3) and the multi-stream pool benchmarks as a JSON
-# snapshot: ns/elem, allocs/op, elems/s and the other reported metrics.
+# Table 2, Table 3), the multi-stream pool benchmarks and the serving
+# layer's ingest frame decode as a JSON snapshot: ns/elem, allocs/op,
+# elems/s and the other reported metrics.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         BENCHTIME=10x scripts/bench.sh    # more iterations, stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr5.json}"
 benchtime="${BENCHTIME:-1x}"
 
-raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed' -benchtime "$benchtime" -benchmem .)
+raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|IngestFrameDecode' -benchtime "$benchtime" -benchmem .)
 echo "$raw" >&2
 
 echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '
