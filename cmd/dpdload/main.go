@@ -1,7 +1,9 @@
 // Command dpdload generates ingest traffic against a running dpdserver:
 // N connections × M keyed streams of periodic samples, batched, rate
 // limited, ping-barriered — and reports end-to-end throughput in
-// Melem/s. It is the local stand-in for "heavy traffic from millions of
+// Melem/s. Connections ride the resilient internal/client, so a run
+// survives server restarts and overload shedding, replaying unacked
+// batches exactly once. It is the local stand-in for "heavy traffic from millions of
 // users" and the driver of the serving integration test.
 //
 //	dpdload -addr localhost:7700 -conns 8 -streams 1000 -samples 4096 -period 12
@@ -16,6 +18,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"dpd/internal/client"
 	"dpd/internal/loadgen"
 )
 
@@ -30,7 +33,20 @@ func main() {
 	stride := flag.Int64("stride", 0, "per-stream value offset (0 = shared alphabet)")
 	magnitude := flag.Bool("magnitude", false, "send magnitude batches (float64) instead of event batches")
 	rate := flag.Float64("rate", 0, "aggregate rate limit in samples/second (0 = unlimited)")
+	window := flag.Int("window", 0, "per-connection replay window in batches (0 = client default)")
+	ack := flag.String("ack", "applied", "window-release ack mode: applied|durable")
+	retryBudget := flag.Duration("retry-budget", 0, "max retry time without progress (0 = client default)")
 	flag.Parse()
+
+	var ackMode client.AckMode
+	switch *ack {
+	case "applied":
+		ackMode = client.AckApplied
+	case "durable":
+		ackMode = client.AckDurable
+	default:
+		log.Fatalf("dpdload: unknown -ack %q (want applied|durable)", *ack)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -45,6 +61,9 @@ func main() {
 		PatternStride:    *stride,
 		Magnitude:        *magnitude,
 		Rate:             *rate,
+		Window:           *window,
+		Ack:              ackMode,
+		RetryBudget:      *retryBudget,
 	})
 	if err != nil {
 		log.Fatalf("dpdload: %v", err)

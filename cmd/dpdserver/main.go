@@ -43,6 +43,10 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory (empty disables durability)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "interval between durable checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files to retain")
+	maxConns := flag.Int("max-conns", 0, "ingest connection admission limit (0 = unlimited)")
+	maxPending := flag.Int64("max-pending-bytes", 0, "global pending-memory limit in bytes before shedding (0 = unlimited)")
+	connPending := flag.Int64("conn-pending-bytes", 0, "per-connection pending-memory limit in bytes (0 = unlimited)")
+	retryAfter := flag.Duration("retry-after", time.Second, "back-off hint sent with overload error frames")
 	flag.Parse()
 
 	factory, err := engineFactory(*engine, *window, *confirm, *grace, *magThresh, *ladder)
@@ -58,9 +62,13 @@ func main() {
 			NewDetector: factory,
 			IdleTTL:     *idleTTL,
 		},
-		CheckpointDir:   *ckptDir,
-		CheckpointEvery: *ckptEvery,
-		CheckpointKeep:  *ckptKeep,
+		CheckpointDir:    *ckptDir,
+		CheckpointEvery:  *ckptEvery,
+		CheckpointKeep:   *ckptKeep,
+		MaxConns:         *maxConns,
+		MaxPendingBytes:  *maxPending,
+		ConnPendingBytes: *connPending,
+		RetryAfter:       *retryAfter,
 	})
 	if err != nil {
 		log.Fatalf("dpdserver: %v", err)

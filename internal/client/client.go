@@ -1,0 +1,625 @@
+// Package client is the Go client for the DPDI binary ingest protocol:
+// the resilient counterpart of the ad-hoc dialer loadgen used to carry.
+// It speaks protocol version 2 (preamble, length-prefixed frames, ping
+// barriers, subscriptions, cursors, durable marks) and survives the
+// ingest plane's failure domain: connection loss at any byte, server
+// restarts, overload shedding and corrupted frames.
+//
+// The resilience contract:
+//
+//   - Every batch is held in a bounded in-flight window (window.go)
+//     until the server acknowledges it — by ping barrier in AckApplied
+//     mode, by durable checkpoint mark in AckDurable mode.
+//   - On any connection failure the client redials with exponential
+//     backoff, seeded jitter and a wall-clock retry budget, then runs a
+//     cursor resync: it asks the server for each windowed stream's
+//     applied sample count and replays exactly the suffix the server
+//     has not seen. Acks lost to the network therefore never cause
+//     duplicates, and a server restart never loses samples the window
+//     still holds — delivery is exactly-once by per-stream accounting.
+//   - An overloaded server (typed error frame with a retry-after hint)
+//     is honored: the client sleeps the hint before redialing.
+//
+// The exactly-once guarantee assumes this client is the stream's only
+// writer and that the server-side history of each stream consists of
+// this client's sends (fresh keys, or a server restored from
+// checkpoints of the same run). Multiple writers per stream need
+// producer identities in the protocol — a multi-node concern this
+// client does not claim.
+//
+// A Client is not safe for concurrent use; give each goroutine its own
+// connection, as the server's per-connection ordering is the basis of
+// the barrier semantics. The steady-state send path performs no
+// allocation: frames stage into a reused buffer, window slots recycle
+// their sample storage, and ack decoding reuses one frame.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"dpd"
+	"dpd/internal/server"
+	"dpd/internal/wire"
+)
+
+// AckMode selects which server acknowledgement releases batches from
+// the replay window.
+type AckMode int
+
+// Ack modes.
+const (
+	// AckApplied prunes on ping barriers (pongs): a batch leaves the
+	// window once the server has applied it to the pool. Survives
+	// connection loss and graceful restarts; a kill -9 can lose batches
+	// applied after the last durable checkpoint.
+	AckApplied AckMode = iota
+	// AckDurable prunes only on durable marks: a batch leaves the window
+	// once a checkpoint covering it is on disk. Survives kill -9 at the
+	// cost of window turnover limited by the checkpoint cadence. Against
+	// a server without a checkpoint directory, applied counts as durable
+	// (the server says so with a durable mark per pong).
+	AckDurable
+)
+
+// ErrBudget is wrapped by every operation that gives up because the
+// retry budget elapsed without progress.
+var ErrBudget = errors.New("client: retry budget exhausted")
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("client: closed")
+
+// ServerError is a typed error frame received from the server.
+type ServerError struct {
+	// Code classifies the error (server.CodeOverloaded, …).
+	Code server.ErrCode
+	// RetryAfterMs is the server's back-off hint in milliseconds.
+	RetryAfterMs uint64
+	// Msg is the server's message.
+	Msg string
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("client: server error %s: %s", e.Code, e.Msg)
+}
+
+// Config parameterizes a Client. Addr is required; everything else has
+// serving defaults.
+type Config struct {
+	// Addr is the server's ingest address.
+	Addr string
+	// DialTimeout bounds each dial and each write; 0 selects 5s.
+	DialTimeout time.Duration
+	// RetryBudget is the longest the client keeps retrying without
+	// progress (a successful reconnect or a pruned ack) before an
+	// operation fails with ErrBudget; 0 selects 30s.
+	RetryBudget time.Duration
+	// BackoffMin is the first reconnect delay; 0 selects 50ms.
+	BackoffMin time.Duration
+	// BackoffMax caps the exponential reconnect delay; 0 selects 2s.
+	BackoffMax time.Duration
+	// Seed drives the backoff jitter; the zero seed is valid.
+	Seed uint64
+	// Window is the replay window depth in batches; a full window
+	// blocks Send until an ack frees a slot. 0 selects 256.
+	Window int
+	// PingEvery sends a ping barrier after this many batches, keeping
+	// acks (and durable marks) flowing; 0 selects 16.
+	PingEvery int
+	// Ack selects the window-release mode (AckApplied or AckDurable).
+	Ack AckMode
+	// OnEvent, when set, receives subscribed stream events.
+	OnEvent func(key uint64, ev *dpd.Event)
+	// Logf receives reconnect/backoff log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts what the client has done; read it via Client.Stats.
+type Stats struct {
+	// Dials counts connection attempts that reached the handshake.
+	Dials uint64
+	// Reconnects counts recoveries after an established connection
+	// failed.
+	Reconnects uint64
+	// ReplayedBatches counts batches re-sent (fully or as a suffix)
+	// during cursor resyncs.
+	ReplayedBatches uint64
+	// ReplayedSamples counts samples re-sent during cursor resyncs.
+	ReplayedSamples uint64
+	// OverloadBackoffs counts retry-after hints honored.
+	OverloadBackoffs uint64
+	// ProtocolErrors counts malformed or error frames that forced a
+	// reconnect.
+	ProtocolErrors uint64
+	// SentBatches counts first-send batches (replays excluded).
+	SentBatches uint64
+	// SentSamples counts first-send samples (replays excluded).
+	SentSamples uint64
+}
+
+// flushThreshold is the staged-write size that forces a flush to the
+// socket mid-stream.
+const flushThreshold = 48 << 10
+
+// Client is one resilient ingest connection. Construct with Dial.
+type Client struct {
+	cfg Config
+
+	nc net.Conn
+	br *bufio.Reader
+
+	enc  server.Enc
+	wbuf []byte // staged frames awaiting flush
+	rbuf []byte // reused frame-read buffer
+	sf   server.ServerFrame
+
+	win  *window
+	sent map[uint64]uint64 // per-key cumulative samples handed to Send
+
+	seq        uint64 // newest batch sequence number
+	lastPing   uint64 // newest ping token sent
+	ackedPong  uint64 // newest pong token received, plus one (0 = never)
+	sincePing  int    // batches since the last ping
+	cursorsGot int    // cursor entries received in the current resync
+
+	cursors  map[uint64]uint64 // resync scratch: key → applied samples
+	keysBuf  []uint64          // resync scratch: distinct windowed keys
+	seen     map[uint64]struct{}
+	subOn    bool // re-subscribe after reconnect
+	subKeys  []uint64
+	attempts int
+	rng      uint64
+	lastErr  error
+
+	progressAt time.Time
+	closed     bool
+
+	stats Stats
+}
+
+// Dial connects to cfg.Addr, retrying within the budget, and returns a
+// ready client.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("client: Config.Addr is required")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 30 * time.Second
+	}
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.PingEvery <= 0 {
+		cfg.PingEvery = 16
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Client{
+		cfg:        cfg,
+		win:        newWindow(cfg.Window),
+		sent:       make(map[uint64]uint64),
+		cursors:    make(map[uint64]uint64),
+		seen:       make(map[uint64]struct{}),
+		rng:        cfg.Seed,
+		progressAt: time.Now(),
+	}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats returns a copy of the client's counters.
+func (c *Client) Stats() Stats { return c.stats }
+
+// Close flushes, sends the graceful terminator and closes the socket.
+// Batches still in the window are NOT waited for; call Barrier first
+// when the run's accounting matters.
+func (c *Client) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.nc == nil {
+		return nil
+	}
+	c.flush()
+	c.nc.SetWriteDeadline(time.Now().Add(c.cfg.DialTimeout))
+	wire.WriteFrame(c.nc, nil)
+	return c.nc.Close()
+}
+
+// SendEvents sends one event batch for key, blocking while the replay
+// window is full. Connection failures are recovered internally
+// (reconnect, cursor resync, replay); the returned error is only ever
+// budget exhaustion or a closed client.
+func (c *Client) SendEvents(key uint64, values []int64) error {
+	return c.send(key, values, nil)
+}
+
+// SendMagnitudes sends one magnitude batch for key under the same
+// contract as SendEvents.
+func (c *Client) SendMagnitudes(key uint64, values []float64) error {
+	return c.send(key, nil, values)
+}
+
+// send is the shared batch path: reserve a window slot (draining acks
+// when full), record the batch, stage the frame, ping on cadence.
+func (c *Client) send(key uint64, evs []int64, mags []float64) error {
+	if c.closed {
+		return ErrClosed
+	}
+	for c.win.full() {
+		if err := c.waitAck(); err != nil {
+			return err
+		}
+	}
+	c.seq++
+	start := c.sent[key]
+	n := len(evs) + len(mags)
+	c.win.push(c.seq, key, start, evs, mags)
+	c.sent[key] = start + uint64(n)
+	if mags != nil {
+		c.wbuf = c.enc.AppendMagnitudeBatch(c.wbuf, key, mags)
+	} else {
+		c.wbuf = c.enc.AppendEventBatch(c.wbuf, key, evs)
+	}
+	c.stats.SentBatches++
+	c.stats.SentSamples += uint64(n)
+	c.sincePing++
+	if c.sincePing >= c.cfg.PingEvery {
+		if err := c.ping(); err != nil {
+			return c.recover(err)
+		}
+	} else if len(c.wbuf) >= flushThreshold {
+		if err := c.flush(); err != nil {
+			return c.recover(err)
+		}
+	}
+	return nil
+}
+
+// Subscribe opts into event write-back for keys (none = all streams);
+// the subscription survives reconnects. Events are delivered to
+// Config.OnEvent whenever the client reads the connection (ack waits,
+// barriers).
+func (c *Client) Subscribe(keys ...uint64) error {
+	if c.closed {
+		return ErrClosed
+	}
+	c.subOn = true
+	c.subKeys = append(c.subKeys[:0], keys...)
+	c.wbuf = c.enc.AppendSubscribe(c.wbuf, c.subKeys)
+	if err := c.flush(); err != nil {
+		return c.recover(err)
+	}
+	return nil
+}
+
+// Flush pushes any staged frames to the socket now (Send batches
+// writes up to a threshold or ping cadence). Connection failures are
+// recovered like Send's.
+func (c *Client) Flush() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if err := c.flush(); err != nil {
+		return c.recover(err)
+	}
+	return nil
+}
+
+// Barrier blocks until every batch sent so far is acknowledged as
+// applied by the server (a pong covering the newest batch), recovering
+// from connection failures along the way. In AckDurable mode the window
+// may still hold applied-but-not-yet-durable batches afterwards.
+func (c *Client) Barrier() error {
+	if c.closed {
+		return ErrClosed
+	}
+	for c.ackedPong <= c.seq {
+		var err error
+		if c.lastPing < c.seq {
+			err = c.ping()
+		} else {
+			err = c.readProcess()
+		}
+		if err != nil {
+			if err = c.recover(err); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// waitAck makes one blocking attempt to free window space: ensure the
+// newest batch is behind a ping barrier (acks only cover pinged
+// prefixes), then read and process one server frame.
+func (c *Client) waitAck() error {
+	var err error
+	if c.lastPing < c.seq {
+		err = c.ping()
+	} else {
+		err = c.readProcess()
+	}
+	if err != nil {
+		return c.recover(err)
+	}
+	return nil
+}
+
+// ping stages a barrier for everything sent so far and flushes.
+func (c *Client) ping() error {
+	c.lastPing = c.seq
+	c.sincePing = 0
+	c.wbuf = c.enc.AppendPing(c.wbuf, c.seq)
+	return c.flush()
+}
+
+// flush writes the staged frames under a write deadline.
+func (c *Client) flush() error {
+	if len(c.wbuf) == 0 {
+		return nil
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.cfg.DialTimeout))
+	_, err := c.nc.Write(c.wbuf)
+	c.wbuf = c.wbuf[:0]
+	return err
+}
+
+// readProcess flushes anything staged, then reads and processes one
+// server frame under the budget deadline.
+func (c *Client) readProcess() error {
+	if err := c.flush(); err != nil {
+		return err
+	}
+	c.nc.SetReadDeadline(time.Now().Add(c.cfg.RetryBudget))
+	payload, err := wire.ReadFrame(c.br, server.MaxFrame, c.rbuf)
+	if err != nil {
+		return err
+	}
+	if payload == nil {
+		return &server.ProtoError{Code: server.CodeBadFrame, Msg: "server sent a terminator frame"}
+	}
+	c.rbuf = payload[:cap(payload)]
+	return c.process(payload)
+}
+
+// process dispatches one decoded server frame. It never panics on
+// hostile input: malformed frames come back as *server.ProtoError,
+// error frames as *ServerError, and everything else mutates only the
+// client's ack state.
+func (c *Client) process(payload []byte) error {
+	if err := server.DecodeServerFrame(payload, &c.sf); err != nil {
+		return err
+	}
+	switch c.sf.Kind {
+	case server.KindPong:
+		if c.sf.Token+1 > c.ackedPong {
+			c.ackedPong = c.sf.Token + 1
+		}
+		if c.cfg.Ack == AckApplied {
+			c.prune(c.sf.Token)
+		}
+	case server.KindDurable:
+		// Durable implies applied; prune in both modes.
+		c.prune(c.sf.Token)
+	case server.KindEvent:
+		if c.cfg.OnEvent != nil {
+			ev := c.sf.Event
+			c.cfg.OnEvent(c.sf.Key, &ev)
+		}
+	case server.KindCursorsReply:
+		for _, cur := range c.sf.Cursors {
+			c.cursors[cur.Key] = cur.Samples
+		}
+		c.cursorsGot += len(c.sf.Cursors)
+	case server.KindError:
+		return &ServerError{Code: c.sf.Code, RetryAfterMs: c.sf.RetryAfterMs, Msg: c.sf.Msg}
+	}
+	return nil
+}
+
+// prune releases the acknowledged window prefix and counts it as
+// budget progress.
+func (c *Client) prune(token uint64) {
+	if c.win.pruneTo(token) > 0 {
+		c.progressAt = time.Now()
+	}
+}
+
+// recover classifies a connection failure and reconnects with resync
+// and replay. It returns nil once a connection is reestablished, or the
+// budget error once retries are exhausted.
+func (c *Client) recover(err error) error {
+	c.stats.Reconnects++
+	c.classify(err)
+	return c.connect()
+}
+
+// classify updates failure stats and honors retry-after hints.
+func (c *Client) classify(err error) {
+	c.lastErr = err
+	var se *ServerError
+	var pe *server.ProtoError
+	switch {
+	case errors.As(err, &se):
+		if se.Code == server.CodeOverloaded {
+			c.stats.OverloadBackoffs++
+			c.sleep(time.Duration(se.RetryAfterMs) * time.Millisecond)
+		} else {
+			c.stats.ProtocolErrors++
+		}
+	case errors.As(err, &pe):
+		c.stats.ProtocolErrors++
+	}
+}
+
+// connect dials until the handshake (preamble, cursor resync, replay,
+// re-subscribe, liveness barrier) succeeds or the budget runs out.
+func (c *Client) connect() error {
+	for {
+		if c.nc != nil {
+			c.nc.Close()
+			c.nc = nil
+		}
+		if time.Since(c.progressAt) > c.cfg.RetryBudget {
+			if c.lastErr != nil {
+				return fmt.Errorf("%w after %v (last error: %v)", ErrBudget, c.cfg.RetryBudget, c.lastErr)
+			}
+			return fmt.Errorf("%w after %v", ErrBudget, c.cfg.RetryBudget)
+		}
+		if c.attempts > 0 {
+			c.sleep(c.backoff())
+		}
+		c.attempts++
+		if err := c.tryConnect(); err != nil {
+			c.cfg.Logf("client: connect attempt %d: %v", c.attempts, err)
+			c.classify(err)
+			continue
+		}
+		c.attempts = 0
+		c.progressAt = time.Now()
+		return nil
+	}
+}
+
+// tryConnect performs one full connection attempt.
+func (c *Client) tryConnect() error {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	c.nc = nc
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(nc, 64<<10)
+	} else {
+		c.br.Reset(nc)
+	}
+	c.stats.Dials++
+	c.wbuf = server.AppendPreamble(c.wbuf[:0])
+	if !c.win.empty() {
+		if err := c.resync(); err != nil {
+			nc.Close()
+			return err
+		}
+	}
+	if c.subOn {
+		c.wbuf = c.enc.AppendSubscribe(c.wbuf, c.subKeys)
+	}
+	// Liveness barrier: forces an admission rejection to surface here
+	// (as a typed overload error) and re-arms the server's durable
+	// marks, which only cover acknowledged pings.
+	if err := c.ping(); err != nil {
+		nc.Close()
+		return err
+	}
+	for c.ackedPong <= c.lastPing {
+		if err := c.readProcess(); err != nil {
+			nc.Close()
+			return err
+		}
+	}
+	return nil
+}
+
+// resync runs the cursors exchange and replays the window suffix the
+// server has not applied.
+func (c *Client) resync() error {
+	c.keysBuf = c.win.keys(c.keysBuf[:0], c.seen)
+	for k := range c.cursors {
+		delete(c.cursors, k)
+	}
+	c.cursorsGot = 0
+	for at := 0; at < len(c.keysBuf); at += server.MaxCursorKeys {
+		end := at + server.MaxCursorKeys
+		if end > len(c.keysBuf) {
+			end = len(c.keysBuf)
+		}
+		c.wbuf = c.enc.AppendCursors(c.wbuf, c.keysBuf[at:end])
+	}
+	if err := c.flush(); err != nil {
+		return err
+	}
+	for c.cursorsGot < len(c.keysBuf) {
+		if err := c.readProcess(); err != nil {
+			return err
+		}
+	}
+	// Replay exactly what the server is missing, oldest first. An entry
+	// straddling the server's cursor is re-sent from the cursor on.
+	var ferr error
+	c.win.each(func(e *entry) {
+		if ferr != nil {
+			return
+		}
+		applied := c.cursors[e.key]
+		n := uint64(len(e.evs) + len(e.mags))
+		if e.start+n <= applied {
+			return // server already has all of it
+		}
+		from := uint64(0)
+		if applied > e.start {
+			from = applied - e.start
+		}
+		if e.isMag {
+			c.wbuf = c.enc.AppendMagnitudeBatch(c.wbuf, e.key, e.mags[from:])
+		} else {
+			c.wbuf = c.enc.AppendEventBatch(c.wbuf, e.key, e.evs[from:])
+		}
+		c.stats.ReplayedBatches++
+		c.stats.ReplayedSamples += n - from
+		if len(c.wbuf) >= flushThreshold {
+			ferr = c.flush()
+		}
+	})
+	return ferr
+}
+
+// backoff computes the next exponential delay with seeded jitter in
+// [0.5, 1.5).
+func (c *Client) backoff() time.Duration {
+	d := c.cfg.BackoffMin
+	for i := 1; i < c.attempts && d < c.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	jitter := 0.5 + float64(c.next()>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleep pauses for d, capped at the remaining budget.
+func (c *Client) sleep(d time.Duration) {
+	if rem := c.cfg.RetryBudget - time.Since(c.progressAt); d > rem {
+		d = rem
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// next advances the client's splitmix64 jitter stream.
+func (c *Client) next() uint64 {
+	c.rng += 0x9E3779B97F4A7C15
+	x := c.rng
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

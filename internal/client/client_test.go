@@ -1,0 +1,263 @@
+package client
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/faults"
+	"dpd/internal/server"
+)
+
+// startServer boots an in-process dpdserver on loopback.
+func startServer(t testing.TB, cfg server.Config) *server.Server {
+	t.Helper()
+	if cfg.IngestAddr == "" {
+		cfg.IngestAddr = "127.0.0.1:0"
+	}
+	if cfg.HTTPAddr == "" {
+		cfg.HTTPAddr = "127.0.0.1:0"
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Pool.NewDetector == nil && cfg.Pool.Detector.Window == 0 {
+		cfg.Pool = dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}}
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = time.Hour
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return s
+}
+
+// streamSamples reads one stream's applied sample count through the
+// query plane — the server's own public accounting, not the pool API.
+func streamSamples(t *testing.T, s *server.Server, key uint64) uint64 {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/streams/%d", s.HTTPAddr(), key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /streams/%d = %d", key, resp.StatusCode)
+	}
+	var body struct {
+		Samples uint64 `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Samples
+}
+
+// TestExactlyOnceThroughFlakyProxy drives a full workload through a
+// proxy that cuts, stalls, and corrupts the first six connections at
+// seeded offsets — mid-frame cuts included. The client must reconnect
+// through every fault and the server must end with exactly the expected
+// per-stream sample counts: replays deduplicated by cursor resync,
+// lost batches resent, nothing double-applied.
+func TestExactlyOnceThroughFlakyProxy(t *testing.T) {
+	const (
+		cuts    = 6
+		span    = 4096
+		streams = 16
+		keyBase = 1000
+		samples = 2048
+		batch   = 64
+	)
+	s := startServer(t, server.Config{})
+	defer s.Abort()
+	proxy, err := faults.NewProxy("127.0.0.1:0", s.Addr(), func(i int) faults.ConnPlan {
+		return faults.ChaosPlan(42, i, cuts, span)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c, err := Dial(Config{
+		Addr:        proxy.Addr(),
+		Window:      64,
+		PingEvery:   8,
+		RetryBudget: 30 * time.Second,
+		BackoffMin:  2 * time.Millisecond,
+		BackoffMax:  20 * time.Millisecond,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]int64, batch)
+	for t0 := 0; t0 < samples; t0 += batch {
+		for k := 0; k < streams; k++ {
+			for i := range vals {
+				vals[i] = int64((t0 + i) % 8)
+			}
+			if err := c.SendEvents(keyBase+uint64(k), vals); err != nil {
+				t.Fatalf("send at t=%d key=%d: %v", t0, k, err)
+			}
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatalf("barrier: %v", err)
+	}
+	st := c.Stats()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The total payload (~37KB) exceeds the sum of every scripted cut
+	// offset (≤ 6×4096B), so all six faulty connections must have been
+	// severed before the workload could finish — at least six forced
+	// disconnects survived.
+	if proxy.Conns() < cuts+1 {
+		t.Fatalf("proxy saw %d connections, want > %d (every faulty conn consumed)", proxy.Conns(), cuts)
+	}
+	if st.Dials < cuts || st.Reconnects < 1 {
+		t.Fatalf("stats %+v: want >= %d dials and >= 1 reconnect", st, cuts)
+	}
+	t.Logf("chaos run: %d dials, %d reconnects, %d batches / %d samples replayed, %d protocol errors",
+		st.Dials, st.Reconnects, st.ReplayedBatches, st.ReplayedSamples, st.ProtocolErrors)
+
+	for k := 0; k < streams; k++ {
+		if got := streamSamples(t, s, keyBase+uint64(k)); got != samples {
+			t.Errorf("stream %d: %d samples, want exactly %d", keyBase+k, got, samples)
+		}
+	}
+	if st.SentSamples != streams*samples {
+		t.Fatalf("client counted %d first-send samples, want %d", st.SentSamples, streams*samples)
+	}
+}
+
+// TestOverloadRetryAfter: a client refused at admission honors the
+// server's retry-after hint and gets in once the slot frees.
+func TestOverloadRetryAfter(t *testing.T) {
+	s := startServer(t, server.Config{
+		MaxConns:   1,
+		RetryAfter: 50 * time.Millisecond,
+	})
+	defer s.Abort()
+
+	c1, err := Dial(Config{Addr: s.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		c   *Client
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		c2, err := Dial(Config{
+			Addr:        s.Addr(),
+			RetryBudget: 15 * time.Second,
+			BackoffMin:  2 * time.Millisecond,
+		})
+		ch <- result{c2, err}
+	}()
+
+	// Hold the slot long enough that the second client is rejected at
+	// least once, then release it.
+	time.Sleep(300 * time.Millisecond)
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("second client never admitted: %v", r.err)
+	}
+	defer r.c.Close()
+	if st := r.c.Stats(); st.OverloadBackoffs == 0 {
+		t.Fatalf("stats %+v: the rejection's retry-after hint was never honored", st)
+	}
+	if err := r.c.SendEvents(1, []int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := streamSamples(t, s, 1); got != 3 {
+		t.Fatalf("stream 1 has %d samples, want 3", got)
+	}
+}
+
+// TestDurableAckWaitsForCheckpoint: in AckDurable mode the window only
+// drains on durable marks, so a barriered workload against a
+// checkpointing server both completes and ends with an empty window
+// after the next checkpoint lands.
+func TestDurableAckWaitsForCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := startServer(t, server.Config{
+		CheckpointDir:   dir,
+		CheckpointEvery: 25 * time.Millisecond,
+	})
+	defer s.Abort()
+	c, err := Dial(Config{Addr: s.Addr(), Ack: AckDurable, Window: 8, PingEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	vals := []int64{1, 2, 3, 4}
+	for i := 0; i < 64; i++ { // 8× the window: forces durable-gated turnover
+		if err := c.SendEvents(uint64(i%4), vals); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 4; k++ {
+		if got := streamSamples(t, s, k); got != 64 {
+			t.Fatalf("stream %d: %d samples, want 64", k, got)
+		}
+	}
+}
+
+// BenchmarkClientSend measures the steady-state send path against a
+// live loopback server: stage, window-copy, periodic ping, ack drain.
+// The interesting number is allocs/op, which must be zero.
+func BenchmarkClientSend(b *testing.B) {
+	s := startServer(b, server.Config{})
+	defer s.Abort()
+	c, err := Dial(Config{Addr: s.Addr(), Window: 1024, PingEvery: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	vals := make([]int64, 64)
+	for i := range vals {
+		vals[i] = int64(i % 8)
+	}
+	// Warm up: grow the staging buffer, window slots, and read buffer to
+	// steady-state sizes before measuring.
+	for i := 0; i < 4096; i++ {
+		if err := c.SendEvents(5, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(vals)) * 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SendEvents(5, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := c.Barrier(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"dpd"
+	"dpd/internal/server"
+)
+
+// newFuzzClient builds a client with live ack state but no socket:
+// process touches only decode and window bookkeeping, which is exactly
+// the surface a hostile or corrupted server frame reaches.
+func newFuzzClient() *Client {
+	c := &Client{
+		cfg: Config{
+			Ack:     AckDurable,
+			OnEvent: func(key uint64, ev *dpd.Event) {},
+		},
+		win:     newWindow(8),
+		sent:    make(map[uint64]uint64),
+		cursors: make(map[uint64]uint64),
+		seen:    make(map[uint64]struct{}),
+	}
+	// Seed in-flight batches so prune paths run on pong/durable tokens.
+	c.win.push(1, 5, 0, []int64{1, 2, 3}, nil)
+	c.win.push(2, 5, 3, nil, []float64{4.5})
+	c.win.push(3, 9, 0, []int64{7}, nil)
+	return c
+}
+
+// FuzzClientFrame throws arbitrary bytes at the client's server-frame
+// dispatch. The contract under fuzzing: never panic, and classify every
+// failure as a typed error — a *server.ProtoError for malformed frames
+// or a *ServerError for well-formed error frames. Anything else (or a
+// panic) is a client bug that would take down a production sender on a
+// corrupted reply stream.
+func FuzzClientFrame(f *testing.F) {
+	f.Add([]byte{server.KindPong, 0x2A})
+	f.Add([]byte{server.KindDurable, 0x07})
+	f.Add([]byte{server.KindError, 0x05, 0xDC, 0x0B, 's', 'h', 'e', 'd'})
+	f.Add([]byte{server.KindCursorsReply, 0x01, 0x05, 0x0A})
+	f.Add([]byte{server.KindCursorsReply, 0x02, 0x05, 0x0A, 0x09, 0x00})
+	f.Add([]byte{server.KindEvent, 0x05, 0x01, 0x02, 0x03})
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		c := newFuzzClient()
+		err := c.process(payload)
+		if err == nil {
+			return
+		}
+		var se *ServerError
+		var pe *server.ProtoError
+		if !errors.As(err, &se) && !errors.As(err, &pe) {
+			t.Fatalf("untyped error %T from client frame dispatch: %v", err, err)
+		}
+	})
+}

@@ -1,0 +1,99 @@
+package client
+
+// The replay window: a bounded ring of sent-but-unacknowledged batches.
+//
+// Every batch the client sends is copied into a ring slot before it
+// goes on the wire, stamped with a monotone sequence number and with
+// its stream's cumulative sample offset at send time. Ping barriers
+// carry the newest sequence number; the server's acknowledgements
+// (pongs in applied-ack mode, durable marks in durable-ack mode) prune
+// the ring prefix they cover. On reconnect the client asks the server
+// for each windowed stream's applied sample count (a cursors exchange)
+// and replays exactly the per-stream suffix the server has not seen:
+// entries wholly below the server's cursor are skipped, an entry
+// straddling it is re-sent from the cursor on. Replaying by cursor
+// instead of "everything unacked" is what turns at-least-once delivery
+// into exactly-once sample counts — an ack lost to the network never
+// causes a duplicate, because the server's own counts referee.
+//
+// Slot storage is recycled: a pruned entry keeps its backing arrays for
+// the next batch, so the steady-state send path allocates nothing.
+
+// entry is one in-flight batch.
+type entry struct {
+	seq   uint64 // monotone batch sequence; ping tokens quote these
+	key   uint64 // stream key
+	start uint64 // stream's cumulative sample count before this batch
+	isMag bool   // magnitude batch (mags) vs event batch (evs)
+	evs   []int64
+	mags  []float64
+}
+
+// window is the bounded in-flight ring. head is the oldest live entry,
+// count the number live; slots [head, head+count) mod len are in use.
+type window struct {
+	ring  []entry
+	head  int
+	count int
+}
+
+// newWindow sizes the ring.
+func newWindow(n int) *window {
+	return &window{ring: make([]entry, n)}
+}
+
+// full reports whether the ring has no free slot.
+func (w *window) full() bool { return w.count == len(w.ring) }
+
+// empty reports whether no batch is in flight.
+func (w *window) empty() bool { return w.count == 0 }
+
+// push records one sent batch, copying the samples into the slot's
+// recycled storage. The caller must check full() first.
+func (w *window) push(seq, key, start uint64, evs []int64, mags []float64) {
+	e := &w.ring[(w.head+w.count)%len(w.ring)]
+	e.seq, e.key, e.start = seq, key, start
+	e.isMag = mags != nil
+	e.evs = append(e.evs[:0], evs...)
+	e.mags = append(e.mags[:0], mags...)
+	w.count++
+}
+
+// pruneTo drops every entry with seq <= token (acknowledgements cover
+// the whole prefix: the server applies a connection's frames in order),
+// returning how many were dropped.
+func (w *window) pruneTo(token uint64) int {
+	dropped := 0
+	for w.count > 0 {
+		e := &w.ring[w.head]
+		if e.seq > token {
+			break
+		}
+		w.head = (w.head + 1) % len(w.ring)
+		w.count--
+		dropped++
+	}
+	return dropped
+}
+
+// each visits the live entries oldest-first.
+func (w *window) each(fn func(*entry)) {
+	for i := 0; i < w.count; i++ {
+		fn(&w.ring[(w.head+i)%len(w.ring)])
+	}
+}
+
+// keys appends the distinct stream keys of the live entries to dst
+// (reusing seen to dedupe) and returns the extended slice.
+func (w *window) keys(dst []uint64, seen map[uint64]struct{}) []uint64 {
+	for k := range seen {
+		delete(seen, k)
+	}
+	w.each(func(e *entry) {
+		if _, ok := seen[e.key]; !ok {
+			seen[e.key] = struct{}{}
+			dst = append(dst, e.key)
+		}
+	})
+	return dst
+}

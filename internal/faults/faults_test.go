@@ -1,0 +1,324 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeSeq runs a fixed durability-shaped operation sequence (create,
+// two writes, sync, close, rename, dir-sync) against fs, returning the
+// first error.
+func writeSeq(fs FS, dir string, payload []byte) error {
+	tmp := filepath.Join(dir, "f.tmp")
+	final := filepath.Join(dir, "f")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(payload[:len(payload)/2]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload[len(payload)/2:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		return err
+	}
+	return fs.SyncDir(dir)
+}
+
+// TestInjectorCrashMatrix: the same sequence crashed at every step
+// leaves exactly the prefix of effects on disk — and the step count of
+// a dry run sizes the matrix.
+func TestInjectorCrashMatrix(t *testing.T) {
+	payload := bytes.Repeat([]byte("abcdefgh"), 64)
+
+	dry := NewInjector(OS{}, NeverPlan())
+	if err := writeSeq(dry, t.TempDir(), payload); err != nil {
+		t.Fatal(err)
+	}
+	steps := dry.Steps()
+	if steps != 7 { // create, write, write, sync, close, rename, syncdir
+		t.Fatalf("dry run counted %d steps, want 7", steps)
+	}
+
+	for crash := 0; crash < steps; crash++ {
+		dir := t.TempDir()
+		in := NewInjector(OS{}, Plan{Seed: 42, CrashAt: crash, FailAt: -1, HangAt: -1})
+		err := writeSeq(in, dir, payload)
+		if !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash=%d: err = %v, want ErrCrashed", crash, err)
+		}
+		if !in.Crashed() {
+			t.Fatalf("crash=%d: injector not crashed", crash)
+		}
+		// After the crash every operation fails without effect.
+		if _, err := in.Create(filepath.Join(dir, "later")); !errors.Is(err, ErrCrashed) {
+			t.Fatalf("crash=%d: post-crash create = %v", crash, err)
+		}
+		final, tmp := filepath.Join(dir, "f"), filepath.Join(dir, "f.tmp")
+		switch {
+		case crash <= 4: // died before rename: no final file, tmp possibly torn
+			if _, err := os.Stat(final); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("crash=%d: final file exists", crash)
+			}
+			if data, err := os.ReadFile(tmp); err == nil {
+				if !bytes.HasPrefix(payload, data) {
+					t.Fatalf("crash=%d: tmp is not a prefix of the payload (%d bytes)", crash, len(data))
+				}
+				if crash >= 3 && len(data) != len(payload) {
+					t.Fatalf("crash=%d: writes completed but tmp has %d/%d bytes", crash, len(data), len(payload))
+				}
+			} else if crash > 0 {
+				t.Fatalf("crash=%d: tmp missing after create step", crash)
+			}
+		case crash == 5: // died at rename: tmp intact, final absent
+			if data, err := os.ReadFile(tmp); err != nil || !bytes.Equal(data, payload) {
+				t.Fatalf("crash=%d: tmp = %d bytes, err %v", crash, len(data), err)
+			}
+		default: // died at dir-sync: rename already applied
+			if data, err := os.ReadFile(final); err != nil || !bytes.Equal(data, payload) {
+				t.Fatalf("crash=%d: final = %d bytes, err %v", crash, len(data), err)
+			}
+		}
+	}
+}
+
+// TestInjectorCrashDeterminism: the same seed tears the same write at
+// the same length twice.
+func TestInjectorCrashDeterminism(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 1024)
+	read := func(seed uint64) int {
+		dir := t.TempDir()
+		in := NewInjector(OS{}, Plan{Seed: seed, CrashAt: 1, FailAt: -1, HangAt: -1})
+		writeSeq(in, dir, payload)
+		data, _ := os.ReadFile(filepath.Join(dir, "f.tmp"))
+		return len(data)
+	}
+	a, b := read(7), read(7)
+	if a != b {
+		t.Fatalf("same seed produced torn lengths %d and %d", a, b)
+	}
+	if c := read(8); c == a {
+		t.Logf("different seeds coincided (%d); legal but suspicious", c)
+	}
+}
+
+// TestInjectorTransientFail: a FailAt step returns the injected error
+// (ENOSPC shape, short write) and the sequence can be retried clean.
+func TestInjectorTransientFail(t *testing.T) {
+	payload := bytes.Repeat([]byte("y"), 256)
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Plan{CrashAt: -1, FailAt: 1, HangAt: -1})
+	err := writeSeq(in, dir, payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	// The injector is not crashed: a retry (fresh steps past FailAt)
+	// succeeds.
+	if err := writeSeq(in, dir, payload); err != nil {
+		t.Fatalf("retry after transient failure: %v", err)
+	}
+	if data, _ := os.ReadFile(filepath.Join(dir, "f")); !bytes.Equal(data, payload) {
+		t.Fatal("retry did not produce the full file")
+	}
+}
+
+// TestInjectorHang: a HangAt step blocks until Release.
+func TestInjectorHang(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(OS{}, Plan{CrashAt: -1, FailAt: -1, HangAt: 3})
+	done := make(chan error, 1)
+	go func() { done <- writeSeq(in, dir, []byte("hello world!")) }()
+	select {
+	case err := <-done:
+		t.Fatalf("sequence finished during hang: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	in.Release()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sequence still blocked after Release")
+	}
+}
+
+// echoServer accepts one upstream connection at a time and echoes it.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+// TestProxyCutAndCorrupt: the proxy forwards exactly CutAfter bytes
+// then severs, and CorruptAt flips exactly one scripted byte.
+func TestProxyCutAndCorrupt(t *testing.T) {
+	up := echoServer(t)
+	plans := []ConnPlan{
+		{CutAfter: 10, CorruptAt: -1, StallAt: -1},
+		{CorruptAt: 3, StallAt: -1},
+		{CorruptAt: -1, StallAt: -1},
+	}
+	p, err := NewProxy("127.0.0.1:0", up.Addr().String(), func(i int) ConnPlan {
+		if i < len(plans) {
+			return plans[i]
+		}
+		return ConnPlan{CorruptAt: -1, StallAt: -1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// Conn 0: cut after 10 bytes — at most 10 echo back, then failure.
+	c0 := dial()
+	c0.Write(bytes.Repeat([]byte("A"), 64))
+	c0.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(c0)
+	if len(got) > 10 {
+		t.Fatalf("cut connection echoed %d bytes, want <= 10", len(got))
+	}
+	c0.Close()
+
+	// Conn 1: byte 3 arrives flipped.
+	c1 := dial()
+	msg := []byte("hello!")
+	c1.Write(msg)
+	c1.(*net.TCPConn).CloseWrite()
+	c1.SetReadDeadline(time.Now().Add(5 * time.Second))
+	echo, err := io.ReadAll(c1)
+	if err != nil || len(echo) != len(msg) {
+		t.Fatalf("corrupt conn echo = %q, err %v", echo, err)
+	}
+	want := append([]byte{}, msg...)
+	want[3] ^= 0x80
+	if !bytes.Equal(echo, want) {
+		t.Fatalf("echo = %q, want %q", echo, want)
+	}
+	c1.Close()
+
+	// Conn 2: clean round trip.
+	c2 := dial()
+	c2.Write(msg)
+	c2.(*net.TCPConn).CloseWrite()
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	echo, err = io.ReadAll(c2)
+	if err != nil || !bytes.Equal(echo, msg) {
+		t.Fatalf("clean conn echo = %q, err %v", echo, err)
+	}
+	c2.Close()
+
+	if p.Conns() != 3 {
+		t.Fatalf("proxy accepted %d conns, want 3", p.Conns())
+	}
+}
+
+// TestProxyRetarget: SetUpstream moves new connections to a different
+// server while the proxy address stays stable.
+func TestProxyRetarget(t *testing.T) {
+	up1 := echoServer(t)
+	p, err := NewProxy("127.0.0.1:0", up1.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	roundTrip := func(msg []byte) []byte {
+		c, err := net.Dial("tcp", p.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Write(msg)
+		c.(*net.TCPConn).CloseWrite()
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		echo, _ := io.ReadAll(c)
+		return echo
+	}
+	if got := roundTrip([]byte("one")); !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("echo via up1 = %q", got)
+	}
+
+	// Retarget to a server that uppercases instead of echoing.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	go func() {
+		for {
+			c, err := ln2.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf, _ := io.ReadAll(c)
+				c.Write(bytes.ToUpper(buf))
+			}(c)
+		}
+	}()
+	p.SetUpstream(ln2.Addr().String())
+	if got := roundTrip([]byte("two")); !bytes.Equal(got, []byte("TWO")) {
+		t.Fatalf("echo via retargeted upstream = %q", got)
+	}
+}
+
+// TestChaosPlanDeterminism: the same seed and index yield the same
+// plan; clean indices yield no faults.
+func TestChaosPlanDeterminism(t *testing.T) {
+	a := ChaosPlan(99, 1, 5, 1<<20)
+	b := ChaosPlan(99, 1, 5, 1<<20)
+	if a != b {
+		t.Fatalf("plans differ: %+v vs %+v", a, b)
+	}
+	if a.CutAfter <= 0 {
+		t.Fatalf("faulted index has no cut: %+v", a)
+	}
+	clean := ChaosPlan(99, 7, 5, 1<<20)
+	if clean.CutAfter != 0 || clean.CorruptAt >= 0 || clean.StallAt >= 0 {
+		t.Fatalf("index past cuts should be clean: %+v", clean)
+	}
+}

@@ -1,0 +1,365 @@
+// Package faults is the repo's deterministic fault-injection layer: a
+// filesystem shim scripted by operation step index (so every crash
+// point in the durability path can be provoked on demand and
+// reproduced exactly), and a flaky-network layer (net.go) that injects
+// stalls, cuts, resets and corruption into live TCP streams.
+//
+// The discipline everywhere is determinism: faults fire at scripted
+// step indices, and anything stochastic (a torn write's length, a
+// corrupted byte's position) derives from a caller-supplied seed
+// through splitmix64 — the same plan against the same workload always
+// produces the same failure, which is what turns "we survived chaos
+// once" into a regression test.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every Injector operation at and after the
+// scripted crash step: the moment the simulated process died. State
+// mutated before the crash step stays on disk; the crash step itself
+// applies at most a torn prefix; nothing after it has any effect.
+var ErrCrashed = errors.New("faults: crashed at scripted step")
+
+// ErrInjected wraps transient scripted failures (FailAt) so tests can
+// distinguish an injected error from a real one.
+var ErrInjected = errors.New("faults: injected failure")
+
+// FS is the filesystem surface the server's durability path runs on.
+// Production code uses OS; fault tests substitute an Injector. Every
+// method mirrors its os counterpart.
+type FS interface {
+	// MkdirAll creates a directory tree like os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+	// Create creates or truncates a file for writing.
+	Create(path string) (File, error)
+	// Open opens a file for reading.
+	Open(path string) (File, error)
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(path string) ([]os.DirEntry, error)
+	// Rename atomically moves a file like os.Rename.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file like os.Remove.
+	Remove(path string) error
+	// SyncDir fsyncs a directory so a just-renamed file survives a
+	// crash; best effort like the server always treated it.
+	SyncDir(path string) error
+}
+
+// File is the open-file surface the durability path needs.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync fsyncs the file.
+	Sync() error
+	// Close closes the file.
+	Close() error
+}
+
+// OS is the passthrough FS over the real os package — the production
+// implementation.
+type OS struct{}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Create implements FS.
+func (OS) Create(path string) (File, error) { return os.Create(path) }
+
+// Open implements FS.
+func (OS) Open(path string) (File, error) { return os.Open(path) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(path string) ([]os.DirEntry, error) { return os.ReadDir(path) }
+
+// Rename implements FS.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OS) Remove(path string) error { return os.Remove(path) }
+
+// SyncDir implements FS.
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Plan scripts an Injector. Steps count every mutating operation in
+// order (MkdirAll, Create, each Write, each Sync, Rename, Remove,
+// SyncDir), starting at 0; reads never consume a step, so the crash
+// matrix enumerates exactly the write path.
+type Plan struct {
+	// Seed drives every derived random choice (torn-write length). The
+	// zero seed is valid and deterministic like any other.
+	Seed uint64
+	// CrashAt is the step index at which the simulated process dies:
+	// that operation applies at most a torn prefix (writes) or nothing
+	// (everything else), and every later operation returns ErrCrashed.
+	// Negative means never.
+	CrashAt int
+	// FailAt is the step index of a transient failure: the operation
+	// returns FailErr without applying (writes apply a short prefix
+	// first, the ENOSPC shape), and later operations proceed normally.
+	// Negative means never.
+	FailAt int
+	// FailErr is the error FailAt returns; nil selects ENOSPC.
+	FailErr error
+	// HangAt is the step index that blocks until Release is called on
+	// the Injector — the wedged-disk shape. Negative means never.
+	HangAt int
+}
+
+// NeverPlan returns a Plan with every fault disabled, for dry runs that
+// count the steps of an operation sequence.
+func NeverPlan() Plan { return Plan{CrashAt: -1, FailAt: -1, HangAt: -1} }
+
+// Injector is a scripted FS: it counts mutating operations and fires
+// the Plan's faults at their step indices. It is safe for concurrent
+// use; the step order of concurrent operations is whatever order they
+// serialize in, so deterministic tests should drive it from one
+// goroutine.
+type Injector struct {
+	inner FS
+	plan  Plan
+
+	mu      sync.Mutex
+	step    int
+	crashed bool
+	hang    chan struct{} // closed by Release
+	hung    bool
+}
+
+// NewInjector wraps inner (nil selects OS) with plan.
+func NewInjector(inner FS, plan Plan) *Injector {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Injector{inner: inner, plan: plan, hang: make(chan struct{})}
+}
+
+// Steps returns how many mutating operations have executed so far —
+// after a faultless dry run, the size of the crash matrix.
+func (in *Injector) Steps() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.step
+}
+
+// Crashed reports whether the scripted crash has fired.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// Release unblocks a HangAt operation (idempotent).
+func (in *Injector) Release() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if !in.hung {
+		in.hung = true
+		close(in.hang)
+	}
+}
+
+// stepFault advances the step counter and reports the fault, if any,
+// scripted for this step. It returns (step, crash, fail) where crash
+// means "die during this operation" and fail is a transient error.
+func (in *Injector) stepFault() (step int, crash bool, fail error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return -1, true, nil
+	}
+	step = in.step
+	in.step++
+	if step == in.plan.CrashAt {
+		in.crashed = true
+		crash = true
+	}
+	if step == in.plan.FailAt {
+		fail = in.plan.FailErr
+		if fail == nil {
+			fail = fmt.Errorf("%w: %v", ErrInjected, errNoSpace)
+		} else {
+			fail = fmt.Errorf("%w: %v", ErrInjected, fail)
+		}
+	}
+	hangs := step == in.plan.HangAt
+	in.mu.Unlock()
+	if hangs {
+		<-in.hang
+	}
+	return step, crash, fail
+}
+
+// errNoSpace is the default transient failure (the ENOSPC shape).
+var errNoSpace = errors.New("no space left on device")
+
+// tornLen derives the deterministic torn-prefix length for a crash
+// mid-write: somewhere in [0, n), seeded by the plan and step.
+func (in *Injector) tornLen(step, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(splitmix64(in.plan.Seed^uint64(step)) % uint64(n))
+}
+
+// splitmix64 is the repo's standard cheap mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// MkdirAll implements FS with step-indexed faults.
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	_, crash, fail := in.stepFault()
+	if crash {
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	return in.inner.MkdirAll(path, perm)
+}
+
+// Create implements FS with step-indexed faults.
+func (in *Injector) Create(path string) (File, error) {
+	_, crash, fail := in.stepFault()
+	if crash {
+		return nil, ErrCrashed
+	}
+	if fail != nil {
+		return nil, fail
+	}
+	f, err := in.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+// Open implements FS; reads are never faulted (the crash matrix is
+// about the write path) and consume no step.
+func (in *Injector) Open(path string) (File, error) {
+	if in.Crashed() {
+		return nil, ErrCrashed
+	}
+	return in.inner.Open(path)
+}
+
+// ReadDir implements FS; reads consume no step.
+func (in *Injector) ReadDir(path string) ([]os.DirEntry, error) {
+	if in.Crashed() {
+		return nil, ErrCrashed
+	}
+	return in.inner.ReadDir(path)
+}
+
+// Rename implements FS with step-indexed faults.
+func (in *Injector) Rename(oldpath, newpath string) error {
+	_, crash, fail := in.stepFault()
+	if crash {
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	return in.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS with step-indexed faults.
+func (in *Injector) Remove(path string) error {
+	_, crash, fail := in.stepFault()
+	if crash {
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	return in.inner.Remove(path)
+}
+
+// SyncDir implements FS with step-indexed faults.
+func (in *Injector) SyncDir(path string) error {
+	_, crash, fail := in.stepFault()
+	if crash {
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	return in.inner.SyncDir(path)
+}
+
+// injFile wraps a File so its writes, syncs and closes run through the
+// injector's step script.
+type injFile struct {
+	in *Injector
+	f  File
+}
+
+// Read passes through; reads are never faulted.
+func (w *injFile) Read(p []byte) (int, error) { return w.f.Read(p) }
+
+// Write applies step faults: a crash step writes a seeded torn prefix
+// then dies; a fail step writes a torn prefix and returns the transient
+// error (the short-write ENOSPC shape).
+func (w *injFile) Write(p []byte) (int, error) {
+	step, crash, fail := w.in.stepFault()
+	if crash {
+		if step >= 0 {
+			if n := w.in.tornLen(step, len(p)); n > 0 {
+				w.f.Write(p[:n])
+			}
+			w.f.Close()
+		}
+		return 0, ErrCrashed
+	}
+	if fail != nil {
+		n := w.in.tornLen(step, len(p))
+		if n > 0 {
+			w.f.Write(p[:n])
+		}
+		return n, fail
+	}
+	return w.f.Write(p)
+}
+
+// Sync applies step faults to fsync.
+func (w *injFile) Sync() error {
+	_, crash, fail := w.in.stepFault()
+	if crash {
+		w.f.Close()
+		return ErrCrashed
+	}
+	if fail != nil {
+		return fail
+	}
+	return w.f.Sync()
+}
+
+// Close applies step faults to close.
+func (w *injFile) Close() error {
+	_, crash, fail := w.in.stepFault()
+	if crash {
+		w.f.Close()
+		return ErrCrashed
+	}
+	if fail != nil {
+		w.f.Close()
+		return fail
+	}
+	return w.f.Close()
+}

@@ -1,0 +1,248 @@
+package faults
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ConnPlan scripts the faults of one proxied connection. Offsets count
+// bytes forwarded in the client→server direction (the ingest plane's
+// hot direction); every fault is positional, so the same plan against
+// the same byte stream reproduces the same failure — including a
+// mid-frame cut, because frames sit at fixed offsets in the stream.
+type ConnPlan struct {
+	// CutAfter kills the connection (both directions, RST-style) once
+	// this many client→server bytes have been forwarded; the cut lands
+	// wherever it lands, including mid-frame. 0 disables.
+	CutAfter int64
+	// CorruptAt XORs 0x80 into the client→server byte at this stream
+	// offset — reorder-free corruption: bytes keep their positions,
+	// exactly one bit pattern changes. Negative disables.
+	CorruptAt int64
+	// StallAt pauses forwarding for Stall once this stream offset is
+	// reached, simulating a network stall without data loss. Negative
+	// disables.
+	StallAt int64
+	// Stall is the stall duration for StallAt.
+	Stall time.Duration
+	// CutReplyAfter kills the connection once this many server→client
+	// bytes have been forwarded — the lost-ack shape: the server applied
+	// everything, the client never heard. 0 disables.
+	CutReplyAfter int64
+}
+
+// ChaosPlan derives a deterministic per-connection plan from a seed and
+// the connection index: early connections get cuts at seeded offsets
+// (some with a stall or a corrupted byte first), so a client driven
+// through the proxy sees a different, reproducible failure on every
+// reconnect. Connections at index >= cuts run clean, letting the
+// workload finish.
+func ChaosPlan(seed uint64, index, cuts int, span int64) ConnPlan {
+	p := ConnPlan{CorruptAt: -1, StallAt: -1}
+	if index >= cuts || span <= 0 {
+		return p
+	}
+	r := splitmix64(seed + uint64(index)*0x9E3779B97F4A7C15)
+	p.CutAfter = 1 + int64(r%uint64(span))
+	switch index % 3 {
+	case 1: // corrupt a byte before the cut lands
+		p.CorruptAt = int64(splitmix64(r) % uint64(p.CutAfter))
+	case 2: // stall briefly mid-stream before the cut
+		p.StallAt = int64(splitmix64(r+1) % uint64(p.CutAfter))
+		p.Stall = 10 * time.Millisecond
+	}
+	return p
+}
+
+// Proxy is an in-process flaky TCP proxy: it accepts connections,
+// forwards them to an upstream address, and injects each ConnPlan's
+// faults into the forwarded streams. The upstream is retargetable, so
+// a test can keep a stable client-facing address across a server
+// restart — the proxy plays the VIP.
+type Proxy struct {
+	ln       net.Listener
+	upstream atomic.Value // string
+	plan     func(index int) ConnPlan
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+	index  int
+}
+
+// NewProxy listens on addr (use "127.0.0.1:0") and forwards to
+// upstream. plan maps the i-th accepted connection (0-based) to its
+// fault script; nil runs every connection clean.
+func NewProxy(addr, upstream string, plan func(index int) ConnPlan) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if plan == nil {
+		plan = func(int) ConnPlan { return ConnPlan{CorruptAt: -1, StallAt: -1} }
+	}
+	p := &Proxy{ln: ln, plan: plan, conns: make(map[net.Conn]struct{})}
+	p.upstream.Store(upstream)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's client-facing address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetUpstream retargets future connections — the restarted-server
+// scenario: the client keeps dialing the proxy, the proxy follows the
+// server to its new address.
+func (p *Proxy) SetUpstream(addr string) { p.upstream.Store(addr) }
+
+// Conns returns how many connections the proxy has accepted.
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.index
+}
+
+// Close stops the proxy and severs every live connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// acceptLoop admits and forwards connections until Close.
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			cc.Close()
+			return
+		}
+		idx := p.index
+		p.index++
+		p.conns[cc] = struct{}{}
+		p.mu.Unlock()
+
+		p.wg.Add(1)
+		go p.forward(cc, idx)
+	}
+}
+
+// forget drops a finished connection from the teardown set.
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// forward runs one proxied connection to completion under its plan.
+func (p *Proxy) forward(cc net.Conn, idx int) {
+	defer p.wg.Done()
+	defer p.forget(cc)
+	defer cc.Close()
+
+	plan := p.plan(idx)
+	sc, err := net.Dial("tcp", p.upstream.Load().(string))
+	if err != nil {
+		// Upstream down (mid-restart): drop the client like a dead
+		// network would.
+		return
+	}
+	defer sc.Close()
+
+	// cut severs both directions at once; RST-style where possible so
+	// the peer sees a hard failure, not a graceful FIN.
+	var cutOnce sync.Once
+	cut := func() {
+		cutOnce.Do(func() {
+			for _, c := range []net.Conn{cc, sc} {
+				if tc, ok := c.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				c.Close()
+			}
+		})
+	}
+
+	var dirWG sync.WaitGroup
+	dirWG.Add(2)
+	go func() { // client → server: the scripted direction
+		defer dirWG.Done()
+		pump(cc, sc, pumpPlan{cutAfter: plan.CutAfter, corruptAt: plan.CorruptAt, stallAt: plan.StallAt, stall: plan.Stall}, cut)
+	}()
+	go func() { // server → client: replies; only the lost-ack cut applies
+		defer dirWG.Done()
+		pump(sc, cc, pumpPlan{cutAfter: plan.CutReplyAfter, corruptAt: -1, stallAt: -1}, cut)
+	}()
+	dirWG.Wait()
+}
+
+// pumpPlan is one direction's slice of a ConnPlan.
+type pumpPlan struct {
+	cutAfter  int64
+	corruptAt int64
+	stallAt   int64
+	stall     time.Duration
+}
+
+// pump copies src→dst applying positional faults, calling cut at the
+// scripted offset or closing dst's write side on EOF.
+func pump(src, dst net.Conn, plan pumpPlan, cut func()) {
+	var off int64
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			b := buf[:n]
+			// Stall before forwarding the chunk containing the offset.
+			if plan.stallAt >= 0 && off <= plan.stallAt && plan.stallAt < off+int64(n) {
+				time.Sleep(plan.stall)
+			}
+			if plan.corruptAt >= 0 && off <= plan.corruptAt && plan.corruptAt < off+int64(n) {
+				b[plan.corruptAt-off] ^= 0x80
+			}
+			// Cut mid-chunk: forward only the bytes before the cut.
+			if plan.cutAfter > 0 && off+int64(n) >= plan.cutAfter {
+				keep := plan.cutAfter - off
+				if keep > 0 {
+					dst.Write(b[:keep])
+				}
+				cut()
+				return
+			}
+			if _, werr := dst.Write(b); werr != nil {
+				cut()
+				return
+			}
+			off += int64(n)
+		}
+		if err != nil {
+			// EOF or peer close: half-close the write side so in-flight
+			// replies drain, mirroring real TCP teardown.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			} else {
+				dst.Close()
+			}
+			return
+		}
+	}
+}

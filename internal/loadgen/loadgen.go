@@ -2,25 +2,24 @@
 // periodic traffic: N connections × M keyed streams of period-P
 // samples, batched and optionally rate-limited — the way "heavy
 // traffic from millions of users" is demoed and integration-tested
-// locally without a fleet. The generator speaks the same binary ingest
-// protocol as any real client (internal/server frame codec) and ends
-// every connection with a ping barrier, so when Run returns every
-// generated sample has been applied by the server's pool, not merely
-// buffered in a socket.
+// locally without a fleet. Each connection is an internal/client
+// Client, so a load run rides the real resilience machinery: bounded
+// replay windows, reconnect with backoff, cursor resync and overload
+// retry-after. A run therefore survives server restarts mid-run and
+// still delivers every sample exactly once, and when Run returns every
+// generated sample has been applied by the server's pool (ping-barrier
+// confirmed), not merely buffered in a socket.
 package loadgen
 
 import (
-	"bufio"
 	"context"
-	"errors"
 	"fmt"
-	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"dpd/internal/client"
 	"dpd/internal/server"
-	"dpd/internal/wire"
 )
 
 // Config parameterizes one load run.
@@ -54,6 +53,16 @@ type Config struct {
 	// Rate bounds aggregate throughput in samples/second across all
 	// connections; 0 is unlimited.
 	Rate float64
+	// Window is each connection's replay-window depth in batches; 0
+	// selects the client default (256).
+	Window int
+	// Ack selects the window-release mode: client.AckApplied (default)
+	// or client.AckDurable, which bounds loss to zero even across a
+	// kill -9 of the server (at checkpoint-cadence window turnover).
+	Ack client.AckMode
+	// RetryBudget caps how long a connection retries without progress
+	// before the run fails; 0 selects the client default (30s).
+	RetryBudget time.Duration
 }
 
 // Report summarizes one completed run.
@@ -68,17 +77,30 @@ type Report struct {
 	// MelemsPerSec is end-to-end throughput in millions of samples per
 	// second: encode → TCP → decode → pool, barrier included.
 	MelemsPerSec float64
+	// Reconnects counts connection recoveries across the run (0 on a
+	// healthy server).
+	Reconnects uint64
+	// ReplayedSamples counts samples re-sent during cursor resyncs;
+	// the server's per-stream accounting deduplicates them.
+	ReplayedSamples uint64
+	// OverloadBackoffs counts server retry-after hints honored.
+	OverloadBackoffs uint64
 }
 
 // String renders the report the way cmd/dpdload prints it.
 func (r Report) String() string {
-	return fmt.Sprintf("loadgen: %d samples over %d conns × %d streams in %v → %.2f Melem/s end-to-end",
+	s := fmt.Sprintf("loadgen: %d samples over %d conns × %d streams in %v → %.2f Melem/s end-to-end",
 		r.Samples, r.Conns, r.Streams, r.Elapsed.Round(time.Millisecond), r.MelemsPerSec)
+	if r.Reconnects > 0 || r.OverloadBackoffs > 0 {
+		s += fmt.Sprintf(" (%d reconnects, %d samples replayed, %d overload backoffs)",
+			r.Reconnects, r.ReplayedSamples, r.OverloadBackoffs)
+	}
+	return s
 }
 
 // Run executes one load run and blocks until every connection has
 // finished and barriered (or ctx is cancelled, which aborts the run
-// with its error). Connections share nothing but the counter, so the
+// with its error). Connections share nothing but the counters, so the
 // generator itself scales with cores.
 func Run(ctx context.Context, cfg Config) (Report, error) {
 	if cfg.Conns <= 0 {
@@ -101,10 +123,13 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	}
 
 	var (
-		sent  atomic.Uint64
-		wg    sync.WaitGroup
-		errMu sync.Mutex
-		first error
+		sent       atomic.Uint64
+		reconnects atomic.Uint64
+		replayed   atomic.Uint64
+		backoffs   atomic.Uint64
+		wg         sync.WaitGroup
+		errMu      sync.Mutex
+		first      error
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -119,7 +144,12 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			if err := runConn(ctx, cfg, ci, perConnRate, &sent); err != nil {
+			n, st, err := runConn(ctx, cfg, ci, perConnRate)
+			sent.Add(n)
+			reconnects.Add(st.Reconnects)
+			replayed.Add(st.ReplayedSamples)
+			backoffs.Add(st.OverloadBackoffs)
+			if err != nil {
 				fail(fmt.Errorf("loadgen conn %d: %w", ci, err))
 			}
 		}(ci)
@@ -127,10 +157,13 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	rep := Report{
-		Samples: sent.Load(),
-		Conns:   cfg.Conns,
-		Streams: cfg.Streams,
-		Elapsed: elapsed,
+		Samples:          sent.Load(),
+		Conns:            cfg.Conns,
+		Streams:          cfg.Streams,
+		Elapsed:          elapsed,
+		Reconnects:       reconnects.Load(),
+		ReplayedSamples:  replayed.Load(),
+		OverloadBackoffs: backoffs.Load(),
 	}
 	if s := elapsed.Seconds(); s > 0 {
 		rep.MelemsPerSec = float64(rep.Samples) / s / 1e6
@@ -138,21 +171,22 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	return rep, first
 }
 
-// runConn drives one connection: its share of the streams, batch by
-// batch in time order, then the ping barrier and the graceful
-// terminator frame.
-func runConn(ctx context.Context, cfg Config, ci int, rate float64, sent *atomic.Uint64) error {
-	var d net.Dialer
-	nc, err := d.DialContext(ctx, "tcp", cfg.Addr)
+// runConn drives one connection through a resilient client: its share
+// of the streams, batch by batch in time order, then the ping barrier
+// and the graceful close. The returned count is barrier-confirmed
+// applied samples; stats are the client's counters for aggregation.
+func runConn(ctx context.Context, cfg Config, ci int, rate float64) (uint64, client.Stats, error) {
+	cl, err := client.Dial(client.Config{
+		Addr:        cfg.Addr,
+		Window:      cfg.Window,
+		Ack:         cfg.Ack,
+		RetryBudget: cfg.RetryBudget,
+		Seed:        uint64(ci) + 1,
+	})
 	if err != nil {
-		return err
+		return 0, client.Stats{}, err
 	}
-	defer nc.Close()
-	bw := bufio.NewWriterSize(nc, 64<<10)
-	br := bufio.NewReaderSize(nc, 4<<10)
-
-	var enc server.Enc
-	buf := server.AppendPreamble(nil)
+	defer cl.Close()
 
 	// This connection's streams: keys ci, ci+Conns, ci+2·Conns, …
 	var keys []uint64
@@ -171,7 +205,7 @@ func runConn(ctx context.Context, cfg Config, ci int, rate float64, sent *atomic
 		}
 		for _, key := range keys {
 			if err := ctx.Err(); err != nil {
-				return err
+				return connSent, cl.Stats(), err
 			}
 			stride := cfg.PatternStride * int64(key-cfg.KeyBase)
 			for i := 0; i < n; i++ {
@@ -179,15 +213,12 @@ func runConn(ctx context.Context, cfg Config, ci int, rate float64, sent *atomic
 				evs[i], mags[i] = v, float64(v)
 			}
 			if cfg.Magnitude {
-				buf = enc.AppendMagnitudeBatch(buf, key, mags[:n])
+				err = cl.SendMagnitudes(key, mags[:n])
 			} else {
-				buf = enc.AppendEventBatch(buf, key, evs[:n])
+				err = cl.SendEvents(key, evs[:n])
 			}
-			if len(buf) >= 48<<10 {
-				if _, err := bw.Write(buf); err != nil {
-					return err
-				}
-				buf = buf[:0]
+			if err != nil {
+				return connSent, cl.Stats(), err
 			}
 			connSent += uint64(n)
 			if rate > 0 {
@@ -195,69 +226,23 @@ func runConn(ctx context.Context, cfg Config, ci int, rate float64, sent *atomic
 				// sent total is back under rate × elapsed.
 				ahead := time.Duration(float64(connSent)/rate*float64(time.Second)) - time.Since(connStart)
 				if ahead > time.Millisecond {
-					if _, err := bw.Write(buf); err != nil {
-						return err
-					}
-					buf = buf[:0]
-					if err := bw.Flush(); err != nil {
-						return err
+					if err := cl.Flush(); err != nil {
+						return connSent, cl.Stats(), err
 					}
 					select {
 					case <-time.After(ahead):
 					case <-ctx.Done():
-						return ctx.Err()
+						return connSent, cl.Stats(), ctx.Err()
 					}
 				}
 			}
 		}
 	}
 
-	// Barrier: the pong proves every batch above was applied in order.
-	const token = 0xBA44
-	buf = enc.AppendPing(buf, token)
-	if _, err := bw.Write(buf); err != nil {
-		return err
+	// Barrier: proves every batch above was applied, surviving any
+	// reconnects it takes to get there.
+	if err := cl.Barrier(); err != nil {
+		return connSent, cl.Stats(), err
 	}
-	if err := bw.Flush(); err != nil {
-		return err
-	}
-	if err := awaitPong(br, token); err != nil {
-		return err
-	}
-	sent.Add(connSent)
-
-	// Graceful terminator, then close.
-	if err := wire.WriteFrame(bw, nil); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
-// awaitPong reads server frames until the barrier pong (skipping any
-// subscribed events), surfacing protocol errors from the server.
-func awaitPong(br *bufio.Reader, token uint64) error {
-	var sf server.ServerFrame
-	var buf []byte
-	for {
-		payload, err := wire.ReadFrame(br, server.MaxFrame, buf)
-		if err != nil {
-			return fmt.Errorf("awaiting pong: %w", err)
-		}
-		if payload == nil {
-			return errors.New("server closed the stream before the pong")
-		}
-		buf = payload
-		if err := server.DecodeServerFrame(payload, &sf); err != nil {
-			return err
-		}
-		switch sf.Kind {
-		case server.KindPong:
-			if sf.Token != token {
-				return fmt.Errorf("pong token %#x, want %#x", sf.Token, token)
-			}
-			return nil
-		case server.KindError:
-			return fmt.Errorf("server error %s: %s", sf.Code, sf.Msg)
-		}
-	}
+	return connSent, cl.Stats(), cl.Close()
 }

@@ -1,0 +1,146 @@
+package loadgen
+
+// The kill -9 integration test: a load run in durable-ack mode must
+// survive an Abort() of the server (the in-process equivalent of
+// kill -9: no drain, no final checkpoint) followed by a restart from
+// the checkpoint directory — and still end with exactly the expected
+// per-stream sample counts, checked through the restarted server's own
+// /streams query plane. The faults.Proxy plays the stable VIP so the
+// clients keep one address across the restart.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/client"
+	"dpd/internal/faults"
+	"dpd/internal/server"
+)
+
+// startDurableServer boots a checkpointing server over dir.
+func startDurableServer(t *testing.T, dir string) *server.Server {
+	t.Helper()
+	s, err := server.New(server.Config{
+		IngestAddr:      "127.0.0.1:0",
+		HTTPAddr:        "127.0.0.1:0",
+		Pool:            dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		CheckpointDir:   dir,
+		CheckpointEvery: 50 * time.Millisecond,
+		Logf:            func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	return s
+}
+
+// serverSamples reads one stream's applied count via GET /streams/{key}.
+func serverSamples(t *testing.T, s *server.Server, key uint64) uint64 {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/streams/%d", s.HTTPAddr(), key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /streams/%d = %d", key, resp.StatusCode)
+	}
+	var body struct {
+		Samples uint64 `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return body.Samples
+}
+
+// serverSamplesTotal reads the server's lifetime applied-sample counter.
+func serverSamplesTotal(t *testing.T, s *server.Server) uint64 {
+	t.Helper()
+	resp, err := http.Get("http://" + s.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m server.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m.SamplesTotal
+}
+
+func TestRunSurvivesKillRestart(t *testing.T) {
+	const (
+		conns   = 2
+		streams = 8
+		samples = 1024
+		batch   = 32
+	)
+	dir := t.TempDir()
+	s1 := startDurableServer(t, dir)
+	proxy, err := faults.NewProxy("127.0.0.1:0", s1.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := Run(context.Background(), Config{
+			Addr:             proxy.Addr(),
+			Conns:            conns,
+			Streams:          streams,
+			SamplesPerStream: samples,
+			BatchSize:        batch,
+			Window:           8,
+			Ack:              client.AckDurable,
+			RetryBudget:      30 * time.Second,
+		})
+		done <- outcome{rep, err}
+	}()
+
+	// Kill -9 mid-run: wait until the first server has applied a real
+	// chunk of the workload, then abort it without any final checkpoint.
+	deadline := time.Now().Add(15 * time.Second)
+	for serverSamplesTotal(t, s1) < streams*samples/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never reached the kill point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s1.Abort()
+
+	// Restart from the checkpoint directory and repoint the VIP; the
+	// clients replay their unacked windows against the restored counts.
+	s2 := startDurableServer(t, dir)
+	defer s2.Abort()
+	proxy.SetUpstream(s2.Addr())
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("run through kill/restart failed: %v", o.err)
+	}
+	if o.rep.Samples != streams*samples {
+		t.Fatalf("report says %d samples, want %d", o.rep.Samples, streams*samples)
+	}
+	if o.rep.Reconnects == 0 {
+		t.Fatalf("report %+v: the kill never forced a reconnect", o.rep)
+	}
+
+	// Exactly once, per stream, on the restarted server's own books.
+	for k := uint64(0); k < streams; k++ {
+		if got := serverSamples(t, s2, k); got != samples {
+			t.Errorf("stream %d: %d samples after restart, want exactly %d", k, got, samples)
+		}
+	}
+}

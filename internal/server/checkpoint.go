@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/faults"
 )
 
 // Durability loop: the server periodically streams the pool's complete
@@ -22,17 +23,32 @@ import (
 //     same directory, is fsynced, then renamed into place (and the
 //     directory fsynced), so a crash mid-write can never leave a
 //     half-checkpoint under a valid name.
+//   - The pool state is serialized into a reused in-memory buffer first
+//     and only then written to disk, so no pool lock is ever held across
+//     disk I/O — a wedged disk stalls the checkpoint, never ingest,
+//     rebalancing or shutdown.
+//   - Checkpoints never queue: WriteCheckpoint try-locks, and a caller
+//     finding one already in flight returns ErrCheckpointInFlight
+//     (counted as a stall) instead of piling up behind a wedged write.
 //   - Files are sequence-numbered (ckpt-000000000042.dpdp); the server
 //     keeps the newest CheckpointKeep and prunes the rest, so the disk
 //     footprint is bounded and boot always has fallbacks.
-//   - Boot restores from the newest file whose stream decodes and
-//     matches the configured engine; corrupt, truncated or mismatched
-//     files are logged with the reason and skipped (counted in
-//     restore_fallbacks), falling back to older files and finally to a
-//     fresh pool. Durability degrades gracefully instead of refusing to
-//     start.
+//   - Boot sweeps *.tmp orphans (a crash between write and rename), then
+//     restores from the newest file whose stream decodes and matches the
+//     configured engine; corrupt, truncated or mismatched files are
+//     logged with the reason and skipped (counted in restore_fallbacks),
+//     falling back to older files and finally to a fresh pool.
+//     Durability degrades gracefully instead of refusing to start.
 //   - At shutdown a final checkpoint runs after Pool.Close, capturing
 //     the fully quiesced state — nothing fed before the drain is lost.
+//   - Every filesystem touch goes through the injectable faults.FS, so
+//     the crash matrix in failure_test.go can provoke and replay every
+//     step of this path.
+
+// ErrCheckpointInFlight is returned by WriteCheckpoint when another
+// checkpoint is still running — including one wedged on a hung disk.
+// The caller's checkpoint is skipped, never queued.
+var ErrCheckpointInFlight = errors.New("server: checkpoint already in flight")
 
 const (
 	// checkpointPrefix and checkpointSuffix frame the sequence number in
@@ -65,12 +81,12 @@ func parseCheckpointName(name string) (uint64, bool) {
 
 // listCheckpoints returns the sequence numbers present in dir, newest
 // first. A missing directory is an empty list, not an error.
-func listCheckpoints(dir string) ([]uint64, error) {
-	ents, err := os.ReadDir(dir)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
+func listCheckpoints(fs faults.FS, dir string) ([]uint64, error) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
 		return nil, err
 	}
 	var seqs []uint64
@@ -83,19 +99,59 @@ func listCheckpoints(dir string) ([]uint64, error) {
 	return seqs, nil
 }
 
-// WriteCheckpoint streams the pool's current state to a new durable
-// checkpoint file and prunes old ones, returning the path written. It
-// is what the interval loop and the shutdown path call, and is exported
-// so operators (and tests) can force a checkpoint at will. Feeding may
-// continue concurrently: Pool.Checkpoint quiesces one shard at a time.
+// sweepTmp removes *.tmp orphans left by a crash between checkpoint
+// write and rename. They can never become valid checkpoints (the rename
+// is what commits them), so boot clears them and counts the sweep.
+func (s *Server) sweepTmp(dir string) {
+	ents, err := s.fs.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasPrefix(name, checkpointPrefix) && strings.HasSuffix(name, ".tmp") {
+			if s.fs.Remove(filepath.Join(dir, name)) == nil {
+				s.metrics.tmpSwept.Add(1)
+				s.cfg.Logf("server: swept orphaned checkpoint temp %s", name)
+			}
+		}
+	}
+}
+
+// WriteCheckpoint serializes the pool's current state and commits it as
+// a new durable checkpoint file, pruning old ones and returning the
+// path written. It is what the interval loop and the shutdown path
+// call, and is exported so operators (and tests) can force a checkpoint
+// at will. Feeding may continue concurrently: Pool.Checkpoint quiesces
+// one shard at a time, and the serialized snapshot goes to memory
+// first — disk I/O happens strictly outside pool locks. If a checkpoint
+// is already in flight (possibly wedged on a bad disk) the call returns
+// ErrCheckpointInFlight immediately instead of queueing.
 func (s *Server) WriteCheckpoint() (string, error) {
 	dir := s.cfg.CheckpointDir
 	if dir == "" {
 		return "", errors.New("server: no checkpoint directory configured")
 	}
-	s.ckptMu.Lock()
+	if !s.ckptMu.TryLock() {
+		s.metrics.checkpointStalls.Add(1)
+		return "", ErrCheckpointInFlight
+	}
 	defer s.ckptMu.Unlock()
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	s.metrics.checkpointInFlight.Store(1)
+	defer s.metrics.checkpointInFlight.Store(0)
+
+	// Capture each connection's acknowledged barrier BEFORE the snapshot
+	// begins: everything those tokens cover is already applied, so it is
+	// in the snapshot, so the tokens become durable when the file does.
+	marks := s.captureDurableMarks()
+
+	s.ckptBuf.Reset()
+	if err := s.pool.Checkpoint(&s.ckptBuf); err != nil {
+		s.metrics.checkpointErrors.Add(1)
+		return "", err
+	}
+
+	if err := s.fs.MkdirAll(dir, 0o777); err != nil {
 		s.metrics.checkpointErrors.Add(1)
 		return "", err
 	}
@@ -104,29 +160,39 @@ func (s *Server) WriteCheckpoint() (string, error) {
 	tmp := final + ".tmp"
 	if err := s.writeCheckpointFile(tmp); err != nil {
 		s.metrics.checkpointErrors.Add(1)
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return "", err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		s.metrics.checkpointErrors.Add(1)
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return "", err
 	}
-	syncDir(dir)
+	if err := s.fs.SyncDir(dir); err != nil {
+		// The rename happened but its durability is unknown: a restart
+		// may legitimately see either checkpoint. Report failure so no
+		// durable marks are handed out on the strength of this file.
+		s.metrics.checkpointErrors.Add(1)
+		return "", err
+	}
 	s.metrics.checkpointSeq.Store(seq)
 	s.metrics.checkpointsTotal.Add(1)
 	s.metrics.checkpointLastNs.Store(time.Now().UnixNano())
 	s.pruneCheckpoints(dir, seq)
+	for _, m := range marks {
+		m.c.sendDurable(m.token)
+	}
 	return final, nil
 }
 
-// writeCheckpointFile streams the pool state into path and fsyncs it.
+// writeCheckpointFile writes the staged snapshot buffer into path and
+// fsyncs it, all through the injectable filesystem.
 func (s *Server) writeCheckpointFile(path string) error {
-	f, err := os.Create(path)
+	f, err := s.fs.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := s.pool.Checkpoint(f); err != nil {
+	if _, err := f.Write(s.ckptBuf.Bytes()); err != nil {
 		f.Close()
 		return err
 	}
@@ -137,21 +203,12 @@ func (s *Server) writeCheckpointFile(path string) error {
 	return f.Close()
 }
 
-// syncDir fsyncs a directory so a just-renamed checkpoint survives a
-// crash; best effort (some filesystems refuse directory syncs).
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
 // pruneCheckpoints removes checkpoints older than the newest
 // CheckpointKeep, plus any stale temp files. Best effort: pruning
 // failures never fail the checkpoint that just landed.
 func (s *Server) pruneCheckpoints(dir string, newest uint64) {
 	keep := s.cfg.CheckpointKeep
-	ents, err := os.ReadDir(dir)
+	ents, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -159,7 +216,7 @@ func (s *Server) pruneCheckpoints(dir string, newest uint64) {
 	for _, e := range ents {
 		name := e.Name()
 		if strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, checkpointPrefix) && name != checkpointName(newest)+".tmp" {
-			os.Remove(filepath.Join(dir, name))
+			s.fs.Remove(filepath.Join(dir, name))
 			continue
 		}
 		if seq, ok := parseCheckpointName(name); ok {
@@ -171,7 +228,7 @@ func (s *Server) pruneCheckpoints(dir string, newest uint64) {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
 	for _, seq := range seqs[keep:] {
-		os.Remove(filepath.Join(dir, checkpointName(seq)))
+		s.fs.Remove(filepath.Join(dir, checkpointName(seq)))
 	}
 }
 
@@ -180,10 +237,10 @@ func (s *Server) pruneCheckpoints(dir string, newest uint64) {
 // are logged and skipped; no usable checkpoint means a fresh pool. The
 // returned seq seeds the checkpoint sequence so a restart never
 // overwrites files it just restored from.
-func restorePool(dir string, cfg dpd.PoolConfig, logf func(string, ...any), m *metrics) (*dpd.Pool, uint64, error) {
+func restorePool(fs faults.FS, dir string, cfg dpd.PoolConfig, logf func(string, ...any), m *metrics) (*dpd.Pool, uint64, error) {
 	var newest uint64
 	if dir != "" {
-		seqs, err := listCheckpoints(dir)
+		seqs, err := listCheckpoints(fs, dir)
 		if err != nil {
 			return nil, 0, fmt.Errorf("server: scanning checkpoint dir: %w", err)
 		}
@@ -192,7 +249,7 @@ func restorePool(dir string, cfg dpd.PoolConfig, logf func(string, ...any), m *m
 		}
 		for _, seq := range seqs {
 			path := filepath.Join(dir, checkpointName(seq))
-			f, err := os.Open(path)
+			f, err := fs.Open(path)
 			if err != nil {
 				logf("server: skipping checkpoint %s: %v", path, err)
 				m.restoreFallbacks.Add(1)
@@ -223,7 +280,9 @@ func restorePool(dir string, cfg dpd.PoolConfig, logf func(string, ...any), m *m
 
 // checkpointLoop writes a checkpoint every CheckpointEvery until the
 // server shuts down (the final shutdown checkpoint is taken by Shutdown
-// itself, after the pool has quiesced).
+// itself, after the pool has quiesced). A cycle finding the previous
+// checkpoint still in flight skips: stalls surface in metrics, not as a
+// queue of writers behind a wedged disk.
 func (s *Server) checkpointLoop() {
 	defer s.bg.Done()
 	t := time.NewTicker(s.cfg.CheckpointEvery)
@@ -231,7 +290,7 @@ func (s *Server) checkpointLoop() {
 	for {
 		select {
 		case <-t.C:
-			if _, err := s.WriteCheckpoint(); err != nil {
+			if _, err := s.WriteCheckpoint(); err != nil && !errors.Is(err, ErrCheckpointInFlight) {
 				s.cfg.Logf("server: periodic checkpoint failed: %v", err)
 			}
 		case <-s.stop:

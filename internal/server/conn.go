@@ -6,11 +6,17 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dpd"
 	"dpd/internal/wire"
 )
+
+// feedHook, when non-nil, observes every frame the feeder is about to
+// apply. It is a test seam: chaos tests install a panicking hook to
+// prove per-connection panic isolation.
+var feedHook func(*conn, *Frame)
 
 // closeReason labels why a connection was torn down; each reason feeds
 // one disconnect counter.
@@ -24,16 +30,20 @@ const (
 	reasonSlowConsumer
 	reasonWriteError
 	reasonShutdown
+	reasonOverload
+	reasonPanic
 )
 
 // outMsg is one server→client frame queued to a connection's writer.
 type outMsg struct {
-	kind  uint8 // KindPong, KindEvent or KindError
-	token uint64
-	key   uint64
-	ev    dpd.Event
-	code  ErrCode
-	msg   string
+	kind    uint8 // KindPong, KindEvent, KindError, KindCursorsReply or KindDurable
+	token   uint64
+	key     uint64
+	ev      dpd.Event
+	code    ErrCode
+	retryMs uint64
+	msg     string
+	cursors []Cursor
 	// terminal marks an error frame: the writer flushes it and closes
 	// the connection.
 	terminal bool
@@ -59,6 +69,15 @@ type conn struct {
 	drain     chan struct{} // closed by handle: writer finishes the queue and exits
 	closeOnce sync.Once
 	reason    closeReason
+
+	// ackedPing holds the newest acknowledged ping token plus one (0 =
+	// never pinged): the feeder stores it only after every earlier frame
+	// has been fed, so the checkpointer can read it as "everything up to
+	// this barrier is in any snapshot taken from now on".
+	ackedPing atomic.Uint64
+	// pendingBytes is this connection's share of the pending-memory
+	// account (decoded payload bytes queued to the feeder).
+	pendingBytes atomic.Int64
 
 	// subKeys remembers this connection's explicit subscription so
 	// teardown can unsubscribe precisely; guarded by the server's
@@ -123,6 +142,9 @@ func (c *conn) sendEvent(key uint64, ev *dpd.Event) bool {
 // connection is unregistered.
 func (s *Server) handle(nc net.Conn) {
 	defer s.wg.Done()
+	if !s.admit(nc) {
+		return
+	}
 	c := newConn(s, nc)
 	if !s.addConn(c) {
 		nc.Close() // lost the race with Shutdown: refuse silently
@@ -133,11 +155,11 @@ func (s *Server) handle(nc net.Conn) {
 
 	var writerDone, feederDone sync.WaitGroup
 	writerDone.Add(1)
-	go func() { defer writerDone.Done(); c.writeLoop() }()
+	go func() { defer writerDone.Done(); defer c.recoverPanic(); c.writeLoop() }()
 	feederDone.Add(1)
-	go func() { defer feederDone.Done(); c.feedLoop() }()
+	go func() { defer feederDone.Done(); defer c.recoverPanic(); c.feedLoop() }()
 
-	reason := c.readLoop()
+	reason := c.runRead()
 
 	// Reader is done: no more pending sends. Close the pending channel
 	// so the feeder drains what was already queued and exits; then tell
@@ -154,10 +176,43 @@ func (s *Server) handle(nc net.Conn) {
 	}
 	c.close(reason) // no-op when a reason was already recorded
 
+	// A feeder that panicked mid-drain leaves reservations for frames it
+	// never applied; return the residue so the global account stays
+	// balanced.
+	if r := c.pendingBytes.Load(); r > 0 {
+		c.pendingBytes.Add(-r)
+		s.metrics.pendingBytes.Add(-r)
+	}
+
 	s.removeConn(c)
 	s.unsubscribe(c)
 	s.metrics.connsActive.Add(-1)
 	s.metrics.disconnect(c.reason)
+}
+
+// recoverPanic converts a panicking connection goroutine into a counted
+// connection teardown: one poisoned connection must never take the
+// process (or its sibling connections) down with it.
+func (c *conn) recoverPanic() {
+	if r := recover(); r != nil {
+		c.srv.metrics.panicsRecovered.Add(1)
+		c.srv.cfg.Logf("server: recovered connection panic: %v", r)
+		c.close(reasonPanic)
+	}
+}
+
+// runRead runs the read loop under the same panic isolation as the
+// feeder and writer, reporting the panic reason to handle.
+func (c *conn) runRead() (reason closeReason) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.srv.metrics.panicsRecovered.Add(1)
+			c.srv.cfg.Logf("server: recovered connection panic: %v", r)
+			c.close(reasonPanic)
+			reason = reasonPanic
+		}
+	}()
+	return c.readLoop()
 }
 
 // readLoop validates the preamble, then decodes frames into the pending
@@ -207,6 +262,7 @@ func (c *conn) readLoop() closeReason {
 			c.free <- f
 			return reasonEOF
 		}
+		size := len(payload)
 		f.raw = payload[:cap(payload)] // keep any growth for the next read
 		if err := DecodeFrame(payload, f); err != nil {
 			c.free <- f
@@ -217,10 +273,27 @@ func (c *conn) readLoop() closeReason {
 			c.protoError(pe)
 			return 0
 		}
+		if !c.srv.reservePending(c, size) {
+			// Pending-memory limit: shed this connection with the typed
+			// overload error rather than queue toward OOM. The frame ring
+			// bounds one connection structurally; the byte accounts bound
+			// the fleet.
+			c.free <- f
+			c.srv.metrics.overloadSheds.Add(1)
+			c.send(outMsg{
+				kind: KindError, code: CodeOverloaded,
+				retryMs:  uint64(c.srv.cfg.RetryAfter / time.Millisecond),
+				msg:      "pending-memory limit reached",
+				terminal: true, reason: reasonOverload,
+			})
+			return 0
+		}
+		f.size = size
 		c.srv.metrics.framesTotal.Add(1)
 		select {
 		case c.pending <- f:
 		case <-c.done:
+			c.srv.releasePending(c, size)
 			return reasonShutdown
 		}
 	}
@@ -241,6 +314,9 @@ func (c *conn) protoError(pe *ProtoError) {
 // dropped behind an already-sent pong.
 func (c *conn) feedLoop() {
 	for f := range c.pending {
+		if feedHook != nil {
+			feedHook(c, f)
+		}
 		switch f.Kind {
 		case KindEventBatch, KindMagnitudeBatch:
 			if len(f.Samples) > 0 {
@@ -250,11 +326,43 @@ func (c *conn) feedLoop() {
 			}
 		case KindPing:
 			c.srv.metrics.pingsTotal.Add(1)
+			// Record the barrier before answering it: a checkpoint that
+			// captures this mark after the store sees every frame the
+			// token covers already applied.
+			c.ackedPing.Store(f.Token + 1)
 			c.send(outMsg{kind: KindPong, token: f.Token})
+			if c.srv.cfg.CheckpointDir == "" {
+				// No durability configured: applied IS as durable as this
+				// server gets, so durable-ack clients advance on the same
+				// barrier.
+				c.send(outMsg{kind: KindDurable, token: f.Token})
+			}
 		case KindSubscribe:
 			c.srv.subscribe(c, f.Keys)
+		case KindCursors:
+			cursors := make([]Cursor, len(f.Keys))
+			for i, k := range f.Keys {
+				cursors[i].Key = k
+				if st, ok := c.srv.pool.Stat(k); ok {
+					cursors[i].Samples = st.Samples
+				}
+			}
+			c.send(outMsg{kind: KindCursorsReply, cursors: cursors})
 		}
+		c.srv.releasePending(c, f.size)
+		f.size = 0
 		c.free <- f
+	}
+}
+
+// sendDurable enqueues a durable frame without ever blocking: the
+// checkpoint path must not wait on a slow consumer, and a dropped
+// durable mark only delays window pruning until the next checkpoint.
+func (c *conn) sendDurable(token uint64) {
+	select {
+	case c.out <- outMsg{kind: KindDurable, token: token}:
+	case <-c.done:
+	default:
 	}
 }
 
@@ -296,11 +404,15 @@ func (c *conn) writeLoop() {
 		switch m.kind {
 		case KindPong:
 			scratch = appendPong(scratch[:0], m.token)
+		case KindDurable:
+			scratch = appendDurable(scratch[:0], m.token)
 		case KindEvent:
 			scratch = appendEvent(scratch[:0], m.key, &m.ev)
 			c.srv.metrics.eventsDelivered.Add(1)
 		case KindError:
-			scratch = appendError(scratch[:0], m.code, m.msg)
+			scratch = appendError(scratch[:0], m.code, m.retryMs, m.msg)
+		case KindCursorsReply:
+			scratch = appendCursorsReply(scratch[:0], m.cursors)
 		default:
 			continue
 		}

@@ -12,8 +12,9 @@ import (
 type metrics struct {
 	start time.Time
 
-	connsTotal  atomic.Uint64
-	connsActive atomic.Int64
+	connsTotal    atomic.Uint64
+	connsActive   atomic.Int64
+	connsRejected atomic.Uint64 // refused at admission (MaxConns)
 
 	framesTotal  atomic.Uint64
 	batchesTotal atomic.Uint64
@@ -21,6 +22,14 @@ type metrics struct {
 	pingsTotal   atomic.Uint64
 
 	eventsDelivered atomic.Uint64
+
+	// Overload protection: sheds counts every overloaded error frame
+	// sent (admission rejects plus pending-memory disconnects);
+	// pendingBytes is the live global pending-memory account;
+	// panicsRecovered counts connection goroutines saved by isolation.
+	overloadSheds   atomic.Uint64
+	pendingBytes    atomic.Int64
+	panicsRecovered atomic.Uint64
 
 	// Disconnect reasons: every connection teardown increments exactly
 	// one of these, so their sum tracks connsTotal as connections drain.
@@ -30,14 +39,19 @@ type metrics struct {
 	disconnectSlow     atomic.Uint64
 	disconnectWrite    atomic.Uint64
 	disconnectShutdown atomic.Uint64
+	disconnectOverload atomic.Uint64
+	disconnectPanic    atomic.Uint64
 
-	checkpointsTotal  atomic.Uint64
-	checkpointErrors  atomic.Uint64
-	checkpointSeq     atomic.Uint64
-	checkpointLastNs  atomic.Int64 // UnixNano of the newest durable checkpoint, 0 = never
-	restoredStreams   atomic.Uint64
-	restoreFallbacks  atomic.Uint64 // corrupt/unreadable checkpoints skipped at boot
-	rebalancesApplied atomic.Uint64
+	checkpointsTotal   atomic.Uint64
+	checkpointErrors   atomic.Uint64
+	checkpointSeq      atomic.Uint64
+	checkpointLastNs   atomic.Int64  // UnixNano of the newest durable checkpoint, 0 = never
+	checkpointStalls   atomic.Uint64 // WriteCheckpoint calls skipped because one was in flight
+	checkpointInFlight atomic.Int64  // 1 while a checkpoint is running (stall detector)
+	tmpSwept           atomic.Uint64 // orphaned .tmp files removed at boot
+	restoredStreams    atomic.Uint64
+	restoreFallbacks   atomic.Uint64 // corrupt/unreadable checkpoints skipped at boot
+	rebalancesApplied  atomic.Uint64
 
 	// rate computes ingest samples/s between consecutive /metrics
 	// scrapes (the first scrape reports the lifetime average).
@@ -64,6 +78,10 @@ type DisconnectCounts struct {
 	WriteError uint64 `json:"write_error"`
 	// Shutdown: the server closed the connection while draining.
 	Shutdown uint64 `json:"shutdown"`
+	// Overload: the connection was shed by pending-memory accounting.
+	Overload uint64 `json:"overload"`
+	// Panic: a connection goroutine panicked and was isolated.
+	Panic uint64 `json:"panic"`
 }
 
 // MetricsSnapshot is the /metrics payload: one consistent-enough read
@@ -76,6 +94,17 @@ type MetricsSnapshot struct {
 	ConnsActive int64 `json:"conns_active"`
 	// ConnsTotal counts every ingest connection ever accepted.
 	ConnsTotal uint64 `json:"conns_total"`
+	// ConnsRejected counts connections refused at admission (MaxConns).
+	ConnsRejected uint64 `json:"conns_rejected"`
+	// OverloadSheds counts overloaded error frames sent (admission
+	// rejects plus pending-memory disconnects).
+	OverloadSheds uint64 `json:"overload_sheds"`
+	// PendingBytes is the decoded payload bytes currently queued to
+	// feeders across all connections (the overload account).
+	PendingBytes int64 `json:"pending_bytes"`
+	// PanicsRecovered counts connection goroutines that panicked and
+	// were isolated instead of taking the process down.
+	PanicsRecovered uint64 `json:"panics_recovered"`
 	// FramesTotal counts decoded client frames of every kind.
 	FramesTotal uint64 `json:"frames_total"`
 	// BatchesTotal counts batch frames fed to the pool.
@@ -109,6 +138,13 @@ type MetricsSnapshot struct {
 	// CheckpointAgeSeconds is the age of the newest durable checkpoint;
 	// -1 when none has been written.
 	CheckpointAgeSeconds float64 `json:"checkpoint_age_seconds"`
+	// CheckpointStalls counts checkpoint attempts skipped because the
+	// previous one was still in flight — the wedged-disk detector.
+	CheckpointStalls uint64 `json:"checkpoint_stalls"`
+	// CheckpointInFlight is 1 while a checkpoint is being written.
+	CheckpointInFlight int64 `json:"checkpoint_in_flight"`
+	// TmpSwept counts orphaned checkpoint temp files removed at boot.
+	TmpSwept uint64 `json:"tmp_swept"`
 	// RestoredStreams is how many streams boot restored from disk.
 	RestoredStreams uint64 `json:"restored_streams"`
 	// RestoreFallbacks is how many corrupt or unreadable checkpoint
@@ -125,6 +161,10 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		UptimeSeconds:   now.Sub(m.start).Seconds(),
 		ConnsActive:     m.connsActive.Load(),
 		ConnsTotal:      m.connsTotal.Load(),
+		ConnsRejected:   m.connsRejected.Load(),
+		OverloadSheds:   m.overloadSheds.Load(),
+		PendingBytes:    m.pendingBytes.Load(),
+		PanicsRecovered: m.panicsRecovered.Load(),
 		FramesTotal:     m.framesTotal.Load(),
 		BatchesTotal:    m.batchesTotal.Load(),
 		SamplesTotal:    m.samplesTotal.Load(),
@@ -137,11 +177,16 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 			SlowConsumer:  m.disconnectSlow.Load(),
 			WriteError:    m.disconnectWrite.Load(),
 			Shutdown:      m.disconnectShutdown.Load(),
+			Overload:      m.disconnectOverload.Load(),
+			Panic:         m.disconnectPanic.Load(),
 		},
 		CheckpointsTotal:     m.checkpointsTotal.Load(),
 		CheckpointErrors:     m.checkpointErrors.Load(),
 		CheckpointSeq:        m.checkpointSeq.Load(),
 		CheckpointAgeSeconds: -1,
+		CheckpointStalls:     m.checkpointStalls.Load(),
+		CheckpointInFlight:   m.checkpointInFlight.Load(),
+		TmpSwept:             m.tmpSwept.Load(),
 		RestoredStreams:      m.restoredStreams.Load(),
 		RestoreFallbacks:     m.restoreFallbacks.Load(),
 		RebalancesApplied:    m.rebalancesApplied.Load(),
@@ -179,5 +224,9 @@ func (m *metrics) disconnect(r closeReason) {
 		m.disconnectWrite.Add(1)
 	case reasonShutdown:
 		m.disconnectShutdown.Add(1)
+	case reasonOverload:
+		m.disconnectOverload.Add(1)
+	case reasonPanic:
+		m.disconnectPanic.Add(1)
 	}
 }

@@ -35,12 +35,24 @@
 //	magnitude batch (kind 2): key uvarint | count uvarint | count × f64
 //	ping            (kind 3): token uvarint
 //	subscribe       (kind 4): count uvarint | count × uvarint key (count 0 = all streams)
+//	cursors         (kind 8): count uvarint | count × uvarint key
 //
 // Server→client bodies:
 //
-//	pong  (kind 5): token uvarint
-//	event (kind 6): key uvarint | event kind u8 | t uvarint | period uvarint | prev uvarint | confidence f64
-//	error (kind 7): code u8 | message (remaining bytes, UTF-8)
+//	pong          (kind 5): token uvarint
+//	event         (kind 6): key uvarint | event kind u8 | t uvarint | period uvarint | prev uvarint | confidence f64
+//	error         (kind 7): code u8 | retry-after-ms uvarint | message (remaining bytes, UTF-8)
+//	cursors reply (kind 9): count uvarint | count × (key uvarint | samples uvarint)
+//	durable       (kind 10): token uvarint
+//
+// A cursors frame asks for the per-stream applied sample counts of the
+// listed keys; the reply echoes each key with its count. A replaying
+// client uses the pair on reconnect to compute exactly which suffix of
+// its in-flight window the server has not yet applied. A durable frame
+// announces the highest ping token whose preceding frames are covered by
+// a durable checkpoint (or, on a server running without a checkpoint
+// directory, simply applied) — the client's signal that the window
+// prefix up to that token can never be lost to a crash.
 //
 // A zero-length frame from the client is the graceful end-of-stream
 // terminator. Decoding follows the wire contract: it never panics and
@@ -62,8 +74,10 @@ const (
 	// PreambleMagic are the first four bytes of every ingest connection.
 	PreambleMagic = "DPDI"
 	// ProtocolVersion is the ingest protocol version this build speaks; a
-	// mismatched preamble is refused with CodeBadPreamble.
-	ProtocolVersion = 1
+	// mismatched preamble is refused with CodeBadPreamble. Version 2
+	// added cursors, durable and retry-after (frames a v1 peer would
+	// reject), so the version byte moved with them.
+	ProtocolVersion = 2
 	// preambleLen is the total preamble size: magic plus version byte.
 	preambleLen = len(PreambleMagic) + 1
 )
@@ -79,6 +93,11 @@ const (
 	MaxBatch = 1 << 16
 	// MaxSubscribeKeys bounds one subscribe frame's explicit key list.
 	MaxSubscribeKeys = 1 << 16
+	// MaxCursorKeys bounds one cursors frame's key list. It is smaller
+	// than MaxSubscribeKeys because the reply carries a samples count per
+	// key and must itself fit in MaxFrame; clients with wider windows
+	// chunk their cursor requests.
+	MaxCursorKeys = 1 << 15
 )
 
 // Frame kinds. Client→server kinds come first; a client that sends a
@@ -105,6 +124,16 @@ const (
 	// KindError carries a typed protocol error; the server closes the
 	// connection after sending one.
 	KindError uint8 = 7
+	// KindCursors asks for the per-stream applied sample counts of the
+	// listed keys — the replaying client's reconnect handshake.
+	KindCursors uint8 = 8
+	// KindCursorsReply answers a KindCursors frame with each key's
+	// applied count.
+	KindCursorsReply uint8 = 9
+	// KindDurable announces the highest ping token covered by a durable
+	// checkpoint; a client in durable-ack mode prunes its replay window
+	// on these instead of pongs.
+	KindDurable uint8 = 10
 )
 
 // ErrCode classifies one protocol violation; it travels in the error
@@ -124,6 +153,10 @@ const (
 	CodeUnknownKind ErrCode = 3
 	// CodeFrameTooLarge: the frame length prefix exceeded MaxFrame.
 	CodeFrameTooLarge ErrCode = 4
+	// CodeOverloaded: the server shed this connection (admission limit or
+	// memory accounting) rather than degrade; the error frame carries a
+	// retry-after hint and the client should back off and reconnect.
+	CodeOverloaded ErrCode = 5
 )
 
 // String returns the error code name.
@@ -137,6 +170,8 @@ func (c ErrCode) String() string {
 		return "unknown-kind"
 	case CodeFrameTooLarge:
 		return "frame-too-large"
+	case CodeOverloaded:
+		return "overloaded"
 	}
 	return fmt.Sprintf("err-code(%d)", uint8(c))
 }
@@ -173,13 +208,17 @@ type Frame struct {
 	// Samples are the decoded samples of a batch frame, each stamped
 	// with Key — ready to hand to Pool.FeedBatch unchanged.
 	Samples []dpd.KeyedSample
-	// Keys is the explicit key list of a subscribe frame (empty = all).
+	// Keys is the explicit key list of a subscribe frame (empty = all)
+	// or the queried key list of a cursors frame.
 	Keys []uint64
 
 	// raw is the connection's reusable frame-read buffer; it rides on
 	// the Frame so a ring of pending frames recycles its read storage
 	// along with its decode storage.
 	raw []byte
+	// size is the wire payload size charged to the pending-memory
+	// accounts while this frame waits for the feeder.
+	size int
 }
 
 // DecodeFrame parses one client→server frame payload into f, reusing
@@ -237,13 +276,17 @@ func DecodeFrame(payload []byte, f *Frame) error {
 			return protoErrf(CodeBadFrame, "ping token: %v", d.Err())
 		}
 		f.Kind = kind
-	case KindSubscribe:
-		n := d.Uint(MaxSubscribeKeys)
+	case KindSubscribe, KindCursors:
+		max, what := MaxSubscribeKeys, "subscribe"
+		if kind == KindCursors {
+			max, what = MaxCursorKeys, "cursors"
+		}
+		n := d.Uint(max)
 		if d.Err() != nil {
-			return protoErrf(CodeBadFrame, "subscribe count: %v", d.Err())
+			return protoErrf(CodeBadFrame, "%s count: %v", what, d.Err())
 		}
 		if n > d.Remaining() {
-			return protoErrf(CodeBadFrame, "subscribe declares %d keys but only %d bytes remain", n, d.Remaining())
+			return protoErrf(CodeBadFrame, "%s declares %d keys but only %d bytes remain", what, n, d.Remaining())
 		}
 		if cap(f.Keys) < n {
 			f.Keys = make([]uint64, n)
@@ -253,7 +296,7 @@ func DecodeFrame(payload []byte, f *Frame) error {
 			f.Keys[i] = d.Uvarint()
 		}
 		if d.Err() != nil {
-			return protoErrf(CodeBadFrame, "subscribe keys: %v", d.Err())
+			return protoErrf(CodeBadFrame, "%s keys: %v", what, d.Err())
 		}
 		f.Kind = kind
 	default:
@@ -320,6 +363,20 @@ func (e *Enc) AppendSubscribe(dst []byte, keys []uint64) []byte {
 	return wire.AppendFrame(dst, p)
 }
 
+// AppendCursors appends a cursors frame querying the applied sample
+// count of each listed key. len(keys) must not exceed MaxCursorKeys;
+// chunk wider windows.
+func (e *Enc) AppendCursors(dst []byte, keys []uint64) []byte {
+	p := e.payload[:0]
+	p = wire.AppendU8(p, KindCursors)
+	p = wire.AppendUint(p, len(keys))
+	for _, k := range keys {
+		p = wire.AppendUvarint(p, k)
+	}
+	e.payload = p
+	return wire.AppendFrame(dst, p)
+}
+
 // AppendPreamble appends the connection preamble.
 func AppendPreamble(dst []byte) []byte {
 	dst = append(dst, PreambleMagic...)
@@ -348,21 +405,58 @@ func appendEvent(dst []byte, key uint64, ev *dpd.Event) []byte {
 	return wire.AppendFrame(dst, p)
 }
 
-// appendError appends a typed protocol error frame.
-func appendError(dst []byte, code ErrCode, msg string) []byte {
-	body := make([]byte, 0, 1+1+len(msg))
+// appendError appends a typed protocol error frame. retryAfter is the
+// back-off hint in milliseconds (0 for protocol violations, where
+// retrying the same bytes cannot help).
+func appendError(dst []byte, code ErrCode, retryAfterMs uint64, msg string) []byte {
+	body := make([]byte, 0, 1+1+10+len(msg))
 	p := wire.AppendU8(body, KindError)
 	p = wire.AppendU8(p, uint8(code))
+	p = wire.AppendUvarint(p, retryAfterMs)
 	p = append(p, msg...)
 	return wire.AppendFrame(dst, p)
 }
 
-// ServerFrame is one decoded server→client frame: what loadgen and
-// tests read back (pongs, events, errors).
+// appendDurable appends a durable frame carrying the highest
+// checkpoint-covered ping token.
+func appendDurable(dst []byte, token uint64) []byte {
+	var body [1 + 10]byte
+	p := wire.AppendU8(body[:0], KindDurable)
+	p = wire.AppendUvarint(p, token)
+	return wire.AppendFrame(dst, p)
+}
+
+// appendCursorsReply appends a cursors-reply frame: each queried key
+// with its applied sample count, in query order.
+func appendCursorsReply(dst []byte, cursors []Cursor) []byte {
+	body := make([]byte, 0, 1+10+20*len(cursors))
+	p := wire.AppendU8(body, KindCursorsReply)
+	p = wire.AppendUint(p, len(cursors))
+	for _, c := range cursors {
+		p = wire.AppendUvarint(p, c.Key)
+		p = wire.AppendUvarint(p, c.Samples)
+	}
+	return wire.AppendFrame(dst, p)
+}
+
+// Cursor is one stream's applied-count entry in a cursors reply.
+type Cursor struct {
+	// Key is the stream key.
+	Key uint64
+	// Samples is the total samples the server has applied to the stream.
+	Samples uint64
+}
+
+// ServerFrame is one decoded server→client frame: what the client,
+// loadgen and tests read back (pongs, events, errors, cursor replies,
+// durable marks). Like Frame it is a reusable decode target: the
+// Cursors backing array is recycled across decodes.
 type ServerFrame struct {
-	// Kind is the frame kind (KindPong, KindEvent or KindError).
+	// Kind is the frame kind (KindPong, KindEvent, KindError,
+	// KindCursorsReply or KindDurable).
 	Kind uint8
-	// Token echoes the ping token of a pong.
+	// Token echoes the ping token of a pong, or carries the durable
+	// token of a durable frame.
 	Token uint64
 	// Key is the stream key of an event frame.
 	Key uint64
@@ -370,19 +464,30 @@ type ServerFrame struct {
 	Event dpd.Event
 	// Code is the error code of an error frame.
 	Code ErrCode
+	// RetryAfterMs is the error frame's back-off hint in milliseconds
+	// (0 = none).
+	RetryAfterMs uint64
 	// Msg is the error message of an error frame.
 	Msg string
+	// Cursors are the per-stream applied counts of a cursors reply.
+	Cursors []Cursor
 }
 
-// DecodeServerFrame parses one server→client frame payload. Like
-// DecodeFrame it never panics; failures are *ProtoError.
+// DecodeServerFrame parses one server→client frame payload into f,
+// reusing f's backing storage. Like DecodeFrame it never panics and
+// never over-reads; every failure is a *ProtoError.
 func DecodeServerFrame(payload []byte, f *ServerFrame) error {
+	cursors := f.Cursors[:0]
 	*f = ServerFrame{}
+	f.Cursors = cursors
 	var d wire.Dec
 	d.Reset(payload)
 	kind := d.U8()
+	if d.Err() != nil {
+		return protoErrf(CodeBadFrame, "empty server frame payload")
+	}
 	switch kind {
-	case KindPong:
+	case KindPong, KindDurable:
 		f.Token = d.Uvarint()
 	case KindEvent:
 		f.Key = d.Uvarint()
@@ -393,8 +498,33 @@ func DecodeServerFrame(payload []byte, f *ServerFrame) error {
 		f.Event.Confidence = d.F64()
 	case KindError:
 		f.Code = ErrCode(d.U8())
-		f.Msg = string(payload[d.Offset():])
-		d.Bytes(d.Remaining())
+		f.RetryAfterMs = d.Uvarint()
+		if d.Err() == nil {
+			f.Msg = string(payload[d.Offset():])
+			d.Bytes(d.Remaining())
+		}
+	case KindCursorsReply:
+		n := d.Uint(MaxCursorKeys)
+		if d.Err() != nil {
+			return protoErrf(CodeBadFrame, "cursors reply count: %v", d.Err())
+		}
+		// Every entry is at least two bytes; a count beyond half the
+		// remaining payload is corrupt — checked before Cursors grows.
+		if n > d.Remaining()/2+1 {
+			return protoErrf(CodeBadFrame, "cursors reply declares %d entries but only %d bytes remain", n, d.Remaining())
+		}
+		if cap(f.Cursors) < n {
+			f.Cursors = make([]Cursor, n)
+		}
+		f.Cursors = f.Cursors[:n]
+		for i := range f.Cursors {
+			f.Cursors[i].Key = d.Uvarint()
+			f.Cursors[i].Samples = d.Uvarint()
+		}
+		if d.Err() != nil {
+			f.Cursors = f.Cursors[:0]
+			return protoErrf(CodeBadFrame, "cursors reply entries: %v", d.Err())
+		}
 	default:
 		return protoErrf(CodeUnknownKind, "frame kind %d is not a server frame", kind)
 	}

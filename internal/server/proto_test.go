@@ -170,14 +170,67 @@ func TestServerFrameRoundTrip(t *testing.T) {
 		}
 	})
 	t.Run("error", func(t *testing.T) {
-		payload := stripLen(t, appendError(nil, CodeBadFrame, "trailing bytes"))
+		payload := stripLen(t, appendError(nil, CodeBadFrame, 0, "trailing bytes"))
 		if err := DecodeServerFrame(payload, &sf); err != nil {
 			t.Fatal(err)
 		}
-		if sf.Kind != KindError || sf.Code != CodeBadFrame || sf.Msg != "trailing bytes" {
+		if sf.Kind != KindError || sf.Code != CodeBadFrame || sf.Msg != "trailing bytes" || sf.RetryAfterMs != 0 {
 			t.Fatalf("decoded %+v", sf)
 		}
 	})
+	t.Run("error with retry-after", func(t *testing.T) {
+		payload := stripLen(t, appendError(nil, CodeOverloaded, 1500, "shedding"))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindError || sf.Code != CodeOverloaded || sf.RetryAfterMs != 1500 || sf.Msg != "shedding" {
+			t.Fatalf("decoded %+v", sf)
+		}
+	})
+	t.Run("durable", func(t *testing.T) {
+		payload := stripLen(t, appendDurable(nil, 1<<40))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindDurable || sf.Token != 1<<40 {
+			t.Fatalf("decoded %+v", sf)
+		}
+	})
+	t.Run("cursors reply", func(t *testing.T) {
+		in := []Cursor{{Key: 3, Samples: 1000}, {Key: 1 << 50, Samples: 0}, {Key: 7, Samples: 42}}
+		payload := stripLen(t, appendCursorsReply(nil, in))
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindCursorsReply || len(sf.Cursors) != len(in) {
+			t.Fatalf("decoded %+v", sf)
+		}
+		for i, c := range in {
+			if sf.Cursors[i] != c {
+				t.Fatalf("cursor %d = %+v, want %+v", i, sf.Cursors[i], c)
+			}
+		}
+	})
+}
+
+// TestCursorsRoundTrip: the client→server cursors frame decodes back to
+// the queried key list.
+func TestCursorsRoundTrip(t *testing.T) {
+	var enc Enc
+	var f Frame
+	keys := []uint64{9, 1, 1 << 62}
+	payload := stripLen(t, enc.AppendCursors(nil, keys))
+	if err := DecodeFrame(payload, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != KindCursors || len(f.Keys) != len(keys) {
+		t.Fatalf("decoded kind=%d keys=%v", f.Kind, f.Keys)
+	}
+	for i, k := range keys {
+		if f.Keys[i] != k {
+			t.Fatalf("key %d = %d, want %d", i, f.Keys[i], k)
+		}
+	}
 }
 
 // FuzzIngestFrame is the protocol-level fuzz target (ISSUE 5): the
@@ -195,6 +248,7 @@ func FuzzIngestFrame(f *testing.F) {
 		enc.AppendPing(nil, 1234),
 		enc.AppendSubscribe(nil, []uint64{7, 8, 9}),
 		enc.AppendSubscribe(nil, nil),
+		enc.AppendCursors(nil, []uint64{1, 2, 1 << 40}),
 	}
 	for _, frame := range valids {
 		// Strip the length prefix: the target consumes bare payloads.
@@ -257,6 +311,8 @@ func FuzzIngestFrame(f *testing.F) {
 			re = enc.AppendPing(nil, fr.Token)
 		case KindSubscribe:
 			re = enc.AppendSubscribe(nil, append([]uint64{}, fr.Keys...))
+		case KindCursors:
+			re = enc.AppendCursors(nil, append([]uint64{}, fr.Keys...))
 		default:
 			t.Fatalf("decode succeeded with unknown kind %d", fr.Kind)
 		}

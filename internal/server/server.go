@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/faults"
 )
 
 // Config parameterizes a Server. IngestAddr is required; everything
@@ -45,6 +47,28 @@ type Config struct {
 	EventBuffer int
 	// WriteTimeout bounds every flush to a client; 0 selects 10s.
 	WriteTimeout time.Duration
+	// MaxConns bounds concurrently admitted ingest connections; beyond
+	// it new connections are refused with an overloaded error frame
+	// carrying the RetryAfter hint. 0 means unlimited. The bound is
+	// checked against a racily-read gauge, so a burst can briefly
+	// overshoot by the number of in-flight accepts — it is an overload
+	// valve, not an exact semaphore.
+	MaxConns int
+	// MaxPendingBytes bounds the total decoded-batch payload bytes
+	// sitting in pending rings across every connection; a connection
+	// whose reservation would exceed it is shed with an overloaded error
+	// frame. 0 means unlimited.
+	MaxPendingBytes int64
+	// ConnPendingBytes bounds one connection's pending payload bytes the
+	// same way. 0 means unlimited.
+	ConnPendingBytes int64
+	// RetryAfter is the back-off hint carried in overloaded error
+	// frames; 0 selects 1s.
+	RetryAfter time.Duration
+	// FS is the filesystem the durability loop writes through; nil
+	// selects the real one. Fault tests substitute a faults.Injector to
+	// provoke every crash point in the checkpoint path.
+	FS faults.FS
 	// Logf receives operational log lines; nil selects log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +79,7 @@ type Config struct {
 type Server struct {
 	cfg     Config
 	pool    *dpd.Pool
+	fs      faults.FS
 	metrics metrics
 
 	ln     net.Listener
@@ -75,7 +100,12 @@ type Server struct {
 	started atomic.Bool
 	stopped atomic.Bool
 
-	ckptMu sync.Mutex // serializes WriteCheckpoint against itself
+	// ckptMu guards a checkpoint in flight; WriteCheckpoint TryLocks it
+	// so a wedged disk stalls one checkpoint, not a queue of them.
+	// ckptBuf (guarded by ckptMu) is the reused snapshot buffer the pool
+	// serializes into before any disk I/O happens.
+	ckptMu  sync.Mutex
+	ckptBuf bytes.Buffer
 }
 
 // New builds a server: it restores the pool from the newest valid
@@ -105,18 +135,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = 10 * time.Second
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.FS == nil {
+		cfg.FS = faults.OS{}
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
 
 	s := &Server{
 		cfg:      cfg,
+		fs:       cfg.FS,
 		conns:    make(map[*conn]struct{}),
 		subAll:   make(map[*conn]struct{}),
 		subByKey: make(map[uint64]map[*conn]struct{}),
 		stop:     make(chan struct{}),
 	}
 	s.metrics.start = time.Now()
+	if cfg.CheckpointDir != "" {
+		// Sweep temp files orphaned by a crash between checkpoint write
+		// and rename before anything else touches the directory.
+		s.sweepTmp(cfg.CheckpointDir)
+	}
 
 	// Every pooled stream gets an observer that publishes its
 	// transitions to subscribed connections. The hook fires per stream
@@ -125,7 +167,7 @@ func New(cfg Config) (*Server, error) {
 	poolCfg := cfg.Pool
 	poolCfg.StreamObserver = s.streamObserver
 
-	pool, seq, err := restorePool(cfg.CheckpointDir, poolCfg, cfg.Logf, &s.metrics)
+	pool, seq, err := restorePool(s.fs, cfg.CheckpointDir, poolCfg, cfg.Logf, &s.metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +244,49 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// admit applies connection-count admission control: past MaxConns the
+// connection is refused immediately with an overloaded error frame
+// carrying the retry-after hint, before any per-connection state is
+// built — shedding must be cheaper than serving.
+func (s *Server) admit(nc net.Conn) bool {
+	if s.cfg.MaxConns <= 0 || s.metrics.connsActive.Load() < int64(s.cfg.MaxConns) {
+		return true
+	}
+	s.metrics.connsRejected.Add(1)
+	s.metrics.overloadSheds.Add(1)
+	buf := appendError(nil, CodeOverloaded, uint64(s.cfg.RetryAfter/time.Millisecond),
+		fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
+	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	nc.Write(buf)
+	nc.Close()
+	return false
+}
+
+// reservePending charges n decoded payload bytes against the
+// per-connection and global pending-memory accounts, reporting false
+// (with the charge rolled back) when either limit would be exceeded —
+// the caller sheds the connection instead of queueing the frame.
+func (s *Server) reservePending(c *conn, n int) bool {
+	cp := c.pendingBytes.Add(int64(n))
+	gp := s.metrics.pendingBytes.Add(int64(n))
+	if (s.cfg.ConnPendingBytes > 0 && cp > s.cfg.ConnPendingBytes) ||
+		(s.cfg.MaxPendingBytes > 0 && gp > s.cfg.MaxPendingBytes) {
+		c.pendingBytes.Add(-int64(n))
+		s.metrics.pendingBytes.Add(-int64(n))
+		return false
+	}
+	return true
+}
+
+// releasePending returns a reservation after the feeder has applied
+// (or teardown has abandoned) the frame.
+func (s *Server) releasePending(c *conn, n int) {
+	if n > 0 {
+		c.pendingBytes.Add(-int64(n))
+		s.metrics.pendingBytes.Add(-int64(n))
+	}
+}
+
 // Shutdown stops the server in the loss-free order: stop admitting,
 // drain the control plane, tear down ingest connections and join their
 // feeders — frames already read off the wire are applied, never dropped
@@ -235,11 +320,74 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.bg.Wait()
 
 	if s.cfg.CheckpointDir != "" {
-		if _, err := s.WriteCheckpoint(); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("server: final checkpoint: %w", err)
+		// The final checkpoint runs under the caller's deadline: a wedged
+		// disk must not turn shutdown into a hang. An abandoned write is
+		// only a lost checkpoint — the previous durable one still stands.
+		done := make(chan error, 1)
+		go func() {
+			_, err := s.WriteCheckpoint()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("server: final checkpoint: %w", err)
+			}
+		case <-ctx.Done():
+			if firstErr == nil {
+				firstErr = fmt.Errorf("server: final checkpoint abandoned: %w", ctx.Err())
+			}
 		}
 	}
 	return firstErr
+}
+
+// Abort is the crash-only stop: it tears the server down like Shutdown
+// but takes no final checkpoint and honors no drain contract beyond
+// joining its goroutines. Chaos tests use it as an in-process kill -9 —
+// whatever the last durable checkpoint covered is all a restart gets.
+func (s *Server) Abort() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	close(s.stop)
+	s.ln.Close()
+	if s.httpSv != nil {
+		s.httpSv.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.close(reasonShutdown)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+	s.bg.Wait()
+}
+
+// durableMark pairs a connection with the newest ping token it had
+// acknowledged when a checkpoint snapshot began.
+type durableMark struct {
+	c     *conn
+	token uint64
+}
+
+// captureDurableMarks records, per live connection, the newest ping
+// token whose preceding frames are certain to be in a pool snapshot
+// taken AFTER this call: the feeder stores the token only once every
+// earlier frame on the connection has been fed. WriteCheckpoint calls
+// this before Pool.Checkpoint and notifies each connection once the
+// file is durable.
+func (s *Server) captureDurableMarks() []durableMark {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	marks := make([]durableMark, 0, len(s.conns))
+	for c := range s.conns {
+		if v := c.ackedPing.Load(); v != 0 {
+			marks = append(marks, durableMark{c: c, token: v - 1})
+		}
+	}
+	return marks
 }
 
 // addConn registers a live connection for shutdown teardown. It

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/faults"
 	"dpd/internal/wire"
 )
 
@@ -434,7 +436,7 @@ func TestKillRestartDifferential(t *testing.T) {
 
 			// And the serialized engine state must be byte-identical.
 			shutdown(t, s2)
-			seqs, err := listCheckpoints(dir)
+			seqs, err := listCheckpoints(faults.OS{}, dir)
 			if err != nil || len(seqs) == 0 {
 				t.Fatalf("no final checkpoint: %v", err)
 			}
@@ -719,10 +721,25 @@ func TestGracefulTerminator(t *testing.T) {
 	if err := c.bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	// The server closes its side after the terminator.
+	// The server closes its side after the terminator; the barrier's
+	// durable mark (applied-is-durable on a checkpoint-less server) may
+	// still be in flight ahead of the EOF.
 	c.nc.SetReadDeadline(time.Now().Add(5 * time.Second))
-	if _, err := c.br.ReadByte(); err != io.EOF {
-		t.Fatalf("after terminator: %v, want EOF", err)
+	for {
+		payload, err := wire.ReadFrame(c.br, MaxFrame, nil)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("after terminator: %v, want EOF", err)
+		}
+		var sf ServerFrame
+		if err := DecodeServerFrame(payload, &sf); err != nil {
+			t.Fatal(err)
+		}
+		if sf.Kind != KindDurable {
+			t.Fatalf("unexpected frame kind %d after terminator", sf.Kind)
+		}
 	}
 	c.close()
 	var m MetricsSnapshot

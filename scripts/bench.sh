@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the paper-table benchmarks (Figure 4,
-# Table 2, Table 3), the multi-stream pool benchmarks and the serving
-# layer's ingest frame decode as a JSON snapshot: ns/elem, allocs/op,
-# elems/s and the other reported metrics.
+# Table 2, Table 3), the multi-stream pool benchmarks, the serving
+# layer's ingest frame decode and the resilient client's send path as a
+# JSON snapshot: ns/elem, allocs/op, elems/s and the other reported
+# metrics. BenchmarkClientSend's allocs/op proves the client's
+# steady-state send (stage, window copy, ping cadence, ack drain) stays
+# at zero allocations.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         BENCHTIME=10x scripts/bench.sh    # more iterations, stabler numbers
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr6.json}"
 benchtime="${BENCHTIME:-1x}"
 
-raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|IngestFrameDecode' -benchtime "$benchtime" -benchmem .)
+raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|IngestFrameDecode|ClientSend' -benchtime "$benchtime" -benchmem . ./internal/client)
 echo "$raw" >&2
 
 echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '
