@@ -1,0 +1,166 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/client"
+	"dpd/internal/loadgen"
+)
+
+// TestBuildConfigValidation is the table of flag combinations dpdload
+// accepts and rejects, and what each one assembles.
+func TestBuildConfigValidation(t *testing.T) {
+	base := options{
+		addr: "localhost:7700", conns: 4, streams: 64, samples: 4096,
+		batch: 256, period: 8, ack: "applied", dist: "uniform", seed: 1,
+	}
+	for _, tc := range []struct {
+		name    string
+		mut     func(*options)
+		check   func(t *testing.T, cfg loadgen.Config)
+		wantErr string
+	}{
+		{
+			name: "defaults",
+			mut:  func(o *options) {},
+			check: func(t *testing.T, cfg loadgen.Config) {
+				if cfg.Workload.Dist.Kind != loadgen.DistUniform || cfg.Workload.Seed != 1 {
+					t.Errorf("defaults built workload %+v", cfg.Workload)
+				}
+				if cfg.Ack != client.AckApplied {
+					t.Errorf("defaults built ack %v", cfg.Ack)
+				}
+			},
+		},
+		{
+			name: "zipf with churn and burst",
+			mut: func(o *options) {
+				o.dist, o.seed, o.churn, o.burst, o.mixed = "zipf:0.99", 42, 8, "4096:250ms", true
+			},
+			check: func(t *testing.T, cfg loadgen.Config) {
+				w := cfg.Workload
+				if w.Dist.Kind != loadgen.DistZipf || w.Dist.Theta != 0.99 || w.Seed != 42 || w.Churn != 8 || !w.Mixed {
+					t.Errorf("built workload %+v", w)
+				}
+				if len(w.Phases) != 1 || w.Phases[0].Samples != 4096 || w.Phases[0].Pause != 250*time.Millisecond {
+					t.Errorf("built phases %+v", w.Phases)
+				}
+			},
+		},
+		{
+			name: "durable ack and retry budget",
+			mut:  func(o *options) { o.ack, o.retryBudget = "durable", "30s" },
+			check: func(t *testing.T, cfg loadgen.Config) {
+				if cfg.Ack != client.AckDurable || cfg.RetryBudget != 30*time.Second {
+					t.Errorf("built ack=%v budget=%v", cfg.Ack, cfg.RetryBudget)
+				}
+			},
+		},
+		{name: "bad ack", mut: func(o *options) { o.ack = "never" }, wantErr: "-ack"},
+		{name: "bad retry budget", mut: func(o *options) { o.retryBudget = "soon" }, wantErr: "-retry-budget"},
+		{name: "bare zipf", mut: func(o *options) { o.dist = "zipf" }, wantErr: "-dist"},
+		{name: "bad theta", mut: func(o *options) { o.dist = "zipf:hot" }, wantErr: "-dist"},
+		{name: "negative theta", mut: func(o *options) { o.dist = "zipf:-1" }, wantErr: "-dist"},
+		{name: "unknown dist", mut: func(o *options) { o.dist = "pareto" }, wantErr: "-dist"},
+		{name: "bad burst shape", mut: func(o *options) { o.burst = "4096" }, wantErr: "-burst"},
+		{name: "bad burst on", mut: func(o *options) { o.burst = "0:250ms" }, wantErr: "-burst"},
+		{name: "bad burst off", mut: func(o *options) { o.burst = "64:often" }, wantErr: "-burst"},
+		{name: "negative churn", mut: func(o *options) { o.churn = -2 }, wantErr: "-churn"},
+		{name: "mixed with magnitude", mut: func(o *options) { o.mixed, o.magnitude = true, true }, wantErr: "exclusive"},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mut(&o)
+			cfg, err := buildConfig(o)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("buildConfig err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, cfg)
+		})
+	}
+}
+
+// TestGoldenSequenceSameFlags: two runs assembled from the identical
+// flag set produce the identical per-stream sample sequence — equal
+// fingerprints, equal per-stream counts, equal detector states. This is
+// the CLI-level reproducibility contract behind `dpdload -seed`.
+func TestGoldenSequenceSameFlags(t *testing.T) {
+	o := options{
+		conns: 4, streams: 32, samples: 128, batch: 16, period: 6,
+		ack: "applied", dist: "zipf:0.99", seed: 42, churn: 2,
+	}
+	run := func() (loadgen.Report, map[uint64]dpd.Stat) {
+		cfg, err := buildConfig(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := dpd.NewPool(dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		rep, err := loadgen.RunPool(context.Background(), cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := make(map[uint64]dpd.Stat)
+		for _, st := range p.Snapshot(nil) {
+			stats[st.Key] = st.Stat
+		}
+		return rep, stats
+	}
+	repA, statsA := run()
+	repB, statsB := run()
+	if repA.Fingerprint != repB.Fingerprint {
+		t.Fatalf("same flags, different fingerprints: %#x != %#x", repA.Fingerprint, repB.Fingerprint)
+	}
+	if repA.Samples != repB.Samples || repA.DistinctStreams != repB.DistinctStreams {
+		t.Fatalf("same flags, different totals: %d/%d vs %d/%d",
+			repA.Samples, repA.DistinctStreams, repB.Samples, repB.DistinctStreams)
+	}
+	for k, n := range repA.StreamSamples {
+		if repB.StreamSamples[k] != n {
+			t.Fatalf("stream %d: %d samples vs %d", k, n, repB.StreamSamples[k])
+		}
+	}
+	if len(statsA) != len(statsB) {
+		t.Fatalf("different stream counts: %d vs %d", len(statsA), len(statsB))
+	}
+	for k, st := range statsA {
+		if statsB[k] != st {
+			t.Fatalf("stream %d: detector state differs across identical flag runs", k)
+		}
+	}
+}
+
+// TestPrintDetails: the extras renderer surfaces phases, hottest
+// streams and the fingerprint.
+func TestPrintDetails(t *testing.T) {
+	rep := loadgen.Report{
+		DistinctStreams: 2,
+		Fingerprint:     0xabc,
+		StreamSamples:   map[uint64]uint64{3: 100, 9: 40},
+		Phases: []loadgen.PhaseReport{
+			{Name: "burst", Samples: 140, MelemsPerSec: 1.5},
+		},
+	}
+	var sb strings.Builder
+	printDetails(&sb, rep)
+	out := sb.String()
+	for _, want := range []string{"burst", "3×100", "9×40", "0xabc", "2 distinct"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printDetails output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestHistBucketEdges: 0 and negative clamp to bucket 0, small values
+// are exact, octave boundaries land in their own octave's first
+// sub-bucket, and values at or beyond the cap clamp into the last
+// bucket instead of indexing out of range.
+func TestHistBucketEdges(t *testing.T) {
+	if got := histBucket(0); got != 0 {
+		t.Errorf("histBucket(0) = %d, want 0", got)
+	}
+	if got := histBucket(-5); got != 0 {
+		t.Errorf("histBucket(-5) = %d, want 0 (negative clamps)", got)
+	}
+	for v := int64(0); v < histExact; v++ {
+		if got := histBucket(v); got != int(v) {
+			t.Fatalf("histBucket(%d) = %d, want exact %d", v, got, v)
+		}
+	}
+	// First split octave starts right after the exact region.
+	if got := histBucket(histExact); got != histExact {
+		t.Errorf("histBucket(%d) = %d, want %d", histExact, got, histExact)
+	}
+	// Octave boundaries: 2^k maps to that octave's sub-bucket 0, and
+	// 2^k - 1 to the previous octave's last sub-bucket.
+	for k := uint(6); k < histMaxLen; k++ {
+		lo := int64(1) << (k - 1)
+		if histBucket(lo) != histBucket(lo+1) && histBucket(lo)+1 != histBucket(lo+1) {
+			t.Fatalf("2^%d: neighbors map non-monotonically", k-1)
+		}
+		if a, b := histBucket(lo-1), histBucket(lo); a >= b {
+			t.Fatalf("2^%d boundary: bucket(%d)=%d !< bucket(%d)=%d", k-1, lo-1, a, lo, b)
+		}
+	}
+	// Overflow clamp: the cap, MaxInt64, and everything between land in
+	// the final bucket.
+	last := histBuckets - 1
+	for _, v := range []int64{1 << histMaxLen, 1<<histMaxLen + 12345, math.MaxInt64} {
+		if got := histBucket(v); got != last {
+			t.Errorf("histBucket(%d) = %d, want clamp to last bucket %d", v, got, last)
+		}
+	}
+	// Bounds invert the mapping: every bucket's lo maps back to itself.
+	for idx := 0; idx < histBuckets; idx++ {
+		lo, hi := histBounds(idx)
+		if hi <= lo {
+			t.Fatalf("bucket %d: bounds [%d,%d) empty", idx, lo, hi)
+		}
+		if got := histBucket(lo); got != idx {
+			t.Fatalf("bucket %d: histBucket(lo=%d) = %d", idx, lo, got)
+		}
+		if got := histBucket(hi - 1); got != idx {
+			t.Fatalf("bucket %d: histBucket(hi-1=%d) = %d", idx, hi-1, got)
+		}
+	}
+}
+
+// TestHistQuantileInterpolation: quantiles of a known distribution come
+// back within one bucket's resolution, interpolation is monotone in q,
+// and the extremes behave (empty hist → 0; q=1 → exact max).
+func TestHistQuantileInterpolation(t *testing.T) {
+	var h Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile(0.5) = %v, want 0", got)
+	}
+	// 1..1000 ns each once: quantile q ≈ 1000q ns, within 6.25% bucket
+	// error plus interpolation slack.
+	for v := 1; v <= 1000; v++ {
+		h.Record(time.Duration(v))
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := float64(h.Quantile(q))
+		want := 1000 * q
+		if math.Abs(got-want) > 0.08*want+2 {
+			t.Errorf("Quantile(%v) = %v, want ≈ %v", q, got, want)
+		}
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %v, want the exact max 1000", got)
+	}
+	prev := time.Duration(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile not monotone: q=%v → %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+	// A point mass sits in one exact bucket: all quantiles equal it.
+	var p Hist
+	for i := 0; i < 100; i++ {
+		p.Record(17)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.999} {
+		if got := p.Quantile(q); got < 17 || got > 18 {
+			t.Errorf("point mass Quantile(%v) = %v, want 17", q, got)
+		}
+	}
+}
+
+// TestHistMergeAssociativeCommutative: (a⊕b)⊕c equals a⊕(b⊕c) and b⊕a
+// equals a⊕b bucket-for-bucket — per-goroutine histograms can be folded
+// in any order.
+func TestHistMergeAssociativeCommutative(t *testing.T) {
+	mk := func(seed uint64, n int) *Hist {
+		h := &Hist{}
+		s := seed
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(splitmix64(&s) % (1 << 22)))
+		}
+		return h
+	}
+	merge := func(hs ...*Hist) *Hist {
+		out := &Hist{}
+		for _, h := range hs {
+			out.Merge(h)
+		}
+		return out
+	}
+	a, b, c := mk(1, 500), mk(2, 300), mk(3, 700)
+	left := merge(merge(a, b), c)
+	right := merge(a, merge(b, c))
+	swapped := merge(b, a, c)
+	for _, o := range []*Hist{right, swapped} {
+		if *left != *o {
+			t.Fatal("merge is not associative/commutative: merged histograms differ")
+		}
+	}
+	if left.Count() != 1500 {
+		t.Fatalf("merged Count = %d, want 1500", left.Count())
+	}
+	if left.Max() != a.Max() && left.Max() != b.Max() && left.Max() != c.Max() {
+		t.Fatalf("merged Max %v is none of the inputs' maxima", left.Max())
+	}
+}
+
+// TestHistRecordMergeAllocFree is the measurement layer's own alloc
+// gate: recording a latency and merging histograms are 0 allocs/op, so
+// enabling measurement cannot disturb the allocation-free paths the
+// harness referees.
+func TestHistRecordMergeAllocFree(t *testing.T) {
+	var h, o Hist
+	i := int64(1)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(time.Duration(i * 37))
+		i++
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		o.Merge(&h)
+	}); n != 0 {
+		t.Fatalf("Merge allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+	}); n != 0 {
+		t.Fatalf("Quantile allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// TestHistMeanMax: exact mean and max tracking.
+func TestHistMeanMax(t *testing.T) {
+	var h Hist
+	for _, v := range []time.Duration{10, 20, 30} {
+		h.Record(v)
+	}
+	if got := h.Mean(); got != 20 {
+		t.Errorf("Mean = %v, want 20", got)
+	}
+	if got := h.Max(); got != 30 {
+		t.Errorf("Max = %v, want 30", got)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("Reset left state behind: %d %v %v", h.Count(), h.Max(), h.Mean())
+	}
+}

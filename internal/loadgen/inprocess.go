@@ -1,0 +1,79 @@
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"dpd"
+)
+
+// poolSink adapts a pool's batch feed path to the drive loop. Each
+// feeder owns one sink, so the staging buffer is recycled without
+// locking; the recorded latency is the FeedBatch call itself, which
+// includes the pool's in-flight backpressure.
+type poolSink struct {
+	p   *dpd.Pool
+	buf []dpd.KeyedSample
+}
+
+func (s *poolSink) send(key uint64, n int, fill func(i int) dpd.KeyedSample) error {
+	if cap(s.buf) < n {
+		s.buf = make([]dpd.KeyedSample, n)
+	}
+	s.buf = s.buf[:n]
+	for i := 0; i < n; i++ {
+		s.buf[i] = fill(i)
+	}
+	s.p.FeedBatch(s.buf)
+	return nil
+}
+
+func (s *poolSink) sendEvents(key uint64, vals []int64) error {
+	return s.send(key, len(vals), func(i int) dpd.KeyedSample {
+		return dpd.KeyedSample{Key: key, Value: vals[i]}
+	})
+}
+
+func (s *poolSink) sendMagnitudes(key uint64, vals []float64) error {
+	return s.send(key, len(vals), func(i int) dpd.KeyedSample {
+		return dpd.KeyedSample{Key: key, Magnitude: vals[i]}
+	})
+}
+
+func (s *poolSink) flushStaged() error { return nil }
+
+// RunPool executes one load run in-process against p — no sockets, no
+// frames — measuring the sharded feed path itself. The workload,
+// shaping, per-key sequences and Report semantics are identical to
+// Run's (the drive loop is shared), so the scaling matrix and the
+// differential referee stress exactly the traffic the wire path
+// carries, minus the wire. The pool is not closed; the caller owns it.
+func RunPool(ctx context.Context, cfg Config, p *dpd.Pool) (Report, error) {
+	cfg.normalize()
+	if err := cfg.Workload.validate(); err != nil {
+		return Report{}, err
+	}
+	var (
+		mu      sync.Mutex
+		results []connResult
+		first   error
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	for ci := 0; ci < cfg.Conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			res, err := driveConn(ctx, &cfg, ci, &poolSink{p: p})
+			mu.Lock()
+			results = append(results, res)
+			if err != nil && first == nil {
+				first = err
+			}
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	return buildReport(&cfg, time.Since(start), results), first
+}

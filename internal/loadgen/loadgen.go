@@ -1,21 +1,34 @@
-// Package loadgen drives a dpdserver ingest listener with synthetic
-// periodic traffic: N connections × M keyed streams of period-P
-// samples, batched and optionally rate-limited — the way "heavy
-// traffic from millions of users" is demoed and integration-tested
-// locally without a fleet. Each connection is an internal/client
-// Client, so a load run rides the real resilience machinery: bounded
-// replay windows, reconnect with backoff, cursor resync and overload
-// retry-after. A run therefore survives server restarts mid-run and
-// still delivers every sample exactly once, and when Run returns every
-// generated sample has been applied by the server's pool (ping-barrier
-// confirmed), not merely buffered in a socket.
+// Package loadgen drives a dpd detector pool with synthetic periodic
+// traffic — over the wire against a dpdserver ingest listener, or
+// in-process against a dpd.Pool — the way "heavy traffic from millions
+// of users" is demoed, measured and integration-tested locally without
+// a fleet.
+//
+// Beyond the PR 5 steady uniform shape (N connections × M keyed
+// streams, batched, rate-limited), a run composes adversarial
+// dimensions through the Workload spec: zipf-skewed key popularity
+// ("celebrity streams"), create/evict churn storms through the pool's
+// TTL eviction and freelists, bursty and ramping arrivals through a
+// rate shaper, and mixed event/magnitude traffic. Every draw derives
+// from the seed, so any run — and any single stream's exact sample
+// subsequence (SampleAt) — is reproducible, which is what lets the
+// differential referee tests pin pooled results byte-identical to
+// standalone detectors under every one of these workloads.
+//
+// Measurement rides along: each connection records every batch's accept
+// latency into a zero-allocation log-bucketed histogram (Hist), merged
+// across connections into the Report's p50/p99/p999 alongside Melem/s,
+// with a per-phase breakdown so burst recovery is visible. Wire
+// connections are internal/client Clients, so a load run also rides the
+// real resilience machinery: bounded replay windows, reconnect with
+// backoff, cursor resync and overload retry-after — a run survives
+// server restarts mid-run and still delivers every sample exactly once.
 package loadgen
 
 import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dpd/internal/client"
@@ -24,24 +37,29 @@ import (
 
 // Config parameterizes one load run.
 type Config struct {
-	// Addr is the server's ingest address.
+	// Addr is the server's ingest address (ignored by RunPool).
 	Addr string
-	// Conns is the number of concurrent TCP connections; 0 selects 1.
+	// Conns is the number of concurrent TCP connections (feeder
+	// goroutines for RunPool); 0 selects 1.
 	Conns int
-	// Streams is the total number of keyed streams, partitioned
-	// round-robin across connections (keys 0..Streams-1 offset by
-	// KeyBase); 0 selects Conns.
+	// Streams is the number of concurrently-live keyed streams,
+	// partitioned round-robin across connections (keys 0..Streams-1
+	// offset by KeyBase); 0 selects Conns. With Workload.Churn, each
+	// generation targets a fresh window of Streams keys.
 	Streams int
 	// KeyBase offsets every stream key, so successive runs can target
 	// fresh or existing streams deliberately.
 	KeyBase uint64
-	// SamplesPerStream is how many samples each stream receives; 0
+	// SamplesPerStream is how many samples each stream receives under a
+	// uniform distribution (with churn, divided across generations;
+	// with zipf, the per-stream mean — hot streams take more); 0
 	// selects 1024.
 	SamplesPerStream int
 	// BatchSize is the samples per batch frame; 0 selects 256.
 	BatchSize int
-	// Period is the synthetic pattern's period: stream key k at index t
-	// carries value (t % Period) + k·PatternStride; 0 selects 8.
+	// Period is the synthetic pattern's period: stream key k at its
+	// per-key index i carries value (i % Period) + k·PatternStride; 0
+	// selects 8.
 	Period int
 	// PatternStride offsets each stream's value alphabet so distinct
 	// streams never share values (useful when eyeballing snapshots);
@@ -51,7 +69,8 @@ type Config struct {
 	// (float64 samples) for pools running the magnitude engine.
 	Magnitude bool
 	// Rate bounds aggregate throughput in samples/second across all
-	// connections; 0 is unlimited.
+	// connections; 0 is unlimited. Ignored when Workload.Phases shape
+	// arrivals explicitly.
 	Rate float64
 	// Window is each connection's replay-window depth in batches; 0
 	// selects the client default (256).
@@ -63,20 +82,86 @@ type Config struct {
 	// RetryBudget caps how long a connection retries without progress
 	// before the run fails; 0 selects the client default (30s).
 	RetryBudget time.Duration
+	// Workload composes the adversarial dimensions: key distribution,
+	// churn generations, arrival phases, event/magnitude mix, seed. The
+	// zero value is the legacy uniform/steady workload.
+	Workload Workload
+}
+
+// normalize applies defaults in place.
+func (c *Config) normalize() {
+	if c.Conns <= 0 {
+		c.Conns = 1
+	}
+	if c.Streams <= 0 {
+		c.Streams = c.Conns
+	}
+	if c.SamplesPerStream <= 0 {
+		c.SamplesPerStream = 1024
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchSize > server.MaxBatch {
+		c.BatchSize = server.MaxBatch
+	}
+	if c.Period <= 0 {
+		c.Period = 8
+	}
+}
+
+// PhaseReport is one arrival phase's share of a completed run,
+// aggregated across connections and cycles: how fast the phase ran and
+// what its batch-accept latency tail looked like — the per-phase
+// breakdown that makes burst recovery visible next to the steady state.
+type PhaseReport struct {
+	// Name is the phase's label from the schedule.
+	Name string
+	// Samples is the phase's total applied samples across connections.
+	Samples uint64
+	// Active is the phase's busiest connection's non-pause wall time —
+	// the denominator of MelemsPerSec.
+	Active time.Duration
+	// MelemsPerSec is the phase's throughput in millions of samples/s.
+	MelemsPerSec float64
+	// P50, P99 and P999 are the phase's batch-accept latency quantiles.
+	P50, P99, P999 time.Duration
 }
 
 // Report summarizes one completed run.
 type Report struct {
 	// Samples is the total number of samples applied by the server
-	// (ping-barrier confirmed).
+	// (ping-barrier confirmed; for RunPool, applied by the pool).
 	Samples uint64
 	// Conns and Streams echo the effective run shape.
 	Conns, Streams int
+	// DistinctStreams is how many distinct keys the run touched (>
+	// Streams when churn cycles through fresh key windows).
+	DistinctStreams int
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// MelemsPerSec is end-to-end throughput in millions of samples per
 	// second: encode → TCP → decode → pool, barrier included.
 	MelemsPerSec float64
+	// P50, P99, P999 and MaxLatency summarize batch-accept latency: the
+	// time for a batch to be accepted into the replay window (wire) or
+	// applied by the pool (in-process). Under a bounded window this is
+	// the backpressure signal — when the server falls behind, accepts
+	// stall and the tail grows.
+	P50, P99, P999, MaxLatency time.Duration
+	// Latency is the merged batch-accept histogram behind those
+	// quantiles.
+	Latency *Hist
+	// Phases breaks the run down per arrival phase (one entry per
+	// schedule position; always at least the steady phase).
+	Phases []PhaseReport
+	// StreamSamples is every touched key's applied sample count — the
+	// workload's popularity histogram (zipf shape, churn windows), and
+	// the per-key replay lengths differential tests feed to SampleAt.
+	StreamSamples map[uint64]uint64
+	// Fingerprint is Fingerprint(StreamSamples): equal across runs of
+	// the same seeded spec.
+	Fingerprint uint64
 	// Reconnects counts connection recoveries across the run (0 on a
 	// healthy server).
 	Reconnects uint64
@@ -90,7 +175,11 @@ type Report struct {
 // String renders the report the way cmd/dpdload prints it.
 func (r Report) String() string {
 	s := fmt.Sprintf("loadgen: %d samples over %d conns × %d streams in %v → %.2f Melem/s end-to-end",
-		r.Samples, r.Conns, r.Streams, r.Elapsed.Round(time.Millisecond), r.MelemsPerSec)
+		r.Samples, r.Conns, r.DistinctStreams, r.Elapsed.Round(time.Millisecond), r.MelemsPerSec)
+	if r.Latency != nil && r.Latency.Count() > 0 {
+		s += fmt.Sprintf("\n  batch-accept latency p50/p99/p999 = %v/%v/%v (max %v)",
+			r.P50, r.P99, r.P999, r.MaxLatency)
+	}
 	if r.Reconnects > 0 || r.OverloadBackoffs > 0 {
 		s += fmt.Sprintf(" (%d reconnects, %d samples replayed, %d overload backoffs)",
 			r.Reconnects, r.ReplayedSamples, r.OverloadBackoffs)
@@ -98,84 +187,179 @@ func (r Report) String() string {
 	return s
 }
 
-// Run executes one load run and blocks until every connection has
-// finished and barriered (or ctx is cancelled, which aborts the run
-// with its error). Connections share nothing but the counters, so the
-// generator itself scales with cores.
-func Run(ctx context.Context, cfg Config) (Report, error) {
-	if cfg.Conns <= 0 {
-		cfg.Conns = 1
-	}
-	if cfg.Streams <= 0 {
-		cfg.Streams = cfg.Conns
-	}
-	if cfg.SamplesPerStream <= 0 {
-		cfg.SamplesPerStream = 1024
-	}
-	if cfg.BatchSize <= 0 {
-		cfg.BatchSize = 256
-	}
-	if cfg.BatchSize > server.MaxBatch {
-		cfg.BatchSize = server.MaxBatch
-	}
-	if cfg.Period <= 0 {
-		cfg.Period = 8
-	}
+// connResult is one connection's contribution to the report.
+type connResult struct {
+	samples uint64
+	aggs    []phaseAgg
+	counts  map[uint64]uint64
+	stats   client.Stats
+}
 
-	var (
-		sent       atomic.Uint64
-		reconnects atomic.Uint64
-		replayed   atomic.Uint64
-		backoffs   atomic.Uint64
-		wg         sync.WaitGroup
-		errMu      sync.Mutex
-		first      error
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if first == nil {
-			first = err
-		}
-		errMu.Unlock()
+// batchSink abstracts where generated batches land: a resilient wire
+// client or an in-process pool.
+type batchSink interface {
+	sendEvents(key uint64, vals []int64) error
+	sendMagnitudes(key uint64, vals []float64) error
+	// flushStaged pushes buffered frames before the shaper idles, so the
+	// server keeps draining while the generator sleeps.
+	flushStaged() error
+}
+
+// driveConn runs connection ci's whole workload into sink: generate,
+// shape, time, attribute. It is the one drive loop shared by the wire
+// and in-process paths, so both measure exactly the same workload.
+func driveConn(ctx context.Context, cfg *Config, ci int, sink batchSink) (connResult, error) {
+	g := newConnGen(cfg, ci)
+	sh := newShaper(cfg)
+	evs := make([]int64, cfg.BatchSize)
+	mags := make([]float64, cfg.BatchSize)
+	res := connResult{counts: g.counts}
+	finish := func(err error) (connResult, error) {
+		sh.finish()
+		res.aggs = sh.aggs
+		return res, err
 	}
+	for {
+		key, start, n, ok := g.nextBatch()
+		if !ok {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		if err := sh.prepare(ctx, sink.flushStaged); err != nil {
+			return finish(err)
+		}
+		mag := magnitudeKey(cfg, key)
+		for i := 0; i < n; i++ {
+			v := sampleValue(cfg, key, start+uint64(i))
+			if mag {
+				mags[i] = float64(v)
+			} else {
+				evs[i] = v
+			}
+		}
+		t0 := time.Now()
+		var err error
+		if mag {
+			err = sink.sendMagnitudes(key, mags[:n])
+		} else {
+			err = sink.sendEvents(key, evs[:n])
+		}
+		if err != nil {
+			return finish(err)
+		}
+		sh.record(n, time.Since(t0))
+		res.samples += uint64(n)
+		if err := sh.pace(ctx, sink.flushStaged); err != nil {
+			return finish(err)
+		}
+	}
+	return finish(nil)
+}
+
+// buildReport merges per-connection results into the run summary.
+func buildReport(cfg *Config, elapsed time.Duration, results []connResult) Report {
+	rep := Report{
+		Conns:         cfg.Conns,
+		Streams:       cfg.Streams,
+		Elapsed:       elapsed,
+		Latency:       &Hist{},
+		StreamSamples: make(map[uint64]uint64),
+	}
+	phases := effectivePhases(cfg)
+	merged := make([]phaseAgg, len(phases))
+	for _, r := range results {
+		rep.Samples += r.samples
+		rep.Reconnects += r.stats.Reconnects
+		rep.ReplayedSamples += r.stats.ReplayedSamples
+		rep.OverloadBackoffs += r.stats.OverloadBackoffs
+		for k, n := range r.counts {
+			rep.StreamSamples[k] += n
+		}
+		for i := range r.aggs {
+			merged[i].name = r.aggs[i].name
+			merged[i].samples += r.aggs[i].samples
+			if r.aggs[i].active > merged[i].active {
+				merged[i].active = r.aggs[i].active
+			}
+			merged[i].hist.Merge(&r.aggs[i].hist)
+		}
+	}
+	for i := range merged {
+		pr := PhaseReport{
+			Name:    merged[i].name,
+			Samples: merged[i].samples,
+			Active:  merged[i].active,
+			P50:     merged[i].hist.Quantile(0.50),
+			P99:     merged[i].hist.Quantile(0.99),
+			P999:    merged[i].hist.Quantile(0.999),
+		}
+		if s := merged[i].active.Seconds(); s > 0 {
+			pr.MelemsPerSec = float64(merged[i].samples) / s / 1e6
+		}
+		rep.Phases = append(rep.Phases, pr)
+		rep.Latency.Merge(&merged[i].hist)
+	}
+	rep.DistinctStreams = len(rep.StreamSamples)
+	rep.Fingerprint = Fingerprint(rep.StreamSamples)
+	rep.P50 = rep.Latency.Quantile(0.50)
+	rep.P99 = rep.Latency.Quantile(0.99)
+	rep.P999 = rep.Latency.Quantile(0.999)
+	rep.MaxLatency = rep.Latency.Max()
+	if s := elapsed.Seconds(); s > 0 {
+		rep.MelemsPerSec = float64(rep.Samples) / s / 1e6
+	}
+	return rep
+}
+
+// Run executes one load run over the wire and blocks until every
+// connection has finished and barriered (or ctx is cancelled, which
+// aborts the run with its error). Connections share nothing but the
+// counters, so the generator itself scales with cores.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	cfg.normalize()
+	if err := cfg.Workload.validate(); err != nil {
+		return Report{}, err
+	}
+	var (
+		mu      sync.Mutex
+		results []connResult
+		first   error
+		wg      sync.WaitGroup
+	)
 	start := time.Now()
-	perConnRate := cfg.Rate / float64(cfg.Conns)
 	for ci := 0; ci < cfg.Conns; ci++ {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			n, st, err := runConn(ctx, cfg, ci, perConnRate)
-			sent.Add(n)
-			reconnects.Add(st.Reconnects)
-			replayed.Add(st.ReplayedSamples)
-			backoffs.Add(st.OverloadBackoffs)
-			if err != nil {
-				fail(fmt.Errorf("loadgen conn %d: %w", ci, err))
+			res, err := runConn(ctx, &cfg, ci)
+			mu.Lock()
+			results = append(results, res)
+			if err != nil && first == nil {
+				first = fmt.Errorf("loadgen conn %d: %w", ci, err)
 			}
+			mu.Unlock()
 		}(ci)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	rep := Report{
-		Samples:          sent.Load(),
-		Conns:            cfg.Conns,
-		Streams:          cfg.Streams,
-		Elapsed:          elapsed,
-		Reconnects:       reconnects.Load(),
-		ReplayedSamples:  replayed.Load(),
-		OverloadBackoffs: backoffs.Load(),
-	}
-	if s := elapsed.Seconds(); s > 0 {
-		rep.MelemsPerSec = float64(rep.Samples) / s / 1e6
-	}
-	return rep, first
+	return buildReport(&cfg, time.Since(start), results), first
 }
 
+// clientSink adapts a resilient client to the drive loop.
+type clientSink struct{ cl *client.Client }
+
+func (s clientSink) sendEvents(key uint64, vals []int64) error { return s.cl.SendEvents(key, vals) }
+func (s clientSink) sendMagnitudes(key uint64, vals []float64) error {
+	return s.cl.SendMagnitudes(key, vals)
+}
+func (s clientSink) flushStaged() error { return s.cl.Flush() }
+
 // runConn drives one connection through a resilient client: its share
-// of the streams, batch by batch in time order, then the ping barrier
-// and the graceful close. The returned count is barrier-confirmed
-// applied samples; stats are the client's counters for aggregation.
-func runConn(ctx context.Context, cfg Config, ci int, rate float64) (uint64, client.Stats, error) {
+// of the workload batch by batch, then the ping barrier and the
+// graceful close. The returned result's samples are barrier-confirmed
+// applied samples.
+func runConn(ctx context.Context, cfg *Config, ci int) (connResult, error) {
 	cl, err := client.Dial(client.Config{
 		Addr:        cfg.Addr,
 		Window:      cfg.Window,
@@ -184,65 +368,21 @@ func runConn(ctx context.Context, cfg Config, ci int, rate float64) (uint64, cli
 		Seed:        uint64(ci) + 1,
 	})
 	if err != nil {
-		return 0, client.Stats{}, err
+		return connResult{}, err
 	}
 	defer cl.Close()
 
-	// This connection's streams: keys ci, ci+Conns, ci+2·Conns, …
-	var keys []uint64
-	for k := ci; k < cfg.Streams; k += cfg.Conns {
-		keys = append(keys, cfg.KeyBase+uint64(k))
+	res, err := driveConn(ctx, cfg, ci, clientSink{cl})
+	res.stats = cl.Stats()
+	if err != nil {
+		return res, err
 	}
-
-	evs := make([]int64, cfg.BatchSize)
-	mags := make([]float64, cfg.BatchSize)
-	connStart := time.Now()
-	var connSent uint64
-	for t := 0; t < cfg.SamplesPerStream; t += cfg.BatchSize {
-		n := cfg.BatchSize
-		if t+n > cfg.SamplesPerStream {
-			n = cfg.SamplesPerStream - t
-		}
-		for _, key := range keys {
-			if err := ctx.Err(); err != nil {
-				return connSent, cl.Stats(), err
-			}
-			stride := cfg.PatternStride * int64(key-cfg.KeyBase)
-			for i := 0; i < n; i++ {
-				v := int64((t+i)%cfg.Period) + stride
-				evs[i], mags[i] = v, float64(v)
-			}
-			if cfg.Magnitude {
-				err = cl.SendMagnitudes(key, mags[:n])
-			} else {
-				err = cl.SendEvents(key, evs[:n])
-			}
-			if err != nil {
-				return connSent, cl.Stats(), err
-			}
-			connSent += uint64(n)
-			if rate > 0 {
-				// Pace against the connection's own clock: sleep until the
-				// sent total is back under rate × elapsed.
-				ahead := time.Duration(float64(connSent)/rate*float64(time.Second)) - time.Since(connStart)
-				if ahead > time.Millisecond {
-					if err := cl.Flush(); err != nil {
-						return connSent, cl.Stats(), err
-					}
-					select {
-					case <-time.After(ahead):
-					case <-ctx.Done():
-						return connSent, cl.Stats(), ctx.Err()
-					}
-				}
-			}
-		}
-	}
-
 	// Barrier: proves every batch above was applied, surviving any
 	// reconnects it takes to get there.
 	if err := cl.Barrier(); err != nil {
-		return connSent, cl.Stats(), err
+		res.stats = cl.Stats()
+		return res, err
 	}
-	return connSent, cl.Stats(), cl.Close()
+	res.stats = cl.Stats()
+	return res, cl.Close()
 }

@@ -1,0 +1,123 @@
+package loadgen
+
+import (
+	"math"
+	"sort"
+)
+
+// splitmix64 advances *s and returns the next output of the SplitMix64
+// generator — the same mixer the pool's key hash is built on. It is the
+// harness's only randomness source, so every draw is a pure function of
+// the seed: two runs with the same seed produce bit-identical key
+// sequences on any platform and Go version.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps one splitmix64 output to [0,1) with 53 bits of
+// precision.
+func unitFloat(s *uint64) float64 {
+	return float64(splitmix64(s)>>11) / (1 << 53)
+}
+
+// Zipf draws ranks in [0,n) with P(rank=k) ∝ 1/(k+1)^theta — rank 0 is
+// the hottest key, the "celebrity stream" of a skewed workload. Theta 0
+// is uniform; 0.99 is the classic YCSB hot-spot; above 1 the head takes
+// almost everything. Draws are deterministic under the seed.
+//
+// For theta < 1 it uses the Gray et al. quick inverse (the technique of
+// the Doppel exemplar's zipf.go): O(n) zeta precomputation once, O(1)
+// per draw. That closed form is only valid below 1, so for theta ≥ 1 it
+// falls back to an exact inverse-CDF table with an O(log n) binary
+// search per draw — the harness prefers exactness over speed there,
+// since theta 1.2 workloads exist to stress skew, not throughput.
+type Zipf struct {
+	n     uint64
+	theta float64
+	state uint64
+
+	// Gray quick-inverse terms (theta < 1).
+	alpha, zetan, eta, halfPowTheta float64
+
+	// Exact inverse CDF (theta ≥ 1): cum[k] = P(rank ≤ k).
+	cum []float64
+}
+
+// NewZipf returns a zipf(theta) rank source over [0,n) seeded with
+// seed. n must be ≥ 1 and theta ≥ 0 and finite (ParseDist enforces the
+// same bounds for flag input).
+func NewZipf(n uint64, theta float64, seed uint64) *Zipf {
+	if n < 1 {
+		panic("loadgen: NewZipf needs n >= 1")
+	}
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		panic("loadgen: NewZipf needs a finite theta >= 0")
+	}
+	z := &Zipf{n: n, theta: theta, state: seed}
+	// Mix the seed once so 0, 1, 2… seeds do not start in the raw
+	// low-entropy region of the splitmix counter.
+	splitmix64(&z.state)
+	if theta < 1 {
+		zetan := zeta(n, theta)
+		zeta2 := zeta(2, theta)
+		z.alpha = 1 / (1 - theta)
+		z.zetan = zetan
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta2/zetan)
+		z.halfPowTheta = 1 + math.Pow(0.5, theta)
+		return z
+	}
+	z.cum = make([]float64, n)
+	sum := 0.0
+	for k := uint64(0); k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), theta)
+		z.cum[k] = sum
+	}
+	for k := range z.cum {
+		z.cum[k] /= sum
+	}
+	return z
+}
+
+// N returns the rank-space size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Next draws the next rank. It never allocates.
+func (z *Zipf) Next() uint64 {
+	u := unitFloat(&z.state)
+	if z.cum != nil {
+		// Exact path: first k with cum[k] > u.
+		k := sort.SearchFloat64s(z.cum, u)
+		if z.cum[k] == u && k+1 < len(z.cum) { // Search finds ==; we want strictly above
+			k++
+		}
+		return uint64(k)
+	}
+	if z.n == 1 {
+		return 0
+	}
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < z.halfPowTheta {
+		return 1
+	}
+	r := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
+// zeta returns the generalized harmonic number H_{n,theta}.
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+)
+
+// TestZipfDeterministicUnderSeed: same (n, theta, seed) ⇒ bit-identical
+// draw sequences; different seeds diverge.
+func TestZipfDeterministicUnderSeed(t *testing.T) {
+	for _, theta := range []float64{0, 0.6, 0.99, 1, 1.2} {
+		a := NewZipf(1000, theta, 42)
+		b := NewZipf(1000, theta, 42)
+		c := NewZipf(1000, theta, 43)
+		diverged := false
+		for i := 0; i < 10000; i++ {
+			av, bv, cv := a.Next(), b.Next(), c.Next()
+			if av != bv {
+				t.Fatalf("theta=%v draw %d: same seed diverged (%d != %d)", theta, i, av, bv)
+			}
+			if av != cv {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Fatalf("theta=%v: seeds 42 and 43 produced identical sequences", theta)
+		}
+	}
+}
+
+// TestZipfInRange: every draw lands in [0, n), for both the Gray fast
+// path (theta < 1) and the exact inverse-CDF path (theta ≥ 1), and for
+// tiny rank spaces.
+func TestZipfInRange(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 17, 1024} {
+		for _, theta := range []float64{0, 0.5, 0.99, 1, 1.2, 3} {
+			z := NewZipf(n, theta, 7)
+			for i := 0; i < 20000; i++ {
+				if r := z.Next(); r >= n {
+					t.Fatalf("n=%d theta=%v: draw %d out of range", n, theta, r)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfSkewShape: rank 0's share grows with theta and matches the
+// analytic zipf head probability to loose tolerance; theta 0 is
+// uniform.
+func TestZipfSkewShape(t *testing.T) {
+	const n, draws = 100, 200000
+	share := func(theta float64) float64 {
+		z := NewZipf(n, theta, 11)
+		hot := 0
+		for i := 0; i < draws; i++ {
+			if z.Next() == 0 {
+				hot++
+			}
+		}
+		return float64(hot) / draws
+	}
+	prev := 0.0
+	for _, theta := range []float64{0, 0.6, 0.99, 1.2} {
+		got := share(theta)
+		want := (1 / math.Pow(1, theta)) / zeta(n, theta)
+		if math.Abs(got-want) > 0.25*want+0.01 {
+			t.Errorf("theta=%v: rank-0 share %.4f, analytic %.4f", theta, got, want)
+		}
+		if got < prev {
+			t.Errorf("theta=%v: rank-0 share %.4f below theta-smaller share %.4f", theta, got, prev)
+		}
+		prev = got
+	}
+	// theta 1.2: the head dominates — rank 0 alone takes over a quarter
+	// (analytically 1/ζ₁₀₀(1.2) ≈ 0.277 of all traffic).
+	if s := share(1.2); s < 0.25 {
+		t.Errorf("theta=1.2: rank-0 share %.4f, want > 0.25 (head-dominated)", s)
+	}
+}
+
+// TestZipfMonotoneRanks: lower ranks are at least as popular as higher
+// ones (averaged over many draws) for every path.
+func TestZipfMonotoneRanks(t *testing.T) {
+	for _, theta := range []float64{0.6, 0.99, 1.2} {
+		z := NewZipf(8, theta, 5)
+		var counts [8]int
+		for i := 0; i < 100000; i++ {
+			counts[z.Next()]++
+		}
+		for r := 1; r < len(counts); r++ {
+			// Allow small sampling noise on adjacent ranks.
+			if float64(counts[r]) > 1.1*float64(counts[r-1])+100 {
+				t.Errorf("theta=%v: rank %d drawn %d times > rank %d's %d", theta, r, counts[r], r-1, counts[r-1])
+			}
+		}
+	}
+}
+
+// TestZipfNextAllocFree: draws never allocate on either path.
+func TestZipfNextAllocFree(t *testing.T) {
+	for _, theta := range []float64{0.99, 1.2} {
+		z := NewZipf(4096, theta, 3)
+		if n := testing.AllocsPerRun(1000, func() { z.Next() }); n != 0 {
+			t.Fatalf("theta=%v: Next allocates %.1f objects/op, want 0", theta, n)
+		}
+	}
+}

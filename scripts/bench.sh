@@ -7,18 +7,26 @@
 # steady-state send (stage, window copy, ping cadence, ack drain) stays
 # at zero allocations.
 #
+# The snapshot also embeds the multicore scaling matrix
+# (scripts/scalingmatrix): GOMAXPROCS × shards × {uniform, zipf:0.99} ×
+# {steady, burst}, each cell with Melem/s and p50/p99/p999 batch-accept
+# latency — the adversarial referee's headline numbers.
+#
 # Usage:  scripts/bench.sh [out.json]
-#         BENCHTIME=10x scripts/bench.sh    # more iterations, stabler numbers
+#         BENCHTIME=10x scripts/bench.sh      # more iterations, stabler numbers
+#         MATRIX=-quick scripts/bench.sh      # tiny matrix cells (CI smoke)
+#         MATRIX=skip scripts/bench.sh        # micro benchmarks only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 benchtime="${BENCHTIME:-1x}"
+matrix_mode="${MATRIX:-}"
 
 raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|IngestFrameDecode|ClientSend' -benchtime "$benchtime" -benchmem . ./internal/client)
 echo "$raw" >&2
 
-echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '
+results=$(echo "$raw" | awk '
 /^Benchmark/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
@@ -30,10 +38,20 @@ echo "$raw" | awk -v date="$(date -u +%FT%TZ)" '
 	recs[n++] = rec
 }
 END {
-	printf "{\n  \"date\": \"%s\",\n  \"results\": [\n", date
 	for (i = 0; i < n; i++)
 		printf "%s%s\n", recs[i], (i < n - 1 ? "," : "")
-	printf "  ]\n}\n"
-}' > "$out"
+}')
+
+if [ "$matrix_mode" = "skip" ]; then
+	matrix="[]"
+else
+	matrix=$(go run ./scripts/scalingmatrix $matrix_mode)
+fi
+
+{
+	printf '{\n  "date": "%s",\n  "results": [\n' "$(date -u +%FT%TZ)"
+	printf '%s\n' "$results"
+	printf '  ],\n  "scaling_matrix": %s\n}\n' "$matrix"
+} > "$out"
 
 echo "wrote $out" >&2

@@ -1,0 +1,132 @@
+// Command scalingmatrix sweeps the multicore scaling matrix the repo
+// uses as its perf referee: GOMAXPROCS × pool shards × key distribution
+// {uniform, zipf:0.99} × arrival shape {steady, burst}, each cell
+// driven in-process through internal/loadgen's shared drive loop
+// against a dpd.Pool, reporting Melem/s and batch-accept latency
+// quantiles (p50/p99/p999) as a JSON array on stdout.
+//
+// The matrix is seeded, so two sweeps on the same machine produce the
+// identical sample sequences; only the timings differ. scripts/bench.sh
+// embeds the output in BENCH_pr7.json next to the micro benchmarks.
+//
+//	go run ./scripts/scalingmatrix            # full sweep
+//	go run ./scripts/scalingmatrix -quick     # CI smoke: tiny cells
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"dpd"
+	"dpd/internal/loadgen"
+)
+
+// cell is one matrix measurement.
+type cell struct {
+	Procs        int     `json:"procs"`
+	Shards       int     `json:"shards"`
+	Dist         string  `json:"dist"`
+	Arrival      string  `json:"arrival"`
+	Samples      uint64  `json:"samples"`
+	Streams      int     `json:"distinct_streams"`
+	MelemsWall   float64 `json:"melems_wall"`
+	MelemsActive float64 `json:"melems_active"`
+	P50Ns        int64   `json:"p50_ns"`
+	P99Ns        int64   `json:"p99_ns"`
+	P999Ns       int64   `json:"p999_ns"`
+	MaxNs        int64   `json:"max_ns"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "tiny cells for CI smoke: prove the sweep, skip the statistics")
+	seed := flag.Uint64("seed", 42, "workload seed shared by every cell")
+	flag.Parse()
+
+	samples := 2048
+	conns := 8
+	if *quick {
+		samples, conns = 128, 4
+	}
+	procsList := []int{}
+	for p := 1; p <= runtime.NumCPU(); p *= 2 {
+		procsList = append(procsList, p)
+	}
+	shardsList := []int{1, 2, 4, 8}
+	dists := []loadgen.Dist{{}, {Kind: loadgen.DistZipf, Theta: 0.99}}
+	arrivals := []string{"steady", "burst"}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	var cells []cell
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		for _, shards := range shardsList {
+			for _, dist := range dists {
+				for _, arrival := range arrivals {
+					c, err := runCell(procs, shards, dist, arrival, conns, samples, *seed)
+					if err != nil {
+						log.Fatalf("scalingmatrix: procs=%d shards=%d %s/%s: %v", procs, shards, dist, arrival, err)
+					}
+					cells = append(cells, c)
+					fmt.Fprintf(os.Stderr, "procs=%d shards=%d %-7s %-6s  %8.2f Melem/s  p99=%dns\n",
+						procs, shards, c.Dist, arrival, c.MelemsActive, c.P99Ns)
+				}
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runCell measures one (procs, shards, dist, arrival) point.
+func runCell(procs, shards int, dist loadgen.Dist, arrival string, conns, samples int, seed uint64) (cell, error) {
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: shards, Detector: dpd.Config{Window: 64}})
+	if err != nil {
+		return cell{}, err
+	}
+	defer p.Close()
+	cfg := loadgen.Config{
+		Conns:            conns,
+		Streams:          32 * conns,
+		SamplesPerStream: samples,
+		BatchSize:        256,
+		Period:           8,
+		Workload:         loadgen.Workload{Dist: dist, Seed: seed},
+	}
+	if arrival == "burst" {
+		phases, err := loadgen.ParseBurst(fmt.Sprintf("%d:2ms", 16*cfg.BatchSize))
+		if err != nil {
+			return cell{}, err
+		}
+		cfg.Workload.Phases = phases
+	}
+	rep, err := loadgen.RunPool(context.Background(), cfg, p)
+	if err != nil {
+		return cell{}, err
+	}
+	active := rep.MelemsPerSec
+	if len(rep.Phases) > 0 && rep.Phases[0].MelemsPerSec > 0 {
+		active = rep.Phases[0].MelemsPerSec
+	}
+	return cell{
+		Procs:        procs,
+		Shards:       shards,
+		Dist:         dist.String(),
+		Arrival:      arrival,
+		Samples:      rep.Samples,
+		Streams:      rep.DistinctStreams,
+		MelemsWall:   rep.MelemsPerSec,
+		MelemsActive: active,
+		P50Ns:        rep.P50.Nanoseconds(),
+		P99Ns:        rep.P99.Nanoseconds(),
+		P999Ns:       rep.P999.Nanoseconds(),
+		MaxNs:        rep.MaxLatency.Nanoseconds(),
+	}, nil
+}
