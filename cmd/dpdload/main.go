@@ -25,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 // handling is a pure testable function rather than main's side effects.
 type options struct {
 	addr        string
+	cluster     string
 	conns       int
 	streams     int
 	keyBase     uint64
@@ -61,6 +63,7 @@ type options struct {
 func buildConfig(o options) (loadgen.Config, error) {
 	cfg := loadgen.Config{
 		Addr:             o.addr,
+		ClusterHTTP:      splitAddrs(o.cluster),
 		Conns:            o.conns,
 		Streams:          o.streams,
 		KeyBase:          o.keyBase,
@@ -111,6 +114,20 @@ func buildConfig(o options) (loadgen.Config, error) {
 	return cfg, nil
 }
 
+// splitAddrs parses a comma-separated address list, dropping empties.
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
 // printDetails renders the adversarial extras under the report's
 // summary line: the per-phase breakdown, the hottest streams, and the
 // workload fingerprint that must agree across same-seed runs.
@@ -150,6 +167,7 @@ func printDetails(w io.Writer, rep loadgen.Report) {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "localhost:7700", "dpdserver ingest address")
+	flag.StringVar(&o.cluster, "cluster", "", "comma-separated cluster HTTP addresses: route batches per owner via the routing table (overrides -addr)")
 	flag.IntVar(&o.conns, "conns", 4, "concurrent connections")
 	flag.IntVar(&o.streams, "streams", 64, "total keyed streams, partitioned across connections")
 	flag.Uint64Var(&o.keyBase, "key-base", 0, "first stream key")

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"os/signal"
 	"strconv"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/cluster"
 	"dpd/internal/server"
 )
 
@@ -47,6 +49,11 @@ func main() {
 	maxPending := flag.Int64("max-pending-bytes", 0, "global pending-memory limit in bytes before shedding (0 = unlimited)")
 	connPending := flag.Int64("conn-pending-bytes", 0, "per-connection pending-memory limit in bytes (0 = unlimited)")
 	retryAfter := flag.Duration("retry-after", time.Second, "back-off hint sent with overload error frames")
+	clusterSelf := flag.String("cluster-self", "", "this node's cluster member name (enables cluster mode)")
+	clusterTransfer := flag.String("cluster-transfer", "", "transfer-plane listen address (cluster mode; default ingest port+2)")
+	var clusterNodes nodeFlags
+	flag.Var(&clusterNodes, "cluster-node", "cluster member as name=ingest,http,transfer (repeatable; must include -cluster-self; omit to join via a later table POST)")
+	followEvery := flag.Duration("follow-every", 200*time.Millisecond, "follower replication cadence (cluster mode)")
 	flag.Parse()
 
 	factory, err := engineFactory(*engine, *window, *confirm, *grace, *magThresh, *ladder)
@@ -54,7 +61,7 @@ func main() {
 		log.Fatalf("dpdserver: %v", err)
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		IngestAddr: *ingest,
 		HTTPAddr:   *httpAddr,
 		Pool: dpd.PoolConfig{
@@ -69,13 +76,62 @@ func main() {
 		MaxPendingBytes:  *maxPending,
 		ConnPendingBytes: *connPending,
 		RetryAfter:       *retryAfter,
-	})
+	}
+
+	// Cluster mode: build the node first so its hooks (ownership check,
+	// /cluster/* routes, metrics section) ride the server's planes, and
+	// hand durability to the replication loop.
+	var node *cluster.Node
+	if *clusterSelf != "" {
+		taddr := *clusterTransfer
+		if taddr == "" {
+			var terr error
+			if taddr, terr = defaultTransferAddr(*ingest); terr != nil {
+				log.Fatalf("dpdserver: -cluster-transfer required: %v", terr)
+			}
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			Self:         *clusterSelf,
+			TransferAddr: taddr,
+			FollowEvery:  *followEvery,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("dpdserver: %v", err)
+		}
+		scfg.OwnerCheck = node.OwnerCheck
+		scfg.RegisterHTTP = node.RegisterHTTP
+		scfg.ClusterMetrics = node.Metrics
+		scfg.ExternalDurability = true
+	}
+
+	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatalf("dpdserver: %v", err)
 	}
+	if node != nil {
+		node.Start(srv)
+		if len(clusterNodes.members) > 0 {
+			table, terr := cluster.NewTable(1, clusterNodes.members, nil)
+			if terr != nil {
+				log.Fatalf("dpdserver: -cluster-node: %v", terr)
+			}
+			if !table.Has(*clusterSelf) {
+				log.Fatalf("dpdserver: -cluster-node list does not include -cluster-self %q", *clusterSelf)
+			}
+			if terr := node.InstallTable(table); terr != nil {
+				log.Fatalf("dpdserver: %v", terr)
+			}
+		}
+	}
 	srv.Start()
-	log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards",
-		srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards())
+	if node != nil {
+		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards, cluster node %q (transfer on %s)",
+			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards(), *clusterSelf, node.TransferAddr())
+	} else {
+		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards",
+			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,10 +140,62 @@ func main() {
 	log.Printf("dpdserver: shutting down (draining ingest, quiescing pool, final checkpoint)")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if node != nil {
+		node.Close()
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Fatalf("dpdserver: shutdown: %v", err)
 	}
 	log.Printf("dpdserver: stopped cleanly")
+}
+
+// nodeFlags collects repeated -cluster-node flags, each of the form
+// name=ingest,http,transfer.
+type nodeFlags struct {
+	members []cluster.Member
+}
+
+// String renders the accumulated members (flag.Value).
+func (f *nodeFlags) String() string {
+	parts := make([]string, len(f.members))
+	for i, m := range f.members {
+		parts[i] = fmt.Sprintf("%s=%s,%s,%s", m.Name, m.Ingest, m.HTTP, m.Transfer)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one -cluster-node value (flag.Value).
+func (f *nodeFlags) Set(v string) error {
+	name, addrs, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ingest,http,transfer, got %q", v)
+	}
+	parts := strings.Split(addrs, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name=ingest,http,transfer, got %q", v)
+	}
+	f.members = append(f.members, cluster.Member{
+		Name:     name,
+		Ingest:   strings.TrimSpace(parts[0]),
+		HTTP:     strings.TrimSpace(parts[1]),
+		Transfer: strings.TrimSpace(parts[2]),
+	})
+	return nil
+}
+
+// defaultTransferAddr derives the transfer listen address from the
+// ingest one: same host, port+2 (the HTTP plane conventionally sits at
+// port+1).
+func defaultTransferAddr(ingest string) (string, error) {
+	host, port, err := net.SplitHostPort(ingest)
+	if err != nil {
+		return "", err
+	}
+	p, err := strconv.Atoi(port)
+	if err != nil || p == 0 {
+		return "", fmt.Errorf("cannot derive a transfer port from ingest address %q", ingest)
+	}
+	return net.JoinHostPort(host, strconv.Itoa(p+2)), nil
 }
 
 // engineFactory builds and validates the per-stream detector factory

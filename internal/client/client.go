@@ -114,6 +114,13 @@ type Config struct {
 	Ack AckMode
 	// OnEvent, when set, receives subscribed stream events.
 	OnEvent func(key uint64, ev *dpd.Event)
+	// OnWrongNode, when set, is called when the server rejects a batch
+	// with a wrong-node frame (cluster mode): the key has been voided on
+	// this connection and its windowed samples rescued — the callback's
+	// owner is the router's cue to TakeOrphan and re-route. It runs on
+	// the goroutine driving the client (inside Send/Barrier) and must
+	// not call back into the client.
+	OnWrongNode func(key uint64, epoch uint64, owner string)
 	// Logf receives reconnect/backoff log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -139,6 +146,9 @@ type Stats struct {
 	SentBatches uint64
 	// SentSamples counts first-send samples (replays excluded).
 	SentSamples uint64
+	// WrongNodeRedirects counts keys voided by wrong-node rejections
+	// (cluster mode).
+	WrongNodeRedirects uint64
 }
 
 // flushThreshold is the staged-write size that forces a flush to the
@@ -169,7 +179,9 @@ type Client struct {
 	cursors  map[uint64]uint64 // resync scratch: key → applied samples
 	keysBuf  []uint64          // resync scratch: distinct windowed keys
 	seen     map[uint64]struct{}
-	subOn    bool // re-subscribe after reconnect
+	voided   map[uint64]*Orphan // keys rejected wrong-node, with rescued samples
+	oneKey   [1]uint64          // QueryCursor scratch
+	subOn    bool               // re-subscribe after reconnect
 	subKeys  []uint64
 	attempts int
 	rng      uint64
@@ -266,6 +278,15 @@ func (c *Client) send(key uint64, evs []int64, mags []float64) error {
 	for c.win.full() {
 		if err := c.waitAck(); err != nil {
 			return err
+		}
+	}
+	// A wrong-node rejection (possibly processed during the ack drain
+	// just above) voids the key on this connection: refuse the batch so
+	// the caller re-routes it. The length guard keeps the zero-alloc,
+	// zero-lookup hot path outside cluster mode.
+	if len(c.voided) != 0 {
+		if o := c.voided[key]; o != nil {
+			return &RedirectError{Key: key, Epoch: o.Epoch, Owner: o.Owner}
 		}
 	}
 	c.seq++
@@ -424,6 +445,8 @@ func (c *Client) process(payload []byte) error {
 			ev := c.sf.Event
 			c.cfg.OnEvent(c.sf.Key, &ev)
 		}
+	case server.KindWrongNode:
+		c.orphanKey(c.sf.Key, c.sf.Epoch, c.sf.Msg)
 	case server.KindCursorsReply:
 		for _, cur := range c.sf.Cursors {
 			c.cursors[cur.Key] = cur.Samples
@@ -542,6 +565,18 @@ func (c *Client) tryConnect() error {
 // server has not applied.
 func (c *Client) resync() error {
 	c.keysBuf = c.win.keys(c.keysBuf[:0], c.seen)
+	if len(c.voided) != 0 {
+		// Voided keys are the router's problem now: their windowed
+		// samples were rescued as orphans, so neither query nor replay
+		// them here.
+		kept := c.keysBuf[:0]
+		for _, k := range c.keysBuf {
+			if _, v := c.voided[k]; !v {
+				kept = append(kept, k)
+			}
+		}
+		c.keysBuf = kept
+	}
 	for k := range c.cursors {
 		delete(c.cursors, k)
 	}
@@ -567,6 +602,11 @@ func (c *Client) resync() error {
 	c.win.each(func(e *entry) {
 		if ferr != nil {
 			return
+		}
+		if len(c.voided) != 0 {
+			if _, v := c.voided[e.key]; v {
+				return // rescued as an orphan; the router replays it
+			}
 		}
 		applied := c.cursors[e.key]
 		n := uint64(len(e.evs) + len(e.mags))

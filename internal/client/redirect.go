@@ -1,0 +1,186 @@
+package client
+
+import (
+	"fmt"
+)
+
+// Cluster redirect support. In cluster mode a server may refuse a batch
+// with a wrong-node frame: the key is owned by another node under a
+// newer routing epoch, and the batch was NOT applied. Rejections arrive
+// asynchronously — by the time the client reads one, later pongs on the
+// connection may be about to prune the rejected entries out of the
+// replay window (the ping barrier covers a rejected batch's sequence
+// number even though the batch was not applied). The client therefore
+// copies the key's windowed samples into an orphan buffer the moment
+// the rejection is processed, voids the key on this connection, and
+// hands the orphan to whoever routes (the cluster Router) via
+// TakeOrphan. The router replays the orphan to the new owner, trimmed
+// against the owner's applied cursor, so migration keeps the
+// exactly-once accounting.
+
+// RedirectError is returned by Send on a key this connection has
+// voided after a wrong-node rejection: the caller must re-route the key
+// (and the orphaned samples) to the owning node.
+type RedirectError struct {
+	// Key is the voided stream key.
+	Key uint64
+	// Epoch is the routing epoch the server rejected under.
+	Epoch uint64
+	// Owner is the node name the server believes owns the key.
+	Owner string
+}
+
+// Error implements error.
+func (e *RedirectError) Error() string {
+	return fmt.Sprintf("client: key %d redirected to node %q (epoch %d)", e.Key, e.Owner, e.Epoch)
+}
+
+// Orphan is one stream's rescued in-flight suffix: samples the server
+// refused (or, after Abandon, never acknowledged), with the stream's
+// cumulative sample offset of the first one. Exactly one of Evs/Mags is
+// populated per the stream's batch kind.
+type Orphan struct {
+	// Start is the stream's cumulative sample count before Evs/Mags.
+	Start uint64
+	// IsMag reports a magnitude stream.
+	IsMag bool
+	// Evs are the rescued event samples.
+	Evs []int64
+	// Mags are the rescued magnitude samples.
+	Mags []float64
+	// Epoch is the newest routing epoch seen in this key's rejections
+	// (0 after Abandon, which sees no server frame).
+	Epoch uint64
+	// Owner is the owning node named by the newest rejection ("" after
+	// Abandon).
+	Owner string
+}
+
+// end returns the cumulative sample count after the orphan's samples.
+func (o *Orphan) end() uint64 { return o.Start + uint64(len(o.Evs)+len(o.Mags)) }
+
+// orphanKey voids key on this connection and merges its windowed
+// samples into the key's orphan, before any later pong can prune them.
+// Safe to run repeatedly: each rejected batch triggers one wrong-node
+// frame, and entries already rescued (start below the orphan's end) are
+// skipped.
+func (c *Client) orphanKey(key, epoch uint64, owner string) {
+	if c.voided == nil {
+		c.voided = make(map[uint64]*Orphan)
+	}
+	o := c.voided[key]
+	fresh := o == nil
+	if fresh {
+		o = &Orphan{}
+		c.voided[key] = o
+		c.stats.WrongNodeRedirects++
+	}
+	o.Epoch, o.Owner = epoch, owner
+	inited := !fresh
+	c.win.each(func(e *entry) {
+		if e.key != key {
+			return
+		}
+		if !inited {
+			o.Start, o.IsMag = e.start, e.isMag
+			inited = true
+		} else if e.start < o.end() {
+			return // already rescued by an earlier rejection
+		}
+		o.Evs = append(o.Evs, e.evs...)
+		o.Mags = append(o.Mags, e.mags...)
+	})
+	if c.cfg.OnWrongNode != nil {
+		c.cfg.OnWrongNode(key, epoch, owner)
+	}
+}
+
+// TakeOrphan removes and returns key's orphan, un-voiding the key on
+// this connection. ok is false when the key was never voided. The
+// orphan's samples may overlap what the new owner already applied
+// (migrated state includes everything the old owner fed): replay must
+// be trimmed against the new owner's cursor (QueryCursor) before
+// resending.
+func (c *Client) TakeOrphan(key uint64) (o Orphan, ok bool) {
+	op := c.voided[key]
+	if op == nil {
+		return Orphan{}, false
+	}
+	delete(c.voided, key)
+	return *op, true
+}
+
+// Voided reports whether key is currently voided on this connection.
+func (c *Client) Voided(key uint64) bool {
+	_, ok := c.voided[key]
+	return ok
+}
+
+// QueryCursor asks the server for key's applied sample count — the
+// routing client's dedup handshake before replaying an orphan to a
+// stream's new owner. Connection failures are recovered under the
+// usual budget.
+func (c *Client) QueryCursor(key uint64) (uint64, error) {
+	if c.closed {
+		return 0, ErrClosed
+	}
+	for {
+		delete(c.cursors, key)
+		c.oneKey[0] = key
+		c.wbuf = c.enc.AppendCursors(c.wbuf, c.oneKey[:])
+		err := c.flush()
+		for err == nil {
+			if v, ok := c.cursors[key]; ok {
+				return v, nil
+			}
+			err = c.readProcess()
+		}
+		if err = c.recover(err); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// PresetCursor aligns this connection's per-key sample numbering with a
+// server-side count: the next batch for key is numbered as samples
+// [n, n+len). The routing client calls it before the first send of a
+// migrated key to its new owner, whose stream already carries the
+// migrated pre-history — without the preset, a later cursor resync
+// would compare server-cumulative counts against client-local ones and
+// silently skip needed replays. It must only be called while no batch
+// for key is in flight on this connection.
+func (c *Client) PresetCursor(key, n uint64) {
+	c.sent[key] = n
+}
+
+// Abandon closes the connection immediately (no terminator, no drain)
+// and rescues every unacknowledged windowed sample as per-key orphans,
+// merged with any prior wrong-node orphans. It is the failover path:
+// when the node behind this connection is declared dead, the returned
+// orphans — trimmed against the replacement owner's cursors — are
+// exactly the samples whose durability the dead node never proved.
+// The client is closed afterwards; every later operation returns
+// ErrClosed.
+func (c *Client) Abandon() map[uint64]Orphan {
+	out := make(map[uint64]Orphan, len(c.voided))
+	for k, o := range c.voided {
+		out[k] = *o
+	}
+	c.win.each(func(e *entry) {
+		o, ok := out[e.key]
+		if !ok {
+			o = Orphan{Start: e.start, IsMag: e.isMag}
+		} else if e.start < o.end() {
+			return // already rescued by a wrong-node rejection
+		}
+		o.Evs = append(o.Evs, e.evs...)
+		o.Mags = append(o.Mags, e.mags...)
+		out[e.key] = o
+	})
+	c.voided = nil
+	c.closed = true
+	if c.nc != nil {
+		c.nc.Close()
+	}
+	return out
+}

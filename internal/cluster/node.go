@@ -1,0 +1,845 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpd/internal/pool"
+	"dpd/internal/server"
+	"dpd/internal/wire"
+)
+
+// Node is one cluster member: it owns a pool.Pool of the streams the
+// routing table places on it, fences and rejects batches for streams
+// it does not own, serves the transfer plane (inbound migrations,
+// replica frames, topology installs), runs the replication loop that
+// tails checkpoint frames to each stream's follower, and mounts the
+// /cluster/* control routes on the embedding server's HTTP plane.
+//
+// Wiring order (cmd/dpdserver): NewNode first, then build the
+// server.Server with the node's OwnerCheck/RegisterHTTP/Metrics hooks
+// in its Config (plus ExternalDurability: true), then Start(srv) to
+// hand the node the server it needs for feed fencing and durable-mark
+// capture.
+//
+// In cluster mode the node's replication loop owns durability: it
+// captures the server's pending durable marks, checkpoints the pool,
+// ships each stream's frame to its follower, and releases the marks
+// only when every follower acknowledged the round — so an AckDurable
+// client's window drains exactly when the batch would survive this
+// node's death. Disk checkpoints (if configured) keep running but no
+// longer release marks.
+type Node struct {
+	cfg NodeConfig
+
+	pool *pool.Pool
+	srv  *server.Server
+
+	// hc carries table broadcasts and other control-plane calls over the
+	// node's own HTTP transport, so Close can drop its pooled
+	// connections instead of leaving them on peers' control planes.
+	hc *http.Client
+	tr *http.Transport
+
+	table atomic.Pointer[Table]
+
+	ln net.Listener
+
+	// instMu serializes table installs, migrations and failovers: every
+	// epoch transition happens under it, so two transitions can never
+	// interleave their fence/transfer/flip sequences.
+	instMu sync.Mutex
+
+	// mu guards replicas, migrating, marks and conns.
+	mu        sync.Mutex
+	replicas  map[uint64][]byte
+	migrating map[uint64]migTarget
+	marks     []server.DurableMark
+	conns     map[net.Conn]struct{}
+
+	// migCount keeps the per-batch ownership check off the mutex when
+	// no migration is in flight (the steady state).
+	migCount atomic.Int64
+
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	migrationsIn  atomic.Uint64
+	migrationsOut atomic.Uint64
+	promoted      atomic.Uint64
+	replRounds    atomic.Uint64
+	replErrors    atomic.Uint64
+	replLag       atomic.Int64
+}
+
+// migTarget records where a mid-migration key is headed: rejections
+// name the target and the epoch that will own it, so routing clients
+// chase the migration rather than the stale table.
+type migTarget struct {
+	name  string
+	epoch uint64
+}
+
+// NodeConfig parameterizes a Node.
+type NodeConfig struct {
+	// Self is this node's member name; the routing table entry whose
+	// Name matches is this node.
+	Self string
+	// Pool is the stream pool the node serves; nil adopts the embedding
+	// server's pool at Start.
+	Pool *pool.Pool
+	// TransferAddr is the transfer-plane listen address (e.g.
+	// "127.0.0.1:0"); required.
+	TransferAddr string
+	// FollowEvery is the replication cadence; 0 selects 200ms.
+	FollowEvery time.Duration
+	// DialTimeout bounds transfer dials, writes and ack waits; 0
+	// selects 5s.
+	DialTimeout time.Duration
+	// Logf receives cluster log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// NewNode validates cfg, binds the transfer listener (so an ephemeral
+// TransferAddr resolves before the routing table is built) and returns
+// a node with no routing table: every stream is accepted, standalone
+// style, until InstallTable or a table POST installs one.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: NodeConfig.Self is required")
+	}
+	if cfg.FollowEvery <= 0 {
+		cfg.FollowEvery = 200 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.TransferAddr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: transfer listen: %w", err)
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	return &Node{
+		cfg:       cfg,
+		pool:      cfg.Pool,
+		hc:        &http.Client{Timeout: cfg.DialTimeout, Transport: tr},
+		tr:        tr,
+		ln:        ln,
+		replicas:  make(map[uint64][]byte),
+		migrating: make(map[uint64]migTarget),
+		conns:     make(map[net.Conn]struct{}),
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// TransferAddr returns the bound transfer-plane address.
+func (n *Node) TransferAddr() string { return n.ln.Addr().String() }
+
+// Table returns the current routing table (nil before any install).
+func (n *Node) Table() *Table { return n.table.Load() }
+
+// Start hands the node its embedding server (feed fencing, durable
+// marks, and the pool when NodeConfig.Pool was nil) and starts the
+// transfer accept loop and the replication loop.
+func (n *Node) Start(srv *server.Server) {
+	n.srv = srv
+	if n.pool == nil {
+		n.pool = srv.Pool()
+	}
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.replicate()
+}
+
+// Close stops the loops, the listener and every transfer connection.
+// Pending durable marks are released (the embedding server is shutting
+// down; holding client windows hostage helps nobody).
+func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(n.stop)
+	n.ln.Close()
+	n.mu.Lock()
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	n.tr.CloseIdleConnections()
+	n.releaseMarks()
+}
+
+// epoch returns the current routing epoch (0 before any table).
+func (n *Node) epoch() uint64 {
+	if t := n.table.Load(); t != nil {
+		return t.Epoch
+	}
+	return 0
+}
+
+// OwnerCheck is the server.Config hook: it runs under the server's
+// shared route fence for every batch frame and decides whether this
+// node owns the batch's stream. Mid-migration keys are rejected toward
+// the migration target under the epoch that will commit it, so clients
+// chase the move instead of racing it.
+func (n *Node) OwnerCheck(key uint64) (owner string, epoch uint64, ok bool) {
+	if n.migCount.Load() != 0 {
+		n.mu.Lock()
+		mt, mig := n.migrating[key]
+		n.mu.Unlock()
+		if mig {
+			return mt.name, mt.epoch, false
+		}
+	}
+	t := n.table.Load()
+	if t == nil {
+		return "", 0, true
+	}
+	m := t.Owner(key)
+	if m.Name == n.cfg.Self {
+		return "", t.Epoch, true
+	}
+	return m.Name, t.Epoch, false
+}
+
+// NodeMetrics is the per-node cluster section of /metrics.
+type NodeMetrics struct {
+	// Self is this node's member name.
+	Self string `json:"self"`
+	// Epoch is the current routing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Members is the member count of the current table.
+	Members int `json:"members"`
+	// StreamsOwned is the number of live streams in this node's pool.
+	StreamsOwned int `json:"streams_owned"`
+	// ReplicaStreams is the number of standby replicas held for other
+	// nodes' streams.
+	ReplicaStreams int `json:"replica_streams"`
+	// MigrationsIn counts streams attached via handoff frames.
+	MigrationsIn uint64 `json:"migrations_in"`
+	// MigrationsOut counts streams this node migrated away.
+	MigrationsOut uint64 `json:"migrations_out"`
+	// PromotedStreams counts replicas promoted into the pool (failover).
+	PromotedStreams uint64 `json:"promoted_streams"`
+	// ReplicationRounds counts completed replication rounds.
+	ReplicationRounds uint64 `json:"replication_rounds"`
+	// ReplicationErrors counts failed follower sends.
+	ReplicationErrors uint64 `json:"replication_errors"`
+	// FollowerLagFrames is the number of stream frames shipped in the
+	// newest round that followers have not yet acknowledged (0 when the
+	// last round fully acked).
+	FollowerLagFrames int64 `json:"follower_lag_frames"`
+	// PendingDurableMarks is the number of durable marks awaiting a
+	// fully-acknowledged replication round.
+	PendingDurableMarks int `json:"pending_durable_marks"`
+}
+
+// Metrics is the server.Config ClusterMetrics hook.
+func (n *Node) Metrics() any {
+	m := NodeMetrics{
+		Self:              n.cfg.Self,
+		Epoch:             n.epoch(),
+		MigrationsIn:      n.migrationsIn.Load(),
+		MigrationsOut:     n.migrationsOut.Load(),
+		PromotedStreams:   n.promoted.Load(),
+		ReplicationRounds: n.replRounds.Load(),
+		ReplicationErrors: n.replErrors.Load(),
+		FollowerLagFrames: n.replLag.Load(),
+	}
+	if n.pool != nil {
+		m.StreamsOwned = n.pool.Len()
+	}
+	if t := n.table.Load(); t != nil {
+		m.Members = len(t.Members)
+	}
+	n.mu.Lock()
+	m.ReplicaStreams = len(n.replicas)
+	m.PendingDurableMarks = len(n.marks)
+	n.mu.Unlock()
+	return m
+}
+
+// InstallTable installs a routing table with a strictly higher epoch,
+// promoting any held replicas of keys the new table places on this
+// node (attach before flip, under the feed fence). Re-installing the
+// current epoch is a no-op; a lower epoch is an error (epoch skew).
+func (n *Node) InstallTable(next *Table) error {
+	n.instMu.Lock()
+	defer n.instMu.Unlock()
+	return n.installLocked(next)
+}
+
+// installLocked is InstallTable under an already-held instMu.
+func (n *Node) installLocked(next *Table) error {
+	cur := n.table.Load()
+	if cur != nil {
+		if next.Epoch == cur.Epoch {
+			return nil
+		}
+		if next.Epoch < cur.Epoch {
+			return fmt.Errorf("cluster: table epoch %d is stale (current epoch %d)", next.Epoch, cur.Epoch)
+		}
+	}
+	// Collect replicas of keys the new table says are ours: they must be
+	// live in the pool before the table becomes visible, or a routing
+	// client could be redirected here and find nothing.
+	var keys []uint64
+	var states [][]byte
+	n.mu.Lock()
+	for k, st := range n.replicas {
+		if next.Owner(k).Name == n.cfg.Self {
+			keys = append(keys, k)
+			states = append(states, st)
+		}
+	}
+	n.mu.Unlock()
+	flip := func() {
+		for i, k := range keys {
+			err := n.pool.Attach(k, states[i])
+			switch {
+			case err == nil:
+				n.promoted.Add(1)
+			case errors.Is(err, pool.ErrStreamExists):
+				// Already live (e.g. arrived via handoff); the replica is
+				// stale next to it.
+			default:
+				n.cfg.Logf("cluster: promote stream %d: %v", k, err)
+			}
+		}
+		n.table.Store(next)
+	}
+	if n.srv != nil {
+		n.srv.FeedBarrier(flip)
+	} else {
+		flip()
+	}
+	if len(keys) > 0 {
+		n.mu.Lock()
+		for _, k := range keys {
+			delete(n.replicas, k)
+		}
+		n.mu.Unlock()
+	}
+	n.cfg.Logf("cluster: installed routing table epoch %d (%d members, %d overrides, %d promoted)",
+		next.Epoch, len(next.Members), len(next.Overrides), len(keys))
+	return nil
+}
+
+// fence marks key as mid-migration toward (to, epoch): the ownership
+// check rejects its batches until unfence.
+func (n *Node) fence(key uint64, to string, epoch uint64) {
+	n.mu.Lock()
+	n.migrating[key] = migTarget{name: to, epoch: epoch}
+	n.mu.Unlock()
+	n.migCount.Add(1)
+}
+
+// unfence lifts a migration fence.
+func (n *Node) unfence(key uint64) {
+	n.mu.Lock()
+	delete(n.migrating, key)
+	n.mu.Unlock()
+	n.migCount.Add(-1)
+}
+
+// Move migrates key from this node (which must own it) to member name
+// to: fence + detach under the feed fence, ship the state and the
+// epoch+1 table over the transfer plane, and flip the local table only
+// after the target acknowledged — so at every instant exactly one node
+// accepts the stream's batches, and the target is never named owner
+// before it holds the stream. A key that is not resident (never fed,
+// or idle-evicted) migrates as a zero-stream transfer: ownership moves,
+// no state does. On transfer failure the stream is re-attached and the
+// table jumps to epoch+2 pinning the key here, outrunning an epoch+1
+// the target may have committed before the link died.
+func (n *Node) Move(key uint64, to string) (*Table, error) {
+	n.instMu.Lock()
+	defer n.instMu.Unlock()
+	cur := n.table.Load()
+	if cur == nil {
+		return nil, errors.New("cluster: no routing table installed")
+	}
+	tm, ok := cur.Lookup(to)
+	if !ok {
+		return nil, fmt.Errorf("cluster: no member named %q", to)
+	}
+	own := cur.Owner(key)
+	if own.Name != n.cfg.Self {
+		return nil, fmt.Errorf("cluster: key %d is owned by %q, not this node", key, own.Name)
+	}
+	if to == n.cfg.Self {
+		return cur, nil
+	}
+	// Prefer dropping an override over stacking one: moving a key back
+	// to its rendezvous owner erases its pin.
+	var next *Table
+	var err error
+	if best, _ := cur.top2(key); cur.Members[best].Name == to {
+		next, err = cur.WithoutOverride(key, 1)
+	} else {
+		next, err = cur.WithOverride(key, to, 1)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var state []byte
+	var had bool
+	var derr error
+	n.srv.FeedBarrier(func() {
+		n.fence(key, to, next.Epoch)
+		state, had, derr = n.pool.Detach(key, nil)
+	})
+	if derr != nil {
+		n.unfence(key)
+		return nil, derr
+	}
+
+	rollback := func(cause error) error {
+		if had {
+			n.srv.FeedBarrier(func() {
+				if aerr := n.pool.Attach(key, state); aerr != nil {
+					n.cfg.Logf("cluster: rollback re-attach of stream %d: %v", key, aerr)
+				}
+				n.unfence(key)
+			})
+		} else {
+			n.unfence(key)
+		}
+		if pin, perr := cur.WithOverride(key, n.cfg.Self, 2); perr == nil {
+			n.table.Store(pin)
+			go n.broadcast(pin)
+		}
+		return fmt.Errorf("cluster: move of key %d to %q failed (stream restored): %w", key, to, cause)
+	}
+
+	tc, err := dialTransfer(tm.Transfer, n.cfg.Self, cur.Epoch, n.cfg.DialTimeout)
+	if err != nil {
+		return nil, rollback(err)
+	}
+	defer tc.close()
+	if had {
+		tc.wbuf = AppendHandoff(tc.wbuf, key, state)
+	}
+	tc.wbuf = AppendTableFrame(tc.wbuf, next)
+	tc.wbuf = wire.AppendFrame(tc.wbuf, nil)
+	if err := tc.awaitOK(0); err != nil {
+		return nil, rollback(err)
+	}
+
+	n.srv.FeedBarrier(func() {
+		n.table.Store(next)
+		n.unfence(key)
+	})
+	n.mu.Lock()
+	delete(n.replicas, key)
+	n.mu.Unlock()
+	n.migrationsOut.Add(1)
+	n.cfg.Logf("cluster: moved stream %d to %q (epoch %d)", key, to, next.Epoch)
+	go n.broadcast(next)
+	return next, nil
+}
+
+// Failover removes member dead from the table (epoch+1, its overrides
+// dropped) and installs the result, promoting any replicas this node
+// holds for keys that now land on it. Idempotent: a table that no
+// longer lists dead is returned as-is. The caller (a routing client
+// whose retry budget on dead ran out, or an operator) is responsible
+// for the death verdict; the node does no liveness probing.
+func (n *Node) Failover(dead string) (*Table, error) {
+	n.instMu.Lock()
+	defer n.instMu.Unlock()
+	cur := n.table.Load()
+	if cur == nil {
+		return nil, errors.New("cluster: no routing table installed")
+	}
+	if dead == n.cfg.Self {
+		return nil, errors.New("cluster: refusing to fail over this node from itself")
+	}
+	if !cur.Has(dead) {
+		return cur, nil
+	}
+	next, err := cur.WithoutMember(dead)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.installLocked(next); err != nil {
+		return nil, err
+	}
+	go n.broadcast(next)
+	return next, nil
+}
+
+// broadcast POSTs a table to every other member's HTTP plane,
+// best-effort: a node that is down catches up from the next carrier
+// (every wrong-node rejection names the epoch, and clients refetch).
+func (n *Node) broadcast(t *Table) {
+	body, err := json.Marshal(t)
+	if err != nil {
+		return
+	}
+	for _, m := range t.Members {
+		if m.Name == n.cfg.Self || m.HTTP == "" {
+			continue
+		}
+		resp, err := n.hc.Post("http://"+m.HTTP+"/cluster/table", "application/json", bytes.NewReader(body))
+		if err != nil {
+			n.cfg.Logf("cluster: table broadcast to %q: %v", m.Name, err)
+			continue
+		}
+		resp.Body.Close()
+	}
+}
+
+// releaseMarks releases every pending durable mark.
+func (n *Node) releaseMarks() {
+	n.mu.Lock()
+	marks := n.marks
+	n.marks = nil
+	n.mu.Unlock()
+	for _, m := range marks {
+		m.Durable()
+	}
+}
+
+// replicate is the follower-replication loop: every FollowEvery it
+// captures the server's durable marks, checkpoints the pool, ships
+// each owned stream's frame to that stream's follower, and releases
+// the marks once every follower acknowledged the round. A round that
+// fails leaves the marks pending; the next round's checkpoint covers
+// them too, so durability is never claimed early — at the price of
+// client windows draining at replication speed, which is the deal
+// cluster durability is.
+func (n *Node) replicate() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.FollowEvery)
+	defer ticker.Stop()
+	conns := make(map[string]*transferConn)
+	defer func() {
+		for _, tc := range conns {
+			tc.close()
+		}
+	}()
+	var round uint64
+	var ckpt bytes.Buffer
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		var marks []server.DurableMark
+		if n.srv != nil {
+			marks = n.srv.CaptureDurableMarks()
+		}
+		if len(marks) > 0 {
+			n.mu.Lock()
+			n.marks = append(n.marks, marks...)
+			n.mu.Unlock()
+		}
+		t := n.table.Load()
+		if t == nil || len(t.Members) < 2 {
+			// No follower exists: local application is the only durability
+			// domain there is, so the marks release now.
+			n.releaseMarks()
+			n.replLag.Store(0)
+			continue
+		}
+		ckpt.Reset()
+		if err := n.pool.Checkpoint(&ckpt); err != nil {
+			n.replErrors.Add(1)
+			n.cfg.Logf("cluster: replication checkpoint: %v", err)
+			continue
+		}
+		perDest, frames, err := n.bucketFrames(t, ckpt.Bytes())
+		if err != nil {
+			n.replErrors.Add(1)
+			n.cfg.Logf("cluster: replication frame parse: %v", err)
+			continue
+		}
+		round++
+		n.replLag.Store(int64(frames))
+		allOK := true
+		for dest, payload := range perDest {
+			tc := conns[dest]
+			if tc == nil {
+				m, ok := t.Lookup(dest)
+				if !ok {
+					continue
+				}
+				tc, err = dialTransfer(m.Transfer, n.cfg.Self, t.Epoch, n.cfg.DialTimeout)
+				if err != nil {
+					n.replErrors.Add(1)
+					n.cfg.Logf("cluster: replication dial %q: %v", dest, err)
+					allOK = false
+					continue
+				}
+				conns[dest] = tc
+			}
+			tc.wbuf = append(tc.wbuf, payload...)
+			tc.wbuf = AppendBarrier(tc.wbuf, round)
+			if err := tc.awaitOK(round); err != nil {
+				n.replErrors.Add(1)
+				n.cfg.Logf("cluster: replication round %d to %q: %v", round, dest, err)
+				tc.close()
+				delete(conns, dest)
+				allOK = false
+			}
+		}
+		n.replRounds.Add(1)
+		if allOK {
+			n.releaseMarks()
+			n.replLag.Store(0)
+		}
+	}
+}
+
+// bucketFrames parses a pool checkpoint stream and groups each owned
+// stream's frame, re-framed as a replica frame, by the follower member
+// that should hold it. Streams the current table does not place on
+// this node are skipped (a rolled-back migration can leave a stray
+// resident stream; replicating it would overwrite the real owner's
+// fresher replica).
+func (n *Node) bucketFrames(t *Table, ckpt []byte) (perDest map[string][]byte, frames int, err error) {
+	if len(ckpt) < 5 {
+		return nil, 0, errors.New("cluster: short pool checkpoint")
+	}
+	br := bytes.NewReader(ckpt[5:]) // skip pool magic + version
+	perDest = make(map[string][]byte)
+	var buf []byte
+	for {
+		payload, rerr := wire.ReadFrame(br, MaxTransferFrame, buf)
+		if rerr != nil {
+			return nil, 0, rerr
+		}
+		if payload == nil {
+			return perDest, frames, nil
+		}
+		buf = payload[:cap(payload)]
+		d := wire.NewDec(payload)
+		key := d.Uvarint()
+		if d.Err() != nil {
+			return nil, 0, d.Err()
+		}
+		if t.Owner(key).Name != n.cfg.Self {
+			continue
+		}
+		f, ok := t.Follower(key)
+		if !ok {
+			continue
+		}
+		perDest[f.Name] = AppendReplica(perDest[f.Name], key, payload[d.Offset():])
+		frames++
+	}
+}
+
+// acceptLoop serves the transfer listener.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		nc, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		n.conns[nc] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveTransfer(nc)
+			n.mu.Lock()
+			delete(n.conns, nc)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// transferIdleTimeout bounds reads on an inbound transfer connection;
+// replication connections idle between rounds, so it is generous.
+const transferIdleTimeout = 10 * time.Minute
+
+// serveTransfer handles one inbound transfer connection: preamble,
+// hello (with the epoch-skew check), then handoff/replica/table/
+// barrier frames until a terminator or an error.
+func (n *Node) serveTransfer(nc net.Conn) {
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	var wbuf []byte
+	fail := func(msg string) {
+		nc.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+		nc.Write(AppendTransferErr(wbuf[:0], msg))
+	}
+	reply := func(token uint64) bool {
+		nc.SetWriteDeadline(time.Now().Add(n.cfg.DialTimeout))
+		_, err := nc.Write(AppendOK(wbuf[:0], token))
+		return err == nil
+	}
+	if err := readTransferPreamble(br); err != nil {
+		n.cfg.Logf("cluster: inbound transfer: %v", err)
+		return
+	}
+	var rbuf []byte
+	var fr TransferFrame
+	var pending *Table
+	helloed := false
+	peer := "?"
+	for {
+		nc.SetReadDeadline(time.Now().Add(transferIdleTimeout))
+		payload, err := wire.ReadFrame(br, MaxTransferFrame, rbuf)
+		if err != nil {
+			return
+		}
+		if payload == nil {
+			// Terminator: commit any staged table, acknowledge, done.
+			if pending != nil {
+				if err := n.InstallTable(pending); err != nil {
+					fail(err.Error())
+					return
+				}
+			}
+			reply(0)
+			return
+		}
+		rbuf = payload[:cap(payload)]
+		if err := DecodeTransferFrame(payload, &fr); err != nil {
+			fail(err.Error())
+			return
+		}
+		if !helloed {
+			if fr.Kind != KindHello {
+				fail("first transfer frame must be hello")
+				return
+			}
+			if cur := n.epoch(); fr.Epoch < cur {
+				fail(fmt.Sprintf("epoch skew: sender epoch %d below local epoch %d; refetch the routing table", fr.Epoch, cur))
+				return
+			}
+			peer = fr.Name
+			helloed = true
+			continue
+		}
+		switch fr.Kind {
+		case KindHandoff:
+			if err := n.pool.Attach(fr.Key, fr.State); err != nil {
+				fail(fmt.Sprintf("attach stream %d: %v", fr.Key, err))
+				return
+			}
+			n.migrationsIn.Add(1)
+		case KindReplica:
+			n.mu.Lock()
+			n.replicas[fr.Key] = append(n.replicas[fr.Key][:0], fr.State...)
+			n.mu.Unlock()
+		case KindTable:
+			pending = fr.Table
+		case KindBarrier:
+			if !reply(fr.Token) {
+				return
+			}
+		default:
+			fail(fmt.Sprintf("unexpected transfer frame kind %d from %q", fr.Kind, peer))
+			return
+		}
+	}
+}
+
+// RegisterHTTP is the server.Config hook mounting the cluster control
+// routes on the node's HTTP plane:
+//
+//	GET  /cluster/route            current routing table (404 until one installs)
+//	POST /cluster/table            install a table (JSON body; epoch must be higher)
+//	POST /cluster/move?key=K&to=N  migrate stream K to member N (owner only)
+//	POST /cluster/failover?node=N  remove dead member N, promote replicas
+func (n *Node) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("GET /cluster/route", n.handleRoute)
+	mux.HandleFunc("POST /cluster/table", n.handleTable)
+	mux.HandleFunc("POST /cluster/move", n.handleMove)
+	mux.HandleFunc("POST /cluster/failover", n.handleFailover)
+}
+
+// clusterJSON renders one control-plane response body.
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// clusterError renders a JSON error body.
+func clusterError(w http.ResponseWriter, status int, msg string) {
+	clusterJSON(w, status, map[string]string{"error": msg})
+}
+
+// handleRoute serves the current routing table.
+func (n *Node) handleRoute(w http.ResponseWriter, r *http.Request) {
+	t := n.table.Load()
+	if t == nil {
+		clusterError(w, http.StatusNotFound, "no routing table installed")
+		return
+	}
+	clusterJSON(w, http.StatusOK, t)
+}
+
+// handleTable installs a POSTed routing table.
+func (n *Node) handleTable(w http.ResponseWriter, r *http.Request) {
+	var t Table
+	if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+		clusterError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := n.InstallTable(&t); err != nil {
+		clusterError(w, http.StatusConflict, err.Error())
+		return
+	}
+	clusterJSON(w, http.StatusOK, n.table.Load())
+}
+
+// handleMove drives a live migration from the control plane.
+func (n *Node) handleMove(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseUint(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		clusterError(w, http.StatusBadRequest, "key must be an unsigned integer")
+		return
+	}
+	to := r.URL.Query().Get("to")
+	if to == "" {
+		clusterError(w, http.StatusBadRequest, "to must name a member")
+		return
+	}
+	t, err := n.Move(key, to)
+	if err != nil {
+		clusterError(w, http.StatusConflict, err.Error())
+		return
+	}
+	clusterJSON(w, http.StatusOK, t)
+}
+
+// handleFailover removes a dead member from the control plane.
+func (n *Node) handleFailover(w http.ResponseWriter, r *http.Request) {
+	dead := r.URL.Query().Get("node")
+	if dead == "" {
+		clusterError(w, http.StatusBadRequest, "node must name a member")
+		return
+	}
+	t, err := n.Failover(dead)
+	if err != nil {
+		clusterError(w, http.StatusConflict, err.Error())
+		return
+	}
+	clusterJSON(w, http.StatusOK, t)
+}

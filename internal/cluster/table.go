@@ -1,0 +1,406 @@
+// Package cluster is dpdserver's multi-node tier: rendezvous-hash
+// stream placement with an epoch-numbered routing table, live
+// cross-node stream migration over a dedicated transfer plane, and
+// follower failover driven by checkpoint-frame replication.
+//
+// The design splits into four pieces:
+//
+//   - Table (table.go): the routing contract. Every node and every
+//     routing client holds a Table {epoch, members, overrides} and
+//     computes Owner(key) identically — rendezvous (highest-random-
+//     weight) hashing over the member set, with an override map for
+//     streams migrated away from their hash-owner. Tables are
+//     immutable; topology changes install a whole new table under a
+//     strictly higher epoch, and every carrier of a table (transfer
+//     frame, HTTP route payload, wrong-node rejection) names its epoch
+//     so stale tables are rejected rather than merged.
+//   - Transfer plane (transfer.go): a second listener per node speaking
+//     length-prefixed frames that ship portable detector state between
+//     nodes — handoff frames during migration, replica frames during
+//     follower replication, table frames during topology installs.
+//   - Node (node.go): glues a server.Server + pool.Pool to the table:
+//     ownership checks on the ingest path, the migration state machine,
+//     the replication loop, and the /cluster/* HTTP routes.
+//   - Router (router.go): the client side — fans batches per owner,
+//     follows wrong-node redirects across epoch bumps, and replays
+//     rescued samples exactly once after migration or failover.
+//
+// The placement function is rendezvous hashing rather than a token
+// ring: each member's score for a key is an avalanche mix of the key
+// and the member's name hash, the owner is the highest score, and the
+// follower (replica target) is the second-highest. Rendezvous gives
+// the property failover leans on: removing one member reassigns each
+// of its keys exactly to that key's follower — the node already
+// holding the replica — and moves nothing else.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"dpd/internal/wire"
+)
+
+// Codec bounds: a table is rejected (never partially decoded) when it
+// exceeds these. They size scratch allocation before any payload is
+// trusted, per the wire codec contract.
+const (
+	// MaxMembers bounds the member list in a decoded table.
+	MaxMembers = 1024
+	// MaxOverrides bounds the override map in a decoded table.
+	MaxOverrides = 1 << 20
+	// MaxAddrLen bounds every name/address string in a decoded table.
+	MaxAddrLen = 256
+)
+
+// Member is one cluster node as the routing table sees it: a unique
+// name plus the three addresses its planes listen on.
+type Member struct {
+	// Name is the node's unique cluster-wide identity; rendezvous
+	// scores hash it, so renaming a node reshuffles its keys.
+	Name string `json:"name"`
+	// Ingest is the node's DPDI binary ingest address (TCP).
+	Ingest string `json:"ingest"`
+	// HTTP is the node's query/control-plane address.
+	HTTP string `json:"http"`
+	// Transfer is the node's DPDT transfer-plane address (TCP).
+	Transfer string `json:"transfer"`
+}
+
+// Table is one immutable routing epoch: the member set plus the
+// override map for streams that have been migrated away from their
+// rendezvous owner. Construct with NewTable (or decode); do not
+// mutate a Table after construction — topology changes build a new
+// Table under a higher epoch.
+type Table struct {
+	// Epoch orders tables: a carrier of epoch E replaces any table with
+	// a lower epoch and is rejected by any holder of a higher one.
+	Epoch uint64
+	// Members is the node set, sorted by name.
+	Members []Member
+	// Overrides pins individual keys to a named member regardless of
+	// their rendezvous score — the record of live migrations. Nil when
+	// empty.
+	Overrides map[uint64]string
+
+	// hashes[i] is the avalanche-ready hash of Members[i].Name.
+	hashes []uint64
+	// index maps member name → Members offset.
+	index map[string]int
+}
+
+// NewTable validates and indexes a routing table: members are sorted
+// by name, names must be unique and non-empty, and every override
+// must point at a member. The members slice is copied; the overrides
+// map is retained (treat it as owned by the table).
+func NewTable(epoch uint64, members []Member, overrides map[uint64]string) (*Table, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: table needs at least one member")
+	}
+	if len(members) > MaxMembers {
+		return nil, fmt.Errorf("cluster: %d members exceeds limit %d", len(members), MaxMembers)
+	}
+	t := &Table{
+		Epoch:     epoch,
+		Members:   append([]Member(nil), members...),
+		Overrides: overrides,
+		index:     make(map[string]int, len(members)),
+	}
+	sort.Slice(t.Members, func(i, j int) bool { return t.Members[i].Name < t.Members[j].Name })
+	t.hashes = make([]uint64, len(t.Members))
+	for i, m := range t.Members {
+		if m.Name == "" {
+			return nil, fmt.Errorf("cluster: member %d has an empty name", i)
+		}
+		if _, dup := t.index[m.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member name %q", m.Name)
+		}
+		t.index[m.Name] = i
+		t.hashes[i] = nameHash(m.Name)
+	}
+	if len(overrides) > MaxOverrides {
+		return nil, fmt.Errorf("cluster: %d overrides exceeds limit %d", len(overrides), MaxOverrides)
+	}
+	for k, name := range overrides {
+		if _, ok := t.index[name]; !ok {
+			return nil, fmt.Errorf("cluster: override for key %d names unknown member %q", k, name)
+		}
+	}
+	return t, nil
+}
+
+// nameHash is FNV-1a over the member name; mix finishes the avalanche
+// per key, so a plain byte hash suffices here.
+func nameHash(name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is the rendezvous score: a murmur3-style finalizer over the key
+// and the member's name hash. Full avalanche keeps adjacent keys from
+// clustering on one member.
+func mix(key, nh uint64) uint64 {
+	x := key ^ nh
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// top2 returns the indexes of the highest- and second-highest-scoring
+// members for key (ties break toward the lexically smaller name, which
+// is the lower index). second is -1 with fewer than two members.
+func (t *Table) top2(key uint64) (best, second int) {
+	best, second = 0, -1
+	var bs, ss uint64
+	for i, nh := range t.hashes {
+		s := mix(key, nh)
+		switch {
+		case i == 0:
+			bs = s
+		case s > bs:
+			second, ss = best, bs
+			best, bs = i, s
+		case second < 0 || s > ss:
+			second, ss = i, s
+		}
+	}
+	return best, second
+}
+
+// Owner returns the member that owns key under this table: the
+// override target when the key is pinned, otherwise the
+// highest-scoring member.
+func (t *Table) Owner(key uint64) Member {
+	if name, ok := t.Overrides[key]; ok {
+		return t.Members[t.index[name]]
+	}
+	best, _ := t.top2(key)
+	return t.Members[best]
+}
+
+// Follower returns the member that holds key's replica: the
+// highest-scoring member other than the owner. ok is false on a
+// single-member table. Removing the owner from the table makes the
+// follower the new rendezvous owner — the property failover relies
+// on to find every dead node's streams already resident.
+func (t *Table) Follower(key uint64) (Member, bool) {
+	if len(t.Members) < 2 {
+		return Member{}, false
+	}
+	best, second := t.top2(key)
+	if name, ok := t.Overrides[key]; ok {
+		// The owner is pinned elsewhere: the replica target is the best
+		// scorer that is not the pinned owner.
+		oi := t.index[name]
+		if oi != best {
+			return t.Members[best], true
+		}
+		return t.Members[second], true
+	}
+	return t.Members[second], true
+}
+
+// Lookup returns the member with the given name.
+func (t *Table) Lookup(name string) (Member, bool) {
+	i, ok := t.index[name]
+	if !ok {
+		return Member{}, false
+	}
+	return t.Members[i], true
+}
+
+// Has reports whether name is a member of this table.
+func (t *Table) Has(name string) bool {
+	_, ok := t.index[name]
+	return ok
+}
+
+// WithOverride builds the successor table (epoch+delta) with key
+// pinned to member name — the commit step of a migration. delta is
+// normally 1; rollback paths use 2 to outrun an uncommitted epoch+1.
+func (t *Table) WithOverride(key uint64, name string, delta uint64) (*Table, error) {
+	ov := make(map[uint64]string, len(t.Overrides)+1)
+	for k, v := range t.Overrides {
+		ov[k] = v
+	}
+	ov[key] = name
+	return NewTable(t.Epoch+delta, t.Members, ov)
+}
+
+// WithoutOverride builds the successor table (epoch+delta) with key's
+// pin removed, reverting it to rendezvous placement.
+func (t *Table) WithoutOverride(key uint64, delta uint64) (*Table, error) {
+	ov := make(map[uint64]string, len(t.Overrides))
+	for k, v := range t.Overrides {
+		if k != key {
+			ov[k] = v
+		}
+	}
+	return NewTable(t.Epoch+delta, t.Members, ov)
+}
+
+// WithoutMember builds the successor table (epoch+1) with member name
+// removed and every override pointing at it dropped — the failover
+// table. Keys the dead member owned by rendezvous land on their
+// followers; keys pinned to it revert to rendezvous placement over
+// the survivors (which is exactly the pre-failover follower, since
+// the follower is the best scorer other than the pinned owner).
+func (t *Table) WithoutMember(name string) (*Table, error) {
+	members := make([]Member, 0, len(t.Members))
+	for _, m := range t.Members {
+		if m.Name != name {
+			members = append(members, m)
+		}
+	}
+	if len(members) == len(t.Members) {
+		return nil, fmt.Errorf("cluster: no member named %q", name)
+	}
+	var ov map[uint64]string
+	if len(t.Overrides) > 0 {
+		ov = make(map[uint64]string, len(t.Overrides))
+		for k, v := range t.Overrides {
+			if v != name {
+				ov[k] = v
+			}
+		}
+	}
+	return NewTable(t.Epoch+1, members, ov)
+}
+
+// AppendTable appends the table's binary form:
+//
+//	epoch uvarint | nmembers uvarint
+//	  per member: name, ingest, http, transfer (each: len uvarint | bytes)
+//	noverrides uvarint
+//	  per override: key uvarint | member-index uvarint
+//
+// Members are written in sorted order, so encode∘decode is
+// byte-stable. Overrides reference members by index to keep large
+// override sets compact; their order is key-sorted for the same
+// byte-stability.
+func AppendTable(dst []byte, t *Table) []byte {
+	dst = wire.AppendUvarint(dst, t.Epoch)
+	dst = wire.AppendUint(dst, len(t.Members))
+	for _, m := range t.Members {
+		for _, s := range [4]string{m.Name, m.Ingest, m.HTTP, m.Transfer} {
+			dst = wire.AppendUint(dst, len(s))
+			dst = append(dst, s...)
+		}
+	}
+	dst = wire.AppendUint(dst, len(t.Overrides))
+	if len(t.Overrides) > 0 {
+		keys := make([]uint64, 0, len(t.Overrides))
+		for k := range t.Overrides {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			dst = wire.AppendUvarint(dst, k)
+			dst = wire.AppendUint(dst, t.index[t.Overrides[k]])
+		}
+	}
+	return dst
+}
+
+// DecodeTable decodes AppendTable's form, validating like NewTable.
+// It never panics or over-reads on hostile input and rejects payloads
+// with trailing bytes.
+func DecodeTable(payload []byte) (*Table, error) {
+	d := wire.NewDec(payload)
+	epoch := d.Uvarint()
+	nm := d.Uint(MaxMembers)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("cluster: table header: %w", d.Err())
+	}
+	members := make([]Member, nm)
+	for i := range members {
+		var f [4]string
+		for j := range f {
+			n := d.Uint(MaxAddrLen)
+			b := d.Bytes(n)
+			if d.Err() != nil {
+				return nil, fmt.Errorf("cluster: table member %d: %w", i, d.Err())
+			}
+			f[j] = string(b)
+		}
+		members[i] = Member{Name: f[0], Ingest: f[1], HTTP: f[2], Transfer: f[3]}
+	}
+	no := d.Uint(MaxOverrides)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("cluster: table overrides: %w", d.Err())
+	}
+	var ov map[uint64]string
+	if no > 0 {
+		ov = make(map[uint64]string, no)
+		for i := 0; i < no; i++ {
+			k := d.Uvarint()
+			mi := d.Uint(len(members) - 1)
+			if d.Err() != nil {
+				return nil, fmt.Errorf("cluster: table override %d: %w", i, d.Err())
+			}
+			ov[k] = members[mi].Name
+		}
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("cluster: table has %d trailing bytes", d.Remaining())
+	}
+	return NewTable(epoch, members, ov)
+}
+
+// tableJSON is the HTTP route form of a Table (GET /cluster/route,
+// POST /cluster/table). Override keys are decimal strings because
+// JSON object keys must be strings.
+type tableJSON struct {
+	// Epoch is the table's epoch.
+	Epoch uint64 `json:"epoch"`
+	// Members is the sorted member set.
+	Members []Member `json:"members"`
+	// Overrides maps decimal stream key → owning member name.
+	Overrides map[string]string `json:"overrides,omitempty"`
+}
+
+// MarshalJSON renders the HTTP route form.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	j := tableJSON{Epoch: t.Epoch, Members: t.Members}
+	if len(t.Overrides) > 0 {
+		j.Overrides = make(map[string]string, len(t.Overrides))
+		for k, v := range t.Overrides {
+			j.Overrides[strconv.FormatUint(k, 10)] = v
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON parses the HTTP route form, validating like NewTable.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var j tableJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	var ov map[uint64]string
+	if len(j.Overrides) > 0 {
+		ov = make(map[uint64]string, len(j.Overrides))
+		for ks, v := range j.Overrides {
+			k, err := strconv.ParseUint(ks, 10, 64)
+			if err != nil {
+				return fmt.Errorf("cluster: override key %q: %w", ks, err)
+			}
+			ov[k] = v
+		}
+	}
+	nt, err := NewTable(j.Epoch, j.Members, ov)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}

@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// members3 is the standard three-node test topology.
+func members3() []Member {
+	return []Member{
+		{Name: "n1", Ingest: "127.0.0.1:7700", HTTP: "127.0.0.1:7701", Transfer: "127.0.0.1:7702"},
+		{Name: "n2", Ingest: "127.0.0.1:7710", HTTP: "127.0.0.1:7711", Transfer: "127.0.0.1:7712"},
+		{Name: "n3", Ingest: "127.0.0.1:7720", HTTP: "127.0.0.1:7721", Transfer: "127.0.0.1:7722"},
+	}
+}
+
+func TestTableValidation(t *testing.T) {
+	if _, err := NewTable(1, nil, nil); err == nil {
+		t.Fatal("empty member set accepted")
+	}
+	dup := []Member{{Name: "a"}, {Name: "a"}}
+	if _, err := NewTable(1, dup, nil); err == nil {
+		t.Fatal("duplicate member names accepted")
+	}
+	if _, err := NewTable(1, []Member{{Name: ""}}, nil); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := NewTable(1, members3(), map[uint64]string{7: "nope"}); err == nil {
+		t.Fatal("override to unknown member accepted")
+	}
+}
+
+// TestRendezvousProperties pins the placement function's contract: the
+// owner is deterministic, spreads keys across members, and removing a
+// member reassigns each of its keys exactly to that key's follower —
+// every other key keeps its owner. Failover correctness rests on this.
+func TestRendezvousProperties(t *testing.T) {
+	tab, err := NewTable(1, members3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perOwner := map[string]int{}
+	for key := uint64(0); key < 2000; key++ {
+		perOwner[tab.Owner(key).Name]++
+	}
+	for _, m := range members3() {
+		if perOwner[m.Name] < 200 {
+			t.Fatalf("member %s owns only %d of 2000 keys — placement badly skewed: %v", m.Name, perOwner[m.Name], perOwner)
+		}
+	}
+
+	for _, dead := range []string{"n1", "n2", "n3"} {
+		shrunk, err := tab.WithoutMember(dead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shrunk.Epoch != tab.Epoch+1 {
+			t.Fatalf("WithoutMember epoch = %d, want %d", shrunk.Epoch, tab.Epoch+1)
+		}
+		for key := uint64(0); key < 2000; key++ {
+			before := tab.Owner(key).Name
+			after := shrunk.Owner(key).Name
+			if before != dead {
+				if after != before {
+					t.Fatalf("key %d moved %s→%s although %s died", key, before, after, dead)
+				}
+				continue
+			}
+			f, ok := tab.Follower(key)
+			if !ok {
+				t.Fatalf("no follower for key %d on a 3-member table", key)
+			}
+			if after != f.Name {
+				t.Fatalf("key %d owned by dead %s landed on %s, want its follower %s", key, dead, after, f.Name)
+			}
+		}
+	}
+}
+
+func TestTableOverrides(t *testing.T) {
+	tab, err := NewTable(3, members3(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var key uint64
+	for key = 0; tab.Owner(key).Name != "n1"; key++ {
+	}
+	moved, err := tab.WithOverride(key, "n2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := moved.Owner(key).Name; got != "n2" {
+		t.Fatalf("override ignored: owner %s, want n2", got)
+	}
+	if f, ok := moved.Follower(key); !ok || f.Name == "n2" {
+		t.Fatalf("follower of a pinned key must not be its owner: %v %v", f.Name, ok)
+	}
+	// The pinned owner's death reverts the key to rendezvous placement
+	// over the survivors — which is n1, its original owner.
+	dead, err := moved.WithoutMember("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dead.Owner(key).Name; got != "n1" {
+		t.Fatalf("after pinned owner died, key %d landed on %s, want n1", key, got)
+	}
+	if len(dead.Overrides) != 0 {
+		t.Fatalf("dead member's overrides not dropped: %v", dead.Overrides)
+	}
+	back, err := moved.WithoutOverride(key, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Owner(key).Name; got != "n1" {
+		t.Fatalf("WithoutOverride owner %s, want n1", got)
+	}
+}
+
+func TestTableBinaryCodecRoundTrip(t *testing.T) {
+	tab, err := NewTable(42, members3(), map[uint64]string{5: "n2", 9: "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := AppendTable(nil, tab)
+	got, err := DecodeTable(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 42 || len(got.Members) != 3 || len(got.Overrides) != 2 {
+		t.Fatalf("decode mismatch: %+v", got)
+	}
+	if got.Overrides[5] != "n2" || got.Overrides[9] != "n3" {
+		t.Fatalf("override mismatch: %v", got.Overrides)
+	}
+	for key := uint64(0); key < 256; key++ {
+		if got.Owner(key).Name != tab.Owner(key).Name {
+			t.Fatalf("decoded table routes key %d differently", key)
+		}
+	}
+	if re := AppendTable(nil, got); !bytes.Equal(re, enc) {
+		t.Fatal("encode∘decode∘encode is not byte-stable")
+	}
+}
+
+// TestDecodeTableHostile truncates a valid table at every byte and
+// flips the limits; every input must come back as an error, never a
+// panic or a partial table.
+func TestDecodeTableHostile(t *testing.T) {
+	tab, err := NewTable(7, members3(), map[uint64]string{1: "n1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := AppendTable(nil, tab)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeTable(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+	if _, err := DecodeTable(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tab, err := NewTable(9, members3(), map[uint64]string{3: "n3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 9 || len(got.Members) != 3 || got.Overrides[3] != "n3" {
+		t.Fatalf("JSON roundtrip mismatch: %+v", got)
+	}
+	if got.Owner(3).Name != "n3" {
+		t.Fatal("unmarshalled table lost its index")
+	}
+	var bad Table
+	if err := json.Unmarshal([]byte(`{"epoch":1,"members":[]}`), &bad); err == nil {
+		t.Fatal("JSON with no members accepted")
+	}
+}

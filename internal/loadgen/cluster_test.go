@@ -1,0 +1,425 @@
+package loadgen
+
+// The cluster differential tests: a 3-node cluster driven through the
+// routing client must end byte-identical to one standalone pool fed the
+// same seeded workload — same per-stream sample counts (exactly once),
+// same detector stats, same serialized stream state — including across
+// a live mid-run migration and a kill -9 failover. These are the
+// in-process versions of the CI cluster job's real-binary runs.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/client"
+	"dpd/internal/cluster"
+	"dpd/internal/server"
+)
+
+// clusterNode is one in-process cluster member: a server.Server wired
+// to a cluster.Node exactly the way cmd/dpdserver wires them.
+type clusterNode struct {
+	name string
+	srv  *server.Server
+	node *cluster.Node
+	dead bool
+}
+
+// startClusterNode boots one member with ephemeral addresses.
+func startClusterNode(t *testing.T, name string, follow time.Duration) *clusterNode {
+	t.Helper()
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Self:         name,
+		TransferAddr: "127.0.0.1:0",
+		FollowEvery:  follow,
+		DialTimeout:  2 * time.Second,
+		Logf:         func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{
+		IngestAddr:         "127.0.0.1:0",
+		HTTPAddr:           "127.0.0.1:0",
+		Pool:               dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		OwnerCheck:         node.OwnerCheck,
+		RegisterHTTP:       node.RegisterHTTP,
+		ClusterMetrics:     node.Metrics,
+		ExternalDurability: true,
+		Logf:               func(string, ...any) {},
+	})
+	if err != nil {
+		node.Close()
+		t.Fatal(err)
+	}
+	node.Start(srv)
+	srv.Start()
+	cn := &clusterNode{name: name, srv: srv, node: node}
+	t.Cleanup(func() {
+		if cn.dead {
+			return
+		}
+		cn.node.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		cn.srv.Shutdown(ctx)
+	})
+	return cn
+}
+
+// startCluster boots three members and installs the epoch-1 table on
+// all of them — the in-process equivalent of three dpdserver processes
+// started with matching -cluster-node flags.
+func startCluster(t *testing.T, follow time.Duration) []*clusterNode {
+	t.Helper()
+	nodes := []*clusterNode{
+		startClusterNode(t, "n1", follow),
+		startClusterNode(t, "n2", follow),
+		startClusterNode(t, "n3", follow),
+	}
+	members := make([]cluster.Member, len(nodes))
+	for i, cn := range nodes {
+		members[i] = cluster.Member{
+			Name:     cn.name,
+			Ingest:   cn.srv.Addr(),
+			HTTP:     cn.srv.HTTPAddr(),
+			Transfer: cn.node.TransferAddr(),
+		}
+	}
+	tab, err := cluster.NewTable(1, members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range nodes {
+		if err := cn.node.InstallTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nodes
+}
+
+// clusterHTTP returns every live member's HTTP address.
+func clusterHTTP(nodes []*clusterNode) []string {
+	addrs := make([]string, 0, len(nodes))
+	for _, cn := range nodes {
+		if !cn.dead {
+			addrs = append(addrs, cn.srv.HTTPAddr())
+		}
+	}
+	return addrs
+}
+
+// waitEpoch blocks until every live node's routing table reaches epoch.
+func waitEpoch(t *testing.T, nodes []*clusterNode, epoch uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, cn := range nodes {
+			if cn.dead {
+				continue
+			}
+			if tab := cn.node.Table(); tab == nil || tab.Epoch < epoch {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never converged on epoch %d", epoch)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// poolSamples sums one pool's applied samples across its streams.
+func poolSamples(p *dpd.Pool) uint64 {
+	var total uint64
+	for _, st := range p.Snapshot(nil) {
+		total += st.Samples
+	}
+	return total
+}
+
+// clusterSamples sums applied samples across every live node.
+func clusterSamples(nodes []*clusterNode) uint64 {
+	var total uint64
+	for _, cn := range nodes {
+		if !cn.dead {
+			total += poolSamples(cn.srv.Pool())
+		}
+	}
+	return total
+}
+
+// refereeRun replays cfg's exact workload into one standalone pool —
+// the single-pool truth the cluster must match byte for byte.
+func refereeRun(t *testing.T, cfg Config) (Report, *dpd.Pool) {
+	t.Helper()
+	p, err := dpd.NewPool(dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	cfg.ClusterHTTP = nil
+	cfg.Addr = ""
+	rep, err := RunPool(context.Background(), cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, p
+}
+
+// compareCluster checks the differential: the cluster run delivered
+// every sample exactly once (fingerprint + per-stream counts equal to
+// the referee's), and every stream's final detector stat and serialized
+// state are byte-identical to the standalone pool's. Detaching consumes
+// the streams, so this is the last act of a test.
+func compareCluster(t *testing.T, nodes []*clusterNode, rep, ref Report, refPool *dpd.Pool) {
+	t.Helper()
+	if rep.Samples != ref.Samples {
+		t.Fatalf("cluster run applied %d samples, referee %d", rep.Samples, ref.Samples)
+	}
+	if rep.Fingerprint != ref.Fingerprint {
+		t.Fatalf("workload fingerprint diverged: cluster %#x, referee %#x", rep.Fingerprint, ref.Fingerprint)
+	}
+	if len(rep.StreamSamples) != len(ref.StreamSamples) {
+		t.Fatalf("cluster touched %d streams, referee %d", len(rep.StreamSamples), len(ref.StreamSamples))
+	}
+	for key, n := range ref.StreamSamples {
+		if got := rep.StreamSamples[key]; got != n {
+			t.Fatalf("stream %d: cluster reported %d samples, referee %d", key, got, n)
+		}
+	}
+	for key := range ref.StreamSamples {
+		var owner *clusterNode
+		for _, cn := range nodes {
+			if cn.dead {
+				continue
+			}
+			if _, ok := cn.srv.Pool().Stat(key); ok {
+				if owner != nil {
+					t.Fatalf("stream %d live on both %s and %s", key, owner.name, cn.name)
+				}
+				owner = cn
+			}
+		}
+		if owner == nil {
+			t.Fatalf("stream %d live on no node", key)
+		}
+		got, _ := owner.srv.Pool().Stat(key)
+		want, ok := refPool.Stat(key)
+		if !ok {
+			t.Fatalf("stream %d missing from referee pool", key)
+		}
+		if got != want {
+			t.Fatalf("stream %d stat diverged on %s:\n got %+v\nwant %+v", key, owner.name, got, want)
+		}
+		cs, had, err := owner.srv.Pool().Detach(key, nil)
+		if err != nil || !had {
+			t.Fatalf("detach stream %d from %s: %v %v", key, owner.name, err, had)
+		}
+		rs, had, err := refPool.Detach(key, nil)
+		if err != nil || !had {
+			t.Fatalf("detach stream %d from referee: %v %v", key, err, had)
+		}
+		if !bytes.Equal(cs, rs) {
+			t.Fatalf("stream %d serialized state diverged on %s (%d vs %d bytes)", key, owner.name, len(cs), len(rs))
+		}
+	}
+}
+
+// TestClusterDifferential drives a seeded workload through the routing
+// client against three nodes and requires the union of the nodes to be
+// byte-identical to one standalone pool.
+func TestClusterDifferential(t *testing.T) {
+	nodes := startCluster(t, 50*time.Millisecond)
+	cfg := Config{
+		ClusterHTTP:      clusterHTTP(nodes),
+		Conns:            2,
+		Streams:          24,
+		SamplesPerStream: 256,
+		BatchSize:        32,
+		Window:           16,
+		RetryBudget:      10 * time.Second,
+		Workload:         Workload{Seed: 7},
+	}
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The placement must actually be distributed: every node owns some
+	// of the 24 streams.
+	for _, cn := range nodes {
+		if n := cn.srv.Pool().Len(); n == 0 {
+			t.Fatalf("node %s owns no streams — placement not distributed", cn.name)
+		}
+	}
+	ref, refPool := refereeRun(t, cfg)
+	compareCluster(t, nodes, rep, ref, refPool)
+}
+
+// TestClusterMigrationDifferential moves two live streams between nodes
+// mid-run — one through the HTTP control plane, one through the node
+// API — and still requires exactly-once delivery and byte-identical
+// final state.
+func TestClusterMigrationDifferential(t *testing.T) {
+	nodes := startCluster(t, 50*time.Millisecond)
+	cfg := Config{
+		ClusterHTTP:      clusterHTTP(nodes),
+		Conns:            2,
+		Streams:          24,
+		SamplesPerStream: 512,
+		BatchSize:        32,
+		Window:           16,
+		// Stretch the run to ~2s so both moves race live traffic.
+		Rate:        6000,
+		RetryBudget: 10 * time.Second,
+		Workload:    Workload{Seed: 11},
+	}
+	total := uint64(cfg.Streams * cfg.SamplesPerStream)
+
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := Run(context.Background(), cfg)
+		done <- outcome{rep, err}
+	}()
+
+	// Wait until the run is well underway, so both moves race live
+	// traffic rather than an empty cluster.
+	deadline := time.Now().Add(30 * time.Second)
+	for clusterSamples(nodes) < total/4 {
+		if time.Now().After(deadline) {
+			t.Fatal("run never reached the migration point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// ownerOf finds a key's owner node under the cluster's newest table.
+	ownerOf := func(key uint64) (int, *cluster.Table) {
+		var best *cluster.Table
+		for _, cn := range nodes {
+			if tab := cn.node.Table(); best == nil || tab.Epoch > best.Epoch {
+				best = tab
+			}
+		}
+		name := best.Owner(key).Name
+		for i, cn := range nodes {
+			if cn.name == name {
+				return i, best
+			}
+		}
+		t.Fatalf("owner %q of key %d is not a node", name, key)
+		return 0, nil
+	}
+
+	// Move key 0 via the HTTP control plane.
+	oi, tab := ownerOf(0)
+	target := nodes[(oi+1)%len(nodes)].name
+	resp, err := http.Post(fmt.Sprintf("http://%s/cluster/move?key=0&to=%s", nodes[oi].srv.HTTPAddr(), target), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /cluster/move = %d", resp.StatusCode)
+	}
+	waitEpoch(t, nodes, tab.Epoch+1)
+
+	// Move key 1 via the node API.
+	oi, tab = ownerOf(1)
+	target = nodes[(oi+2)%len(nodes)].name
+	if _, err := nodes[oi].node.Move(1, target); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, nodes, tab.Epoch+1)
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.rep.Redirects == 0 {
+		t.Fatal("migrations raced no traffic: expected at least one cluster redirect")
+	}
+	ref, refPool := refereeRun(t, cfg)
+	compareCluster(t, nodes, out.rep, ref, refPool)
+}
+
+// TestClusterFailoverDifferential kills one node mid-run — Abort(), the
+// in-process kill -9 — and requires the surviving pair plus the durable
+// replication/orphan-replay machinery to finish the run exactly once,
+// byte-identical to the standalone referee.
+func TestClusterFailoverDifferential(t *testing.T) {
+	nodes := startCluster(t, 30*time.Millisecond)
+	cfg := Config{
+		ClusterHTTP:      clusterHTTP(nodes),
+		Conns:            2,
+		Streams:          24,
+		SamplesPerStream: 512,
+		BatchSize:        32,
+		Window:           16,
+		Ack:              client.AckDurable,
+		RetryBudget:      2 * time.Second,
+		Workload:         Workload{Seed: 13},
+	}
+	total := uint64(cfg.Streams * cfg.SamplesPerStream)
+
+	type outcome struct {
+		rep Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		rep, err := Run(context.Background(), cfg)
+		done <- outcome{rep, err}
+	}()
+
+	// Kill the victim once it has real state: streams owned and samples
+	// applied, so the failover has replicas to promote and windows to
+	// replay.
+	victim := nodes[2]
+	deadline := time.Now().Add(30 * time.Second)
+	for poolSamples(victim.srv.Pool()) < total/8 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim never accumulated enough state to make the kill meaningful")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if victim.srv.Pool().Len() == 0 {
+		t.Fatal("victim owns no streams; kill would be a no-op")
+	}
+	// Abort severs every client and the HTTP plane before the node's
+	// transfer loops die — the same order a SIGKILL imposes on a real
+	// process. Nothing is drained, nothing graceful happens.
+	victim.dead = true
+	victim.srv.Abort()
+	victim.node.Close()
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.rep.Failovers == 0 {
+		t.Fatal("run finished without declaring the killed node dead")
+	}
+	if out.rep.Redirects == 0 {
+		t.Fatal("failover rescued no orphans: expected replayed streams")
+	}
+	for _, cn := range nodes[:2] {
+		if tab := cn.node.Table(); tab == nil || tab.Has(victim.name) {
+			t.Fatalf("node %s still routes to the killed member", cn.name)
+		}
+	}
+	ref, refPool := refereeRun(t, cfg)
+	compareCluster(t, nodes, out.rep, ref, refPool)
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"dpd/internal/client"
+	"dpd/internal/cluster"
 	"dpd/internal/server"
 )
 
@@ -39,6 +40,12 @@ import (
 type Config struct {
 	// Addr is the server's ingest address (ignored by RunPool).
 	Addr string
+	// ClusterHTTP, when non-empty, switches the run to cluster routing:
+	// each connection becomes a cluster.Router bootstrapped from these
+	// HTTP addresses, fanning batches to each stream's owner, following
+	// wrong-node redirects across epoch bumps and failing over dead
+	// members. Addr is ignored.
+	ClusterHTTP []string
 	// Conns is the number of concurrent TCP connections (feeder
 	// goroutines for RunPool); 0 selects 1.
 	Conns int
@@ -170,6 +177,12 @@ type Report struct {
 	ReplayedSamples uint64
 	// OverloadBackoffs counts server retry-after hints honored.
 	OverloadBackoffs uint64
+	// Redirects counts orphans replayed to a new owner after wrong-node
+	// rejections (cluster routing only).
+	Redirects uint64
+	// Failovers counts cluster members the run's routers declared dead
+	// (cluster routing only).
+	Failovers uint64
 }
 
 // String renders the report the way cmd/dpdload prints it.
@@ -184,15 +197,20 @@ func (r Report) String() string {
 		s += fmt.Sprintf(" (%d reconnects, %d samples replayed, %d overload backoffs)",
 			r.Reconnects, r.ReplayedSamples, r.OverloadBackoffs)
 	}
+	if r.Redirects > 0 || r.Failovers > 0 {
+		s += fmt.Sprintf(" (%d cluster redirects, %d failovers)", r.Redirects, r.Failovers)
+	}
 	return s
 }
 
 // connResult is one connection's contribution to the report.
 type connResult struct {
-	samples uint64
-	aggs    []phaseAgg
-	counts  map[uint64]uint64
-	stats   client.Stats
+	samples   uint64
+	aggs      []phaseAgg
+	counts    map[uint64]uint64
+	stats     client.Stats
+	redirects uint64
+	failovers uint64
 }
 
 // batchSink abstracts where generated batches land: a resilient wire
@@ -274,6 +292,8 @@ func buildReport(cfg *Config, elapsed time.Duration, results []connResult) Repor
 		rep.Reconnects += r.stats.Reconnects
 		rep.ReplayedSamples += r.stats.ReplayedSamples
 		rep.OverloadBackoffs += r.stats.OverloadBackoffs
+		rep.Redirects += r.redirects
+		rep.Failovers += r.failovers
 		for k, n := range r.counts {
 			rep.StreamSamples[k] += n
 		}
@@ -355,11 +375,60 @@ func (s clientSink) sendMagnitudes(key uint64, vals []float64) error {
 }
 func (s clientSink) flushStaged() error { return s.cl.Flush() }
 
+// routerSink adapts a cluster router to the drive loop.
+type routerSink struct{ r *cluster.Router }
+
+func (s routerSink) sendEvents(key uint64, vals []int64) error { return s.r.SendEvents(key, vals) }
+func (s routerSink) sendMagnitudes(key uint64, vals []float64) error {
+	return s.r.SendMagnitudes(key, vals)
+}
+func (s routerSink) flushStaged() error { return nil }
+
+// runRouterConn drives one connection's workload through a cluster
+// router: the same drive loop and barrier contract as runConn, with
+// per-owner fan-out, redirect replay and failover underneath.
+func runRouterConn(ctx context.Context, cfg *Config, ci int) (connResult, error) {
+	rt, err := cluster.DialRouter(cluster.RouterConfig{
+		HTTPAddrs: cfg.ClusterHTTP,
+		Client: client.Config{
+			Window:      cfg.Window,
+			Ack:         cfg.Ack,
+			RetryBudget: cfg.RetryBudget,
+			Seed:        uint64(ci) + 1,
+		},
+	})
+	if err != nil {
+		return connResult{}, err
+	}
+	defer rt.Close()
+
+	grab := func(res *connResult) {
+		st := rt.Stats()
+		res.stats = st.Client
+		res.redirects = st.Redirects
+		res.failovers = st.Failovers
+	}
+	res, err := driveConn(ctx, cfg, ci, routerSink{rt})
+	if err != nil {
+		grab(&res)
+		return res, err
+	}
+	if err := rt.Barrier(); err != nil {
+		grab(&res)
+		return res, err
+	}
+	grab(&res)
+	return res, rt.Close()
+}
+
 // runConn drives one connection through a resilient client: its share
 // of the workload batch by batch, then the ping barrier and the
 // graceful close. The returned result's samples are barrier-confirmed
 // applied samples.
 func runConn(ctx context.Context, cfg *Config, ci int) (connResult, error) {
+	if len(cfg.ClusterHTTP) > 0 {
+		return runRouterConn(ctx, cfg, ci)
+	}
 	cl, err := client.Dial(client.Config{
 		Addr:        cfg.Addr,
 		Window:      cfg.Window,

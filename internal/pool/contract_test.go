@@ -121,6 +121,82 @@ func TestClosedPoolContract(t *testing.T) {
 	})
 }
 
+// TestCheckpointRebalanceSerialize pins the Checkpoint/Rebalance
+// concurrency contract: the two serialize on the pool gate — a
+// checkpoint begun during a rebalance (or vice versa) blocks, never
+// errors, and every produced stream is written against exactly one
+// shard generation. The proof is structural: each checkpoint taken
+// while rebalances and feeders hammer the pool must restore cleanly
+// (Restore rejects duplicate keys outright), contain every key exactly
+// once, and carry per-stream sample counts that never exceed what the
+// feeders had delivered — interleaved old/new-generation frames would
+// break at least one of those.
+func TestCheckpointRebalanceSerialize(t *testing.T) {
+	const keys = 32
+	p := Must(Config{Shards: 4, Detector: core.Config{Window: 16}})
+	defer p.Close()
+	batch := make([]KeyedSample, keys)
+	for k := range batch {
+		batch[k] = KeyedSample{Key: uint64(k), Value: int64(k % 4)}
+	}
+	p.FeedBatch(batch) // materialize every key before the storm
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // feeder: keeps per-key counts moving
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.FeedBatch(batch)
+			}
+		}
+	}()
+	go func() { // rebalancer: cycles the shard generation
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := p.Rebalance(2 + i%6); err != nil {
+					t.Errorf("rebalance: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	for i := 0; i < 25; i++ {
+		var ckpt bytes.Buffer
+		if err := p.Checkpoint(&ckpt); err != nil {
+			t.Fatalf("checkpoint %d during rebalance storm: %v", i, err)
+		}
+		restored, err := Restore(bytes.NewReader(ckpt.Bytes()),
+			Config{Shards: 3, Detector: core.Config{Window: 16}})
+		if err != nil {
+			t.Fatalf("checkpoint %d does not restore (interleaved frames?): %v", i, err)
+		}
+		if got := restored.Len(); got != keys {
+			restored.Close()
+			t.Fatalf("checkpoint %d restored %d streams, want %d", i, got, keys)
+		}
+		for k := uint64(0); k < keys; k++ {
+			st, ok := restored.Stat(k)
+			if !ok || st.Samples == 0 {
+				restored.Close()
+				t.Fatalf("checkpoint %d: key %d missing or empty (ok=%v)", i, k, ok)
+			}
+		}
+		restored.Close()
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestSnapshotPage: pages are sorted by key, disjoint, bounded by
 // limit, and their union is exactly the live stream set.
 func TestSnapshotPage(t *testing.T) {

@@ -1,0 +1,99 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+
+	"dpd/internal/core"
+)
+
+// Single-stream migration primitives. Detach and Attach are the
+// network-rebalance analogue of Rebalance's in-process stream movement:
+// a cluster tier detaches a stream on the old owner, ships the portable
+// engine checkpoint over the wire, and attaches it on the new owner —
+// the same codec, so the stream observes no difference between a local
+// rebalance and a cross-node migration.
+//
+// Neither primitive excludes concurrent feeds of the SAME key by
+// itself: Detach removes the stream under the shard lock, but a batch
+// already past the caller's admission check would re-materialize the
+// key with a fresh detector. The serving layer must fence the key
+// before calling Detach (dpdserver does this with its feed barrier:
+// ownership is re-checked under a lock the migration holds
+// exclusively), and must route the key elsewhere until Attach has
+// completed on the destination.
+
+// ErrStreamExists is returned by Attach when the pool already serves
+// the key; attaching over a live stream would silently fork its
+// history, so the caller must Detach (or accept the existing stream)
+// first.
+var ErrStreamExists = errors.New("pool: attach: stream already exists")
+
+// Detach removes one stream from the pool and returns its serialized
+// engine checkpoint (appended to buf, recycled like append). The
+// stream's detector is reset and recycled through the shard freelist.
+// ok reports whether the key was live; a missing key is not an error —
+// migrating a stream the pool has never seen ships no state and the
+// destination materializes it on first feed, exactly as a fresh key.
+//
+// Only the stream's shard is locked; ingest on other shards continues.
+func (p *Pool) Detach(key uint64, buf []byte) (state []byte, ok bool, err error) {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	sh := p.shards[p.shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, live := sh.streams[key]
+	if !live {
+		return buf, false, nil
+	}
+	state, err = core.AppendCheckpoint(st.det, buf)
+	if err != nil {
+		return buf, false, fmt.Errorf("pool: detach stream %d: %w", key, err)
+	}
+	delete(sh.streams, key)
+	st.det.Reset()
+	sh.free = append(sh.free, st)
+	return state, true, nil
+}
+
+// Attach restores one stream into the pool from a serialized engine
+// checkpoint (as produced by Detach, Checkpoint frames, or
+// dpd.Checkpoint). The state's engine spec must match the pool's
+// detector factory — the same validation Restore applies — and the key
+// must not be live (ErrStreamExists otherwise), so a misrouted
+// migration can never silently fork or mix stream histories.
+func (p *Pool) Attach(key uint64, state []byte) error {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	probe, err := core.AppendCheckpoint(p.cfg.NewDetector(), nil)
+	if err != nil {
+		return fmt.Errorf("pool: attach: factory detector is not checkpointable: %w", err)
+	}
+	probeSpec, err := core.DecodeSpec(probe)
+	if err != nil {
+		return fmt.Errorf("pool: attach: factory probe: %w", err)
+	}
+	spec, err := core.DecodeSpec(state)
+	if err != nil {
+		return fmt.Errorf("pool: attach stream %d: %w", key, err)
+	}
+	if !spec.Equal(probeSpec) {
+		return fmt.Errorf("pool: attach: stream %d is a %s-engine state that does not match the pool's detector factory (%s)",
+			key, spec.EngineName(), probeSpec.EngineName())
+	}
+	det, err := core.RestoreCheckpoint(state)
+	if err != nil {
+		return fmt.Errorf("pool: attach stream %d: %w", key, err)
+	}
+	sh := p.shards[p.shardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.streams[key]; dup {
+		return fmt.Errorf("%w (key %d)", ErrStreamExists, key)
+	}
+	st := &stream{key: key, det: det, lastFed: sh.clock}
+	sh.attach(st)
+	sh.streams[key] = st
+	return nil
+}

@@ -1,0 +1,115 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"dpd/internal/core"
+)
+
+// TestDetachAttachRoundTrip: a stream detached from one pool and
+// attached to another continues byte-identically — the single-stream
+// analogue of the Rebalance differential, and the primitive the cluster
+// tier's cross-node migration is built on.
+func TestDetachAttachRoundTrip(t *testing.T) {
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 16}}
+	src := Must(cfg)
+	defer src.Close()
+	ref, err := core.NewEventEngineConfig(core.Config{Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		src.Feed(7, int64(i%3))
+		ref.Feed(core.Sample{Value: int64(i % 3)})
+	}
+
+	state, ok, err := src.Detach(7, nil)
+	if err != nil || !ok {
+		t.Fatalf("Detach(7) ok=%v err=%v", ok, err)
+	}
+	if _, live := src.Stat(7); live {
+		t.Fatal("stream 7 still live after Detach")
+	}
+
+	dst := Must(cfg)
+	defer dst.Close()
+	if err := dst.Attach(7, state); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	for i := 40; i < 120; i++ {
+		dst.Feed(7, int64(i%3))
+		ref.Feed(core.Sample{Value: int64(i % 3)})
+	}
+	got, ok := dst.Stat(7)
+	if !ok {
+		t.Fatal("stream 7 missing after Attach")
+	}
+	if want := ref.Snapshot(); got.Stat != want {
+		t.Fatalf("migrated stream diverged: got %+v want %+v", got.Stat, want)
+	}
+
+	gotState, _, err := dst.Detach(7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := core.AppendCheckpoint(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotState) != string(wantState) {
+		t.Fatal("migrated stream state is not byte-identical to the standalone reference")
+	}
+}
+
+// TestDetachMissingKey: detaching a never-seen key is ok=false, not an
+// error — the zero-stream migration case ships no state.
+func TestDetachMissingKey(t *testing.T) {
+	p := Must(Config{Shards: 2, Detector: core.Config{Window: 16}})
+	defer p.Close()
+	state, ok, err := p.Detach(99, nil)
+	if err != nil || ok || len(state) != 0 {
+		t.Fatalf("Detach(missing) = (%d bytes, %v, %v), want (0, false, nil)", len(state), ok, err)
+	}
+}
+
+// TestAttachRejectsLiveKey: attaching over a live stream is
+// ErrStreamExists, never a silent history fork.
+func TestAttachRejectsLiveKey(t *testing.T) {
+	p := Must(Config{Shards: 2, Detector: core.Config{Window: 16}})
+	defer p.Close()
+	p.Feed(5, 1)
+	state, _, err := p.Detach(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Feed(5, 2) // re-materialized fresh
+	if err := p.Attach(5, state); !errors.Is(err, ErrStreamExists) {
+		t.Fatalf("Attach over live key: %v, want ErrStreamExists", err)
+	}
+}
+
+// TestAttachRejectsEngineMismatch: a state from a different engine kind
+// never mixes into the pool.
+func TestAttachRejectsEngineMismatch(t *testing.T) {
+	magCfg := Config{Shards: 1, NewDetector: func() core.Detector {
+		d, err := core.NewMagnitudeDetector(core.Config{Window: 16})
+		if err != nil {
+			panic(err)
+		}
+		return core.NewMagnitudeEngine(d)
+	}}
+	magPool := Must(magCfg)
+	defer magPool.Close()
+	magPool.FeedSample(3, core.Sample{Magnitude: 1})
+	state, _, err := magPool.Detach(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evPool := Must(Config{Shards: 1, Detector: core.Config{Window: 16}})
+	defer evPool.Close()
+	if err := evPool.Attach(3, state); err == nil {
+		t.Fatal("Attach accepted a magnitude-engine state into an event-engine pool")
+	}
+}

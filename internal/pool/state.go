@@ -55,6 +55,15 @@ const (
 //
 // Checkpoint fails if a stream's detector was built by an injected
 // factory whose type is not one of the built-in engines.
+//
+// Concurrency contract with Rebalance: the two serialize on the pool
+// gate (Checkpoint holds it shared for its whole duration, Rebalance
+// exclusively), so a checkpoint stream is written entirely against one
+// shard generation — it can never interleave frames from the old and
+// new shard tables, duplicate a migrating stream, or drop one.
+// Whichever call starts second blocks until the first completes; there
+// is no error path for the overlap. TestCheckpointRebalanceSerialize
+// pins this.
 func (p *Pool) Checkpoint(w io.Writer) error {
 	p.gate.RLock()
 	defer p.gate.RUnlock()
@@ -190,6 +199,9 @@ func Restore(r io.Reader, cfg Config) (*Pool, error) {
 // detector state — and therefore every subsequent Result and Stat — is
 // preserved exactly; the per-shard idle-TTL clocks restart, since shard
 // sample counts are meaningless across a re-partition.
+//
+// Rebalance concurrent with Checkpoint serializes (never errors, never
+// interleaves): see the Checkpoint contract note.
 func (p *Pool) Rebalance(newShards int) error {
 	if newShards == 0 {
 		newShards = runtime.GOMAXPROCS(0)

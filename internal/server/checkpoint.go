@@ -143,7 +143,10 @@ func (s *Server) WriteCheckpoint() (string, error) {
 	// Capture each connection's acknowledged barrier BEFORE the snapshot
 	// begins: everything those tokens cover is already applied, so it is
 	// in the snapshot, so the tokens become durable when the file does.
-	marks := s.captureDurableMarks()
+	var marks []DurableMark
+	if !s.cfg.ExternalDurability {
+		marks = s.CaptureDurableMarks()
+	}
 
 	s.ckptBuf.Reset()
 	if err := s.pool.Checkpoint(&s.ckptBuf); err != nil {
@@ -180,7 +183,7 @@ func (s *Server) WriteCheckpoint() (string, error) {
 	s.metrics.checkpointLastNs.Store(time.Now().UnixNano())
 	s.pruneCheckpoints(dir, seq)
 	for _, m := range marks {
-		m.c.sendDurable(m.token)
+		m.Durable()
 	}
 	return final, nil
 }

@@ -36,8 +36,8 @@ const (
 
 // outMsg is one server→client frame queued to a connection's writer.
 type outMsg struct {
-	kind    uint8 // KindPong, KindEvent, KindError, KindCursorsReply or KindDurable
-	token   uint64
+	kind    uint8  // KindPong, KindEvent, KindError, KindCursorsReply, KindDurable or KindWrongNode
+	token   uint64 // pong/durable token; routing epoch of a wrong-node frame
 	key     uint64
 	ev      dpd.Event
 	code    ErrCode
@@ -320,9 +320,28 @@ func (c *conn) feedLoop() {
 		switch f.Kind {
 		case KindEventBatch, KindMagnitudeBatch:
 			if len(f.Samples) > 0 {
-				c.srv.pool.FeedBatch(f.Samples)
-				c.srv.metrics.batchesTotal.Add(1)
-				c.srv.metrics.samplesTotal.Add(uint64(len(f.Samples)))
+				// The ownership check and the feed are one critical
+				// section under the route fence: FeedBarrier (migration,
+				// failover promotion) excludes both, so a batch admitted
+				// here can never land after its stream was detached.
+				c.srv.routeMu.RLock()
+				var owner string
+				var epoch uint64
+				rejected := false
+				if oc := c.srv.cfg.OwnerCheck; oc != nil {
+					owner, epoch, rejected = oc(f.Key)
+					rejected = !rejected
+				}
+				if !rejected {
+					c.srv.pool.FeedBatch(f.Samples)
+					c.srv.metrics.batchesTotal.Add(1)
+					c.srv.metrics.samplesTotal.Add(uint64(len(f.Samples)))
+				}
+				c.srv.routeMu.RUnlock()
+				if rejected {
+					c.srv.metrics.wrongNodeRejects.Add(1)
+					c.send(outMsg{kind: KindWrongNode, key: f.Key, token: epoch, msg: owner})
+				}
 			}
 		case KindPing:
 			c.srv.metrics.pingsTotal.Add(1)
@@ -331,10 +350,11 @@ func (c *conn) feedLoop() {
 			// token covers already applied.
 			c.ackedPing.Store(f.Token + 1)
 			c.send(outMsg{kind: KindPong, token: f.Token})
-			if c.srv.cfg.CheckpointDir == "" {
+			if c.srv.cfg.CheckpointDir == "" && !c.srv.cfg.ExternalDurability {
 				// No durability configured: applied IS as durable as this
 				// server gets, so durable-ack clients advance on the same
-				// barrier.
+				// barrier. Under ExternalDurability the replication loop
+				// owns durable marks instead.
 				c.send(outMsg{kind: KindDurable, token: f.Token})
 			}
 		case KindSubscribe:
@@ -413,6 +433,8 @@ func (c *conn) writeLoop() {
 			scratch = appendError(scratch[:0], m.code, m.retryMs, m.msg)
 		case KindCursorsReply:
 			scratch = appendCursorsReply(scratch[:0], m.cursors)
+		case KindWrongNode:
+			scratch = appendWrongNode(scratch[:0], m.key, m.token, m.msg)
 		default:
 			continue
 		}

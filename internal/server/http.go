@@ -44,9 +44,14 @@ const (
 	maxPageLimit     = 1000
 )
 
-// httpHandler builds the query/control mux.
+// httpHandler builds the query/control mux. An embedder's RegisterHTTP
+// hook (the cluster node's /cluster/* routes) mounts first, onto the
+// same mux and listener.
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
+	if s.cfg.RegisterHTTP != nil {
+		s.cfg.RegisterHTTP(mux)
+	}
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /streams", s.handleStreams)
@@ -85,6 +90,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap.Shards = s.pool.Shards()
 	snap.ShardOccupancy = s.pool.ShardLens(nil)
 	snap.Evicted = s.pool.Evicted()
+	if s.cfg.ClusterMetrics != nil {
+		snap.Cluster = s.cfg.ClusterMetrics()
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

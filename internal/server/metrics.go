@@ -23,6 +23,10 @@ type metrics struct {
 
 	eventsDelivered atomic.Uint64
 
+	// wrongNodeRejects counts batch frames refused by the cluster
+	// ownership check (wrong-node frames sent).
+	wrongNodeRejects atomic.Uint64
+
 	// Overload protection: sheds counts every overloaded error frame
 	// sent (admission rejects plus pending-memory disconnects);
 	// pendingBytes is the live global pending-memory account;
@@ -54,7 +58,11 @@ type metrics struct {
 	rebalancesApplied  atomic.Uint64
 
 	// rate computes ingest samples/s between consecutive /metrics
-	// scrapes (the first scrape reports the lifetime average).
+	// scrapes (the first scrape reports the lifetime average). The
+	// total-samples read and the prev-swap happen together under rateMu
+	// — one atomic snapshot-and-reset — so concurrent scrapes each see
+	// a disjoint [prev, total] interval and their rates never
+	// double-count or drop a sample run.
 	rateMu      sync.Mutex
 	ratePrev    uint64
 	ratePrevAt  time.Time
@@ -152,6 +160,13 @@ type MetricsSnapshot struct {
 	RestoreFallbacks uint64 `json:"restore_fallbacks"`
 	// RebalancesApplied counts successful POST /rebalance operations.
 	RebalancesApplied uint64 `json:"rebalances_applied"`
+	// WrongNodeRejects counts batches refused by the cluster ownership
+	// check; always 0 outside cluster mode.
+	WrongNodeRejects uint64 `json:"wrong_node_rejects"`
+	// Cluster is the per-node cluster section (epoch, streams owned,
+	// migrations in/out, follower lag) supplied by Config.ClusterMetrics;
+	// absent outside cluster mode.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // snapshot assembles the exported view; pool-derived fields are filled
@@ -190,13 +205,21 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 		RestoredStreams:      m.restoredStreams.Load(),
 		RestoreFallbacks:     m.restoreFallbacks.Load(),
 		RebalancesApplied:    m.rebalancesApplied.Load(),
+		WrongNodeRejects:     m.wrongNodeRejects.Load(),
 	}
 	if ns := m.checkpointLastNs.Load(); ns != 0 {
 		s.CheckpointAgeSeconds = now.Sub(time.Unix(0, ns)).Seconds()
 	}
 
+	// Snapshot-and-reset atomically: the counter is read INSIDE the
+	// critical section, so two concurrent scrapes cannot interleave a
+	// stale total with a fresher prev (which would compute a wrapped,
+	// astronomically wrong rate). SamplesTotal in the payload is the
+	// same read, keeping the rate and the total it was derived from
+	// consistent with each other.
 	m.rateMu.Lock()
-	total := s.SamplesTotal
+	total := m.samplesTotal.Load()
+	s.SamplesTotal = total
 	if m.rateHasPrev {
 		if dt := now.Sub(m.ratePrevAt).Seconds(); dt > 0 {
 			s.IngestRate = float64(total-m.ratePrev) / dt

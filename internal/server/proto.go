@@ -44,6 +44,7 @@
 //	error         (kind 7): code u8 | retry-after-ms uvarint | message (remaining bytes, UTF-8)
 //	cursors reply (kind 9): count uvarint | count × (key uvarint | samples uvarint)
 //	durable       (kind 10): token uvarint
+//	wrong node    (kind 11): key uvarint | epoch uvarint | owner (remaining bytes, UTF-8)
 //
 // A cursors frame asks for the per-stream applied sample counts of the
 // listed keys; the reply echoes each key with its count. A replaying
@@ -53,6 +54,13 @@
 // a durable checkpoint (or, on a server running without a checkpoint
 // directory, simply applied) — the client's signal that the window
 // prefix up to that token can never be lost to a crash.
+//
+// A wrong-node frame (cluster mode only) rejects one batch without
+// closing the connection: the key is owned by another node under the
+// named routing epoch, the batch was NOT applied, and the client must
+// re-route the key (refetch the routing table, replay the rejected
+// suffix to the owner). It is the only non-terminal server frame that
+// refuses work — everything else on the connection remains valid.
 //
 // A zero-length frame from the client is the graceful end-of-stream
 // terminator. Decoding follows the wire contract: it never panics and
@@ -134,6 +142,11 @@ const (
 	// checkpoint; a client in durable-ack mode prunes its replay window
 	// on these instead of pongs.
 	KindDurable uint8 = 10
+	// KindWrongNode rejects one batch frame in cluster mode: the key
+	// belongs to another node. The body names the owning node and the
+	// routing epoch the decision was made under; the batch was not
+	// applied and the connection stays open.
+	KindWrongNode uint8 = 11
 )
 
 // ErrCode classifies one protocol violation; it travels in the error
@@ -426,6 +439,17 @@ func appendDurable(dst []byte, token uint64) []byte {
 	return wire.AppendFrame(dst, p)
 }
 
+// appendWrongNode appends a wrong-node frame: the batch for key was
+// rejected because owner owns it under the given routing epoch.
+func appendWrongNode(dst []byte, key, epoch uint64, owner string) []byte {
+	body := make([]byte, 0, 1+10+10+len(owner))
+	p := wire.AppendU8(body, KindWrongNode)
+	p = wire.AppendUvarint(p, key)
+	p = wire.AppendUvarint(p, epoch)
+	p = append(p, owner...)
+	return wire.AppendFrame(dst, p)
+}
+
 // appendCursorsReply appends a cursors-reply frame: each queried key
 // with its applied sample count, in query order.
 func appendCursorsReply(dst []byte, cursors []Cursor) []byte {
@@ -453,7 +477,7 @@ type Cursor struct {
 // Cursors backing array is recycled across decodes.
 type ServerFrame struct {
 	// Kind is the frame kind (KindPong, KindEvent, KindError,
-	// KindCursorsReply or KindDurable).
+	// KindCursorsReply, KindDurable or KindWrongNode).
 	Kind uint8
 	// Token echoes the ping token of a pong, or carries the durable
 	// token of a durable frame.
@@ -467,8 +491,11 @@ type ServerFrame struct {
 	// RetryAfterMs is the error frame's back-off hint in milliseconds
 	// (0 = none).
 	RetryAfterMs uint64
-	// Msg is the error message of an error frame.
+	// Msg is the error message of an error frame, or the owning node
+	// name of a wrong-node frame.
 	Msg string
+	// Epoch is the routing epoch of a wrong-node frame.
+	Epoch uint64
 	// Cursors are the per-stream applied counts of a cursors reply.
 	Cursors []Cursor
 }
@@ -499,6 +526,13 @@ func DecodeServerFrame(payload []byte, f *ServerFrame) error {
 	case KindError:
 		f.Code = ErrCode(d.U8())
 		f.RetryAfterMs = d.Uvarint()
+		if d.Err() == nil {
+			f.Msg = string(payload[d.Offset():])
+			d.Bytes(d.Remaining())
+		}
+	case KindWrongNode:
+		f.Key = d.Uvarint()
+		f.Epoch = d.Uvarint()
 		if d.Err() == nil {
 			f.Msg = string(payload[d.Offset():])
 			d.Bytes(d.Remaining())

@@ -71,6 +71,33 @@ type Config struct {
 	FS faults.FS
 	// Logf receives operational log lines; nil selects log.Printf.
 	Logf func(format string, args ...any)
+
+	// OwnerCheck, when non-nil, is consulted before every batch frame is
+	// fed: ok=false rejects the batch with a wrong-node frame naming the
+	// owning node and the routing epoch instead of applying it — the
+	// cluster tier's admission fence. The check and the feed run under a
+	// shared lock that FeedBarrier holds exclusively, so a migration
+	// that flips ownership and detaches the stream inside a FeedBarrier
+	// can never race a batch into a freshly re-materialized detector.
+	// OwnerCheck runs on feeder goroutines and must be cheap and
+	// non-blocking.
+	OwnerCheck func(key uint64) (owner string, epoch uint64, ok bool)
+	// RegisterHTTP, when non-nil, is invoked with the control-plane mux
+	// before the server's own routes are final, letting an embedder (the
+	// cluster node) mount additional endpoints under the same listener.
+	RegisterHTTP func(mux *http.ServeMux)
+	// ClusterMetrics, when non-nil, supplies the value rendered as the
+	// "cluster" section of the /metrics payload.
+	ClusterMetrics func() any
+	// ExternalDurability hands ownership of durable acknowledgements to
+	// an external replication loop: the checkpoint path stops emitting
+	// durable frames (CaptureDurableMarks + DurableMark.Durable become
+	// the only source), and a server without a checkpoint directory
+	// stops short-circuiting pongs into durables. The cluster tier sets
+	// this so a durable ack always means "replicated to the follower",
+	// never merely "on this node's disk" — state a kill -9 of this node
+	// would strand.
+	ExternalDurability bool
 }
 
 // Server is the serving layer: one shared pool behind a binary ingest
@@ -106,6 +133,11 @@ type Server struct {
 	// serializes into before any disk I/O happens.
 	ckptMu  sync.Mutex
 	ckptBuf bytes.Buffer
+
+	// routeMu fences batch admission against ownership changes: feeders
+	// hold it shared across the OwnerCheck-and-feed pair, FeedBarrier
+	// holds it exclusively. Lock order is routeMu before any pool lock.
+	routeMu sync.RWMutex
 }
 
 // New builds a server: it restores the pool from the newest valid
@@ -365,29 +397,52 @@ func (s *Server) Abort() {
 	s.bg.Wait()
 }
 
-// durableMark pairs a connection with the newest ping token it had
-// acknowledged when a checkpoint snapshot began.
-type durableMark struct {
+// DurableMark pairs a connection with the newest ping token it had
+// acknowledged when a durability snapshot began. Whoever made the
+// snapshot durable (the checkpoint writer, or a cluster replication
+// round) calls Durable to release the mark to the client.
+type DurableMark struct {
 	c     *conn
 	token uint64
 }
 
-// captureDurableMarks records, per live connection, the newest ping
+// Durable notifies the mark's connection that everything up to its
+// ping token is durable. It never blocks: a mark dropped against a
+// slow consumer only delays window pruning until the next round.
+func (m DurableMark) Durable() { m.c.sendDurable(m.token) }
+
+// CaptureDurableMarks records, per live connection, the newest ping
 // token whose preceding frames are certain to be in a pool snapshot
 // taken AFTER this call: the feeder stores the token only once every
 // earlier frame on the connection has been fed. WriteCheckpoint calls
 // this before Pool.Checkpoint and notifies each connection once the
-// file is durable.
-func (s *Server) captureDurableMarks() []durableMark {
+// file is durable; the cluster replicator calls it before
+// Pool.Checkpoint and notifies once the follower has acknowledged the
+// round.
+func (s *Server) CaptureDurableMarks() []DurableMark {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	marks := make([]durableMark, 0, len(s.conns))
+	marks := make([]DurableMark, 0, len(s.conns))
 	for c := range s.conns {
 		if v := c.ackedPing.Load(); v != 0 {
-			marks = append(marks, durableMark{c: c, token: v - 1})
+			marks = append(marks, DurableMark{c: c, token: v - 1})
 		}
 	}
 	return marks
+}
+
+// FeedBarrier runs fn while every ingest feeder is excluded from the
+// OwnerCheck-and-feed critical section: no batch admission decision is
+// in flight while fn runs, and decisions made after it observe
+// everything fn changed. The cluster tier wraps "flip ownership, then
+// Pool.Detach the stream" in one barrier so a batch admitted under the
+// old ownership can never re-materialize a detached stream. fn must
+// not feed the pool (it would self-deadlock) and should be brief — the
+// ingest plane is paused for its duration.
+func (s *Server) FeedBarrier(fn func()) {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	fn()
 }
 
 // addConn registers a live connection for shutdown teardown. It

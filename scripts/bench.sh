@@ -10,18 +10,24 @@
 # The snapshot also embeds the multicore scaling matrix
 # (scripts/scalingmatrix): GOMAXPROCS × shards × {uniform, zipf:0.99} ×
 # {steady, burst}, each cell with Melem/s and p50/p99/p999 batch-accept
-# latency — the adversarial referee's headline numbers.
+# latency — the adversarial referee's headline numbers — and the
+# cluster-tier costs (scripts/clusterbench): routing overhead of the
+# 3-node fan-out vs a direct single-node dial (ns/elem, Melem/s) and
+# the migration pause p99 a client sees while a stream moves live.
 #
 # Usage:  scripts/bench.sh [out.json]
 #         BENCHTIME=10x scripts/bench.sh      # more iterations, stabler numbers
 #         MATRIX=-quick scripts/bench.sh      # tiny matrix cells (CI smoke)
 #         MATRIX=skip scripts/bench.sh        # micro benchmarks only
+#         CLUSTER=-quick scripts/bench.sh     # tiny cluster runs
+#         CLUSTER=skip scripts/bench.sh       # skip the cluster section
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 benchtime="${BENCHTIME:-1x}"
 matrix_mode="${MATRIX:-}"
+cluster_mode="${CLUSTER:-}"
 
 raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|IngestFrameDecode|ClientSend' -benchtime "$benchtime" -benchmem . ./internal/client)
 echo "$raw" >&2
@@ -48,10 +54,16 @@ else
 	matrix=$(go run ./scripts/scalingmatrix $matrix_mode)
 fi
 
+if [ "$cluster_mode" = "skip" ]; then
+	clusterjson="null"
+else
+	clusterjson=$(go run ./scripts/clusterbench $cluster_mode)
+fi
+
 {
 	printf '{\n  "date": "%s",\n  "results": [\n' "$(date -u +%FT%TZ)"
 	printf '%s\n' "$results"
-	printf '  ],\n  "scaling_matrix": %s\n}\n' "$matrix"
+	printf '  ],\n  "scaling_matrix": %s,\n  "cluster": %s\n}\n' "$matrix" "$clusterjson"
 } > "$out"
 
 echo "wrote $out" >&2

@@ -1,0 +1,316 @@
+// Command clusterbench measures the cluster tier's two headline costs
+// and emits them as JSON on stdout for scripts/bench.sh to embed in
+// BENCH_pr<N>.json:
+//
+//   - Routing overhead: the same seeded workload driven end to end
+//     through one standalone dpdserver (direct dial) and through a
+//     3-node cluster behind the routing client (table fetch, per-owner
+//     fan-out, barrier across members) — Melem/s and ns/elem for both,
+//     plus the per-element difference.
+//   - Migration pause: a rate-limited run during which two streams
+//     migrate between nodes live; the batch-accept latency histogram
+//     (PR 7) captures the stall a client sees while an owner fences,
+//     detaches, ships and flips — reported as p99/p999/max next to a
+//     no-migration baseline at the identical rate.
+//
+// Everything is in-process (real TCP ingest + transfer sockets on
+// loopback, like the cluster differentials), so the numbers isolate
+// protocol cost from container scheduling noise as far as possible.
+//
+//	go run ./scripts/clusterbench            # full measurement
+//	go run ./scripts/clusterbench -quick     # CI-sized smoke
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"dpd"
+	"dpd/internal/cluster"
+	"dpd/internal/loadgen"
+	"dpd/internal/server"
+)
+
+// measure is one run's cost summary.
+type measure struct {
+	Samples   uint64  `json:"samples"`
+	Melems    float64 `json:"melems_per_sec"`
+	NsPerElem float64 `json:"ns_per_elem"`
+	P50Ns     int64   `json:"p50_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	P999Ns    int64   `json:"p999_ns"`
+	MaxNs     int64   `json:"max_ns"`
+	Redirects uint64  `json:"redirects,omitempty"`
+}
+
+func toMeasure(rep loadgen.Report) measure {
+	m := measure{
+		Samples:   rep.Samples,
+		Melems:    rep.MelemsPerSec,
+		P50Ns:     rep.P50.Nanoseconds(),
+		P99Ns:     rep.P99.Nanoseconds(),
+		P999Ns:    rep.P999.Nanoseconds(),
+		MaxNs:     rep.MaxLatency.Nanoseconds(),
+		Redirects: rep.Redirects,
+	}
+	if rep.Samples > 0 {
+		m.NsPerElem = float64(rep.Elapsed.Nanoseconds()) / float64(rep.Samples)
+	}
+	return m
+}
+
+// result is the full clusterbench report.
+type result struct {
+	// Direct is the workload against one standalone server.
+	Direct measure `json:"direct_single_node"`
+	// Routed is the identical workload through the 3-node routing
+	// client.
+	Routed measure `json:"routed_3node"`
+	// OverheadNsPerElem is Routed minus Direct per element: the price
+	// of table-driven fan-out and cross-member barriers.
+	OverheadNsPerElem float64 `json:"routing_overhead_ns_per_elem"`
+	// MigrationBaseline is a rate-limited cluster run with no topology
+	// changes; Migration is the same run with two live moves racing the
+	// traffic. Their p99 gap is the migration pause as a client sees it.
+	MigrationBaseline measure `json:"migration_baseline"`
+	Migration         measure `json:"migration"`
+}
+
+var silent = func(string, ...any) {}
+
+// bootNode starts one in-process cluster member, wired exactly as
+// cmd/dpdserver wires cluster mode.
+type benchNode struct {
+	name string
+	srv  *server.Server
+	node *cluster.Node
+}
+
+func bootNode(name string) *benchNode {
+	node, err := cluster.NewNode(cluster.NodeConfig{
+		Self:         name,
+		TransferAddr: "127.0.0.1:0",
+		FollowEvery:  200 * time.Millisecond,
+		DialTimeout:  2 * time.Second,
+		Logf:         silent,
+	})
+	if err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	srv, err := server.New(server.Config{
+		IngestAddr:         "127.0.0.1:0",
+		HTTPAddr:           "127.0.0.1:0",
+		Pool:               dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		OwnerCheck:         node.OwnerCheck,
+		RegisterHTTP:       node.RegisterHTTP,
+		ClusterMetrics:     node.Metrics,
+		ExternalDurability: true,
+		Logf:               silent,
+	})
+	if err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	node.Start(srv)
+	srv.Start()
+	return &benchNode{name: name, srv: srv, node: node}
+}
+
+func (b *benchNode) close() {
+	b.node.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	b.srv.Shutdown(ctx)
+}
+
+// bootCluster boots three members sharing an epoch-1 table.
+func bootCluster() []*benchNode {
+	nodes := []*benchNode{bootNode("n1"), bootNode("n2"), bootNode("n3")}
+	members := make([]cluster.Member, len(nodes))
+	for i, bn := range nodes {
+		members[i] = cluster.Member{
+			Name:     bn.name,
+			Ingest:   bn.srv.Addr(),
+			HTTP:     bn.srv.HTTPAddr(),
+			Transfer: bn.node.TransferAddr(),
+		}
+	}
+	tab, err := cluster.NewTable(1, members, nil)
+	if err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	for _, bn := range nodes {
+		if err := bn.node.InstallTable(tab); err != nil {
+			log.Fatalf("clusterbench: %v", err)
+		}
+	}
+	return nodes
+}
+
+func clusterHTTP(nodes []*benchNode) []string {
+	addrs := make([]string, len(nodes))
+	for i, bn := range nodes {
+		addrs[i] = bn.srv.HTTPAddr()
+	}
+	return addrs
+}
+
+// clusterApplied sums applied samples across members.
+func clusterApplied(nodes []*benchNode) uint64 {
+	var total uint64
+	for _, bn := range nodes {
+		for _, st := range bn.srv.Pool().Snapshot(nil) {
+			total += st.Samples
+		}
+	}
+	return total
+}
+
+// moveKey migrates key from its current owner to the next member in
+// ring order, blocking until every node converged on the new epoch.
+func moveKey(nodes []*benchNode, key uint64) {
+	var newest *cluster.Table
+	for _, bn := range nodes {
+		if t := bn.node.Table(); t != nil && (newest == nil || t.Epoch > newest.Epoch) {
+			newest = t
+		}
+	}
+	owner := newest.Owner(key).Name
+	var src *benchNode
+	target := ""
+	for i, bn := range nodes {
+		if bn.name == owner {
+			src = bn
+			target = nodes[(i+1)%len(nodes)].name
+		}
+	}
+	next, err := src.node.Move(key, target)
+	if err != nil {
+		log.Fatalf("clusterbench: move %d: %v", key, err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ok := true
+		for _, bn := range nodes {
+			if t := bn.node.Table(); t == nil || t.Epoch < next.Epoch {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("clusterbench: cluster never converged on epoch %d", next.Epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "tiny runs for CI smoke: prove the measurement, skip the statistics")
+	seed := flag.Uint64("seed", 42, "workload seed shared by every run")
+	flag.Parse()
+
+	base := loadgen.Config{
+		Conns:            2,
+		Streams:          48,
+		SamplesPerStream: 4096,
+		BatchSize:        128,
+		Period:           12,
+		Window:           16,
+		RetryBudget:      10 * time.Second,
+		Workload:         loadgen.Workload{Seed: *seed},
+	}
+	// The migration runs are rate-limited so the moves race real
+	// in-flight traffic instead of an already-finished run.
+	migRate := 50000.0
+	if *quick {
+		base.SamplesPerStream = 512
+		migRate = 20000
+	}
+	ctx := context.Background()
+
+	// 1. Direct: one standalone server, no cluster hooks.
+	solo, err := server.New(server.Config{
+		IngestAddr: "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Pool:       dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		Logf:       silent,
+	})
+	if err != nil {
+		log.Fatalf("clusterbench: %v", err)
+	}
+	solo.Start()
+	cfg := base
+	cfg.Addr = solo.Addr()
+	directRep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("clusterbench: direct run: %v", err)
+	}
+	{
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		solo.Shutdown(sctx)
+		cancel()
+	}
+
+	// 2. Routed: the identical workload through the 3-node router.
+	nodes := bootCluster()
+	cfg = base
+	cfg.ClusterHTTP = clusterHTTP(nodes)
+	routedRep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("clusterbench: routed run: %v", err)
+	}
+
+	// 3. Migration pause: same cluster, rate-limited; baseline first,
+	// then the identical run with two live moves at ~1/4 progress.
+	cfg.KeyBase = 1 << 20 // fresh keys: placement, not residue, decides owners
+	cfg.Rate = migRate
+	baseRep, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		log.Fatalf("clusterbench: migration baseline: %v", err)
+	}
+
+	cfg.KeyBase = 2 << 20
+	before := clusterApplied(nodes)
+	total := uint64(cfg.Streams * cfg.SamplesPerStream)
+	done := make(chan struct{})
+	var migRep loadgen.Report
+	var migErr error
+	go func() {
+		defer close(done)
+		migRep, migErr = loadgen.Run(ctx, cfg)
+	}()
+	for clusterApplied(nodes)-before < total/4 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	moveKey(nodes, cfg.KeyBase)
+	moveKey(nodes, cfg.KeyBase+1)
+	<-done
+	if migErr != nil {
+		log.Fatalf("clusterbench: migration run: %v", migErr)
+	}
+	for _, bn := range nodes {
+		bn.close()
+	}
+
+	res := result{
+		Direct:            toMeasure(directRep),
+		Routed:            toMeasure(routedRep),
+		MigrationBaseline: toMeasure(baseRep),
+		Migration:         toMeasure(migRep),
+	}
+	res.OverheadNsPerElem = res.Routed.NsPerElem - res.Direct.NsPerElem
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clusterbench: direct %.2f Melem/s, routed %.2f Melem/s (+%.0f ns/elem), migration p99 %v vs baseline %v\n",
+		res.Direct.Melems, res.Routed.Melems, res.OverheadNsPerElem,
+		time.Duration(res.Migration.P99Ns), time.Duration(res.MigrationBaseline.P99Ns))
+}
