@@ -61,7 +61,7 @@ type Node struct {
 
 	// mu guards replicas, migrating, marks and conns.
 	mu        sync.Mutex
-	replicas  map[uint64][]byte
+	replicas  map[uint64]replica
 	migrating map[uint64]migTarget
 	marks     []server.DurableMark
 	conns     map[net.Conn]struct{}
@@ -90,6 +90,28 @@ type migTarget struct {
 	epoch uint64
 }
 
+// replica is one standby copy of another node's stream: its engine
+// checkpoint plus the routing epoch its owner held when it shipped.
+// The epoch orders copies — a frame from a stale previous owner can
+// never overwrite one from the current owner — and decides, at
+// promotion time, whether the replica or a resident copy is fresher.
+type replica struct {
+	epoch uint64
+	state []byte
+}
+
+// stagedHandoff is one handoff frame held back until its connection's
+// terminator commits the transfer (state is an owned copy).
+type stagedHandoff struct {
+	key   uint64
+	state []byte
+}
+
+// maxStagedHandoffs bounds the handoff frames one transfer connection
+// may stage before its terminator, capping the memory a sender can
+// pin on the receiver.
+const maxStagedHandoffs = 4096
+
 // NodeConfig parameterizes a Node.
 type NodeConfig struct {
 	// Self is this node's member name; the routing table entry whose
@@ -103,6 +125,11 @@ type NodeConfig struct {
 	TransferAddr string
 	// FollowEvery is the replication cadence; 0 selects 200ms.
 	FollowEvery time.Duration
+	// GossipEvery is the anti-entropy cadence: how often the node
+	// re-broadcasts its current table to every member, healing peers
+	// that missed a broadcast (a rollback pin, a failover) or restarted
+	// empty; 0 selects max(2s, 5×FollowEvery).
+	GossipEvery time.Duration
 	// DialTimeout bounds transfer dials, writes and ack waits; 0
 	// selects 5s.
 	DialTimeout time.Duration
@@ -112,14 +139,24 @@ type NodeConfig struct {
 
 // NewNode validates cfg, binds the transfer listener (so an ephemeral
 // TransferAddr resolves before the routing table is built) and returns
-// a node with no routing table: every stream is accepted, standalone
-// style, until InstallTable or a table POST installs one.
+// a node with no routing table. Until InstallTable or a table POST
+// installs one, every batch is rejected: a cluster member that cannot
+// prove ownership (a fresh boot, or a member that restarted and lost
+// its table) must not accept writes, or it would fork history with
+// the real owners. Peer gossip and routing clients both push tables
+// at a memberless node, so the window closes without operator help.
 func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.Self == "" {
 		return nil, errors.New("cluster: NodeConfig.Self is required")
 	}
 	if cfg.FollowEvery <= 0 {
 		cfg.FollowEvery = 200 * time.Millisecond
+	}
+	if cfg.GossipEvery <= 0 {
+		cfg.GossipEvery = 5 * cfg.FollowEvery
+		if cfg.GossipEvery < 2*time.Second {
+			cfg.GossipEvery = 2 * time.Second
+		}
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
@@ -138,7 +175,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		hc:        &http.Client{Timeout: cfg.DialTimeout, Transport: tr},
 		tr:        tr,
 		ln:        ln,
-		replicas:  make(map[uint64][]byte),
+		replicas:  make(map[uint64]replica),
 		migrating: make(map[uint64]migTarget),
 		conns:     make(map[net.Conn]struct{}),
 		stop:      make(chan struct{}),
@@ -153,15 +190,16 @@ func (n *Node) Table() *Table { return n.table.Load() }
 
 // Start hands the node its embedding server (feed fencing, durable
 // marks, and the pool when NodeConfig.Pool was nil) and starts the
-// transfer accept loop and the replication loop.
+// transfer accept loop, the replication loop and the gossip loop.
 func (n *Node) Start(srv *server.Server) {
 	n.srv = srv
 	if n.pool == nil {
 		n.pool = srv.Pool()
 	}
-	n.wg.Add(2)
+	n.wg.Add(3)
 	go n.acceptLoop()
 	go n.replicate()
+	go n.gossip()
 }
 
 // Close stops the loops, the listener and every transfer connection.
@@ -207,7 +245,12 @@ func (n *Node) OwnerCheck(key uint64) (owner string, epoch uint64, ok bool) {
 	}
 	t := n.table.Load()
 	if t == nil {
-		return "", 0, true
+		// No table yet: this node cannot prove it owns anything, so it
+		// must not accept anything — a restarted member that accepted
+		// batches while waiting for a table would fork history with the
+		// real owners. The empty owner and epoch 0 tell routing clients
+		// to heal the node (push their table) rather than chase an epoch.
+		return "", 0, false
 	}
 	m := t.Owner(key)
 	if m.Name == n.cfg.Self {
@@ -294,32 +337,50 @@ func (n *Node) installLocked(next *Table) error {
 			return fmt.Errorf("cluster: table epoch %d is stale (current epoch %d)", next.Epoch, cur.Epoch)
 		}
 	}
+	var curEpoch uint64
+	if cur != nil {
+		curEpoch = cur.Epoch
+	}
 	// Collect replicas of keys the new table says are ours: they must be
 	// live in the pool before the table becomes visible, or a routing
 	// client could be redirected here and find nothing.
 	var keys []uint64
-	var states [][]byte
+	var reps []replica
 	n.mu.Lock()
-	for k, st := range n.replicas {
+	for k, r := range n.replicas {
 		if next.Owner(k).Name == n.cfg.Self {
 			keys = append(keys, k)
-			states = append(states, st)
+			reps = append(reps, r)
 		}
 	}
 	n.mu.Unlock()
 	flip := func() {
 		for i, k := range keys {
-			err := n.pool.Attach(k, states[i])
+			err := n.pool.Attach(k, reps[i].state)
 			switch {
 			case err == nil:
 				n.promoted.Add(1)
 			case errors.Is(err, pool.ErrStreamExists):
-				// Already live (e.g. arrived via handoff); the replica is
-				// stale next to it.
+				// A resident copy already holds the key (it arrived via a
+				// committed handoff, or this node kept feeding it through a
+				// fork). The replica wins only when its owner shipped it
+				// under a newer epoch than this node's table knew — proof a
+				// truer owner produced it; otherwise the resident copy is
+				// at least as fresh and the replica is discarded.
+				if reps[i].epoch > curEpoch {
+					if _, _, derr := n.pool.Detach(k, nil); derr == nil {
+						if aerr := n.pool.Attach(k, reps[i].state); aerr != nil {
+							n.cfg.Logf("cluster: promote stream %d over stale resident: %v", k, aerr)
+						} else {
+							n.promoted.Add(1)
+						}
+					}
+				}
 			default:
 				n.cfg.Logf("cluster: promote stream %d: %v", k, err)
 			}
 		}
+		n.sweepStrays(curEpoch, next)
 		n.table.Store(next)
 	}
 	if n.srv != nil {
@@ -337,6 +398,52 @@ func (n *Node) installLocked(next *Table) error {
 	n.cfg.Logf("cluster: installed routing table epoch %d (%d members, %d overrides, %d promoted)",
 		next.Epoch, len(next.Members), len(next.Overrides), len(keys))
 	return nil
+}
+
+// sweepStrays detaches every resident stream the incoming table does
+// not place on this node. Such strays are how split ownership starts:
+// a handoff whose ack was lost leaves the receiver holding a live copy
+// the sender rolled back, and as long as it stays resident it blocks
+// re-migration and can shadow the real owner's state at a later
+// failover. Runs inside the install flip (under the feed barrier), so
+// no admission decision races the detach. When this node is the key's
+// follower under the new table the detached state is kept as a standby
+// replica stamped with the outgoing epoch — the real owner's next
+// replication round (a higher epoch) overwrites it.
+func (n *Node) sweepStrays(curEpoch uint64, next *Table) {
+	if n.pool == nil {
+		return
+	}
+	var page []pool.StreamStat
+	var from uint64
+	swept := 0
+	for {
+		var more bool
+		page, from, more = n.pool.SnapshotPage(from, 1024, page[:0])
+		for _, st := range page {
+			if next.Owner(st.Key).Name == n.cfg.Self {
+				continue
+			}
+			state, had, err := n.pool.Detach(st.Key, nil)
+			if err != nil || !had {
+				continue
+			}
+			swept++
+			if f, ok := next.Follower(st.Key); ok && f.Name == n.cfg.Self {
+				n.mu.Lock()
+				if r, held := n.replicas[st.Key]; !held || r.epoch < curEpoch {
+					n.replicas[st.Key] = replica{epoch: curEpoch, state: state}
+				}
+				n.mu.Unlock()
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if swept > 0 {
+		n.cfg.Logf("cluster: table install detached %d resident streams owned elsewhere", swept)
+	}
 }
 
 // fence marks key as mid-migration toward (to, epoch): the ownership
@@ -422,6 +529,16 @@ func (n *Node) Move(key uint64, to string) (*Table, error) {
 		}
 		if pin, perr := cur.WithOverride(key, n.cfg.Self, 2); perr == nil {
 			n.table.Store(pin)
+			// The target may have committed epoch+1 before the link died;
+			// until it learns the pin, both nodes would accept the key's
+			// batches (forked history). Push the pin at the target until it
+			// acknowledges — the best-effort broadcast and the periodic
+			// gossip cover everyone else.
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				n.pushTable(tm, pin)
+			}()
 			go n.broadcast(pin)
 		}
 		return fmt.Errorf("cluster: move of key %d to %q failed (stream restored): %w", key, to, cause)
@@ -485,23 +602,81 @@ func (n *Node) Failover(dead string) (*Table, error) {
 }
 
 // broadcast POSTs a table to every other member's HTTP plane,
-// best-effort: a node that is down catches up from the next carrier
-// (every wrong-node rejection names the epoch, and clients refetch).
+// best-effort: a node that is down catches up from the next gossip
+// round (and every wrong-node rejection names the epoch, so clients
+// refetch in the meantime).
 func (n *Node) broadcast(t *Table) {
+	for _, m := range t.Members {
+		if m.Name == n.cfg.Self {
+			continue
+		}
+		n.postTable(m, t)
+	}
+}
+
+// postTable POSTs one table to one member's control plane. ok means
+// the table no longer needs delivering: the peer installed it (200) or
+// already holds that epoch or newer (409).
+func (n *Node) postTable(m Member, t *Table) bool {
+	if m.HTTP == "" {
+		return true
+	}
 	body, err := json.Marshal(t)
 	if err != nil {
-		return
+		return true
 	}
-	for _, m := range t.Members {
-		if m.Name == n.cfg.Self || m.HTTP == "" {
-			continue
+	resp, err := n.hc.Post("http://"+m.HTTP+"/cluster/table", "application/json", bytes.NewReader(body))
+	if err != nil {
+		n.cfg.Logf("cluster: table post to %q: %v", m.Name, err)
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusConflict
+}
+
+// pushTable delivers t to member m reliably: retry with backoff until
+// the member acknowledges it, the node shuts down, or a newer table
+// supersedes t (whoever installed that newer epoch owns propagating
+// it). Rollback pins ride this path — the one table a single missed
+// broadcast must not be allowed to lose.
+func (n *Node) pushTable(m Member, t *Table) {
+	backoff := 100 * time.Millisecond
+	for {
+		if cur := n.table.Load(); cur == nil || cur.Epoch > t.Epoch {
+			return
 		}
-		resp, err := n.hc.Post("http://"+m.HTTP+"/cluster/table", "application/json", bytes.NewReader(body))
-		if err != nil {
-			n.cfg.Logf("cluster: table broadcast to %q: %v", m.Name, err)
-			continue
+		if n.postTable(m, t) {
+			return
 		}
-		resp.Body.Close()
+		select {
+		case <-n.stop:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// gossip is the anti-entropy loop: every GossipEvery it re-broadcasts
+// the current table to every member. A peer that missed a broadcast
+// (rollback pin, failover) or restarted with no table converges within
+// one gossip period; peers already at the epoch answer with a cheap
+// no-op install.
+func (n *Node) gossip() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.GossipEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+		}
+		if t := n.table.Load(); t != nil {
+			n.broadcast(t)
+		}
 	}
 }
 
@@ -642,7 +817,7 @@ func (n *Node) bucketFrames(t *Table, ckpt []byte) (perDest map[string][]byte, f
 		if !ok {
 			continue
 		}
-		perDest[f.Name] = AppendReplica(perDest[f.Name], key, payload[d.Offset():])
+		perDest[f.Name] = AppendReplica(perDest[f.Name], key, t.Epoch, payload[d.Offset():])
 		frames++
 	}
 }
@@ -656,6 +831,15 @@ func (n *Node) acceptLoop() {
 			return
 		}
 		n.mu.Lock()
+		if n.closed.Load() {
+			// Shutdown began between Accept and registration: Close's
+			// teardown sweep may already have run, so registering now
+			// would leave the connection (and its serveTransfer read) to
+			// outlive Close.
+			n.mu.Unlock()
+			nc.Close()
+			continue
+		}
 		n.conns[nc] = struct{}{}
 		n.mu.Unlock()
 		n.wg.Add(1)
@@ -675,7 +859,11 @@ const transferIdleTimeout = 10 * time.Minute
 
 // serveTransfer handles one inbound transfer connection: preamble,
 // hello (with the epoch-skew check), then handoff/replica/table/
-// barrier frames until a terminator or an error.
+// barrier frames until a terminator or an error. Handoff and table
+// frames are staged and commit together at the terminator — a sender
+// that dies mid-transfer (or whose ack is lost after it rolled back)
+// leaves nothing applied on this node. Replica frames apply as they
+// arrive, gated per key by the sender's epoch.
 func (n *Node) serveTransfer(nc net.Conn) {
 	defer nc.Close()
 	br := bufio.NewReaderSize(nc, 64<<10)
@@ -696,6 +884,7 @@ func (n *Node) serveTransfer(nc net.Conn) {
 	var rbuf []byte
 	var fr TransferFrame
 	var pending *Table
+	var staged []stagedHandoff
 	helloed := false
 	peer := "?"
 	for {
@@ -705,12 +894,11 @@ func (n *Node) serveTransfer(nc net.Conn) {
 			return
 		}
 		if payload == nil {
-			// Terminator: commit any staged table, acknowledge, done.
-			if pending != nil {
-				if err := n.InstallTable(pending); err != nil {
-					fail(err.Error())
-					return
-				}
+			// Terminator: commit the staged handoffs and table together,
+			// acknowledge, done.
+			if err := n.commitTransfer(staged, pending); err != nil {
+				fail(err.Error())
+				return
 			}
 			reply(0)
 			return
@@ -735,14 +923,24 @@ func (n *Node) serveTransfer(nc net.Conn) {
 		}
 		switch fr.Kind {
 		case KindHandoff:
-			if err := n.pool.Attach(fr.Key, fr.State); err != nil {
-				fail(fmt.Sprintf("attach stream %d: %v", fr.Key, err))
+			if len(staged) >= maxStagedHandoffs {
+				fail(fmt.Sprintf("more than %d handoff frames before a terminator", maxStagedHandoffs))
 				return
 			}
-			n.migrationsIn.Add(1)
+			staged = append(staged, stagedHandoff{key: fr.Key, state: append([]byte(nil), fr.State...)})
 		case KindReplica:
+			if cur := n.table.Load(); cur != nil && fr.Epoch < cur.Epoch && cur.Owner(fr.Key).Name == n.cfg.Self {
+				// A previous owner's in-flight round, outrun by a migration
+				// or failover that made this node the key's owner: its copy
+				// is behind the live stream.
+				continue
+			}
 			n.mu.Lock()
-			n.replicas[fr.Key] = append(n.replicas[fr.Key][:0], fr.State...)
+			if r, held := n.replicas[fr.Key]; !held || fr.Epoch >= r.epoch {
+				r.epoch = fr.Epoch
+				r.state = append(r.state[:0], fr.State...)
+				n.replicas[fr.Key] = r
+			}
 			n.mu.Unlock()
 		case KindTable:
 			pending = fr.Table
@@ -755,6 +953,66 @@ func (n *Node) serveTransfer(nc net.Conn) {
 			return
 		}
 	}
+}
+
+// commitTransfer applies one transfer connection's staged work at its
+// terminator: attach every staged handoff, then install the staged
+// table, under the install lock so no other epoch transition
+// interleaves. A resident copy of a handed-off key can only be a stray
+// from an earlier handoff whose ack was lost (the sender rolled back
+// and owns the key again), so the state the owner ships now replaces
+// it. If any step fails every attach is undone and the sender sees an
+// error instead of an ack — both sides agree nothing moved.
+func (n *Node) commitTransfer(staged []stagedHandoff, tab *Table) error {
+	if len(staged) == 0 && tab == nil {
+		return nil
+	}
+	n.instMu.Lock()
+	defer n.instMu.Unlock()
+	attached := make([]uint64, 0, len(staged))
+	undo := func() {
+		for _, k := range attached {
+			if _, _, derr := n.pool.Detach(k, nil); derr != nil {
+				n.cfg.Logf("cluster: undo handoff attach of stream %d: %v", k, derr)
+			}
+		}
+	}
+	var aerr error
+	apply := func() {
+		for _, h := range staged {
+			err := n.pool.Attach(h.key, h.state)
+			if errors.Is(err, pool.ErrStreamExists) {
+				if _, _, derr := n.pool.Detach(h.key, nil); derr == nil {
+					err = n.pool.Attach(h.key, h.state)
+				}
+			}
+			if err != nil {
+				aerr = fmt.Errorf("attach stream %d: %w", h.key, err)
+				return
+			}
+			attached = append(attached, h.key)
+		}
+	}
+	// The attach (and any stray replacement) runs under the feed
+	// barrier: no admission decision is in flight while a stream is
+	// swapped, so a feeder can never re-materialize a key mid-swap.
+	if n.srv != nil {
+		n.srv.FeedBarrier(apply)
+	} else {
+		apply()
+	}
+	if aerr != nil {
+		undo()
+		return aerr
+	}
+	if tab != nil {
+		if err := n.installLocked(tab); err != nil {
+			undo()
+			return err
+		}
+	}
+	n.migrationsIn.Add(uint64(len(attached)))
+	return nil
 }
 
 // RegisterHTTP is the server.Config hook mounting the cluster control

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -224,6 +225,11 @@ func (r *Router) send(key uint64, evs []int64, mags []float64) error {
 				if ferr := r.refetch(re.Epoch); ferr != nil {
 					return ferr
 				}
+			} else if re.Epoch < r.table.Epoch {
+				// The member rejected under an older epoch than the router
+				// holds — typically a member that restarted empty and
+				// accepts nothing until it has a table. Offer it ours.
+				r.pushTable(owner)
 			}
 		case errors.Is(err, client.ErrBudget):
 			if ferr := r.failover(owner.Name); ferr != nil {
@@ -343,6 +349,15 @@ func (r *Router) replayOrphan(key uint64, o client.Orphan) error {
 			}
 		}
 		owner := r.table.Owner(key)
+		if o.Epoch < r.table.Epoch {
+			// The newest rejection carried an epoch below the router's
+			// table — epoch 0 is a member with no table at all. Heal the
+			// owner before the cursor handshake, not after the replay
+			// bounces: a rejected send still advances this connection's
+			// sample numbering, and a retrim against the owner's cursor
+			// after that drift would replay the wrong suffix.
+			r.pushTable(owner)
+		}
 		c, err := r.conn(owner)
 		if err != nil {
 			if ferr := r.failover(owner.Name); ferr != nil {
@@ -402,6 +417,12 @@ func (r *Router) replayOrphan(key uint64, o client.Orphan) error {
 			} else {
 				o.Epoch = re.Epoch
 			}
+			if re.Epoch < r.table.Epoch {
+				// Rejected under an older epoch: the owner is a member that
+				// restarted without a table. Heal it so the next attempt
+				// lands instead of burning the attempt budget.
+				r.pushTable(owner)
+			}
 		case errors.Is(err, client.ErrBudget):
 			if ferr := r.failover(owner.Name); ferr != nil {
 				return ferr
@@ -411,6 +432,26 @@ func (r *Router) replayOrphan(key uint64, o client.Orphan) error {
 		}
 	}
 	return fmt.Errorf("cluster: orphan for key %d undeliverable after %d attempts", key, maxRouteAttempts)
+}
+
+// pushTable offers the router's table to a member that proved to be
+// behind it (a wrong-node rejection under a lower epoch). Best-effort:
+// node-to-node gossip heals the same gap on its own cadence, this just
+// closes it before the router's next attempt.
+func (r *Router) pushTable(m Member) {
+	if m.HTTP == "" || r.table == nil {
+		return
+	}
+	body, err := json.Marshal(r.table)
+	if err != nil {
+		return
+	}
+	resp, err := r.hc.Post("http://"+m.HTTP+"/cluster/table", "application/json", bytes.NewReader(body))
+	if err != nil {
+		r.cfg.Logf("cluster: table push to %q: %v", m.Name, err)
+		return
+	}
+	resp.Body.Close()
 }
 
 // failover declares member dead: ask any survivor to remove it from

@@ -18,7 +18,7 @@ import (
 //
 //	hello    (kind 1): epoch uvarint | sender name (remaining bytes)
 //	handoff  (kind 2): key uvarint | engine checkpoint (remaining bytes)
-//	replica  (kind 3): key uvarint | engine checkpoint (remaining bytes)
+//	replica  (kind 3): key uvarint | epoch uvarint | engine checkpoint (remaining bytes)
 //	table    (kind 4): routing table (AppendTable layout)
 //	barrier  (kind 5): token uvarint
 //	ok       (kind 6): token uvarint
@@ -28,12 +28,17 @@ import (
 // The first frame on a connection must be hello; the receiver rejects
 // a sender whose epoch is below its own (epoch skew — a stale node
 // must refetch the table before it may ship state). Handoff frames
-// attach streams on the receiver (migration), replica frames update
-// its standby store (follower replication), and a table frame stages a
-// topology install that the terminator commits. The receiver speaks
-// only ok/error frames: ok answers a barrier (echoing its token) and a
-// terminator (token 0); error carries a reason and ends the
-// connection with nothing committed.
+// stage streams for attach on the receiver (migration) and a table
+// frame stages a topology install; the terminator commits both
+// together, so a connection that dies mid-transfer leaves nothing
+// applied. Replica frames update the receiver's standby store as they
+// arrive (follower replication); each carries the routing epoch the
+// sender held when it shipped, and the receiver drops frames older
+// than the newest it holds for that key — a stale previous owner's
+// in-flight round can never overwrite the current owner's replica.
+// The receiver speaks only ok/error frames: ok answers a barrier
+// (echoing its token) and a terminator (token 0); error carries a
+// reason and ends the connection with nothing committed.
 //
 // A zero-stream transfer — hello, table, terminator, with no handoff
 // frames — is valid and is how a topology change propagates over the
@@ -58,9 +63,11 @@ const (
 const (
 	// KindHello identifies the sender and its routing epoch.
 	KindHello uint8 = 1
-	// KindHandoff ships one stream's state for migration (attach).
+	// KindHandoff ships one stream's state for migration (staged until
+	// the terminator commits).
 	KindHandoff uint8 = 2
-	// KindReplica ships one stream's state for standby replication.
+	// KindReplica ships one stream's state for standby replication,
+	// stamped with the sender's routing epoch.
 	KindReplica uint8 = 3
 	// KindTable stages a routing table for install at the terminator.
 	KindTable uint8 = 4
@@ -83,7 +90,7 @@ type TransferFrame struct {
 	// State is the engine checkpoint of a handoff/replica frame
 	// (aliases the payload).
 	State []byte
-	// Epoch is a hello frame's sender epoch.
+	// Epoch is a hello or replica frame's sender epoch.
 	Epoch uint64
 	// Token is a barrier/ok token.
 	Token uint64
@@ -129,23 +136,24 @@ func AppendHello(dst []byte, name string, epoch uint64) []byte {
 	return wire.AppendFrame(dst, p)
 }
 
-// appendKeyed appends a handoff or replica frame (framed).
-func appendKeyed(dst []byte, kind uint8, key uint64, state []byte) []byte {
+// AppendHandoff appends a migration handoff frame (framed).
+func AppendHandoff(dst []byte, key uint64, state []byte) []byte {
 	p := make([]byte, 0, 1+10+len(state))
-	p = append(p, kind)
+	p = append(p, KindHandoff)
 	p = wire.AppendUvarint(p, key)
 	p = append(p, state...)
 	return wire.AppendFrame(dst, p)
 }
 
-// AppendHandoff appends a migration handoff frame (framed).
-func AppendHandoff(dst []byte, key uint64, state []byte) []byte {
-	return appendKeyed(dst, KindHandoff, key, state)
-}
-
-// AppendReplica appends a replication frame (framed).
-func AppendReplica(dst []byte, key uint64, state []byte) []byte {
-	return appendKeyed(dst, KindReplica, key, state)
+// AppendReplica appends a replication frame stamped with the sender's
+// routing epoch (framed).
+func AppendReplica(dst []byte, key, epoch uint64, state []byte) []byte {
+	p := make([]byte, 0, 1+20+len(state))
+	p = append(p, KindReplica)
+	p = wire.AppendUvarint(p, key)
+	p = wire.AppendUvarint(p, epoch)
+	p = append(p, state...)
+	return wire.AppendFrame(dst, p)
 }
 
 // AppendTableFrame appends a table frame (framed).
@@ -204,6 +212,9 @@ func DecodeTransferFrame(payload []byte, f *TransferFrame) error {
 		f.Name = string(rest)
 	case KindHandoff, KindReplica:
 		f.Key = d.Uvarint()
+		if f.Kind == KindReplica {
+			f.Epoch = d.Uvarint()
+		}
 		if d.Err() != nil {
 			return fmt.Errorf("cluster: keyed frame: %w", d.Err())
 		}

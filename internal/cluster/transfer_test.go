@@ -32,7 +32,7 @@ func TestTransferFrameRoundTrip(t *testing.T) {
 	if f := readOneFrame(t, AppendHandoff(nil, 99, state)); f.Kind != KindHandoff || f.Key != 99 || !bytes.Equal(f.State, state) {
 		t.Fatalf("handoff roundtrip: %+v", f)
 	}
-	if f := readOneFrame(t, AppendReplica(nil, 7, state)); f.Kind != KindReplica || f.Key != 7 || !bytes.Equal(f.State, state) {
+	if f := readOneFrame(t, AppendReplica(nil, 7, 21, state)); f.Kind != KindReplica || f.Key != 7 || f.Epoch != 21 || !bytes.Equal(f.State, state) {
 		t.Fatalf("replica roundtrip: %+v", f)
 	}
 	tab, err := NewTable(3, members3(), map[uint64]string{11: "n2"})
@@ -56,20 +56,22 @@ func TestTransferFrameRoundTrip(t *testing.T) {
 func TestDecodeTransferFrameHostile(t *testing.T) {
 	var f TransferFrame
 	cases := [][]byte{
-		nil,                    // empty payload
-		{KindHello},            // hello with no epoch
-		{KindHello, 0x80},      // mid-uvarint epoch
-		{KindHello, 1},         // hello with empty name
-		{KindHandoff},          // handoff with no key
-		{KindHandoff, 0x80},    // mid-uvarint key
-		{KindHandoff, 42},      // handoff with empty state
-		{KindReplica, 42},      // replica with empty state
-		{KindTable},            // table with no payload
-		{KindBarrier},          // barrier with no token
-		{KindBarrier, 1, 0xff}, // barrier with trailing byte
-		{KindOK, 0x80},         // mid-uvarint token
-		{42, 1, 2, 3},          // unknown kind
-		{0},                    // kind zero
+		nil,                     // empty payload
+		{KindHello},             // hello with no epoch
+		{KindHello, 0x80},       // mid-uvarint epoch
+		{KindHello, 1},          // hello with empty name
+		{KindHandoff},           // handoff with no key
+		{KindHandoff, 0x80},     // mid-uvarint key
+		{KindHandoff, 42},       // handoff with empty state
+		{KindReplica, 42},       // replica with no epoch or state
+		{KindReplica, 42, 3},    // replica with empty state
+		{KindReplica, 42, 0x80}, // replica with mid-uvarint epoch
+		{KindTable},             // table with no payload
+		{KindBarrier},           // barrier with no token
+		{KindBarrier, 1, 0xff},  // barrier with trailing byte
+		{KindOK, 0x80},          // mid-uvarint token
+		{42, 1, 2, 3},           // unknown kind
+		{0},                     // kind zero
 	}
 	longName := append([]byte{KindHello, 1}, bytes.Repeat([]byte{'x'}, MaxAddrLen+1)...)
 	cases = append(cases, longName)
@@ -214,7 +216,7 @@ func FuzzTransferFrame(f *testing.F) {
 	frames := [][]byte{
 		AppendHello(nil, "node-name", 1<<40),
 		AppendHandoff(nil, 1<<33, []byte("engine-state-bytes")),
-		AppendReplica(nil, 3, []byte{0xff, 0x00, 0x7f}),
+		AppendReplica(nil, 3, 9, []byte{0xff, 0x00, 0x7f}),
 		AppendTableFrame(nil, tab),
 		AppendBarrier(nil, 1<<50),
 		AppendOK(nil, 0),
@@ -247,7 +249,7 @@ func FuzzTransferFrame(f *testing.F) {
 		case KindHandoff:
 			re = AppendHandoff(nil, fr.Key, fr.State)
 		case KindReplica:
-			re = AppendReplica(nil, fr.Key, fr.State)
+			re = AppendReplica(nil, fr.Key, fr.Epoch, fr.State)
 		case KindTable:
 			re = AppendTableFrame(nil, fr.Table)
 		case KindBarrier:

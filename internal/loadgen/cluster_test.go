@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net"
 	"net/http"
 	"testing"
 	"time"
@@ -422,4 +423,145 @@ func TestClusterFailoverDifferential(t *testing.T) {
 	}
 	ref, refPool := refereeRun(t, cfg)
 	compareCluster(t, nodes, out.rep, ref, refPool)
+}
+
+// TestMoveRollbackPinReachesTarget drives a migration into a dead
+// transfer plane and requires the rollback pin (epoch+2, key pinned
+// back to the sender) to reach every member — most importantly the
+// migration target, which may have learned the aborted epoch before
+// the link died and would otherwise accept the key's batches in
+// parallel with the sender (forked history).
+func TestMoveRollbackPinReachesTarget(t *testing.T) {
+	nodes := []*clusterNode{
+		startClusterNode(t, "n1", 50*time.Millisecond),
+		startClusterNode(t, "n2", 50*time.Millisecond),
+		startClusterNode(t, "n3", 50*time.Millisecond),
+	}
+	// A table whose n2 transfer address refuses connections: the move
+	// fences, detaches, fails to ship, and must roll back.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	members := make([]cluster.Member, len(nodes))
+	for i, cn := range nodes {
+		members[i] = cluster.Member{
+			Name:     cn.name,
+			Ingest:   cn.srv.Addr(),
+			HTTP:     cn.srv.HTTPAddr(),
+			Transfer: cn.node.TransferAddr(),
+		}
+	}
+	members[1].Transfer = deadAddr
+	tab, err := cluster.NewTable(1, members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range nodes {
+		if err := cn.node.InstallTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var key uint64
+	for k := uint64(1); ; k++ {
+		if tab.Owner(k).Name == "n1" {
+			key = k
+			break
+		}
+	}
+	for i := 0; i < 48; i++ {
+		nodes[0].srv.Pool().Feed(key, int64(i%4))
+	}
+	want, _ := nodes[0].srv.Pool().Stat(key)
+
+	if _, err := nodes[0].node.Move(key, "n2"); err == nil {
+		t.Fatal("move over a dead transfer plane reported success")
+	}
+	got, ok := nodes[0].srv.Pool().Stat(key)
+	if !ok || got != want {
+		t.Fatalf("rollback did not restore the stream: ok=%v\n got %+v\nwant %+v", ok, got, want)
+	}
+	// The pin must propagate with no further operator action: the
+	// sender retries it at the target until acknowledged and broadcasts
+	// it to the rest.
+	waitEpoch(t, nodes, 3)
+	for _, cn := range nodes {
+		cur := cn.node.Table()
+		if cur.Epoch != 3 {
+			t.Fatalf("%s holds epoch %d after rollback, want 3", cn.name, cur.Epoch)
+		}
+		if own := cur.Owner(key); own.Name != "n1" {
+			t.Fatalf("%s routes key %d to %q after rollback, want n1", cn.name, key, own.Name)
+		}
+	}
+}
+
+// TestRouterHealsMemberlessNode exercises the admission edge of a
+// member that restarted empty: with no routing table it must reject
+// every batch (epoch 0) rather than fork the keys it no longer
+// remembers owning, and the routing client — seeing rejections below
+// its own epoch — must push its table to heal the member and then
+// deliver every rescued sample exactly once.
+func TestRouterHealsMemberlessNode(t *testing.T) {
+	nodes := []*clusterNode{
+		startClusterNode(t, "n1", 50*time.Millisecond),
+		startClusterNode(t, "n2", 50*time.Millisecond),
+		startClusterNode(t, "n3", 50*time.Millisecond),
+	}
+	members := make([]cluster.Member, len(nodes))
+	for i, cn := range nodes {
+		members[i] = cluster.Member{
+			Name:     cn.name,
+			Ingest:   cn.srv.Addr(),
+			HTTP:     cn.srv.HTTPAddr(),
+			Transfer: cn.node.TransferAddr(),
+		}
+	}
+	tab, err := cluster.NewTable(1, members, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n3 never gets the table installed.
+	for _, cn := range nodes[:2] {
+		if err := cn.node.InstallTable(tab); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var key uint64
+	for k := uint64(1); ; k++ {
+		if tab.Owner(k).Name == "n3" {
+			key = k
+			break
+		}
+	}
+	r, err := cluster.DialRouter(cluster.RouterConfig{
+		HTTPAddrs: []string{nodes[0].srv.HTTPAddr()},
+		Client: client.Config{
+			Window:      8,
+			RetryBudget: 5 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	const batches = 8
+	for i := 0; i < batches; i++ {
+		if err := r.SendEvents(key, []int64{int64(i), int64(i + 1), int64(i + 2)}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := r.Barrier(); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodes[2].node.Table(); got == nil || got.Epoch != 1 {
+		t.Fatalf("memberless node not healed by the router: %+v", got)
+	}
+	st, ok := nodes[2].srv.Pool().Stat(key)
+	if !ok || st.Samples != 3*batches {
+		t.Fatalf("healed node holds ok=%v %+v, want %d samples exactly once", ok, st, 3*batches)
+	}
 }
