@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"dpd"
+	"dpd/internal/apps"
+	"dpd/internal/core"
 	"dpd/internal/server"
 	"dpd/internal/wire"
 )
@@ -303,6 +305,71 @@ func TestIngestFrameDecodeAllocFree(t *testing.T) {
 	}); n != 0 {
 		t.Fatalf("ingest frame decode allocates %.1f objects/op with a reused Frame, want 0", n)
 	}
+}
+
+// TestPaperBenchColdStartAllocFree gates the cold-start story of the
+// paper's bench table (ISSUE 9 satellite, closing ROADMAP item 4): a
+// warmed detector Reset and replayed over a full application trace must
+// be allocation-free AND detect exactly what a freshly constructed one
+// does. This is what lets BenchmarkFig4DistanceCurve and
+// BenchmarkTable2Detection report 0 allocs/op — construction happens
+// once, every subsequent replay recycles the detector, the tracker's
+// period slots and the significant-period slice.
+func TestPaperBenchColdStartAllocFree(t *testing.T) {
+	t.Run("fig4-magnitude", func(t *testing.T) {
+		tr := apps.FTCPUTrace(50, 20010513)
+		det := core.MustMagnitudeDetector(core.Config{Window: 100, Confirm: 3})
+		replay := func() core.Result {
+			det.Reset()
+			var last core.Result
+			for _, v := range tr.Samples {
+				last = det.Feed(v)
+			}
+			return last
+		}
+		fresh := replay() // also warms lazily-grown internals
+		if fresh.Period < 43 || fresh.Period > 45 {
+			t.Fatalf("period=%d, want ≈44", fresh.Period)
+		}
+		var last core.Result
+		if n := testing.AllocsPerRun(10, func() { last = replay() }); n != 0 {
+			t.Fatalf("Fig4 Reset-replay allocates %.1f objects per pass, want 0", n)
+		}
+		if last != fresh {
+			t.Fatalf("Reset-replay diverged: %+v != first pass %+v", last, fresh)
+		}
+	})
+	t.Run("table2-multiscale", func(t *testing.T) {
+		app := apps.Turb3d() // nested periodicities: exercises every ladder level
+		vals := app.Trace().Values
+		ms := core.MustMultiScaleDetector(nil, core.Config{})
+		pt := core.NewPeriodTracker()
+		var got []int
+		replay := func() {
+			ms.Reset()
+			pt.Reset()
+			for _, v := range vals {
+				pt.ObserveMulti(ms.Feed(v), ms)
+			}
+			got = pt.AppendSignificant(8, got[:0])
+		}
+		replay() // warm the tracker's period slots and the result slice
+		check := func() {
+			if len(got) != len(app.ExpectPeriods) {
+				t.Fatalf("periods %v, want %v", got, app.ExpectPeriods)
+			}
+			for i, p := range app.ExpectPeriods {
+				if got[i] != p {
+					t.Fatalf("periods %v, want %v", got, app.ExpectPeriods)
+				}
+			}
+		}
+		check()
+		if n := testing.AllocsPerRun(5, replay); n != 0 {
+			t.Fatalf("Table2 Reset-replay allocates %.1f objects per pass, want 0", n)
+		}
+		check() // recycled tracker still detects the exact Table 2 set
+	})
 }
 
 // newSurfaceEngines is the alloc matrix for the unified API: every

@@ -18,10 +18,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"dpd"
 	"dpd/internal/client"
 	"dpd/internal/loadgen"
 )
@@ -56,6 +59,8 @@ type options struct {
 	churn int
 	burst string
 	mixed bool
+
+	httpAddr string
 }
 
 // buildConfig validates one dpdload invocation and assembles the
@@ -164,6 +169,42 @@ func printDetails(w io.Writer, rep loadgen.Report) {
 		rep.Fingerprint, rep.DistinctStreams)
 }
 
+// printServerHotSet fetches the server's /metrics adaptive section and
+// prints its hot set next to dpdload's own observed hottest streams, so
+// a skewed run shows at a glance whether the celebrities the generator
+// produced are the ones the server promoted.
+func printServerHotSet(w io.Writer, httpAddr string) error {
+	url := "http://" + httpAddr + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap struct {
+		Adaptive *dpd.AdaptiveStats `json:"adaptive"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	if snap.Adaptive == nil || !snap.Adaptive.Enabled {
+		fmt.Fprintf(w, "server adaptive placement: disabled\n")
+		return nil
+	}
+	a := snap.Adaptive
+	fmt.Fprintf(w, "server hot set (%d/%d promoted; %d promotions, %d demotions, %d folds):",
+		a.HotStreams, a.MaxHot, a.Promotions, a.Demotions, a.Folds)
+	hot := append([]dpd.HotStreamInfo(nil), a.Hot...)
+	sort.Slice(hot, func(i, j int) bool { return hot[i].Fed > hot[j].Fed })
+	for _, h := range hot {
+		fmt.Fprintf(w, " %d×%d (%.0f/s)", h.Key, h.Fed, h.Rate)
+	}
+	fmt.Fprintf(w, "\n")
+	return nil
+}
+
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "localhost:7700", "dpdserver ingest address")
@@ -185,6 +226,7 @@ func main() {
 	flag.IntVar(&o.churn, "churn", 0, "churn generations: cycle streams through N fresh key windows (0/1 = off)")
 	flag.StringVar(&o.burst, "burst", "", "bursty arrivals: <on-samples>:<off-duration> per connection (e.g. 4096:250ms)")
 	flag.BoolVar(&o.mixed, "mixed", false, "interleave magnitude streams (every third key) with event streams")
+	flag.StringVar(&o.httpAddr, "http", "", "dpdserver HTTP address: after the run, print the server's adaptive hot set next to the observed hottest streams")
 	flag.Parse()
 
 	cfg, err := buildConfig(o)
@@ -199,4 +241,9 @@ func main() {
 	}
 	fmt.Println(rep)
 	printDetails(os.Stdout, rep)
+	if o.httpAddr != "" {
+		if err := printServerHotSet(os.Stdout, o.httpAddr); err != nil {
+			log.Fatalf("dpdload: %v", err)
+		}
+	}
 }

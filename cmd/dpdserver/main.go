@@ -42,6 +42,14 @@ func main() {
 	ladder := flag.String("ladder", "", "multiscale ladder windows, comma-separated (empty = default ladder)")
 	shards := flag.Int("shards", 0, "pool shard count (0 = GOMAXPROCS)")
 	idleTTL := flag.Uint64("idle-ttl", 0, "evict a stream after this many shard samples without traffic (0 = never)")
+	adaptive := flag.Bool("adaptive", false, "enable contention-adaptive hot-stream placement (celebrity streams get dedicated pinned workers)")
+	adaptiveMaxHot := flag.Int("adaptive-max-hot", 0, "max streams promoted at once (0 = default)")
+	adaptiveFoldEvery := flag.Duration("adaptive-fold-every", 0, "coordinator sampling-fold cadence (0 = default)")
+	adaptivePromote := flag.Float64("adaptive-promote-share", 0, "global traffic share that promotes a stream, e.g. 0.10 (0 = default)")
+	adaptiveDemote := flag.Float64("adaptive-demote-share", 0, "traffic share below which a hot stream cools (0 = default promote/4)")
+	adaptivePromoteAfter := flag.Int("adaptive-promote-after", 0, "consecutive qualifying folds before promotion (0 = default)")
+	adaptiveDemoteAfter := flag.Int("adaptive-demote-after", 0, "consecutive cold folds before demotion (0 = default)")
+	adaptiveSampleEvery := flag.Int("adaptive-sample-every", 0, "mean feed calls between contention-sketch observations (0 = default)")
 	ckptDir := flag.String("checkpoint-dir", "", "durable checkpoint directory (empty disables durability)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "interval between durable checkpoints")
 	ckptKeep := flag.Int("checkpoint-keep", 3, "checkpoint files to retain")
@@ -68,6 +76,16 @@ func main() {
 			Shards:      *shards,
 			NewDetector: factory,
 			IdleTTL:     *idleTTL,
+			Adaptive: dpd.AdaptiveConfig{
+				Enable:       *adaptive,
+				MaxHot:       *adaptiveMaxHot,
+				FoldEvery:    *adaptiveFoldEvery,
+				PromoteShare: *adaptivePromote,
+				DemoteShare:  *adaptiveDemote,
+				PromoteAfter: *adaptivePromoteAfter,
+				DemoteAfter:  *adaptiveDemoteAfter,
+				SampleEvery:  *adaptiveSampleEvery,
+			},
 		},
 		CheckpointDir:    *ckptDir,
 		CheckpointEvery:  *ckptEvery,
@@ -125,12 +143,16 @@ func main() {
 		}
 	}
 	srv.Start()
+	adaptNote := ""
+	if st := srv.Pool().AdaptiveStats(); st.Enabled {
+		adaptNote = fmt.Sprintf(", adaptive placement (max %d hot)", st.MaxHot)
+	}
 	if node != nil {
-		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards, cluster node %q (transfer on %s)",
-			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards(), *clusterSelf, node.TransferAddr())
+		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards%s, cluster node %q (transfer on %s)",
+			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards(), adaptNote, *clusterSelf, node.TransferAddr())
 	} else {
-		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards",
-			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards())
+		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards%s",
+			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards(), adaptNote)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

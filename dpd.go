@@ -111,6 +111,17 @@ type (
 	// StreamStat is a point-in-time view of one pooled stream (period,
 	// segment boundaries, prediction).
 	StreamStat = pool.StreamStat
+	// AdaptiveConfig parameterizes contention-adaptive hot-stream
+	// placement (PoolConfig.Adaptive): per-shard feed-rate sampling and
+	// promotion of celebrity streams onto dedicated pinned workers.
+	AdaptiveConfig = pool.AdaptiveConfig
+	// AdaptiveStats is a point-in-time view of the adaptive placement
+	// tier: promotion/demotion counters, fold count and the current hot
+	// set (Pool.AdaptiveStats).
+	AdaptiveStats = pool.AdaptiveStats
+	// HotStreamInfo describes one currently promoted stream (key,
+	// samples fed since promotion, feed rate).
+	HotStreamInfo = pool.HotStreamInfo
 )
 
 // DefaultLadder is the default multi-scale window ladder.

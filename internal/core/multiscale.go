@@ -217,6 +217,19 @@ func NewPeriodTracker() *PeriodTracker {
 	return &PeriodTracker{stats: make(map[int]*PeriodStat)}
 }
 
+// Reset clears every accumulated statistic while keeping the allocated
+// period slots, so a tracker replaying streams repeatedly (a cold-start
+// bench loop, a pooled stream recycled from a freelist) stops
+// allocating once every recurring period owns a slot. A zeroed slot
+// (Samples == 0) counts as never observed: it is skipped by Periods,
+// SignificantPeriods, Stats and Stat, and re-initialized on its next
+// observation.
+func (pt *PeriodTracker) Reset() {
+	for _, s := range pt.stats {
+		s.FirstAt, s.LastAt, s.Samples, s.Starts, s.Window = 0, 0, 0, 0, 0
+	}
+}
+
 // Observe folds in one result produced by a detector with the given window.
 func (pt *PeriodTracker) Observe(r Result, window int) {
 	if !r.Locked || r.Period <= 0 {
@@ -226,6 +239,9 @@ func (pt *PeriodTracker) Observe(r Result, window int) {
 	if !ok {
 		s = &PeriodStat{Period: r.Period, FirstAt: r.T, Window: window}
 		pt.stats[r.Period] = s
+	} else if s.Samples == 0 {
+		// Slot recycled by Reset: first observation of the new pass.
+		s.FirstAt, s.Window = r.T, window
 	}
 	s.LastAt = r.T
 	s.Samples++
@@ -247,8 +263,10 @@ func (pt *PeriodTracker) ObserveMulti(mr MultiResult, ms *MultiScaleDetector) {
 // Periods returns the distinct periodicities sorted ascending.
 func (pt *PeriodTracker) Periods() []int {
 	out := make([]int, 0, len(pt.stats))
-	for p := range pt.stats {
-		out = append(out, p)
+	for p, s := range pt.stats {
+		if s.Samples > 0 {
+			out = append(out, p)
+		}
 	}
 	sort.Ints(out)
 	return out
@@ -257,18 +275,32 @@ func (pt *PeriodTracker) Periods() []int {
 // SignificantPeriods returns periods that stayed locked for at least
 // minSamples samples, filtering out transient flickers.
 func (pt *PeriodTracker) SignificantPeriods(minSamples uint64) []int {
-	out := make([]int, 0, len(pt.stats))
-	for p, s := range pt.stats {
-		if s.Samples >= minSamples {
-			out = append(out, p)
-		}
-	}
-	sort.Ints(out)
-	return out
+	return pt.AppendSignificant(minSamples, nil)
 }
 
-// Stat returns the statistics for period p (nil if never observed).
-func (pt *PeriodTracker) Stat(p int) *PeriodStat { return pt.stats[p] }
+// AppendSignificant appends the significant periods (locked for at
+// least minSamples samples) to dst in ascending order, recycled like
+// append — the allocation-free form of SignificantPeriods for replay
+// loops that reuse the result slice across Reset passes.
+func (pt *PeriodTracker) AppendSignificant(minSamples uint64, dst []int) []int {
+	for p, s := range pt.stats {
+		if s.Samples >= minSamples {
+			dst = append(dst, p)
+		}
+	}
+	sort.Ints(dst)
+	return dst
+}
+
+// Stat returns the statistics for period p (nil if never observed,
+// including slots zeroed by Reset and not yet re-observed).
+func (pt *PeriodTracker) Stat(p int) *PeriodStat {
+	s := pt.stats[p]
+	if s == nil || s.Samples == 0 {
+		return nil
+	}
+	return s
+}
 
 // Stats returns all period statistics sorted by period.
 func (pt *PeriodTracker) Stats() []PeriodStat {

@@ -1,0 +1,175 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"dpd"
+)
+
+// Adaptive-placement differential: the referee for contention-adaptive
+// hot-stream promotion. Eight concurrent feeders drive zipf-skewed
+// traffic into an adaptive pool on a hair-trigger coordinator cadence;
+// the celebrity keys must be promoted onto dedicated hot workers during
+// the run, cool off and be demoted when the workload moves to a fresh
+// key window, and every stream — promoted, demoted or never hot — must
+// end byte-identical to a standalone detector fed the same per-key
+// subsequence.
+
+// adaptiveRefereePool builds an adaptive pool tuned to the harness's
+// per-connection zipf shape: 8 conns × 8 keys means each connection's
+// rank-0 celebrity takes ~37-43% of its own traffic but only ~5% of
+// the global window, so the promotion threshold sits at 3% with a
+// window large enough (512+ samples) to smooth batch burstiness, and
+// MaxHot admits every per-connection celebrity at once. Demotion:
+// below 0.5% for 25 consecutive folds (~125ms cold).
+func adaptiveRefereePool(t *testing.T) *dpd.Pool {
+	t.Helper()
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:      4,
+		NewDetector: refereeDetector,
+		Adaptive: dpd.AdaptiveConfig{
+			Enable:         true,
+			MaxHot:         8,
+			FoldEvery:      5 * time.Millisecond,
+			PromoteShare:   0.03,
+			DemoteShare:    0.005,
+			PromoteAfter:   1,
+			DemoteAfter:    25,
+			MinFoldSamples: 512,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// diffRuns asserts every pooled stream matches the standalone replay of
+// whichever run fed it (runs target disjoint key windows).
+func diffRuns(t *testing.T, p *dpd.Pool, runs []struct {
+	cfg Config
+	rep Report
+}) int {
+	t.Helper()
+	checked := 0
+	for _, st := range p.Snapshot(nil) {
+		found := false
+		for _, r := range runs {
+			n, ok := r.rep.StreamSamples[st.Key]
+			if !ok {
+				continue
+			}
+			found = true
+			if want := replayStat(r.cfg, st.Key, n); st.Stat != want {
+				t.Errorf("stream %d after %d samples: pooled %+v != standalone %+v", st.Key, n, st.Stat, want)
+			}
+			break
+		}
+		if !found {
+			t.Fatalf("pool holds stream %d no run ever fed", st.Key)
+		}
+		checked++
+	}
+	return checked
+}
+
+func TestAdaptiveZipfDifferential(t *testing.T) {
+	for _, theta := range []float64{0.99, 1.2} {
+		theta := theta
+		t.Run(fmt.Sprintf("theta=%v", theta), func(t *testing.T) {
+			p := adaptiveRefereePool(t)
+			defer p.Close()
+
+			var runs []struct {
+				cfg Config
+				rep Report
+			}
+			run := func(cfg Config) Report {
+				t.Helper()
+				rep, err := RunPool(context.Background(), cfg, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				runs = append(runs, struct {
+					cfg Config
+					rep Report
+				}{cfg, rep})
+				return rep
+			}
+
+			// Phase 1: skewed traffic from 8 feeders, rate-limited so
+			// the run spans many coordinator folds.
+			hotCfg := Config{
+				Conns: 8, Streams: 64, SamplesPerStream: 512, BatchSize: 32,
+				Period: 7, PatternStride: 100, Rate: 400_000,
+				Workload: Workload{Dist: Dist{Kind: DistZipf, Theta: theta}, Seed: 42},
+			}
+			rep := run(hotCfg)
+
+			st := p.AdaptiveStats()
+			if !st.Enabled || st.Promotions == 0 || len(st.Hot) == 0 {
+				t.Fatalf("no promotion under theta=%v skew: %+v", theta, st)
+			}
+			// The global hottest key qualifies on every fold, so it must
+			// be in the hot set — and its samples after promotion were
+			// served off its dedicated ring, not a shard.
+			var hottest, hottestN uint64
+			for k, n := range rep.StreamSamples {
+				if n > hottestN {
+					hottest, hottestN = k, n
+				}
+			}
+			var hotEntry *dpd.HotStreamInfo
+			for i := range st.Hot {
+				if st.Hot[i].Key == hottest {
+					hotEntry = &st.Hot[i]
+				}
+			}
+			if hotEntry == nil {
+				t.Fatalf("global hottest key %d (%d samples) not promoted: %+v", hottest, rep.StreamSamples[hottest], st)
+			}
+			if hotEntry.Fed == 0 {
+				t.Errorf("hottest key %d never fed through its hot ring", hottest)
+			}
+
+			// Phase 2+: the workload moves to fresh key windows, so the
+			// old celebrities cool; keep driving disjoint windows until
+			// the coordinator demotes them (deadline-bounded).
+			demoted := func() bool { return p.AdaptiveStats().Demotions > 0 }
+			deadline := time.Now().Add(30 * time.Second)
+			for w := uint64(0); !demoted(); w++ {
+				if time.Now().After(deadline) {
+					t.Fatalf("no demotion after workload moved on: %+v", p.AdaptiveStats())
+				}
+				run(Config{
+					Conns: 8, Streams: 32, SamplesPerStream: 128, BatchSize: 32,
+					Period: 7, PatternStride: 100, Rate: 400_000,
+					KeyBase:  100_000 + w*1_000,
+					Workload: Workload{Seed: 43 + w},
+				})
+			}
+
+			final := p.AdaptiveStats()
+			if final.Promotions == 0 || final.Demotions == 0 {
+				t.Fatalf("both transitions must be observed: %+v", final)
+			}
+			if final.Folds == 0 {
+				t.Fatal("sampler fold counter never advanced")
+			}
+
+			// The headline: every stream the pool holds — including the
+			// ones that were promoted and demoted mid-run — is
+			// byte-identical to its standalone replay.
+			want := 0
+			for _, r := range runs {
+				want += r.rep.DistinctStreams
+			}
+			if n := diffRuns(t, p, runs); n != want {
+				t.Fatalf("differential checked %d streams, want %d", n, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,585 @@
+package pool
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"dpd/internal/core"
+)
+
+// Adaptive-placement tests. Deterministic tests park the coordinator's
+// ticker (FoldEvery far in the future) and drive adaptStep by hand, so
+// promotion and demotion happen at exact, repeatable points; the churn
+// test at the bottom runs the real coordinator under -race against
+// every lifecycle operation at once.
+
+// adaptiveTestConfig is a hair-trigger adaptive configuration: one
+// qualifying fold promotes, one cool fold demotes, no minimum window —
+// the degrees of freedom the deterministic tests want.
+func adaptiveTestConfig() AdaptiveConfig {
+	return AdaptiveConfig{
+		Enable:         true,
+		MaxHot:         4,
+		SampleEvery:    1,         // exact counts: these tests assert on shares
+		FoldEvery:      time.Hour, // parked; tests call adaptStep directly
+		PromoteShare:   0.30,
+		DemoteShare:    0.05,
+		PromoteAfter:   1,
+		DemoteAfter:    1,
+		MinFoldSamples: 1,
+	}
+}
+
+// steps drives n coordinator rounds at 100ms synthetic spacing.
+func steps(p *Pool, n int) {
+	base := p.hot.lastFold
+	for i := 1; i <= n; i++ {
+		p.adaptStep(base.Add(time.Duration(i) * 100 * time.Millisecond))
+	}
+}
+
+// feedSkewed pushes rounds batches where the hot key receives hotPer
+// samples per batch and every cold key one; patterns follow feedRounds'
+// per-key periods so detector states are non-trivial.
+func feedSkewed(p *Pool, hotKey uint64, hotPer int, cold []uint64, rounds int, hotFed, coldFed map[uint64]int) {
+	var batch []KeyedSample
+	for r := 0; r < rounds; r++ {
+		batch = batch[:0]
+		for i := 0; i < hotPer; i++ {
+			n := hotFed[hotKey]
+			period := 2 + int(hotKey%5)
+			batch = append(batch, KeyedSample{Key: hotKey, Value: int64(n % period)})
+			hotFed[hotKey] = n + 1
+		}
+		for _, k := range cold {
+			n := coldFed[k]
+			period := 2 + int(k%5)
+			batch = append(batch, KeyedSample{Key: k, Value: int64(n % period)})
+			coldFed[k] = n + 1
+		}
+		p.FeedBatch(batch)
+	}
+}
+
+// replayEvent rebuilds a standalone window-32 event detector fed key's
+// exact subsequence: n samples of the key's period pattern.
+func replayEvent(t *testing.T, key uint64, n int) core.Detector {
+	t.Helper()
+	det, err := core.NewEventEngineConfig(core.Config{Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 2 + int(key%5)
+	for i := 0; i < n; i++ {
+		det.Feed(core.Sample{Value: int64(i % period)})
+	}
+	return det
+}
+
+// requireIdentical asserts the pooled stream's Stat and serialized
+// state are byte-identical to a standalone detector fed the same
+// subsequence.
+func requireIdentical(t *testing.T, p *Pool, key uint64, n int) {
+	t.Helper()
+	ref := replayEvent(t, key, n)
+	st, ok := p.Stat(key)
+	if !ok {
+		t.Fatalf("stream %d missing", key)
+	}
+	if want := ref.Snapshot(); st.Stat != want {
+		t.Fatalf("stream %d diverged: got %+v want %+v", key, st.Stat, want)
+	}
+	state, ok, err := p.Detach(key, nil)
+	if err != nil || !ok {
+		t.Fatalf("detach %d: ok=%v err=%v", key, ok, err)
+	}
+	want, err := core.AppendCheckpoint(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(state, want) {
+		t.Fatalf("stream %d serialized state not byte-identical (%d vs %d bytes)", key, len(state), len(want))
+	}
+	if err := p.Attach(key, state); err != nil {
+		t.Fatalf("re-attach %d: %v", key, err)
+	}
+}
+
+func TestSamplerHeavyHitter(t *testing.T) {
+	sm := newSampler(8, 1, 1)
+	for i := 0; i < 1000; i++ {
+		sm.observe(42)
+		sm.observe(uint64(1000 + i)) // 1000 distinct cold keys
+	}
+	cands := sm.fold(nil)
+	var hot *hotCand
+	for i := range cands {
+		if cands[i].key == 42 {
+			hot = &cands[i]
+		}
+	}
+	if hot == nil {
+		t.Fatal("heavy hitter 42 not in fold candidates")
+	}
+	// Misra-Gries lower bound: count >= true - (colliding traffic).
+	if hot.count < 400 {
+		t.Fatalf("heavy hitter count %d implausibly low", hot.count)
+	}
+	for _, s := range sm.slots {
+		if s.count != 0 {
+			t.Fatal("fold did not reset the sketch")
+		}
+	}
+}
+
+// TestSamplerStrideNoAliasing replays the failure mode of a
+// deterministic stride: batches carrying keys in a fixed order whose
+// period divides the stride. A clock-mask stride observes the same key
+// every time and inflates it by the stride factor; the randomized
+// countdown must keep every uniform key's scaled share near its true
+// 1/8 share, well below a promotion-grade estimate.
+func TestSamplerStrideNoAliasing(t *testing.T) {
+	const stride = 8
+	keys := [stride]uint64{1, 2, 3, 4, 5, 6, 11, 12}
+	sm := newSampler(64, stride, 0x9e3779b97f4a7c15)
+	const rounds = 4000
+	for r := 0; r < rounds; r++ {
+		for _, k := range keys {
+			sm.wait--
+			if sm.wait == 0 {
+				sm.observe(k)
+				sm.reload()
+			}
+		}
+	}
+	total := float64(rounds * stride)
+	for _, c := range sm.fold(nil) {
+		share := float64(c.count) * stride / total
+		if share > 0.25 { // true share is 1/8; 2x tolerance
+			t.Fatalf("key %d scaled share %.3f: stride aliases with batch order", c.key, share)
+		}
+	}
+}
+
+func TestAdaptivePromoteDemoteByteIdentical(t *testing.T) {
+	cfg := Config{Shards: 4, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+
+	const hotKey = uint64(7)
+	cold := []uint64{1, 2, 3, 4, 100, 2001, 1 << 40}
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+
+	feedSkewed(p, hotKey, 20, cold, 50, hotFed, coldFed)
+	steps(p, 1)
+	st := p.AdaptiveStats()
+	if !st.Enabled || st.Promotions != 1 || st.HotStreams != 1 {
+		t.Fatalf("expected one promotion, got %+v", st)
+	}
+	if len(st.Hot) != 1 || st.Hot[0].Key != hotKey {
+		t.Fatalf("hot set should be [%d], got %+v", hotKey, st.Hot)
+	}
+	if p.Len() != 1+len(cold) {
+		t.Fatalf("Len %d after promotion, want %d", p.Len(), 1+len(cold))
+	}
+
+	// Traffic after promotion rides the dedicated ring; state must stay
+	// byte-identical to the standalone replay.
+	feedSkewed(p, hotKey, 20, cold, 50, hotFed, coldFed)
+	requireIdentical(t, p, hotKey, hotFed[hotKey])
+
+	// requireIdentical detached and re-attached the hot stream, which
+	// lands it back in its shard; re-promote, then cool it.
+	feedSkewed(p, hotKey, 20, cold, 50, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("expected re-promotion, got %+v", st)
+	}
+
+	// Cold-only folds: the hot share collapses, demotion fires.
+	feedSkewed(p, hotKey, 0, cold, 30, hotFed, coldFed)
+	steps(p, 1)
+	st = p.AdaptiveStats()
+	if st.HotStreams != 0 || st.Demotions != 1 {
+		t.Fatalf("expected demotion, got %+v", st)
+	}
+	requireIdentical(t, p, hotKey, hotFed[hotKey])
+	for _, k := range cold {
+		requireIdentical(t, p, k, coldFed[k])
+	}
+}
+
+func TestAdaptiveDemotesOnSilence(t *testing.T) {
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	feedSkewed(p, 9, 50, []uint64{1, 2}, 20, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+	// No traffic at all: empty fold windows must still cool the stream.
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 0 || st.Demotions != 1 {
+		t.Fatalf("silent demotion expected, got %+v", st)
+	}
+	requireIdentical(t, p, 9, hotFed[9])
+}
+
+func TestAdaptiveHysteresisHoldsWarmStream(t *testing.T) {
+	a := adaptiveTestConfig()
+	a.DemoteAfter = 3
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 32}, Adaptive: a}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	// Enough cold keys that none crosses PromoteShare on its own during
+	// the cold-only folds below.
+	cold := []uint64{1, 2, 3, 4, 5, 6, 11, 12}
+	feedSkewed(p, 9, 50, cold, 20, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+	// Two cool folds out of three: pressure resets when the stream
+	// re-warms, so it must stay hot.
+	feedSkewed(p, 9, 0, cold, 10, hotFed, coldFed)
+	steps(p, 1)
+	feedSkewed(p, 9, 0, cold, 10, hotFed, coldFed)
+	steps(p, 1)
+	feedSkewed(p, 9, 50, cold, 10, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 || st.Demotions != 0 {
+		t.Fatalf("hysteresis should hold the warm stream hot, got %+v", st)
+	}
+	// Three consecutive cool folds: now it demotes.
+	for i := 0; i < 3; i++ {
+		feedSkewed(p, 9, 0, cold, 10, hotFed, coldFed)
+		steps(p, 1)
+	}
+	if st := p.AdaptiveStats(); st.HotStreams != 0 || st.Demotions != 1 {
+		t.Fatalf("demotion after DemoteAfter cool folds expected, got %+v", st)
+	}
+}
+
+func TestAdaptiveCheckpointRestoreWithHotStreams(t *testing.T) {
+	cfg := Config{Shards: 4, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	cold := []uint64{1, 2, 3, 4, 5}
+	feedSkewed(p, 7, 30, cold, 40, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Len() != p.Len() {
+		t.Fatalf("restored Len %d, want %d", r.Len(), p.Len())
+	}
+	// Every stream — including the one that was hot at checkpoint time —
+	// must resume byte-identically (placement is re-learned, state is
+	// not).
+	requireIdentical(t, r, 7, hotFed[7])
+	for _, k := range cold {
+		requireIdentical(t, r, k, coldFed[k])
+	}
+	if st := r.AdaptiveStats(); !st.Enabled || st.HotStreams != 0 {
+		t.Fatalf("restored pool starts with an empty hot set, got %+v", st)
+	}
+}
+
+func TestAdaptiveRebalanceWithHotStreams(t *testing.T) {
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	cold := []uint64{1, 2, 3, 4}
+	feedSkewed(p, 7, 30, cold, 40, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+	if err := p.Rebalance(8); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("rebalance must not touch the hot set, got %+v", st)
+	}
+	feedSkewed(p, 7, 30, cold, 40, hotFed, coldFed)
+	// Cool and verify everything.
+	feedSkewed(p, 7, 0, cold, 30, hotFed, coldFed)
+	steps(p, 1)
+	requireIdentical(t, p, 7, hotFed[7])
+	for _, k := range cold {
+		requireIdentical(t, p, k, coldFed[k])
+	}
+}
+
+func TestAdaptiveDetachAttachHotStream(t *testing.T) {
+	cfg := Config{Shards: 4, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	feedSkewed(p, 7, 30, []uint64{1, 2}, 40, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+
+	// Attach over a hot key must refuse exactly like a live shard key.
+	ref := replayEvent(t, 7, hotFed[7])
+	state, err := core.AppendCheckpoint(ref, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Attach(7, state); !errors.Is(err, ErrStreamExists) {
+		t.Fatalf("attach over hot key: got %v, want ErrStreamExists", err)
+	}
+
+	// Detach fences the hot worker and hands back the exact state.
+	got, ok, err := p.Detach(7, nil)
+	if err != nil || !ok {
+		t.Fatalf("detach hot: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(got, state) {
+		t.Fatal("detached hot state not byte-identical to replay")
+	}
+	if st := p.AdaptiveStats(); st.HotStreams != 0 {
+		t.Fatalf("detach must remove the stream from the hot set, got %+v", st)
+	}
+	if _, live := p.Stat(7); live {
+		t.Fatal("stream still visible after hot detach")
+	}
+	if err := p.Attach(7, got); err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, p, 7, hotFed[7])
+}
+
+func TestAdaptiveEvictIdleSparesHotStreams(t *testing.T) {
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	cold := []uint64{1, 2, 3}
+	feedSkewed(p, 7, 30, cold, 40, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+	p.EvictIdle(0)
+	if _, live := p.Stat(7); !live {
+		t.Fatal("hot stream must never be idle-evicted")
+	}
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("hot set should survive eviction, got %+v", st)
+	}
+}
+
+func TestAdaptiveCloseWithHotStreams(t *testing.T) {
+	cfg := Config{Shards: 2, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	feedSkewed(p, 7, 30, []uint64{1, 2}, 40, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+	p.Close()
+	p.Close() // idempotent with a live hot set
+
+	// Post-Close reads observe the final state, hot streams included.
+	st, ok := p.Stat(7)
+	if !ok {
+		t.Fatal("hot stream missing after Close")
+	}
+	ref := replayEvent(t, 7, hotFed[7])
+	if want := ref.Snapshot(); st.Stat != want {
+		t.Fatalf("post-Close hot stat diverged: got %+v want %+v", st.Stat, want)
+	}
+	if got := len(p.Snapshot(nil)); got != 3 {
+		t.Fatalf("post-Close snapshot has %d streams, want 3", got)
+	}
+	var buf bytes.Buffer
+	if err := p.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if as := p.AdaptiveStats(); as.HotStreams != 1 {
+		t.Fatalf("post-Close AdaptiveStats lost the hot set: %+v", as)
+	}
+}
+
+func TestAdaptiveFeedBatchAllocFree(t *testing.T) {
+	cfg := Config{Shards: 4, Detector: core.Config{Window: 32}, Adaptive: adaptiveTestConfig()}
+	p := Must(cfg)
+	defer p.Close()
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+	cold := []uint64{1, 2, 3, 4, 100, 2001}
+	feedSkewed(p, 7, 30, cold, 60, hotFed, coldFed)
+	steps(p, 1)
+	if st := p.AdaptiveStats(); st.HotStreams != 1 {
+		t.Fatalf("promotion expected, got %+v", st)
+	}
+
+	// Steady state with a promoted stream: the skewed batch (hot ring
+	// push + sampler updates + cold partitioning) must not allocate.
+	batch := make([]KeyedSample, 0, 64)
+	n := 0
+	feed := func() {
+		batch = batch[:0]
+		for i := 0; i < 32; i++ {
+			batch = append(batch, KeyedSample{Key: 7, Value: int64(n % 4)})
+			n++
+		}
+		for _, k := range cold {
+			batch = append(batch, KeyedSample{Key: k, Value: int64(n % 3)})
+		}
+		p.FeedBatch(batch)
+	}
+	for i := 0; i < 50; i++ {
+		feed() // warm staging buffers and ring
+	}
+	if allocs := testing.AllocsPerRun(100, feed); allocs != 0 {
+		t.Fatalf("adaptive FeedBatch allocates %v/op in steady state", allocs)
+	}
+}
+
+// TestAdaptiveLifecycleChurnUnderRace runs the real coordinator on a
+// hair-trigger cadence while feeders heat and cool a celebrity key and
+// every lifecycle operation (Checkpoint, Rebalance, EvictIdle,
+// Detach/Attach, Snapshot paging, Stat) races the transitions. The
+// final state of every stream must match a standalone replay exactly —
+// promotion and demotion never lose or reorder a sample.
+func TestAdaptiveLifecycleChurnUnderRace(t *testing.T) {
+	a := AdaptiveConfig{
+		Enable:         true,
+		MaxHot:         2,
+		FoldEvery:      2 * time.Millisecond,
+		PromoteShare:   0.30,
+		DemoteShare:    0.05,
+		PromoteAfter:   1,
+		DemoteAfter:    1,
+		MinFoldSamples: 64,
+	}
+	cfg := Config{Shards: 4, Detector: core.Config{Window: 32}, Adaptive: a}
+	p := Must(cfg)
+	defer p.Close()
+
+	const hotKey = uint64(7)
+	cold := []uint64{1, 2, 3, 4, 100, 2001, 1 << 40}
+	hotFed, coldFed := map[uint64]int{}, map[uint64]int{}
+
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(4)
+	go func() { // checkpoints
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Checkpoint(io.Discard)
+				time.Sleep(3 * time.Millisecond)
+			}
+		}
+	}()
+	go func() { // rebalances (paced: each one resets the samplers)
+		defer chaos.Done()
+		n := 2
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = p.Rebalance(n)
+				if n = n + 1; n > 6 {
+					n = 2
+				}
+				time.Sleep(15 * time.Millisecond)
+			}
+		}
+	}()
+	go func() { // eviction sweeps (huge TTL: exercise, don't evict)
+		defer chaos.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.EvictIdle(1 << 60)
+				time.Sleep(3 * time.Millisecond)
+			}
+		}
+	}()
+	go func() { // reads + detach/attach of a key this goroutine owns
+		defer chaos.Done()
+		const mig = uint64(555)
+		p.Feed(mig, 1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				p.Snapshot(nil)
+				p.SnapshotPage(0, 4, nil)
+				p.Stat(hotKey)
+				p.AdaptiveStats()
+				if state, ok, err := p.Detach(mig, nil); err == nil && ok {
+					if err := p.Attach(mig, state); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+	}()
+
+	// Three heat/cool cycles, each asserted via the transition counters
+	// with a deadline, all while the chaos goroutines run.
+	waitFor := func(cond func(AdaptiveStats) bool, heat bool, what string) {
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond(p.AdaptiveStats()) {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s: %+v", what, p.AdaptiveStats())
+			}
+			hotPer := 0
+			if heat {
+				hotPer = 40
+			}
+			feedSkewed(p, hotKey, hotPer, cold, 5, hotFed, coldFed)
+		}
+	}
+	for cycle := uint64(1); cycle <= 3; cycle++ {
+		c := cycle
+		waitFor(func(st AdaptiveStats) bool { return st.Promotions >= c }, true, "promotion")
+		waitFor(func(st AdaptiveStats) bool { return st.Demotions >= c }, false, "demotion")
+	}
+	close(stop)
+	chaos.Wait()
+
+	st := p.AdaptiveStats()
+	if st.Promotions < 3 || st.Demotions < 3 {
+		t.Fatalf("expected >=3 promotions and demotions, got %+v", st)
+	}
+	// Quiesced: every stream must equal its standalone replay,
+	// byte-identically, after all that churn.
+	requireIdentical(t, p, hotKey, hotFed[hotKey])
+	for _, k := range cold {
+		requireIdentical(t, p, k, coldFed[k])
+	}
+}

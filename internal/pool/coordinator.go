@@ -1,0 +1,512 @@
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"dpd/internal/core"
+)
+
+// The adaptive coordinator (Doppel's coordinator.go idiom): a single
+// goroutine that periodically folds every shard's contention sketch
+// into a global candidate list, computes each candidate's share of the
+// fold window, and moves streams between the sharded tier and the hot
+// tier through the checkpoint codec — the same byte-identical state
+// movement Rebalance and Detach/Attach use, so a stream observes no
+// difference between being promoted and being migrated.
+//
+// Hysteresis on both edges keeps placement from flapping: promotion
+// requires the share to exceed PromoteShare on PromoteAfter consecutive
+// folds with a statistically meaningful window (MinFoldSamples);
+// demotion requires the hot stream's share to fall below the (lower)
+// DemoteShare on DemoteAfter consecutive folds, and unlike promotion it
+// also fires on empty windows, so a stream whose traffic vanishes
+// entirely still cools back into its shard.
+
+// Adaptive placement defaults; see AdaptiveConfig.
+const (
+	DefaultMaxHot         = 8
+	DefaultSamplerSlots   = 64
+	DefaultSampleEvery    = 8
+	DefaultFoldEvery      = 100 * time.Millisecond
+	DefaultPromoteShare   = 0.10
+	DefaultDemoteShare    = 0.025
+	DefaultPromoteAfter   = 2
+	DefaultDemoteAfter    = 3
+	DefaultMinFoldSamples = 1024
+	DefaultHotRing        = 64
+	// MaxHotStreams bounds AdaptiveConfig.MaxHot: each hot stream costs
+	// a pinned goroutine and a group staging slot.
+	MaxHotStreams = 64
+)
+
+// AdaptiveConfig parameterizes contention-adaptive hot-stream
+// placement. The zero value (Enable false) disables the tier entirely:
+// no sampler in the shards, no coordinator goroutine, and a single
+// never-taken branch on the feed path.
+type AdaptiveConfig struct {
+	// Enable turns the adaptive tier on.
+	Enable bool
+	// MaxHot bounds the number of simultaneously promoted streams (and
+	// therefore dedicated hot workers); 0 selects DefaultMaxHot, capped
+	// at MaxHotStreams.
+	MaxHot int
+	// SamplerSlots is the per-shard sketch size, rounded up to a power
+	// of two; 0 selects DefaultSamplerSlots.
+	SamplerSlots int
+	// SampleEvery is the mean number of feed calls between sketch
+	// observations (randomized stride, so batch key order cannot alias
+	// with it); higher values shrink the sampler's inline cost on the
+	// feed path at the price of coarser share estimates. 1 observes
+	// every sample; 0 selects DefaultSampleEvery.
+	SampleEvery int
+	// FoldEvery is the coordinator's fold-and-decide cadence; 0 selects
+	// DefaultFoldEvery.
+	FoldEvery time.Duration
+	// PromoteShare is the fraction of a fold window one key must exceed
+	// to accumulate promotion pressure; 0 selects DefaultPromoteShare.
+	PromoteShare float64
+	// DemoteShare is the fraction a hot stream must fall below to
+	// accumulate demotion pressure; it must sit below PromoteShare (the
+	// hysteresis band). 0 selects DefaultDemoteShare, or a quarter of
+	// PromoteShare when that is set.
+	DemoteShare float64
+	// PromoteAfter is how many consecutive qualifying folds promote a
+	// key; 0 selects DefaultPromoteAfter.
+	PromoteAfter int
+	// DemoteAfter is how many consecutive cool folds demote a stream; 0
+	// selects DefaultDemoteAfter.
+	DemoteAfter int
+	// MinFoldSamples is the minimum fold-window total before promotion
+	// decisions are made (share estimates over tiny windows are noise);
+	// 0 selects DefaultMinFoldSamples. Demotion ignores it by design.
+	MinFoldSamples uint64
+	// HotRing is each hot worker's run-queue capacity, rounded up to a
+	// power of two; 0 selects DefaultHotRing.
+	HotRing int
+}
+
+// normalize applies defaults and validates; called once by New.
+func (a *AdaptiveConfig) normalize() error {
+	if a.MaxHot == 0 {
+		a.MaxHot = DefaultMaxHot
+	}
+	if a.MaxHot < 1 || a.MaxHot > MaxHotStreams {
+		return fmt.Errorf("pool: adaptive MaxHot %d outside [1,%d]", a.MaxHot, MaxHotStreams)
+	}
+	if a.SamplerSlots == 0 {
+		a.SamplerSlots = DefaultSamplerSlots
+	}
+	if a.SamplerSlots < 1 || a.SamplerSlots > 1<<16 {
+		return fmt.Errorf("pool: adaptive SamplerSlots %d outside [1,%d]", a.SamplerSlots, 1<<16)
+	}
+	a.SamplerSlots = ceilPow2(a.SamplerSlots)
+	if a.SampleEvery == 0 {
+		a.SampleEvery = DefaultSampleEvery
+	}
+	if a.SampleEvery < 1 || a.SampleEvery > 1<<16 {
+		return fmt.Errorf("pool: adaptive SampleEvery %d outside [1,%d]", a.SampleEvery, 1<<16)
+	}
+	if a.FoldEvery <= 0 {
+		a.FoldEvery = DefaultFoldEvery
+	}
+	if a.PromoteShare == 0 {
+		a.PromoteShare = DefaultPromoteShare
+	}
+	if a.PromoteShare <= 0 || a.PromoteShare > 1 {
+		return fmt.Errorf("pool: adaptive PromoteShare %v outside (0,1]", a.PromoteShare)
+	}
+	if a.DemoteShare == 0 {
+		a.DemoteShare = a.PromoteShare / 4
+	}
+	if a.DemoteShare < 0 || a.DemoteShare >= a.PromoteShare {
+		return fmt.Errorf("pool: adaptive DemoteShare %v must sit in [0, PromoteShare %v)", a.DemoteShare, a.PromoteShare)
+	}
+	if a.PromoteAfter == 0 {
+		a.PromoteAfter = DefaultPromoteAfter
+	}
+	if a.DemoteAfter == 0 {
+		a.DemoteAfter = DefaultDemoteAfter
+	}
+	if a.PromoteAfter < 1 || a.DemoteAfter < 1 {
+		return fmt.Errorf("pool: adaptive PromoteAfter/DemoteAfter must be >= 1")
+	}
+	if a.MinFoldSamples == 0 {
+		a.MinFoldSamples = DefaultMinFoldSamples
+	}
+	if a.HotRing == 0 {
+		a.HotRing = DefaultHotRing
+	}
+	if a.HotRing < 1 || a.HotRing > 1<<16 {
+		return fmt.Errorf("pool: adaptive HotRing %d outside [1,%d]", a.HotRing, 1<<16)
+	}
+	a.HotRing = ceilPow2(a.HotRing)
+	return nil
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// adaptiveState is the pool-side root of the adaptive tier. The hot-set
+// structure (slots, table, count) is mutated only under the exclusive
+// gate and read under the shared gate; the decision state below is
+// private to the coordinator goroutine (tests drive adaptStep directly
+// only with the ticker parked); counters are atomics so AdaptiveStats
+// can read them without joining the coordinator's locking.
+type adaptiveState struct {
+	cfg AdaptiveConfig
+
+	// slots is the fixed hot-worker slot array (len MaxHot); nil entries
+	// are free. A hot stream's slot index is its staging index in every
+	// batch group's perHot.
+	slots []*hotStream
+	count int
+	table *hotTable
+
+	stop chan struct{} // closes to stop the coordinator
+	done chan struct{} // closed when the coordinator has exited
+
+	// Coordinator-private decision state.
+	promoteStreak map[uint64]int
+	demoteStreak  map[uint64]int
+	cands         []hotCand
+	lastFold      time.Time
+
+	// Counters: atomics, because folds is bumped by the coordinator
+	// outside any gate section while AdaptiveStats reads concurrently.
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+	folds      atomic.Uint64
+}
+
+// newAdaptiveState builds the disabled-until-started adaptive root.
+func newAdaptiveState(cfg AdaptiveConfig) *adaptiveState {
+	return &adaptiveState{
+		cfg:           cfg,
+		slots:         make([]*hotStream, cfg.MaxHot),
+		table:         emptyHotTable(),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		promoteStreak: make(map[uint64]int),
+		demoteStreak:  make(map[uint64]int),
+	}
+}
+
+// findLocked returns the hot stream serving key. Caller holds the gate
+// (shared or exclusive).
+func (a *adaptiveState) findLocked(key uint64) *hotStream { return a.table.find(key) }
+
+// coordinator is the fold-and-decide loop; one per adaptive pool.
+func (p *Pool) coordinator() {
+	a := p.hot
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.FoldEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case now := <-t.C:
+			p.adaptStep(now)
+		}
+	}
+}
+
+// adaptStep runs one coordinator round: fold every sketch under the
+// shared gate, decide promotions/demotions with hysteresis, and apply
+// them under the exclusive gate. Exposed to tests (deterministic
+// driving with FoldEvery set far in the future); production calls come
+// only from the coordinator goroutine.
+func (p *Pool) adaptStep(now time.Time) {
+	a := p.hot
+	if a == nil {
+		return
+	}
+
+	// Phase 1 — fold, under the shared gate (feeders keep running).
+	p.gate.RLock()
+	if p.closed.Load() {
+		p.gate.RUnlock()
+		return
+	}
+	total := uint64(0)
+	cands := a.cands[:0]
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		total += sh.clock - sh.foldBase
+		sh.foldBase = sh.clock
+		if sh.samp != nil {
+			cands = sh.samp.fold(cands)
+		}
+		sh.mu.Unlock()
+	}
+	// Fold hot-stream windows: their traffic never touches a shard
+	// clock, but it is part of the same share denominator.
+	dt := now.Sub(a.lastFold)
+	if dt <= 0 {
+		dt = a.cfg.FoldEvery
+	}
+	a.lastFold = now
+	hotWin := make(map[uint64]uint64, a.count)
+	for _, hs := range a.slots {
+		if hs == nil {
+			continue
+		}
+		hs.mu.Lock()
+		w := hs.window
+		hs.window = 0
+		hs.lastRate = float64(w) / dt.Seconds()
+		hs.mu.Unlock()
+		hotWin[hs.key] = w
+		total += w
+	}
+	p.gate.RUnlock()
+	a.cands = cands
+	a.folds.Add(1)
+
+	// Phase 2 — decide. Promotion pressure: key took >= PromoteShare of
+	// a window of at least MinFoldSamples, PromoteAfter folds in a row.
+	var promote []uint64
+	if total >= a.cfg.MinFoldSamples {
+		stride := float64(a.cfg.SampleEvery)
+		for _, c := range a.cands {
+			// Sketch counts come from a 1-in-SampleEvery subsample;
+			// scale them back up before comparing against the full
+			// shard-clock window.
+			if float64(c.count)*stride >= a.cfg.PromoteShare*float64(total) {
+				a.promoteStreak[c.key]++
+				if a.promoteStreak[c.key] >= a.cfg.PromoteAfter {
+					promote = append(promote, c.key)
+					delete(a.promoteStreak, c.key)
+				}
+			} else {
+				delete(a.promoteStreak, c.key)
+			}
+		}
+		// Keys that vanished from the candidate list lose their streak.
+		for key := range a.promoteStreak {
+			if !candsContain(a.cands, key) {
+				delete(a.promoteStreak, key)
+			}
+		}
+	} else {
+		clear(a.promoteStreak)
+	}
+
+	// Demotion pressure: hot stream below DemoteShare (computed against
+	// this window even when the window is tiny or empty — a silent pool
+	// must still cool its celebrities), DemoteAfter folds in a row.
+	var demote []uint64
+	for _, hs := range a.slots {
+		if hs == nil {
+			continue
+		}
+		w := hotWin[hs.key]
+		if total == 0 || float64(w) < a.cfg.DemoteShare*float64(total) {
+			a.demoteStreak[hs.key]++
+			if a.demoteStreak[hs.key] >= a.cfg.DemoteAfter {
+				demote = append(demote, hs.key)
+				delete(a.demoteStreak, hs.key)
+			}
+		} else {
+			a.demoteStreak[hs.key] = 0
+		}
+	}
+
+	if len(promote) == 0 && len(demote) == 0 {
+		return
+	}
+
+	// Phase 3 — apply, under the exclusive gate: all feeds drained, all
+	// rings empty, transitions are plain data moves.
+	p.gate.Lock()
+	defer p.gate.Unlock()
+	if p.closed.Load() {
+		return
+	}
+	for _, key := range demote {
+		if hs := a.findLocked(key); hs != nil {
+			p.demoteLocked(hs)
+		}
+	}
+	for _, key := range promote {
+		p.promoteLocked(key)
+	}
+	a.table = buildHotTable(a.slots)
+}
+
+// candsContain reports whether key appears in the fold's candidates.
+func candsContain(cands []hotCand, key uint64) bool {
+	for _, c := range cands {
+		if c.key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// promoteLocked moves one stream from its shard onto a free hot-worker
+// slot via the checkpoint codec. Caller holds the exclusive gate. A key
+// that is already hot, no longer live, non-checkpointable (injected
+// custom engine), or arriving with the hot set full is skipped — the
+// sharded tier keeps serving it correctly.
+func (p *Pool) promoteLocked(key uint64) {
+	a := p.hot
+	if a.count >= a.cfg.MaxHot || a.findLocked(key) != nil {
+		return
+	}
+	sh := p.shards[p.shardOf(key)]
+	st, live := sh.streams[key]
+	if !live {
+		return
+	}
+	buf, err := core.AppendCheckpoint(st.det, nil)
+	if err != nil {
+		return
+	}
+	det, err := core.RestoreCheckpoint(buf)
+	if err != nil {
+		return
+	}
+	slot := -1
+	for i, s := range a.slots {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return
+	}
+	delete(sh.streams, key)
+	st.det.Reset()
+	sh.free = append(sh.free, st)
+
+	hs := &hotStream{
+		key:  key,
+		slot: slot,
+		ring: newHotRing(a.cfg.HotRing),
+		stop: make(chan struct{}),
+		det:  det,
+	}
+	if p.cfg.StreamObserver != nil {
+		if o, ok := det.(observable); ok {
+			o.SetObserver(p.cfg.StreamObserver(key))
+		}
+	}
+	a.slots[slot] = hs
+	a.count++
+	a.promotions.Add(1)
+	p.wg.Add(1)
+	go hs.run(p)
+}
+
+// demoteLocked moves one hot stream back into its shard via the
+// checkpoint codec and retires its worker. Caller holds the exclusive
+// gate (ring empty, worker parked).
+func (p *Pool) demoteLocked(hs *hotStream) {
+	a := p.hot
+	hs.mu.Lock()
+	buf, err := core.AppendCheckpoint(hs.det, nil)
+	hs.mu.Unlock()
+	if err != nil {
+		// Cannot serialize (never the case for engines that passed
+		// promotion): keep it hot rather than lose state.
+		return
+	}
+	det, err := core.RestoreCheckpoint(buf)
+	if err != nil {
+		return
+	}
+	hs.fence()
+	sh := p.shards[p.shardOf(hs.key)]
+	st := &stream{key: hs.key, det: det, lastFed: sh.clock}
+	sh.attach(st)
+	sh.streams[hs.key] = st
+	a.slots[hs.slot] = nil
+	a.count--
+	delete(a.demoteStreak, hs.key)
+	a.demotions.Add(1)
+}
+
+// removeHotLocked detaches a hot stream from the hot set without
+// re-attaching it to a shard (the Detach path: the caller owns the
+// serialized state). Caller holds the exclusive gate.
+func (p *Pool) removeHotLocked(hs *hotStream) {
+	a := p.hot
+	hs.fence()
+	a.slots[hs.slot] = nil
+	a.count--
+	delete(a.demoteStreak, hs.key)
+	a.table = buildHotTable(a.slots)
+}
+
+// HotStreamInfo describes one currently promoted stream.
+type HotStreamInfo struct {
+	// Key identifies the stream.
+	Key uint64 `json:"key"`
+	// Fed is the number of samples the hot worker has applied since
+	// promotion.
+	Fed uint64 `json:"fed"`
+	// Rate is the stream's feed rate (samples/sec) over the previous
+	// coordinator fold window.
+	Rate float64 `json:"rate"`
+}
+
+// AdaptiveStats is a point-in-time view of the adaptive placement tier,
+// surfaced by a serving layer's metrics endpoint.
+type AdaptiveStats struct {
+	// Enabled reports whether the adaptive tier is configured on.
+	Enabled bool `json:"enabled"`
+	// MaxHot is the configured hot-set capacity.
+	MaxHot int `json:"max_hot"`
+	// HotStreams is the current hot-set size.
+	HotStreams int `json:"hot_streams"`
+	// Promotions counts shard→hot transitions since the pool started.
+	Promotions uint64 `json:"promotions"`
+	// Demotions counts hot→shard transitions since the pool started.
+	Demotions uint64 `json:"demotions"`
+	// Folds counts coordinator sampling rounds since the pool started.
+	Folds uint64 `json:"folds"`
+	// Hot lists the currently promoted streams in ascending key order.
+	Hot []HotStreamInfo `json:"hot,omitempty"`
+}
+
+// AdaptiveStats returns the adaptive tier's current counters and hot
+// set. On a pool without the adaptive tier it returns the zero value
+// (Enabled false). Safe to call concurrently with feeds; usable after
+// Close.
+func (p *Pool) AdaptiveStats() AdaptiveStats {
+	a := p.hot
+	if a == nil {
+		return AdaptiveStats{}
+	}
+	p.gate.RLock()
+	st := AdaptiveStats{
+		Enabled:    true,
+		MaxHot:     a.cfg.MaxHot,
+		HotStreams: a.count,
+		Promotions: a.promotions.Load(),
+		Demotions:  a.demotions.Load(),
+		Folds:      a.folds.Load(),
+	}
+	for _, hs := range a.slots {
+		if hs == nil {
+			continue
+		}
+		hs.mu.Lock()
+		st.Hot = append(st.Hot, HotStreamInfo{Key: hs.key, Fed: hs.fed, Rate: hs.lastRate})
+		hs.mu.Unlock()
+	}
+	p.gate.RUnlock()
+	sort.Slice(st.Hot, func(i, j int) bool { return st.Hot[i].Key < st.Hot[j].Key })
+	return st
+}

@@ -37,9 +37,43 @@ var ErrStreamExists = errors.New("pool: attach: stream already exists")
 // destination materializes it on first feed, exactly as a fresh key.
 //
 // Only the stream's shard is locked; ingest on other shards continues.
+// Detaching a promoted (hot) stream takes the exclusive gate instead:
+// the hot worker must be fenced with no runs in flight, which is
+// exactly what exclusive gate acquisition guarantees.
 func (p *Pool) Detach(key uint64, buf []byte) (state []byte, ok bool, err error) {
 	p.gate.RLock()
-	defer p.gate.RUnlock()
+	hot := false
+	if a := p.hot; a != nil && a.table.find(key) != nil {
+		hot = true
+	}
+	if !hot {
+		defer p.gate.RUnlock()
+		return p.detachShard(key, buf)
+	}
+	p.gate.RUnlock()
+
+	p.gate.Lock()
+	defer p.gate.Unlock()
+	if a := p.hot; a != nil {
+		if hs := a.findLocked(key); hs != nil {
+			hs.mu.Lock()
+			state, err = core.AppendCheckpoint(hs.det, buf)
+			hs.mu.Unlock()
+			if err != nil {
+				return buf, false, fmt.Errorf("pool: detach stream %d: %w", key, err)
+			}
+			p.removeHotLocked(hs)
+			return state, true, nil
+		}
+	}
+	// Demoted (or evicted) between the two lock acquisitions: the
+	// shard path below is authoritative.
+	return p.detachShard(key, buf)
+}
+
+// detachShard is the sharded-tier detach. Caller holds the gate (shared
+// or exclusive).
+func (p *Pool) detachShard(key uint64, buf []byte) (state []byte, ok bool, err error) {
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -85,6 +119,9 @@ func (p *Pool) Attach(key uint64, state []byte) error {
 	det, err := core.RestoreCheckpoint(state)
 	if err != nil {
 		return fmt.Errorf("pool: attach stream %d: %w", key, err)
+	}
+	if a := p.hot; a != nil && a.table.find(key) != nil {
+		return fmt.Errorf("%w (key %d)", ErrStreamExists, key)
 	}
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()

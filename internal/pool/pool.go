@@ -21,6 +21,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpd/internal/core"
 )
@@ -85,6 +86,12 @@ type Config struct {
 	// at once before callers block (backpressure); 0 selects 2×Shards,
 	// minimum 4.
 	Inflight int
+	// Adaptive configures contention-adaptive hot-stream placement:
+	// per-shard feed-rate sampling, and promotion of celebrity streams
+	// onto dedicated pinned workers when their share of traffic crosses
+	// a threshold (demotion when they cool). The zero value disables the
+	// tier. See AdaptiveConfig.
+	Adaptive AdaptiveConfig
 }
 
 // DefaultSweepEvery is the default idle-sweep cadence in shard samples.
@@ -126,6 +133,11 @@ type Pool struct {
 	closed   atomic.Bool
 	closedCh chan struct{} // closed when Close has fully drained the workers
 
+	// hot is the adaptive-placement tier root; nil when Config.Adaptive
+	// is disabled, so the cold configuration pays one nil check per
+	// batch.
+	hot *adaptiveState
+
 	// evictedBase carries the eviction totals of shard generations
 	// retired by Rebalance, so Evicted stays monotonic across shard-count
 	// changes. Written under the exclusive gate, read under the shared
@@ -133,11 +145,13 @@ type Pool struct {
 	evictedBase uint64
 }
 
-// group is one in-flight FeedBatch: per-shard staging buffers plus the
+// group is one in-flight FeedBatch: per-shard staging buffers (plus
+// per-hot-slot staging buffers when the adaptive tier is on) and the
 // completion countdown. Groups are recycled through Pool.groups so the
 // steady-state batch path performs no allocation.
 type group struct {
 	perShard [][]KeyedSample
+	perHot   [][]KeyedSample // indexed by hot slot; nil when adaptive is off
 	pending  atomic.Int32
 	done     chan struct{}
 }
@@ -178,6 +192,11 @@ func New(cfg Config) (*Pool, error) {
 	if cfg.Inflight < 4 {
 		cfg.Inflight = 4
 	}
+	if cfg.Adaptive.Enable {
+		if err := cfg.Adaptive.normalize(); err != nil {
+			return nil, err
+		}
+	}
 
 	p := &Pool{
 		shards:   make([]*shard, cfg.Shards),
@@ -185,16 +204,27 @@ func New(cfg Config) (*Pool, error) {
 		cfg:      cfg,
 		closedCh: make(chan struct{}),
 	}
+	if cfg.Adaptive.Enable {
+		p.hot = newAdaptiveState(cfg.Adaptive)
+	}
 	for i := range p.shards {
-		p.shards[i] = newShard(cfg)
+		p.shards[i] = newShard(cfg, i)
 		p.wg.Add(1)
 		go p.worker(p.shards[i])
 	}
 	for i := 0; i < cfg.Inflight; i++ {
-		p.groups <- &group{
+		g := &group{
 			perShard: make([][]KeyedSample, cfg.Shards),
 			done:     make(chan struct{}, 1),
 		}
+		if p.hot != nil {
+			g.perHot = make([][]KeyedSample, cfg.Adaptive.MaxHot)
+		}
+		p.groups <- g
+	}
+	if p.hot != nil {
+		p.hot.lastFold = time.Now()
+		go p.coordinator()
 	}
 	return p, nil
 }
@@ -245,6 +275,20 @@ func (p *Pool) FeedSample(key uint64, s core.Sample) core.Result {
 		panic("pool: Feed on a closed Pool")
 	}
 	p.gate.RLock()
+	if a := p.hot; a != nil && a.table.n > 0 {
+		if hs := a.table.find(key); hs != nil {
+			// Hot stream: feed on the caller's goroutine under the
+			// stream mutex (the worker holds it only while draining
+			// ring runs, so the synchronous path serializes correctly).
+			hs.mu.Lock()
+			r := hs.det.Feed(s)
+			hs.fed++
+			hs.window++
+			hs.mu.Unlock()
+			p.gate.RUnlock()
+			return r
+		}
+	}
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
 	r := sh.feedLocked(key, s)
@@ -270,7 +314,25 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 	}
 	p.gate.RLock()
 	g := <-p.groups
+	// Hot-set split: when the adaptive tier is on AND something is
+	// promoted, promoted keys are peeled off into per-slot staging
+	// before shard partitioning — one predictable nil-check branch plus
+	// an open-addressed array probe on the cold path. With an empty hot
+	// set (the usual well-behaved-workload state) tbl stays nil and the
+	// loop is byte-for-byte the non-adaptive one. The table pointer is
+	// stable for the duration of the shared gate (hot-set changes hold
+	// it exclusively).
+	var tbl *hotTable
+	if a := p.hot; a != nil && a.table.n > 0 {
+		tbl = a.table
+	}
 	for _, s := range batch {
+		if tbl != nil {
+			if hs := tbl.find(s.Key); hs != nil {
+				g.perHot[hs.slot] = append(g.perHot[hs.slot], s)
+				continue
+			}
+		}
 		i := p.shardOf(s.Key)
 		g.perShard[i] = append(g.perShard[i], s)
 	}
@@ -280,15 +342,36 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 			active++
 		}
 	}
+	if tbl != nil {
+		for _, run := range g.perHot {
+			if len(run) > 0 {
+				active++
+			}
+		}
+	}
 	g.pending.Store(active)
 	for i, samples := range g.perShard {
 		if len(samples) > 0 {
 			p.shards[i].in <- shardRun{samples: samples, g: g}
 		}
 	}
+	if tbl != nil {
+		for slot, samples := range g.perHot {
+			if len(samples) > 0 {
+				// slots[slot] is exactly the stream the table resolved:
+				// both are immutable under the shared gate.
+				p.hot.slots[slot].ring.push(hotRun{samples: samples, g: g})
+			}
+		}
+	}
 	<-g.done
 	for i := range g.perShard {
 		g.perShard[i] = g.perShard[i][:0]
+	}
+	if tbl != nil {
+		for i := range g.perHot {
+			g.perHot[i] = g.perHot[i][:0]
+		}
 	}
 	p.groups <- g
 	p.gate.RUnlock()
@@ -324,6 +407,16 @@ func (p *Pool) Snapshot(dst []StreamStat) []StreamStat {
 			dst = append(dst, st.stat())
 		}
 		sh.mu.Unlock()
+	}
+	if a := p.hot; a != nil {
+		for _, hs := range a.slots {
+			if hs == nil {
+				continue
+			}
+			hs.mu.Lock()
+			dst = append(dst, StreamStat{Key: hs.key, Stat: hs.det.Snapshot()})
+			hs.mu.Unlock()
+		}
 	}
 	return dst
 }
@@ -366,6 +459,21 @@ func (p *Pool) SnapshotPage(from uint64, limit int, dst []StreamStat) (page []St
 			}
 		}
 		sh.mu.Unlock()
+	}
+	if a := p.hot; a != nil {
+		for _, hs := range a.slots {
+			if hs == nil || hs.key < from {
+				continue
+			}
+			key := hs.key
+			if len(heap) < limit {
+				heap = append(heap, key)
+				siftUp(heap)
+			} else if key < heap[0] {
+				heap[0] = key
+				siftDown(heap)
+			}
+		}
 	}
 	p.gate.RUnlock()
 	sort.Slice(heap, func(i, j int) bool { return heap[i] < heap[j] })
@@ -430,10 +538,36 @@ func (p *Pool) ShardLens(dst []int) []int {
 	return dst
 }
 
+// ShardSamples appends each shard's processed-sample count (since the
+// pool was created or last rebalanced) to dst, recycled like append.
+// Samples served by promoted hot workers are not counted anywhere here
+// — that is the observable effect of adaptive placement: a promoted
+// celebrity's traffic leaves its old shard's counter, which falls back
+// to the uniform baseline.
+func (p *Pool) ShardSamples(dst []uint64) []uint64 {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	dst = dst[:0]
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		dst = append(dst, sh.clock)
+		sh.mu.Unlock()
+	}
+	return dst
+}
+
 // Stat returns the current view of one stream and whether it exists.
 func (p *Pool) Stat(key uint64) (StreamStat, bool) {
 	p.gate.RLock()
 	defer p.gate.RUnlock()
+	if a := p.hot; a != nil {
+		if hs := a.table.find(key); hs != nil {
+			hs.mu.Lock()
+			st := StreamStat{Key: hs.key, Stat: hs.det.Snapshot()}
+			hs.mu.Unlock()
+			return st, true
+		}
+	}
 	sh := p.shards[p.shardOf(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -453,6 +587,9 @@ func (p *Pool) Len() int {
 		sh.mu.Lock()
 		n += len(sh.streams)
 		sh.mu.Unlock()
+	}
+	if a := p.hot; a != nil {
+		n += a.count
 	}
 	return n
 }
@@ -479,9 +616,12 @@ func (p *Pool) Evicted() uint64 {
 	return n
 }
 
-// EvictIdle immediately expires every stream that has gone more than ttl
-// shard samples without being fed, regardless of Config.IdleTTL, and
-// returns the number evicted. Detector state is recycled. On a closed
+// EvictIdle immediately expires every sharded stream that has gone more
+// than ttl shard samples without being fed, regardless of
+// Config.IdleTTL, and returns the number evicted. Promoted (hot)
+// streams are never idle-evicted — by definition they are the busiest
+// keys, and a hot stream whose traffic stops is first demoted back to
+// its shard by the coordinator, where the TTL applies again. Detector state is recycled. On a closed
 // pool it evicts nothing, so late sweeps cannot erode the final state a
 // post-Close Checkpoint captures.
 func (p *Pool) EvictIdle(ttl uint64) int {
@@ -522,10 +662,28 @@ func (p *Pool) Close() {
 		<-p.closedCh
 		return
 	}
+	if a := p.hot; a != nil {
+		// Stop and join the coordinator before taking the gate, so no
+		// promotion or demotion can start once the drain begins. (A
+		// round already past its closed check finishes first — it holds
+		// the gate we are about to take.)
+		close(a.stop)
+		<-a.done
+	}
 	p.gate.Lock()
 	defer p.gate.Unlock()
 	for _, sh := range p.shards {
 		close(sh.in)
+	}
+	if a := p.hot; a != nil {
+		// Rings are empty under the exclusive gate; fencing parks each
+		// hot worker permanently. Hot streams stay in their slots so
+		// post-Close reads and Checkpoint observe the final state.
+		for _, hs := range a.slots {
+			if hs != nil {
+				hs.fence()
+			}
+		}
 	}
 	p.wg.Wait()
 	close(p.closedCh)

@@ -54,10 +54,16 @@ type shard struct {
 	clock   uint64 // samples processed by this shard
 	sweepAt uint64 // clock value of the next automatic sweep
 	evicted uint64
+
+	// samp is the contention sampler (nil when the adaptive tier is
+	// off); foldBase is the shard clock at the coordinator's last fold,
+	// so clock-foldBase is this shard's contribution to the fold window.
+	samp     *sampler
+	foldBase uint64
 }
 
-func newShard(cfg Config) *shard {
-	return &shard{
+func newShard(cfg Config, idx int) *shard {
+	sh := &shard{
 		in:         make(chan shardRun, runQueueDepth),
 		streams:    make(map[uint64]*stream),
 		newDet:     cfg.NewDetector,
@@ -66,6 +72,11 @@ func newShard(cfg Config) *shard {
 		sweepEvery: cfg.SweepEvery,
 		sweepAt:    cfg.SweepEvery,
 	}
+	if cfg.Adaptive.Enable {
+		seed := (uint64(idx) + 1) * 0x9e3779b97f4a7c15
+		sh.samp = newSampler(cfg.Adaptive.SamplerSlots, cfg.Adaptive.SampleEvery, seed)
+	}
+	return sh
 }
 
 // observable is the observer-attachment surface every built-in engine
@@ -99,6 +110,12 @@ func (sh *shard) feedLocked(key uint64, s core.Sample) core.Result {
 	r := st.det.Feed(s)
 	sh.clock++
 	st.lastFed = sh.clock
+	if sm := sh.samp; sm != nil {
+		if sm.wait--; sm.wait == 0 {
+			sm.observe(key)
+			sm.reload()
+		}
+	}
 	return r
 }
 

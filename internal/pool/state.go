@@ -95,6 +95,30 @@ func (p *Pool) Checkpoint(w io.Writer) error {
 			return err
 		}
 	}
+	// Hot streams live outside the shard maps; serialize them through
+	// the identical frame format (a checkpoint does not record
+	// placement — Restore re-learns it from traffic, exactly as it
+	// re-learns shard assignment from its own Config.Shards).
+	if a := p.hot; a != nil {
+		staged = staged[:0]
+		var encErr error
+		for _, hs := range a.slots {
+			if hs == nil {
+				continue
+			}
+			hs.mu.Lock()
+			frame = wire.AppendUvarint(frame[:0], hs.key)
+			frame, encErr = core.AppendCheckpoint(hs.det, frame)
+			hs.mu.Unlock()
+			if encErr != nil {
+				return fmt.Errorf("pool: checkpoint: %w", encErr)
+			}
+			staged = wire.AppendFrame(staged, frame)
+		}
+		if _, err := bw.Write(staged); err != nil {
+			return err
+		}
+	}
 	if err := wire.WriteFrame(bw, nil); err != nil {
 		return err
 	}
@@ -201,7 +225,10 @@ func Restore(r io.Reader, cfg Config) (*Pool, error) {
 // sample counts are meaningless across a re-partition.
 //
 // Rebalance concurrent with Checkpoint serializes (never errors, never
-// interleaves): see the Checkpoint contract note.
+// interleaves): see the Checkpoint contract note. Promoted (hot)
+// streams are untouched: they live outside the shard maps, so changing
+// the shard count neither moves nor re-keys them; contention sampling
+// restarts on the fresh shard generation.
 func (p *Pool) Rebalance(newShards int) error {
 	if newShards == 0 {
 		newShards = runtime.GOMAXPROCS(0)
@@ -229,7 +256,7 @@ func (p *Pool) Rebalance(newShards int) error {
 	// current one, so any migration error aborts with the pool intact.
 	next := make([]*shard, newShards)
 	for i := range next {
-		next[i] = newShard(p.cfg)
+		next[i] = newShard(p.cfg, i)
 	}
 	var buf []byte
 	for _, sh := range p.shards {

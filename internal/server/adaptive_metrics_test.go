@@ -1,0 +1,108 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"dpd"
+)
+
+// TestMetricsAdaptiveSection: /metrics grows an "adaptive" section when
+// contention-adaptive placement is enabled — promotion counters advance
+// and the hot set names the celebrity key — and omits the section
+// entirely on a baseline server.
+func TestMetricsAdaptiveSection(t *testing.T) {
+	s := newTestServer(t, Config{
+		Pool: dpd.PoolConfig{
+			Shards:   2,
+			Detector: dpd.Config{Window: 32},
+			Adaptive: dpd.AdaptiveConfig{
+				Enable:         true,
+				MaxHot:         4,
+				FoldEvery:      2 * time.Millisecond,
+				PromoteShare:   0.30,
+				DemoteShare:    0.05,
+				PromoteAfter:   1,
+				DemoteAfter:    1 << 30, // hold promotions for the test's lifetime
+				MinFoldSamples: 1,
+			},
+		},
+	})
+	defer shutdown(t, s)
+
+	c := dialClient(t, s)
+	defer c.close()
+
+	// One celebrity (key 7) dominating a handful of cold keys; keep
+	// feeding across coordinator folds until /metrics reports the
+	// promotion.
+	hot := make([]int64, 256)
+	cold := make([]int64, 4)
+	for i := range hot {
+		hot[i] = int64(i % 5)
+	}
+	var m MetricsSnapshot
+	deadline := time.Now().Add(10 * time.Second)
+	for token := uint64(1); ; token++ {
+		c.sendEvents(7, hot)
+		for k := uint64(0); k < 4; k++ {
+			for i := range cold {
+				cold[i] = int64((int(token) + i) % 5)
+			}
+			c.sendEvents(100+k, cold)
+		}
+		c.barrier(token)
+		m = MetricsSnapshot{}
+		if code := httpGet(t, s, "/metrics", &m); code != 200 {
+			t.Fatalf("GET /metrics = %d", code)
+		}
+		if m.Adaptive != nil && m.Adaptive.Promotions > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no promotion surfaced in /metrics: %+v", m.Adaptive)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a := m.Adaptive
+	if !a.Enabled || a.MaxHot != 4 {
+		t.Fatalf("adaptive section = %+v", a)
+	}
+	if a.Folds == 0 {
+		t.Fatalf("fold counter never advanced: %+v", a)
+	}
+	if a.HotStreams != len(a.Hot) {
+		t.Fatalf("hot_streams=%d but %d hot entries", a.HotStreams, len(a.Hot))
+	}
+	found := false
+	for _, h := range a.Hot {
+		if h.Key == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("celebrity key 7 not in served hot set: %+v", a.Hot)
+	}
+
+	// The promoted stream stays queryable through the normal read paths.
+	var st streamJSON
+	if code := httpGet(t, s, "/streams/7", &st); code != 200 {
+		t.Fatalf("GET /streams/7 = %d", code)
+	}
+	if st.Samples == 0 {
+		t.Fatalf("hot stream stat = %+v", st)
+	}
+
+	// Baseline server: no adaptive section at all.
+	s2 := newTestServer(t, Config{
+		Pool: dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+	})
+	defer shutdown(t, s2)
+	var m2 MetricsSnapshot
+	if code := httpGet(t, s2, "/metrics", &m2); code != 200 {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if m2.Adaptive != nil {
+		t.Fatalf("baseline server leaked adaptive section: %+v", m2.Adaptive)
+	}
+}

@@ -93,6 +93,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.ClusterMetrics != nil {
 		snap.Cluster = s.cfg.ClusterMetrics()
 	}
+	if ast := s.pool.AdaptiveStats(); ast.Enabled {
+		snap.Adaptive = &ast
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

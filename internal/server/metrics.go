@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dpd"
 )
 
 // metrics is the server's counter set: plain atomics, expvar-style, no
@@ -167,6 +169,10 @@ type MetricsSnapshot struct {
 	// migrations in/out, follower lag) supplied by Config.ClusterMetrics;
 	// absent outside cluster mode.
 	Cluster any `json:"cluster,omitempty"`
+	// Adaptive is the contention-adaptive placement section (promotion/
+	// demotion counters, fold count, current hot set with per-stream feed
+	// rates); absent when PoolConfig.Adaptive is disabled.
+	Adaptive *dpd.AdaptiveStats `json:"adaptive,omitempty"`
 }
 
 // snapshot assembles the exported view; pool-derived fields are filled

@@ -60,6 +60,7 @@ var required = []string{
 
 	// Multi-stream pool.
 	"Pool", "NewPool", "PoolConfig", "KeyedSample", "StreamStat",
+	"AdaptiveConfig", "AdaptiveStats", "HotStreamInfo",
 }
 
 func main() {

@@ -1,9 +1,12 @@
 // Command scalingmatrix sweeps the multicore scaling matrix the repo
 // uses as its perf referee: GOMAXPROCS × pool shards × key distribution
-// {uniform, zipf:0.99} × arrival shape {steady, burst}, each cell
-// driven in-process through internal/loadgen's shared drive loop
-// against a dpd.Pool, reporting Melem/s and batch-accept latency
-// quantiles (p50/p99/p999) as a JSON array on stdout.
+// {uniform, zipf:0.99, zipf:1.2} × arrival shape {steady, burst} ×
+// adaptive placement {off, on}, each cell driven in-process through
+// internal/loadgen's shared drive loop against a dpd.Pool, reporting
+// Melem/s and batch-accept latency quantiles (p50/p99/p999) as a JSON
+// array on stdout. Adaptive cells also report the promotion counters
+// and the max shard share of cold traffic — the observable that hot
+// promotion actually drains the celebrity's home shard.
 //
 // The matrix is seeded, so two sweeps on the same machine produce the
 // identical sample sequences; only the timings differ. scripts/bench.sh
@@ -21,6 +24,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"time"
 
 	"dpd"
 	"dpd/internal/loadgen"
@@ -40,6 +44,15 @@ type cell struct {
 	P99Ns        int64   `json:"p99_ns"`
 	P999Ns       int64   `json:"p999_ns"`
 	MaxNs        int64   `json:"max_ns"`
+	// Adaptive marks cells run with contention-adaptive placement on;
+	// Promotions/HotStreams come from Pool.AdaptiveStats at run end.
+	Adaptive   bool   `json:"adaptive"`
+	Promotions uint64 `json:"promotions,omitempty"`
+	HotStreams int    `json:"hot_streams,omitempty"`
+	// MaxShardShare is the hottest shard's fraction of shard-routed
+	// traffic (hot-worker traffic excluded): skew that remains after
+	// placement has had its say.
+	MaxShardShare float64 `json:"max_shard_share"`
 }
 
 func main() {
@@ -57,8 +70,9 @@ func main() {
 		procsList = append(procsList, p)
 	}
 	shardsList := []int{1, 2, 4, 8}
-	dists := []loadgen.Dist{{}, {Kind: loadgen.DistZipf, Theta: 0.99}}
+	dists := []loadgen.Dist{{}, {Kind: loadgen.DistZipf, Theta: 0.99}, {Kind: loadgen.DistZipf, Theta: 1.2}}
 	arrivals := []string{"steady", "burst"}
+	adaptives := []bool{false, true}
 
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	var cells []cell
@@ -67,13 +81,15 @@ func main() {
 		for _, shards := range shardsList {
 			for _, dist := range dists {
 				for _, arrival := range arrivals {
-					c, err := runCell(procs, shards, dist, arrival, conns, samples, *seed)
-					if err != nil {
-						log.Fatalf("scalingmatrix: procs=%d shards=%d %s/%s: %v", procs, shards, dist, arrival, err)
+					for _, adaptive := range adaptives {
+						c, err := runCell(procs, shards, dist, arrival, conns, samples, *seed, adaptive)
+						if err != nil {
+							log.Fatalf("scalingmatrix: procs=%d shards=%d %s/%s adaptive=%v: %v", procs, shards, dist, arrival, adaptive, err)
+						}
+						cells = append(cells, c)
+						fmt.Fprintf(os.Stderr, "procs=%d shards=%d %-8s %-6s adaptive=%-5v %8.2f Melem/s  p99=%dns  hot=%d maxshard=%.2f\n",
+							procs, shards, c.Dist, arrival, adaptive, c.MelemsActive, c.P99Ns, c.HotStreams, c.MaxShardShare)
 					}
-					cells = append(cells, c)
-					fmt.Fprintf(os.Stderr, "procs=%d shards=%d %-7s %-6s  %8.2f Melem/s  p99=%dns\n",
-						procs, shards, c.Dist, arrival, c.MelemsActive, c.P99Ns)
 				}
 			}
 		}
@@ -85,9 +101,26 @@ func main() {
 	}
 }
 
-// runCell measures one (procs, shards, dist, arrival) point.
-func runCell(procs, shards int, dist loadgen.Dist, arrival string, conns, samples int, seed uint64) (cell, error) {
-	p, err := dpd.NewPool(dpd.PoolConfig{Shards: shards, Detector: dpd.Config{Window: 64}})
+// runCell measures one (procs, shards, dist, arrival, adaptive) point.
+func runCell(procs, shards int, dist loadgen.Dist, arrival string, conns, samples int, seed uint64, adaptive bool) (cell, error) {
+	pcfg := dpd.PoolConfig{Shards: shards, Detector: dpd.Config{Window: 64}}
+	if adaptive {
+		// Global-share thresholds matched to the harness's
+		// per-connection zipf shape (see internal/loadgen adaptive
+		// differential): each connection's rank-0 key is ~5% of global
+		// traffic, so 3% promotes the celebrities and nothing else.
+		pcfg.Adaptive = dpd.AdaptiveConfig{
+			Enable:         true,
+			MaxHot:         8,
+			FoldEvery:      5 * time.Millisecond,
+			PromoteShare:   0.03,
+			DemoteShare:    0.005,
+			PromoteAfter:   1,
+			DemoteAfter:    25,
+			MinFoldSamples: 512,
+		}
+	}
+	p, err := dpd.NewPool(pcfg)
 	if err != nil {
 		return cell{}, err
 	}
@@ -115,7 +148,7 @@ func runCell(procs, shards int, dist loadgen.Dist, arrival string, conns, sample
 	if len(rep.Phases) > 0 && rep.Phases[0].MelemsPerSec > 0 {
 		active = rep.Phases[0].MelemsPerSec
 	}
-	return cell{
+	c := cell{
 		Procs:        procs,
 		Shards:       shards,
 		Dist:         dist.String(),
@@ -128,5 +161,21 @@ func runCell(procs, shards int, dist loadgen.Dist, arrival string, conns, sample
 		P99Ns:        rep.P99.Nanoseconds(),
 		P999Ns:       rep.P999.Nanoseconds(),
 		MaxNs:        rep.MaxLatency.Nanoseconds(),
-	}, nil
+		Adaptive:     adaptive,
+	}
+	if st := p.AdaptiveStats(); st.Enabled {
+		c.Promotions, c.HotStreams = st.Promotions, st.HotStreams
+	}
+	var total uint64
+	shardSamples := p.ShardSamples(nil)
+	for _, n := range shardSamples {
+		total += n
+		if f := float64(n); total > 0 && f > c.MaxShardShare {
+			c.MaxShardShare = f
+		}
+	}
+	if total > 0 {
+		c.MaxShardShare /= float64(total)
+	}
+	return c, nil
 }
