@@ -6,10 +6,12 @@ package dpd_test
 
 import (
 	"testing"
+	"time"
 
 	"dpd"
 	"dpd/internal/apps"
 	"dpd/internal/core"
+	"dpd/internal/obs"
 	"dpd/internal/server"
 	"dpd/internal/wire"
 )
@@ -516,5 +518,87 @@ func TestPoolInjectedEnginesFeedBatchAllocFree(t *testing.T) {
 				t.Fatalf("pooled %s FeedBatch allocates %.1f objects/op in steady state, want 0", tc.name, n)
 			}
 		})
+	}
+}
+
+// TestPoolFeedBatchInstrumentedAllocFree: the PR 10 observability core
+// must not cost the feed path its zero-allocation guarantee — FeedBatch
+// with the flight recorder wired and the sampled latency histogram
+// electing every batch (stride 1, the worst case) stays 0 allocs/op.
+func TestPoolFeedBatchInstrumentedAllocFree(t *testing.T) {
+	lat := obs.NewSampledHist(1) // every call elected: worst-case timing cost
+	p, err := dpd.NewPool(dpd.PoolConfig{
+		Shards:      4,
+		Detector:    dpd.Config{Window: 64},
+		Recorder:    obs.NewRecorder(256),
+		FeedLatency: lat,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const streams = 512
+	batch := make([]dpd.KeyedSample, streams)
+	for i := range batch {
+		batch[i].Key = uint64(i)
+	}
+	round := 0
+	feed := func() {
+		v := int64(round % 8)
+		for j := range batch {
+			batch[j].Value = v
+		}
+		p.FeedBatch(batch)
+		round++
+	}
+	for round < 3*64 {
+		feed()
+	}
+	if n := testing.AllocsPerRun(100, feed); n != 0 {
+		t.Fatalf("instrumented Pool.FeedBatch allocates %.1f objects/op in steady state, want 0", n)
+	}
+	if got := lat.Stat().Count; got == 0 {
+		t.Fatal("latency histogram observed nothing — the gate proved the wrong path")
+	}
+}
+
+// TestIngestInstrumentedDecodeAllocFree: the instrumented ingest inner
+// loop — frame decode plus the strided election, timestamp stamp and
+// latency observation PR 10 added around it — is 0 allocs/op with a
+// reused Frame.
+func TestIngestInstrumentedDecodeAllocFree(t *testing.T) {
+	var enc server.Enc
+	strip := func(frame []byte) []byte {
+		var d wire.Dec
+		d.Reset(frame)
+		d.Uvarint()
+		return frame[d.Offset():]
+	}
+	events := make([]int64, 256)
+	for i := range events {
+		events[i] = int64(i % 9)
+	}
+	payload := strip(enc.AppendEventBatch(nil, 42, events))
+	ingest := obs.NewSampledHist(obs.DefaultIngestEvery)
+	var f server.Frame
+	if err := server.DecodeFrame(payload, &f); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		var t0 time.Time
+		if ingest.Sampled() {
+			t0 = time.Now()
+		}
+		if err := server.DecodeFrame(payload, &f); err != nil {
+			t.Fatal(err)
+		}
+		if !t0.IsZero() {
+			ingest.Observe(time.Since(t0))
+		}
+	}); n != 0 {
+		t.Fatalf("instrumented ingest decode allocates %.1f objects/op, want 0", n)
+	}
+	if got := ingest.Stat().Count; got == 0 {
+		t.Fatal("ingest histogram observed nothing — the gate proved the wrong path")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"dpd/internal/experiments"
 	"dpd/internal/machine"
 	"dpd/internal/nanos"
+	"dpd/internal/obs"
 	"dpd/internal/selfanalyzer"
 	"dpd/internal/series"
 	"dpd/internal/server"
@@ -546,6 +547,57 @@ func BenchmarkPoolFeedAdaptive(b *testing.B) {
 					b.ReportMetric(elems/b.Elapsed().Seconds(), "elems/s")
 				})
 			}
+		})
+	}
+}
+
+// BenchmarkPoolFeedObs: total overhead of the PR 10 observability core
+// on the pool's batch feed path — flight recorder wired plus the
+// FeedBatch latency histogram at its default 1-in-8 stride, exactly the
+// instrumentation a live server runs. The obs=off/obs=on ns/elem delta
+// is the overhead scripts/bench.sh guards at ≤2%.
+func BenchmarkPoolFeedObs(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		on := on
+		name := "obs=off"
+		if on {
+			name = "obs=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := dpd.PoolConfig{Shards: 4, Detector: dpd.Config{Window: 32}}
+			if on {
+				cfg.Recorder = obs.NewRecorder(0)
+				cfg.FeedLatency = obs.NewSampledHist(obs.DefaultFeedBatchEvery)
+			}
+			p, err := dpd.NewPool(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer p.Close()
+			const streams = 512
+			batch := make([]dpd.KeyedSample, streams)
+			for i := range batch {
+				batch[i].Key = uint64(i)
+			}
+			feed := func(round int) {
+				v := int64(round % 8)
+				for j := range batch {
+					batch[j].Value = v
+				}
+				p.FeedBatch(batch)
+			}
+			for r := 0; r < 48; r++ {
+				feed(r)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				feed(i)
+			}
+			b.StopTimer()
+			elems := float64(b.N) * float64(streams)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/elems, "ns/elem")
+			b.ReportMetric(elems/b.Elapsed().Seconds(), "elems/s")
 		})
 	}
 }

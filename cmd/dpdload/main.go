@@ -34,6 +34,7 @@ import (
 	"dpd"
 	"dpd/internal/client"
 	"dpd/internal/loadgen"
+	"dpd/internal/obs"
 )
 
 // options carries every dpdload flag in parsed-string form, so flag
@@ -60,7 +61,8 @@ type options struct {
 	burst string
 	mixed bool
 
-	httpAddr string
+	httpAddr  string
+	quantiles bool
 }
 
 // buildConfig validates one dpdload invocation and assembles the
@@ -205,6 +207,60 @@ func printServerHotSet(w io.Writer, httpAddr string) error {
 	return nil
 }
 
+// printServerQuantiles fetches the server's /metrics latency section
+// and prints each instrumented site's quantiles, so one run report
+// shows client-observed accept latency and the server's own
+// decode→feed, pool-feed, checkpoint and migration timings side by
+// side.
+func printServerQuantiles(w io.Writer, httpAddr string) error {
+	url := "http://" + httpAddr + "/metrics"
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap struct {
+		Latency *struct {
+			Ingest          obs.HistStat `json:"ingest"`
+			FeedBatch       obs.HistStat `json:"feed_batch"`
+			CheckpointWrite obs.HistStat `json:"checkpoint_write"`
+			MigrationPause  obs.HistStat `json:"migration_pause"`
+		} `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	if snap.Latency == nil {
+		fmt.Fprintf(w, "server latency: not reported (older server)\n")
+		return nil
+	}
+	sites := []struct {
+		name string
+		st   obs.HistStat
+	}{
+		{"ingest", snap.Latency.Ingest},
+		{"feed_batch", snap.Latency.FeedBatch},
+		{"checkpoint_write", snap.Latency.CheckpointWrite},
+		{"migration_pause", snap.Latency.MigrationPause},
+	}
+	fmt.Fprintf(w, "server latency quantiles:\n")
+	for _, s := range sites {
+		if s.st.Count == 0 {
+			fmt.Fprintf(w, "  %-17s (no samples)\n", s.name)
+			continue
+		}
+		fmt.Fprintf(w, "  %-17s p50 %v  p99 %v  p999 %v  max %v  (%d samples, 1-in-%d)\n",
+			s.name,
+			time.Duration(s.st.P50Ns), time.Duration(s.st.P99Ns),
+			time.Duration(s.st.P999Ns), time.Duration(s.st.MaxNs),
+			s.st.Count, s.st.SampleEvery)
+	}
+	return nil
+}
+
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", "localhost:7700", "dpdserver ingest address")
@@ -227,6 +283,7 @@ func main() {
 	flag.StringVar(&o.burst, "burst", "", "bursty arrivals: <on-samples>:<off-duration> per connection (e.g. 4096:250ms)")
 	flag.BoolVar(&o.mixed, "mixed", false, "interleave magnitude streams (every third key) with event streams")
 	flag.StringVar(&o.httpAddr, "http", "", "dpdserver HTTP address: after the run, print the server's adaptive hot set next to the observed hottest streams")
+	flag.BoolVar(&o.quantiles, "quantiles", false, "with -http: also print the server-side latency quantiles (ingest, feed, checkpoint, migration) next to the client-observed ones")
 	flag.Parse()
 
 	cfg, err := buildConfig(o)
@@ -244,6 +301,11 @@ func main() {
 	if o.httpAddr != "" {
 		if err := printServerHotSet(os.Stdout, o.httpAddr); err != nil {
 			log.Fatalf("dpdload: %v", err)
+		}
+		if o.quantiles {
+			if err := printServerQuantiles(os.Stdout, o.httpAddr); err != nil {
+				log.Fatalf("dpdload: %v", err)
+			}
 		}
 	}
 }

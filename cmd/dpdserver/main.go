@@ -28,12 +28,15 @@ import (
 
 	"dpd"
 	"dpd/internal/cluster"
+	"dpd/internal/obs"
 	"dpd/internal/server"
 )
 
 func main() {
 	ingest := flag.String("ingest", ":7700", "binary ingest plane listen address")
 	httpAddr := flag.String("http", ":7701", "HTTP query/control plane listen address (empty disables)")
+	debugAddr := flag.String("debug-addr", "", "pprof debug plane listen address (empty disables /debug/pprof)")
+	recorderEvents := flag.Int("recorder-events", 0, "flight-recorder ring capacity in events (0 = default 4096)")
 	engine := flag.String("engine", "event", "per-stream detector engine: event|magnitude|multiscale|adaptive")
 	window := flag.Int("window", 0, "window size N (0 = engine default; invalid for multiscale/adaptive)")
 	confirm := flag.Int("confirm", 0, "consecutive confirmations before locking (0 = default)")
@@ -69,9 +72,16 @@ func main() {
 		log.Fatalf("dpdserver: %v", err)
 	}
 
+	// One observability core for the whole process: the server, its pool
+	// and (in cluster mode) the node all record into the same flight
+	// recorder, so /debug/events interleaves every layer on one clock.
+	obsSet := obs.NewSet(*recorderEvents)
+
 	scfg := server.Config{
 		IngestAddr: *ingest,
 		HTTPAddr:   *httpAddr,
+		DebugAddr:  *debugAddr,
+		Obs:        obsSet,
 		Pool: dpd.PoolConfig{
 			Shards:      *shards,
 			NewDetector: factory,
@@ -113,6 +123,7 @@ func main() {
 			TransferAddr: taddr,
 			FollowEvery:  *followEvery,
 			Logf:         log.Printf,
+			Obs:          obsSet,
 		})
 		if err != nil {
 			log.Fatalf("dpdserver: %v", err)
@@ -153,6 +164,9 @@ func main() {
 	} else {
 		log.Printf("dpdserver: ingest on %s, http on %s, engine %s, %d shards%s",
 			srv.Addr(), srv.HTTPAddr(), *engine, srv.Pool().Shards(), adaptNote)
+	}
+	if da := srv.DebugAddr(); da != "" {
+		log.Printf("dpdserver: pprof debug plane on %s", da)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -124,6 +124,42 @@ type (
 	HotStreamInfo = pool.HotStreamInfo
 )
 
+// ClusterNodeMetrics is the per-node cluster section of a server's
+// /metrics snapshot. It is defined here — below both the server and the
+// cluster tier in the import graph — so the snapshot can carry it as a
+// concrete type (rather than `any`) and the public-API check can guard
+// its shape. The cluster package aliases it as cluster.NodeMetrics.
+type ClusterNodeMetrics struct {
+	// Self is this node's member name.
+	Self string `json:"self"`
+	// Epoch is the current routing epoch.
+	Epoch uint64 `json:"epoch"`
+	// Members is the member count of the current table.
+	Members int `json:"members"`
+	// StreamsOwned is the number of live streams in this node's pool.
+	StreamsOwned int `json:"streams_owned"`
+	// ReplicaStreams is the number of standby replicas held for other
+	// nodes' streams.
+	ReplicaStreams int `json:"replica_streams"`
+	// MigrationsIn counts streams attached via handoff frames.
+	MigrationsIn uint64 `json:"migrations_in"`
+	// MigrationsOut counts streams this node migrated away.
+	MigrationsOut uint64 `json:"migrations_out"`
+	// PromotedStreams counts replicas promoted into the pool (failover).
+	PromotedStreams uint64 `json:"promoted_streams"`
+	// ReplicationRounds counts completed replication rounds.
+	ReplicationRounds uint64 `json:"replication_rounds"`
+	// ReplicationErrors counts failed follower sends.
+	ReplicationErrors uint64 `json:"replication_errors"`
+	// FollowerLagFrames is the number of stream frames shipped in the
+	// newest round that followers have not yet acknowledged (0 when the
+	// last round fully acked).
+	FollowerLagFrames int64 `json:"follower_lag_frames"`
+	// PendingDurableMarks is the number of durable marks awaiting a
+	// fully-acknowledged replication round.
+	PendingDurableMarks int `json:"pending_durable_marks"`
+}
+
 // DefaultLadder is the default multi-scale window ladder.
 var DefaultLadder = core.DefaultLadder
 

@@ -13,6 +13,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dpd"
+	"dpd/internal/obs"
 	"dpd/internal/pool"
 	"dpd/internal/server"
 	"dpd/internal/wire"
@@ -135,6 +137,12 @@ type NodeConfig struct {
 	DialTimeout time.Duration
 	// Logf receives cluster log lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, receives flight-recorder events for epoch
+	// installs, migrations and failovers, and samples migration feed
+	// pauses. Share one Set with the embedding server.Config so a
+	// /debug/events dump interleaves cluster and server transitions on
+	// one clock.
+	Obs *obs.Set
 }
 
 // NewNode validates cfg, binds the transfer listener (so an ephemeral
@@ -259,40 +267,13 @@ func (n *Node) OwnerCheck(key uint64) (owner string, epoch uint64, ok bool) {
 	return m.Name, t.Epoch, false
 }
 
-// NodeMetrics is the per-node cluster section of /metrics.
-type NodeMetrics struct {
-	// Self is this node's member name.
-	Self string `json:"self"`
-	// Epoch is the current routing epoch.
-	Epoch uint64 `json:"epoch"`
-	// Members is the member count of the current table.
-	Members int `json:"members"`
-	// StreamsOwned is the number of live streams in this node's pool.
-	StreamsOwned int `json:"streams_owned"`
-	// ReplicaStreams is the number of standby replicas held for other
-	// nodes' streams.
-	ReplicaStreams int `json:"replica_streams"`
-	// MigrationsIn counts streams attached via handoff frames.
-	MigrationsIn uint64 `json:"migrations_in"`
-	// MigrationsOut counts streams this node migrated away.
-	MigrationsOut uint64 `json:"migrations_out"`
-	// PromotedStreams counts replicas promoted into the pool (failover).
-	PromotedStreams uint64 `json:"promoted_streams"`
-	// ReplicationRounds counts completed replication rounds.
-	ReplicationRounds uint64 `json:"replication_rounds"`
-	// ReplicationErrors counts failed follower sends.
-	ReplicationErrors uint64 `json:"replication_errors"`
-	// FollowerLagFrames is the number of stream frames shipped in the
-	// newest round that followers have not yet acknowledged (0 when the
-	// last round fully acked).
-	FollowerLagFrames int64 `json:"follower_lag_frames"`
-	// PendingDurableMarks is the number of durable marks awaiting a
-	// fully-acknowledged replication round.
-	PendingDurableMarks int `json:"pending_durable_marks"`
-}
+// NodeMetrics is the per-node cluster section of /metrics. The concrete
+// struct lives in the root package (dpd.ClusterNodeMetrics) so the
+// server's snapshot can carry it typed without importing this package.
+type NodeMetrics = dpd.ClusterNodeMetrics
 
 // Metrics is the server.Config ClusterMetrics hook.
-func (n *Node) Metrics() any {
+func (n *Node) Metrics() *dpd.ClusterNodeMetrics {
 	m := NodeMetrics{
 		Self:              n.cfg.Self,
 		Epoch:             n.epoch(),
@@ -313,7 +294,7 @@ func (n *Node) Metrics() any {
 	m.ReplicaStreams = len(n.replicas)
 	m.PendingDurableMarks = len(n.marks)
 	n.mu.Unlock()
-	return m
+	return &m
 }
 
 // InstallTable installs a routing table with a strictly higher epoch,
@@ -395,6 +376,7 @@ func (n *Node) installLocked(next *Table) error {
 		}
 		n.mu.Unlock()
 	}
+	n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvEpochInstall, next.Epoch, uint64(len(keys)))
 	n.cfg.Logf("cluster: installed routing table epoch %d (%d members, %d overrides, %d promoted)",
 		next.Epoch, len(next.Members), len(next.Overrides), len(keys))
 	return nil
@@ -507,16 +489,19 @@ func (n *Node) Move(key uint64, to string) (*Table, error) {
 	var state []byte
 	var had bool
 	var derr error
+	pauseStart := time.Now()
 	n.srv.FeedBarrier(func() {
 		n.fence(key, to, next.Epoch)
 		state, had, derr = n.pool.Detach(key, nil)
 	})
+	n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvMigrationFence, key, next.Epoch)
 	if derr != nil {
 		n.unfence(key)
 		return nil, derr
 	}
 
 	rollback := func(cause error) error {
+		n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvMigrationAbort, key, next.Epoch)
 		if had {
 			n.srv.FeedBarrier(func() {
 				if aerr := n.pool.Attach(key, state); aerr != nil {
@@ -557,11 +542,20 @@ func (n *Node) Move(key uint64, to string) (*Table, error) {
 	if err := tc.awaitOK(0); err != nil {
 		return nil, rollback(err)
 	}
+	var shipped uint64
+	if had {
+		shipped = 1
+	}
+	n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvMigrationShip, key, shipped)
 
 	n.srv.FeedBarrier(func() {
 		n.table.Store(next)
 		n.unfence(key)
 	})
+	n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvMigrationFlip, key, next.Epoch)
+	if mp := n.cfg.Obs; mp != nil {
+		mp.MigrationPause.Observe(time.Since(pauseStart))
+	}
 	n.mu.Lock()
 	delete(n.replicas, key)
 	n.mu.Unlock()
@@ -597,6 +591,7 @@ func (n *Node) Failover(dead string) (*Table, error) {
 	if err := n.installLocked(next); err != nil {
 		return nil, err
 	}
+	n.cfg.Obs.Rec().Record(obs.SubCluster, obs.EvFailover, next.Epoch, uint64(len(next.Members)))
 	go n.broadcast(next)
 	return next, nil
 }

@@ -19,26 +19,31 @@ import (
 	"dpd"
 	"dpd/internal/client"
 	"dpd/internal/cluster"
+	"dpd/internal/obs"
 	"dpd/internal/server"
 )
 
 // clusterNode is one in-process cluster member: a server.Server wired
-// to a cluster.Node exactly the way cmd/dpdserver wires them.
+// to a cluster.Node exactly the way cmd/dpdserver wires them, sharing
+// one obs.Set across both layers (also the dpdserver wiring).
 type clusterNode struct {
 	name string
 	srv  *server.Server
 	node *cluster.Node
+	obs  *obs.Set
 	dead bool
 }
 
 // startClusterNode boots one member with ephemeral addresses.
 func startClusterNode(t *testing.T, name string, follow time.Duration) *clusterNode {
 	t.Helper()
+	obsSet := obs.NewSet(0)
 	node, err := cluster.NewNode(cluster.NodeConfig{
 		Self:         name,
 		TransferAddr: "127.0.0.1:0",
 		FollowEvery:  follow,
 		DialTimeout:  2 * time.Second,
+		Obs:          obsSet,
 		Logf:         func(string, ...any) {},
 	})
 	if err != nil {
@@ -52,6 +57,7 @@ func startClusterNode(t *testing.T, name string, follow time.Duration) *clusterN
 		RegisterHTTP:       node.RegisterHTTP,
 		ClusterMetrics:     node.Metrics,
 		ExternalDurability: true,
+		Obs:                obsSet,
 		Logf:               func(string, ...any) {},
 	})
 	if err != nil {
@@ -60,7 +66,7 @@ func startClusterNode(t *testing.T, name string, follow time.Duration) *clusterN
 	}
 	node.Start(srv)
 	srv.Start()
-	cn := &clusterNode{name: name, srv: srv, node: node}
+	cn := &clusterNode{name: name, srv: srv, node: node, obs: obsSet}
 	t.Cleanup(func() {
 		if cn.dead {
 			return

@@ -1,0 +1,190 @@
+package loadgen
+
+// The flight-recorder causal-order tests: drive one adaptive promotion,
+// one live cross-node migration, and one failover through the real
+// server/cluster wiring, then require /debug/events (and the underlying
+// ring) to show the transitions in their causal order. Run under -race
+// in CI — the recorder's seqlock must be clean while the cluster's
+// replication and follow loops are live.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"dpd"
+	"dpd/internal/obs"
+	"dpd/internal/server"
+)
+
+// eventsDumpJSON mirrors the /debug/events payload.
+type eventsDumpJSON struct {
+	Count   int             `json:"count"`
+	Dropped uint64          `json:"dropped"`
+	Events  []obs.EventJSON `json:"events"`
+}
+
+// debugEvents fetches one node's full /debug/events dump.
+func debugEvents(t *testing.T, httpAddr string) eventsDumpJSON {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/events?n=%d", httpAddr, obs.DefaultRecorderEvents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events: %s", resp.Status)
+	}
+	var dump eventsDumpJSON
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decoding /debug/events: %v", err)
+	}
+	return dump
+}
+
+// findEvent returns the per-subsystem Seq of the first (newest-first
+// scan, so the LATEST) matching event, or 0 when absent.
+func findEvent(dump eventsDumpJSON, subsystem, kind string, key uint64) uint64 {
+	for _, e := range dump.Events {
+		if e.Subsystem == subsystem && e.Kind == kind && e.Key == key {
+			return e.Seq
+		}
+	}
+	return 0
+}
+
+// TestFlightRecorderPromotionOrder: skewed traffic through a live
+// server with the adaptive tier promotes the hot stream, and the
+// promotion shows up in /debug/events with the pool subsystem.
+func TestFlightRecorderPromotionOrder(t *testing.T) {
+	obsSet := obs.NewSet(0)
+	srv, err := server.New(server.Config{
+		IngestAddr: "127.0.0.1:0",
+		HTTPAddr:   "127.0.0.1:0",
+		Pool: dpd.PoolConfig{
+			Shards:   2,
+			Detector: dpd.Config{Window: 32},
+			Adaptive: dpd.AdaptiveConfig{
+				Enable:         true,
+				MaxHot:         4,
+				SampleEvery:    1,
+				FoldEvery:      2 * time.Millisecond,
+				PromoteShare:   0.30,
+				DemoteShare:    0.05,
+				PromoteAfter:   1,
+				DemoteAfter:    1 << 30, // hold the promotion for the test's lifetime
+				MinFoldSamples: 1,
+			},
+		},
+		Obs:  obsSet,
+		Logf: func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Abort()
+
+	// One overwhelmingly hot key against light background traffic.
+	const hotKey = 7
+	deadline := time.Now().Add(10 * time.Second)
+	for findEvent(debugEvents(t, srv.HTTPAddr()), "pool", "promote", hotKey) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("adaptive tier never recorded a promotion for the hot stream")
+		}
+		for i := 0; i < 256; i++ {
+			srv.Pool().Feed(hotKey, int64(i%4))
+		}
+		srv.Pool().Feed(hotKey+1, 1)
+		time.Sleep(time.Millisecond)
+	}
+	// The promotion must also be visible as adaptive state, tying the
+	// event to the placement it claims happened.
+	if stats := srv.Pool().AdaptiveStats(); stats.Promotions == 0 {
+		t.Fatalf("promote event recorded but AdaptiveStats = %+v", stats)
+	}
+}
+
+// TestFlightRecorderMigrationAndFailoverOrder scripts one live
+// migration and one failover on a 3-node cluster and requires the
+// recorder's per-subsystem sequence numbers to prove the causal order:
+// fence before ship before flip for the migration, failover before the
+// epoch install it triggers.
+func TestFlightRecorderMigrationAndFailoverOrder(t *testing.T) {
+	nodes := startCluster(t, 50*time.Millisecond)
+
+	// Pick a key n1 owns and give it real state, so the move ships a
+	// detector snapshot rather than a zero-stream ownership transfer.
+	tab := nodes[0].node.Table()
+	var key uint64
+	for k := uint64(1); ; k++ {
+		if tab.Owner(k).Name == "n1" {
+			key = k
+			break
+		}
+	}
+	for i := 0; i < 64; i++ {
+		nodes[0].srv.Pool().Feed(key, int64(i%4))
+	}
+
+	// One live migration n1 → n2.
+	if _, err := nodes[0].node.Move(key, "n2"); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, nodes, tab.Epoch+1)
+
+	dump := debugEvents(t, nodes[0].srv.HTTPAddr())
+	fence := findEvent(dump, "cluster", "migration_fence", key)
+	ship := findEvent(dump, "cluster", "migration_ship", key)
+	flip := findEvent(dump, "cluster", "migration_flip", key)
+	if fence == 0 || ship == 0 || flip == 0 {
+		t.Fatalf("migration events missing: fence=%d ship=%d flip=%d\ndump: %+v", fence, ship, flip, dump.Events)
+	}
+	if !(fence < ship && ship < flip) {
+		t.Fatalf("migration events out of causal order: fence=%d ship=%d flip=%d", fence, ship, flip)
+	}
+	if abort := findEvent(dump, "cluster", "migration_abort", key); abort != 0 {
+		t.Fatalf("successful migration recorded an abort (seq %d)", abort)
+	}
+	// The pause window around the move must have been timed.
+	if st := nodes[0].obs.MigrationPause.Stat(); st.Count == 0 {
+		t.Error("migration pause histogram empty after a live move")
+	}
+
+	// One failover: kill n3 the kill -9 way, then declare it dead from a
+	// survivor — the same call the router and the HTTP control plane use.
+	victim := nodes[2]
+	victim.dead = true
+	victim.srv.Abort()
+	victim.node.Close()
+	epochBefore := nodes[0].node.Table().Epoch
+	if _, err := nodes[0].node.Failover(victim.name); err != nil {
+		t.Fatal(err)
+	}
+	waitEpoch(t, nodes[:2], epochBefore+1)
+
+	dump = debugEvents(t, nodes[0].srv.HTTPAddr())
+	var failoverSeq, installSeq uint64
+	for _, e := range dump.Events {
+		if e.Subsystem != "cluster" {
+			continue
+		}
+		if e.Kind == "failover" && failoverSeq == 0 {
+			failoverSeq = e.Seq
+			if e.Aux != 2 {
+				t.Errorf("failover event reports %d surviving members, want 2", e.Aux)
+			}
+		}
+		if e.Kind == "epoch_install" && e.Key == epochBefore+1 && installSeq == 0 {
+			installSeq = e.Seq
+		}
+	}
+	if failoverSeq == 0 || installSeq == 0 {
+		t.Fatalf("failover events missing: failover=%d epoch_install=%d", failoverSeq, installSeq)
+	}
+	if installSeq > failoverSeq {
+		t.Fatalf("epoch install (seq %d) recorded after the failover event (seq %d) that required it", installSeq, failoverSeq)
+	}
+}

@@ -1,0 +1,162 @@
+// Package obs is the zero-allocation observability core shared by the
+// serving layers: fixed-array latency histograms (promoted from the
+// load harness so server and client quantiles are bit-identical), a
+// lock-free flight recorder of typed transition events, strided
+// latency samplers for hot paths, and Prometheus text-exposition
+// helpers. Nothing here allocates on a record path, takes a lock on an
+// unsampled path, or imports any other dpd package — obs sits below
+// pool, cluster and server so all three can thread it through.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram geometry: durations below 2^5 ns get one exact bucket per
+// nanosecond; above that, each power-of-two octave is split into 16
+// log-spaced sub-buckets (≤ 6.25% relative error), up to 2^histMaxLen
+// ns (~13 days), beyond which values clamp into the last bucket. The
+// whole histogram is one fixed array — recording is an index
+// computation and a counter increment, merging is element-wise
+// addition, and neither ever allocates, so the harness can time every
+// batch without perturbing the allocation-free paths it referees.
+// (This is the fixed log-bucket idiom of the Doppel exemplar's stats
+// package, sized for nanosecond latencies.)
+const (
+	histSubBits = 4
+	histSub     = 1 << histSubBits // sub-buckets per octave
+	histExact   = 2 * histSub      // values < histExact ns are exact
+	histMinLen  = histSubBits + 2  // bits.Len of the first split octave
+	histMaxLen  = 50               // last octave: [2^49, 2^50) ns
+	histBuckets = histExact + (histMaxLen-histMinLen+1)*histSub
+)
+
+// Hist is a fixed-size log-spaced latency histogram: zero allocations
+// on Record and Merge, mergeable across goroutines and connections
+// (each recorder owns its own Hist; merge when done), with interpolated
+// quantiles. The zero value is ready to use. A Hist is not safe for
+// concurrent use.
+type Hist struct {
+	counts [histBuckets]uint64
+	n      uint64
+	sum    int64 // nanoseconds; 2^63 ns of summed latency ≈ 292 years
+	max    int64
+}
+
+// histBucket maps a nanosecond value to its bucket index. Negative
+// values clamp to 0, values at or above 2^histMaxLen ns clamp to the
+// last bucket.
+func histBucket(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < histExact {
+		return int(v)
+	}
+	e := bits.Len64(v)
+	if e > histMaxLen {
+		return histBuckets - 1
+	}
+	sub := int((v >> uint(e-1-histSubBits)) & (histSub - 1))
+	return histExact + (e-histMinLen)*histSub + sub
+}
+
+// histBounds returns bucket idx's half-open value range [lo, hi) in
+// nanoseconds.
+func histBounds(idx int) (lo, hi int64) {
+	if idx < histExact {
+		return int64(idx), int64(idx) + 1
+	}
+	block := idx - histExact
+	e := block/histSub + histMinLen
+	sub := int64(block % histSub)
+	width := int64(1) << uint(e-1-histSubBits)
+	lo = int64(1)<<uint(e-1) + sub*width
+	return lo, lo + width
+}
+
+// Record adds one duration. It never allocates.
+func (h *Hist) Record(d time.Duration) {
+	ns := int64(d)
+	h.counts[histBucket(ns)]++
+	h.n++
+	if ns > 0 {
+		h.sum += ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h bucket-by-bucket. Merging is commutative and
+// associative, so per-goroutine histograms can be combined in any
+// order. It never allocates.
+func (h *Hist) Merge(o *Hist) {
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Count returns the number of recorded durations.
+func (h *Hist) Count() uint64 { return h.n }
+
+// Max returns the largest recorded duration (exact, not bucketed).
+func (h *Hist) Max() time.Duration { return time.Duration(h.max) }
+
+// Sum returns the summed recorded duration.
+func (h *Hist) Sum() time.Duration { return time.Duration(h.sum) }
+
+// Mean returns the arithmetic mean of recorded durations.
+func (h *Hist) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.n))
+}
+
+// Reset clears the histogram for reuse.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// Quantile returns the q-quantile (q in [0,1]) of the recorded
+// durations, linearly interpolated inside the winning bucket and
+// clamped to the exact observed maximum. An empty histogram reports 0.
+func (h *Hist) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			lo, hi := histBounds(i)
+			frac := float64(rank-cum) / float64(c)
+			v := int64(float64(lo) + frac*float64(hi-lo))
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+		cum += c
+	}
+	return time.Duration(h.max)
+}

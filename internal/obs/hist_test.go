@@ -1,10 +1,20 @@
-package loadgen
+package obs
 
 import (
 	"math"
 	"testing"
 	"time"
 )
+
+// splitmix64 advances the test's deterministic value stream (same
+// finalizer the load harness seeds its generators with).
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
 
 // TestHistBucketEdges: 0 and negative clamp to bucket 0, small values
 // are exact, octave boundaries land in their own octave's first

@@ -1,0 +1,74 @@
+package obs
+
+import "strconv"
+
+// Prometheus text-exposition helpers (format version 0.0.4), hand
+// rolled so the serving layer needs no client-library dependency. Each
+// Append* writes one complete metric family — a "# TYPE" header plus
+// its sample lines — onto b, returning the grown slice. Metric and
+// label names are caller-supplied constants; values are rendered with
+// the shortest round-trippable float form, so output for fixed inputs
+// is byte-stable (golden-file testable).
+
+// AppendPromType writes the "# TYPE name kind" header line.
+func AppendPromType(b []byte, name, kind string) []byte {
+	b = append(b, "# TYPE "...)
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = append(b, kind...)
+	return append(b, '\n')
+}
+
+// AppendPromSample writes one un-labeled sample line.
+func AppendPromSample(b []byte, name string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}
+
+// AppendPromCounter writes a complete single-sample counter family.
+func AppendPromCounter(b []byte, name string, v uint64) []byte {
+	b = AppendPromType(b, name, "counter")
+	b = append(b, name...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, v, 10)
+	return append(b, '\n')
+}
+
+// AppendPromGauge writes a complete single-sample gauge family.
+func AppendPromGauge(b []byte, name string, v float64) []byte {
+	b = AppendPromType(b, name, "gauge")
+	return AppendPromSample(b, name, v)
+}
+
+// AppendPromLabeled writes one sample line with a single label, e.g.
+// name{label="value"} v.
+func AppendPromLabeled(b []byte, name, label, value string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, '{')
+	b = append(b, label...)
+	b = append(b, `="`...)
+	b = append(b, value...)
+	b = append(b, `"} `...)
+	b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	return append(b, '\n')
+}
+
+// AppendPromSummary writes a complete summary family from a HistStat:
+// p50/p99/p999 quantile lines plus _sum and _count, with nanosecond
+// quantiles converted to the seconds Prometheus conventions expect.
+func AppendPromSummary(b []byte, name string, st HistStat) []byte {
+	b = AppendPromType(b, name, "summary")
+	b = AppendPromLabeled(b, name, "quantile", "0.5", float64(st.P50Ns)/1e9)
+	b = AppendPromLabeled(b, name, "quantile", "0.99", float64(st.P99Ns)/1e9)
+	b = AppendPromLabeled(b, name, "quantile", "0.999", float64(st.P999Ns)/1e9)
+	b = append(b, name...)
+	b = append(b, "_sum "...)
+	b = strconv.AppendFloat(b, float64(st.SumNs)/1e9, 'g', -1, 64)
+	b = append(b, '\n')
+	b = append(b, name...)
+	b = append(b, "_count "...)
+	b = strconv.AppendUint(b, st.Count, 10)
+	return append(b, '\n')
+}

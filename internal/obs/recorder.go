@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Subsystem labels which layer recorded a flight-recorder event; each
+// subsystem carries its own monotonic sequence number, so per-layer
+// ordering survives even when the shared ring interleaves layers.
+type Subsystem uint8
+
+// The recorded subsystems.
+const (
+	// SubPool is the shard pool and its adaptive placement tier.
+	SubPool Subsystem = iota
+	// SubCluster is the cluster tier (migration, failover, tables).
+	SubCluster
+	// SubCheckpoint is the durability loop.
+	SubCheckpoint
+	// SubServer is the serving layer itself (admission, overload).
+	SubServer
+	numSubsystems
+)
+
+// String names the subsystem for event dumps.
+func (s Subsystem) String() string {
+	switch s {
+	case SubPool:
+		return "pool"
+	case SubCluster:
+		return "cluster"
+	case SubCheckpoint:
+		return "checkpoint"
+	case SubServer:
+		return "server"
+	}
+	return "unknown"
+}
+
+// EventKind is the type tag of one flight-recorder event.
+type EventKind uint8
+
+// The recorded transition kinds. These are cold-path transitions only —
+// nothing here fires per sample or per frame.
+const (
+	// EvNone marks an empty ring slot; never recorded.
+	EvNone EventKind = iota
+	// EvPromote: the adaptive tier moved stream Key onto hot slot Aux.
+	EvPromote
+	// EvDemote: hot stream Key moved back to its shard from slot Aux.
+	EvDemote
+	// EvRebalance: the shard table changed from Key to Aux shards.
+	EvRebalance
+	// EvMigrationFence: stream Key fenced for migration toward epoch Aux.
+	EvMigrationFence
+	// EvMigrationShip: stream Key's state acknowledged by the target
+	// (Aux = 1 when detector state was shipped, 0 for a zero-stream
+	// ownership transfer).
+	EvMigrationShip
+	// EvMigrationFlip: the epoch-Aux table committing stream Key's move
+	// became this node's routing truth.
+	EvMigrationFlip
+	// EvMigrationAbort: the move of stream Key failed and rolled back
+	// (Aux = the epoch of the rollback pin, 0 when no pin was needed).
+	EvMigrationAbort
+	// EvFailover: a member was declared dead and removed; the surviving
+	// table has epoch Aux and Key members.
+	EvFailover
+	// EvEpochInstall: routing table epoch Key installed with Aux
+	// replicas promoted into the pool.
+	EvEpochInstall
+	// EvCheckpointBegin: checkpoint sequence Key started serializing.
+	EvCheckpointBegin
+	// EvCheckpointCommit: checkpoint sequence Key is durable; Aux is the
+	// serialized size in bytes.
+	EvCheckpointCommit
+	// EvCheckpointError: checkpoint sequence Key failed.
+	EvCheckpointError
+	// EvOverloadShed: an overloaded error frame was sent (Aux = 1 for a
+	// connection-admission reject, 2 for a pending-memory shed).
+	EvOverloadShed
+)
+
+// String names the event kind for event dumps.
+func (k EventKind) String() string {
+	switch k {
+	case EvPromote:
+		return "promote"
+	case EvDemote:
+		return "demote"
+	case EvRebalance:
+		return "rebalance"
+	case EvMigrationFence:
+		return "migration_fence"
+	case EvMigrationShip:
+		return "migration_ship"
+	case EvMigrationFlip:
+		return "migration_flip"
+	case EvMigrationAbort:
+		return "migration_abort"
+	case EvFailover:
+		return "failover"
+	case EvEpochInstall:
+		return "epoch_install"
+	case EvCheckpointBegin:
+		return "checkpoint_begin"
+	case EvCheckpointCommit:
+		return "checkpoint_commit"
+	case EvCheckpointError:
+		return "checkpoint_error"
+	case EvOverloadShed:
+		return "overload_shed"
+	}
+	return "none"
+}
+
+// Event is one recorded transition: a nanosecond wall timestamp, the
+// recording subsystem with its per-subsystem sequence number, the kind,
+// and two kind-dependent operands (stream key, epoch, slot, size — see
+// each EventKind's doc).
+type Event struct {
+	// TimeNs is the wall-clock UnixNano timestamp of the record call.
+	TimeNs int64
+	// Seq is the per-subsystem sequence number (1-based, monotonic).
+	Seq uint64
+	// Key is the first kind-dependent operand.
+	Key uint64
+	// Aux is the second kind-dependent operand.
+	Aux uint64
+	// Sub is the recording subsystem.
+	Sub Subsystem
+	// Kind is the transition type.
+	Kind EventKind
+}
+
+// slot is one ring entry guarded by a per-slot version seqlock: the
+// writer publishes an odd version, writes the event, then publishes the
+// even version 2·(claim index)+2, so a reader that sees the same even
+// version before and after its copy knows the copy is torn-free. The
+// payload fields are individually atomic — the seqlock alone would be
+// correct for torn-copy detection, but Go's race detector (rightly)
+// flags plain fields written and read concurrently, and the recorder
+// must be clean under -race to be usable in instrumented tests.
+type slot struct {
+	ver     atomic.Uint64
+	timeNs  atomic.Int64
+	seq     atomic.Uint64
+	key     atomic.Uint64
+	aux     atomic.Uint64
+	subKind atomic.Uint64 // Sub<<8 | Kind
+}
+
+// Recorder is the flight recorder: a fixed-size lock-free ring of
+// typed transition events. Record claims a slot with one atomic add and
+// never blocks, takes no lock and performs no allocation, so it is safe
+// to call from transition sites that run under pool or route locks. A
+// nil *Recorder is valid and records nothing, so call sites need no
+// enabled-check. Dump reads newest-first and is safe concurrent with
+// writers (a slot being overwritten mid-read is skipped, not torn).
+type Recorder struct {
+	mask uint64
+	pos  atomic.Uint64
+	seqs [numSubsystems]atomic.Uint64
+	ring []slot
+}
+
+// DefaultRecorderEvents is the ring capacity NewRecorder(0) selects:
+// enough for minutes of transition history at any sane transition rate,
+// small enough to dump in one HTTP response.
+const DefaultRecorderEvents = 4096
+
+// NewRecorder returns a recorder holding the newest n events (rounded
+// up to a power of two; n <= 0 selects DefaultRecorderEvents).
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{}
+	r.init(n)
+	return r
+}
+
+// init sizes the ring in place (rounded up to a power of two; n <= 0
+// selects DefaultRecorderEvents), so embedding structs can initialize
+// a by-value Recorder without copying its atomics.
+func (r *Recorder) init(n int) {
+	if n <= 0 {
+		n = DefaultRecorderEvents
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	r.mask = uint64(size - 1)
+	r.ring = make([]slot, size)
+}
+
+// Record appends one event to the ring, overwriting the oldest. It is
+// lock-free, allocation-free, safe from any goroutine, and a no-op on a
+// nil recorder. Call it at transitions only — never per sample.
+func (r *Recorder) Record(sub Subsystem, kind EventKind, key, aux uint64) {
+	if r == nil {
+		return
+	}
+	seq := r.seqs[sub].Add(1)
+	i := r.pos.Add(1) - 1
+	s := &r.ring[i&r.mask]
+	// Claim-derived versions, not blind increments: if a second writer
+	// laps the ring onto this slot mid-write, both publish distinct even
+	// versions and any concurrent reader detects the mismatch.
+	s.ver.Store(2*i + 1)
+	s.timeNs.Store(time.Now().UnixNano())
+	s.seq.Store(seq)
+	s.key.Store(key)
+	s.aux.Store(aux)
+	s.subKind.Store(uint64(sub)<<8 | uint64(kind))
+	s.ver.Store(2*i + 2)
+}
+
+// Len returns the number of events currently held (capped at capacity).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.pos.Load()
+	if n > r.mask+1 {
+		n = r.mask + 1
+	}
+	return int(n)
+}
+
+// Recorded returns the total number of events ever recorded, NOT capped
+// at capacity: Recorded minus Cap (floored at 0) is how much history
+// the ring has already overwritten.
+func (r *Recorder) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.pos.Load()
+}
+
+// Cap returns the ring capacity (0 for a nil recorder).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.mask + 1)
+}
+
+// Dump returns up to n events, newest first. Safe concurrent with
+// Record: a slot overwritten while being copied is detected through its
+// version seqlock and skipped (the ring lapped it — it no longer holds
+// one of the newest n events anyway). A nil recorder dumps nothing.
+func (r *Recorder) Dump(n int) []Event {
+	if r == nil || n <= 0 {
+		return nil
+	}
+	pos := r.pos.Load()
+	avail := pos
+	if avail > r.mask+1 {
+		avail = r.mask + 1
+	}
+	if uint64(n) < avail {
+		avail = uint64(n)
+	}
+	out := make([]Event, 0, avail)
+	for k := uint64(0); k < avail; k++ {
+		i := pos - 1 - k
+		s := &r.ring[i&r.mask]
+		v1 := s.ver.Load()
+		if v1 != 2*i+2 {
+			continue // mid-write, or already lapped by a newer claim
+		}
+		sk := s.subKind.Load()
+		ev := Event{
+			TimeNs: s.timeNs.Load(),
+			Seq:    s.seq.Load(),
+			Key:    s.key.Load(),
+			Aux:    s.aux.Load(),
+			Sub:    Subsystem(sk >> 8),
+			Kind:   EventKind(sk & 0xff),
+		}
+		if s.ver.Load() != v1 {
+			continue // overwritten during the copy
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// EventJSON is the rendered form of one Event: subsystem and kind as
+// stable strings, timestamps both raw and formatted. This is the
+// /debug/events element and the checkpoint-sidecar element.
+type EventJSON struct {
+	// TimeNs is the UnixNano timestamp of the record call.
+	TimeNs int64 `json:"time_ns"`
+	// Time is TimeNs rendered as RFC3339Nano for humans.
+	Time string `json:"time"`
+	// Subsystem is the recording layer: pool, cluster, checkpoint, server.
+	Subsystem string `json:"subsystem"`
+	// Seq is the per-subsystem sequence number (1-based, monotonic).
+	Seq uint64 `json:"seq"`
+	// Kind is the transition type (promote, migration_fence, ...).
+	Kind string `json:"kind"`
+	// Key is the first kind-dependent operand.
+	Key uint64 `json:"key"`
+	// Aux is the second kind-dependent operand.
+	Aux uint64 `json:"aux"`
+}
+
+// JSON renders the event for a dump.
+func (e Event) JSON() EventJSON {
+	return EventJSON{
+		TimeNs:    e.TimeNs,
+		Time:      time.Unix(0, e.TimeNs).UTC().Format(time.RFC3339Nano),
+		Subsystem: e.Sub.String(),
+		Seq:       e.Seq,
+		Kind:      e.Kind.String(),
+		Key:       e.Key,
+		Aux:       e.Aux,
+	}
+}
+
+// EventsJSON renders a Dump result for serialization.
+func EventsJSON(evs []Event) []EventJSON {
+	out := make([]EventJSON, len(evs))
+	for i, e := range evs {
+		out[i] = e.JSON()
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SampledHist is a concurrency-safe latency histogram with a strided
+// admission gate for hot paths: Sampled costs one atomic add and one
+// mask on every call and elects 1-in-every calls; only elected calls
+// pay for a clock read and the mutex-guarded Record. The same
+// randomized-countdown philosophy as the adaptive tier's contention
+// sampler, reduced to a deterministic stride — what matters on the hot
+// path is that the common case is branch + add, with no time syscall,
+// no lock, no allocation. The zero value samples every call (stride 1).
+// A nil *SampledHist reports Sampled false and ignores Observe, so
+// instrumentation sites need no enabled-check.
+type SampledHist struct {
+	mask uint64 // stride-1; 0 samples everything
+	tick atomic.Uint64
+
+	mu sync.Mutex
+	h  Hist
+}
+
+// NewSampledHist returns a histogram sampling 1 in every calls; every
+// is rounded up to a power of two, and values <= 1 sample every call.
+func NewSampledHist(every int) *SampledHist {
+	s := &SampledHist{}
+	stride := 1
+	for stride < every {
+		stride <<= 1
+	}
+	s.mask = uint64(stride - 1)
+	return s
+}
+
+// SampleEvery returns the stride: one observation per SampleEvery
+// Sampled calls (0 for a nil histogram).
+func (s *SampledHist) SampleEvery() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.mask + 1
+}
+
+// Sampled reports whether this call is elected for timing. It is the
+// hot-path gate: one atomic add and one mask, no lock, no allocation,
+// false on a nil histogram.
+func (s *SampledHist) Sampled() bool {
+	if s == nil {
+		return false
+	}
+	return s.tick.Add(1)&s.mask == 0
+}
+
+// Observe records one elected duration. Elected calls are 1-in-stride,
+// so the mutex here is cold by construction.
+func (s *SampledHist) Observe(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.h.Record(d)
+	s.mu.Unlock()
+}
+
+// Snapshot copies the histogram for offline quantile computation.
+func (s *SampledHist) Snapshot() Hist {
+	if s == nil {
+		return Hist{}
+	}
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	return h
+}
+
+// Stat summarizes the histogram as the quantile set the /metrics
+// payload and the Prometheus exposition publish.
+func (s *SampledHist) Stat() HistStat {
+	h := s.Snapshot()
+	return HistStat{
+		Count:       h.Count(),
+		SampleEvery: s.SampleEvery(),
+		P50Ns:       int64(h.Quantile(0.50)),
+		P99Ns:       int64(h.Quantile(0.99)),
+		P999Ns:      int64(h.Quantile(0.999)),
+		MaxNs:       int64(h.Max()),
+		MeanNs:      int64(h.Mean()),
+		SumNs:       int64(h.Sum()),
+	}
+}
+
+// HistStat is the serialized summary of one sampled latency site:
+// sampled observation count, the sampling stride the counts were taken
+// under, and interpolated quantiles in nanoseconds.
+type HistStat struct {
+	// Count is the number of sampled observations.
+	Count uint64 `json:"count"`
+	// SampleEvery is the stride: one observation per SampleEvery
+	// operations on the instrumented path.
+	SampleEvery uint64 `json:"sample_every"`
+	// P50Ns is the median latency in nanoseconds.
+	P50Ns int64 `json:"p50_ns"`
+	// P99Ns is the 99th-percentile latency in nanoseconds.
+	P99Ns int64 `json:"p99_ns"`
+	// P999Ns is the 99.9th-percentile latency in nanoseconds.
+	P999Ns int64 `json:"p999_ns"`
+	// MaxNs is the exact largest sampled latency in nanoseconds.
+	MaxNs int64 `json:"max_ns"`
+	// MeanNs is the mean sampled latency in nanoseconds.
+	MeanNs int64 `json:"mean_ns"`
+	// SumNs is the summed sampled latency in nanoseconds.
+	SumNs int64 `json:"sum_ns"`
+}
+
+// Default hot-path sampling strides. Ingest and FeedBatch run per
+// frame/batch (already amortized over hundreds of samples), so 1-in-8
+// keeps the added cost of the two clock reads well under the ≤2%
+// overhead budget; checkpoint writes and migration pauses are rare and
+// are always timed.
+const (
+	DefaultIngestEvery    = 8
+	DefaultFeedBatchEvery = 8
+)
+
+// Set is one node's full observability core: the shared flight
+// recorder plus the four server-side latency sites. The serving layer
+// constructs one (or accepts one from the embedder so the cluster tier
+// shares it) and threads the pieces into pool, cluster and checkpoint
+// config.
+type Set struct {
+	// Recorder is the shared flight recorder.
+	Recorder Recorder
+	// Ingest times frame decode→feed on the ingest plane (per sampled
+	// frame: from just before frame decode to after the pool feed).
+	Ingest SampledHist
+	// FeedBatch times Pool.FeedBatch (per sampled batch).
+	FeedBatch SampledHist
+	// CheckpointWrite times WriteCheckpoint end to end (every write).
+	CheckpointWrite SampledHist
+	// MigrationPause times a live migration's fence→flip window — the
+	// span the stream's ingest is paused (every migration).
+	MigrationPause SampledHist
+}
+
+// NewSet returns a Set with an events-deep recorder (<= 0 selects
+// DefaultRecorderEvents) and default sampling strides.
+func NewSet(events int) *Set {
+	s := &Set{}
+	s.Recorder.init(events)
+	s.Ingest.mask = DefaultIngestEvery - 1
+	s.FeedBatch.mask = DefaultFeedBatchEvery - 1
+	return s
+}
+
+// Rec returns the set's recorder, nil-safe (a nil Set records nothing).
+func (s *Set) Rec() *Recorder {
+	if s == nil {
+		return nil
+	}
+	return &s.Recorder
+}

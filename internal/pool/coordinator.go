@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"dpd/internal/core"
+	"dpd/internal/obs"
 )
 
 // The adaptive coordinator (Doppel's coordinator.go idiom): a single
@@ -405,6 +406,7 @@ func (p *Pool) promoteLocked(key uint64) {
 	a.slots[slot] = hs
 	a.count++
 	a.promotions.Add(1)
+	p.cfg.Recorder.Record(obs.SubPool, obs.EvPromote, key, uint64(slot))
 	p.wg.Add(1)
 	go hs.run(p)
 }
@@ -435,6 +437,7 @@ func (p *Pool) demoteLocked(hs *hotStream) {
 	a.count--
 	delete(a.demoteStreak, hs.key)
 	a.demotions.Add(1)
+	p.cfg.Recorder.Record(obs.SubPool, obs.EvDemote, hs.key, uint64(hs.slot))
 }
 
 // removeHotLocked detaches a hot stream from the hot set without

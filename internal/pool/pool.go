@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"dpd/internal/core"
+	"dpd/internal/obs"
 )
 
 // KeyedSample is one sample of one keyed stream: the unit of work of the
@@ -92,6 +93,14 @@ type Config struct {
 	// a threshold (demotion when they cool). The zero value disables the
 	// tier. See AdaptiveConfig.
 	Adaptive AdaptiveConfig
+	// Recorder, when non-nil, receives flight-recorder events for the
+	// pool's cold transitions: promotions, demotions and rebalances.
+	// Nothing is recorded per sample or per batch.
+	Recorder *obs.Recorder
+	// FeedLatency, when non-nil, samples FeedBatch durations (strided:
+	// 1-in-SampleEvery batches pay for two clock reads; the rest pay one
+	// atomic add). The serving layer surfaces its quantiles in /metrics.
+	FeedLatency *obs.SampledHist
 }
 
 // DefaultSweepEvery is the default idle-sweep cadence in shard samples.
@@ -312,6 +321,17 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 	if p.closed.Load() {
 		panic("pool: FeedBatch on a closed Pool")
 	}
+	// Strided latency sample: an elected batch (1-in-stride) bookends
+	// the call with two clock reads; every other batch pays one atomic
+	// add. Neither side allocates, preserving the 0 allocs/op contract
+	// with instrumentation enabled.
+	var t0 time.Time
+	lat := p.cfg.FeedLatency
+	if lat.Sampled() {
+		t0 = time.Now()
+	} else {
+		lat = nil
+	}
 	p.gate.RLock()
 	g := <-p.groups
 	// Hot-set split: when the adaptive tier is on AND something is
@@ -375,6 +395,9 @@ func (p *Pool) FeedBatch(batch []KeyedSample) {
 	}
 	p.groups <- g
 	p.gate.RUnlock()
+	if lat != nil {
+		lat.Observe(time.Since(t0))
+	}
 }
 
 // worker drains one shard's run queue until Close.

@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"dpd/internal/core"
+	"dpd/internal/obs"
 	"dpd/internal/wire"
 )
 
@@ -280,6 +281,7 @@ func (p *Pool) Rebalance(newShards int) error {
 	// Point of no return: swap the table, start the new workers, retire
 	// the old generation. The exclusive gate guarantees no run is queued
 	// on any old shard and no feeder holds a stale shard pointer.
+	p.cfg.Recorder.Record(obs.SubPool, obs.EvRebalance, uint64(len(p.shards)), uint64(newShards))
 	old := p.shards
 	p.shards = next
 	for _, sh := range next {

@@ -12,6 +12,7 @@ import (
 
 	"dpd"
 	"dpd/internal/faults"
+	"dpd/internal/obs"
 )
 
 // Durability loop: the server periodically streams the pool's complete
@@ -140,6 +141,18 @@ func (s *Server) WriteCheckpoint() (string, error) {
 	s.metrics.checkpointInFlight.Store(1)
 	defer s.metrics.checkpointInFlight.Store(0)
 
+	// ckptMu is held, so the sequence this attempt will commit is fixed
+	// now; every recorder event of the attempt carries it.
+	seq := s.metrics.checkpointSeq.Load() + 1
+	rec := s.obs.Rec()
+	rec.Record(obs.SubCheckpoint, obs.EvCheckpointBegin, seq, 0)
+	t0 := time.Now()
+	fail := func(err error) (string, error) {
+		s.metrics.checkpointErrors.Add(1)
+		rec.Record(obs.SubCheckpoint, obs.EvCheckpointError, seq, 0)
+		return "", err
+	}
+
 	// Capture each connection's acknowledged barrier BEFORE the snapshot
 	// begins: everything those tokens cover is already applied, so it is
 	// in the snapshot, so the tokens become durable when the file does.
@@ -150,37 +163,33 @@ func (s *Server) WriteCheckpoint() (string, error) {
 
 	s.ckptBuf.Reset()
 	if err := s.pool.Checkpoint(&s.ckptBuf); err != nil {
-		s.metrics.checkpointErrors.Add(1)
-		return "", err
+		return fail(err)
 	}
 
 	if err := s.fs.MkdirAll(dir, 0o777); err != nil {
-		s.metrics.checkpointErrors.Add(1)
-		return "", err
+		return fail(err)
 	}
-	seq := s.metrics.checkpointSeq.Load() + 1
 	final := filepath.Join(dir, checkpointName(seq))
 	tmp := final + ".tmp"
 	if err := s.writeCheckpointFile(tmp); err != nil {
-		s.metrics.checkpointErrors.Add(1)
 		s.fs.Remove(tmp)
-		return "", err
+		return fail(err)
 	}
 	if err := s.fs.Rename(tmp, final); err != nil {
-		s.metrics.checkpointErrors.Add(1)
 		s.fs.Remove(tmp)
-		return "", err
+		return fail(err)
 	}
 	if err := s.fs.SyncDir(dir); err != nil {
 		// The rename happened but its durability is unknown: a restart
 		// may legitimately see either checkpoint. Report failure so no
 		// durable marks are handed out on the strength of this file.
-		s.metrics.checkpointErrors.Add(1)
-		return "", err
+		return fail(err)
 	}
 	s.metrics.checkpointSeq.Store(seq)
 	s.metrics.checkpointsTotal.Add(1)
 	s.metrics.checkpointLastNs.Store(time.Now().UnixNano())
+	rec.Record(obs.SubCheckpoint, obs.EvCheckpointCommit, seq, uint64(s.ckptBuf.Len()))
+	s.obs.CheckpointWrite.Observe(time.Since(t0))
 	s.pruneCheckpoints(dir, seq)
 	for _, m := range marks {
 		m.Durable()

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/obs"
 	"dpd/internal/wire"
 )
 
@@ -264,6 +265,15 @@ func (c *conn) readLoop() closeReason {
 		}
 		size := len(payload)
 		f.raw = payload[:cap(payload)] // keep any growth for the next read
+		// Strided ingest-latency election BEFORE decode, so an elected
+		// frame's sample covers decode plus its wait in the pending ring
+		// — the full decode→feed handoff. The stamp must be cleared on
+		// non-elected frames: the ring recycles them.
+		if c.srv.obs.Ingest.Sampled() {
+			f.t0 = time.Now()
+		} else {
+			f.t0 = time.Time{}
+		}
 		if err := DecodeFrame(payload, f); err != nil {
 			c.free <- f
 			var pe *ProtoError
@@ -280,6 +290,7 @@ func (c *conn) readLoop() closeReason {
 			// the fleet.
 			c.free <- f
 			c.srv.metrics.overloadSheds.Add(1)
+			c.srv.obs.Rec().Record(obs.SubServer, obs.EvOverloadShed, f.Key, shedPending)
 			c.send(outMsg{
 				kind: KindError, code: CodeOverloaded,
 				retryMs:  uint64(c.srv.cfg.RetryAfter / time.Millisecond),
@@ -338,6 +349,9 @@ func (c *conn) feedLoop() {
 					c.srv.metrics.samplesTotal.Add(uint64(len(f.Samples)))
 				}
 				c.srv.routeMu.RUnlock()
+				if !f.t0.IsZero() {
+					c.srv.obs.Ingest.Observe(time.Since(f.t0))
+				}
 				if rejected {
 					c.srv.metrics.wrongNodeRejects.Add(1)
 					c.send(outMsg{kind: KindWrongNode, key: f.Key, token: epoch, msg: owner})

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"dpd/internal/obs"
+)
+
+// Debug plane: the flight-recorder dump on the query/control listener
+// (no new exposure — it reveals stream keys the /streams enumeration
+// already serves) and the pprof mux on its own listener, bound only
+// when the operator passes -debug-addr.
+
+// defaultEventDump bounds a GET /debug/events response when the caller
+// does not say how many events it wants.
+const defaultEventDump = 256
+
+// eventsDump is the GET /debug/events response.
+type eventsDump struct {
+	// Count is len(Events).
+	Count int `json:"count"`
+	// Dropped is how many recorded events the ring has already
+	// overwritten (total recorded minus ring capacity, floored at 0) —
+	// nonzero means the dump's history is truncated.
+	Dropped uint64 `json:"dropped"`
+	// Events is the dump, newest first.
+	Events []obs.EventJSON `json:"events"`
+}
+
+// handleDebugEvents dumps the flight recorder, newest first: the last
+// N cold transitions (promotions, migrations, failovers, checkpoints,
+// sheds) the process performed, with nanosecond timestamps and
+// per-subsystem sequence numbers for causal ordering.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	n := defaultEventDump
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = parsed
+	}
+	rec := s.obs.Rec()
+	events := rec.Dump(n)
+	var dropped uint64
+	if total, c := rec.Recorded(), uint64(rec.Cap()); total > c {
+		dropped = total - c
+	}
+	writeJSON(w, http.StatusOK, eventsDump{
+		Count:   len(events),
+		Dropped: dropped,
+		Events:  obs.EventsJSON(events),
+	})
+}
+
+// debugHandler builds the pprof-only mux served on DebugAddr. It
+// mirrors net/http/pprof's DefaultServeMux registrations without ever
+// touching the default mux, so importing this package cannot leak
+// profiling routes onto an application's own server.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeEventSidecar writes the flight recorder's full dump as JSON next
+// to the final checkpoint (path + ".events.json"), through the
+// injectable filesystem. Best effort: the sidecar is post-mortem
+// context, and failing to write it must never fail a shutdown whose
+// checkpoint already committed.
+func (s *Server) writeEventSidecar(ckptPath string) {
+	events := s.obs.Rec().Dump(s.obs.Rec().Cap())
+	if len(events) == 0 {
+		return
+	}
+	body, err := json.MarshalIndent(obs.EventsJSON(events), "", "  ")
+	if err != nil {
+		return
+	}
+	path := ckptPath + ".events.json"
+	f, err := s.fs.Create(path)
+	if err != nil {
+		s.cfg.Logf("server: event sidecar %s: %v", path, err)
+		return
+	}
+	if _, err := f.Write(body); err != nil {
+		f.Close()
+		s.cfg.Logf("server: event sidecar %s: %v", path, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		s.cfg.Logf("server: event sidecar %s: %v", path, err)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"dpd"
+)
+
+// TestDebugEventsEndpoint drives two cold transitions (a rebalance and
+// a checkpoint) and reads them back from /debug/events: newest-first
+// order, rendered subsystem/kind strings, correct operands, and the n
+// query parameter honored.
+func TestDebugEventsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, Config{
+		Pool:          dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		CheckpointDir: dir,
+	})
+	defer shutdown(t, s)
+
+	c := dialClient(t, s)
+	defer c.close()
+	c.sendEvents(1, []int64{1, 2, 3, 4, 5, 6, 7, 8})
+	c.barrier(1)
+
+	resp, err := http.Post("http://"+s.HTTPAddr()+"/rebalance?shards=4", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rebalance: %s", resp.Status)
+	}
+	if _, err := s.WriteCheckpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	var dump struct {
+		Count   int    `json:"count"`
+		Dropped uint64 `json:"dropped"`
+		Events  []struct {
+			TimeNs    int64  `json:"time_ns"`
+			Time      string `json:"time"`
+			Subsystem string `json:"subsystem"`
+			Seq       uint64 `json:"seq"`
+			Kind      string `json:"kind"`
+			Key       uint64 `json:"key"`
+			Aux       uint64 `json:"aux"`
+		} `json:"events"`
+	}
+	if code := httpGet(t, s, "/debug/events", &dump); code != http.StatusOK {
+		t.Fatalf("/debug/events: status %d", code)
+	}
+	if dump.Count != len(dump.Events) || dump.Count < 3 {
+		t.Fatalf("count = %d with %d events, want >= 3 (rebalance + checkpoint begin/commit)", dump.Count, len(dump.Events))
+	}
+	if dump.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 (ring not full)", dump.Dropped)
+	}
+
+	// Newest-first: the ring dump is in reverse record order, so
+	// timestamps never increase down the list.
+	for i := 1; i < len(dump.Events); i++ {
+		if dump.Events[i].TimeNs > dump.Events[i-1].TimeNs {
+			t.Errorf("events not newest-first: [%d].time_ns=%d > [%d].time_ns=%d",
+				i, dump.Events[i].TimeNs, i-1, dump.Events[i-1].TimeNs)
+		}
+	}
+
+	// The checkpoint committed last: events[0] must be its commit, with
+	// seq-1 operand and a nonzero byte size, preceded (further down) by
+	// its begin with the same checkpoint sequence.
+	if e := dump.Events[0]; e.Subsystem != "checkpoint" || e.Kind != "checkpoint_commit" || e.Key != 1 || e.Aux == 0 {
+		t.Errorf("events[0] = %+v, want checkpoint_commit of seq 1 with nonzero size", e)
+	}
+	var sawBegin, sawRebalance bool
+	for _, e := range dump.Events {
+		if e.Subsystem == "checkpoint" && e.Kind == "checkpoint_begin" && e.Key == 1 {
+			sawBegin = true
+		}
+		if e.Subsystem == "pool" && e.Kind == "rebalance" {
+			if e.Key != 2 || e.Aux != 4 {
+				t.Errorf("rebalance operands = (%d, %d), want (2, 4)", e.Key, e.Aux)
+			}
+			sawRebalance = true
+		}
+		if e.Time == "" || e.TimeNs == 0 || e.Seq == 0 {
+			t.Errorf("event missing timestamp or seq: %+v", e)
+		}
+	}
+	if !sawBegin || !sawRebalance {
+		t.Errorf("missing events: checkpoint_begin=%v rebalance=%v", sawBegin, sawRebalance)
+	}
+
+	// n=1 truncates to the single newest event.
+	if code := httpGet(t, s, "/debug/events?n=1", &dump); code != http.StatusOK {
+		t.Fatalf("/debug/events?n=1: status %d", code)
+	}
+	if dump.Count != 1 || len(dump.Events) != 1 {
+		t.Errorf("n=1 returned %d events", len(dump.Events))
+	}
+
+	// A malformed n is a client error, not a 500 or a silent default.
+	if code := httpGet(t, s, "/debug/events?n=bogus", nil); code != http.StatusBadRequest {
+		t.Errorf("/debug/events?n=bogus: status %d, want 400", code)
+	}
+}
+
+// TestDebugPlanePprof: -debug-addr exposes the pprof index on its own
+// listener, and the plane is absent (no listener) when unset.
+func TestDebugPlanePprof(t *testing.T) {
+	s := newTestServer(t, Config{
+		Pool:      dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}},
+		DebugAddr: "127.0.0.1:0",
+	})
+	defer shutdown(t, s)
+	if s.DebugAddr() == "" {
+		t.Fatal("DebugAddr() empty with DebugAddr configured")
+	}
+	resp, err := http.Get("http://" + s.DebugAddr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index: %s", resp.Status)
+	}
+
+	s2 := newTestServer(t, Config{Pool: dpd.PoolConfig{Shards: 1, Detector: dpd.Config{Window: 32}}})
+	defer shutdown(t, s2)
+	if s2.DebugAddr() != "" {
+		t.Errorf("DebugAddr() = %q without DebugAddr configured, want empty", s2.DebugAddr())
+	}
+}

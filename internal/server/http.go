@@ -13,11 +13,14 @@ import (
 // the ingest hot path — snapshots lock one shard at a time, so a
 // dashboard polling /streams does not stall feeders.
 //
-//	GET  /healthz              liveness + stream count
-//	GET  /metrics              counter snapshot (metrics.go)
-//	GET  /streams              paged enumeration: ?after=K&limit=N
-//	GET  /streams/{key}        one stream's unified Stat (incl. prediction)
-//	POST /rebalance?shards=N   live shard-count change (Pool.Rebalance)
+//	GET  /healthz                    liveness + stream count
+//	GET  /metrics                    counter snapshot (metrics.go)
+//	GET  /metrics?format=prometheus  the same counters in Prometheus text
+//	                                 exposition (prom.go)
+//	GET  /streams                    paged enumeration: ?after=K&limit=N
+//	GET  /streams/{key}              one stream's unified Stat (incl. prediction)
+//	GET  /debug/events?n=K           flight-recorder dump, newest first (debug.go)
+//	POST /rebalance?shards=N         live shard-count change (Pool.Rebalance)
 
 // streamJSON is one stream in a query response: the key plus the
 // unified Stat with its existing JSON field names.
@@ -56,6 +59,7 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /streams", s.handleStreams)
 	mux.HandleFunc("GET /streams/{key}", s.handleStream)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	mux.HandleFunc("POST /rebalance", s.handleRebalance)
 	return mux
 }
@@ -83,7 +87,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleMetrics reports the counter snapshot plus pool-derived gauges.
+// handleMetrics reports the counter snapshot plus pool-derived gauges,
+// as JSON by default or Prometheus text exposition with
+// ?format=prometheus.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot(time.Now())
 	snap.Streams = s.pool.Len()
@@ -95,6 +101,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if ast := s.pool.AdaptiveStats(); ast.Enabled {
 		snap.Adaptive = &ast
+	}
+	snap.Latency = &LatencyStats{
+		Ingest:          s.obs.Ingest.Stat(),
+		FeedBatch:       s.obs.FeedBatch.Stat(),
+		CheckpointWrite: s.obs.CheckpointWrite.Stat(),
+		MigrationPause:  s.obs.MigrationPause.Stat(),
+	}
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		w.Write(appendPrometheus(nil, &snap))
+		return
 	}
 	writeJSON(w, http.StatusOK, snap)
 }

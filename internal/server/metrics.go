@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"dpd"
+	"dpd/internal/obs"
 )
 
 // metrics is the server's counter set: plain atomics, expvar-style, no
@@ -47,6 +48,7 @@ type metrics struct {
 	disconnectShutdown atomic.Uint64
 	disconnectOverload atomic.Uint64
 	disconnectPanic    atomic.Uint64
+	disconnectOther    atomic.Uint64 // unknown closeReason (code drift guard)
 
 	checkpointsTotal   atomic.Uint64
 	checkpointErrors   atomic.Uint64
@@ -92,6 +94,11 @@ type DisconnectCounts struct {
 	Overload uint64 `json:"overload"`
 	// Panic: a connection goroutine panicked and was isolated.
 	Panic uint64 `json:"panic"`
+	// Other: a closeReason this switch does not know. Permanently 0 in a
+	// correct build — a nonzero value means a new reason was added
+	// without a counter, and the teardown is counted here instead of
+	// being silently dropped.
+	Other uint64 `json:"other"`
 }
 
 // MetricsSnapshot is the /metrics payload: one consistent-enough read
@@ -168,11 +175,30 @@ type MetricsSnapshot struct {
 	// Cluster is the per-node cluster section (epoch, streams owned,
 	// migrations in/out, follower lag) supplied by Config.ClusterMetrics;
 	// absent outside cluster mode.
-	Cluster any `json:"cluster,omitempty"`
+	Cluster *dpd.ClusterNodeMetrics `json:"cluster,omitempty"`
 	// Adaptive is the contention-adaptive placement section (promotion/
 	// demotion counters, fold count, current hot set with per-stream feed
 	// rates); absent when PoolConfig.Adaptive is disabled.
 	Adaptive *dpd.AdaptiveStats `json:"adaptive,omitempty"`
+	// Latency is the server-side latency section: sampled histograms
+	// from the ingest, feed, checkpoint and migration sites, reported as
+	// quantiles. Always present; sites that never fired report count 0.
+	Latency *LatencyStats `json:"latency,omitempty"`
+}
+
+// LatencyStats is the /metrics latency section: per-site quantile
+// summaries of the observability core's sampled histograms.
+type LatencyStats struct {
+	// Ingest is decode→feed-handoff latency per sampled batch frame.
+	Ingest obs.HistStat `json:"ingest"`
+	// FeedBatch is Pool.FeedBatch duration per sampled call.
+	FeedBatch obs.HistStat `json:"feed_batch"`
+	// CheckpointWrite is the full WriteCheckpoint duration (capture,
+	// serialize, fsync, rename).
+	CheckpointWrite obs.HistStat `json:"checkpoint_write"`
+	// MigrationPause is the fence→flip feed-pause window of one live
+	// cross-node migration.
+	MigrationPause obs.HistStat `json:"migration_pause"`
 }
 
 // snapshot assembles the exported view; pool-derived fields are filled
@@ -200,6 +226,7 @@ func (m *metrics) snapshot(now time.Time) MetricsSnapshot {
 			Shutdown:      m.disconnectShutdown.Load(),
 			Overload:      m.disconnectOverload.Load(),
 			Panic:         m.disconnectPanic.Load(),
+			Other:         m.disconnectOther.Load(),
 		},
 		CheckpointsTotal:     m.checkpointsTotal.Load(),
 		CheckpointErrors:     m.checkpointErrors.Load(),
@@ -257,5 +284,7 @@ func (m *metrics) disconnect(r closeReason) {
 		m.disconnectOverload.Add(1)
 	case reasonPanic:
 		m.disconnectPanic.Add(1)
+	default:
+		m.disconnectOther.Add(1)
 	}
 }

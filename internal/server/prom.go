@@ -1,0 +1,98 @@
+package server
+
+import (
+	"strconv"
+
+	"dpd/internal/obs"
+)
+
+// Prometheus text exposition of the /metrics snapshot (prom.go renders;
+// obs/prom.go owns the line formatting). Every JSON counter has a
+// Prometheus sample under a stable dpd_-prefixed name: counters carry
+// the conventional _total suffix, durations are seconds, and the
+// latency section renders as summary families with p50/p99/p999
+// quantile labels. Names are part of the server's interface — the
+// golden-file test (prom_test.go) pins them, and renaming one is a
+// breaking change for every dashboard scraping it.
+
+// appendPrometheus renders snap as Prometheus text exposition 0.0.4
+// onto b. Output for a fixed snapshot is byte-stable: families appear
+// in the fixed order below, and floats use the shortest round-trippable
+// form.
+func appendPrometheus(b []byte, snap *MetricsSnapshot) []byte {
+	b = obs.AppendPromGauge(b, "dpd_uptime_seconds", snap.UptimeSeconds)
+	b = obs.AppendPromGauge(b, "dpd_conns_active", float64(snap.ConnsActive))
+	b = obs.AppendPromCounter(b, "dpd_conns_total", snap.ConnsTotal)
+	b = obs.AppendPromCounter(b, "dpd_conns_rejected_total", snap.ConnsRejected)
+	b = obs.AppendPromCounter(b, "dpd_overload_sheds_total", snap.OverloadSheds)
+	b = obs.AppendPromGauge(b, "dpd_pending_bytes", float64(snap.PendingBytes))
+	b = obs.AppendPromCounter(b, "dpd_panics_recovered_total", snap.PanicsRecovered)
+	b = obs.AppendPromCounter(b, "dpd_frames_total", snap.FramesTotal)
+	b = obs.AppendPromCounter(b, "dpd_batches_total", snap.BatchesTotal)
+	b = obs.AppendPromCounter(b, "dpd_samples_total", snap.SamplesTotal)
+	b = obs.AppendPromCounter(b, "dpd_pings_total", snap.PingsTotal)
+	b = obs.AppendPromGauge(b, "dpd_ingest_rate_per_sec", snap.IngestRate)
+	b = obs.AppendPromCounter(b, "dpd_events_delivered_total", snap.EventsDelivered)
+
+	b = obs.AppendPromType(b, "dpd_disconnects_total", "counter")
+	d := &snap.Disconnects
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "eof", float64(d.EOF))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "read_error", float64(d.ReadError))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "protocol_error", float64(d.ProtocolError))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "slow_consumer", float64(d.SlowConsumer))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "write_error", float64(d.WriteError))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "shutdown", float64(d.Shutdown))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "overload", float64(d.Overload))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "panic", float64(d.Panic))
+	b = obs.AppendPromLabeled(b, "dpd_disconnects_total", "reason", "other", float64(d.Other))
+
+	b = obs.AppendPromGauge(b, "dpd_streams", float64(snap.Streams))
+	b = obs.AppendPromGauge(b, "dpd_shards", float64(snap.Shards))
+	b = obs.AppendPromType(b, "dpd_shard_streams", "gauge")
+	for i, n := range snap.ShardOccupancy {
+		b = obs.AppendPromLabeled(b, "dpd_shard_streams", "shard", strconv.Itoa(i), float64(n))
+	}
+	b = obs.AppendPromCounter(b, "dpd_evicted_total", snap.Evicted)
+
+	b = obs.AppendPromCounter(b, "dpd_checkpoints_total", snap.CheckpointsTotal)
+	b = obs.AppendPromCounter(b, "dpd_checkpoint_errors_total", snap.CheckpointErrors)
+	b = obs.AppendPromGauge(b, "dpd_checkpoint_seq", float64(snap.CheckpointSeq))
+	b = obs.AppendPromGauge(b, "dpd_checkpoint_age_seconds", snap.CheckpointAgeSeconds)
+	b = obs.AppendPromCounter(b, "dpd_checkpoint_stalls_total", snap.CheckpointStalls)
+	b = obs.AppendPromGauge(b, "dpd_checkpoint_in_flight", float64(snap.CheckpointInFlight))
+	b = obs.AppendPromCounter(b, "dpd_tmp_swept_total", snap.TmpSwept)
+	b = obs.AppendPromGauge(b, "dpd_restored_streams", float64(snap.RestoredStreams))
+	b = obs.AppendPromCounter(b, "dpd_restore_fallbacks_total", snap.RestoreFallbacks)
+	b = obs.AppendPromCounter(b, "dpd_rebalances_applied_total", snap.RebalancesApplied)
+	b = obs.AppendPromCounter(b, "dpd_wrong_node_rejects_total", snap.WrongNodeRejects)
+
+	if c := snap.Cluster; c != nil {
+		b = obs.AppendPromGauge(b, "dpd_cluster_epoch", float64(c.Epoch))
+		b = obs.AppendPromGauge(b, "dpd_cluster_members", float64(c.Members))
+		b = obs.AppendPromGauge(b, "dpd_cluster_streams_owned", float64(c.StreamsOwned))
+		b = obs.AppendPromGauge(b, "dpd_cluster_replica_streams", float64(c.ReplicaStreams))
+		b = obs.AppendPromCounter(b, "dpd_cluster_migrations_in_total", c.MigrationsIn)
+		b = obs.AppendPromCounter(b, "dpd_cluster_migrations_out_total", c.MigrationsOut)
+		b = obs.AppendPromCounter(b, "dpd_cluster_promoted_streams_total", c.PromotedStreams)
+		b = obs.AppendPromCounter(b, "dpd_cluster_replication_rounds_total", c.ReplicationRounds)
+		b = obs.AppendPromCounter(b, "dpd_cluster_replication_errors_total", c.ReplicationErrors)
+		b = obs.AppendPromGauge(b, "dpd_cluster_follower_lag_frames", float64(c.FollowerLagFrames))
+		b = obs.AppendPromGauge(b, "dpd_cluster_pending_durable_marks", float64(c.PendingDurableMarks))
+	}
+
+	if a := snap.Adaptive; a != nil {
+		b = obs.AppendPromGauge(b, "dpd_adaptive_max_hot", float64(a.MaxHot))
+		b = obs.AppendPromGauge(b, "dpd_adaptive_hot_streams", float64(a.HotStreams))
+		b = obs.AppendPromCounter(b, "dpd_adaptive_promotions_total", a.Promotions)
+		b = obs.AppendPromCounter(b, "dpd_adaptive_demotions_total", a.Demotions)
+		b = obs.AppendPromCounter(b, "dpd_adaptive_folds_total", a.Folds)
+	}
+
+	if l := snap.Latency; l != nil {
+		b = obs.AppendPromSummary(b, "dpd_ingest_latency_seconds", l.Ingest)
+		b = obs.AppendPromSummary(b, "dpd_feed_batch_latency_seconds", l.FeedBatch)
+		b = obs.AppendPromSummary(b, "dpd_checkpoint_write_seconds", l.CheckpointWrite)
+		b = obs.AppendPromSummary(b, "dpd_migration_pause_seconds", l.MigrationPause)
+	}
+	return b
+}

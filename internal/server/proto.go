@@ -71,6 +71,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"dpd"
 	"dpd/internal/wire"
@@ -232,6 +233,11 @@ type Frame struct {
 	// size is the wire payload size charged to the pending-memory
 	// accounts while this frame waits for the feeder.
 	size int
+	// t0 is the ingest-latency sample stamp: set by the reader just
+	// before decoding when this frame was elected by the sampled ingest
+	// histogram, zero otherwise. The feeder observes decode→feed latency
+	// from it after applying a batch frame.
+	t0 time.Time
 }
 
 // DecodeFrame parses one client→server frame payload into f, reusing

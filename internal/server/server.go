@@ -14,6 +14,7 @@ import (
 
 	"dpd"
 	"dpd/internal/faults"
+	"dpd/internal/obs"
 )
 
 // Config parameterizes a Server. IngestAddr is required; everything
@@ -88,7 +89,18 @@ type Config struct {
 	RegisterHTTP func(mux *http.ServeMux)
 	// ClusterMetrics, when non-nil, supplies the value rendered as the
 	// "cluster" section of the /metrics payload.
-	ClusterMetrics func() any
+	ClusterMetrics func() *dpd.ClusterNodeMetrics
+	// Obs is the observability core: the flight recorder the server (and
+	// the pool it builds) records cold transitions into, and the sampled
+	// latency histograms behind the /metrics latency section. Nil selects
+	// a fresh default Set. Cluster embedders pass the same Set to
+	// cluster.NodeConfig.Obs so one /debug/events dump interleaves both
+	// layers.
+	Obs *obs.Set
+	// DebugAddr, when non-empty, binds a third listener serving only the
+	// pprof plane (/debug/pprof/*) — kept off the query/control listener
+	// so profiling exposure is an explicit operator decision.
+	DebugAddr string
 	// ExternalDurability hands ownership of durable acknowledgements to
 	// an external replication loop: the checkpoint path stops emitting
 	// durable frames (CaptureDurableMarks + DurableMark.Durable become
@@ -108,10 +120,13 @@ type Server struct {
 	pool    *dpd.Pool
 	fs      faults.FS
 	metrics metrics
+	obs     *obs.Set
 
-	ln     net.Listener
-	httpLn net.Listener
-	httpSv *http.Server
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSv  *http.Server
+	debugLn net.Listener
+	debugSv *http.Server
 
 	mu    sync.Mutex
 	conns map[*conn]struct{}
@@ -176,10 +191,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewSet(0)
+	}
 
 	s := &Server{
 		cfg:      cfg,
 		fs:       cfg.FS,
+		obs:      cfg.Obs,
 		conns:    make(map[*conn]struct{}),
 		subAll:   make(map[*conn]struct{}),
 		subByKey: make(map[uint64]map[*conn]struct{}),
@@ -198,6 +217,8 @@ func New(cfg Config) (*Server, error) {
 	// lock-free fast exit while nobody is subscribed.
 	poolCfg := cfg.Pool
 	poolCfg.StreamObserver = s.streamObserver
+	poolCfg.Recorder = s.obs.Rec()
+	poolCfg.FeedLatency = &s.obs.FeedBatch
 
 	pool, seq, err := restorePool(s.fs, cfg.CheckpointDir, poolCfg, cfg.Logf, &s.metrics)
 	if err != nil {
@@ -222,7 +243,28 @@ func New(cfg Config) (*Server, error) {
 		s.httpLn = httpLn
 		s.httpSv = &http.Server{Handler: s.httpHandler()}
 	}
+	if cfg.DebugAddr != "" {
+		debugLn, err := net.Listen("tcp", cfg.DebugAddr)
+		if err != nil {
+			if s.httpLn != nil {
+				s.httpLn.Close()
+			}
+			ln.Close()
+			pool.Close()
+			return nil, fmt.Errorf("server: debug listen: %w", err)
+		}
+		s.debugLn = debugLn
+		s.debugSv = &http.Server{Handler: debugHandler()}
+	}
 	return s, nil
+}
+
+// DebugAddr returns the bound pprof-plane address, or "" when disabled.
+func (s *Server) DebugAddr() string {
+	if s.debugLn == nil {
+		return ""
+	}
+	return s.debugLn.Addr().String()
 }
 
 // Pool exposes the shared detector pool for embedders and differential
@@ -257,6 +299,15 @@ func (s *Server) Start() {
 			}
 		}()
 	}
+	if s.debugSv != nil {
+		s.bg.Add(1)
+		go func() {
+			defer s.bg.Done()
+			if err := s.debugSv.Serve(s.debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				s.cfg.Logf("server: debug: %v", err)
+			}
+		}()
+	}
 	if s.cfg.CheckpointDir != "" {
 		s.bg.Add(1)
 		go s.checkpointLoop()
@@ -276,6 +327,13 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Aux values of EvOverloadShed flight-recorder events: which valve shed
+// the client.
+const (
+	shedAdmission = 1 // refused at admission (MaxConns)
+	shedPending   = 2 // disconnected by pending-memory accounting
+)
+
 // admit applies connection-count admission control: past MaxConns the
 // connection is refused immediately with an overloaded error frame
 // carrying the retry-after hint, before any per-connection state is
@@ -286,6 +344,7 @@ func (s *Server) admit(nc net.Conn) bool {
 	}
 	s.metrics.connsRejected.Add(1)
 	s.metrics.overloadSheds.Add(1)
+	s.obs.Rec().Record(obs.SubServer, obs.EvOverloadShed, 0, shedAdmission)
 	buf := appendError(nil, CodeOverloaded, uint64(s.cfg.RetryAfter/time.Millisecond),
 		fmt.Sprintf("connection limit %d reached", s.cfg.MaxConns))
 	nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
@@ -340,6 +399,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			firstErr = err
 		}
 	}
+	if s.debugSv != nil {
+		s.debugSv.Close()
+	}
 
 	s.mu.Lock()
 	for c := range s.conns {
@@ -357,7 +419,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// only a lost checkpoint — the previous durable one still stands.
 		done := make(chan error, 1)
 		go func() {
-			_, err := s.WriteCheckpoint()
+			path, err := s.WriteCheckpoint()
+			if err == nil && path != "" {
+				// Best-effort flight-recorder sidecar next to the final
+				// checkpoint: the last thing the process did, preserved for
+				// post-mortems. Failure to write it never fails shutdown.
+				s.writeEventSidecar(path)
+			}
 			done <- err
 		}()
 		select {
@@ -386,6 +454,9 @@ func (s *Server) Abort() {
 	s.ln.Close()
 	if s.httpSv != nil {
 		s.httpSv.Close()
+	}
+	if s.debugSv != nil {
+		s.debugSv.Close()
 	}
 	s.mu.Lock()
 	for c := range s.conns {

@@ -61,6 +61,9 @@ var required = []string{
 	// Multi-stream pool.
 	"Pool", "NewPool", "PoolConfig", "KeyedSample", "StreamStat",
 	"AdaptiveConfig", "AdaptiveStats", "HotStreamInfo",
+
+	// Observability: the typed cluster section of /metrics.
+	"ClusterNodeMetrics",
 }
 
 func main() {

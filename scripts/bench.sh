@@ -23,19 +23,30 @@
 # not asserted: single-run numbers on a loaded box are noisy; compare
 # across snapshots).
 #
+# PoolFeedObs is the observability-core referee (PR 10): the obs on/off
+# pair measures the feed path with the flight recorder and the sampled
+# FeedBatch histogram wired, and the derived obs_overhead_pct field
+# should stay ≤2 under the same min-of-3 protocol. The snapshot also
+# embeds obs_latency — the live server's p50/p99/p999 per instrumented
+# site (ingest, feed_batch, checkpoint_write, migration_pause) from a
+# seeded end-to-end run (scripts/obsquantiles).
+#
 # Usage:  scripts/bench.sh [out.json]
 #         BENCHTIME=10x scripts/bench.sh      # more iterations, stabler numbers
 #         MATRIX=-quick scripts/bench.sh      # tiny matrix cells (CI smoke)
 #         MATRIX=skip scripts/bench.sh        # micro benchmarks only
 #         CLUSTER=-quick scripts/bench.sh     # tiny cluster runs
 #         CLUSTER=skip scripts/bench.sh       # skip the cluster section
+#         OBSQ=-quick scripts/bench.sh        # tiny obs-quantile run
+#         OBSQ=skip scripts/bench.sh          # skip the obs-quantile section
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+out="${1:-BENCH_pr10.json}"
 benchtime="${BENCHTIME:-1x}"
 matrix_mode="${MATRIX:-}"
 cluster_mode="${CLUSTER:-}"
+obsq_mode="${OBSQ:-}"
 
 raw=$(go test -run '^$' -bench 'Fig4|Table2|Table3|PoolFeed|PoolFeedAdaptive|IngestFrameDecode|ClientSend' -benchtime "$benchtime" -benchmem . ./internal/client)
 echo "$raw" >&2
@@ -82,10 +93,26 @@ overhead=$(echo "$guardraw" | awk '
 /^BenchmarkPoolFeedAdaptive\/uniform\/adaptive=on/  { for (i=3;i+1<=NF;i+=2) if ($(i+1)=="ns/elem" && (on==0 || $i<on)) on=$i }
 END { if (off > 0 && on > 0) printf "%.2f", (on-off)/off*100; else printf "null" }')
 
+# Observability-core overhead guard (PR 10): same min-of-3 protocol for
+# the obs on/off pair — flight recorder plus sampled FeedBatch histogram
+# versus the bare pool.
+obsguardraw=$(go test -run '^$' -bench 'PoolFeedObs' -benchtime 2000x -count 3 .)
+echo "$obsguardraw" >&2
+obsoverhead=$(echo "$obsguardraw" | awk '
+/^BenchmarkPoolFeedObs\/obs=off/ { for (i=3;i+1<=NF;i+=2) if ($(i+1)=="ns/elem" && (off==0 || $i<off)) off=$i }
+/^BenchmarkPoolFeedObs\/obs=on/  { for (i=3;i+1<=NF;i+=2) if ($(i+1)=="ns/elem" && (on==0 || $i<on)) on=$i }
+END { if (off > 0 && on > 0) printf "%.2f", (on-off)/off*100; else printf "null" }')
+
+if [ "$obsq_mode" = "skip" ]; then
+	obslatency="null"
+else
+	obslatency=$(go run ./scripts/obsquantiles $obsq_mode)
+fi
+
 {
-	printf '{\n  "date": "%s",\n  "adaptive_uniform_overhead_pct": %s,\n  "results": [\n' "$(date -u +%FT%TZ)" "$overhead"
+	printf '{\n  "date": "%s",\n  "adaptive_uniform_overhead_pct": %s,\n  "obs_overhead_pct": %s,\n  "results": [\n' "$(date -u +%FT%TZ)" "$overhead" "$obsoverhead"
 	printf '%s\n' "$results"
-	printf '  ],\n  "scaling_matrix": %s,\n  "cluster": %s\n}\n' "$matrix" "$clusterjson"
+	printf '  ],\n  "scaling_matrix": %s,\n  "cluster": %s,\n  "obs_latency": %s\n}\n' "$matrix" "$clusterjson" "$obslatency"
 } > "$out"
 
 echo "wrote $out" >&2

@@ -1,0 +1,88 @@
+// Command obsquantiles measures the PR 10 server-side latency
+// histograms end to end: it boots one in-process server with the
+// observability core at its default strides, drives a seeded loadgen
+// workload through the real ingest plane, writes one checkpoint, and
+// prints the /metrics latency section (p50/p99/p999 per instrumented
+// site) as JSON for scripts/bench.sh to embed in the snapshot.
+//
+// Usage: go run ./scripts/obsquantiles [-quick]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"dpd"
+	"dpd/internal/loadgen"
+	"dpd/internal/obs"
+	"dpd/internal/server"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small run (CI smoke)")
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "obsquantiles")
+	if err != nil {
+		log.Fatalf("obsquantiles: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	obsSet := obs.NewSet(0)
+	srv, err := server.New(server.Config{
+		IngestAddr:    "127.0.0.1:0",
+		HTTPAddr:      "127.0.0.1:0",
+		Pool:          dpd.PoolConfig{Shards: 2, Detector: dpd.Config{Window: 32}},
+		CheckpointDir: dir,
+		Obs:           obsSet,
+		Logf:          func(string, ...any) {},
+	})
+	if err != nil {
+		log.Fatalf("obsquantiles: %v", err)
+	}
+	srv.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	cfg := loadgen.Config{
+		Addr:             srv.Addr(),
+		Conns:            2,
+		Streams:          64,
+		SamplesPerStream: 4096,
+		BatchSize:        128,
+		Window:           16,
+		RetryBudget:      10 * time.Second,
+		Workload:         loadgen.Workload{Seed: 42},
+	}
+	if *quick {
+		cfg.SamplesPerStream = 512
+	}
+	if _, err := loadgen.Run(context.Background(), cfg); err != nil {
+		log.Fatalf("obsquantiles: run: %v", err)
+	}
+	if _, err := srv.WriteCheckpoint(); err != nil {
+		log.Fatalf("obsquantiles: checkpoint: %v", err)
+	}
+
+	resp, err := http.Get("http://" + srv.HTTPAddr() + "/metrics")
+	if err != nil {
+		log.Fatalf("obsquantiles: scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	var m struct {
+		Latency json.RawMessage `json:"latency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		log.Fatalf("obsquantiles: decode: %v", err)
+	}
+	fmt.Println(string(m.Latency))
+}
